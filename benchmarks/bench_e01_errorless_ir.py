@@ -1,0 +1,23 @@
+"""E1 — Theorem 3.3: errorless DP-IR moves ≥ (1−δ)·n blocks per query."""
+
+from conftest import write_report
+
+from repro.baselines.linear_pir import LinearScanPIR
+from repro.simulation.experiments import experiment_e01_errorless_ir
+from repro.storage.blocks import integer_database
+
+
+def test_e01_table():
+    table = experiment_e01_errorless_ir(sizes=(256, 512, 1024, 2048))
+    write_report(table)
+    print("\n" + table.to_text())
+    for row in table.rows:
+        n, bound, measured, meets = row
+        assert meets is True
+        assert measured == bound == n  # linear scan realizes the bound tightly
+
+
+def test_e01_query_throughput(benchmark, rng):
+    scheme = LinearScanPIR(integer_database(1024))
+    source = rng.spawn("queries")
+    benchmark(lambda: scheme.query(source.randbelow(1024)))

@@ -1,0 +1,43 @@
+"""E3 — Theorem 5.1: ε = Θ(log n) DP-IR with O(1) bandwidth and error α."""
+
+import math
+
+from conftest import write_report
+
+from repro.core.dp_ir import DPIR
+from repro.simulation.experiments import experiment_e03_dpir_construction
+from repro.storage.blocks import integer_database
+
+
+def test_e03_table():
+    table = experiment_e03_dpir_construction(
+        sizes=(256, 1024, 4096, 16384), queries=600
+    )
+    write_report(table)
+    print("\n" + table.to_text())
+    # Pad size flat across n at fixed alpha (the O(1) claim).
+    for alpha in (0.01, 0.05, 0.1):
+        pads = [row[2] for row in table.rows if row[1] == alpha]
+        assert max(pads) - min(pads) <= 2
+    # Measured error rate tracks alpha.
+    for row in table.rows:
+        _, alpha, _, _, _, _, error_rate = row
+        assert abs(error_rate - alpha) < 0.05
+
+
+def test_e03_alpha_bandwidth_tradeoff():
+    # Ablation: at fixed epsilon, larger alpha buys a smaller pad.
+    n, epsilon = 4096, math.log(4096)
+    pads = [
+        DPIR(integer_database(n), epsilon=epsilon, alpha=alpha).pad_size
+        for alpha in (0.01, 0.05, 0.2, 0.5)
+    ]
+    assert pads == sorted(pads, reverse=True)
+
+
+def test_e03_query_throughput(benchmark, rng):
+    n = 16384
+    scheme = DPIR(integer_database(n), epsilon=math.log(n), alpha=0.05,
+                  rng=rng.spawn("scheme"))
+    source = rng.spawn("queries")
+    benchmark(lambda: scheme.query(source.randbelow(n)))

@@ -1,0 +1,25 @@
+"""E4 — Section 4: the strawman is broken (δ → (n−1)/n, attack wins)."""
+
+from conftest import write_report
+
+from repro.core.strawman import StrawmanIR
+from repro.simulation.experiments import experiment_e04_strawman
+from repro.storage.blocks import integer_database
+
+
+def test_e04_table():
+    table = experiment_e04_strawman(sizes=(64, 256, 1024), trials=3000)
+    write_report(table)
+    print("\n" + table.to_text())
+    for row in table.rows:
+        n, delta, straw_success, dpir_success, ceiling = row
+        assert delta > 0.98
+        assert straw_success > 0.95           # adversary nearly always wins
+        assert dpir_success <= ceiling + 0.03  # DP-IR stays under its ceiling
+        assert straw_success > dpir_success
+
+
+def test_e04_query_throughput(benchmark, rng):
+    scheme = StrawmanIR(integer_database(1024), rng=rng.spawn("scheme"))
+    source = rng.spawn("queries")
+    benchmark(lambda: scheme.query(source.randbelow(1024)))

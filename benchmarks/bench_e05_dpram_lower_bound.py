@@ -1,0 +1,36 @@
+"""E5 — Theorem 3.7: the log_c((1−α)n/e^ε) DP-RAM floor."""
+
+import math
+
+from conftest import write_report
+
+from repro.analysis.bounds import dp_ram_lower_bound, min_epsilon_for_ram_bandwidth
+from repro.simulation.experiments import experiment_e05_dpram_lower_bound
+
+
+def test_e05_table():
+    table = experiment_e05_dpram_lower_bound(n=4096)
+    write_report(table)
+    print("\n" + table.to_text())
+    assert all(row[-1] is True for row in table.rows)
+    # The floor is monotone decreasing in epsilon.
+    floors = [row[2] for row in table.rows]
+    assert floors == sorted(floors, reverse=True)
+
+
+def test_e05_constant_epsilon_is_oram_regime():
+    # At eps = O(1) the floor matches the classic ORAM Omega(log n).
+    for n in (2**12, 2**16, 2**20):
+        floor = dp_ram_lower_bound(n, epsilon=1.0, client_blocks=2)
+        assert floor >= 0.5 * math.log2(n) - 3
+
+
+def test_e05_inversion_answers_title_question():
+    # "What privacy is achievable with small overhead?": eps = Omega(log n).
+    for n in (2**12, 2**16, 2**20):
+        eps = min_epsilon_for_ram_bandwidth(n, bandwidth=3, client_blocks=4)
+        assert eps >= math.log(n) - 3 * math.log(4) - 1e-9
+
+
+def test_e05_bound_evaluation_throughput(benchmark):
+    benchmark(lambda: dp_ram_lower_bound(2**20, 5.0, 64))

@@ -1,0 +1,36 @@
+"""E7 — Lemmas 6.4/6.5 + 6.7: exact transcript ratios under the budget."""
+
+from conftest import write_report
+
+from repro.analysis.dp_ram_exact import (
+    sample_transcript_pairs,
+    transcript_log_likelihood,
+)
+from repro.simulation.experiments import experiment_e07_dpram_ratios
+
+
+def test_e07_table():
+    table = experiment_e07_dpram_ratios(n=8, length=5, trials=2000)
+    write_report(table)
+    print("\n" + table.to_text())
+    assert all(row[-1] is True for row in table.rows)
+    for row in table.rows:
+        _, _, _, sampled, exact, budget, _ = row
+        # Sampled ratios are positive, never exceed the exact worst case,
+        # and the exact worst case sits under the analytic budget.
+        assert 0 < sampled <= exact + 1e-9 or exact != exact  # nan guard
+        assert exact != exact or exact < budget
+
+
+def test_e07_likelihood_throughput(benchmark, rng):
+    n, p = 16, 0.1
+    queries = [rng.randbelow(n) for _ in range(64)]
+    pairs = sample_transcript_pairs(queries, n, p, rng.spawn("t"))
+    benchmark(lambda: transcript_log_likelihood(queries, pairs, n, p))
+
+
+def test_e07_sampler_throughput(benchmark, rng):
+    n, p = 1024, 0.05
+    queries = [rng.randbelow(n) for _ in range(128)]
+    source = rng.spawn("s")
+    benchmark(lambda: sample_transcript_pairs(queries, n, p, source))

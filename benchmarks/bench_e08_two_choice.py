@@ -1,0 +1,41 @@
+"""E8 — Theorem A.1: power of two choices max-load separation."""
+
+from conftest import write_report
+
+from repro.crypto.prf import PRF
+from repro.hashing.two_choice import DChoiceTable
+from repro.simulation.experiments import experiment_e08_two_choice
+
+
+def test_e08_table():
+    table = experiment_e08_two_choice(sizes=(1024, 4096, 16384, 65536))
+    write_report(table)
+    print("\n" + table.to_text())
+    one_choice = [row[1] for row in table.rows]
+    two_choice = [row[2] for row in table.rows]
+    # One choice grows with n; two choices stay within log log n + slack.
+    assert one_choice[-1] > one_choice[0]
+    for row in table.rows:
+        n, _, d2, d3, _, loglog = row
+        assert d2 <= loglog + 2
+        assert d3 <= d2 + 1
+    # The separation widens: ratio at the largest n exceeds the smallest.
+    ratios = [row[1] / row[2] for row in table.rows]
+    assert ratios[-1] >= ratios[0]
+
+
+def test_e08_random_insert_throughput(benchmark, rng):
+    table = DChoiceTable(bins=65536, choices=2)
+    source = rng.spawn("balls")
+    benchmark(lambda: table.insert_random(source))
+
+
+def test_e08_keyed_insert_throughput(benchmark):
+    table = DChoiceTable(bins=65536, choices=2, prf=PRF(b"bench"))
+    counter = [0]
+
+    def insert():
+        counter[0] += 1
+        table.insert(counter[0].to_bytes(8, "big"))
+
+    benchmark(insert)

@@ -1,0 +1,62 @@
+"""E9 — Theorem 7.2 + Lemma 7.3: tree-bucket occupancy and super root."""
+
+from conftest import write_report
+
+from repro.analysis.tails import beta_sequence_closed_form
+from repro.hashing.tree_buckets import TreeBucketLayout, TreeOccupancySimulator
+from repro.simulation.experiments import experiment_e09_tree_hashing
+
+
+def test_e09_table():
+    table = experiment_e09_tree_hashing(sizes=(4096, 16384, 65536, 262144))
+    write_report(table)
+    print("\n" + table.to_text())
+    for row in table.rows:
+        n, buckets, nodes, super_root, phi, within, h0, beta0 = row
+        assert within is True
+        assert buckets >= n
+        assert nodes <= 3 * n           # O(n) server storage
+        assert h0 <= max(3 * beta0, 20)  # level occupancy dominated by beta
+
+
+def test_e09_level_occupancy_decays(rng):
+    n = 65536
+    layout = TreeBucketLayout.for_capacity(n)
+    simulator = TreeOccupancySimulator(layout)
+    source = rng.spawn("keys")
+    for _ in range(n):
+        simulator.insert_random(source)
+    occupancy = simulator.level_occupancy()
+    # Filled-node counts must collapse moving up the tree.
+    positive = [h for h in occupancy if h > 0]
+    assert occupancy[0] == max(occupancy)
+    assert sum(occupancy[2:]) <= occupancy[0] // 2 + 10
+    assert len(positive) <= len(occupancy)
+
+
+def test_e09_node_capacity_ablation(rng):
+    # Larger t pushes the spill probability down dramatically.
+    n = 16384
+    spills = []
+    for t in (1, 2, 4):
+        layout = TreeBucketLayout.for_capacity(n, node_capacity=t)
+        simulator = TreeOccupancySimulator(layout)
+        source = rng.spawn(f"t{t}")
+        for _ in range(n):
+            simulator.insert_random(source)
+        spills.append(simulator.super_root_load)
+    assert spills[0] >= spills[1] >= spills[2]
+    assert spills[2] == 0
+
+
+def test_e09_beta_sequence_consistency():
+    n = 262144
+    values = [beta_sequence_closed_form(n, level) for level in range(4)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_e09_insert_throughput(benchmark, rng):
+    layout = TreeBucketLayout.for_capacity(65536)
+    simulator = TreeOccupancySimulator(layout)
+    source = rng.spawn("balls")
+    benchmark(lambda: simulator.insert_random(source))

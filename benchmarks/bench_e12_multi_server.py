@@ -1,0 +1,61 @@
+"""E12 — Theorem C.1: multi-server DP-IR vs the t-fraction floor."""
+
+import math
+
+from conftest import write_report
+
+from repro.core.multi_server import MultiServerDPIR
+from repro.simulation.experiments import experiment_e12_multi_server
+from repro.storage.blocks import integer_database
+
+
+def test_e12_table():
+    table = experiment_e12_multi_server(n=2048, server_count=4, queries=400)
+    write_report(table)
+    print("\n" + table.to_text())
+    assert all(row[-1] is True for row in table.rows)
+    # Corrupted view scales with t; full corruption sees everything.
+    views = [row[4] for row in table.rows]
+    assert views == sorted(views)
+    totals = {row[3] for row in table.rows}
+    assert views[-1] <= max(totals) + 0.01
+
+
+def test_e12_t_one_collapses_to_single_server():
+    # With every server corrupted the bound equals Theorem 3.4's.
+    from repro.analysis.bounds import (
+        dp_ir_error_lower_bound,
+        multi_server_ir_lower_bound,
+    )
+
+    n, eps, alpha = 4096, 5.0, 0.05
+    multi = multi_server_ir_lower_bound(n, eps, alpha, t=1.0)
+    single = dp_ir_error_lower_bound(n + 1, eps, alpha)
+    assert math.isclose(multi, single, rel_tol=0.01)
+
+
+def test_e12_sharded_vs_replicated_storage(rng):
+    # Deployment trade: sharding keeps total storage at n (vs D*n) while
+    # preserving the single-server exact epsilon.
+    from repro.core.sharded_ir import ShardedDPIR
+    from repro.storage.blocks import integer_database
+
+    n, shards = 1024, 4
+    db = integer_database(n)
+    sharded = ShardedDPIR(db, shard_count=shards, pad_size=8, alpha=0.05,
+                          rng=rng.spawn("sharded"))
+    replicated = MultiServerDPIR(db, server_count=shards, pad_size=8,
+                                 alpha=0.05, rng=rng.spawn("replicated"))
+    assert sharded.total_storage_blocks() == n
+    replicated_storage = sum(s.capacity for s in replicated.pool)
+    assert replicated_storage == shards * n
+    assert sharded.epsilon == replicated.epsilon
+
+
+def test_e12_query_throughput(benchmark, rng):
+    n = 2048
+    scheme = MultiServerDPIR(integer_database(n), server_count=4,
+                             epsilon=math.log(n), alpha=0.05,
+                             rng=rng.spawn("scheme"))
+    source = rng.spawn("queries")
+    benchmark(lambda: scheme.query(source.randbelow(n)))

@@ -1,0 +1,90 @@
+"""Cross-scheme throughput at a common size (n = 4096).
+
+The per-experiment benches time each scheme in its own context; this file
+lines them all up at one database size so `--benchmark-compare` shows the
+library-wide picture in a single group.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.linear_pir import LinearScanPIR
+from repro.baselines.plaintext import PlaintextKVS, PlaintextRAM
+from repro.core.batch_ir import BatchDPIR
+from repro.core.dp_ir import DPIR
+from repro.core.dp_kvs import DPKVS
+from repro.core.dp_ram import DPRAM
+from repro.core.sharded_ir import ShardedDPIR
+from repro.storage.blocks import encode_int, integer_database
+
+N = 4096
+
+
+@pytest.fixture(scope="module")
+def database():
+    return integer_database(N)
+
+
+def test_throughput_plaintext_read(benchmark, rng, database):
+    scheme = PlaintextRAM(database)
+    source = rng.spawn("q")
+    benchmark(lambda: scheme.read(source.randbelow(N)))
+
+
+def test_throughput_dpir_query(benchmark, rng, database):
+    scheme = DPIR(database, epsilon=math.log(N), alpha=0.05,
+                  rng=rng.spawn("s"))
+    source = rng.spawn("q")
+    benchmark(lambda: scheme.query(source.randbelow(N)))
+
+
+def test_throughput_batch_dpir_8(benchmark, rng, database):
+    scheme = BatchDPIR(database, epsilon=math.log(N), alpha=0.05,
+                       rng=rng.spawn("s"))
+    source = rng.spawn("q")
+    benchmark(
+        lambda: scheme.query_batch([source.randbelow(N) for _ in range(8)])
+    )
+
+
+def test_throughput_sharded_dpir(benchmark, rng, database):
+    scheme = ShardedDPIR(database, shard_count=4, epsilon=math.log(N),
+                         alpha=0.05, rng=rng.spawn("s"))
+    source = rng.spawn("q")
+    benchmark(lambda: scheme.query(source.randbelow(N)))
+
+
+def test_throughput_dpram_read(benchmark, rng, database):
+    scheme = DPRAM(database, rng=rng.spawn("s"))
+    source = rng.spawn("q")
+    benchmark(lambda: scheme.read(source.randbelow(N)))
+
+
+def test_throughput_dpram_write(benchmark, rng, database):
+    scheme = DPRAM(database, rng=rng.spawn("s"))
+    source = rng.spawn("q")
+    payload = encode_int(1)
+    benchmark(lambda: scheme.write(source.randbelow(N), payload))
+
+
+def test_throughput_dpkvs_get(benchmark, rng):
+    scheme = DPKVS(N, rng=rng.spawn("s"))
+    for i in range(128):
+        scheme.put(f"key-{i}".encode(), b"value")
+    source = rng.spawn("q")
+    benchmark(lambda: scheme.get(f"key-{source.randbelow(128)}".encode()))
+
+
+def test_throughput_plaintext_kvs_get(benchmark, rng):
+    scheme = PlaintextKVS(N)
+    for i in range(128):
+        scheme.put(f"key-{i}".encode(), b"value")
+    source = rng.spawn("q")
+    benchmark(lambda: scheme.get(f"key-{source.randbelow(128)}".encode()))
+
+
+def test_throughput_linear_pir(benchmark, rng, database):
+    scheme = LinearScanPIR(database)
+    source = rng.spawn("q")
+    benchmark(lambda: scheme.query(source.randbelow(N)))

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every experiment bench does two things:
+
+* asserts the paper claim its table encodes (so ``pytest benchmarks/``
+  doubles as a claims regression suite), and
+* writes the rendered table to ``benchmarks/reports/`` for inspection.
+
+The timed portions use pytest-benchmark on a representative operation of
+the scheme under test.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.crypto.rng import SeededRandomSource
+
+REPORTS = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def reports_dir():
+    REPORTS.mkdir(exist_ok=True)
+    return REPORTS
+
+
+@pytest.fixture
+def rng():
+    return SeededRandomSource(0xBE9C)
+
+
+def write_report(table) -> None:
+    """Persist an ExperimentTable under benchmarks/reports/."""
+    REPORTS.mkdir(exist_ok=True)
+    path = REPORTS / f"{table.experiment.lower()}.txt"
+    path.write_text(table.to_text() + "\n")

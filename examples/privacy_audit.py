@@ -1,0 +1,76 @@
+"""Auditing privacy empirically: the strawman vs Algorithm 1.
+
+Section 4 warns that "simple and tempting" constructions can be completely
+insecure while looking private.  This example measures it:
+
+1. exact (ε, δ) from the closed forms of Appendix B,
+2. empirical δ̂ from sampled transcript distributions, and
+3. a concrete membership attack's success rate,
+
+for both the broken strawman and the real DP-IR at the same bandwidth.
+
+Run with::
+
+    python examples/privacy_audit.py
+"""
+
+from repro import DPIR, SeededRandomSource, StrawmanIR
+from repro.analysis.attacks import max_success_probability, membership_attack
+from repro.analysis.dp_ir_exact import (
+    dpir_exact_delta,
+    strawman_exact_delta,
+)
+from repro.analysis.estimators import estimate_delta
+from repro.simulation.reporting import format_table
+from repro.storage.blocks import integer_database
+
+# Small n keeps the transcript space small enough (C(16,2) = 120 sets)
+# that the plug-in delta estimator's one-sided sampling bias stays tiny.
+N = 16
+TRIALS = 8000
+
+rng = SeededRandomSource(99)
+database = integer_database(N)
+
+strawman = StrawmanIR(database, rng=rng.spawn("strawman"))
+dpir = DPIR(database, pad_size=2, alpha=0.25, rng=rng.spawn("dpir"))
+
+reference_eps = dpir.epsilon  # audit both at the same epsilon
+
+straw_delta_hat = estimate_delta(
+    lambda r: strawman.sample_query_set(0),
+    lambda r: strawman.sample_query_set(1),
+    epsilon=reference_eps, trials=TRIALS, rng=rng.spawn("audit-s"),
+)
+dpir_delta_hat = estimate_delta(
+    lambda r: dpir.sample_query_set(0),
+    lambda r: dpir.sample_query_set(1),
+    epsilon=reference_eps, trials=TRIALS, rng=rng.spawn("audit-d"),
+)
+
+straw_attack = membership_attack(strawman.sample_query_set, 0, 1, TRIALS,
+                                 rng.spawn("atk-s"))
+dpir_attack = membership_attack(dpir.sample_query_set, 0, 1, TRIALS,
+                                rng.spawn("atk-d"), epsilon=reference_eps)
+
+rows = [
+    ["strawman (Sec 4)", "~2",
+     round(strawman_exact_delta(N, reference_eps), 3),
+     round(straw_delta_hat, 3),
+     round(straw_attack.success_rate, 3)],
+    ["DP-IR (Alg 1)", dpir.pad_size,
+     round(dpir_exact_delta(N, dpir.pad_size, dpir.alpha, reference_eps), 3),
+     round(dpir_delta_hat, 3),
+     round(dpir_attack.success_rate, 3)],
+]
+print(format_table(
+    ["scheme", "blocks/query", "exact delta", "empirical delta",
+     "attack success"],
+    rows,
+    title=f"Audit at eps = {reference_eps:.2f}, n = {N} "
+          f"(attack ceiling {max_success_probability(reference_eps):.3f})",
+))
+print()
+print("Both schemes move ~2 blocks per query, but the strawman's delta is")
+print(f"(n-1)/n = {strawman_exact_delta(N, 0):.3f} — no privacy at all —")
+print("while Algorithm 1's delta is exactly 0 at its advertised epsilon.")

@@ -1,0 +1,74 @@
+"""Scenario: privately reporting ad impressions (the paper's motivation).
+
+The introduction motivates DP storage with systems such as private
+ad-impression reporting [30]: a heavily-trafficked server stores one
+record per campaign, clients fetch the record for the ad they just
+displayed, and the access pattern must not reveal which campaign a given
+client contributes to — but full obliviousness (PIR) would touch all n
+records per fetch, which no ad system can afford.
+
+This example serves a Zipf-distributed impression stream through three
+alternatives and reports cost and privacy side by side:
+
+* plaintext fetches      — 1 block/query,   every fetch leaked
+* DP-IR (Algorithm 1)    — K blocks/query,  eps = ln(n), alpha errors
+* linear-scan PIR        — n blocks/query,  perfect obliviousness
+
+Run with::
+
+    python examples/private_advertising.py
+"""
+
+import math
+
+from repro import DPIR, LinearScanPIR, PlaintextRAM, SeededRandomSource
+from repro.analysis.attacks import max_success_probability, membership_attack
+from repro.simulation.harness import run_ir_trace, run_ram_trace
+from repro.simulation.reporting import format_table
+from repro.storage.blocks import integer_database
+from repro.workloads.generators import zipf_trace
+
+CAMPAIGNS = 4096
+IMPRESSIONS = 500
+
+rng = SeededRandomSource(7)
+catalog = integer_database(CAMPAIGNS)
+impressions = zipf_trace(CAMPAIGNS, IMPRESSIONS, rng.spawn("traffic"),
+                         skew=1.1, name="ad-impressions")
+
+plain = PlaintextRAM(catalog)
+dpir = DPIR(catalog, epsilon=math.log(CAMPAIGNS), alpha=0.05,
+            rng=rng.spawn("dpir"))
+pir = LinearScanPIR(catalog)
+
+read_only = impressions  # all reads; reuse for the RAM-shaped baseline
+plain_metrics = run_ram_trace(plain, read_only, initial=catalog)
+dpir_metrics = run_ir_trace(dpir, impressions, expected=catalog)
+pir_metrics = run_ir_trace(pir, impressions, expected=catalog)
+
+attack = membership_attack(dpir.sample_query_set, 0, 1, trials=2000,
+                           rng=rng.spawn("attack"), epsilon=dpir.epsilon)
+
+rows = [
+    ["plaintext", plain_metrics.blocks_per_operation, "none",
+     "every fetch visible", 0.0],
+    ["DP-IR", dpir_metrics.blocks_per_operation,
+     f"eps={dpir.epsilon:.2f}",
+     f"attack success {attack.success_rate:.2f} "
+     f"(ceiling {max_success_probability(dpir.epsilon):.2f})",
+     dpir_metrics.error_rate],
+    ["linear PIR", pir_metrics.blocks_per_operation, "eps=0 (oblivious)",
+     "nothing visible", 0.0],
+]
+print(format_table(
+    ["scheme", "blocks/fetch", "privacy", "adversary", "error rate"],
+    rows,
+    title=f"Serving {IMPRESSIONS} impressions over {CAMPAIGNS} campaigns",
+))
+print()
+print(f"DP-IR costs {dpir_metrics.blocks_per_operation:.0f} blocks per fetch "
+      f"({pir_metrics.blocks_per_operation / dpir_metrics.blocks_per_operation:.0f}x "
+      f"cheaper than PIR) while hiding any individual impression up to "
+      f"eps = ln(n).")
+print("This is the paper's answer: with O(1) overhead, eps = Theta(log n) "
+      "is the best achievable privacy (Theorems 3.4 + 5.1).")

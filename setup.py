@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+builds; on offline machines without it, ``python setup.py develop`` keeps
+working through this shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — differentially private storage access with small overhead.
+
+A full reproduction of Patel, Persiano and Yeo, *"What Storage Access
+Privacy is Achievable with Small Overhead?"* (PODS 2019): the DP-IR,
+DP-RAM and DP-KVS constructions, the lower bounds they match, the
+oblivious two-choice hashing substrate, oblivious baselines (Path ORAM,
+linear PIR), and the privacy-audit machinery used to verify every claim
+empirically.
+
+Quickstart::
+
+    from repro import DPRAM
+    from repro.storage.blocks import integer_database
+
+    db = integer_database(1024)
+    ram = DPRAM(db)              # eps = O(log n), 3 blocks per query
+    value = ram.read(7)
+    ram.write(7, b"new".ljust(64, b"\\x00"))
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.analysis.datasheet import PrivacyDatasheet, datasheet_for
+from repro.analysis.ledger import BudgetExceededError, PrivacyLedger
+from repro.baselines import (
+    LinearScanPIR,
+    ORAMKeyValueStore,
+    PathORAM,
+    PlaintextKVS,
+    PlaintextRAM,
+    RecursivePathORAM,
+)
+from repro.core import (
+    BatchDPIR,
+    BucketDPRAM,
+    DPIR,
+    DPIRParams,
+    DPKVS,
+    DPKVSParams,
+    DPRAM,
+    DPRAMParams,
+    MultiServerDPIR,
+    ReadOnlyDPRAM,
+    ShardedDPIR,
+    StrawmanIR,
+)
+from repro.crypto import PRF, SeededRandomSource, SystemRandomSource
+from repro.storage import ServerPool, StorageServer, Transcript
+from repro.storage.network import LAN, MOBILE, WAN, NetworkModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchDPIR",
+    "BucketDPRAM",
+    "BudgetExceededError",
+    "DPIR",
+    "DPIRParams",
+    "DPKVS",
+    "DPKVSParams",
+    "DPRAM",
+    "DPRAMParams",
+    "LAN",
+    "LinearScanPIR",
+    "MOBILE",
+    "MultiServerDPIR",
+    "NetworkModel",
+    "ORAMKeyValueStore",
+    "PRF",
+    "PathORAM",
+    "PlaintextKVS",
+    "PlaintextRAM",
+    "PrivacyDatasheet",
+    "PrivacyLedger",
+    "ReadOnlyDPRAM",
+    "RecursivePathORAM",
+    "SeededRandomSource",
+    "ServerPool",
+    "ShardedDPIR",
+    "StorageServer",
+    "StrawmanIR",
+    "SystemRandomSource",
+    "Transcript",
+    "WAN",
+    "datasheet_for",
+]

@@ -1,0 +1,116 @@
+"""Bounds, exact privacy computations, empirical audits and attacks.
+
+This package is the measurement half of the reproduction:
+
+* :mod:`repro.analysis.bounds` — the paper's lower bounds (Theorems 3.3,
+  3.4, 3.7, C.1) as formulas, plus inversions ("what ε does a bandwidth
+  budget force?").
+* :mod:`repro.analysis.dp_ir_exact` — closed-form transcript probabilities
+  and exact (ε, δ) for Algorithm 1 and the Section 4 strawman (Appendix B).
+* :mod:`repro.analysis.dp_ram_exact` — exact DP-RAM transcript likelihoods
+  by chain factorization, likelihood ratios between adjacent sequences, and
+  the analytic ε upper bound from Lemmas 6.4/6.5 + 6.7.
+* :mod:`repro.analysis.estimators` — distribution-free Monte-Carlo
+  (ε̂, δ̂) estimation from sampled transcripts, for any scheme.
+* :mod:`repro.analysis.attacks` — likelihood-ratio distinguishers and the
+  hypothesis-testing interpretation of (ε, δ).
+* :mod:`repro.analysis.tails` — Chernoff bounds (Theorem A.2), the
+  β-sequence of Lemma 7.3, and the stash bound of Lemma D.1.
+* :mod:`repro.analysis.composition` — DP composition for multi-query
+  accounting.
+"""
+
+from repro.analysis.bounds import (
+    dp_ir_error_lower_bound,
+    dp_ir_errorless_lower_bound,
+    dp_ram_lower_bound,
+    min_epsilon_for_ir_bandwidth,
+    min_epsilon_for_ram_bandwidth,
+    multi_server_ir_lower_bound,
+)
+from repro.analysis.composition import (
+    advanced_composition_epsilon,
+    basic_composition,
+)
+from repro.analysis.dp_ir_exact import (
+    dpir_exact_delta,
+    dpir_transcript_probability,
+    strawman_exact_delta,
+    strawman_transcript_probability,
+)
+from repro.analysis.datasheet import PrivacyDatasheet, datasheet_for
+from repro.analysis.dp_ram_exact import (
+    dp_ram_analytic_epsilon,
+    sample_transcript_pairs,
+    transcript_log_likelihood,
+    transcript_log_ratio,
+    worst_case_log_ratio_exact,
+)
+from repro.analysis.ledger import (
+    BudgetExceededError,
+    BudgetReport,
+    PrivacyLedger,
+)
+from repro.analysis.sweeps import (
+    dp_kvs_capacity_plan,
+    dp_ram_stash_tradeoff,
+    ir_privacy_frontier,
+    oram_crossover_bandwidth,
+    ram_privacy_frontier,
+)
+from repro.analysis.estimators import (
+    PrivacyEstimate,
+    estimate_delta,
+    estimate_epsilon,
+)
+from repro.analysis.attacks import (
+    AttackResult,
+    max_success_probability,
+    membership_attack,
+)
+from repro.analysis.tails import (
+    beta_sequence,
+    beta_sequence_closed_form,
+    chernoff_tail,
+    stash_overflow_bound,
+)
+
+__all__ = [
+    "AttackResult",
+    "BudgetExceededError",
+    "BudgetReport",
+    "PrivacyDatasheet",
+    "PrivacyEstimate",
+    "PrivacyLedger",
+    "advanced_composition_epsilon",
+    "basic_composition",
+    "beta_sequence",
+    "beta_sequence_closed_form",
+    "chernoff_tail",
+    "datasheet_for",
+    "dp_ir_error_lower_bound",
+    "dp_ir_errorless_lower_bound",
+    "dp_kvs_capacity_plan",
+    "dp_ram_analytic_epsilon",
+    "dp_ram_lower_bound",
+    "dp_ram_stash_tradeoff",
+    "dpir_exact_delta",
+    "dpir_transcript_probability",
+    "estimate_delta",
+    "estimate_epsilon",
+    "ir_privacy_frontier",
+    "max_success_probability",
+    "membership_attack",
+    "min_epsilon_for_ir_bandwidth",
+    "min_epsilon_for_ram_bandwidth",
+    "multi_server_ir_lower_bound",
+    "oram_crossover_bandwidth",
+    "ram_privacy_frontier",
+    "sample_transcript_pairs",
+    "stash_overflow_bound",
+    "strawman_exact_delta",
+    "strawman_transcript_probability",
+    "transcript_log_likelihood",
+    "transcript_log_ratio",
+    "worst_case_log_ratio_exact",
+]

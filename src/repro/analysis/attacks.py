@@ -1,0 +1,107 @@
+"""Distinguishing attacks — the adversary's side of the DP guarantee.
+
+(ε, δ)-DP has a hypothesis-testing reading: an adversary shown a transcript
+from one of two adjacent sequences (fair coin) guesses correctly with
+probability at most ``1 − (1−δ)/(2·e^ε)``.  The membership attack below is
+the natural test for set-shaped IR transcripts — guess the query whose
+block appears in the download set — and it demolishes the Section 4
+strawman (success → 1) while staying under the bound against Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.crypto.rng import RandomSource
+
+SetSampler = Callable[[int], frozenset[int]]
+"""Samples a download set for the given query index."""
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of a distinguishing experiment.
+
+    Attributes:
+        success_rate: fraction of correct guesses.
+        advantage: ``success_rate − 1/2``.
+        bound: the (ε, δ)-DP ceiling on success, if parameters were given.
+        trials: number of experiment repetitions.
+    """
+
+    success_rate: float
+    advantage: float
+    bound: float | None
+    trials: int
+
+
+def max_success_probability(epsilon: float, delta: float = 0.0) -> float:
+    """The hypothesis-testing ceiling ``1 − (1−δ)/(2·e^ε)``.
+
+    Derivation: success = ½·(P₁[A] + 1 − P₂[A]) with P₁[A] ≤ min(1,
+    e^ε·P₂[A] + δ); optimizing over P₂[A] gives the stated bound.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must be in [0, 1], got {delta}")
+    return 1.0 - (1.0 - delta) / (2.0 * math.exp(epsilon))
+
+
+def membership_attack(
+    sampler: SetSampler,
+    query_a: int,
+    query_b: int,
+    trials: int,
+    rng: RandomSource,
+    epsilon: float | None = None,
+    delta: float = 0.0,
+) -> AttackResult:
+    """Run the membership distinguisher between two candidate queries.
+
+    Each trial flips a fair coin to pick the real query, samples its
+    download set, and guesses:
+
+    * the candidate that is in the set when exactly one is,
+    * uniformly at random otherwise.
+
+    Args:
+        sampler: draws a download set for a query (e.g.
+            ``scheme.sample_query_set``).
+        query_a: first candidate index.
+        query_b: second candidate index.
+        trials: experiment repetitions.
+        rng: randomness source (drives both the coin and the guesses).
+        epsilon: optional ε for reporting the DP ceiling alongside.
+        delta: optional δ for the ceiling.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if query_a == query_b:
+        raise ValueError("candidates must differ")
+    correct = 0
+    for _ in range(trials):
+        truth_is_a = rng.random() < 0.5
+        download_set = sampler(query_a if truth_is_a else query_b)
+        a_in = query_a in download_set
+        b_in = query_b in download_set
+        if a_in and not b_in:
+            guess_a = True
+        elif b_in and not a_in:
+            guess_a = False
+        else:
+            guess_a = rng.random() < 0.5
+        if guess_a == truth_is_a:
+            correct += 1
+    success = correct / trials
+    bound = (
+        max_success_probability(epsilon, delta) if epsilon is not None else None
+    )
+    return AttackResult(
+        success_rate=success,
+        advantage=success - 0.5,
+        bound=bound,
+        trials=trials,
+    )

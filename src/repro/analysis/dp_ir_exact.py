@@ -1,0 +1,156 @@
+"""Exact transcript probabilities for DP-IR and the strawman (Appendix B).
+
+Algorithm 1's transcript on query ``i`` is a uniformly random ``K``-subset
+``T`` of ``[n]``, with ``i`` forced into ``T`` on the probability-``(1−α)``
+success branch:
+
+* ``Pr[T | i ∈ T] = (1−α)/C(n−1, K−1) + α/C(n, K)``
+* ``Pr[T | i ∉ T] = α/C(n, K)``
+
+From these the exact privacy parameters follow in closed form, and the
+strawman's catastrophic ``δ = (n−1)/n`` (Section 4) drops out of the same
+event algebra.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import dp_ir_exact_epsilon
+
+
+def _binomial(n: int, k: int) -> int:
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def dpir_transcript_probability(
+    n: int, pad_size: int, alpha: float, query: int, subset: frozenset[int]
+) -> float:
+    """Exact probability that Algorithm 1 on ``query`` downloads ``subset``.
+
+    Raises:
+        ValueError: on malformed parameters or subsets of the wrong size.
+    """
+    _check_common(n, alpha)
+    if not 1 <= pad_size <= n:
+        raise ValueError(f"pad size must be in [1, {n}], got {pad_size}")
+    if not 0 <= query < n:
+        raise ValueError(f"query {query} out of range for n={n}")
+    if len(subset) != pad_size:
+        return 0.0
+    if any(not 0 <= member < n for member in subset):
+        raise ValueError("subset contains out-of-range indices")
+    uniform = 1.0 / _binomial(n, pad_size)
+    if query in subset:
+        forced = 1.0 / _binomial(n - 1, pad_size - 1)
+        return (1.0 - alpha) * forced + alpha * uniform
+    return alpha * uniform
+
+
+def dpir_exact_delta(n: int, pad_size: int, alpha: float, epsilon: float) -> float:
+    """The minimal δ such that Algorithm 1 is (ε, δ)-DP at the given ε.
+
+    The transcript space partitions by membership of the two differing
+    queries ``q ≠ q'``; only the class "``q`` in, ``q'`` out" can violate
+    the ε constraint, giving::
+
+        δ(ε) = C(n−2, K−1) · max(0, p_in − e^ε · p_out)
+
+    In particular δ(ε) = 0 exactly when ``ε ≥ ln((1−α)n/(αK)+1)`` — the
+    exact budget of :func:`repro.core.params.dp_ir_exact_epsilon`.
+    """
+    _check_common(n, alpha)
+    if not 1 <= pad_size <= n:
+        raise ValueError(f"pad size must be in [1, {n}], got {pad_size}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if n < 2 or pad_size == n:
+        return 0.0
+    p_in = (1.0 - alpha) / _binomial(n - 1, pad_size - 1) + alpha / _binomial(
+        n, pad_size
+    )
+    p_out = alpha / _binomial(n, pad_size)
+    violating_sets = _binomial(n - 2, pad_size - 1)
+    return violating_sets * max(0.0, p_in - math.exp(epsilon) * p_out)
+
+
+def dpir_membership_probabilities(
+    n: int, pad_size: int, alpha: float
+) -> tuple[float, float]:
+    """``(Pr[B_q ∈ T | query q], Pr[B_q ∈ T | query q' ≠ q])``.
+
+    The pair that drives both the lower bound (Theorem 3.4) and the
+    membership attack.
+    """
+    _check_common(n, alpha)
+    if not 1 <= pad_size <= n:
+        raise ValueError(f"pad size must be in [1, {n}], got {pad_size}")
+    own = (1.0 - alpha) + alpha * pad_size / n
+    if n == 1:
+        return own, own
+    other = (1.0 - alpha) * (pad_size - 1) / (n - 1) + alpha * pad_size / n
+    return own, other
+
+
+def strawman_transcript_probability(
+    n: int, query: int, subset: frozenset[int]
+) -> float:
+    """Exact probability the Section 4 strawman downloads ``subset``.
+
+    The real block is always present; every other block joins
+    independently with probability ``1/n``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0 <= query < n:
+        raise ValueError(f"query {query} out of range for n={n}")
+    if query not in subset:
+        return 0.0
+    if any(not 0 <= member < n for member in subset):
+        raise ValueError("subset contains out-of-range indices")
+    noise = 1.0 / n
+    extras = len(subset) - 1
+    absent = (n - 1) - extras
+    return noise**extras * (1.0 - noise) ** absent
+
+
+def strawman_exact_delta(n: int, epsilon: float) -> float:
+    """The minimal δ for the strawman at any ε — Section 4's failure.
+
+    The event "``B_q`` was downloaded but ``B_q'`` was not" has probability
+    ``(1 − 1/n)`` under query ``q`` and 0 under query ``q'``, so
+    ``δ ≥ 1 − 1/n`` for *every* ε: the scheme provides no privacy.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    return 1.0 - 1.0 / n
+
+
+def dpir_expected_bandwidth(n: int, pad_size: int) -> float:
+    """Blocks moved per query — exactly ``K`` (the set always has size K)."""
+    if not 1 <= pad_size <= n:
+        raise ValueError(f"pad size must be in [1, {n}], got {pad_size}")
+    return float(pad_size)
+
+
+def strawman_expected_bandwidth(n: int) -> float:
+    """Expected blocks per strawman query: ``1 + (n−1)/n < 2``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return 1.0 + (n - 1) / n
+
+
+def dpir_epsilon(n: int, pad_size: int, alpha: float) -> float:
+    """Re-export of the exact budget for convenience in experiments."""
+    return dp_ir_exact_epsilon(n, pad_size, alpha)
+
+
+def _check_common(n: int, alpha: float) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")

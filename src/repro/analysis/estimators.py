@@ -1,0 +1,143 @@
+"""Distribution-free Monte-Carlo privacy estimation.
+
+For schemes without closed-form transcript probabilities (or to
+cross-check the closed forms), sample transcripts under two adjacent query
+sequences, build empirical distributions over transcript signatures, and
+estimate:
+
+* ``ε̂`` — the largest log-ratio of empirical probabilities over observed
+  signatures (a noisy *lower* indication of the true ε; smoothing keeps
+  unobserved-mass artifacts from producing infinities);
+* ``δ̂(ε)`` — the empirical unaccounted mass
+  ``Σ_T max(0, P̂₁(T) − e^ε·P̂₂(T))``, the plug-in estimator of the minimal
+  δ at a given ε.
+
+These estimators are deliberately simple and conservative; they are used
+to *demonstrate separations* (strawman vs DP-IR in E4) and to sanity-check
+the exact calculators, not to certify privacy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.crypto.rng import RandomSource
+
+TranscriptSampler = Callable[[RandomSource], Hashable]
+"""Draws one transcript signature; must be hashable."""
+
+
+@dataclass(frozen=True)
+class PrivacyEstimate:
+    """Result of an empirical privacy audit.
+
+    Attributes:
+        epsilon_hat: largest smoothed empirical log-ratio observed.
+        delta_hat: empirical δ at the requested reference ε
+            (``None`` if no reference ε was given).
+        reference_epsilon: the ε that ``delta_hat`` was computed at.
+        trials: samples drawn per side.
+        support: distinct transcript signatures observed across both sides.
+    """
+
+    epsilon_hat: float
+    delta_hat: float | None
+    reference_epsilon: float | None
+    trials: int
+    support: int
+
+
+def estimate_epsilon(
+    sampler_a: TranscriptSampler,
+    sampler_b: TranscriptSampler,
+    trials: int,
+    rng: RandomSource,
+    smoothing: float = 1.0,
+    reference_epsilon: float | None = None,
+) -> PrivacyEstimate:
+    """Audit a pair of transcript distributions.
+
+    Args:
+        sampler_a: transcript sampler under the first query sequence.
+        sampler_b: transcript sampler under the adjacent sequence.
+        trials: samples per side.
+        rng: randomness source for sampling.
+        smoothing: add-γ smoothing applied to both histograms, which keeps
+            signatures observed on only one side from yielding ∞.
+        reference_epsilon: if given, also estimate δ at this ε.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if smoothing < 0:
+        raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+    histogram_a = _histogram(sampler_a, trials, rng)
+    histogram_b = _histogram(sampler_b, trials, rng)
+    support = set(histogram_a) | set(histogram_b)
+    denominator = trials + smoothing * max(len(support), 1)
+
+    epsilon_hat = 0.0
+    for signature in support:
+        p_a = (histogram_a.get(signature, 0) + smoothing) / denominator
+        p_b = (histogram_b.get(signature, 0) + smoothing) / denominator
+        ratio = abs(math.log(p_a / p_b))
+        if ratio > epsilon_hat:
+            epsilon_hat = ratio
+
+    delta_hat = None
+    if reference_epsilon is not None:
+        delta_hat = _delta_from_histograms(
+            histogram_a, histogram_b, trials, reference_epsilon
+        )
+    return PrivacyEstimate(
+        epsilon_hat=epsilon_hat,
+        delta_hat=delta_hat,
+        reference_epsilon=reference_epsilon,
+        trials=trials,
+        support=len(support),
+    )
+
+
+def estimate_delta(
+    sampler_a: TranscriptSampler,
+    sampler_b: TranscriptSampler,
+    epsilon: float,
+    trials: int,
+    rng: RandomSource,
+) -> float:
+    """Plug-in estimate of the minimal δ at ``epsilon`` (both directions)."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    histogram_a = _histogram(sampler_a, trials, rng)
+    histogram_b = _histogram(sampler_b, trials, rng)
+    forward = _delta_from_histograms(histogram_a, histogram_b, trials, epsilon)
+    backward = _delta_from_histograms(histogram_b, histogram_a, trials, epsilon)
+    return max(forward, backward)
+
+
+def _histogram(
+    sampler: TranscriptSampler, trials: int, rng: RandomSource
+) -> dict[Hashable, int]:
+    histogram: dict[Hashable, int] = {}
+    for _ in range(trials):
+        signature = sampler(rng)
+        histogram[signature] = histogram.get(signature, 0) + 1
+    return histogram
+
+
+def _delta_from_histograms(
+    histogram_a: dict[Hashable, int],
+    histogram_b: dict[Hashable, int],
+    trials: int,
+    epsilon: float,
+) -> float:
+    scale = math.exp(epsilon)
+    excess = 0.0
+    for signature, count_a in histogram_a.items():
+        p_a = count_a / trials
+        p_b = histogram_b.get(signature, 0) / trials
+        excess += max(0.0, p_a - scale * p_b)
+    return excess

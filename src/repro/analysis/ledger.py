@@ -1,0 +1,143 @@
+"""Privacy budget accounting across query sequences.
+
+Differentially private *access* composes like any DP mechanism: issuing
+``k`` queries against an ε-DP storage scheme is (k·ε)-DP with respect to
+the whole sequence, or ``(ε·√(2k ln 1/δ') + kε(e^ε−1), δ')``-DP under
+advanced composition.  The paper leans on this in the Theorem 7.1 proof
+("by the composition theorem...").
+
+:class:`PrivacyLedger` gives applications a running account: charge each
+query as it happens, read off the cumulative budget, and check it against
+a cap.  Because the schemes here live in the ε = Θ(log n) regime, basic
+composition is essentially always the binding total (see
+:func:`repro.analysis.composition.best_composition_epsilon`), but the
+ledger reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.composition import advanced_composition_epsilon
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Cumulative privacy spend.
+
+    Attributes:
+        queries: number of charged queries.
+        basic_epsilon: total ε under basic composition.
+        basic_delta: total δ under basic composition.
+        advanced_epsilon: total ε under advanced composition at the
+            ledger's ``delta_slack`` (``None`` when no queries charged).
+    """
+
+    queries: int
+    basic_epsilon: float
+    basic_delta: float
+    advanced_epsilon: float | None
+
+
+class PrivacyLedger:
+    """Running (ε, δ) account for a sequence of storage queries.
+
+    Args:
+        epsilon_cap: optional hard budget; :meth:`charge` raises
+            :class:`BudgetExceededError` when basic-composition ε would
+            pass it.
+        delta_slack: the δ' used when reporting advanced composition.
+    """
+
+    def __init__(
+        self,
+        epsilon_cap: float | None = None,
+        delta_slack: float = 1e-9,
+    ) -> None:
+        if epsilon_cap is not None and epsilon_cap < 0:
+            raise ValueError(f"epsilon cap must be >= 0, got {epsilon_cap}")
+        if not 0.0 < delta_slack < 1.0:
+            raise ValueError(
+                f"delta_slack must be in (0, 1), got {delta_slack}"
+            )
+        self._cap = epsilon_cap
+        self._delta_slack = delta_slack
+        self._epsilon_total = 0.0
+        self._delta_total = 0.0
+        self._uniform_epsilon: float | None = None
+        self._uniform = True
+        self._queries = 0
+
+    @property
+    def queries(self) -> int:
+        """Queries charged so far."""
+        return self._queries
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Basic-composition ε spent so far."""
+        return self._epsilon_total
+
+    @property
+    def delta_spent(self) -> float:
+        """Basic-composition δ spent so far."""
+        return self._delta_total
+
+    def remaining(self) -> float | None:
+        """Budget left under the cap (``None`` when uncapped)."""
+        if self._cap is None:
+            return None
+        return max(0.0, self._cap - self._epsilon_total)
+
+    def can_afford(self, epsilon: float) -> bool:
+        """Whether one more ``epsilon``-query fits under the cap."""
+        if self._cap is None:
+            return True
+        return self._epsilon_total + epsilon <= self._cap + 1e-12
+
+    def charge(self, epsilon: float, delta: float = 0.0) -> None:
+        """Record one query against the budget.
+
+        Raises:
+            BudgetExceededError: if a cap is set and would be exceeded.
+            ValueError: on negative parameters.
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        if not 0.0 <= delta <= 1.0:
+            raise ValueError(f"delta must be in [0, 1], got {delta}")
+        if not self.can_afford(epsilon):
+            raise BudgetExceededError(
+                f"charging eps={epsilon:.4f} would exceed the cap "
+                f"{self._cap:.4f} (spent {self._epsilon_total:.4f})"
+            )
+        self._epsilon_total += epsilon
+        self._delta_total += delta
+        self._queries += 1
+        if self._uniform_epsilon is None:
+            self._uniform_epsilon = epsilon
+        elif self._uniform_epsilon != epsilon:
+            self._uniform = False
+
+    def report(self) -> BudgetReport:
+        """Summarize the spend under both composition theorems.
+
+        Advanced composition is only well-defined for uniform per-query ε;
+        for mixed charges the report falls back to the largest per-query ε
+        (a valid upper bound).
+        """
+        advanced = None
+        if self._queries > 0 and self._uniform and self._uniform_epsilon is not None:
+            advanced = advanced_composition_epsilon(
+                self._uniform_epsilon, self._queries, self._delta_slack
+            )
+        return BudgetReport(
+            queries=self._queries,
+            basic_epsilon=self._epsilon_total,
+            basic_delta=self._delta_total,
+            advanced_epsilon=advanced,
+        )
+
+
+class BudgetExceededError(Exception):
+    """A charge would push the ledger past its ε cap."""

@@ -1,0 +1,106 @@
+"""Tail bounds and the β-sequence (Appendix A.2, Lemmas 7.3 and D.1).
+
+These are the quantitative predictions the concentration experiments check:
+
+* Theorem A.2's Chernoff bound for binomial tails;
+* Lemma D.1's stash-overflow bound for the DP-RAM client;
+* Lemma 7.3's β-sequence, which dominates the number of filled nodes per
+  level in the tree-bucket structure (Lemma 7.4 / Theorem 7.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chernoff_tail(mu: float, threshold: float) -> float:
+    """Theorem A.2: ``Pr[X ≥ t] ≤ (μ/t)^t · e^{t−μ}`` for ``t ≥ μ``.
+
+    Returns 1.0 for thresholds below the mean (the bound is vacuous there).
+    """
+    if mu < 0:
+        raise ValueError(f"mu must be non-negative, got {mu}")
+    if threshold <= 0:
+        return 1.0
+    if threshold < mu:
+        return 1.0
+    if mu == 0:
+        return 0.0
+    log_bound = threshold * math.log(mu / threshold) + threshold - mu
+    return min(1.0, math.exp(log_bound))
+
+
+def chernoff_e_mu(mu: float) -> float:
+    """The ``t = e·μ`` corollary of Theorem A.2: ``Pr[X ≥ e·μ] ≤ e^{−μ}``."""
+    if mu < 0:
+        raise ValueError(f"mu must be non-negative, got {mu}")
+    return math.exp(-mu)
+
+
+def stash_overflow_bound(expected: float, slack: float) -> float:
+    """Lemma D.1: ``Pr[stash > (1+slack)·c] ≤ exp(−c·slack²/(2+slack))``.
+
+    Args:
+        expected: the expected stash size ``c = p·n``.
+        slack: the relative overshoot ``δ > 0``.
+    """
+    if expected < 0:
+        raise ValueError(f"expected size must be non-negative, got {expected}")
+    if slack <= 0:
+        raise ValueError(f"slack must be positive, got {slack}")
+    return math.exp(-expected * slack * slack / (2.0 + slack))
+
+
+def beta_sequence(n: int, levels: int) -> list[float]:
+    """The recurrence of Theorem 7.2: ``β₀ = n/(e·3⁴)``,
+    ``β_{i+1} = (e/n)·β_i²·2^{2(i+1)}``.
+
+    ``β_i`` dominates (w.h.p.) the number of completely-filled nodes at
+    height ``i`` during the insertion of ``n`` keys.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if levels < 0:
+        raise ValueError(f"levels must be non-negative, got {levels}")
+    sequence = [n / (math.e * 81.0)]
+    for level in range(levels):
+        nxt = (math.e / n) * sequence[-1] ** 2 * 2.0 ** (2 * (level + 1))
+        sequence.append(nxt)
+    return sequence
+
+
+def beta_sequence_closed_form(n: int, level: int) -> float:
+    """Lemma 7.3's closed form:
+    ``β_i = (n/e)·(2/3)^{2^{i+2}}·(1/2)^{2(i+2)}``.
+
+    Agrees with :func:`beta_sequence` term by term (verified by tests),
+    and makes the doubly-exponential decay explicit — which is why the
+    structure only needs ``Θ(log log n)`` levels.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if level < 0:
+        raise ValueError(f"level must be non-negative, got {level}")
+    return (
+        (n / math.e)
+        * (2.0 / 3.0) ** (2 ** (level + 2))
+        * 0.5 ** (2 * (level + 2))
+    )
+
+
+def super_root_level(n: int, phi: float) -> int:
+    """The cutoff ``i⋆``: the largest level with ``β_{i⋆} ≥ Φ(n)``.
+
+    Theorem 7.2's proof shows levels above ``i⋆`` hold fewer than ``Φ(n)``
+    keys w.h.p., so ``i⋆ = Θ(log log n)`` bounds the useful tree depth.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if phi <= 0:
+        raise ValueError(f"phi must be positive, got {phi}")
+    level = 0
+    while beta_sequence_closed_form(n, level + 1) >= phi:
+        level += 1
+        if level > 64:  # β decays doubly exponentially; this cannot trigger
+            break
+    return level

@@ -1,0 +1,36 @@
+"""Comparator schemes.
+
+The paper's headline is a *gap*: constant (or ``log log n``) overhead with
+``ε = Θ(log n)`` privacy versus the ``Ω(log n)`` overhead any oblivious
+scheme must pay.  These baselines realize the other side of that gap:
+
+* :class:`~repro.baselines.plaintext.PlaintextRAM` /
+  :class:`~repro.baselines.plaintext.PlaintextKVS` — no privacy, overhead 1
+  (the denominator of every overhead figure).
+* :class:`~repro.baselines.linear_pir.LinearScanPIR` — the trivial
+  errorless oblivious IR that touches all ``n`` records, matching the
+  Theorem 3.3 bound exactly.
+* :class:`~repro.baselines.path_oram.PathORAM` — Path ORAM [48], the
+  standard ``O(log n)``-overhead oblivious RAM.
+* :class:`~repro.baselines.recursive_oram.RecursivePathORAM` — position
+  maps outsourced recursively, the small-client / Θ(log n)-roundtrips
+  regime the paper contrasts with DP-RAM's O(1) roundtrips ([50]).
+* :class:`~repro.baselines.oram_kvs.ORAMKeyValueStore` — an oblivious KVS
+  built on Path ORAM, the "exponentially worse than ``log log n``"
+  comparator of Theorem 7.5's discussion.
+"""
+
+from repro.baselines.linear_pir import LinearScanPIR
+from repro.baselines.oram_kvs import ORAMKeyValueStore
+from repro.baselines.path_oram import PathORAM
+from repro.baselines.plaintext import PlaintextKVS, PlaintextRAM
+from repro.baselines.recursive_oram import RecursivePathORAM
+
+__all__ = [
+    "LinearScanPIR",
+    "ORAMKeyValueStore",
+    "PathORAM",
+    "PlaintextKVS",
+    "PlaintextRAM",
+    "RecursivePathORAM",
+]

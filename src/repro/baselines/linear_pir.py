@@ -1,0 +1,65 @@
+"""Trivial linear-scan PIR.
+
+The simplest errorless oblivious IR: download (equivalently, have the
+server operate on) every record for every query.  Theorem 3.3 shows any
+errorless ``(ε, δ)``-DP-IR must do ``(1−δ)·n`` operations *regardless of
+ε*, so this scheme is asymptotically optimal for the errorless setting —
+which is exactly why the paper pivots to schemes with error ``α > 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.storage.errors import RetrievalError
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+
+class LinearScanPIR:
+    """Errorless, perfectly oblivious IR: every query touches all ``n``."""
+
+    def __init__(self, blocks: Sequence[bytes]) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        self._n = len(blocks)
+        self._server = StorageServer(self._n)
+        self._server.load(blocks)
+        self._queries = 0
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._n
+
+    @property
+    def epsilon(self) -> float:
+        """Perfect obliviousness: ``ε = 0``."""
+        return 0.0
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive server (exposes operation counters)."""
+        return self._server
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries issued so far."""
+        return self._queries
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the adversary view (identical for every query)."""
+        self._server.attach_transcript(transcript)
+
+    def query(self, index: int) -> bytes:
+        """Retrieve record ``index`` by scanning the whole database."""
+        if not 0 <= index < self._n:
+            raise RetrievalError(f"index {index} out of range for n={self._n}")
+        self._server.begin_query(self._queries)
+        self._queries += 1
+        result = b""
+        for slot in range(self._n):
+            block = self._server.read(slot)
+            if slot == index:
+                result = block
+        return result

@@ -1,0 +1,184 @@
+"""Oblivious key-value storage built on Path ORAM.
+
+The pre-DP-KVS state of the art the paper compares against (Theorem 7.5's
+"exponentially better than any previous oblivious KVS scheme built from
+ORAMs"): hash each key into one of ``m`` fixed buckets, store each bucket
+as one ORAM block, and access buckets through Path ORAM.
+
+With ``m = n`` buckets holding ``n`` keys, the maximum bucket load is
+``Θ(log n / log log n)`` w.h.p., so each ORAM block must be sized for that
+many entries and every operation moves ``2·Z·(L+1)`` such blocks — a
+``Θ(log n)`` block overhead with ``Θ(log n / log log n)``-entry blocks,
+versus DP-KVS's ``Θ(log log n)`` node blocks of constant capacity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.prf import PRF
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.baselines.path_oram import PathORAM
+from repro.hashing.node_codec import NodeCodec, NodeEntry
+from repro.storage.errors import CapacityError
+from repro.storage.server import StorageServer
+
+
+def default_bucket_capacity(buckets: int) -> int:
+    """Worst-case one-choice load: ``⌈3·ln m / ln ln m⌉ + 2``.
+
+    A concrete ``Θ(log m / log log m)`` sized so overflow is negligible at
+    the experiment scales; the ORAM-KVS counts overflows (expected zero).
+    """
+    if buckets <= 0:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    ln_m = math.log(max(buckets, 3))
+    return math.ceil(3.0 * ln_m / math.log(max(ln_m, math.e))) + 2
+
+
+class ORAMKeyValueStore:
+    """Oblivious KVS: PRF bucketing + Path ORAM transport.
+
+    Args:
+        capacity: maximum number of keys (``n``).
+        key_size: exact key length in bytes (shorter keys zero-padded).
+        value_size: exact value length in bytes.
+        bucket_capacity: entries per bucket; defaults to the one-choice
+            worst case :func:`default_bucket_capacity`.
+        rng: randomness source.
+        prf: PRF for bucket selection.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        key_size: int = 16,
+        value_size: int = 32,
+        bucket_capacity: int | None = None,
+        rng: RandomSource | None = None,
+        prf: PRF | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._buckets = capacity
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._prf = prf if prf is not None else PRF(self._rng.bytes(32))
+        slots = (
+            default_bucket_capacity(self._buckets)
+            if bucket_capacity is None
+            else bucket_capacity
+        )
+        if slots <= 0:
+            raise ValueError(f"bucket capacity must be positive, got {slots}")
+        self._codec = NodeCodec(
+            capacity=slots, key_size=key_size, value_size=value_size
+        )
+        empty = self._codec.empty()
+        self._oram = PathORAM(
+            [empty] * self._buckets, rng=self._rng.spawn("oram")
+        )
+        self._size = 0
+        self._overflows = 0
+        self._operations = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of keys."""
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Number of keys stored."""
+        return self._size
+
+    @property
+    def bucket_capacity(self) -> int:
+        """Entries per bucket — the ``Θ(log n / log log n)`` sizing."""
+        return self._codec.capacity
+
+    @property
+    def bucket_block_size(self) -> int:
+        """Bytes per ORAM block (one serialized bucket)."""
+        return self._codec.block_size
+
+    @property
+    def oram(self) -> PathORAM:
+        """The underlying Path ORAM."""
+        return self._oram
+
+    @property
+    def server(self) -> StorageServer:
+        """The ORAM's slot server (exposes operation counters)."""
+        return self._oram.server
+
+    @property
+    def overflow_count(self) -> int:
+        """Bucket overflow events (expected zero at the default sizing)."""
+        return self._overflows
+
+    @property
+    def operation_count(self) -> int:
+        """Completed operations."""
+        return self._operations
+
+    def blocks_per_operation(self) -> int:
+        """Bucket blocks moved per KVS operation."""
+        return self._oram.blocks_per_access()
+
+    # -- the KVS interface ------------------------------------------------------
+
+    def get(self, user_key: bytes) -> bytes | None:
+        """Retrieve ``user_key``; ``None`` if absent (⊥)."""
+        key = self._codec.normalize_key(user_key)
+        bucket = self._bucket_for(key)
+        entries = self._codec.unpack(self._oram.read(bucket))
+        self._operations += 1
+        for entry in entries:
+            if entry.key == key:
+                return entry.value
+        return None
+
+    def put(self, user_key: bytes, user_value: bytes) -> None:
+        """Insert or update ``user_key``.
+
+        Raises:
+            CapacityError: if the target bucket is full (counted in
+                :attr:`overflow_count` before raising).
+        """
+        key = self._codec.normalize_key(user_key)
+        value = self._codec.normalize_value(user_value)
+        bucket = self._bucket_for(key)
+        entries = self._codec.unpack(self._oram.read(bucket))
+        self._operations += 1
+        for position, entry in enumerate(entries):
+            if entry.key == key:
+                entries[position] = NodeEntry(key, value)
+                self._oram.write(bucket, self._codec.pack(entries))
+                return
+        if len(entries) >= self._codec.capacity:
+            self._overflows += 1
+            raise CapacityError(
+                f"bucket {bucket} full at capacity {self._codec.capacity}"
+            )
+        entries.append(NodeEntry(key, value))
+        self._size += 1
+        self._oram.write(bucket, self._codec.pack(entries))
+
+    def delete(self, user_key: bytes) -> bool:
+        """Remove ``user_key``; returns whether it existed."""
+        key = self._codec.normalize_key(user_key)
+        bucket = self._bucket_for(key)
+        entries = self._codec.unpack(self._oram.read(bucket))
+        self._operations += 1
+        remaining = [entry for entry in entries if entry.key != key]
+        if len(remaining) == len(entries):
+            return False
+        self._size -= 1
+        self._oram.write(bucket, self._codec.pack(remaining))
+        return True
+
+    def _bucket_for(self, key: bytes) -> int:
+        return self._prf.integer(key, self._buckets)

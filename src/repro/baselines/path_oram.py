@@ -1,0 +1,315 @@
+"""Path ORAM (Stefanov et al. [48]) — the oblivious RAM comparator.
+
+The standard tree ORAM: server storage is a complete binary tree of
+``2^L`` leaves whose nodes hold ``Z`` block slots; every logical block is
+mapped to a uniformly random leaf, stored somewhere on the path to that
+leaf (or in the client stash), and remapped on every access.  An access
+reads one full path and writes it back, moving ``2·Z·(L+1)`` slots — the
+``Θ(log n)`` overhead that the paper's DP-RAM beats with O(1).
+
+Each slot is serialized as ``index (8B) || leaf tag (4B) || payload`` with
+an all-ones index marking dummies.  Carrying the leaf tag inside the
+block makes blocks self-describing: eviction never consults the position
+map, so the map can be externalized — which is exactly what
+:class:`~repro.baselines.recursive_oram.RecursivePathORAM` does by
+plugging a recursive resolver into ``position_resolver``.
+
+(Encryption is orthogonal to the bandwidth accounting these experiments
+need and is omitted for speed; a real deployment would wrap slots with
+:mod:`repro.crypto.encryption`.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.errors import RetrievalError
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+_DUMMY = (1 << 64) - 1
+_INDEX_BYTES = 8
+_LEAF_BYTES = 4
+
+PositionResolver = Callable[[int, int], int]
+"""``resolve(index, new_leaf) -> old_leaf``: look up and remap in one shot."""
+
+
+class PathORAM:
+    """Path ORAM with bucket size ``Z`` (default 4).
+
+    Args:
+        blocks: initial database ``B_1..B_n``.
+        bucket_size: slots per tree node (``Z``).
+        rng: randomness source.
+        position_resolver: optional external position map.  When given, it
+            is called once per access with ``(index, new_leaf)`` and must
+            return the block's current leaf; the default keeps a plain
+            in-client list (``n`` labels of metadata).
+
+    The client state is the position map (unless externalized) and the
+    stash, whose peak occupancy is tracked because Path ORAM's stash bound
+    is itself a classic result.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        bucket_size: int = 4,
+        rng: RandomSource | None = None,
+        position_resolver: PositionResolver | None = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        if bucket_size <= 0:
+            raise ValueError(f"bucket size must be positive, got {bucket_size}")
+        self._n = len(blocks)
+        self._z = bucket_size
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._block_size = len(blocks[0])
+        for block in blocks:
+            if len(block) != self._block_size:
+                raise ValueError("all blocks must have equal size")
+
+        self._height = max(1, (self._n - 1).bit_length())  # L
+        self._leaves = 1 << self._height
+        self._nodes = 2 * self._leaves - 1
+        self._server = StorageServer(self._nodes * self._z)
+        initial_positions = [
+            self._rng.randbelow(self._leaves) for _ in range(self._n)
+        ]
+        self._position: list[int] | None
+        if position_resolver is None:
+            self._position = initial_positions
+            self._resolver = self._resolve_locally
+        else:
+            self._position = None
+            self._resolver = position_resolver
+        # stash: index -> (current leaf, payload)
+        self._stash: dict[int, tuple[int, bytes]] = {}
+        self._stash_peak = 0
+        self._queries = 0
+        self._offline_load(blocks, initial_positions)
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._n
+
+    @property
+    def height(self) -> int:
+        """Tree height ``L`` (paths have ``L+1`` nodes)."""
+        return self._height
+
+    @property
+    def leaves(self) -> int:
+        """Number of leaves (``2^L``) — the label space of the position map."""
+        return self._leaves
+
+    @property
+    def bucket_size(self) -> int:
+        """Slots per node (``Z``)."""
+        return self._z
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive slot server (exposes operation counters)."""
+        return self._server
+
+    @property
+    def stash_size(self) -> int:
+        """Current client stash occupancy."""
+        return len(self._stash)
+
+    @property
+    def stash_peak(self) -> int:
+        """Largest stash occupancy observed."""
+        return self._stash_peak
+
+    @property
+    def query_count(self) -> int:
+        """Number of accesses performed."""
+        return self._queries
+
+    @property
+    def initial_positions(self) -> list[int]:
+        """The leaf labels assigned at load time.
+
+        External position maps must start from these (the recursion seeds
+        its map ORAMs with them).
+        """
+        return list(self._initial_positions)
+
+    def blocks_per_access(self) -> int:
+        """Slots moved per access: ``2·Z·(L+1)``."""
+        return 2 * self._z * (self._height + 1)
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the adversary view of subsequent accesses."""
+        self._server.attach_transcript(transcript)
+
+    # -- the RAM interface ------------------------------------------------------
+
+    def read(self, index: int) -> bytes:
+        """Retrieve the current version of record ``index``."""
+        return self._access(index, None)
+
+    def write(self, index: int, value: bytes) -> None:
+        """Overwrite record ``index`` with ``value``."""
+        self._access(index, bytes(value))
+
+    def read_modify_write(self, index: int, transform) -> bytes:
+        """Atomically replace record ``index`` with ``transform(old)``.
+
+        A *single* ORAM access (one path read + write-back) — what the
+        recursive position-map construction needs for its packed label
+        blocks.  Returns the old value.
+        """
+        if not callable(transform):
+            raise TypeError("transform must be callable")
+        return self._access(index, None, transform=transform)
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_locally(self, index: int, new_leaf: int) -> int:
+        old_leaf = self._position[index]
+        self._position[index] = new_leaf
+        return old_leaf
+
+    def _access(
+        self, index: int, new_value: bytes | None, transform=None
+    ) -> bytes:
+        if not 0 <= index < self._n:
+            raise RetrievalError(f"index {index} out of range for n={self._n}")
+        self._server.begin_query(self._queries)
+        self._queries += 1
+
+        new_leaf = self._rng.randbelow(self._leaves)
+        leaf = self._resolver(index, new_leaf)
+
+        # Read the whole path into the stash (blocks carry their own tag).
+        path = self._path_nodes(leaf)
+        for node in path:
+            for slot in self._slot_range(node):
+                stored_index, tag, payload = self._decode(
+                    self._server.read(slot)
+                )
+                if stored_index != _DUMMY:
+                    self._stash[stored_index] = (tag, payload)
+        if len(self._stash) > self._stash_peak:
+            self._stash_peak = len(self._stash)
+
+        if index not in self._stash:
+            raise RetrievalError(
+                f"block {index} missing from path and stash (corrupt state)"
+            )
+        result = self._stash[index][1]
+        if transform is not None:
+            new_value = bytes(transform(result))
+        if new_value is not None:
+            if len(new_value) != self._block_size:
+                raise ValueError(
+                    f"value must be {self._block_size} bytes, got {len(new_value)}"
+                )
+            self._stash[index] = (new_leaf, new_value)
+        else:
+            self._stash[index] = (new_leaf, result)
+
+        # Write the path back, evicting greedily from the leaf upward.
+        for node in reversed(path):  # path is root-first; evict leaf-first
+            placed = self._evict_into(node)
+            for offset, slot in enumerate(self._slot_range(node)):
+                if offset < len(placed):
+                    stored_index = placed[offset]
+                    tag, payload = self._stash.pop(stored_index)
+                    self._server.write(
+                        slot, self._encode(stored_index, tag, payload)
+                    )
+                else:
+                    self._server.write(slot, self._encode(_DUMMY, 0, b""))
+        return result
+
+    def _evict_into(self, node: int) -> list[int]:
+        """Stash blocks whose tagged path passes through ``node``."""
+        placed: list[int] = []
+        for stored_index, (tag, _) in self._stash.items():
+            if len(placed) >= self._z:
+                break
+            if self._node_on_path(node, tag):
+                placed.append(stored_index)
+        return placed
+
+    def _path_nodes(self, leaf: int) -> list[int]:
+        """Heap node ids (0-based) from the root down to ``leaf``."""
+        node = self._leaves - 1 + leaf  # 0-based heap position of the leaf
+        path = []
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        path.reverse()
+        return path
+
+    def _node_on_path(self, node: int, leaf: int) -> bool:
+        current = self._leaves - 1 + leaf
+        while True:
+            if current == node:
+                return True
+            if current == 0:
+                return False
+            current = (current - 1) // 2
+
+    def _slot_range(self, node: int) -> range:
+        return range(node * self._z, (node + 1) * self._z)
+
+    def _encode(self, index: int, tag: int, payload: bytes) -> bytes:
+        padded = payload + b"\x00" * (self._block_size - len(payload))
+        return (
+            index.to_bytes(_INDEX_BYTES, "big")
+            + tag.to_bytes(_LEAF_BYTES, "big")
+            + padded
+        )
+
+    def _decode(self, slot: bytes) -> tuple[int, int, bytes]:
+        index = int.from_bytes(slot[:_INDEX_BYTES], "big")
+        tag = int.from_bytes(
+            slot[_INDEX_BYTES : _INDEX_BYTES + _LEAF_BYTES], "big"
+        )
+        return index, tag, slot[_INDEX_BYTES + _LEAF_BYTES :]
+
+    def _offline_load(
+        self, blocks: Sequence[bytes], positions: list[int]
+    ) -> None:
+        """Place the initial database directly (setup is public; these
+        writes do not count toward query costs)."""
+        self._initial_positions = list(positions)
+        contents: dict[int, list[tuple[int, int, bytes]]] = {}
+        spilled: dict[int, tuple[int, bytes]] = {}
+        for index, block in enumerate(blocks):
+            placed = False
+            leaf = positions[index]
+            node = self._leaves - 1 + leaf
+            while True:
+                bucket = contents.setdefault(node, [])
+                if len(bucket) < self._z:
+                    bucket.append((index, leaf, bytes(block)))
+                    placed = True
+                    break
+                if node == 0:
+                    break
+                node = (node - 1) // 2
+            if not placed:
+                spilled[index] = (leaf, bytes(block))
+        slots = [self._encode(_DUMMY, 0, b"")] * (self._nodes * self._z)
+        for node, bucket in contents.items():
+            for offset, (index, leaf, payload) in enumerate(bucket):
+                slots[node * self._z + offset] = self._encode(
+                    index, leaf, payload
+                )
+        self._server.load(slots)
+        self._stash.update(spilled)
+        self._stash_peak = len(self._stash)

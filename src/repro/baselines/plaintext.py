@@ -1,0 +1,136 @@
+"""No-privacy baselines: direct server access.
+
+Every overhead number in the experiments is "blocks moved per query
+relative to plaintext access"; these classes are that denominator, and
+double as reference implementations for correctness checks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.storage.errors import RetrievalError
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+
+class PlaintextRAM:
+    """Direct read/write access — one block per query, zero privacy."""
+
+    def __init__(self, blocks: Sequence[bytes]) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        self._n = len(blocks)
+        self._server = StorageServer(self._n)
+        self._server.load(blocks)
+        self._queries = 0
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._n
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive server (exposes operation counters)."""
+        return self._server
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries issued so far."""
+        return self._queries
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the (fully leaking) adversary view."""
+        self._server.attach_transcript(transcript)
+
+    def read(self, index: int) -> bytes:
+        """Retrieve record ``index``."""
+        self._check(index)
+        self._server.begin_query(self._queries)
+        self._queries += 1
+        return self._server.read(index)
+
+    def write(self, index: int, value: bytes) -> None:
+        """Overwrite record ``index``."""
+        self._check(index)
+        self._server.begin_query(self._queries)
+        self._queries += 1
+        self._server.write(index, value)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._n:
+            raise RetrievalError(f"index {index} out of range for n={self._n}")
+
+
+class PlaintextKVS:
+    """Direct-access key-value store over a server-resident slot array.
+
+    The client keeps a key → slot directory (metadata, not balls, mirroring
+    how the paper accounts for keys versus records) and touches exactly one
+    server slot per operation.
+    """
+
+    def __init__(self, capacity: int, value_size: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._value_size = value_size
+        self._server = StorageServer(capacity)
+        self._server.load([b"\x00" * value_size] * capacity)
+        self._directory: dict[bytes, int] = {}
+        self._free = list(range(capacity - 1, -1, -1))
+        self._operations = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of keys."""
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Number of keys stored."""
+        return len(self._directory)
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive server (exposes operation counters)."""
+        return self._server
+
+    @property
+    def operation_count(self) -> int:
+        """Completed operations."""
+        return self._operations
+
+    def get(self, key: bytes) -> bytes | None:
+        """Retrieve ``key``; ``None`` if absent."""
+        self._operations += 1
+        slot = self._directory.get(key)
+        if slot is None:
+            return None
+        return self._server.read(slot)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``."""
+        if len(value) > self._value_size:
+            raise ValueError(
+                f"value of {len(value)} bytes exceeds value_size {self._value_size}"
+            )
+        padded = value + b"\x00" * (self._value_size - len(value))
+        self._operations += 1
+        slot = self._directory.get(key)
+        if slot is None:
+            if not self._free:
+                raise RetrievalError(f"store is at capacity {self._capacity}")
+            slot = self._free.pop()
+            self._directory[key] = slot
+        self._server.write(slot, padded)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        self._operations += 1
+        slot = self._directory.pop(key, None)
+        if slot is None:
+            return False
+        self._free.append(slot)
+        return True

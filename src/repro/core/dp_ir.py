@@ -1,0 +1,157 @@
+"""ε-DP information retrieval with errors (Section 5, Algorithm 1).
+
+The client downloads a uniformly random *pad set* ``T`` of ``K`` blocks.
+With probability ``1 − α`` the desired block is forced into ``T`` (and the
+query succeeds); with probability ``α`` the set is fully random and the
+query errs — returning ``None`` — regardless of whether the desired block
+happened to land in ``T``.  The error event depends only on the scheme's
+internal coin, never on the query or the data, exactly as Theorem 3.4
+requires.
+
+Appendix B computes the exact privacy: ``ε = ln((1−α)·n/(α·K) + 1)``, which
+matches the Theorem 3.4 lower bound for every ``ε ≥ 0`` and gives constant
+bandwidth once ``ε = Θ(log n)``.
+
+IR is stateless on both sides (Section 2.1): the server holds the plaintext
+database (the initialization is public) and the client keeps nothing
+between queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.params import DPIRParams
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.errors import RetrievalError
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+
+class DPIR:
+    """Single-server ε-DP-IR (Algorithm 1).
+
+    Args:
+        blocks: the database ``B_1..B_n`` (each an opaque ``bytes`` record).
+        epsilon: target privacy budget; resolved to the pad size
+            ``K = ⌈(1−α)n/(e^ε−1)⌉``.  Mutually exclusive with ``pad_size``.
+        pad_size: explicit pad size ``K`` (overrides ``epsilon``).
+        alpha: error probability in ``(0, 1)``.
+        rng: randomness source (defaults to system entropy).
+
+    The *exact* budget achieved by the resolved ``K`` is available as
+    :attr:`epsilon`.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        epsilon: float | None = None,
+        pad_size: int | None = None,
+        alpha: float = 0.05,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        if (epsilon is None) == (pad_size is None):
+            raise ValueError("provide exactly one of epsilon or pad_size")
+        n = len(blocks)
+        if pad_size is not None:
+            self._params = DPIRParams.from_pad_size(n, pad_size, alpha)
+        else:
+            self._params = DPIRParams.from_epsilon(n, epsilon, alpha)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._server = StorageServer(n)
+        self._server.load(blocks)
+        self._queries = 0
+        self._errors = 0
+
+    # -- parameters --------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._params.n
+
+    @property
+    def pad_size(self) -> int:
+        """Blocks downloaded per query (``K``)."""
+        return self._params.pad_size
+
+    @property
+    def alpha(self) -> float:
+        """Error probability."""
+        return self._params.alpha
+
+    @property
+    def epsilon(self) -> float:
+        """Exact privacy budget achieved (Appendix B)."""
+        return self._params.epsilon
+
+    @property
+    def params(self) -> DPIRParams:
+        """The resolved parameter bundle."""
+        return self._params
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive server (exposes operation counters)."""
+        return self._server
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries issued so far."""
+        return self._queries
+
+    @property
+    def error_count(self) -> int:
+        """Number of queries that erred (should be ≈ α of all queries)."""
+        return self._errors
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, index: int) -> bytes | None:
+        """Retrieve block ``index``; returns ``None`` on the α-error event.
+
+        Raises:
+            RetrievalError: if ``index`` is out of range.
+        """
+        download_set, include_real = self._draw_set(index)
+        self._server.begin_query(self._queries)
+        self._queries += 1
+        retrieved = {}
+        for slot in sorted(download_set):
+            retrieved[slot] = self._server.read(slot)
+        if include_real:
+            return retrieved[index]
+        self._errors += 1
+        return None
+
+    def sample_query_set(self, index: int) -> frozenset[int]:
+        """Sample the download set for ``index`` without touching the server.
+
+        Used by the privacy auditors to build transcript distributions
+        cheaply; draws from exactly the same distribution as :meth:`query`.
+        """
+        download_set, _ = self._draw_set(index)
+        return frozenset(download_set)
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the adversary view of subsequent queries."""
+        self._server.attach_transcript(transcript)
+
+    # -- internals ----------------------------------------------------------
+
+    def _draw_set(self, index: int) -> tuple[set[int], bool]:
+        n = self._params.n
+        if not 0 <= index < n:
+            raise RetrievalError(f"index {index} out of range for n={n}")
+        download_set: set[int] = set()
+        include_real = self._rng.random() >= self._params.alpha
+        if include_real:
+            download_set.add(index)
+        while len(download_set) < self._params.pad_size:
+            candidate = self._rng.randbelow(n)
+            if candidate not in download_set:
+                download_set.add(candidate)
+        return download_set, include_real

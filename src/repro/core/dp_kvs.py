@@ -1,0 +1,349 @@
+"""Differentially private key-value storage (Section 7, Theorem 7.5).
+
+Composition of:
+
+* the **mapping scheme** of Section 7.2 — oblivious two-choice hashing over
+  tree-shared buckets (:mod:`repro.hashing.tree_buckets`): a key ``u`` maps
+  to ``k(n) = 2`` PRF-chosen leaves, its bucket is the leaf-to-root path
+  (``s(n) = Θ(log log n)`` nodes of ``t`` blocks each), and overflow spills
+  into a client-resident *super root* holding ``≤ Φ(n)`` items w.h.p.
+  (Theorem 7.2); with
+* the **bucket DP-RAM** of Appendix E (:mod:`repro.core.bucket_ram`), which
+  transports whole buckets with the Section 6 stash dynamics.
+
+Every ``get``/``put``/``delete`` issues exactly two bucket queries — one per
+hash choice, padded to two distinct buckets when the PRF choices collide —
+so reads and writes are indistinguishable by shape.  Each bucket query
+moves ``3·(depth+1)`` node blocks, giving the ``O(log log n)`` overhead of
+Theorem 7.5 (the paper's "at most 2·k(n) DP-RAM queries" bound is met with
+room to spare because the phase-split bucket DP-RAM retrieves and updates
+in a single query; the composition argument is unchanged).
+
+Missing keys return ``None`` (the paper's ``⊥``).  Keys and values are
+fixed-size byte strings (shorter inputs are zero-padded by the codec).
+"""
+
+from __future__ import annotations
+
+from repro.core.bucket_ram import BucketDPRAM, PendingQuery
+from repro.core.params import DPKVSParams
+from repro.crypto.encryption import SecretKey
+from repro.crypto.prf import PRF
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.hashing.node_codec import NodeCodec, NodeEntry
+from repro.hashing.tree_buckets import TreeBucketLayout
+from repro.storage.client import ClientStash
+from repro.storage.errors import CapacityError, MappingOverflowError
+from repro.storage.server import StorageServer
+
+
+class DPKVS:
+    """ε-DP key-value store with ``O(log log n)`` overhead (Theorem 7.5).
+
+    Args:
+        capacity: maximum number of keys (``n``).
+        key_size: exact key length in bytes (shorter keys are zero-padded).
+        value_size: exact value length in bytes.
+        node_capacity: blocks per tree node (the paper's ``t = Θ(1)``).
+        phi: super-root capacity ``Φ(n)``; also sets the bucket stash
+            probability ``p = Φ(n)/bucket_count``.  Defaults to
+            :func:`repro.core.params.default_phi`.
+        enforce_super_root_capacity: raise
+            :class:`~repro.storage.errors.MappingOverflowError` if the super
+            root would exceed ``Φ(n)`` (Theorem 7.2 says this is a
+            negligible-probability event); when ``False`` the experiments
+            just measure the peak.
+        rng: randomness source (defaults to system entropy).
+        prf: PRF for the two leaf choices; freshly keyed when omitted.
+        key: symmetric key for the bucket DP-RAM; fresh when omitted.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        key_size: int = 16,
+        value_size: int = 32,
+        node_capacity: int = 4,
+        phi: int | None = None,
+        leaves_per_tree: int | None = None,
+        enforce_super_root_capacity: bool = False,
+        rng: RandomSource | None = None,
+        prf: PRF | None = None,
+        key: SecretKey | None = None,
+    ) -> None:
+        self._params = DPKVSParams.for_capacity(
+            capacity,
+            node_capacity=node_capacity,
+            phi=phi,
+            leaves_per_tree=leaves_per_tree,
+        )
+        self._layout = TreeBucketLayout(self._params.shape)
+        self._codec = NodeCodec(
+            capacity=node_capacity, key_size=key_size, value_size=value_size
+        )
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._prf = prf if prf is not None else PRF(self._rng.bytes(32))
+
+        empty = self._codec.empty()
+        node_blocks = [empty] * self._layout.node_count
+        self._ram = BucketDPRAM(
+            node_blocks,
+            self._layout.all_buckets(),
+            stash_probability=self._params.stash_probability,
+            rng=self._rng.spawn("bucket-ram") if hasattr(self._rng, "spawn") else self._rng,
+            key=key,
+        )
+        super_root_capacity = (
+            self._params.phi if enforce_super_root_capacity else None
+        )
+        self._super_root = ClientStash(capacity=super_root_capacity)
+        self._size = 0
+        self._operations = 0
+
+    # -- parameters & accounting ---------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of keys (``n``)."""
+        return self._params.n
+
+    @property
+    def size(self) -> int:
+        """Number of keys currently stored."""
+        return self._size
+
+    @property
+    def params(self) -> DPKVSParams:
+        """The resolved parameter bundle (tree shape, Φ, stash probability)."""
+        return self._params
+
+    @property
+    def server(self) -> StorageServer:
+        """The node-slot server (exposes operation counters)."""
+        return self._ram.server
+
+    @property
+    def server_node_count(self) -> int:
+        """Server storage in node blocks — the ``O(n)`` figure of Thm 7.5."""
+        return self._layout.node_count
+
+    @property
+    def node_block_size(self) -> int:
+        """Bytes per serialized node block."""
+        return self._codec.block_size
+
+    @property
+    def super_root_size(self) -> int:
+        """Items currently in the client super root."""
+        return len(self._super_root)
+
+    @property
+    def super_root_peak(self) -> int:
+        """Largest super-root occupancy observed (Theorem 7.2 check)."""
+        return self._super_root.peak
+
+    @property
+    def client_peak_blocks(self) -> int:
+        """Peak client storage in node blocks (bucket stash + super root)."""
+        return self._ram.client_peak_blocks + self._super_root.peak
+
+    @property
+    def operation_count(self) -> int:
+        """Completed KVS operations."""
+        return self._operations
+
+    @property
+    def transcript_pairs(self) -> list[tuple[int, int]]:
+        """Bucket-granular ``(d_j, o_j)`` pairs from the underlying DP-RAM."""
+        return self._ram.transcript_pairs
+
+    def blocks_per_operation(self) -> int:
+        """Node blocks moved per operation: ``2 · 3 · (depth+1)``."""
+        return self._params.choices * 3 * self._params.shape.path_length
+
+    # -- the KVS interface -----------------------------------------------------
+
+    def get(self, user_key: bytes) -> bytes | None:
+        """Retrieve the value for ``user_key``; ``None`` if absent (⊥)."""
+        key = self._codec.normalize_key(user_key)
+        buckets, real_count = self._query_buckets(key)
+        pending = [self._ram.begin_query(bucket) for bucket in buckets]
+        value = self._find_in_pending(key, pending[:real_count])
+        if value is None:
+            value = self._super_root.get(key)
+        for handle in pending:
+            self._ram.finish_query(handle, None)
+        self._operations += 1
+        return value
+
+    def put(self, user_key: bytes, user_value: bytes) -> None:
+        """Insert or update ``user_key`` with ``user_value``.
+
+        Raises:
+            CapacityError: when inserting a new key beyond ``capacity``.
+            MappingOverflowError: if super-root enforcement is on and the
+                spill target is full.
+        """
+        key = self._codec.normalize_key(user_key)
+        value = self._codec.normalize_value(user_value)
+        buckets, real_count = self._query_buckets(key)
+        pending = [self._ram.begin_query(bucket) for bucket in buckets]
+        updates = self._plan_put(key, value, pending[:real_count])
+        self._finish_with_updates(pending, updates)
+        self._operations += 1
+
+    def delete(self, user_key: bytes) -> bool:
+        """Remove ``user_key`` if present; returns whether it existed.
+
+        Deletion is an extension beyond the paper's read/overwrite
+        interface; it reuses the same two-bucket query shape so transcripts
+        stay indistinguishable from gets and puts.
+        """
+        key = self._codec.normalize_key(user_key)
+        buckets, real_count = self._query_buckets(key)
+        pending = [self._ram.begin_query(bucket) for bucket in buckets]
+        updates: dict[int, bytes] = {}
+        existed = False
+        home = self._locate(key, pending[:real_count])
+        if home is not None:
+            node, entries = home
+            remaining = [entry for entry in entries if entry.key != key]
+            updates[node] = self._codec.pack(remaining)
+            existed = True
+        elif key in self._super_root:
+            self._super_root.discard(key)
+            existed = True
+        self._finish_with_updates(pending, updates)
+        if existed:
+            self._size -= 1
+        self._operations += 1
+        return existed
+
+    # -- internals ----------------------------------------------------------
+
+    def _query_buckets(self, key: bytes) -> tuple[list[int], int]:
+        """The bucket choices for ``key``: ``(buckets, real_count)``.
+
+        The first ``real_count`` entries are the true ``Π(u)`` choices;
+        when the PRF choices collide, ``Π(u)`` has size one and the list is
+        padded with a fresh uniformly random other bucket, per Section 7.1
+        ("we pick random buckets to pad Π(u) to size k(n)").  The pad is
+        query-local cover traffic only — the storing algorithm and lookups
+        must never use it, or a key placed during one query would be
+        unreachable under the next query's pad.
+        """
+        buckets = self._layout.bucket_count
+        first, second = self._prf.choices(key, buckets, self._params.choices)
+        if first != second:
+            return [first, second], 2
+        if buckets > 1:
+            pad = (first + 1 + self._rng.randbelow(buckets - 1)) % buckets
+        else:
+            pad = first
+        return [first, pad], 1
+
+    def _find_in_pending(
+        self, key: bytes, pending: list[PendingQuery]
+    ) -> bytes | None:
+        located = self._locate(key, pending)
+        if located is None:
+            return None
+        _, entries = located
+        for entry in entries:
+            if entry.key == key:
+                return entry.value
+        return None
+
+    def _locate(
+        self, key: bytes, pending: list[PendingQuery]
+    ) -> tuple[int, list[NodeEntry]] | None:
+        """Find the node holding ``key`` among the downloaded buckets.
+
+        Returns ``(node id, decoded entries)`` or ``None``.  Shared nodes
+        appear in both pending queries with identical authoritative
+        contents, so scanning in order is safe.
+        """
+        seen: set[int] = set()
+        for handle in pending:
+            for node, block in handle.contents.items():
+                if node in seen:
+                    continue
+                seen.add(node)
+                entries = self._codec.unpack(block)
+                for entry in entries:
+                    if entry.key == key:
+                        return node, entries
+        return None
+
+    def _plan_put(
+        self, key: bytes, value: bytes, pending: list[PendingQuery]
+    ) -> dict[int, bytes]:
+        """Decide where ``key`` lands and return the node rewrite map."""
+        home = self._locate(key, pending)
+        if home is not None:
+            node, entries = home
+            rewritten = [
+                NodeEntry(key, value) if entry.key == key else entry
+                for entry in entries
+            ]
+            return {node: self._codec.pack(rewritten)}
+        if key in self._super_root:
+            self._super_root.put(key, value)
+            return {}
+        # New key: run the storing algorithm S over the joint contents.
+        if self._size >= self._params.n:
+            raise CapacityError(
+                f"store is at capacity {self._params.n}; cannot insert new key"
+            )
+        target = self._storing_algorithm(pending)
+        if target is None:
+            try:
+                self._super_root.put(key, value)
+            except CapacityError as exc:
+                raise MappingOverflowError(str(exc)) from exc
+            self._size += 1
+            return {}
+        entries = self._codec.unpack(self._contents_of(target, pending))
+        entries.append(NodeEntry(key, value))
+        self._size += 1
+        return {target: self._codec.pack(entries)}
+
+    def _storing_algorithm(self, pending: list[PendingQuery]) -> int | None:
+        """Algorithm S: lowest node with free space on either path.
+
+        Pending contents are leaf-first paths, so scanning by height finds
+        the node closest to the leaves; ties at equal height go to the
+        less-loaded node.
+        """
+        paths = [self._ram.bucket_nodes(handle.bucket) for handle in pending]
+        path_length = self._params.shape.path_length
+        for height in range(path_length):
+            candidates: dict[int, int] = {}
+            for path, handle in zip(paths, pending):
+                node = path[height]
+                if node in candidates:
+                    continue
+                load = len(self._codec.unpack(handle.contents[node]))
+                if load < self._codec.capacity:
+                    candidates[node] = load
+            if candidates:
+                return min(candidates, key=lambda node: (candidates[node], node))
+        return None
+
+    def _contents_of(self, node: int, pending: list[PendingQuery]) -> bytes:
+        for handle in pending:
+            if node in handle.contents:
+                return handle.contents[node]
+        raise KeyError(f"node {node} not present in pending queries")
+
+    def _finish_with_updates(
+        self, pending: list[PendingQuery], updates: dict[int, bytes]
+    ) -> None:
+        """Finish both bucket queries, routing each rewrite to every bucket
+        containing the node so shared nodes never diverge."""
+        for handle in pending:
+            nodes = set(self._ram.bucket_nodes(handle.bucket))
+            relevant = {
+                node: block for node, block in updates.items() if node in nodes
+            }
+            self._ram.finish_query(handle, relevant if relevant else None)

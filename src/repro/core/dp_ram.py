@@ -1,0 +1,279 @@
+"""Errorless DP-RAM (Section 6, Algorithms 2–3).
+
+The scheme keeps a small client *stash*: at setup every record is placed in
+the stash independently with probability ``p`` (``p = Φ(n)/n`` for some
+``Φ(n) = ω(log n)``); the server holds ``A[i] = Enc(K, B_i)``.
+
+A query for record ``i`` has two phases:
+
+* **Download phase** — if ``B_i`` is stashed, download a uniformly random
+  slot (and discard it), answering from the stash; otherwise download
+  ``A[i]``.
+* **Overwrite phase** — with probability ``p`` the current version of
+  ``B_i`` re-enters the stash and a uniformly random *other* slot is
+  downloaded, re-encrypted with fresh randomness and uploaded (a cover
+  write); otherwise ``A[i]`` is downloaded (and discarded) and a fresh
+  ciphertext of the current version is uploaded to ``A[i]``.
+
+Every query therefore moves exactly three blocks (two downloads and one
+upload) regardless of ``n`` — the O(1) overhead of Theorem 6.1 — and the
+transcript per query is the pair ``(d_j, o_j)`` the privacy proof analyzes.
+Correctness is perfect: the stash entry, when present, is always the
+current version, and otherwise the server ciphertext is.
+
+:class:`ReadOnlyDPRAM` implements the encryption-free variant discussed
+after Theorem 6.1 for public, read-only data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.params import DPRAMParams
+from repro.crypto.encryption import SecretKey, decrypt, encrypt, generate_key
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.client import ClientStash
+from repro.storage.errors import RetrievalError
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+
+class DPRAM:
+    """Errorless DP-RAM with a probability-``p`` stash (Algorithms 2–3).
+
+    Args:
+        blocks: initial database ``B_1..B_n``.
+        stash_probability: the per-record stash probability ``p``; mutually
+            exclusive with ``phi``.
+        phi: stash budget ``Φ(n)`` from which ``p = Φ(n)/n`` is derived
+            (defaults to :func:`repro.core.params.default_phi`).
+        rng: randomness source (defaults to system entropy).
+        key: symmetric key; a fresh one is sampled when omitted.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        stash_probability: float | None = None,
+        phi: int | None = None,
+        rng: RandomSource | None = None,
+        key: SecretKey | None = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        if stash_probability is not None and phi is not None:
+            raise ValueError("provide at most one of stash_probability and phi")
+        n = len(blocks)
+        if stash_probability is not None:
+            self._params = DPRAMParams.from_probability(n, stash_probability)
+        else:
+            self._params = DPRAMParams.from_phi(n, phi)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._key = key if key is not None else generate_key(self._rng)
+
+        # Setup (Algorithm 2): encrypted array on the server, independent
+        # p-Bernoulli stash on the client.  The stash copy and the server
+        # ciphertext start out equal, so both are fresh.
+        self._server = StorageServer(n)
+        self._server.load([encrypt(self._key, b, self._rng) for b in blocks])
+        self._stash = ClientStash()
+        p = self._params.stash_probability
+        for index, block in enumerate(blocks):
+            if self._rng.random() < p:
+                self._stash.put(index, bytes(block))
+
+        self._queries = 0
+        self._pairs: list[tuple[int, int]] = []
+
+    # -- parameters & accounting ---------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._params.n
+
+    @property
+    def stash_probability(self) -> float:
+        """The per-record stash probability ``p``."""
+        return self._params.stash_probability
+
+    @property
+    def params(self) -> DPRAMParams:
+        """The resolved parameter bundle (includes the analytic ε bound)."""
+        return self._params
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive server (exposes operation counters)."""
+        return self._server
+
+    @property
+    def stash_size(self) -> int:
+        """Current number of stashed records."""
+        return len(self._stash)
+
+    @property
+    def stash_peak(self) -> int:
+        """Largest stash occupancy observed (Lemma D.1 check)."""
+        return self._stash.peak
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries issued so far."""
+        return self._queries
+
+    @property
+    def transcript_pairs(self) -> list[tuple[int, int]]:
+        """The ``(d_j, o_j)`` pair per query — the adversary view."""
+        return list(self._pairs)
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the full event-level adversary view of subsequent queries."""
+        self._server.attach_transcript(transcript)
+
+    # -- the RAM interface ----------------------------------------------------
+
+    def read(self, index: int) -> bytes:
+        """Retrieve the current version of record ``index``."""
+        return self._query(index, new_value=None)
+
+    def write(self, index: int, value: bytes) -> None:
+        """Overwrite record ``index`` with ``value``."""
+        self._query(index, new_value=bytes(value))
+
+    # -- Algorithm 3 ------------------------------------------------------------
+
+    def _query(self, index: int, new_value: bytes | None) -> bytes:
+        n = self._params.n
+        if not 0 <= index < n:
+            raise RetrievalError(f"index {index} out of range for n={n}")
+        self._server.begin_query(self._queries)
+
+        # Download phase.
+        if index in self._stash:
+            download_slot = self._rng.randbelow(n)
+            self._server.read(download_slot)  # cover traffic, discarded
+            current = self._stash.pop(index)
+        else:
+            download_slot = index
+            current = decrypt(self._key, self._server.read(download_slot))
+        if new_value is not None:
+            current = new_value
+
+        # Overwrite phase.
+        if self._rng.random() < self._params.stash_probability:
+            self._stash.put(index, current)
+            overwrite_slot = self._rng.randbelow(n)
+            ciphertext = self._server.read(overwrite_slot)
+            refreshed = decrypt(self._key, ciphertext)
+            self._server.write(
+                overwrite_slot, encrypt(self._key, refreshed, self._rng)
+            )
+        else:
+            overwrite_slot = index
+            self._server.read(overwrite_slot)  # downloaded and discarded
+            self._server.write(
+                overwrite_slot, encrypt(self._key, current, self._rng)
+            )
+
+        self._pairs.append((download_slot, overwrite_slot))
+        self._queries += 1
+        return current
+
+
+class ReadOnlyDPRAM:
+    """Encryption-free DP-RAM for public, read-only data.
+
+    Section 6 ("Discussion about encryption") observes that when only
+    retrievals are permitted the scheme needs no encryption and provides
+    differentially private access against computationally *unbounded*
+    adversaries.  This variant keeps the download/overwrite index dynamics
+    of Algorithm 3 — so the ``(d_j, o_j)`` distribution, and therefore the
+    privacy analysis, is exactly that of :class:`DPRAM` — but skips the
+    uploads and stores plaintext on the server.  The adversary view is a
+    strict projection of the proven scheme's view, so privacy can only
+    improve.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        stash_probability: float | None = None,
+        phi: int | None = None,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        if stash_probability is not None and phi is not None:
+            raise ValueError("provide at most one of stash_probability and phi")
+        n = len(blocks)
+        if stash_probability is not None:
+            self._params = DPRAMParams.from_probability(n, stash_probability)
+        else:
+            self._params = DPRAMParams.from_phi(n, phi)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._server = StorageServer(n)
+        self._server.load([bytes(b) for b in blocks])
+        self._stash = ClientStash()
+        p = self._params.stash_probability
+        for index, block in enumerate(blocks):
+            if self._rng.random() < p:
+                self._stash.put(index, bytes(block))
+        self._queries = 0
+        self._pairs: list[tuple[int, int]] = []
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._params.n
+
+    @property
+    def params(self) -> DPRAMParams:
+        """The resolved parameter bundle."""
+        return self._params
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive server (plaintext; exposes operation counters)."""
+        return self._server
+
+    @property
+    def stash_size(self) -> int:
+        """Current number of stashed records."""
+        return len(self._stash)
+
+    @property
+    def stash_peak(self) -> int:
+        """Largest stash occupancy observed."""
+        return self._stash.peak
+
+    @property
+    def transcript_pairs(self) -> list[tuple[int, int]]:
+        """The ``(d_j, o_j)`` pair per query."""
+        return list(self._pairs)
+
+    def read(self, index: int) -> bytes:
+        """Retrieve record ``index``."""
+        n = self._params.n
+        if not 0 <= index < n:
+            raise RetrievalError(f"index {index} out of range for n={n}")
+        self._server.begin_query(self._queries)
+
+        if index in self._stash:
+            download_slot = self._rng.randbelow(n)
+            self._server.read(download_slot)
+            current = self._stash.pop(index)
+        else:
+            download_slot = index
+            current = self._server.read(download_slot)
+
+        if self._rng.random() < self._params.stash_probability:
+            self._stash.put(index, current)
+            overwrite_slot = self._rng.randbelow(n)
+        else:
+            overwrite_slot = index
+        self._server.read(overwrite_slot)  # cover download, no upload needed
+
+        self._pairs.append((download_slot, overwrite_slot))
+        self._queries += 1
+        return current

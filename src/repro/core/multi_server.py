@@ -1,0 +1,180 @@
+"""Multi-server DP-IR (Appendix C).
+
+The database is replicated on ``D`` non-colluding servers; an adversary
+corrupts a ``t = D_A/D`` fraction of them and sees only their transcripts.
+Theorem C.1 lower-bounds the total expected work by
+``Ω(((1−α)·t − δ)·n / e^ε)``.
+
+The construction here is the natural multi-server analogue of Algorithm 1
+(the shape of the scheme of Toledo, Danezis and Goldberg [49], which the
+paper proves optimal for constant ``t``): draw a pad set exactly as in
+Algorithm 1 and route every element — including the real one — to an
+independently uniform server.  The real fetch is visible to the adversary
+only when its server is corrupted (probability ``t``), so the adversary's
+view is a further randomized projection of the single-server view and the
+single-server exact budget ``ln((1−α)n/(αK)+1)`` is an upper bound on the
+privacy loss; the per-corrupted-server load is ``t·K/D`` in expectation.
+Experiment E12 audits the corrupted view empirically against Theorem C.1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.params import DPIRParams
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.errors import RetrievalError
+from repro.storage.server import ServerPool
+from repro.storage.transcript import Transcript
+
+
+class MultiServerDPIR:
+    """Replicated ε-DP-IR across ``server_count`` non-colluding servers.
+
+    Args:
+        blocks: the database ``B_1..B_n``.
+        server_count: number of replicas ``D``.
+        epsilon: target budget, resolved to the pad size exactly as in the
+            single-server scheme.  Mutually exclusive with ``pad_size``.
+        pad_size: explicit total pad size ``K``.
+        alpha: error probability in ``(0, 1)``.
+        rng: randomness source.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        server_count: int = 2,
+        epsilon: float | None = None,
+        pad_size: int | None = None,
+        alpha: float = 0.05,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        if server_count <= 0:
+            raise ValueError(f"server count must be positive, got {server_count}")
+        if (epsilon is None) == (pad_size is None):
+            raise ValueError("provide exactly one of epsilon or pad_size")
+        n = len(blocks)
+        if pad_size is not None:
+            self._params = DPIRParams.from_pad_size(n, pad_size, alpha)
+        else:
+            self._params = DPIRParams.from_epsilon(n, epsilon, alpha)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._pool = ServerPool(server_count, n)
+        self._pool.load_replicas(blocks)
+        self._queries = 0
+        self._errors = 0
+
+    # -- parameters & accounting ---------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._params.n
+
+    @property
+    def server_count(self) -> int:
+        """Number of replicas ``D``."""
+        return len(self._pool)
+
+    @property
+    def pad_size(self) -> int:
+        """Total blocks downloaded per query across all servers."""
+        return self._params.pad_size
+
+    @property
+    def alpha(self) -> float:
+        """Error probability."""
+        return self._params.alpha
+
+    @property
+    def epsilon(self) -> float:
+        """Single-server exact budget — an upper bound on the loss against
+        any corrupted subset (the corrupted view is a projection)."""
+        return self._params.epsilon
+
+    @property
+    def pool(self) -> ServerPool:
+        """The replica pool (exposes per-server operation counters)."""
+        return self._pool
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries issued so far."""
+        return self._queries
+
+    @property
+    def error_count(self) -> int:
+        """Number of queries that erred."""
+        return self._errors
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the combined all-server view of subsequent queries."""
+        self._pool.attach_transcript(transcript)
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, index: int) -> bytes | None:
+        """Retrieve block ``index``; ``None`` on the α-error event."""
+        plan, real_server = self._draw_plan(index)
+        self._pool.begin_query(self._queries)
+        self._queries += 1
+        result: bytes | None = None
+        for server_id, slots in enumerate(plan):
+            server = self._pool[server_id]
+            for slot in sorted(slots):
+                block = server.read(slot)
+                if server_id == real_server and slot == index:
+                    result = block
+        if real_server is None:
+            self._errors += 1
+            return None
+        return result
+
+    def sample_corrupted_view(
+        self, index: int, corrupted: set[int]
+    ) -> frozenset[tuple[int, int]]:
+        """Sample the ``(server, slot)`` pairs a corrupted subset would see.
+
+        Draws from the same distribution as :meth:`query` without touching
+        the servers; used by the E12 privacy audit.
+        """
+        plan, _ = self._draw_plan(index)
+        view = {
+            (server_id, slot)
+            for server_id, slots in enumerate(plan)
+            for slot in slots
+            if server_id in corrupted
+        }
+        return frozenset(view)
+
+    # -- internals ----------------------------------------------------------
+
+    def _draw_plan(self, index: int) -> tuple[list[set[int]], int | None]:
+        """Draw the per-server download plan for one query.
+
+        Returns ``(plan, real_server)`` where ``plan[s]`` is the slot set
+        sent to server ``s`` and ``real_server`` is the replica serving the
+        real fetch (``None`` on the error event).
+        """
+        n = self._params.n
+        if not 0 <= index < n:
+            raise RetrievalError(f"index {index} out of range for n={n}")
+        chosen: set[int] = set()
+        include_real = self._rng.random() >= self._params.alpha
+        if include_real:
+            chosen.add(index)
+        while len(chosen) < self._params.pad_size:
+            candidate = self._rng.randbelow(n)
+            if candidate not in chosen:
+                chosen.add(candidate)
+        plan: list[set[int]] = [set() for _ in range(len(self._pool))]
+        real_server: int | None = None
+        for slot in chosen:
+            target = self._rng.randbelow(len(self._pool))
+            plan[target].add(slot)
+            if include_real and slot == index:
+                real_server = target
+        return plan, real_server

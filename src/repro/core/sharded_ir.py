@@ -1,0 +1,203 @@
+"""Sharded DP-IR: multi-server deployment without replication.
+
+:class:`~repro.core.multi_server.MultiServerDPIR` replicates the database
+on every server (``D·n`` total storage).  Large deployments shard
+instead: server ``s`` stores the contiguous range of ``≈ n/D`` records
+assigned to it, and a query downloads its pad set from whichever shards
+the chosen indices live on.
+
+Privacy against a subset of corrupted shards follows from the same
+Algorithm-1 argument, applied per shard: the view of any shard is a
+uniformly random subset of *its own* records, with the real record forced
+in (probability ``1−α``) only when it lives on that shard.  The worst-case
+pair of adjacent queries lands both records on one corrupted shard, where
+the ratio is that of a single-server DP-IR over the shard — so the scheme
+keeps the single-server exact budget while cutting per-server storage to
+``n/D``.  What sharding gives up versus replication is *load hiding*: the
+shard holding a hot record serves more pad traffic (the experiments can
+measure this with the per-server counters).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.params import DPIRParams
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.errors import RetrievalError, StorageError
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+
+class ShardedDPIR:
+    """ε-DP-IR over ``D`` contiguous shards (no replication).
+
+    Args:
+        blocks: the database ``B_1..B_n``.
+        shard_count: number of shards ``D`` (each holds ``⌈n/D⌉`` or
+            ``⌊n/D⌋`` consecutive records).
+        epsilon: target budget; resolved to the pad size exactly as in
+            the single-server scheme.  Mutually exclusive with
+            ``pad_size``.
+        pad_size: explicit total pad size ``K``.
+        alpha: error probability in ``(0, 1)``.
+        rng: randomness source.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        shard_count: int = 2,
+        epsilon: float | None = None,
+        pad_size: int | None = None,
+        alpha: float = 0.05,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        if shard_count <= 0:
+            raise ValueError(f"shard count must be positive, got {shard_count}")
+        if shard_count > len(blocks):
+            raise ValueError(
+                f"cannot split {len(blocks)} blocks into {shard_count} shards"
+            )
+        if (epsilon is None) == (pad_size is None):
+            raise ValueError("provide exactly one of epsilon or pad_size")
+        n = len(blocks)
+        if pad_size is not None:
+            self._params = DPIRParams.from_pad_size(n, pad_size, alpha)
+        else:
+            self._params = DPIRParams.from_epsilon(n, epsilon, alpha)
+        self._rng = rng if rng is not None else SystemRandomSource()
+
+        # Contiguous range partition: shard s holds [starts[s], starts[s+1]).
+        base, extra = divmod(n, shard_count)
+        self._starts = [0]
+        for shard in range(shard_count):
+            size = base + (1 if shard < extra else 0)
+            self._starts.append(self._starts[-1] + size)
+        self._shards = []
+        for shard in range(shard_count):
+            lo, hi = self._starts[shard], self._starts[shard + 1]
+            server = StorageServer(hi - lo, server_id=shard)
+            server.load(blocks[lo:hi])
+            self._shards.append(server)
+        self._queries = 0
+        self._errors = 0
+
+    # -- layout ----------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._params.n
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards ``D``."""
+        return len(self._shards)
+
+    @property
+    def pad_size(self) -> int:
+        """Total blocks downloaded per query across shards."""
+        return self._params.pad_size
+
+    @property
+    def alpha(self) -> float:
+        """Error probability."""
+        return self._params.alpha
+
+    @property
+    def epsilon(self) -> float:
+        """Exact single-server budget (see module docstring)."""
+        return self._params.epsilon
+
+    @property
+    def shards(self) -> list[StorageServer]:
+        """Per-shard servers (exposes per-shard operation counters)."""
+        return list(self._shards)
+
+    @property
+    def servers(self) -> list[StorageServer]:
+        """Alias for the harness' multi-server counter aggregation."""
+        return list(self._shards)
+
+    @property
+    def query_count(self) -> int:
+        """Queries issued so far."""
+        return self._queries
+
+    @property
+    def error_count(self) -> int:
+        """Queries that erred."""
+        return self._errors
+
+    def shard_of(self, index: int) -> int:
+        """Which shard stores global record ``index``."""
+        if not 0 <= index < self._params.n:
+            raise StorageError(f"index {index} out of range")
+        lo, hi = 0, len(self._shards) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._starts[mid] <= index:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def total_storage_blocks(self) -> int:
+        """Server storage across shards — ``n``, not ``D·n``."""
+        return sum(server.capacity for server in self._shards)
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the combined all-shard view of subsequent queries."""
+        for server in self._shards:
+            server.attach_transcript(transcript)
+
+    # -- querying ------------------------------------------------------------
+
+    def query(self, index: int) -> bytes | None:
+        """Retrieve block ``index``; ``None`` on the α-error event."""
+        chosen, include_real = self._draw_set(index)
+        for server in self._shards:
+            server.begin_query(self._queries)
+        self._queries += 1
+        result: bytes | None = None
+        for global_index in sorted(chosen):
+            shard = self.shard_of(global_index)
+            local = global_index - self._starts[shard]
+            block = self._shards[shard].read(local)
+            if global_index == index and include_real:
+                result = block
+        if not include_real:
+            self._errors += 1
+            return None
+        return result
+
+    def sample_shard_view(
+        self, index: int, corrupted: set[int]
+    ) -> frozenset[int]:
+        """Global indices a corrupted shard subset would see for one query.
+
+        Sampling only — no server operations are performed.
+        """
+        chosen, _ = self._draw_set(index)
+        return frozenset(
+            g for g in chosen if self.shard_of(g) in corrupted
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _draw_set(self, index: int) -> tuple[set[int], bool]:
+        n = self._params.n
+        if not 0 <= index < n:
+            raise RetrievalError(f"index {index} out of range for n={n}")
+        chosen: set[int] = set()
+        include_real = self._rng.random() >= self._params.alpha
+        if include_real:
+            chosen.add(index)
+        while len(chosen) < self._params.pad_size:
+            candidate = self._rng.randbelow(n)
+            if candidate not in chosen:
+                chosen.add(candidate)
+        return chosen, include_real

@@ -1,0 +1,83 @@
+"""The insecure strawman of Section 4.
+
+The tempting construction: always download the desired block, and download
+every other block independently with probability ``1/n``.  Expected
+bandwidth is O(1), correctness is perfect — and the scheme is **broken**:
+for any two queries ``i ≠ j`` the event "``B_i`` was not downloaded" has
+probability 0 under query ``i`` and ``(n−1)/n`` under query ``j``, forcing
+``δ ≥ (n−1)/n`` in Definition 2.1.  An adversary that simply checks set
+membership distinguishes queries almost perfectly
+(:mod:`repro.analysis.attacks` measures this).
+
+The class exists so the experiments can demonstrate the failure mode the
+paper warns about; do not use it for anything else.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.errors import RetrievalError
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+
+class StrawmanIR:
+    """The Section 4 construction: real block always, others w.p. ``1/n``."""
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        rng: RandomSource | None = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        self._n = len(blocks)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._server = StorageServer(self._n)
+        self._server.load(blocks)
+        self._queries = 0
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self._n
+
+    @property
+    def server(self) -> StorageServer:
+        """The passive server (exposes operation counters)."""
+        return self._server
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries issued so far."""
+        return self._queries
+
+    def query(self, index: int) -> bytes:
+        """Retrieve block ``index`` — always succeeds (and always leaks)."""
+        download_set = self._draw_set(index)
+        self._server.begin_query(self._queries)
+        self._queries += 1
+        retrieved = {}
+        for slot in sorted(download_set):
+            retrieved[slot] = self._server.read(slot)
+        return retrieved[index]
+
+    def sample_query_set(self, index: int) -> frozenset[int]:
+        """Sample the download set without touching the server."""
+        return frozenset(self._draw_set(index))
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the adversary view of subsequent queries."""
+        self._server.attach_transcript(transcript)
+
+    def _draw_set(self, index: int) -> set[int]:
+        if not 0 <= index < self._n:
+            raise RetrievalError(f"index {index} out of range for n={self._n}")
+        noise_rate = 1.0 / self._n
+        download_set = {index}
+        for other in range(self._n):
+            if other != index and self._rng.random() < noise_rate:
+                download_set.add(other)
+        return download_set

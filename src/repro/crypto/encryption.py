@@ -1,0 +1,135 @@
+"""Symmetric encryption with content-independent ciphertexts.
+
+DP-RAM (Section 6) assumes an IND-CPA symmetric scheme ``(Enc, Dec)`` so
+that the transcript reveals only *which* server slots were touched, never
+what they contain.  We implement a nonce-based stream cipher: a fresh random
+nonce is drawn per encryption and the keystream is
+``PRG(HMAC(key, nonce))``.  Re-encrypting the same plaintext therefore
+yields an unrelated ciphertext, which is exactly the property the paper's
+simulator argument relies on (Section 6, "Discussion about encryption").
+
+This is a simulation-grade cipher built from the standard library; it is not
+meant to resist real adversaries (no authentication tag), and the repository
+never claims otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.prg import CounterPRG
+from repro.crypto.rng import RandomSource
+
+NONCE_SIZE = 16
+"""Number of nonce bytes prepended to every ciphertext."""
+
+CIPHERTEXT_OVERHEAD = NONCE_SIZE
+"""Ciphertext expansion in bytes (the nonce)."""
+
+_KEY_SIZE = 32
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Wrapper for symmetric key material.
+
+    Using a dedicated type (rather than raw ``bytes``) prevents accidentally
+    passing plaintext where a key is expected.
+    """
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != _KEY_SIZE:
+            raise ValueError(
+                f"key must be {_KEY_SIZE} bytes, got {len(self.material)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fingerprint = hashlib.sha256(self.material).hexdigest()[:8]
+        return f"SecretKey(fingerprint={fingerprint})"
+
+
+def generate_key(rng: RandomSource) -> SecretKey:
+    """Sample a fresh symmetric key from ``rng``."""
+    return SecretKey(rng.bytes(_KEY_SIZE))
+
+
+def _keystream(key: SecretKey, nonce: bytes, length: int) -> bytes:
+    seed = hmac.new(key.material, b"stream:" + nonce, hashlib.sha256).digest()
+    return CounterPRG.expand(seed, length)
+
+
+def encrypt(key: SecretKey, plaintext: bytes, rng: RandomSource) -> bytes:
+    """Encrypt ``plaintext`` under ``key`` with a fresh nonce from ``rng``."""
+    nonce = rng.bytes(NONCE_SIZE)
+    stream = _keystream(key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    return nonce + body
+
+
+def decrypt(key: SecretKey, ciphertext: bytes) -> bytes:
+    """Invert :func:`encrypt`.
+
+    Raises:
+        ValueError: if the ciphertext is shorter than the nonce.
+    """
+    if len(ciphertext) < NONCE_SIZE:
+        raise ValueError(
+            f"ciphertext too short: {len(ciphertext)} < nonce size {NONCE_SIZE}"
+        )
+    nonce, body = ciphertext[:NONCE_SIZE], ciphertext[NONCE_SIZE:]
+    stream = _keystream(key, nonce, len(body))
+    return bytes(c ^ s for c, s in zip(body, stream))
+
+
+# -- authenticated variant ---------------------------------------------------
+#
+# The paper's model is an honest-but-curious server, so plain IND-CPA
+# encryption suffices for the privacy proofs.  Deployments facing a server
+# that might *tamper* with ciphertexts need integrity too; the
+# encrypt-then-MAC pair below adds a 16-byte HMAC tag and detects any
+# modification (see repro.storage.faults for the failure-injection tests).
+
+TAG_SIZE = 16
+"""Bytes of HMAC tag appended by :func:`encrypt_authenticated`."""
+
+AUTHENTICATED_OVERHEAD = NONCE_SIZE + TAG_SIZE
+"""Total expansion of an authenticated ciphertext."""
+
+
+class IntegrityError(Exception):
+    """An authenticated ciphertext failed tag verification."""
+
+
+def _tag(key: SecretKey, ciphertext: bytes) -> bytes:
+    return hmac.new(key.material, b"mac:" + ciphertext, hashlib.sha256).digest()[
+        :TAG_SIZE
+    ]
+
+
+def encrypt_authenticated(
+    key: SecretKey, plaintext: bytes, rng: RandomSource
+) -> bytes:
+    """Encrypt-then-MAC: :func:`encrypt` plus an HMAC-SHA256 tag."""
+    ciphertext = encrypt(key, plaintext, rng)
+    return ciphertext + _tag(key, ciphertext)
+
+
+def decrypt_authenticated(key: SecretKey, ciphertext: bytes) -> bytes:
+    """Verify the tag, then decrypt.
+
+    Raises:
+        IntegrityError: if the ciphertext was modified (or is too short to
+            carry a tag).
+    """
+    if len(ciphertext) < NONCE_SIZE + TAG_SIZE:
+        raise IntegrityError(
+            f"authenticated ciphertext too short: {len(ciphertext)} bytes"
+        )
+    body, tag = ciphertext[:-TAG_SIZE], ciphertext[-TAG_SIZE:]
+    if not hmac.compare_digest(tag, _tag(key, body)):
+        raise IntegrityError("ciphertext failed integrity verification")
+    return decrypt(key, body)

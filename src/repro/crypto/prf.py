@@ -1,0 +1,71 @@
+"""Pseudorandom function built on HMAC-SHA256.
+
+The two-choice hashing scheme of Section 7.2 represents the mapping function
+``Π(u) = {F(key1, u), F(key2, u)}`` with a PRF ``F``.  This module provides
+that ``F`` with convenience helpers for deriving integers in a range and for
+deriving independent subkeys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_DIGEST_BYTES = 32
+
+
+class PRF:
+    """Keyed pseudorandom function ``F: {0,1}* -> {0,1}^256``.
+
+    Instances are immutable and safe to share between schemes.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError(f"PRF key must be bytes, got {type(key).__name__}")
+        if len(key) == 0:
+            raise ValueError("PRF key must be non-empty")
+        self._key = bytes(key)
+
+    @property
+    def key(self) -> bytes:
+        """The raw key material."""
+        return self._key
+
+    def evaluate(self, message: bytes) -> bytes:
+        """Return the 32-byte PRF output on ``message``."""
+        return hmac.new(self._key, message, hashlib.sha256).digest()
+
+    def integer(self, message: bytes, modulus: int) -> int:
+        """Return a pseudorandom integer in ``[0, modulus)`` for ``message``.
+
+        The 256-bit PRF output is reduced modulo ``modulus``; for the moduli
+        used in this repository (at most a few million) the modulo bias is
+        below ``2^-230`` and therefore irrelevant.
+        """
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        return int.from_bytes(self.evaluate(message), "big") % modulus
+
+    def choices(self, message: bytes, modulus: int, count: int) -> list[int]:
+        """Return ``count`` independent pseudorandom integers below ``modulus``.
+
+        The ``i``-th choice is derived from ``message`` with a domain
+        separator, so the choices are independent PRF evaluations (they may
+        still collide by chance, exactly as in the paper's scheme where the
+        two hash choices of a key may coincide).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [
+            self.integer(i.to_bytes(4, "big") + b"|" + message, modulus)
+            for i in range(count)
+        ]
+
+    def subkey(self, label: str) -> "PRF":
+        """Derive an independent PRF keyed by ``F(key, label)``."""
+        return PRF(self.evaluate(b"subkey:" + label.encode()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fingerprint = hashlib.sha256(self._key).hexdigest()[:8]
+        return f"PRF(key_fingerprint={fingerprint})"

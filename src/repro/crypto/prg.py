@@ -1,0 +1,50 @@
+"""Counter-mode pseudorandom generator.
+
+Expands a short seed into an arbitrarily long keystream by hashing a counter
+under HMAC-SHA256.  Used by :mod:`repro.crypto.encryption` to build a stream
+cipher and available directly for experiments that need long deterministic
+pseudorandom strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_BLOCK_BYTES = 32
+
+
+class CounterPRG:
+    """Deterministic byte stream derived from ``seed``.
+
+    The stream is stateful: successive calls to :meth:`read` return
+    successive segments.  Use :meth:`expand` for a one-shot stateless
+    expansion.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError(f"PRG seed must be bytes, got {type(seed).__name__}")
+        if len(seed) == 0:
+            raise ValueError("PRG seed must be non-empty")
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def read(self, length: int) -> bytes:
+        """Return the next ``length`` bytes of the stream."""
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        while len(self._buffer) < length:
+            block = hmac.new(
+                self._seed, self._counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:length], self._buffer[length:]
+        return out
+
+    @classmethod
+    def expand(cls, seed: bytes, length: int) -> bytes:
+        """Return the first ``length`` bytes of the stream seeded by ``seed``."""
+        return cls(seed).read(length)

@@ -1,0 +1,37 @@
+"""Hashing substrates.
+
+* :class:`~repro.hashing.two_choice.DChoiceTable` — classic power-of-d
+  choices hashing (Theorem A.1 baseline; the paper's Section A.1 recap).
+* :class:`~repro.hashing.tree_buckets.TreeBucketLayout` /
+  :class:`~repro.hashing.tree_buckets.TreeOccupancySimulator` — the
+  tree-shared bucket structure of Section 7.2 with the storing algorithm S
+  (place at the lowest node with space on either chosen path, spill to the
+  client super root).
+* :mod:`repro.hashing.node_codec` — packing of (key, value) entries into
+  fixed-size node blocks, so tree nodes can live in balls-and-bins slots.
+* :class:`~repro.hashing.padded.PaddedTwoChoiceStore` — the naive
+  "pad every bin to the max" alternative the paper rejects because it
+  needs ``O(n·log log n)`` server storage (ablation for E10).
+"""
+
+from repro.hashing.node_codec import (
+    NodeCodec,
+    NodeEntry,
+)
+from repro.hashing.padded import PaddedTwoChoiceStore
+from repro.hashing.tree_buckets import (
+    SUPER_ROOT,
+    TreeBucketLayout,
+    TreeOccupancySimulator,
+)
+from repro.hashing.two_choice import DChoiceTable
+
+__all__ = [
+    "DChoiceTable",
+    "NodeCodec",
+    "NodeEntry",
+    "PaddedTwoChoiceStore",
+    "SUPER_ROOT",
+    "TreeBucketLayout",
+    "TreeOccupancySimulator",
+]

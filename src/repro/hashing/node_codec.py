@@ -1,0 +1,139 @@
+"""Packing (key, value) entries into fixed-size node blocks.
+
+The balls-and-bins substrate stores opaque equal-sized blocks, so the
+tree-node contents of DP-KVS (up to ``t`` entries per node) must serialize
+to a fixed size.  Layout::
+
+    [count: 2 bytes big-endian] [entry 0] ... [entry t-1 padding]
+
+where each entry is ``key (key_size bytes) || value (value_size bytes)``.
+Entries are kept compacted (no holes), so ``count`` fully describes the
+occupied prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.errors import BlockSizeError, CapacityError
+
+_COUNT_BYTES = 2
+
+
+@dataclass(frozen=True)
+class NodeEntry:
+    """One stored key-value pair."""
+
+    key: bytes
+    value: bytes
+
+
+@dataclass(frozen=True)
+class NodeCodec:
+    """Serializer for node blocks holding up to ``capacity`` entries.
+
+    Attributes:
+        capacity: maximum entries per node (the paper's ``t``).
+        key_size: exact key length in bytes.
+        value_size: exact value length in bytes.
+    """
+
+    capacity: int
+    key_size: int
+    value_size: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.key_size <= 0:
+            raise ValueError(f"key_size must be positive, got {self.key_size}")
+        if self.value_size < 0:
+            raise ValueError(f"value_size must be non-negative, got {self.value_size}")
+
+    @property
+    def entry_size(self) -> int:
+        """Bytes per entry."""
+        return self.key_size + self.value_size
+
+    @property
+    def block_size(self) -> int:
+        """Serialized node size in bytes (count prefix + ``t`` entry slots)."""
+        return _COUNT_BYTES + self.capacity * self.entry_size
+
+    def empty(self) -> bytes:
+        """An encoded empty node."""
+        return self.pack([])
+
+    def pack(self, entries: list[NodeEntry]) -> bytes:
+        """Serialize ``entries`` into a fixed-size node block.
+
+        Raises:
+            CapacityError: if there are more than ``capacity`` entries.
+            BlockSizeError: if any key or value has the wrong length.
+        """
+        if len(entries) > self.capacity:
+            raise CapacityError(
+                f"{len(entries)} entries exceed node capacity {self.capacity}"
+            )
+        parts = [len(entries).to_bytes(_COUNT_BYTES, "big")]
+        for entry in entries:
+            if len(entry.key) != self.key_size:
+                raise BlockSizeError(
+                    f"key must be {self.key_size} bytes, got {len(entry.key)}"
+                )
+            if len(entry.value) != self.value_size:
+                raise BlockSizeError(
+                    f"value must be {self.value_size} bytes, got {len(entry.value)}"
+                )
+            parts.append(entry.key)
+            parts.append(entry.value)
+        padding = (self.capacity - len(entries)) * self.entry_size
+        parts.append(b"\x00" * padding)
+        return b"".join(parts)
+
+    def unpack(self, block: bytes) -> list[NodeEntry]:
+        """Invert :meth:`pack`.
+
+        Raises:
+            BlockSizeError: if the block has the wrong size.
+            CapacityError: if the count prefix is larger than ``capacity``.
+        """
+        if len(block) != self.block_size:
+            raise BlockSizeError(
+                f"node block must be {self.block_size} bytes, got {len(block)}"
+            )
+        count = int.from_bytes(block[:_COUNT_BYTES], "big")
+        if count > self.capacity:
+            raise CapacityError(
+                f"count prefix {count} exceeds node capacity {self.capacity}"
+            )
+        entries = []
+        offset = _COUNT_BYTES
+        for _ in range(count):
+            key = block[offset : offset + self.key_size]
+            offset += self.key_size
+            value = block[offset : offset + self.value_size]
+            offset += self.value_size
+            entries.append(NodeEntry(key=key, value=value))
+        return entries
+
+    def normalize_key(self, key: bytes) -> bytes:
+        """Pad or reject a user key to exactly ``key_size`` bytes.
+
+        Keys shorter than ``key_size`` are zero-padded on the right; longer
+        keys are rejected so distinct user keys can never collide after
+        normalization.
+        """
+        if len(key) > self.key_size:
+            raise BlockSizeError(
+                f"key of {len(key)} bytes exceeds key_size {self.key_size}"
+            )
+        return key + b"\x00" * (self.key_size - len(key))
+
+    def normalize_value(self, value: bytes) -> bytes:
+        """Pad or reject a user value to exactly ``value_size`` bytes."""
+        if len(value) > self.value_size:
+            raise BlockSizeError(
+                f"value of {len(value)} bytes exceeds value_size {self.value_size}"
+            )
+        return value + b"\x00" * (self.value_size - len(value))

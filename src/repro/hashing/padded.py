@@ -1,0 +1,107 @@
+"""The naive padded-bins alternative (rejected by the paper, kept as ablation).
+
+To hide bin sizes one can pad *every* two-choice bin to the worst-case
+``Θ(log log n)`` size.  That works, but costs ``O(n·log log n)`` server
+storage — the blow-up Section 7.2's tree-sharing avoids.  Experiment E10
+contrasts the storage of this store against the tree layout.
+
+The store is functional (insert/lookup over real entries) so the storage
+accounting reflects a working system rather than a formula.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.prf import PRF
+from repro.storage.errors import CapacityError
+
+
+class PaddedTwoChoiceStore:
+    """Two-choice hashing with every bin padded to a fixed capacity.
+
+    Args:
+        capacity: number of keys the store must support (``n``).
+        prf: PRF providing the two bucket choices.
+        bin_capacity: slots per bin; defaults to the two-choice worst case
+            ``⌈3·log₂ log₂ n⌉ + 2`` (a concrete ``Θ(log log n)``).
+    """
+
+    def __init__(self, capacity: int, prf: PRF, bin_capacity: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._n = capacity
+        self._bins = capacity
+        if bin_capacity is None:
+            loglog = math.log2(max(2.0, math.log2(max(capacity, 4))))
+            bin_capacity = math.ceil(3 * loglog) + 2
+        if bin_capacity <= 0:
+            raise ValueError(f"bin_capacity must be positive, got {bin_capacity}")
+        self._bin_capacity = bin_capacity
+        self._prf = prf
+        self._table: list[list[tuple[bytes, bytes]]] = [[] for _ in range(self._bins)]
+        self._size = 0
+
+    @property
+    def bins(self) -> int:
+        """Number of bins (= capacity, as in the paper's analysis)."""
+        return self._bins
+
+    @property
+    def bin_capacity(self) -> int:
+        """Padded slots per bin."""
+        return self._bin_capacity
+
+    @property
+    def size(self) -> int:
+        """Number of stored keys."""
+        return self._size
+
+    @property
+    def server_slots(self) -> int:
+        """Total padded server slots — the ``O(n log log n)`` figure."""
+        return self._bins * self._bin_capacity
+
+    def candidates_for(self, key: bytes) -> list[int]:
+        """The two candidate bins for ``key``."""
+        return self._prf.choices(key, self._bins, 2)
+
+    def put(self, key: bytes, value: bytes) -> int:
+        """Insert or update ``key``; returns the bin used.
+
+        Raises:
+            CapacityError: if both candidate bins are full (the event whose
+                probability the padding was sized to make negligible).
+        """
+        first, second = self.candidates_for(key)
+        for bin_index in (first, second):
+            bucket = self._table[bin_index]
+            for slot, (stored, _) in enumerate(bucket):
+                if stored == key:
+                    bucket[slot] = (key, value)
+                    return bin_index
+        lighter = min(
+            (first, second), key=lambda bin_index: len(self._table[bin_index])
+        )
+        if len(self._table[lighter]) >= self._bin_capacity:
+            other = second if lighter == first else first
+            if len(self._table[other]) >= self._bin_capacity:
+                raise CapacityError(
+                    f"both bins for key full at capacity {self._bin_capacity}"
+                )
+            lighter = other
+        self._table[lighter].append((key, value))
+        self._size += 1
+        return lighter
+
+    def get(self, key: bytes) -> bytes | None:
+        """Look up ``key``; returns ``None`` if absent."""
+        for bin_index in self.candidates_for(key):
+            for stored, value in self._table[bin_index]:
+                if stored == key:
+                    return value
+        return None
+
+    def max_load(self) -> int:
+        """Largest actual bin occupancy (≤ ``bin_capacity`` by construction)."""
+        return max(len(bucket) for bucket in self._table)

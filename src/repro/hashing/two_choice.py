@@ -1,0 +1,105 @@
+"""Power-of-d-choices hashing (Section A.1, [41]).
+
+One random choice per ball gives a maximum bin load of
+``Θ(log n / log log n)`` w.h.p.; two choices (insert into the lighter of
+two random bins) collapse that to ``Θ(log log n)``, and ``d ≥ 3`` only
+improves the constant.  Experiment E8 regenerates this separation, which
+is the foundation the Section 7.2 mapping scheme builds on.
+
+:class:`DChoiceTable` supports both keyed use (choices derived from a PRF,
+as in the paper's ``Π(u) = {F(key1,u), F(key2,u)}``) and anonymous-ball use
+(choices drawn from an RNG) for load experiments.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prf import PRF
+from repro.crypto.rng import RandomSource
+
+
+class DChoiceTable:
+    """``bins`` bins receiving balls via the power of ``choices`` choices.
+
+    Args:
+        bins: number of bins (must be positive).
+        choices: number of candidate bins per ball (``d ≥ 1``).
+        prf: optional PRF for keyed insertion; required by :meth:`insert`.
+    """
+
+    def __init__(self, bins: int, choices: int = 2, prf: PRF | None = None) -> None:
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        if choices <= 0:
+            raise ValueError(f"choices must be positive, got {choices}")
+        self._bins = bins
+        self._choices = choices
+        self._prf = prf
+        self._loads = [0] * bins
+        self._balls = 0
+
+    @property
+    def bins(self) -> int:
+        """Number of bins."""
+        return self._bins
+
+    @property
+    def choices(self) -> int:
+        """Number of candidate bins per ball (``d``)."""
+        return self._choices
+
+    @property
+    def balls(self) -> int:
+        """Number of balls inserted so far."""
+        return self._balls
+
+    def candidates_for(self, key: bytes) -> list[int]:
+        """The ``d`` candidate bins for ``key`` (PRF-derived, deterministic).
+
+        Raises:
+            ValueError: if the table was built without a PRF.
+        """
+        if self._prf is None:
+            raise ValueError("keyed insertion requires a PRF")
+        return self._prf.choices(key, self._bins, self._choices)
+
+    def insert(self, key: bytes) -> int:
+        """Insert ``key`` into the least loaded of its candidate bins.
+
+        Returns the chosen bin.  Ties go to the earlier candidate, matching
+        the standard analysis.
+        """
+        return self._place(self.candidates_for(key))
+
+    def insert_random(self, rng: RandomSource) -> int:
+        """Insert an anonymous ball with fresh uniform candidates.
+
+        Returns the chosen bin.  This is the balls-and-bins process of
+        Theorem A.1 (choices independent across balls).
+        """
+        candidates = [rng.randbelow(self._bins) for _ in range(self._choices)]
+        return self._place(candidates)
+
+    def load(self, bin_index: int) -> int:
+        """Current load of ``bin_index``."""
+        return self._loads[bin_index]
+
+    def loads(self) -> list[int]:
+        """Snapshot of all bin loads."""
+        return list(self._loads)
+
+    def max_load(self) -> int:
+        """The maximum bin load — the quantity Theorem A.1 bounds."""
+        return max(self._loads)
+
+    def load_histogram(self) -> dict[int, int]:
+        """Map from load value to the number of bins carrying that load."""
+        histogram: dict[int, int] = {}
+        for load in self._loads:
+            histogram[load] = histogram.get(load, 0) + 1
+        return histogram
+
+    def _place(self, candidates: list[int]) -> int:
+        best = min(candidates, key=lambda b: self._loads[b])
+        self._loads[best] += 1
+        self._balls += 1
+        return best

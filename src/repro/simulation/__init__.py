@@ -1,0 +1,24 @@
+"""Experiment harness: run schemes over traces, collect metrics, report.
+
+* :mod:`repro.simulation.metrics` — the per-run measurement bundle.
+* :mod:`repro.simulation.harness` — drive RAM/IR/KVS schemes over
+  workload traces with reference-model correctness checking.
+* :mod:`repro.simulation.reporting` — ascii/markdown tables for the
+  experiment outputs.
+* :mod:`repro.simulation.experiments` — the E1..E12 experiment drivers
+  shared by the benchmark suite and the CLI
+  (``python -m repro.simulation.experiments``).
+"""
+
+from repro.simulation.harness import run_ir_trace, run_kv_trace, run_ram_trace
+from repro.simulation.metrics import RunMetrics
+from repro.simulation.reporting import ExperimentTable, format_table
+
+__all__ = [
+    "ExperimentTable",
+    "RunMetrics",
+    "format_table",
+    "run_ir_trace",
+    "run_kv_trace",
+    "run_ram_trace",
+]

@@ -1,0 +1,660 @@
+"""Experiment drivers E1..E12 — one per paper claim (see DESIGN.md §4).
+
+Each function returns an :class:`~repro.simulation.reporting.ExperimentTable`
+whose rows pair the paper's predicted quantity with the measured one.  The
+benchmark files call these with their default (fast) parameters; running
+``python -m repro.simulation.experiments`` prints every table, and the
+EXPERIMENTS.md in the repository root was generated from exactly these
+drivers.
+
+The paper is a theory paper with no numbered tables or figures; its
+evaluation is the set of theorems, so the experiment ids map to theorems
+(the mapping is DESIGN.md §4's index).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import attacks, bounds, dp_ir_exact, dp_ram_exact, tails
+from repro.baselines.linear_pir import LinearScanPIR
+from repro.baselines.oram_kvs import ORAMKeyValueStore
+from repro.baselines.path_oram import PathORAM
+from repro.baselines.plaintext import PlaintextKVS, PlaintextRAM
+from repro.core.dp_ir import DPIR
+from repro.core.dp_kvs import DPKVS
+from repro.core.dp_ram import DPRAM
+from repro.core.multi_server import MultiServerDPIR
+from repro.core.params import default_phi
+from repro.core.strawman import StrawmanIR
+from repro.crypto.prf import PRF
+from repro.crypto.rng import SeededRandomSource
+from repro.hashing.padded import PaddedTwoChoiceStore
+from repro.hashing.tree_buckets import TreeBucketLayout, TreeOccupancySimulator
+from repro.hashing.two_choice import DChoiceTable
+from repro.simulation.harness import run_ir_trace, run_kv_trace, run_ram_trace
+from repro.simulation.reporting import ExperimentTable
+from repro.storage.blocks import integer_database
+from repro.workloads.generators import read_write_trace, uniform_trace, zipf_trace
+from repro.workloads.kv_traces import ycsb_trace
+
+
+def experiment_e01_errorless_ir(
+    sizes: tuple[int, ...] = (256, 512, 1024), queries: int = 20, seed: int = 1
+) -> ExperimentTable:
+    """E1 / Theorem 3.3: errorless DP-IR must move ≥ (1−δ)·n blocks."""
+    table = ExperimentTable(
+        experiment="E1",
+        claim="errorless (eps,delta)-DP-IR moves >= (1-delta)*n blocks (Thm 3.3)",
+        headers=["n", "bound (delta=0)", "measured blocks/query", "meets bound"],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        database = integer_database(n)
+        scheme = LinearScanPIR(database)
+        trace = uniform_trace(n, queries, rng.spawn(f"e1-{n}"))
+        metrics = run_ir_trace(scheme, trace, expected=database)
+        bound = bounds.dp_ir_errorless_lower_bound(n)
+        measured = metrics.blocks_per_operation
+        table.add_row(n, bound, measured, measured >= bound)
+    table.add_note(
+        "linear-scan PIR realizes the bound with equality; Thm 3.3 says no "
+        "errorless scheme can do better for any epsilon"
+    )
+    return table
+
+
+def experiment_e02_dpir_lower_bound(
+    n: int = 1024,
+    alpha: float = 0.05,
+    epsilons: tuple[float, ...] | None = None,
+    queries: int = 300,
+    seed: int = 2,
+) -> ExperimentTable:
+    """E2 / Theorem 3.4: DP-IR(α) bandwidth vs the Ω((1−α−δ)n/e^ε) floor."""
+    if epsilons is None:
+        log_n = math.log(n)
+        epsilons = (0.5 * log_n, 0.75 * log_n, log_n, 1.25 * log_n, 2 * log_n)
+    table = ExperimentTable(
+        experiment="E2",
+        claim="DP-IR with error alpha moves >= (n-1)(1-alpha-delta)/e^eps (Thm 3.4)",
+        headers=[
+            "n", "target eps", "exact eps", "pad K",
+            "bound blocks/query", "measured blocks/query", "meets bound",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    database = integer_database(n)
+    for epsilon in epsilons:
+        scheme = DPIR(database, epsilon=epsilon, alpha=alpha,
+                      rng=rng.spawn(f"e2-{epsilon:.3f}"))
+        trace = uniform_trace(n, queries, rng.spawn(f"e2-trace-{epsilon:.3f}"))
+        metrics = run_ir_trace(scheme, trace, expected=database)
+        floor = bounds.dp_ir_error_lower_bound(n, scheme.epsilon, alpha)
+        measured = metrics.blocks_per_operation
+        table.add_row(
+            n, round(epsilon, 3), round(scheme.epsilon, 3), scheme.pad_size,
+            floor, measured, measured >= floor,
+        )
+    table.add_note(
+        "the construction's exact epsilon makes the bound tight up to the "
+        "alpha factor: K = ceil((1-alpha)n/(alpha(e^eps - 1)))"
+    )
+    return table
+
+
+def experiment_e03_dpir_construction(
+    sizes: tuple[int, ...] = (256, 1024, 4096),
+    alphas: tuple[float, ...] = (0.01, 0.05, 0.1),
+    queries: int = 400,
+    seed: int = 3,
+) -> ExperimentTable:
+    """E3 / Theorem 5.1: constant bandwidth at ε = Θ(log n), error ≈ α."""
+    table = ExperimentTable(
+        experiment="E3",
+        claim="eps-DP-IR with eps = ln(n) uses O(1) blocks, errs w.p. alpha (Thm 5.1)",
+        headers=[
+            "n", "alpha", "pad K", "exact eps", "eps/ln(n)",
+            "measured blocks/query", "measured error rate",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        database = integer_database(n)
+        for alpha in alphas:
+            epsilon = math.log(n)
+            scheme = DPIR(database, epsilon=epsilon, alpha=alpha,
+                          rng=rng.spawn(f"e3-{n}-{alpha}"))
+            trace = zipf_trace(n, queries, rng.spawn(f"e3-trace-{n}-{alpha}"))
+            metrics = run_ir_trace(scheme, trace, expected=database)
+            table.add_row(
+                n, alpha, scheme.pad_size, round(scheme.epsilon, 3),
+                round(scheme.epsilon / math.log(n), 3),
+                metrics.blocks_per_operation, round(metrics.error_rate, 4),
+            )
+    table.add_note("pad size stays O(1) across n because eps tracks ln(n)")
+    return table
+
+
+def experiment_e04_strawman(
+    sizes: tuple[int, ...] = (64, 256, 1024), trials: int = 2000, seed: int = 4
+) -> ExperimentTable:
+    """E4 / Section 4: the strawman's δ → (n−1)/n and attack success → 1."""
+    table = ExperimentTable(
+        experiment="E4",
+        claim="the Section 4 strawman has delta = (n-1)/n: no privacy",
+        headers=[
+            "n", "exact delta (strawman)", "attack success (strawman)",
+            "attack success (DP-IR)", "DP-IR ceiling 1-(1-d)/2e^eps",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        database = integer_database(n)
+        strawman = StrawmanIR(database, rng=rng.spawn(f"e4-straw-{n}"))
+        dpir = DPIR(database, epsilon=math.log(n), alpha=0.25,
+                    rng=rng.spawn(f"e4-dpir-{n}"))
+        attack_rng = rng.spawn(f"e4-attack-{n}")
+        straw_result = attacks.membership_attack(
+            strawman.sample_query_set, 0, 1, trials, attack_rng
+        )
+        dpir_result = attacks.membership_attack(
+            dpir.sample_query_set, 0, 1, trials, attack_rng,
+            epsilon=dpir.epsilon,
+        )
+        table.add_row(
+            n,
+            round(dp_ir_exact.strawman_exact_delta(n, epsilon=math.log(n)), 4),
+            round(straw_result.success_rate, 4),
+            round(dpir_result.success_rate, 4),
+            round(dpir_result.bound, 4),
+        )
+    table.add_note(
+        "the membership distinguisher wins ~ (1 - 1/2n ...) against the "
+        "strawman while staying below the DP ceiling against Algorithm 1"
+    )
+    return table
+
+
+def experiment_e05_dpram_lower_bound(
+    n: int = 1024, client_blocks: int = 32, seed: int = 5
+) -> ExperimentTable:
+    """E5 / Theorem 3.7: the log_c((1−α)n/e^ε) floor vs the construction."""
+    table = ExperimentTable(
+        experiment="E5",
+        claim="eps-DP-RAM with client storage c moves >= log_c((1-a)n/e^eps) (Thm 3.7)",
+        headers=[
+            "n", "eps", "bound blocks/query (c=32)",
+            "DP-RAM blocks/query", "meets bound",
+        ],
+    )
+    del seed  # analytic sweep; the measured column is structural (3 blocks)
+    log_n = math.log(n)
+    for factor in (0.0, 0.25, 0.5, 0.75, 1.0, 1.5):
+        epsilon = factor * log_n
+        floor = bounds.dp_ram_lower_bound(n, epsilon, client_blocks)
+        measured = 3.0  # Algorithm 3 moves exactly 3 blocks per query
+        table.add_row(n, round(epsilon, 3), round(floor, 3), measured,
+                      measured >= floor)
+    table.add_note(
+        "at eps = Theta(log n) the floor drops below the construction's "
+        "3 blocks/query; at constant eps the floor is Omega(log_c n), "
+        "matching the ORAM regime"
+    )
+    return table
+
+
+def experiment_e06_dpram_construction(
+    sizes: tuple[int, ...] = (256, 1024, 4096),
+    queries: int = 400,
+    seed: int = 6,
+) -> ExperimentTable:
+    """E6 / Theorem 6.1 + Lemma D.1: 3 blocks/query, stash ≈ Φ(n), ε = O(log n)."""
+    table = ExperimentTable(
+        experiment="E6",
+        claim="DP-RAM: 3 blocks/query, stash <= e*phi w.h.p., eps = O(log n) (Thm 6.1)",
+        headers=[
+            "n", "phi", "blocks/query", "stash peak", "e*phi cap",
+            "analytic eps bound", "eps bound/ln(n)", "mismatches",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        database = integer_database(n)
+        scheme = DPRAM(database, rng=rng.spawn(f"e6-{n}"))
+        trace = read_write_trace(n, queries, rng.spawn(f"e6-trace-{n}"),
+                                 write_fraction=0.3)
+        metrics = run_ram_trace(scheme, trace, initial=database)
+        phi = default_phi(n)
+        table.add_row(
+            n, phi, metrics.blocks_per_operation, scheme.stash_peak,
+            round(math.e * phi, 1),
+            round(scheme.params.epsilon_bound, 2),
+            round(scheme.params.epsilon_bound / math.log(n), 2),
+            metrics.mismatches,
+        )
+    table.add_note("blocks/query is exactly 3 independent of n — the O(1) claim")
+    return table
+
+
+def experiment_e07_dpram_ratios(
+    n: int = 8, length: int = 4, trials: int = 1500, seed: int = 7
+) -> ExperimentTable:
+    """E7 / Lemmas 6.4-6.5: exact transcript ratios vs the analytic budget."""
+    table = ExperimentTable(
+        experiment="E7",
+        claim="exact transcript log-ratios stay under 3*ln(n^3/p^2) (Lemmas 6.4/6.5+6.7)",
+        headers=[
+            "n", "p", "queries l", "sampled max |log ratio|",
+            "exact worst-case eps", "analytic eps bound", "within bound",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for p in (0.1, 0.25, 0.5):
+        queries_a = [rng.randbelow(n) for _ in range(length)]
+        position = rng.randbelow(length)
+        queries_b = list(queries_a)
+        queries_b[position] = (queries_a[position] + 1 +
+                               rng.randbelow(n - 1)) % n
+        worst_sampled = dp_ram_exact.empirical_epsilon(
+            queries_a, queries_b, n, p, rng.spawn(f"e7-{p}"), trials=trials
+        )
+        try:
+            worst_exact = dp_ram_exact.worst_case_log_ratio_exact(
+                queries_a, queries_b, n, p
+            )
+        except ValueError:
+            worst_exact = float("nan")
+        budget = dp_ram_exact.dp_ram_analytic_epsilon(n, p)
+        within = worst_sampled <= budget and (
+            worst_exact != worst_exact or worst_exact <= budget
+        )
+        table.add_row(n, p, length, round(worst_sampled, 3),
+                      round(worst_exact, 3), round(budget, 3), within)
+    table.add_note(
+        "ratios are exact per transcript (chain-factorized likelihoods); "
+        "the exact worst case enumerates transcript classes over the <=3 "
+        "positions Lemma 6.7 identifies"
+    )
+    return table
+
+
+def experiment_e08_two_choice(
+    sizes: tuple[int, ...] = (1024, 4096, 16384), seed: int = 8
+) -> ExperimentTable:
+    """E8 / Theorem A.1: one- vs two- vs three-choice max loads."""
+    table = ExperimentTable(
+        experiment="E8",
+        claim="two choices collapse max load from ~log n/log log n to ~log log n (Thm A.1)",
+        headers=[
+            "n", "d=1 max load", "d=2 max load", "d=3 max load",
+            "log2(n)/log2(log2 n)", "log2(log2 n)",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        row = [n]
+        for choices in (1, 2, 3):
+            table_ = DChoiceTable(bins=n, choices=choices)
+            source = rng.spawn(f"e8-{n}-{choices}")
+            for _ in range(n):
+                table_.insert_random(source)
+            row.append(table_.max_load())
+        loglog = math.log2(math.log2(n))
+        row.append(round(math.log2(n) / loglog, 2))
+        row.append(round(loglog, 2))
+        table.add_row(*row)
+    table.add_note("the d=1 column grows with n; d=2 and d=3 stay ~log log n")
+    return table
+
+
+def experiment_e09_tree_hashing(
+    sizes: tuple[int, ...] = (4096, 16384, 65536),
+    node_capacity: int = 4,
+    seed: int = 9,
+) -> ExperimentTable:
+    """E9 / Theorem 7.2 + Lemma 7.3: super-root load and level occupancy."""
+    table = ExperimentTable(
+        experiment="E9",
+        claim="inserting n keys puts <= phi(n) = omega(log n) keys in the super root (Thm 7.2)",
+        headers=[
+            "n", "buckets", "server nodes", "super-root load", "phi(n)",
+            "within phi", "filled leaves H_0", "beta_0 bound",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        layout = TreeBucketLayout.for_capacity(n, node_capacity=node_capacity)
+        simulator = TreeOccupancySimulator(layout)
+        source = rng.spawn(f"e9-{n}")
+        for _ in range(n):
+            simulator.insert_random(source)
+        phi = default_phi(n)
+        occupancy = simulator.level_occupancy()
+        beta0 = tails.beta_sequence_closed_form(n, 0)
+        table.add_row(
+            n, layout.bucket_count, layout.node_count,
+            simulator.super_root_load, phi,
+            simulator.super_root_load <= phi,
+            occupancy[0], round(beta0, 1),
+        )
+    table.add_note(
+        "server storage is ~2n/leaves trees * (2*leaves-1) nodes = O(n); "
+        "level occupancies decay doubly exponentially per Lemma 7.3"
+    )
+    return table
+
+
+def experiment_e10_dpkvs(
+    sizes: tuple[int, ...] = (256, 1024, 4096),
+    operations: int = 200,
+    seed: int = 10,
+) -> ExperimentTable:
+    """E10 / Theorem 7.5: DP-KVS overhead O(log log n), storage O(n)."""
+    table = ExperimentTable(
+        experiment="E10",
+        claim="DP-KVS: O(log log n) blocks/op and O(n) server storage (Thm 7.5)",
+        headers=[
+            "n", "path len (loglog n)", "blocks/op measured", "6*path len",
+            "server nodes / n", "padded-bins slots / n", "mismatches",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        scheme = DPKVS(n, rng=rng.spawn(f"e10-{n}"))
+        trace = ycsb_trace(max(8, n // 8), operations, rng.spawn(f"e10-t-{n}"),
+                           profile="B")
+        metrics = run_kv_trace(scheme, trace)
+        padded = PaddedTwoChoiceStore(n, PRF(b"e10-padded"))
+        shape = scheme.params.shape
+        table.add_row(
+            n, shape.path_length, round(metrics.blocks_per_operation, 2),
+            6 * shape.path_length,
+            round(scheme.server_node_count / n, 3),
+            round(padded.server_slots / n, 3),
+            metrics.mismatches,
+        )
+    table.add_note(
+        "tree sharing keeps server nodes ~2n while padded bins pay the "
+        "full log log n multiple"
+    )
+    return table
+
+
+def experiment_e11_vs_oram(
+    sizes: tuple[int, ...] = (256, 1024, 4096),
+    queries: int = 200,
+    seed: int = 11,
+) -> ExperimentTable:
+    """E11 / headline: DP-RAM O(1) vs Path ORAM Θ(log n) bandwidth."""
+    table = ExperimentTable(
+        experiment="E11",
+        claim="DP-RAM's O(1) overhead vs Path ORAM's Theta(log n)",
+        headers=[
+            "n", "plaintext blocks/op", "DP-RAM blocks/op",
+            "Path ORAM blocks/op", "ORAM/DP-RAM factor",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        database = integer_database(n)
+        plain = PlaintextRAM(database)
+        dpram = DPRAM(database, rng=rng.spawn(f"e11-dpram-{n}"))
+        oram = PathORAM(database, rng=rng.spawn(f"e11-oram-{n}"))
+        trace = read_write_trace(n, queries, rng.spawn(f"e11-trace-{n}"),
+                                 write_fraction=0.3)
+        plain_metrics = run_ram_trace(plain, trace, initial=database)
+        dpram_metrics = run_ram_trace(dpram, trace, initial=database)
+        oram_metrics = run_ram_trace(oram, trace, initial=database)
+        assert plain_metrics.mismatches == 0
+        assert dpram_metrics.mismatches == 0
+        assert oram_metrics.mismatches == 0
+        factor = (
+            oram_metrics.blocks_per_operation
+            / dpram_metrics.blocks_per_operation
+        )
+        table.add_row(
+            n, plain_metrics.blocks_per_operation,
+            dpram_metrics.blocks_per_operation,
+            oram_metrics.blocks_per_operation, round(factor, 1),
+        )
+    table.add_note(
+        "the ORAM/DP-RAM factor grows ~ (8/3)*log2(n): the privacy/overhead "
+        "trade the paper quantifies"
+    )
+    return table
+
+
+def experiment_e11b_kvs_vs_oram(
+    sizes: tuple[int, ...] = (256, 1024),
+    operations: int = 120,
+    seed: int = 115,
+) -> ExperimentTable:
+    """E11b: DP-KVS O(log log n) vs ORAM-KVS Θ(log n) block overhead."""
+    table = ExperimentTable(
+        experiment="E11b",
+        claim="DP-KVS's O(log log n) node blocks vs ORAM-KVS's Theta(log n) bucket blocks",
+        headers=[
+            "n", "plaintext blocks/op", "DP-KVS blocks/op",
+            "ORAM-KVS blocks/op", "ORAM-KVS/DP-KVS factor",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        trace = ycsb_trace(max(8, n // 8), operations, rng.spawn(f"e11b-{n}"),
+                           profile="B")
+        plain = PlaintextKVS(n)
+        dpkvs = DPKVS(n, rng=rng.spawn(f"e11b-dpkvs-{n}"))
+        oramkvs = ORAMKeyValueStore(n, rng=rng.spawn(f"e11b-oram-{n}"))
+        plain_metrics = run_kv_trace(plain, trace)
+        dpkvs_metrics = run_kv_trace(dpkvs, trace)
+        oram_metrics = run_kv_trace(oramkvs, trace)
+        assert plain_metrics.mismatches == 0
+        assert dpkvs_metrics.mismatches == 0
+        assert oram_metrics.mismatches == 0
+        factor = (
+            oram_metrics.blocks_per_operation
+            / dpkvs_metrics.blocks_per_operation
+        )
+        table.add_row(
+            n, plain_metrics.blocks_per_operation,
+            round(dpkvs_metrics.blocks_per_operation, 2),
+            round(oram_metrics.blocks_per_operation, 2), round(factor, 2),
+        )
+    return table
+
+
+def experiment_e12_multi_server(
+    n: int = 1024,
+    server_count: int = 4,
+    alpha: float = 0.05,
+    queries: int = 300,
+    seed: int = 12,
+) -> ExperimentTable:
+    """E12 / Theorem C.1: multi-server DP-IR vs the t-fraction floor."""
+    table = ExperimentTable(
+        experiment="E12",
+        claim="D-server DP-IR moves >= ((1-a)t - d)n/e^eps total (Thm C.1)",
+        headers=[
+            "D", "corrupted t", "eps (upper)", "total blocks/query",
+            "corrupted-view blocks/query", "bound", "meets bound",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    database = integer_database(n)
+    epsilon = math.log(n)
+    for corrupted_count in range(1, server_count + 1):
+        scheme = MultiServerDPIR(
+            database, server_count=server_count, epsilon=epsilon, alpha=alpha,
+            rng=rng.spawn(f"e12-{corrupted_count}"),
+        )
+        corrupted = set(range(corrupted_count))
+        trace = uniform_trace(n, queries, rng.spawn(f"e12-t-{corrupted_count}"))
+        metrics = run_ir_trace(scheme, trace, expected=database)
+        view_rng = rng.spawn(f"e12-view-{corrupted_count}")
+        visible = 0
+        samples = 200
+        for _ in range(samples):
+            query = view_rng.randbelow(n)
+            visible += len(scheme.sample_corrupted_view(query, corrupted))
+        t = corrupted_count / server_count
+        floor = bounds.multi_server_ir_lower_bound(n, scheme.epsilon, alpha, t)
+        total = metrics.blocks_per_operation
+        table.add_row(
+            server_count, round(t, 2), round(scheme.epsilon, 3), total,
+            round(visible / samples, 2), round(floor, 3), total >= floor,
+        )
+    table.add_note(
+        "total work is t-independent (the paper: the [49]-style scheme is "
+        "optimal for constant t); the corrupted view scales with t"
+    )
+    return table
+
+
+def experiment_e13_roundtrips(
+    sizes: tuple[int, ...] = (256, 1024, 4096),
+    queries: int = 60,
+    seed: int = 13,
+) -> ExperimentTable:
+    """E13 / Related Work [50]: roundtrips — recursion vs DP-RAM's O(1).
+
+    The paper: Wagh et al.'s Path-ORAM-based DP-RAM "requires recursively
+    stored position maps which requires Θ(log n) client-to-server
+    roundtrips"; this repo's DP-RAM answers in two.
+    """
+    from repro.baselines.recursive_oram import RecursivePathORAM
+
+    table = ExperimentTable(
+        experiment="E13",
+        claim="recursive position maps cost Theta(log n) roundtrips; DP-RAM costs 2",
+        headers=[
+            "n", "recursive ORAM levels", "recursive roundtrips/op",
+            "recursive client map", "DP-RAM roundtrips/op",
+            "recursive blocks/op", "DP-RAM blocks/op", "mismatches",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    for n in sizes:
+        database = integer_database(n)
+        recursive = RecursivePathORAM(
+            database, positions_per_block=8, client_map_limit=32,
+            rng=rng.spawn(f"e13-r-{n}"),
+        )
+        dpram = DPRAM(database, rng=rng.spawn(f"e13-d-{n}"))
+        trace = read_write_trace(n, queries, rng.spawn(f"e13-t-{n}"),
+                                 write_fraction=0.3)
+        recursive_metrics = run_ram_trace(recursive, trace, initial=database)
+        dpram_metrics = run_ram_trace(dpram, trace, initial=database)
+        table.add_row(
+            n, recursive.levels, recursive.roundtrips_per_access,
+            recursive.client_position_entries, 2,
+            round(recursive_metrics.blocks_per_operation, 1),
+            dpram_metrics.blocks_per_operation,
+            recursive_metrics.mismatches + dpram_metrics.mismatches,
+        )
+    table.add_note(
+        "DP-RAM's two roundtrips are the download phase and the overwrite "
+        "phase; recursion adds one sequential map level per chi-factor of n"
+    )
+    return table
+
+
+def experiment_e14_response_times(
+    n: int = 4096,
+    queries: int = 100,
+    block_bytes: int = 4096,
+    seed: int = 14,
+) -> ExperimentTable:
+    """E14 / intro motivation: simulated response times on LAN/WAN/mobile.
+
+    Converts each scheme's measured blocks-per-op and roundtrips into
+    response times under the :mod:`repro.storage.network` link models —
+    the "degradation in response time" the introduction argues rules out
+    ORAM/PIR for heavily-trafficked systems.
+    """
+    from repro.baselines.recursive_oram import RecursivePathORAM
+    from repro.storage.network import LAN, MOBILE, WAN
+
+    table = ExperimentTable(
+        experiment="E14",
+        claim="response-time impact: DP schemes vs oblivious schemes per link",
+        headers=[
+            "scheme", "roundtrips", "blocks/op",
+            "LAN ms", "WAN ms", "mobile ms",
+        ],
+    )
+    rng = SeededRandomSource(seed)
+    database = integer_database(n)
+    trace = read_write_trace(n, queries, rng.spawn("e14-t"),
+                             write_fraction=0.3)
+    read_trace = uniform_trace(n, queries, rng.spawn("e14-rt"))
+
+    plain = PlaintextRAM(database)
+    plain_metrics = run_ram_trace(plain, trace, initial=database)
+    dpram = DPRAM(database, rng=rng.spawn("e14-d"))
+    dpram_metrics = run_ram_trace(dpram, trace, initial=database)
+    dpir = DPIR(database, epsilon=math.log(n), alpha=0.05,
+                rng=rng.spawn("e14-i"))
+    dpir_metrics = run_ir_trace(dpir, read_trace, expected=database)
+    oram = PathORAM(database, rng=rng.spawn("e14-o"))
+    oram_metrics = run_ram_trace(oram, trace, initial=database)
+    recursive = RecursivePathORAM(database, rng=rng.spawn("e14-r"))
+    recursive_metrics = run_ram_trace(recursive, trace, initial=database)
+    pir = LinearScanPIR(database)
+    pir_metrics = run_ir_trace(pir, read_trace, expected=database)
+
+    entries = [
+        ("plaintext", 1, plain_metrics.blocks_per_operation),
+        ("DP-IR (alpha=0.05)", 1, dpir_metrics.blocks_per_operation),
+        ("DP-RAM", 2, dpram_metrics.blocks_per_operation),
+        ("Path ORAM", 2, oram_metrics.blocks_per_operation),
+        ("recursive ORAM", recursive.roundtrips_per_access,
+         recursive_metrics.blocks_per_operation),
+        ("linear PIR", 1, pir_metrics.blocks_per_operation),
+    ]
+    for name, roundtrips, blocks in entries:
+        table.add_row(
+            name, roundtrips, round(blocks, 1),
+            round(LAN.response_time_ms(roundtrips, blocks, block_bytes), 2),
+            round(WAN.response_time_ms(roundtrips, blocks, block_bytes), 1),
+            round(MOBILE.response_time_ms(roundtrips, blocks, block_bytes), 1),
+        )
+    table.add_note(
+        f"link models: LAN 0.5ms/10Gbps, WAN 40ms/100Mbps, mobile "
+        f"80ms/20Mbps; {block_bytes}-byte blocks at n={n}"
+    )
+    return table
+
+
+ALL_EXPERIMENTS = (
+    experiment_e01_errorless_ir,
+    experiment_e02_dpir_lower_bound,
+    experiment_e03_dpir_construction,
+    experiment_e04_strawman,
+    experiment_e05_dpram_lower_bound,
+    experiment_e06_dpram_construction,
+    experiment_e07_dpram_ratios,
+    experiment_e08_two_choice,
+    experiment_e09_tree_hashing,
+    experiment_e10_dpkvs,
+    experiment_e11_vs_oram,
+    experiment_e11b_kvs_vs_oram,
+    experiment_e12_multi_server,
+    experiment_e13_roundtrips,
+    experiment_e14_response_times,
+)
+
+
+def run_all(markdown: bool = False) -> str:
+    """Run every experiment and render the combined report."""
+    sections = []
+    for driver in ALL_EXPERIMENTS:
+        result = driver()
+        sections.append(result.to_markdown() if markdown else result.to_text())
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    import sys
+
+    print(run_all(markdown="--markdown" in sys.argv))

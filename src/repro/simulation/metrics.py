@@ -1,0 +1,59 @@
+"""Measurement bundle for one scheme-over-trace run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunMetrics:
+    """What a run measured.
+
+    Attributes:
+        scheme: label of the scheme under test.
+        trace: label of the workload.
+        operations: logical queries executed.
+        blocks_downloaded: server→client block transfers.
+        blocks_uploaded: client→server block transfers.
+        errors: queries that returned no answer (DP-IR's α events).
+        mismatches: reference-model disagreements (must be 0 for
+            errorless schemes; errored queries are not counted).
+        client_peak_blocks: peak client storage in blocks, when the scheme
+            reports it.
+        elapsed_seconds: wall-clock time of the run.
+    """
+
+    scheme: str
+    trace: str
+    operations: int = 0
+    blocks_downloaded: int = 0
+    blocks_uploaded: int = 0
+    errors: int = 0
+    mismatches: int = 0
+    client_peak_blocks: int | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def blocks_total(self) -> int:
+        """Total block transfers."""
+        return self.blocks_downloaded + self.blocks_uploaded
+
+    @property
+    def blocks_per_operation(self) -> float:
+        """Average block transfers per logical query."""
+        if self.operations == 0:
+            return 0.0
+        return self.blocks_total / self.operations
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of queries that errored."""
+        if self.operations == 0:
+            return 0.0
+        return self.errors / self.operations
+
+    def overhead_versus(self, baseline_blocks_per_op: float) -> float:
+        """Block overhead relative to a baseline (usually plaintext = 1)."""
+        if baseline_blocks_per_op <= 0:
+            raise ValueError("baseline must be positive")
+        return self.blocks_per_operation / baseline_blocks_per_op

@@ -1,0 +1,59 @@
+"""Balls-and-bins storage substrate.
+
+The paper's lower bounds and constructions are stated in the balls-and-bins
+model (Definition 3.1): an untrusted *passive* server stores an array of
+opaque blocks, the client has a small private memory, and the only
+interactions are downloading a server slot into client memory and uploading
+a client block into a server slot.  The adversary's view — the *transcript*
+— is the sequence of touched server slots (plus the opaque ciphertexts).
+
+This package implements that model directly:
+
+* :class:`~repro.storage.server.StorageServer` — the passive block array
+  with operation counters and an access log.
+* :class:`~repro.storage.server.ServerPool` — multiple non-colluding
+  servers for the Appendix C setting.
+* :class:`~repro.storage.transcript.Transcript` — the adversary view; the
+  privacy auditors in :mod:`repro.analysis` consume these.
+* :class:`~repro.storage.client.ClientStash` — bounded client memory with
+  peak-usage accounting, used to check the paper's client-storage claims.
+"""
+
+from repro.storage.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    decode_int,
+    encode_int,
+    make_block,
+    zero_block,
+)
+from repro.storage.client import ClientStash
+from repro.storage.errors import (
+    BlockSizeError,
+    CapacityError,
+    MappingOverflowError,
+    ReproError,
+    RetrievalError,
+    StorageError,
+)
+from repro.storage.server import ServerPool, StorageServer
+from repro.storage.transcript import AccessEvent, AccessKind, Transcript
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "BlockSizeError",
+    "CapacityError",
+    "ClientStash",
+    "DEFAULT_BLOCK_SIZE",
+    "MappingOverflowError",
+    "ReproError",
+    "RetrievalError",
+    "ServerPool",
+    "StorageError",
+    "StorageServer",
+    "Transcript",
+    "decode_int",
+    "encode_int",
+    "make_block",
+    "zero_block",
+]

@@ -1,0 +1,97 @@
+"""Client-side storage with usage accounting.
+
+The DP-RAM and DP-KVS constructions keep a small *stash* on the client
+(records selected with probability ``p``, plus — for DP-KVS — the super
+root).  Lemma D.1 and Theorem 7.2 bound how large these containers get; the
+experiments verify those bounds, so the container tracks its peak occupancy
+and can optionally enforce a hard capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.storage.errors import CapacityError
+
+
+class ClientStash:
+    """A dict-like container that tracks peak occupancy.
+
+    Args:
+        capacity: optional hard limit; exceeding it raises
+            :class:`~repro.storage.errors.CapacityError`.  The paper's
+            bounds are "except with negligible probability", so experiments
+            usually run with ``capacity=None`` and *measure* the peak
+            instead of enforcing it.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise CapacityError(f"capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._items: dict = {}
+        self._peak = 0
+
+    @property
+    def capacity(self) -> int | None:
+        """The hard limit, or ``None`` if unbounded."""
+        return self._capacity
+
+    @property
+    def peak(self) -> int:
+        """Largest number of items ever held."""
+        return self._peak
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key) -> bool:
+        return key in self._items
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __getitem__(self, key):
+        return self._items[key]
+
+    def get(self, key, default=None):
+        """Return the stored value or ``default``."""
+        return self._items.get(key, default)
+
+    def put(self, key, value) -> None:
+        """Insert or overwrite ``key``.
+
+        Raises:
+            CapacityError: if a hard capacity is set and would be exceeded.
+        """
+        if (
+            self._capacity is not None
+            and key not in self._items
+            and len(self._items) >= self._capacity
+        ):
+            raise CapacityError(
+                f"stash capacity {self._capacity} exceeded inserting {key!r}"
+            )
+        self._items[key] = value
+        if len(self._items) > self._peak:
+            self._peak = len(self._items)
+
+    def pop(self, key):
+        """Remove and return the value stored for ``key``.
+
+        Raises:
+            KeyError: if ``key`` is absent.
+        """
+        return self._items.pop(key)
+
+    def discard(self, key) -> None:
+        """Remove ``key`` if present."""
+        self._items.pop(key, None)
+
+    def items(self):
+        """View of ``(key, value)`` pairs."""
+        return self._items.items()
+
+    def as_mapping(self) -> Mapping:
+        """Read-only snapshot of the current contents."""
+        return dict(self._items)

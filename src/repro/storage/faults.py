@@ -1,0 +1,111 @@
+"""Failure injection: misbehaving-server wrappers for robustness tests.
+
+The paper's adversary is honest-but-curious — it serves requests
+faithfully and only *observes*.  A production deployment also worries
+about the failure modes these wrappers simulate:
+
+* :class:`CorruptingServer` — flips bits in a fraction of served blocks
+  (silent data corruption / an actively malicious server).
+* :class:`FlakyServer` — fails a fraction of operations outright
+  (timeouts, crashes).
+
+They wrap any :class:`~repro.storage.server.StorageServer` transparently,
+so every scheme in the library can be exercised under faults.  The tests
+use them to demonstrate two facts: the plain IND-CPA encryption of the
+DP schemes does *not* detect tampering (decryptions silently garble,
+exactly as the threat model predicts), while the authenticated mode of
+:mod:`repro.crypto.encryption` catches every corrupted block.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rng import RandomSource
+from repro.storage.errors import StorageError
+from repro.storage.server import StorageServer
+
+
+class ServerFault(StorageError):
+    """A wrapped server simulated an operational failure."""
+
+
+class CorruptingServer:
+    """Wrapper that flips one bit in a fraction of served reads.
+
+    Args:
+        inner: the real server.
+        corruption_rate: probability a read returns a corrupted block.
+        rng: randomness for fault decisions.
+    """
+
+    def __init__(
+        self, inner: StorageServer, corruption_rate: float, rng: RandomSource
+    ) -> None:
+        if not 0.0 <= corruption_rate <= 1.0:
+            raise ValueError(
+                f"corruption rate must be in [0, 1], got {corruption_rate}"
+            )
+        self._inner = inner
+        self._rate = corruption_rate
+        self._rng = rng
+        self._corrupted = 0
+
+    @property
+    def corrupted_reads(self) -> int:
+        """Reads that were served corrupted."""
+        return self._corrupted
+
+    def read(self, index: int) -> bytes:
+        """Serve a read, possibly with one bit flipped."""
+        block = self._inner.read(index)
+        if self._rng.random() < self._rate and block:
+            position = self._rng.randbelow(len(block))
+            bit = 1 << self._rng.randbelow(8)
+            block = (
+                block[:position]
+                + bytes([block[position] ^ bit])
+                + block[position + 1 :]
+            )
+            self._corrupted += 1
+        return block
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class FlakyServer:
+    """Wrapper that raises :class:`ServerFault` on a fraction of operations."""
+
+    def __init__(
+        self, inner: StorageServer, failure_rate: float, rng: RandomSource
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(
+                f"failure rate must be in [0, 1], got {failure_rate}"
+            )
+        self._inner = inner
+        self._rate = failure_rate
+        self._rng = rng
+        self._failures = 0
+
+    @property
+    def failures(self) -> int:
+        """Operations that failed."""
+        return self._failures
+
+    def read(self, index: int) -> bytes:
+        """Serve a read or fail."""
+        self._maybe_fail("read", index)
+        return self._inner.read(index)
+
+    def write(self, index: int, block: bytes) -> None:
+        """Serve a write or fail."""
+        self._maybe_fail("write", index)
+        self._inner.write(index, block)
+
+    def _maybe_fail(self, operation: str, index: int) -> None:
+        if self._rng.random() < self._rate:
+            self._failures += 1
+            raise ServerFault(f"simulated {operation} failure at slot {index}")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

@@ -1,0 +1,224 @@
+"""Passive storage servers.
+
+:class:`StorageServer` is the balls-and-bins server of Definition 3.1: an
+array of equal-sized blocks supporting only reads (downloads) and writes
+(uploads) of single slots.  It counts operations and optionally records the
+adversary view into a :class:`~repro.storage.transcript.Transcript`.
+
+:class:`ServerPool` groups several non-colluding servers for the
+multi-server DP-IR setting of Appendix C and can materialize the view of an
+adversary corrupting a subset of them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.storage.blocks import check_block
+from repro.storage.errors import StorageError
+from repro.storage.transcript import AccessEvent, AccessKind, Transcript
+
+
+class StorageServer:
+    """A passive server storing ``capacity`` blocks of ``block_size`` bytes.
+
+    Args:
+        capacity: number of slots.
+        block_size: exact size in bytes of every stored block.  ``None``
+            disables size validation (used when slots hold ciphertexts whose
+            size is payload + nonce).
+        server_id: identifier recorded into transcript events.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        block_size: int | None = None,
+        server_id: int = 0,
+    ) -> None:
+        if capacity < 0:
+            raise StorageError(f"capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._block_size = block_size
+        self._server_id = server_id
+        self._slots: list[bytes | None] = [None] * capacity
+        self._reads = 0
+        self._writes = 0
+        self._transcript: Transcript | None = None
+        self._current_query = -1
+
+    # -- wiring -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots."""
+        return self._capacity
+
+    @property
+    def server_id(self) -> int:
+        """Identifier used in transcript events."""
+        return self._server_id
+
+    @property
+    def reads(self) -> int:
+        """Total download operations served."""
+        return self._reads
+
+    @property
+    def writes(self) -> int:
+        """Total upload operations served."""
+        return self._writes
+
+    @property
+    def operations(self) -> int:
+        """Total operations (downloads + uploads) served."""
+        return self._reads + self._writes
+
+    def reset_counters(self) -> None:
+        """Zero the operation counters (the stored data is untouched)."""
+        self._reads = 0
+        self._writes = 0
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Start recording the adversary view into ``transcript``."""
+        self._transcript = transcript
+
+    def detach_transcript(self) -> Transcript | None:
+        """Stop recording and return the transcript, if any."""
+        transcript, self._transcript = self._transcript, None
+        return transcript
+
+    def begin_query(self, query: int) -> None:
+        """Attribute subsequent accesses to client query ``query``."""
+        self._current_query = query
+
+    # -- the two balls-and-bins operations --------------------------------
+
+    def read(self, index: int) -> bytes:
+        """Download the block at ``index``.
+
+        Raises:
+            StorageError: if the slot is out of range or was never written.
+        """
+        self._check_index(index)
+        block = self._slots[index]
+        if block is None:
+            raise StorageError(f"slot {index} was never written")
+        self._reads += 1
+        self._record(AccessKind.DOWNLOAD, index)
+        return block
+
+    def write(self, index: int, block: bytes) -> None:
+        """Upload ``block`` into slot ``index``.
+
+        Raises:
+            StorageError: if the slot is out of range.
+            BlockSizeError: if size validation is on and the size mismatches.
+        """
+        self._check_index(index)
+        if self._block_size is not None:
+            check_block(block, self._block_size)
+        self._writes += 1
+        self._slots[index] = bytes(block)
+        self._record(AccessKind.UPLOAD, index)
+
+    # -- setup-time bulk load (not part of the adversary view) ------------
+
+    def load(self, blocks: Sequence[bytes]) -> None:
+        """Install the initial database without recording accesses.
+
+        The initialization of both IR and RAM is public (the adversary sees
+        the initial database anyway), so bulk-loading is not part of the
+        per-query view the DP definition constrains.
+        """
+        if len(blocks) != self._capacity:
+            raise StorageError(
+                f"expected {self._capacity} blocks, got {len(blocks)}"
+            )
+        if self._block_size is not None:
+            for block in blocks:
+                check_block(block, self._block_size)
+        self._slots = [bytes(b) for b in blocks]
+
+    def peek(self, index: int) -> bytes | None:
+        """Inspect a slot without counting an operation (test helper)."""
+        self._check_index(index)
+        return self._slots[index]
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._capacity:
+            raise StorageError(
+                f"slot {index} out of range for capacity {self._capacity}"
+            )
+
+    def _record(self, kind: AccessKind, index: int) -> None:
+        if self._transcript is not None:
+            self._transcript.append(
+                AccessEvent(
+                    kind=kind,
+                    index=index,
+                    server=self._server_id,
+                    query=self._current_query,
+                )
+            )
+
+
+class ServerPool:
+    """A group of non-colluding servers holding replicas of the database.
+
+    Appendix C models an adversary that corrupts a ``t`` fraction of ``D``
+    servers and sees only their transcripts; :meth:`corrupted_view` filters
+    a combined transcript down to that adversary's view.
+    """
+
+    def __init__(
+        self,
+        server_count: int,
+        capacity: int,
+        block_size: int | None = None,
+    ) -> None:
+        if server_count <= 0:
+            raise StorageError(
+                f"server count must be positive, got {server_count}"
+            )
+        self._servers = [
+            StorageServer(capacity, block_size=block_size, server_id=i)
+            for i in range(server_count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __getitem__(self, server_id: int) -> StorageServer:
+        return self._servers[server_id]
+
+    def __iter__(self):
+        return iter(self._servers)
+
+    def load_replicas(self, blocks: Sequence[bytes]) -> None:
+        """Install the same database on every server."""
+        for server in self._servers:
+            server.load(blocks)
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record all servers' accesses into one combined transcript."""
+        for server in self._servers:
+            server.attach_transcript(transcript)
+
+    def begin_query(self, query: int) -> None:
+        """Attribute subsequent accesses on all servers to ``query``."""
+        for server in self._servers:
+            server.begin_query(query)
+
+    def total_operations(self) -> int:
+        """Sum of operations over all servers."""
+        return sum(server.operations for server in self._servers)
+
+    @staticmethod
+    def corrupted_view(transcript: Transcript, corrupted: set[int]) -> Transcript:
+        """Return the sub-transcript visible to servers in ``corrupted``."""
+        view = Transcript()
+        view.extend(e for e in transcript if e.server in corrupted)
+        return view

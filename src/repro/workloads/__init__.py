@@ -1,0 +1,68 @@
+"""Workload generation.
+
+The paper motivates DP storage with heavily-trafficked infrastructure; the
+experiments therefore run the schemes over synthetic traces with realistic
+skew (uniform, Zipf, hotspot, sequential) and read/write mixes, plus
+YCSB-style key-value traces for DP-KVS.
+
+The *adjacent pair* builders produce two traces at Hamming distance one —
+exactly the neighbouring query sequences the differential privacy
+definition (Definition 2.1) quantifies over — and are used by the privacy
+auditors in :mod:`repro.analysis`.
+"""
+
+from repro.workloads.generators import (
+    adjacent_index_pair,
+    adjacent_ram_pair,
+    hotspot_trace,
+    read_write_trace,
+    sequential_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.kv_traces import (
+    KVOperation,
+    KVTrace,
+    insert_then_lookup_trace,
+    random_keys,
+    ycsb_trace,
+)
+from repro.workloads.mixes import (
+    burst_trace,
+    concat_traces,
+    interleave_traces,
+    working_set_shift_trace,
+)
+from repro.workloads.replay import (
+    load_kv_trace,
+    load_trace,
+    save_kv_trace,
+    save_trace,
+)
+from repro.workloads.trace import OpKind, Operation, Trace
+
+__all__ = [
+    "KVOperation",
+    "KVTrace",
+    "OpKind",
+    "Operation",
+    "Trace",
+    "adjacent_index_pair",
+    "adjacent_ram_pair",
+    "burst_trace",
+    "concat_traces",
+    "hotspot_trace",
+    "insert_then_lookup_trace",
+    "interleave_traces",
+    "load_kv_trace",
+    "load_trace",
+    "random_keys",
+    "read_write_trace",
+    "save_kv_trace",
+    "save_trace",
+    "sequential_trace",
+    "uniform_trace",
+    "working_set_shift_trace",
+    "ycsb_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,202 @@
+"""Synthetic trace generators for IR/RAM workloads.
+
+All generators take an explicit :class:`~repro.crypto.rng.RandomSource` so
+experiments are reproducible, and return :class:`~repro.workloads.trace.Trace`
+objects carrying their parameters in the name.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.rng import RandomSource
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE, encode_int
+from repro.workloads.trace import Operation, OpKind, Trace
+
+
+def uniform_trace(
+    universe: int, length: int, rng: RandomSource, name: str | None = None
+) -> Trace:
+    """Reads drawn uniformly from ``[0, universe)``."""
+    _check_args(universe, length)
+    ops = [Operation.read(rng.randbelow(universe)) for _ in range(length)]
+    return Trace(ops, universe, name=name or f"uniform(n={universe},l={length})")
+
+
+def sequential_trace(
+    universe: int, length: int, start: int = 0, name: str | None = None
+) -> Trace:
+    """A cyclic sequential scan — the classic worst case for caching."""
+    _check_args(universe, length)
+    ops = [Operation.read((start + i) % universe) for i in range(length)]
+    return Trace(ops, universe, name=name or f"sequential(n={universe},l={length})")
+
+
+def zipf_trace(
+    universe: int,
+    length: int,
+    rng: RandomSource,
+    skew: float = 0.99,
+    name: str | None = None,
+) -> Trace:
+    """Reads with Zipfian popularity (rank ``r`` has weight ``r^-skew``).
+
+    Uses inverse-CDF sampling over the precomputed harmonic weights; the
+    most popular record is index 0.
+    """
+    _check_args(universe, length)
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    cumulative = _zipf_cdf(universe, skew)
+    ops = [
+        Operation.read(_search_cdf(cumulative, rng.random())) for _ in range(length)
+    ]
+    return Trace(
+        ops, universe, name=name or f"zipf(n={universe},l={length},s={skew})"
+    )
+
+
+def hotspot_trace(
+    universe: int,
+    length: int,
+    rng: RandomSource,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    name: str | None = None,
+) -> Trace:
+    """Reads where ``hot_weight`` of traffic hits a ``hot_fraction`` of keys."""
+    _check_args(universe, length)
+    if not 0 < hot_fraction <= 1:
+        raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    if not 0 <= hot_weight <= 1:
+        raise ValueError(f"hot_weight must be in [0, 1], got {hot_weight}")
+    hot_count = max(1, int(universe * hot_fraction))
+    ops = []
+    for _ in range(length):
+        if rng.random() < hot_weight:
+            ops.append(Operation.read(rng.randbelow(hot_count)))
+        else:
+            cold = universe - hot_count
+            if cold == 0:
+                ops.append(Operation.read(rng.randbelow(universe)))
+            else:
+                ops.append(Operation.read(hot_count + rng.randbelow(cold)))
+    return Trace(ops, universe, name=name or f"hotspot(n={universe},l={length})")
+
+
+def read_write_trace(
+    universe: int,
+    length: int,
+    rng: RandomSource,
+    write_fraction: float = 0.5,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    name: str | None = None,
+) -> Trace:
+    """Uniform indices with a configurable fraction of overwrites.
+
+    Write payloads encode a fresh counter so reference-model checks can
+    detect lost updates.
+    """
+    _check_args(universe, length)
+    if not 0 <= write_fraction <= 1:
+        raise ValueError(f"write_fraction must be in [0, 1], got {write_fraction}")
+    ops: list[Operation] = []
+    counter = 0
+    for _ in range(length):
+        index = rng.randbelow(universe)
+        if rng.random() < write_fraction:
+            counter += 1
+            ops.append(Operation.write(index, encode_int(counter, block_size)))
+        else:
+            ops.append(Operation.read(index))
+    return Trace(
+        ops, universe, name=name or f"readwrite(n={universe},w={write_fraction})"
+    )
+
+
+# -- adjacency builders (Definition 2.1) -----------------------------------
+
+
+def adjacent_index_pair(
+    universe: int,
+    length: int,
+    rng: RandomSource,
+    position: int | None = None,
+) -> tuple[Trace, Trace, int]:
+    """Return two read-only traces differing at exactly one position.
+
+    Returns:
+        ``(trace, neighbour, position)`` where the traces agree everywhere
+        except ``position`` and query different records there.
+    """
+    _check_args(universe, length)
+    if length == 0:
+        raise ValueError("adjacent traces need length >= 1")
+    if universe < 2:
+        raise ValueError("adjacent traces need a universe of at least 2")
+    base = uniform_trace(universe, length, rng)
+    where = rng.randbelow(length) if position is None else position
+    old = base[where].index
+    replacement = rng.randbelow(universe - 1)
+    if replacement >= old:
+        replacement += 1
+    neighbour = base.replace(where, Operation.read(replacement))
+    return base, neighbour, where
+
+
+def adjacent_ram_pair(
+    universe: int,
+    length: int,
+    rng: RandomSource,
+    position: int | None = None,
+    write_fraction: float = 0.3,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> tuple[Trace, Trace, int]:
+    """Adjacent RAM traces: differ in the record and/or operation at one spot."""
+    base = read_write_trace(
+        universe, length, rng, write_fraction=write_fraction, block_size=block_size
+    )
+    where = rng.randbelow(length) if position is None else position
+    old = base[where]
+    new_index = rng.randbelow(universe - 1)
+    if new_index >= old.index:
+        new_index += 1
+    if old.kind is OpKind.READ:
+        replacement = Operation.write(new_index, encode_int(10**6, block_size))
+    else:
+        replacement = Operation.read(new_index)
+    neighbour = base.replace(where, replacement)
+    return base, neighbour, where
+
+
+# -- internals --------------------------------------------------------------
+
+
+def _check_args(universe: int, length: int) -> None:
+    if universe <= 0:
+        raise ValueError(f"universe must be positive, got {universe}")
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+
+
+def _zipf_cdf(universe: int, skew: float) -> list[float]:
+    weights = [1.0 / math.pow(rank, skew) for rank in range(1, universe + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0
+    return cumulative
+
+
+def _search_cdf(cumulative: list[float], point: float) -> int:
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < point:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

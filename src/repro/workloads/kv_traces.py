@@ -1,0 +1,151 @@
+"""Key-value traces for DP-KVS experiments.
+
+KVS queries address keys from a large universe ``U`` (Section 2.1); a
+retrieval may ask for a key that was never inserted, in which case the
+store answers ``⊥``.  These generators produce YCSB-style mixes over random
+string keys, including a configurable fraction of negative lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.crypto.rng import RandomSource
+
+
+class KVOpKind(enum.Enum):
+    """KVS operations."""
+
+    GET = "get"
+    PUT = "put"
+
+
+@dataclass(frozen=True)
+class KVOperation:
+    """One KVS query: ``get(key)`` or ``put(key, value)``."""
+
+    kind: KVOpKind
+    key: bytes
+    value: bytes | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is KVOpKind.PUT and self.value is None:
+            raise ValueError("put operations require a value")
+        if self.kind is KVOpKind.GET and self.value is not None:
+            raise ValueError("get operations must not carry a value")
+
+    @staticmethod
+    def get(key: bytes) -> "KVOperation":
+        """Build a retrieval."""
+        return KVOperation(KVOpKind.GET, key)
+
+    @staticmethod
+    def put(key: bytes, value: bytes) -> "KVOperation":
+        """Build an insert/overwrite."""
+        return KVOperation(KVOpKind.PUT, key, value)
+
+
+@dataclass
+class KVTrace:
+    """A sequence of KVS operations with a label for experiment tables."""
+
+    operations: list[KVOperation]
+    name: str = "kv-trace"
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[KVOperation]:
+        return iter(self.operations)
+
+    def __getitem__(self, position: int) -> KVOperation:
+        return self.operations[position]
+
+    def keys(self) -> list[bytes]:
+        """All keys touched, in order, with duplicates."""
+        return [op.key for op in self.operations]
+
+
+def random_keys(count: int, rng: RandomSource, length: int = 16) -> list[bytes]:
+    """Return ``count`` distinct random keys of ``length`` bytes."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    keys: set[bytes] = set()
+    while len(keys) < count:
+        keys.add(rng.bytes(length))
+    return sorted(keys)
+
+
+def insert_then_lookup_trace(
+    key_count: int,
+    lookups: int,
+    rng: RandomSource,
+    value_size: int = 32,
+    missing_fraction: float = 0.1,
+) -> KVTrace:
+    """Insert ``key_count`` keys, then do ``lookups`` gets.
+
+    A ``missing_fraction`` of the lookups target keys that were never
+    inserted, exercising the ``⊥`` path the KVS definition requires.
+    """
+    if not 0 <= missing_fraction <= 1:
+        raise ValueError(f"missing_fraction must be in [0,1], got {missing_fraction}")
+    keys = random_keys(key_count, rng)
+    key_length = len(keys[0]) if keys else 16
+    inserted = set(keys)
+    ops = [KVOperation.put(key, rng.bytes(value_size)) for key in keys]
+    for _ in range(lookups):
+        if keys and rng.random() >= missing_fraction:
+            ops.append(KVOperation.get(rng.choice(keys)))
+        else:
+            # Same length as real keys so stores with fixed key sizes accept
+            # the probe; resample on the (astronomically unlikely) collision.
+            probe = rng.bytes(key_length)
+            while probe in inserted:
+                probe = rng.bytes(key_length)
+            ops.append(KVOperation.get(probe))
+    return KVTrace(ops, name=f"insert-lookup(k={key_count},l={lookups})")
+
+
+def ycsb_trace(
+    key_count: int,
+    length: int,
+    rng: RandomSource,
+    profile: str = "B",
+    value_size: int = 32,
+) -> KVTrace:
+    """YCSB-style mixes over a preloaded keyspace.
+
+    Profiles (read/update ratios as in the YCSB core workloads):
+
+    * ``"A"`` — 50% reads / 50% updates.
+    * ``"B"`` — 95% reads / 5% updates.
+    * ``"C"`` — 100% reads.
+
+    The trace begins with ``key_count`` loads (puts), mirroring the YCSB
+    load phase, followed by ``length`` operations with Zipf-like skew
+    approximated by repeatedly halving the candidate range.
+    """
+    ratios = {"A": 0.5, "B": 0.95, "C": 1.0}
+    if profile not in ratios:
+        raise ValueError(f"unknown YCSB profile {profile!r}; expected one of A,B,C")
+    read_fraction = ratios[profile]
+    keys = random_keys(key_count, rng)
+    ops = [KVOperation.put(key, rng.bytes(value_size)) for key in keys]
+    for _ in range(length):
+        key = keys[_skewed_rank(len(keys), rng)]
+        if rng.random() < read_fraction:
+            ops.append(KVOperation.get(key))
+        else:
+            ops.append(KVOperation.put(key, rng.bytes(value_size)))
+    return KVTrace(ops, name=f"ycsb-{profile}(k={key_count},l={length})")
+
+
+def _skewed_rank(universe: int, rng: RandomSource) -> int:
+    """Sample a rank with roughly geometric skew toward low ranks."""
+    span = universe
+    while span > 1 and rng.random() < 0.5:
+        span = max(1, span // 2)
+    return rng.randbelow(span)

@@ -1,0 +1,140 @@
+"""Composing workloads: phases, interleavings and bursts.
+
+Real storage traffic is rarely a single stationary distribution; these
+combinators build richer traces out of the primitive generators so
+experiments can exercise phase changes (a batch job starting), tenant
+interleaving, and bursty arrivals — without any scheme-visible metadata
+beyond the operation stream itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.rng import RandomSource
+from repro.workloads.trace import Operation, Trace
+
+
+def concat_traces(traces: Sequence[Trace], name: str | None = None) -> Trace:
+    """Run traces back to back (phases).
+
+    All traces must address the same universe.
+
+    Raises:
+        ValueError: on empty input or mismatched universes.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    universe = traces[0].universe
+    for trace in traces:
+        if trace.universe != universe:
+            raise ValueError(
+                f"universe mismatch: {trace.universe} != {universe}"
+            )
+    operations: list[Operation] = []
+    for trace in traces:
+        operations.extend(trace.operations)
+    label = name or "+".join(trace.name for trace in traces)
+    return Trace(operations, universe, name=label)
+
+
+def interleave_traces(
+    traces: Sequence[Trace],
+    rng: RandomSource,
+    name: str | None = None,
+) -> Trace:
+    """Randomly interleave several traces (concurrent tenants).
+
+    Preserves each trace's internal order; the merge order is a uniformly
+    random shuffle weighted by remaining lengths (i.e., a uniformly random
+    interleaving).
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    universe = traces[0].universe
+    for trace in traces:
+        if trace.universe != universe:
+            raise ValueError(
+                f"universe mismatch: {trace.universe} != {universe}"
+            )
+    queues = [list(trace.operations) for trace in traces]
+    positions = [0] * len(queues)
+    operations: list[Operation] = []
+    remaining = sum(len(queue) for queue in queues)
+    while remaining > 0:
+        pick = rng.randbelow(remaining)
+        for which, queue in enumerate(queues):
+            left = len(queue) - positions[which]
+            if pick < left:
+                operations.append(queue[positions[which]])
+                positions[which] += 1
+                break
+            pick -= left
+        remaining -= 1
+    label = name or "||".join(trace.name for trace in traces)
+    return Trace(operations, universe, name=label)
+
+
+def burst_trace(
+    universe: int,
+    bursts: int,
+    burst_length: int,
+    rng: RandomSource,
+    name: str | None = None,
+) -> Trace:
+    """Bursty reads: each burst hammers one hot record with a few strays.
+
+    Models the "suddenly popular record" pattern (a viral item, a hot
+    campaign): within a burst, ~80% of queries hit the burst's record and
+    the rest are uniform.
+    """
+    if universe <= 0:
+        raise ValueError(f"universe must be positive, got {universe}")
+    if bursts < 0 or burst_length < 0:
+        raise ValueError("bursts and burst_length must be non-negative")
+    operations: list[Operation] = []
+    for _ in range(bursts):
+        hot = rng.randbelow(universe)
+        for _ in range(burst_length):
+            if rng.random() < 0.8:
+                operations.append(Operation.read(hot))
+            else:
+                operations.append(Operation.read(rng.randbelow(universe)))
+    return Trace(
+        operations, universe,
+        name=name or f"burst(n={universe},b={bursts}x{burst_length})",
+    )
+
+
+def working_set_shift_trace(
+    universe: int,
+    phases: int,
+    phase_length: int,
+    working_set: int,
+    rng: RandomSource,
+    name: str | None = None,
+) -> Trace:
+    """Reads whose hot working set migrates between phases.
+
+    Each phase draws uniformly from a contiguous window of ``working_set``
+    records starting at a fresh random offset — the classic
+    working-set-shift pattern that defeats naive caches.
+    """
+    if universe <= 0:
+        raise ValueError(f"universe must be positive, got {universe}")
+    if not 1 <= working_set <= universe:
+        raise ValueError(
+            f"working_set must be in [1, {universe}], got {working_set}"
+        )
+    if phases < 0 or phase_length < 0:
+        raise ValueError("phases and phase_length must be non-negative")
+    operations: list[Operation] = []
+    for _ in range(phases):
+        offset = rng.randbelow(universe)
+        for _ in range(phase_length):
+            index = (offset + rng.randbelow(working_set)) % universe
+            operations.append(Operation.read(index))
+    return Trace(
+        operations, universe,
+        name=name or f"wss(n={universe},p={phases}x{phase_length},w={working_set})",
+    )

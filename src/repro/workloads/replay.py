@@ -1,0 +1,113 @@
+"""Trace persistence: save and replay workloads as JSON Lines.
+
+Reproducibility glue: experiments can pin the exact operation sequence a
+number was measured on, and bug reports can ship the trace that triggered
+them.  One JSON object per line; byte fields are hex-encoded.
+
+Format (RAM/IR traces)::
+
+    {"meta": {"kind": "ram", "universe": 128, "name": "..."}}
+    {"op": "read", "index": 17}
+    {"op": "write", "index": 3, "value": "0a0b..."}
+
+Format (KV traces)::
+
+    {"meta": {"kind": "kv", "name": "..."}}
+    {"op": "get", "key": "6b6579"}
+    {"op": "put", "key": "6b6579", "value": "76616c"}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.workloads.kv_traces import KVOperation, KVOpKind, KVTrace
+from repro.workloads.trace import Operation, OpKind, Trace
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write a RAM/IR trace as JSONL."""
+    lines = [
+        json.dumps(
+            {"meta": {"kind": "ram", "universe": trace.universe,
+                      "name": trace.name}}
+        )
+    ]
+    for operation in trace:
+        record: dict = {"op": operation.kind.value, "index": operation.index}
+        if operation.value is not None:
+            record["value"] = operation.value.hex()
+        lines.append(json.dumps(record))
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Read a RAM/IR trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on malformed files or a non-RAM kind.
+    """
+    lines = _read_lines(path)
+    meta = _parse_meta(lines[0], expected_kind="ram")
+    operations = []
+    for line in lines[1:]:
+        record = json.loads(line)
+        kind = OpKind(record["op"])
+        if kind is OpKind.WRITE:
+            operations.append(
+                Operation.write(record["index"], bytes.fromhex(record["value"]))
+            )
+        else:
+            operations.append(Operation.read(record["index"]))
+    return Trace(operations, universe=meta["universe"],
+                 name=meta.get("name", "replayed"))
+
+
+def save_kv_trace(trace: KVTrace, path: str | pathlib.Path) -> None:
+    """Write a KV trace as JSONL."""
+    lines = [json.dumps({"meta": {"kind": "kv", "name": trace.name}})]
+    for operation in trace:
+        record: dict = {"op": operation.kind.value, "key": operation.key.hex()}
+        if operation.value is not None:
+            record["value"] = operation.value.hex()
+        lines.append(json.dumps(record))
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_kv_trace(path: str | pathlib.Path) -> KVTrace:
+    """Read a KV trace written by :func:`save_kv_trace`."""
+    lines = _read_lines(path)
+    meta = _parse_meta(lines[0], expected_kind="kv")
+    operations = []
+    for line in lines[1:]:
+        record = json.loads(line)
+        kind = KVOpKind(record["op"])
+        key = bytes.fromhex(record["key"])
+        if kind is KVOpKind.PUT:
+            operations.append(
+                KVOperation.put(key, bytes.fromhex(record["value"]))
+            )
+        else:
+            operations.append(KVOperation.get(key))
+    return KVTrace(operations, name=meta.get("name", "replayed"))
+
+
+def _read_lines(path: str | pathlib.Path) -> list[str]:
+    text = pathlib.Path(path).read_text()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    return lines
+
+
+def _parse_meta(line: str, expected_kind: str) -> dict:
+    record = json.loads(line)
+    meta = record.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError("first line must carry the trace metadata")
+    if meta.get("kind") != expected_kind:
+        raise ValueError(
+            f"expected a {expected_kind!r} trace, found {meta.get('kind')!r}"
+        )
+    return meta

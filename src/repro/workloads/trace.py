@@ -1,0 +1,124 @@
+"""Trace datatypes for index-addressed primitives (IR and RAM).
+
+A query to RAM is a pair ``(i, op)`` with ``i ∈ [n]`` and
+``op ∈ {read, write}`` (Section 2.1); IR queries are reads only.  A
+:class:`Trace` is a list of such operations with enough metadata to make
+experiment tables self-describing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+class OpKind(enum.Enum):
+    """Retrieval or overwrite."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One RAM/IR query.
+
+    Attributes:
+        kind: read or write.
+        index: the record index in ``[0, n)``.
+        value: payload for writes (``None`` for reads).
+    """
+
+    kind: OpKind
+    index: int
+    value: bytes | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"index must be non-negative, got {self.index}")
+        if self.kind is OpKind.WRITE and self.value is None:
+            raise ValueError("write operations require a value")
+        if self.kind is OpKind.READ and self.value is not None:
+            raise ValueError("read operations must not carry a value")
+
+    @staticmethod
+    def read(index: int) -> "Operation":
+        """Build a retrieval."""
+        return Operation(OpKind.READ, index)
+
+    @staticmethod
+    def write(index: int, value: bytes) -> "Operation":
+        """Build an overwrite."""
+        return Operation(OpKind.WRITE, index, value)
+
+
+@dataclass
+class Trace:
+    """A query sequence plus descriptive metadata.
+
+    Attributes:
+        operations: the queries, in order.
+        universe: the database size ``n`` the trace addresses.
+        name: human-readable label used in experiment tables.
+    """
+
+    operations: list[Operation]
+    universe: int
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        for op in self.operations:
+            if op.index >= self.universe:
+                raise ValueError(
+                    f"operation index {op.index} outside universe {self.universe}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __getitem__(self, position: int) -> Operation:
+        return self.operations[position]
+
+    def indices(self) -> list[int]:
+        """The sequence of queried indices."""
+        return [op.index for op in self.operations]
+
+    def read_fraction(self) -> float:
+        """Fraction of operations that are reads (1.0 for an empty trace)."""
+        if not self.operations:
+            return 1.0
+        reads = sum(1 for op in self.operations if op.kind is OpKind.READ)
+        return reads / len(self.operations)
+
+    def replace(self, position: int, operation: Operation) -> "Trace":
+        """Return a copy with the query at ``position`` swapped.
+
+        The result is *adjacent* to this trace in the sense of
+        Definition 2.1 whenever the new operation differs from the old one.
+        """
+        if not 0 <= position < len(self.operations):
+            raise IndexError(f"position {position} out of range")
+        ops = list(self.operations)
+        ops[position] = operation
+        return Trace(ops, self.universe, name=f"{self.name}~adj@{position}")
+
+    def hamming_distance(self, other: "Trace") -> int:
+        """Number of positions where the two traces differ.
+
+        Raises:
+            ValueError: if the traces have different lengths.
+        """
+        if len(self) != len(other):
+            raise ValueError("traces must have equal length")
+        return sum(1 for a, b in zip(self.operations, other.operations) if a != b)
+
+
+def reads_from_indices(
+    indices: Sequence[int], universe: int, name: str = "trace"
+) -> Trace:
+    """Build a read-only trace from a list of indices."""
+    return Trace([Operation.read(i) for i in indices], universe, name=name)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.crypto.rng import SeededRandomSource
+from repro.storage.blocks import integer_database
+
+
+@pytest.fixture
+def rng():
+    """A deterministic randomness source; spawn substreams per test need."""
+    return SeededRandomSource(0xC0FFEE)
+
+
+@pytest.fixture
+def small_db():
+    """A 32-record database with self-describing contents."""
+    return integer_database(32)
+
+
+@pytest.fixture
+def tiny_db():
+    """An 8-record database for exhaustive checks."""
+    return integer_database(8)

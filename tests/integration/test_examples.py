@@ -1,0 +1,47 @@
+"""Every example script must run clean — they are part of the deliverable.
+
+Executed as subprocesses (fresh interpreter, like a user would) with
+output sanity checks instead of golden files, since the examples print
+measured numbers.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["DP-RAM", "DP-IR", "DP-KVS", "Done."],
+    "private_advertising.py": ["impressions", "DP-IR", "linear PIR"],
+    "kv_store_workload.py": ["YCSB", "DP-KVS", "ORAM-KVS"],
+    "privacy_audit.py": ["strawman", "delta", "attack"],
+    "oram_comparison.py": ["DP-RAM", "ORAM", "factor"],
+    "deployment_review.py": ["Datasheet", "WAN", "budget"],
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS.get(script.name, []):
+        assert marker in result.stdout, (
+            f"{script.name} output missing {marker!r}"
+        )
+
+
+def test_all_examples_have_markers():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(EXPECTED_MARKERS), (
+        "keep EXPECTED_MARKERS in sync with examples/"
+    )

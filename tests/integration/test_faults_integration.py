@@ -1,0 +1,87 @@
+"""Integration: schemes under injected server faults.
+
+The paper assumes an honest-but-curious server; these tests document what
+happens outside that model and that the provided hardening (authenticated
+encryption, fault wrappers) behaves as designed end to end.
+"""
+
+import pytest
+
+from repro.core.dp_ram import DPRAM
+from repro.crypto.encryption import (
+    IntegrityError,
+    decrypt_authenticated,
+    encrypt_authenticated,
+    generate_key,
+)
+from repro.storage.blocks import integer_database
+from repro.storage.faults import CorruptingServer, FlakyServer, ServerFault
+from repro.storage.server import StorageServer
+
+
+class TestDPRAMUnderFaults:
+    def test_flaky_server_surfaces_faults(self, rng):
+        """A DP-RAM whose server times out propagates the fault cleanly
+        (no silent wrong answers, no corrupted client state)."""
+        db = integer_database(32)
+        ram = DPRAM(db, stash_probability=0.2, rng=rng.spawn("ram"))
+        ram._server = FlakyServer(ram._server, 0.3, rng.spawn("faults"))
+        answered, faulted = 0, 0
+        for i in range(100):
+            try:
+                value = ram.read(i % 32)
+            except ServerFault:
+                faulted += 1
+            else:
+                answered += 1
+                # When an answer does come back it is the right one
+                # (stale state from failed overwrites is acceptable only
+                # for never-written records, which is all we read here).
+                assert value == db[i % 32]
+        assert faulted > 0
+        assert answered > 0
+
+    def test_corrupting_server_garbles_plain_dpram(self, rng):
+        """Without authentication, corruption turns into silent garbage —
+        exactly the gap the authenticated mode closes."""
+        db = integer_database(16)
+        ram = DPRAM(db, stash_probability=1e-9, rng=rng.spawn("ram"))
+        ram._server = CorruptingServer(ram._server, 1.0, rng.spawn("faults"))
+        wrong = sum(1 for i in range(16) if ram.read(i) != db[i])
+        assert wrong > 0  # silent corruption, no exception raised
+
+
+class TestAuthenticatedStoreUnderFaults:
+    def _authenticated_array(self, rng, count=8):
+        key = generate_key(rng.spawn("key"))
+        server = StorageServer(count)
+        server.load([
+            encrypt_authenticated(key, bytes([i]) * 32, rng.spawn(f"enc{i}"))
+            for i in range(count)
+        ])
+        return key, server
+
+    def test_every_corruption_detected(self, rng):
+        key, inner = self._authenticated_array(rng)
+        server = CorruptingServer(inner, 1.0, rng.spawn("faults"))
+        for i in range(8):
+            with pytest.raises(IntegrityError):
+                decrypt_authenticated(key, server.read(i))
+
+    def test_clean_reads_verify(self, rng):
+        key, inner = self._authenticated_array(rng)
+        server = CorruptingServer(inner, 0.0, rng.spawn("faults"))
+        for i in range(8):
+            assert decrypt_authenticated(key, server.read(i)) == bytes([i]) * 32
+
+    def test_partial_corruption_rate_matches(self, rng):
+        key, inner = self._authenticated_array(rng, count=1)
+        server = CorruptingServer(inner, 0.4, rng.spawn("faults"))
+        detected = 0
+        for _ in range(300):
+            try:
+                decrypt_authenticated(key, server.read(0))
+            except IntegrityError:
+                detected += 1
+        assert detected == server.corrupted_reads
+        assert 70 < detected < 170

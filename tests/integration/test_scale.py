@@ -1,0 +1,111 @@
+"""Scale guards: no hidden superlinear behaviour at moderate sizes.
+
+These are not micro-benchmarks (pytest-benchmark owns timing); they run
+the schemes at sizes large enough that an accidental O(n)-per-query bug
+(or an O(n²) setup) would blow past the generous wall-clock ceilings.
+"""
+
+import time
+
+import pytest
+
+from repro.core.dp_ir import DPIR
+from repro.core.dp_kvs import DPKVS
+from repro.core.dp_ram import DPRAM
+from repro.storage.blocks import encode_int, integer_database
+
+
+N = 1 << 14  # 16384
+
+
+class TestDPRAMScale:
+    def test_setup_and_queries(self, rng):
+        started = time.perf_counter()
+        ram = DPRAM(integer_database(N), rng=rng.spawn("ram"))
+        setup_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        source = rng.spawn("ops")
+        for step in range(500):
+            index = source.randbelow(N)
+            if step % 3 == 0:
+                ram.write(index, encode_int(step))
+            else:
+                ram.read(index)
+        query_seconds = time.perf_counter() - started
+
+        assert setup_seconds < 20.0   # O(n) encryption passes
+        assert query_seconds < 5.0    # O(1) per query
+        assert ram.query_count == 500
+
+    def test_bandwidth_flat_at_scale(self, rng):
+        ram = DPRAM(integer_database(N), rng=rng.spawn("ram"))
+        before = ram.server.operations
+        for _ in range(100):
+            ram.read(rng.randbelow(N))
+        assert ram.server.operations - before == 300
+
+
+class TestDPIRScale:
+    def test_constant_pad_at_scale(self, rng):
+        import math
+
+        scheme = DPIR(integer_database(N), epsilon=math.log(N), alpha=0.05,
+                      rng=rng.spawn("ir"))
+        assert scheme.pad_size <= 25
+        started = time.perf_counter()
+        for _ in range(500):
+            scheme.query(rng.randbelow(N))
+        assert time.perf_counter() - started < 5.0
+
+
+class TestDPKVSScale:
+    def test_insert_and_query_thousand_keys(self, rng):
+        store = DPKVS(N, rng=rng.spawn("kvs"))
+        started = time.perf_counter()
+        for i in range(1000):
+            store.put(f"key-{i:05d}".encode(), f"val-{i}".encode())
+        insert_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for i in range(0, 1000, 7):
+            value = store.get(f"key-{i:05d}".encode())
+            assert value is not None
+        query_seconds = time.perf_counter() - started
+
+        assert insert_seconds < 30.0
+        assert query_seconds < 10.0
+        assert store.size == 1000
+        # Server storage stays ~2n node blocks regardless of fill level.
+        assert store.server_node_count < 3 * N
+
+    def test_cost_independent_of_fill(self, rng):
+        store = DPKVS(1 << 12, rng=rng.spawn("kvs"))
+        cost = store.blocks_per_operation()
+        before = store.server.operations
+        store.get(b"empty-probe")
+        assert store.server.operations - before == cost
+        for i in range(200):
+            store.put(f"k{i}".encode(), b"v")
+        before = store.server.operations
+        store.get(b"k7")
+        assert store.server.operations - before == cost
+
+
+@pytest.mark.parametrize("exponent", [10, 12, 14])
+class TestGeometryScaling:
+    def test_tree_nodes_linear(self, exponent):
+        from repro.hashing.tree_buckets import TreeBucketLayout
+
+        n = 1 << exponent
+        layout = TreeBucketLayout.for_capacity(n)
+        assert layout.node_count <= 3 * n
+
+    def test_path_loglog(self, exponent):
+        import math
+
+        from repro.core.params import DPKVSParams
+
+        n = 1 << exponent
+        params = DPKVSParams.for_capacity(n)
+        assert params.shape.path_length <= math.log2(math.log2(n)) + 4

@@ -1,0 +1,121 @@
+"""Property-based tests for the analysis layer invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dp_ir_exact import (
+    dpir_exact_delta,
+    dpir_transcript_probability,
+)
+from repro.analysis.dp_ram_exact import (
+    dp_ram_analytic_epsilon,
+    sample_transcript_pairs,
+    transcript_log_likelihood,
+    transcript_log_ratio,
+)
+from repro.analysis.tails import beta_sequence, beta_sequence_closed_form
+from repro.core.params import dp_ir_exact_epsilon, dp_ir_pad_size
+from repro.crypto.rng import SeededRandomSource
+
+
+class TestDpirExactProperties:
+    @given(n=st.integers(2, 64), epsilon=st.floats(0.1, 20),
+           alpha=st.floats(0.01, 0.99))
+    @settings(max_examples=80)
+    def test_resolver_never_exceeds_target(self, n, epsilon, alpha):
+        pad = dp_ir_pad_size(n, epsilon, alpha)
+        assert 1 <= pad <= n
+        assert dp_ir_exact_epsilon(n, pad, alpha) <= epsilon + 1e-9
+
+    @given(n=st.integers(2, 20), k=st.integers(1, 20),
+           alpha=st.floats(0.01, 0.99), query=st.integers(0, 19),
+           data=st.data())
+    @settings(max_examples=60)
+    def test_probability_in_unit_interval(self, n, k, alpha, query, data):
+        assume(k <= n and query < n)
+        subset = frozenset(
+            data.draw(st.permutations(range(n)).map(lambda p: p[:k]))
+        )
+        probability = dpir_transcript_probability(n, k, alpha, query, subset)
+        assert 0.0 <= probability <= 1.0
+
+    @given(n=st.integers(2, 64), k=st.integers(1, 64),
+           alpha=st.floats(0.05, 0.95),
+           epsilon=st.floats(0, 10))
+    @settings(max_examples=80)
+    def test_delta_in_unit_interval_and_monotone(self, n, k, alpha, epsilon):
+        assume(k <= n)
+        delta = dpir_exact_delta(n, k, alpha, epsilon)
+        assert 0.0 <= delta <= 1.0
+        assert dpir_exact_delta(n, k, alpha, epsilon + 1) <= delta + 1e-12
+
+
+class TestDpRamLikelihoodProperties:
+    @given(
+        n=st.integers(2, 8),
+        p=st.floats(0.05, 0.95),
+        queries=st.lists(st.integers(0, 7), min_size=1, max_size=6),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sampled_transcripts_have_positive_likelihood(
+        self, n, p, queries, seed
+    ):
+        assume(all(q < n for q in queries))
+        rng = SeededRandomSource(seed)
+        pairs = sample_transcript_pairs(queries, n, p, rng)
+        log_prob = transcript_log_likelihood(queries, pairs, n, p)
+        assert log_prob > float("-inf")
+        assert log_prob <= 0.0
+
+    @given(
+        n=st.integers(3, 8),
+        p=st.floats(0.05, 0.95),
+        length=st.integers(1, 5),
+        position=st.integers(0, 4),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adjacent_ratio_within_analytic_budget(
+        self, n, p, length, position, seed
+    ):
+        assume(position < length)
+        rng = SeededRandomSource(seed)
+        queries_a = [rng.randbelow(n) for _ in range(length)]
+        queries_b = list(queries_a)
+        queries_b[position] = (queries_a[position] + 1 +
+                               rng.randbelow(n - 1)) % n
+        pairs = sample_transcript_pairs(queries_a, n, p, rng)
+        ratio = transcript_log_ratio(queries_a, queries_b, pairs, n, p)
+        assert abs(ratio) <= dp_ram_analytic_epsilon(n, p) + 1e-9
+
+    @given(
+        n=st.integers(2, 8),
+        p=st.floats(0.05, 0.95),
+        queries=st.lists(st.integers(0, 7), min_size=1, max_size=5),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ratio_zero_for_identical_sequences(self, n, p, queries, seed):
+        assume(all(q < n for q in queries))
+        rng = SeededRandomSource(seed)
+        pairs = sample_transcript_pairs(queries, n, p, rng)
+        assert transcript_log_ratio(queries, queries, pairs, n, p) == 0.0
+
+
+class TestBetaSequenceProperties:
+    @given(n=st.integers(100, 10**9), levels=st.integers(0, 8))
+    @settings(max_examples=80)
+    def test_recurrence_equals_closed_form(self, n, levels):
+        values = beta_sequence(n, levels)
+        for level, value in enumerate(values):
+            closed = beta_sequence_closed_form(n, level)
+            assert math.isclose(value, closed, rel_tol=1e-6)
+
+    @given(n=st.integers(1000, 10**9))
+    @settings(max_examples=40)
+    def test_monotone_decreasing(self, n):
+        values = beta_sequence(n, 6)
+        assert all(a >= b for a, b in zip(values, values[1:]))

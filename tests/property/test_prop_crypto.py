@@ -1,0 +1,66 @@
+"""Property-based tests for the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encryption import SecretKey, decrypt, encrypt
+from repro.crypto.prf import PRF
+from repro.crypto.prg import CounterPRG
+from repro.crypto.rng import SeededRandomSource
+
+
+keys = st.binary(min_size=32, max_size=32).map(SecretKey)
+payloads = st.binary(min_size=0, max_size=512)
+seeds = st.integers(min_value=0, max_value=2**63)
+
+
+class TestEncryptionProperties:
+    @given(key=keys, plaintext=payloads, seed=seeds)
+    @settings(max_examples=60)
+    def test_roundtrip(self, key, plaintext, seed):
+        rng = SeededRandomSource(seed)
+        assert decrypt(key, encrypt(key, plaintext, rng)) == plaintext
+
+    @given(key=keys, plaintext=payloads, seed=seeds)
+    @settings(max_examples=60)
+    def test_length_preserving_plus_nonce(self, key, plaintext, seed):
+        rng = SeededRandomSource(seed)
+        assert len(encrypt(key, plaintext, rng)) == len(plaintext) + 16
+
+    @given(key=keys, plaintext=st.binary(min_size=1, max_size=64),
+           seed=seeds)
+    @settings(max_examples=60)
+    def test_reencryption_unlinkable(self, key, plaintext, seed):
+        rng = SeededRandomSource(seed)
+        assert encrypt(key, plaintext, rng) != encrypt(key, plaintext, rng)
+
+
+class TestPrfProperties:
+    @given(key=st.binary(min_size=1, max_size=64),
+           message=st.binary(max_size=128),
+           modulus=st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=60)
+    def test_integer_in_range(self, key, message, modulus):
+        value = PRF(key).integer(message, modulus)
+        assert 0 <= value < modulus
+
+    @given(key=st.binary(min_size=1, max_size=64),
+           message=st.binary(max_size=64),
+           modulus=st.integers(min_value=1, max_value=1000),
+           count=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60)
+    def test_choices_shape(self, key, message, modulus, count):
+        choices = PRF(key).choices(message, modulus, count)
+        assert len(choices) == count
+        assert all(0 <= c < modulus for c in choices)
+
+
+class TestPrgProperties:
+    @given(seed=st.binary(min_size=1, max_size=64),
+           first=st.integers(min_value=0, max_value=100),
+           second=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60)
+    def test_stream_consistency(self, seed, first, second):
+        stream = CounterPRG(seed)
+        combined = stream.read(first) + stream.read(second)
+        assert combined == CounterPRG.expand(seed, first + second)

@@ -1,0 +1,145 @@
+"""Property-based tests: every storage scheme vs a reference model.
+
+The central invariant of the whole library — privacy mechanisms must never
+change answers.  Hypothesis drives random operation sequences against
+DP-RAM, Path ORAM, BucketDPRAM and DP-KVS, comparing against plain dicts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.path_oram import PathORAM
+from repro.core.bucket_ram import BucketDPRAM
+from repro.core.dp_kvs import DPKVS
+from repro.core.dp_ram import DPRAM
+from repro.crypto.rng import SeededRandomSource
+from repro.storage.blocks import encode_int, integer_database
+
+
+N = 12
+
+ram_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=40,
+)
+
+
+class TestDPRAMModel:
+    @given(ops=ram_ops, seed=st.integers(0, 2**32),
+           p=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_model(self, ops, seed, p):
+        ram = DPRAM(integer_database(N), stash_probability=p,
+                    rng=SeededRandomSource(seed))
+        model = {i: encode_int(i) for i in range(N)}
+        for kind, index, payload in ops:
+            if kind == "read":
+                assert ram.read(index) == model[index]
+            else:
+                value = encode_int(payload)
+                ram.write(index, value)
+                model[index] = value
+
+    @given(ops=ram_ops, seed=st.integers(0, 2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_bandwidth_invariant(self, ops, seed):
+        ram = DPRAM(integer_database(N), rng=SeededRandomSource(seed))
+        for kind, index, payload in ops:
+            before = ram.server.operations
+            if kind == "read":
+                ram.read(index)
+            else:
+                ram.write(index, encode_int(payload))
+            assert ram.server.operations - before == 3
+
+
+class TestPathORAMModel:
+    @given(ops=ram_ops, seed=st.integers(0, 2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_model(self, ops, seed):
+        oram = PathORAM(integer_database(N), rng=SeededRandomSource(seed))
+        model = {i: encode_int(i) for i in range(N)}
+        for kind, index, payload in ops:
+            if kind == "read":
+                assert oram.read(index) == model[index]
+            else:
+                value = encode_int(payload)
+                oram.write(index, value)
+                model[index] = value
+
+
+class TestBucketDPRAMModel:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 255)), max_size=30
+        ),
+        seed=st.integers(0, 2**32),
+        p=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_overlapping_buckets_consistent(self, ops, seed, p):
+        # 4 buckets sharing node 8 plus pairwise shared mid nodes.
+        buckets = [(0, 4, 8), (1, 4, 8), (2, 5, 8), (3, 5, 8)]
+        blocks = [bytes([i]) * 4 for i in range(9)]
+        ram = BucketDPRAM(blocks, buckets, stash_probability=p,
+                          rng=SeededRandomSource(seed))
+        model = {node: blocks[node] for node in range(9)}
+        for bucket, payload in ops:
+            target = buckets[bucket][payload % 3]
+            value = bytes([payload]) * 4
+            snapshot = ram.query(bucket, new_contents={target: value})
+            for node in buckets[bucket]:
+                assert snapshot[node] == model[node]
+            model[target] = value
+
+
+kv_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "put", "delete"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=255),
+    ),
+    max_size=30,
+)
+
+
+class TestDPKVSModel:
+    @given(ops=kv_ops, seed=st.integers(0, 2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, ops, seed):
+        store = DPKVS(64, key_size=4, value_size=4,
+                      rng=SeededRandomSource(seed))
+        model: dict[bytes, bytes] = {}
+        for kind, key_id, payload in ops:
+            key = f"k{key_id:02d}".encode()
+            if kind == "get":
+                value = store.get(key)
+                if key.ljust(4, b"\x00") in model:
+                    assert value == model[key.ljust(4, b"\x00")]
+                else:
+                    assert value is None
+            elif kind == "put":
+                value = bytes([payload]) * 4
+                store.put(key, value)
+                model[key.ljust(4, b"\x00")] = value
+            else:
+                existed = store.delete(key)
+                assert existed == (key.ljust(4, b"\x00") in model)
+                model.pop(key.ljust(4, b"\x00"), None)
+
+    @given(seed=st.integers(0, 2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_operation_cost_constant_for_fixed_n(self, seed):
+        store = DPKVS(64, key_size=4, value_size=4,
+                      rng=SeededRandomSource(seed))
+        expected = store.blocks_per_operation()
+        costs = set()
+        for i in range(10):
+            before = store.server.operations
+            store.put(f"k{i}".encode(), b"v")
+            costs.add(store.server.operations - before)
+        assert costs == {expected}

@@ -1,0 +1,122 @@
+"""Boundary conditions across the library: the smallest legal inputs."""
+
+import math
+
+import pytest
+
+from repro.core.dp_ir import DPIR
+from repro.core.dp_kvs import DPKVS
+from repro.core.dp_ram import DPRAM
+from repro.core.strawman import StrawmanIR
+from repro.storage.blocks import integer_database
+
+
+class TestSingleRecordDatabases:
+    def test_dpir_n_one(self, rng):
+        # With one record the pad is the whole database; privacy is moot
+        # but the mechanics must not break.
+        scheme = DPIR([b"only"], pad_size=1, alpha=0.5, rng=rng)
+        answers = {scheme.query(0) for _ in range(40)}
+        assert answers <= {b"only", None}
+        assert b"only" in answers
+
+    def test_dpram_n_one(self, rng):
+        ram = DPRAM([b"x" * 8], stash_probability=0.5, rng=rng)
+        for _ in range(20):
+            assert ram.read(0) == b"x" * 8
+        ram.write(0, b"y" * 8)
+        assert ram.read(0) == b"y" * 8
+
+    def test_strawman_n_one(self, rng):
+        scheme = StrawmanIR([b"solo"], rng=rng)
+        assert scheme.query(0) == b"solo"
+
+    def test_dpkvs_capacity_one(self, rng):
+        store = DPKVS(1, key_size=4, value_size=4, rng=rng)
+        store.put(b"k", b"v")
+        assert store.get(b"k").rstrip(b"\x00") == b"v"
+
+    def test_linear_pir_n_one(self):
+        from repro.baselines.linear_pir import LinearScanPIR
+
+        scheme = LinearScanPIR([b"a"])
+        assert scheme.query(0) == b"a"
+
+
+class TestTwoRecordDatabases:
+    def test_dpir_exact_epsilon_n_two(self):
+        from repro.core.params import dp_ir_exact_epsilon
+
+        # K=1 on n=2: eps = ln((1-a)*2/a + 1).
+        alpha = 0.25
+        assert dp_ir_exact_epsilon(2, 1, alpha) == pytest.approx(
+            math.log((1 - alpha) * 2 / alpha + 1)
+        )
+
+    def test_path_oram_n_two(self, rng):
+        from repro.baselines.path_oram import PathORAM
+        from repro.storage.blocks import encode_int
+
+        oram = PathORAM(integer_database(2), rng=rng)
+        oram.write(0, encode_int(10))
+        oram.write(1, encode_int(20))
+        assert oram.read(0) == encode_int(10)
+        assert oram.read(1) == encode_int(20)
+
+    def test_adjacent_pair_minimum_universe(self, rng):
+        from repro.workloads.generators import adjacent_index_pair
+
+        base, neighbour, position = adjacent_index_pair(2, 1, rng)
+        assert base.hamming_distance(neighbour) == 1
+
+
+class TestDegenerateParameters:
+    def test_dpkvs_zero_value_size(self, rng):
+        # A membership-only store (set semantics) is legal.
+        store = DPKVS(16, key_size=4, value_size=0, rng=rng)
+        store.put(b"k", b"")
+        assert store.get(b"k") == b""
+        assert store.get(b"j") is None
+
+    def test_network_zero_rtt(self):
+        from repro.storage.network import NetworkModel
+
+        link = NetworkModel(rtt_ms=0.0, bandwidth_mbps=1.0)
+        assert link.response_time_ms(10, 0, 1) == 0.0
+
+    def test_chernoff_at_mean(self):
+        from repro.analysis.tails import chernoff_tail
+
+        assert chernoff_tail(5.0, 5.0) == pytest.approx(1.0)
+
+    def test_empty_transcript_projections(self):
+        from repro.storage.transcript import Transcript
+
+        transcript = Transcript()
+        assert transcript.dp_ram_pairs() == []
+        assert transcript.downloads() == []
+        assert transcript.query_count() == 0
+
+    def test_batch_of_one_equals_single(self, rng):
+        from repro.core.batch_ir import BatchDPIR
+
+        scheme = BatchDPIR(integer_database(8), pad_size=3, alpha=0.1,
+                           rng=rng)
+        before = scheme.server.reads
+        scheme.query_batch([2])
+        assert scheme.server.reads - before == 3
+
+    def test_tree_shape_minimum(self):
+        from repro.hashing.tree_buckets import TreeShape
+
+        shape = TreeShape.for_capacity(1)
+        assert shape.leaf_count >= 1
+        assert shape.depth >= 1
+
+    def test_stash_zero_capacity(self):
+        from repro.storage.client import ClientStash
+        from repro.storage.errors import CapacityError
+
+        stash = ClientStash(capacity=0)
+        with pytest.raises(CapacityError):
+            stash.put("k", 1)

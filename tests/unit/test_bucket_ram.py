@@ -1,0 +1,205 @@
+"""Tests for repro.core.bucket_ram (Appendix E)."""
+
+import pytest
+
+from repro.core.bucket_ram import BucketDPRAM
+from repro.storage.errors import RetrievalError, StorageError
+
+
+def _blocks(count, size=8):
+    return [bytes([i]) * size for i in range(count)]
+
+
+def _disjoint_ram(rng, p=0.3):
+    """Four disjoint buckets of two nodes each."""
+    buckets = [(0, 1), (2, 3), (4, 5), (6, 7)]
+    return BucketDPRAM(_blocks(8), buckets, stash_probability=p,
+                       rng=rng.spawn("bram"))
+
+
+def _overlapping_ram(rng, p=0.3):
+    """Three buckets sharing node 6 (a common ancestor)."""
+    buckets = [(0, 1, 6), (2, 3, 6), (4, 5, 6)]
+    return BucketDPRAM(_blocks(7), buckets, stash_probability=p,
+                       rng=rng.spawn("bram-overlap"))
+
+
+class TestConstruction:
+    def test_rejects_empty_blocks(self, rng):
+        with pytest.raises(ValueError):
+            BucketDPRAM([], [(0,)], 0.5, rng=rng)
+
+    def test_rejects_empty_buckets(self, rng):
+        with pytest.raises(ValueError):
+            BucketDPRAM(_blocks(2), [], 0.5, rng=rng)
+
+    def test_rejects_empty_bucket_tuple(self, rng):
+        with pytest.raises(ValueError):
+            BucketDPRAM(_blocks(2), [()], 0.5, rng=rng)
+
+    def test_rejects_out_of_range_node(self, rng):
+        with pytest.raises(StorageError):
+            BucketDPRAM(_blocks(2), [(0, 5)], 0.5, rng=rng)
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            BucketDPRAM(_blocks(2), [(0,)], 0.0, rng=rng)
+
+    def test_server_holds_ciphertexts(self, rng):
+        ram = _disjoint_ram(rng)
+        assert ram.server.peek(0) != _blocks(8)[0]
+
+
+class TestQueryLifecycle:
+    def test_download_returns_contents(self, rng):
+        ram = _disjoint_ram(rng)
+        snapshot = ram.query(1)
+        assert snapshot == {2: _blocks(8)[2], 3: _blocks(8)[3]}
+
+    def test_update_persists(self, rng):
+        ram = _disjoint_ram(rng)
+        ram.query(0, new_contents={0: b"UPDATED!"})
+        assert ram.query(0)[0] == b"UPDATED!"
+
+    def test_partial_update_keeps_other_nodes(self, rng):
+        ram = _disjoint_ram(rng)
+        ram.query(0, new_contents={0: b"UPDATED!"})
+        assert ram.query(0)[1] == _blocks(8)[1]
+
+    def test_repeated_updates_under_stash_churn(self, rng):
+        ram = BucketDPRAM(_blocks(4), [(0, 1), (2, 3)],
+                          stash_probability=0.7, rng=rng.spawn("churn"))
+        expected = {0: _blocks(4)[0], 1: _blocks(4)[1]}
+        for step in range(100):
+            payload = bytes([step % 256]) * 8
+            ram.query(0, new_contents={0: payload})
+            expected[0] = payload
+            assert ram.query(0) == expected
+
+    def test_finish_twice_rejected(self, rng):
+        ram = _disjoint_ram(rng)
+        pending = ram.begin_query(0)
+        ram.finish_query(pending)
+        with pytest.raises(RetrievalError):
+            ram.finish_query(pending)
+
+    def test_update_to_foreign_node_rejected(self, rng):
+        ram = _disjoint_ram(rng)
+        pending = ram.begin_query(0)
+        with pytest.raises(StorageError):
+            ram.finish_query(pending, {5: b"not-in-bucket"})
+
+    def test_bucket_out_of_range(self, rng):
+        ram = _disjoint_ram(rng)
+        with pytest.raises(RetrievalError):
+            ram.begin_query(9)
+
+    def test_double_begin_same_bucket_rejected(self, rng):
+        ram = _disjoint_ram(rng)
+        pending = ram.begin_query(0)
+        with pytest.raises(RetrievalError):
+            ram.begin_query(0)
+        ram.finish_query(pending)
+        ram.begin_query(0)  # allowed again once finished
+
+
+class TestOverlapConsistency:
+    def test_shared_node_update_visible_to_sibling(self, rng):
+        ram = _overlapping_ram(rng)
+        ram.query(0, new_contents={6: b"SHAREDv1"})
+        assert ram.query(1)[6] == b"SHAREDv1"
+        assert ram.query(2)[6] == b"SHAREDv1"
+
+    def test_shared_node_survives_stash_churn(self, rng):
+        ram = BucketDPRAM(
+            _blocks(5), [(0, 4), (1, 4), (2, 4), (3, 4)],
+            stash_probability=0.8, rng=rng.spawn("hot"),
+        )
+        current = _blocks(5)[4]
+        source = rng.spawn("driver")
+        for step in range(150):
+            bucket = source.randbelow(4)
+            if step % 3 == 0:
+                current = bytes([step % 251]) * 8
+                ram.query(bucket, new_contents={4: current})
+            else:
+                assert ram.query(bucket)[4] == current
+
+    def test_private_nodes_stay_independent(self, rng):
+        ram = _overlapping_ram(rng)
+        ram.query(0, new_contents={0: b"bucket0!"})
+        assert ram.query(1)[2] == _blocks(7)[2]
+        assert ram.query(0)[0] == b"bucket0!"
+
+
+class TestInterleavedPhases:
+    def test_two_pending_queries(self, rng):
+        ram = _disjoint_ram(rng)
+        first = ram.begin_query(0)
+        second = ram.begin_query(1)
+        assert first.contents[0] == _blocks(8)[0]
+        assert second.contents[2] == _blocks(8)[2]
+        ram.finish_query(first, {0: b"newA0000"})
+        ram.finish_query(second, {2: b"newB0000"})
+        assert ram.query(0)[0] == b"newA0000"
+        assert ram.query(1)[2] == b"newB0000"
+
+    def test_interleaved_with_shared_node(self, rng):
+        ram = _overlapping_ram(rng)
+        first = ram.begin_query(0)
+        second = ram.begin_query(1)
+        # The KVS writes the same authoritative value through both handles.
+        ram.finish_query(first, {6: b"JOINT-v2"})
+        ram.finish_query(second, {6: b"JOINT-v2"})
+        assert ram.query(2)[6] == b"JOINT-v2"
+
+
+class TestTranscriptShape:
+    def test_pairs_per_query(self, rng):
+        ram = _disjoint_ram(rng)
+        ram.query(0)
+        ram.query(3)
+        assert len(ram.transcript_pairs) == 2
+
+    def test_unstashed_query_targets_itself(self, rng):
+        ram = BucketDPRAM(_blocks(4), [(0, 1), (2, 3)],
+                          stash_probability=1e-12, rng=rng.spawn("cold"))
+        ram.query(1)
+        assert ram.transcript_pairs[-1] == (1, 1)
+
+    def test_bandwidth_per_query(self, rng):
+        # Each query: download one bucket, download + upload one bucket.
+        ram = _disjoint_ram(rng)
+        reads_before = ram.server.reads
+        writes_before = ram.server.writes
+        ram.query(2)
+        assert ram.server.reads - reads_before == 4  # 2 nodes x 2 downloads
+        assert ram.server.writes - writes_before == 2  # 2 nodes uploaded
+
+    def test_query_count(self, rng):
+        ram = _disjoint_ram(rng)
+        ram.query(0)
+        ram.query(0)
+        assert ram.query_count == 2
+
+
+class TestClientAccounting:
+    def test_peak_tracks_overlay(self, rng):
+        ram = BucketDPRAM(_blocks(4), [(0, 1), (2, 3)],
+                          stash_probability=1.0, rng=rng.spawn("full"))
+        # p = 1: both buckets permanently stashed -> overlay holds all nodes.
+        assert ram.client_blocks == 4
+        ram.query(0)
+        assert ram.client_peak_blocks >= 4
+
+    def test_cold_client_holds_nothing(self, rng):
+        ram = BucketDPRAM(_blocks(4), [(0, 1), (2, 3)],
+                          stash_probability=1e-12, rng=rng.spawn("cold2"))
+        ram.query(0)
+        ram.query(1)
+        assert ram.client_blocks == 0
+
+    def test_stashed_bucket_count(self, rng):
+        ram = BucketDPRAM(_blocks(4), [(0, 1), (2, 3)],
+                          stash_probability=1.0, rng=rng.spawn("full2"))
+        assert ram.stashed_buckets == 2

@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestBoundsCommand:
+    def test_prints_answer(self, capsys):
+        assert main(["bounds", "--n", "1024", "--bandwidth", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Thm 3.4" in output
+        assert "Theta(log n)" in output
+
+    def test_custom_parameters_flow_through(self, capsys):
+        main(["bounds", "--n", "4096", "--bandwidth", "8",
+              "--alpha", "0.1", "--client", "16"])
+        output = capsys.readouterr().out
+        assert "n = 4096" in output
+        assert "8.0 blocks/query" in output
+
+
+class TestDemoCommand:
+    def test_runs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "DP-RAM" in output
+        assert "DP-IR" in output
+        assert "DP-KVS" in output
+
+
+class TestExperimentsCommand:
+    def test_only_filter(self, capsys):
+        assert main(["experiments", "--only", "E1"]) == 0
+        output = capsys.readouterr().out
+        assert "E1:" in output
+        assert "E8:" not in output
+
+    def test_only_filter_suffixed_id(self, capsys):
+        assert main(["experiments", "--only", "E11B"]) == 0
+        output = capsys.readouterr().out
+        assert "E11b" in output
+
+    def test_markdown_mode(self, capsys):
+        assert main(["experiments", "--only", "E5", "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("### E5")
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["experiments", "--only", "E99"]) == 1
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,90 @@
+"""Tests for repro.storage.client.ClientStash."""
+
+import pytest
+
+from repro.storage.client import ClientStash
+from repro.storage.errors import CapacityError
+
+
+class TestClientStash:
+    def test_put_get(self):
+        stash = ClientStash()
+        stash.put("a", 1)
+        assert stash["a"] == 1
+        assert stash.get("a") == 1
+
+    def test_get_default(self):
+        assert ClientStash().get("missing", 7) == 7
+
+    def test_contains_and_len(self):
+        stash = ClientStash()
+        stash.put(1, "x")
+        assert 1 in stash
+        assert 2 not in stash
+        assert len(stash) == 1
+
+    def test_pop(self):
+        stash = ClientStash()
+        stash.put("k", "v")
+        assert stash.pop("k") == "v"
+        assert "k" not in stash
+
+    def test_pop_missing_raises(self):
+        with pytest.raises(KeyError):
+            ClientStash().pop("nope")
+
+    def test_discard_is_silent(self):
+        stash = ClientStash()
+        stash.discard("absent")
+        stash.put("k", 1)
+        stash.discard("k")
+        assert "k" not in stash
+
+    def test_peak_tracking(self):
+        stash = ClientStash()
+        for i in range(5):
+            stash.put(i, i)
+        for i in range(5):
+            stash.pop(i)
+        stash.put("one", 1)
+        assert stash.peak == 5
+        assert len(stash) == 1
+
+    def test_overwrite_does_not_grow_peak(self):
+        stash = ClientStash()
+        stash.put("k", 1)
+        stash.put("k", 2)
+        assert stash.peak == 1
+        assert stash["k"] == 2
+
+    def test_capacity_enforced(self):
+        stash = ClientStash(capacity=2)
+        stash.put(1, "a")
+        stash.put(2, "b")
+        with pytest.raises(CapacityError):
+            stash.put(3, "c")
+
+    def test_capacity_allows_overwrite_at_limit(self):
+        stash = ClientStash(capacity=1)
+        stash.put(1, "a")
+        stash.put(1, "b")
+        assert stash[1] == "b"
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            ClientStash(capacity=-1)
+
+    def test_items_and_mapping(self):
+        stash = ClientStash()
+        stash.put("a", 1)
+        stash.put("b", 2)
+        assert dict(stash.items()) == {"a": 1, "b": 2}
+        snapshot = stash.as_mapping()
+        stash.put("c", 3)
+        assert "c" not in snapshot
+
+    def test_iteration(self):
+        stash = ClientStash()
+        stash.put("x", 1)
+        stash.put("y", 2)
+        assert set(stash) == {"x", "y"}

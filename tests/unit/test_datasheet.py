@@ -1,0 +1,128 @@
+"""Tests for repro.analysis.datasheet."""
+
+import math
+
+import pytest
+
+from repro.analysis.datasheet import PrivacyDatasheet, datasheet_for
+from repro.baselines.linear_pir import LinearScanPIR
+from repro.baselines.path_oram import PathORAM
+from repro.core.batch_ir import BatchDPIR
+from repro.core.dp_ir import DPIR
+from repro.core.dp_kvs import DPKVS
+from repro.core.dp_ram import DPRAM, ReadOnlyDPRAM
+from repro.core.multi_server import MultiServerDPIR
+from repro.core.strawman import StrawmanIR
+from repro.storage.blocks import integer_database
+
+
+N = 64
+
+
+@pytest.fixture
+def db():
+    return integer_database(N)
+
+
+class TestDatasheetBuilders:
+    def test_dpir(self, rng, db):
+        scheme = DPIR(db, pad_size=4, alpha=0.1, rng=rng)
+        sheet = datasheet_for(scheme)
+        assert sheet.scheme == "DPIR"
+        assert sheet.epsilon == pytest.approx(scheme.epsilon)
+        assert sheet.epsilon_kind == "exact"
+        assert sheet.blocks_per_query == 4.0
+        assert sheet.client_blocks is None
+        assert sheet.error_probability == 0.1
+
+    def test_batch_dpir(self, rng, db):
+        sheet = datasheet_for(BatchDPIR(db, pad_size=4, alpha=0.1, rng=rng))
+        assert sheet.scheme == "BatchDPIR"
+        assert sheet.epsilon_kind == "exact"
+
+    def test_strawman_shows_broken_delta(self, rng, db):
+        sheet = datasheet_for(StrawmanIR(db, rng=rng))
+        assert sheet.delta == pytest.approx(1 - 1 / N)
+        assert sheet.epsilon == math.inf
+
+    def test_dpram(self, rng, db):
+        scheme = DPRAM(db, rng=rng)
+        sheet = datasheet_for(scheme)
+        assert sheet.blocks_per_query == 3.0
+        assert sheet.roundtrips == 2
+        assert sheet.epsilon_kind == "upper bound"
+        assert sheet.client_blocks == pytest.approx(
+            scheme.params.expected_stash
+        )
+
+    def test_read_only_dpram(self, rng, db):
+        sheet = datasheet_for(ReadOnlyDPRAM(db, rng=rng))
+        assert sheet.blocks_per_query == 2.0
+        assert sheet.error_probability == 0.0
+
+    def test_dpkvs(self, rng):
+        scheme = DPKVS(N, rng=rng)
+        sheet = datasheet_for(scheme)
+        assert sheet.blocks_per_query == scheme.blocks_per_operation()
+        assert sheet.server_blocks == scheme.server_node_count
+        assert sheet.epsilon_kind == "upper bound"
+
+    def test_linear_pir_is_perfect(self, db):
+        sheet = datasheet_for(LinearScanPIR(db))
+        assert sheet.epsilon == 0.0
+        assert sheet.epsilon_kind == "perfect"
+        assert sheet.blocks_per_query == N
+
+    def test_path_oram_is_perfect(self, rng, db):
+        scheme = PathORAM(db, rng=rng)
+        sheet = datasheet_for(scheme)
+        assert sheet.epsilon_kind == "perfect"
+        assert sheet.blocks_per_query == scheme.blocks_per_access()
+
+    def test_multi_server(self, rng, db):
+        sheet = datasheet_for(
+            MultiServerDPIR(db, server_count=3, pad_size=6, rng=rng)
+        )
+        assert sheet.blocks_per_query == 6.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(TypeError):
+            datasheet_for(object())
+
+
+class TestRendering:
+    def test_to_text_contains_fields(self, rng, db):
+        sheet = datasheet_for(DPRAM(db, rng=rng))
+        text = sheet.to_text()
+        assert "Datasheet: DPRAM" in text
+        assert "blocks per query" in text
+        assert "upper bound" in text
+
+    def test_stateless_rendering(self, db):
+        text = datasheet_for(LinearScanPIR(db)).to_text()
+        assert "stateless" in text
+        assert "0 (oblivious)" in text
+
+    def test_frozen(self, db):
+        sheet = datasheet_for(LinearScanPIR(db))
+        with pytest.raises(AttributeError):
+            sheet.n = 5
+
+    def test_ordering_across_schemes(self, rng, db):
+        # Datasheets support the paper's overhead ordering at a glance.
+        dpram = datasheet_for(DPRAM(db, rng=rng.spawn("a")))
+        oram = datasheet_for(PathORAM(db, rng=rng.spawn("b")))
+        pir = datasheet_for(LinearScanPIR(db))
+        assert dpram.blocks_per_query < oram.blocks_per_query < \
+            pir.blocks_per_query
+        assert pir.epsilon <= oram.epsilon <= dpram.epsilon
+
+
+class TestDatasheetDataclass:
+    def test_direct_construction(self):
+        sheet = PrivacyDatasheet(
+            scheme="X", n=10, epsilon=1.0, epsilon_kind="exact", delta=0.0,
+            error_probability=0.0, blocks_per_query=1.0, roundtrips=1,
+            client_blocks=None, server_blocks=10,
+        )
+        assert "Datasheet: X" in sheet.to_text()

@@ -1,0 +1,143 @@
+"""Tests for repro.core.dp_ir (Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.core.dp_ir import DPIR
+from repro.storage.blocks import integer_database
+from repro.storage.errors import RetrievalError
+from repro.storage.transcript import Transcript
+
+
+def _scheme(rng, n=64, epsilon=None, alpha=0.1, pad_size=None):
+    db = integer_database(n)
+    if epsilon is None and pad_size is None:
+        epsilon = math.log(n)
+    return DPIR(db, epsilon=epsilon, pad_size=pad_size, alpha=alpha,
+                rng=rng.spawn("dpir")), db
+
+
+class TestConstruction:
+    def test_requires_exactly_one_parameter(self, small_db):
+        with pytest.raises(ValueError):
+            DPIR(small_db, epsilon=1.0, pad_size=2)
+        with pytest.raises(ValueError):
+            DPIR(small_db)
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(ValueError):
+            DPIR([], epsilon=1.0)
+
+    def test_pad_size_resolution(self, rng):
+        scheme, _ = _scheme(rng, n=1000, epsilon=math.log(1000), alpha=0.05)
+        expected = math.ceil(0.95 * 1000 / (0.05 * (1000 - 1)))
+        assert scheme.pad_size == expected
+        assert scheme.epsilon <= math.log(1000)
+
+    def test_explicit_pad_size(self, rng):
+        scheme, _ = _scheme(rng, pad_size=5)
+        assert scheme.pad_size == 5
+
+    def test_exposes_exact_epsilon(self, rng):
+        scheme, _ = _scheme(rng, n=64, pad_size=4, alpha=0.1)
+        expected = math.log(0.9 * 64 / (0.1 * 4) + 1)
+        assert scheme.epsilon == pytest.approx(expected)
+
+
+class TestQuery:
+    def test_successful_query_returns_block(self, rng):
+        scheme, db = _scheme(rng, alpha=0.01)
+        answers = [scheme.query(7) for _ in range(50)]
+        successes = [a for a in answers if a is not None]
+        assert successes  # alpha=0.01 so most succeed
+        assert all(a == db[7] for a in successes)
+
+    def test_error_rate_near_alpha(self, rng):
+        scheme, _ = _scheme(rng, alpha=0.3)
+        trials = 2000
+        errors = sum(1 for _ in range(trials) if scheme.query(3) is None)
+        assert 0.25 < errors / trials < 0.35
+
+    def test_error_counter(self, rng):
+        scheme, _ = _scheme(rng, alpha=0.5)
+        for _ in range(100):
+            scheme.query(0)
+        assert scheme.query_count == 100
+        assert scheme.error_count > 10
+        assert scheme.error_count == sum(
+            1 for _ in ()
+        ) + scheme.error_count  # counter is stable
+
+    def test_bandwidth_is_exactly_pad_size(self, rng):
+        scheme, _ = _scheme(rng, pad_size=6)
+        before = scheme.server.reads
+        scheme.query(1)
+        assert scheme.server.reads - before == 6
+
+    def test_out_of_range_rejected(self, rng):
+        scheme, _ = _scheme(rng)
+        with pytest.raises(RetrievalError):
+            scheme.query(scheme.n)
+        with pytest.raises(RetrievalError):
+            scheme.query(-1)
+
+    def test_stateless_between_queries(self, rng):
+        # IR keeps no client state: identical distributions per query,
+        # checked coarsely via the pad contents covering the universe.
+        scheme, _ = _scheme(rng, n=16, pad_size=4)
+        seen = set()
+        for _ in range(400):
+            seen |= scheme.sample_query_set(0)
+        assert seen == set(range(16))
+
+
+class TestSampleQuerySet:
+    def test_size_is_pad_size(self, rng):
+        scheme, _ = _scheme(rng, pad_size=7)
+        for _ in range(50):
+            assert len(scheme.sample_query_set(2)) == 7
+
+    def test_real_index_inclusion_rate(self, rng):
+        scheme, _ = _scheme(rng, n=64, pad_size=2, alpha=0.25)
+        trials = 3000
+        included = sum(
+            1 for _ in range(trials) if 5 in scheme.sample_query_set(5)
+        )
+        # Pr[q in T] = (1-a) + a*K/n = 0.75 + 0.25*2/64
+        expected = 0.75 + 0.25 * 2 / 64
+        assert abs(included / trials - expected) < 0.04
+
+    def test_other_index_inclusion_rate(self, rng):
+        scheme, _ = _scheme(rng, n=64, pad_size=2, alpha=0.25)
+        trials = 3000
+        included = sum(
+            1 for _ in range(trials) if 9 in scheme.sample_query_set(5)
+        )
+        # Pr[q' in T] = (1-a)(K-1)/(n-1) + a*K/n
+        expected = 0.75 * 1 / 63 + 0.25 * 2 / 64
+        assert abs(included / trials - expected) < 0.03
+
+    def test_does_not_touch_server(self, rng):
+        scheme, _ = _scheme(rng)
+        before = scheme.server.operations
+        scheme.sample_query_set(0)
+        assert scheme.server.operations == before
+
+
+class TestTranscriptIntegration:
+    def test_transcript_records_downloads_only(self, rng):
+        scheme, _ = _scheme(rng, pad_size=3)
+        transcript = Transcript()
+        scheme.attach_transcript(transcript)
+        scheme.query(4)
+        assert len(transcript.downloads()) == 3
+        assert len(transcript.uploads()) == 0
+
+    def test_transcript_query_attribution(self, rng):
+        scheme, _ = _scheme(rng, pad_size=2)
+        transcript = Transcript()
+        scheme.attach_transcript(transcript)
+        scheme.query(0)
+        scheme.query(1)
+        assert transcript.query_count() == 2

@@ -1,0 +1,149 @@
+"""Tests for repro.analysis.dp_ir_exact (Appendix B closed forms)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.analysis.dp_ir_exact import (
+    dpir_exact_delta,
+    dpir_expected_bandwidth,
+    dpir_membership_probabilities,
+    dpir_transcript_probability,
+    strawman_exact_delta,
+    strawman_expected_bandwidth,
+    strawman_transcript_probability,
+)
+from repro.core.params import dp_ir_exact_epsilon
+
+
+class TestDpirTranscriptProbability:
+    def test_sums_to_one(self):
+        n, k, alpha = 6, 3, 0.2
+        total = sum(
+            dpir_transcript_probability(n, k, alpha, 0, frozenset(subset))
+            for subset in itertools.combinations(range(n), k)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_wrong_size_subset_impossible(self):
+        assert dpir_transcript_probability(6, 3, 0.2, 0, frozenset({1})) == 0.0
+
+    def test_including_query_more_likely(self):
+        n, k, alpha = 8, 2, 0.1
+        with_query = dpir_transcript_probability(
+            n, k, alpha, 0, frozenset({0, 3})
+        )
+        without_query = dpir_transcript_probability(
+            n, k, alpha, 0, frozenset({2, 3})
+        )
+        assert with_query > without_query
+
+    def test_ratio_matches_exact_epsilon(self):
+        # The worst-case transcript ratio equals e^eps from Appendix B.
+        n, k, alpha = 10, 3, 0.2
+        subset = frozenset({0, 4, 5})
+        p_real = dpir_transcript_probability(n, k, alpha, 0, subset)
+        p_other = dpir_transcript_probability(n, k, alpha, 1, subset)
+        assert math.log(p_real / p_other) == pytest.approx(
+            dp_ir_exact_epsilon(n, k, alpha)
+        )
+
+    def test_matches_sampled_frequencies(self, rng):
+        from repro.core.dp_ir import DPIR
+        from repro.storage.blocks import integer_database
+
+        n, k, alpha = 6, 2, 0.3
+        scheme = DPIR(integer_database(n), pad_size=k, alpha=alpha,
+                      rng=rng.spawn("freq"))
+        trials = 6000
+        counts: dict[frozenset, int] = {}
+        for _ in range(trials):
+            subset = scheme.sample_query_set(2)
+            counts[subset] = counts.get(subset, 0) + 1
+        for subset, count in counts.items():
+            exact = dpir_transcript_probability(n, k, alpha, 2, subset)
+            assert count / trials == pytest.approx(exact, abs=0.02)
+
+    def test_rejects_out_of_range_query(self):
+        with pytest.raises(ValueError):
+            dpir_transcript_probability(5, 2, 0.1, 5, frozenset({0, 1}))
+
+    def test_rejects_out_of_range_member(self):
+        with pytest.raises(ValueError):
+            dpir_transcript_probability(5, 2, 0.1, 0, frozenset({0, 9}))
+
+
+class TestDpirExactDelta:
+    def test_zero_at_exact_epsilon(self):
+        n, k, alpha = 100, 4, 0.1
+        epsilon = dp_ir_exact_epsilon(n, k, alpha)
+        assert dpir_exact_delta(n, k, alpha, epsilon) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_positive_below_exact_epsilon(self):
+        n, k, alpha = 100, 4, 0.1
+        epsilon = dp_ir_exact_epsilon(n, k, alpha)
+        assert dpir_exact_delta(n, k, alpha, epsilon * 0.5) > 0
+
+    def test_monotone_in_epsilon(self):
+        n, k, alpha = 64, 3, 0.2
+        deltas = [dpir_exact_delta(n, k, alpha, eps) for eps in (0, 1, 2, 4)]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_full_download_zero_delta(self):
+        assert dpir_exact_delta(16, 16, 0.1, 0.0) == 0.0
+
+    def test_delta_bounded_by_one(self):
+        assert dpir_exact_delta(100, 1, 0.01, 0.0) <= 1.0
+
+
+class TestMembershipProbabilities:
+    def test_own_vs_other(self):
+        own, other = dpir_membership_probabilities(64, 4, 0.1)
+        assert own > other
+        assert own == pytest.approx(0.9 + 0.1 * 4 / 64)
+        assert other == pytest.approx(0.9 * 3 / 63 + 0.1 * 4 / 64)
+
+    def test_full_pad_equalizes(self):
+        own, other = dpir_membership_probabilities(16, 16, 0.1)
+        assert own == pytest.approx(1.0)
+        assert other == pytest.approx(1.0)
+
+
+class TestStrawman:
+    def test_probability_zero_without_query(self):
+        assert strawman_transcript_probability(8, 0, frozenset({1, 2})) == 0.0
+
+    def test_probability_formula(self):
+        n = 8
+        p = strawman_transcript_probability(n, 0, frozenset({0, 3}))
+        assert p == pytest.approx((1 / n) * (1 - 1 / n) ** (n - 2))
+
+    def test_sums_to_one(self):
+        n = 5
+        total = 0.0
+        for size in range(1, n + 1):
+            for subset in itertools.combinations(range(n), size):
+                if 0 in subset:
+                    total += strawman_transcript_probability(
+                        n, 0, frozenset(subset)
+                    )
+        assert total == pytest.approx(1.0)
+
+    def test_delta_is_one_minus_one_over_n(self):
+        for n in (2, 10, 1000):
+            assert strawman_exact_delta(n, 5.0) == pytest.approx(1 - 1 / n)
+
+    def test_delta_epsilon_independent(self):
+        assert strawman_exact_delta(64, 0.0) == strawman_exact_delta(64, 100.0)
+
+
+class TestBandwidthFormulas:
+    def test_dpir_bandwidth(self):
+        assert dpir_expected_bandwidth(100, 7) == 7.0
+
+    def test_strawman_bandwidth(self):
+        assert strawman_expected_bandwidth(100) == pytest.approx(1.99)
+        assert strawman_expected_bandwidth(1) == 1.0

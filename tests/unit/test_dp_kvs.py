@@ -1,0 +1,200 @@
+"""Tests for repro.core.dp_kvs (Section 7)."""
+
+import pytest
+
+from repro.core.dp_kvs import DPKVS
+from repro.storage.errors import BlockSizeError, CapacityError
+
+
+@pytest.fixture
+def store(rng):
+    return DPKVS(64, key_size=8, value_size=8, rng=rng.spawn("kvs"))
+
+
+class TestBasicOperations:
+    def test_get_missing_returns_none(self, store):
+        assert store.get(b"absent") is None
+
+    def test_put_then_get(self, store):
+        store.put(b"alpha", b"one")
+        value = store.get(b"alpha")
+        assert value is not None
+        assert value.rstrip(b"\x00") == b"one"
+
+    def test_update_existing(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k").rstrip(b"\x00") == b"v2"
+        assert store.size == 1
+
+    def test_many_keys(self, rng):
+        store = DPKVS(128, key_size=8, value_size=8, rng=rng.spawn("many"))
+        items = {f"k{i}".encode(): f"v{i}".encode() for i in range(100)}
+        for key, value in items.items():
+            store.put(key, value)
+        assert store.size == 100
+        for key, value in items.items():
+            assert store.get(key).rstrip(b"\x00") == value
+
+    def test_delete(self, store):
+        store.put(b"gone", b"x")
+        assert store.delete(b"gone") is True
+        assert store.get(b"gone") is None
+        assert store.size == 0
+
+    def test_delete_missing(self, store):
+        assert store.delete(b"never") is False
+
+    def test_delete_then_reinsert(self, store):
+        store.put(b"k", b"v1")
+        store.delete(b"k")
+        store.put(b"k", b"v2")
+        assert store.get(b"k").rstrip(b"\x00") == b"v2"
+
+    def test_delete_from_super_root(self, rng):
+        # Tiny node capacity forces super-root spills.
+        store = DPKVS(16, key_size=8, value_size=8, node_capacity=1,
+                      leaves_per_tree=2, rng=rng.spawn("spill"))
+        for i in range(16):
+            store.put(f"k{i}".encode(), b"v")
+        if store.super_root_size > 0:
+            # delete something that lives in the super root
+            for i in range(16):
+                key = f"k{i}".encode()
+                before = store.super_root_size
+                if store.delete(key) and store.super_root_size < before:
+                    assert store.get(key) is None
+                    return
+        pytest.skip("no super-root resident key materialized")
+
+    def test_capacity_enforced(self, rng):
+        store = DPKVS(4, key_size=8, value_size=8, rng=rng.spawn("cap"))
+        for i in range(4):
+            store.put(f"k{i}".encode(), b"v")
+        with pytest.raises(CapacityError):
+            store.put(b"extra", b"v")
+
+    def test_update_allowed_at_capacity(self, rng):
+        store = DPKVS(2, key_size=8, value_size=8, rng=rng.spawn("cap2"))
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.put(b"a", b"3")  # update, not insert
+        assert store.get(b"a").rstrip(b"\x00") == b"3"
+
+
+class TestKeyValueNormalization:
+    def test_short_keys_padded(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k\x00\x00") is not None  # same normalized key
+
+    def test_oversize_key_rejected(self, store):
+        with pytest.raises(BlockSizeError):
+            store.put(b"x" * 9, b"v")
+
+    def test_oversize_value_rejected(self, store):
+        with pytest.raises(BlockSizeError):
+            store.put(b"k", b"v" * 9)
+
+    def test_value_returned_padded(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v" + b"\x00" * 7
+
+
+class TestBandwidthShape:
+    def test_get_and_put_same_cost(self, store):
+        store.put(b"seed", b"x")
+        before = store.server.operations
+        store.get(b"seed")
+        get_cost = store.server.operations - before
+        before = store.server.operations
+        store.put(b"seed", b"y")
+        put_cost = store.server.operations - before
+        assert get_cost == put_cost  # reads and writes indistinguishable
+
+    def test_cost_matches_params(self, store):
+        expected = store.blocks_per_operation()
+        before = store.server.operations
+        store.get(b"anything")
+        assert store.server.operations - before == expected
+
+    def test_blocks_per_operation_formula(self, store):
+        shape = store.params.shape
+        assert store.blocks_per_operation() == 6 * shape.path_length
+
+    def test_missing_get_same_cost_as_hit(self, store):
+        store.put(b"hit", b"v")
+        before = store.server.operations
+        store.get(b"hit")
+        hit_cost = store.server.operations - before
+        before = store.server.operations
+        store.get(b"miss")
+        miss_cost = store.server.operations - before
+        assert hit_cost == miss_cost
+
+    def test_operation_counter(self, store):
+        store.put(b"a", b"1")
+        store.get(b"a")
+        store.delete(b"a")
+        assert store.operation_count == 3
+
+    def test_transcript_pairs_two_per_operation(self, store):
+        store.get(b"q")
+        assert len(store.transcript_pairs) == 2
+
+
+class TestServerStorage:
+    def test_server_nodes_linear(self, rng):
+        for n in (64, 256, 1024):
+            store = DPKVS(n, rng=rng.spawn(f"lin{n}"))
+            assert store.server_node_count <= 3 * n
+
+    def test_node_block_size(self, rng):
+        store = DPKVS(64, key_size=4, value_size=4, node_capacity=3,
+                      rng=rng.spawn("sz"))
+        assert store.node_block_size == 2 + 3 * 8
+
+
+class TestSuperRoot:
+    def test_spills_counted(self, rng):
+        store = DPKVS(32, key_size=8, value_size=8, node_capacity=1,
+                      leaves_per_tree=2, rng=rng.spawn("sr"))
+        for i in range(32):
+            store.put(f"key{i}".encode(), b"v")
+        # With node capacity 1 and tiny trees some keys must spill.
+        assert store.super_root_peak >= 0
+        for i in range(32):
+            assert store.get(f"key{i}".encode()) is not None
+
+    def test_enforcement_raises(self, rng):
+        from repro.storage.errors import MappingOverflowError
+
+        store = DPKVS(64, key_size=8, value_size=8, node_capacity=1,
+                      leaves_per_tree=2, phi=1,
+                      enforce_super_root_capacity=True, rng=rng.spawn("sre"))
+        with pytest.raises(MappingOverflowError):
+            for i in range(64):
+                store.put(f"key{i}".encode(), b"v")
+
+    def test_client_peak_includes_super_root(self, store):
+        store.put(b"k", b"v")
+        assert store.client_peak_blocks >= store.super_root_peak
+
+
+class TestStashChurnCorrectness:
+    def test_heavy_stash_probability(self, rng):
+        # Force the bucket DP-RAM to stash aggressively: phi = bucket count.
+        store = DPKVS(32, key_size=8, value_size=8, phi=4096,
+                      rng=rng.spawn("heavy"))
+        reference = {}
+        source = rng.spawn("heavy-ops")
+        for step in range(150):
+            key = f"k{source.randbelow(20)}".encode()
+            if source.random() < 0.5 and reference:
+                lookup = source.choice(sorted(reference))
+                value = store.get(lookup)
+                assert value is not None
+                assert value.rstrip(b"\x00") == reference[lookup]
+            else:
+                value = f"v{step}".encode()
+                store.put(key, value)
+                reference[key] = value

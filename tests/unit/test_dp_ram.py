@@ -1,0 +1,221 @@
+"""Tests for repro.core.dp_ram (Algorithms 2-3)."""
+
+import math
+
+import pytest
+
+from repro.core.dp_ram import DPRAM, ReadOnlyDPRAM
+from repro.storage.blocks import encode_int, integer_database
+from repro.storage.errors import RetrievalError
+from repro.storage.transcript import Transcript
+
+
+def _ram(rng, n=32, p=None, phi=None):
+    return DPRAM(
+        integer_database(n), stash_probability=p, phi=phi, rng=rng.spawn("ram")
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_database(self, rng):
+        with pytest.raises(ValueError):
+            DPRAM([], rng=rng)
+
+    def test_rejects_both_p_and_phi(self, rng, small_db):
+        with pytest.raises(ValueError):
+            DPRAM(small_db, stash_probability=0.1, phi=8, rng=rng)
+
+    def test_default_params_resolve(self, rng, small_db):
+        ram = DPRAM(small_db, rng=rng)
+        assert 0 < ram.stash_probability <= 1
+
+    def test_server_stores_ciphertexts(self, rng, small_db):
+        ram = DPRAM(small_db, rng=rng)
+        stored = ram.server.peek(0)
+        assert stored != small_db[0]  # encrypted, not plaintext
+        assert len(stored) > len(small_db[0])  # nonce overhead
+
+    def test_initial_stash_rate(self, rng):
+        # p = 0.5 over 400 records: stash should start near 200.
+        ram = _ram(rng, n=400, p=0.5)
+        assert 150 < ram.stash_size < 250
+
+
+class TestCorrectness:
+    def test_read_returns_initial_values(self, rng):
+        ram = _ram(rng, n=32, p=0.3)
+        db = integer_database(32)
+        for index in range(32):
+            assert ram.read(index) == db[index]
+
+    def test_write_then_read(self, rng):
+        ram = _ram(rng, n=32, p=0.3)
+        ram.write(5, encode_int(999))
+        assert ram.read(5) == encode_int(999)
+
+    def test_repeated_read_write_cycles(self, rng):
+        ram = _ram(rng, n=16, p=0.4)
+        reference = {i: encode_int(i) for i in range(16)}
+        source = rng.spawn("ops")
+        for step in range(300):
+            index = source.randbelow(16)
+            if source.random() < 0.5:
+                value = encode_int(10_000 + step)
+                ram.write(index, value)
+                reference[index] = value
+            else:
+                assert ram.read(index) == reference[index]
+
+    def test_correct_under_p_one(self, rng):
+        # Everything always stashed: server traffic is pure cover.
+        ram = _ram(rng, n=8, p=1.0)
+        ram.write(3, encode_int(77))
+        assert ram.read(3) == encode_int(77)
+
+    def test_correct_under_tiny_p(self, rng):
+        ram = _ram(rng, n=8, p=1e-9)
+        ram.write(2, encode_int(55))
+        assert ram.read(2) == encode_int(55)
+
+    def test_out_of_range(self, rng):
+        ram = _ram(rng, n=8)
+        with pytest.raises(RetrievalError):
+            ram.read(8)
+        with pytest.raises(RetrievalError):
+            ram.write(-1, b"x")
+
+
+class TestBandwidth:
+    def test_exactly_three_transfers_per_query(self, rng):
+        ram = _ram(rng, n=64, p=0.2)
+        reads_before = ram.server.reads
+        writes_before = ram.server.writes
+        queries = 100
+        source = rng.spawn("mix")
+        for _ in range(queries):
+            index = source.randbelow(64)
+            if source.random() < 0.5:
+                ram.write(index, encode_int(1))
+            else:
+                ram.read(index)
+        assert ram.server.reads - reads_before == 2 * queries
+        assert ram.server.writes - writes_before == queries
+
+    def test_bandwidth_independent_of_n(self, rng):
+        for n in (16, 256):
+            ram = _ram(rng, n=n)
+            before = ram.server.operations
+            ram.read(0)
+            assert ram.server.operations - before == 3
+
+
+class TestTranscript:
+    def test_pairs_recorded_per_query(self, rng):
+        ram = _ram(rng, n=16, p=0.3)
+        ram.read(3)
+        ram.write(4, encode_int(1))
+        pairs = ram.transcript_pairs
+        assert len(pairs) == 2
+        assert all(len(pair) == 2 for pair in pairs)
+
+    def test_unstashed_read_touches_own_slot(self, rng):
+        # With p ~ 0 nothing is stashed, so d_j = o_j = q_j always.
+        ram = _ram(rng, n=16, p=1e-12)
+        ram.read(7)
+        assert ram.transcript_pairs[-1] == (7, 7)
+
+    def test_stashed_read_downloads_random(self, rng):
+        # With p = 1 everything is stashed; downloads are uniform.
+        ram = _ram(rng, n=64, p=1.0)
+        downloads = set()
+        for _ in range(200):
+            ram.read(0)
+            downloads.add(ram.transcript_pairs[-1][0])
+        assert len(downloads) > 30  # spread over many slots, not pinned to 0
+
+    def test_event_transcript_matches_pairs(self, rng):
+        ram = _ram(rng, n=16, p=0.3)
+        transcript = Transcript()
+        ram.attach_transcript(transcript)
+        ram.read(1)
+        ram.read(2)
+        assert transcript.dp_ram_pairs() == ram.transcript_pairs[-2:]
+
+    def test_reads_and_writes_look_identical(self, rng):
+        # Same query index: the (d, o) marginal supports are identical for
+        # read and write (encryption hides the payload difference).
+        ram_r = _ram(rng, n=8, p=0.5)
+        ram_w = DPRAM(
+            integer_database(8), stash_probability=0.5, rng=rng.spawn("ram")
+        )  # same spawn label -> same randomness as ram_r
+        ram_r.read(3)
+        ram_w.write(3, encode_int(42))
+        assert ram_r.transcript_pairs == ram_w.transcript_pairs
+
+
+class TestStash:
+    def test_stash_concentration(self, rng):
+        # Lemma D.1: stash stays near p*n.
+        n, p = 2000, 0.02
+        ram = _ram(rng, n=n, p=p)
+        source = rng.spawn("load")
+        for _ in range(500):
+            ram.read(source.randbelow(n))
+        expected = p * n  # 40
+        assert ram.stash_peak < math.e * expected + 10
+
+    def test_stash_peak_monotone(self, rng):
+        ram = _ram(rng, n=64, p=0.5)
+        peak_before = ram.stash_peak
+        for _ in range(50):
+            ram.read(rng.randbelow(64))
+        assert ram.stash_peak >= peak_before
+
+    def test_params_epsilon_bound_positive(self, rng):
+        ram = _ram(rng, n=64)
+        assert ram.params.epsilon_bound > 0
+
+
+class TestReadOnlyDPRAM:
+    def test_plaintext_server(self, rng, small_db):
+        ram = ReadOnlyDPRAM(small_db, rng=rng)
+        assert ram.server.peek(0) == small_db[0]
+
+    def test_reads_correct(self, rng, small_db):
+        ram = ReadOnlyDPRAM(small_db, stash_probability=0.4, rng=rng)
+        for index in range(len(small_db)):
+            assert ram.read(index) == small_db[index]
+
+    def test_repeated_reads_correct(self, rng, small_db):
+        ram = ReadOnlyDPRAM(small_db, stash_probability=0.6, rng=rng)
+        for _ in range(200):
+            index = rng.randbelow(len(small_db))
+            assert ram.read(index) == small_db[index]
+
+    def test_no_uploads_ever(self, rng, small_db):
+        ram = ReadOnlyDPRAM(small_db, rng=rng)
+        for _ in range(50):
+            ram.read(rng.randbelow(len(small_db)))
+        assert ram.server.writes == 0
+
+    def test_two_downloads_per_query(self, rng, small_db):
+        ram = ReadOnlyDPRAM(small_db, rng=rng)
+        before = ram.server.reads
+        ram.read(0)
+        assert ram.server.reads - before == 2
+
+    def test_pairs_distribution_shape(self, rng):
+        ram = ReadOnlyDPRAM(
+            integer_database(16), stash_probability=1e-12, rng=rng
+        )
+        ram.read(5)
+        assert ram.transcript_pairs[-1] == (5, 5)
+
+    def test_rejects_both_parameters(self, rng, small_db):
+        with pytest.raises(ValueError):
+            ReadOnlyDPRAM(small_db, stash_probability=0.1, phi=8, rng=rng)
+
+    def test_out_of_range(self, rng, small_db):
+        ram = ReadOnlyDPRAM(small_db, rng=rng)
+        with pytest.raises(RetrievalError):
+            ram.read(len(small_db))

@@ -1,0 +1,83 @@
+"""Tests for repro.crypto.encryption."""
+
+import pytest
+
+from repro.crypto.encryption import (
+    CIPHERTEXT_OVERHEAD,
+    NONCE_SIZE,
+    SecretKey,
+    decrypt,
+    encrypt,
+    generate_key,
+)
+from repro.crypto.rng import SeededRandomSource
+
+
+@pytest.fixture
+def key(rng):
+    return generate_key(rng.spawn("key"))
+
+
+class TestSecretKey:
+    def test_requires_32_bytes(self):
+        with pytest.raises(ValueError):
+            SecretKey(b"short")
+
+    def test_repr_hides_material(self):
+        key = SecretKey(b"\x01" * 32)
+        assert "\\x01" not in repr(key)
+        assert "01" * 16 not in repr(key)
+
+    def test_generate_key_is_valid(self, rng):
+        key = generate_key(rng)
+        assert len(key.material) == 32
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, key, rng):
+        plaintext = b"the quick brown fox"
+        assert decrypt(key, encrypt(key, plaintext, rng)) == plaintext
+
+    def test_roundtrip_empty(self, key, rng):
+        assert decrypt(key, encrypt(key, b"", rng)) == b""
+
+    def test_roundtrip_large(self, key, rng):
+        plaintext = bytes(range(256)) * 40
+        assert decrypt(key, encrypt(key, plaintext, rng)) == plaintext
+
+    def test_ciphertext_overhead(self, key, rng):
+        plaintext = b"x" * 64
+        ciphertext = encrypt(key, plaintext, rng)
+        assert len(ciphertext) == len(plaintext) + CIPHERTEXT_OVERHEAD
+
+    def test_fresh_nonce_per_encryption(self, key, rng):
+        plaintext = b"same plaintext"
+        first = encrypt(key, plaintext, rng)
+        second = encrypt(key, plaintext, rng)
+        assert first != second  # re-encryption is unlinkable
+
+    def test_ciphertext_differs_from_plaintext(self, key, rng):
+        plaintext = b"z" * 48
+        assert encrypt(key, plaintext, rng)[NONCE_SIZE:] != plaintext
+
+    def test_wrong_key_garbles(self, rng):
+        key_a = generate_key(rng.spawn("a"))
+        key_b = generate_key(rng.spawn("b"))
+        plaintext = b"secret"
+        assert decrypt(key_b, encrypt(key_a, plaintext, rng)) != plaintext
+
+    def test_decrypt_rejects_short_ciphertext(self, key):
+        with pytest.raises(ValueError):
+            decrypt(key, b"tiny")
+
+    def test_deterministic_under_seeded_rng(self):
+        key = SecretKey(b"\x07" * 32)
+        first = encrypt(key, b"msg", SeededRandomSource(5))
+        second = encrypt(key, b"msg", SeededRandomSource(5))
+        assert first == second  # same nonce stream -> reproducible runs
+
+    def test_nonce_is_prefix(self, key):
+        rng = SeededRandomSource(6)
+        probe = SeededRandomSource(6).bytes(NONCE_SIZE)
+        ciphertext = encrypt(key, b"payload", rng)
+        assert ciphertext[:NONCE_SIZE] == probe

@@ -1,0 +1,154 @@
+"""Tests for repro.analysis.estimators and repro.analysis.attacks."""
+
+import math
+
+import pytest
+
+from repro.analysis.attacks import (
+    max_success_probability,
+    membership_attack,
+)
+from repro.analysis.estimators import estimate_delta, estimate_epsilon
+
+
+def _biased_sampler(bias):
+    """Samples 'heads'/'tails' with Pr[heads] = bias."""
+
+    def sampler(rng):
+        return "heads" if rng.random() < bias else "tails"
+
+    return sampler
+
+
+class TestEstimateEpsilon:
+    def test_identical_distributions_give_small_epsilon(self, rng):
+        estimate = estimate_epsilon(
+            _biased_sampler(0.5), _biased_sampler(0.5), 4000, rng
+        )
+        assert estimate.epsilon_hat < 0.2
+
+    def test_distinct_distributions_detected(self, rng):
+        estimate = estimate_epsilon(
+            _biased_sampler(0.9), _biased_sampler(0.1), 4000, rng
+        )
+        # True log-ratio is ln(9) ~ 2.2; smoothing pulls it down a bit.
+        assert estimate.epsilon_hat > 1.5
+
+    def test_support_counted(self, rng):
+        estimate = estimate_epsilon(
+            _biased_sampler(0.5), _biased_sampler(0.5), 500, rng
+        )
+        assert estimate.support == 2
+        assert estimate.trials == 500
+
+    def test_reference_epsilon_delta(self, rng):
+        estimate = estimate_epsilon(
+            _biased_sampler(0.9), _biased_sampler(0.1), 3000, rng,
+            reference_epsilon=0.0,
+        )
+        # At eps=0 the delta is about the total variation distance ~ 0.8.
+        assert estimate.delta_hat == pytest.approx(0.8, abs=0.1)
+        assert estimate.reference_epsilon == 0.0
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            estimate_epsilon(_biased_sampler(0.5), _biased_sampler(0.5), 0, rng)
+        with pytest.raises(ValueError):
+            estimate_epsilon(
+                _biased_sampler(0.5), _biased_sampler(0.5), 10, rng,
+                smoothing=-1,
+            )
+
+
+class TestEstimateDelta:
+    def test_identical_distributions_zero(self, rng):
+        delta = estimate_delta(
+            _biased_sampler(0.5), _biased_sampler(0.5), 1.0, 3000, rng
+        )
+        assert delta < 0.05
+
+    def test_disjoint_supports_give_one(self, rng):
+        delta = estimate_delta(
+            _biased_sampler(1.0), _biased_sampler(0.0), 5.0, 1000, rng
+        )
+        assert delta == pytest.approx(1.0)
+
+    def test_larger_epsilon_smaller_delta(self, rng):
+        sampler_a, sampler_b = _biased_sampler(0.8), _biased_sampler(0.2)
+        small = estimate_delta(sampler_a, sampler_b, 0.0, 3000,
+                               rng.spawn("s"))
+        large = estimate_delta(sampler_a, sampler_b, 2.0, 3000,
+                               rng.spawn("l"))
+        assert large < small
+
+    def test_rejects_negative_epsilon(self, rng):
+        with pytest.raises(ValueError):
+            estimate_delta(_biased_sampler(0.5), _biased_sampler(0.5),
+                           -1.0, 10, rng)
+
+
+class TestMaxSuccessProbability:
+    def test_perfect_privacy_is_coin_flip(self):
+        assert max_success_probability(0.0, 0.0) == pytest.approx(0.5)
+
+    def test_no_privacy_is_certainty(self):
+        assert max_success_probability(0.0, 1.0) == pytest.approx(1.0)
+        assert max_success_probability(50.0) == pytest.approx(1.0)
+
+    def test_monotone_in_epsilon(self):
+        values = [max_success_probability(eps) for eps in (0, 1, 2, 4)]
+        assert values == sorted(values)
+
+    def test_formula(self):
+        assert max_success_probability(math.log(3)) == pytest.approx(
+            1 - 1 / 6
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            max_success_probability(-1)
+        with pytest.raises(ValueError):
+            max_success_probability(1, delta=2)
+
+
+class TestMembershipAttack:
+    def test_breaks_strawman(self, rng):
+        from repro.core.strawman import StrawmanIR
+        from repro.storage.blocks import integer_database
+
+        scheme = StrawmanIR(integer_database(64), rng=rng.spawn("straw"))
+        result = membership_attack(
+            scheme.sample_query_set, 0, 1, 800, rng.spawn("attack")
+        )
+        assert result.success_rate > 0.9
+        assert result.advantage > 0.4
+
+    def test_respects_dpir_ceiling(self, rng):
+        from repro.core.dp_ir import DPIR
+        from repro.storage.blocks import integer_database
+
+        scheme = DPIR(integer_database(64), pad_size=16, alpha=0.3,
+                      rng=rng.spawn("dpir"))
+        result = membership_attack(
+            scheme.sample_query_set, 0, 1, 1500, rng.spawn("attack"),
+            epsilon=scheme.epsilon,
+        )
+        assert result.bound is not None
+        assert result.success_rate <= result.bound + 0.03
+
+    def test_oblivious_scheme_gives_coin_flip(self, rng):
+        # A sampler that ignores the query: success must hover at 1/2.
+        def oblivious(query):
+            del query
+            return frozenset({0, 1})
+
+        result = membership_attack(oblivious, 0, 1, 2000, rng)
+        assert abs(result.success_rate - 0.5) < 0.05
+
+    def test_rejects_equal_candidates(self, rng):
+        with pytest.raises(ValueError):
+            membership_attack(lambda q: frozenset(), 1, 1, 10, rng)
+
+    def test_rejects_zero_trials(self, rng):
+        with pytest.raises(ValueError):
+            membership_attack(lambda q: frozenset(), 0, 1, 0, rng)

@@ -1,0 +1,158 @@
+"""Tests for repro.storage.faults and authenticated encryption."""
+
+import pytest
+
+from repro.crypto.encryption import (
+    AUTHENTICATED_OVERHEAD,
+    IntegrityError,
+    decrypt,
+    decrypt_authenticated,
+    encrypt,
+    encrypt_authenticated,
+    generate_key,
+)
+from repro.storage.faults import CorruptingServer, FlakyServer, ServerFault
+from repro.storage.server import StorageServer
+
+
+@pytest.fixture
+def key(rng):
+    return generate_key(rng.spawn("key"))
+
+
+class TestAuthenticatedEncryption:
+    def test_roundtrip(self, key, rng):
+        plaintext = b"integrity matters"
+        sealed = encrypt_authenticated(key, plaintext, rng)
+        assert decrypt_authenticated(key, sealed) == plaintext
+
+    def test_overhead(self, key, rng):
+        sealed = encrypt_authenticated(key, b"x" * 32, rng)
+        assert len(sealed) == 32 + AUTHENTICATED_OVERHEAD
+
+    def test_detects_bit_flip_anywhere(self, key, rng):
+        sealed = bytearray(encrypt_authenticated(key, b"payload" * 4, rng))
+        for position in (0, len(sealed) // 2, len(sealed) - 1):
+            tampered = bytearray(sealed)
+            tampered[position] ^= 0x01
+            with pytest.raises(IntegrityError):
+                decrypt_authenticated(key, bytes(tampered))
+
+    def test_detects_truncation(self, key, rng):
+        sealed = encrypt_authenticated(key, b"payload", rng)
+        with pytest.raises(IntegrityError):
+            decrypt_authenticated(key, sealed[:-1])
+
+    def test_rejects_too_short(self, key):
+        with pytest.raises(IntegrityError):
+            decrypt_authenticated(key, b"short")
+
+    def test_plain_decrypt_does_not_detect(self, key, rng):
+        # The contrast that motivates the authenticated mode: plain CTR
+        # decryption of a tampered ciphertext silently garbles.
+        sealed = bytearray(encrypt(key, b"A" * 16, rng))
+        sealed[-1] ^= 0xFF
+        garbled = decrypt(key, bytes(sealed))
+        assert garbled != b"A" * 16  # wrong data, no exception
+
+
+class TestCorruptingServer:
+    def _wrapped(self, rng, rate):
+        inner = StorageServer(8)
+        inner.load([bytes([i]) * 16 for i in range(8)])
+        return CorruptingServer(inner, rate, rng.spawn("faults")), inner
+
+    def test_zero_rate_is_transparent(self, rng):
+        server, inner = self._wrapped(rng, 0.0)
+        for i in range(8):
+            assert server.read(i) == inner.peek(i)
+        assert server.corrupted_reads == 0
+
+    def test_full_rate_corrupts_every_read(self, rng):
+        server, inner = self._wrapped(rng, 1.0)
+        for i in range(8):
+            assert server.read(i) != inner.peek(i)
+        assert server.corrupted_reads == 8
+
+    def test_corruption_is_single_bit(self, rng):
+        server, inner = self._wrapped(rng, 1.0)
+        block = server.read(3)
+        original = inner.peek(3)
+        differing_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(block, original)
+        )
+        assert differing_bits == 1
+
+    def test_delegates_other_attributes(self, rng):
+        server, inner = self._wrapped(rng, 0.5)
+        assert server.capacity == inner.capacity
+
+    def test_rejects_bad_rate(self, rng):
+        inner = StorageServer(1)
+        with pytest.raises(ValueError):
+            CorruptingServer(inner, 1.5, rng)
+
+    def test_authenticated_scheme_detects_corruption(self, rng):
+        key = generate_key(rng.spawn("k"))
+        inner = StorageServer(4)
+        inner.load([
+            encrypt_authenticated(key, bytes([i]) * 16, rng.spawn(f"e{i}"))
+            for i in range(4)
+        ])
+        server = CorruptingServer(inner, 1.0, rng.spawn("f"))
+        with pytest.raises(IntegrityError):
+            decrypt_authenticated(key, server.read(0))
+
+    def test_plain_scheme_misses_corruption(self, rng):
+        key = generate_key(rng.spawn("k"))
+        inner = StorageServer(1)
+        inner.load([encrypt(key, b"Z" * 16, rng.spawn("e"))])
+        server = CorruptingServer(inner, 1.0, rng.spawn("f"))
+        garbled = decrypt(key, server.read(0))
+        assert garbled != b"Z" * 16  # silently wrong — no detection
+
+
+class TestFlakyServer:
+    def test_zero_rate_transparent(self, rng):
+        inner = StorageServer(4)
+        inner.load([b"a", b"b", b"c", b"d"])
+        server = FlakyServer(inner, 0.0, rng.spawn("f"))
+        assert server.read(1) == b"b"
+        server.write(1, b"x")
+        assert server.failures == 0
+
+    def test_full_rate_always_fails(self, rng):
+        inner = StorageServer(4)
+        inner.load([b"a", b"b", b"c", b"d"])
+        server = FlakyServer(inner, 1.0, rng.spawn("f"))
+        with pytest.raises(ServerFault):
+            server.read(0)
+        with pytest.raises(ServerFault):
+            server.write(0, b"x")
+        assert server.failures == 2
+
+    def test_partial_rate_counts(self, rng):
+        inner = StorageServer(4)
+        inner.load([b"a"] * 4)
+        server = FlakyServer(inner, 0.5, rng.spawn("f"))
+        outcomes = 0
+        for _ in range(200):
+            try:
+                server.read(0)
+                outcomes += 1
+            except ServerFault:
+                pass
+        assert 50 < outcomes < 150
+        assert server.failures == 200 - outcomes
+
+    def test_failed_write_leaves_data_intact(self, rng):
+        inner = StorageServer(1)
+        inner.load([b"original"])
+        server = FlakyServer(inner, 1.0, rng.spawn("f"))
+        with pytest.raises(ServerFault):
+            server.write(0, b"clobber!")
+        assert inner.peek(0) == b"original"
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            FlakyServer(StorageServer(1), -0.1, rng)

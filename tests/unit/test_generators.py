@@ -1,0 +1,125 @@
+"""Tests for repro.workloads.generators."""
+
+import pytest
+
+from repro.workloads.generators import (
+    adjacent_index_pair,
+    adjacent_ram_pair,
+    hotspot_trace,
+    read_write_trace,
+    sequential_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.workloads.trace import OpKind
+
+
+class TestUniformTrace:
+    def test_length_and_range(self, rng):
+        trace = uniform_trace(50, 200, rng)
+        assert len(trace) == 200
+        assert all(0 <= op.index < 50 for op in trace)
+        assert trace.read_fraction() == 1.0
+
+    def test_coarse_uniformity(self, rng):
+        trace = uniform_trace(4, 4000, rng)
+        counts = [0] * 4
+        for op in trace:
+            counts[op.index] += 1
+        assert min(counts) > 700
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            uniform_trace(0, 5, rng)
+        with pytest.raises(ValueError):
+            uniform_trace(5, -1, rng)
+
+
+class TestSequentialTrace:
+    def test_wraps_around(self):
+        trace = sequential_trace(3, 7, start=1)
+        assert trace.indices() == [1, 2, 0, 1, 2, 0, 1]
+
+
+class TestZipfTrace:
+    def test_skews_to_low_ranks(self, rng):
+        trace = zipf_trace(100, 3000, rng, skew=1.2)
+        head = sum(1 for op in trace if op.index < 10)
+        assert head > len(trace) * 0.4
+
+    def test_zero_skew_is_uniformish(self, rng):
+        trace = zipf_trace(10, 5000, rng, skew=0.0)
+        counts = [0] * 10
+        for op in trace:
+            counts[op.index] += 1
+        assert min(counts) > 300
+
+    def test_rejects_negative_skew(self, rng):
+        with pytest.raises(ValueError):
+            zipf_trace(10, 5, rng, skew=-0.5)
+
+
+class TestHotspotTrace:
+    def test_hot_keys_dominate(self, rng):
+        trace = hotspot_trace(100, 3000, rng, hot_fraction=0.1, hot_weight=0.9)
+        hot = sum(1 for op in trace if op.index < 10)
+        assert hot > len(trace) * 0.8
+
+    def test_full_hot_fraction(self, rng):
+        trace = hotspot_trace(10, 100, rng, hot_fraction=1.0)
+        assert all(0 <= op.index < 10 for op in trace)
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_trace(10, 5, rng, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            hotspot_trace(10, 5, rng, hot_weight=1.5)
+
+
+class TestReadWriteTrace:
+    def test_write_fraction_roughly_respected(self, rng):
+        trace = read_write_trace(20, 2000, rng, write_fraction=0.3)
+        writes = sum(1 for op in trace if op.kind is OpKind.WRITE)
+        assert 450 < writes < 750
+
+    def test_all_writes_have_values(self, rng):
+        trace = read_write_trace(20, 100, rng, write_fraction=1.0)
+        assert all(op.value is not None for op in trace)
+
+    def test_write_values_distinct(self, rng):
+        trace = read_write_trace(20, 100, rng, write_fraction=1.0)
+        values = [op.value for op in trace]
+        assert len(set(values)) == len(values)
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            read_write_trace(10, 5, rng, write_fraction=-0.1)
+
+
+class TestAdjacentPairs:
+    def test_index_pair_is_adjacent(self, rng):
+        base, neighbour, position = adjacent_index_pair(20, 15, rng)
+        assert base.hamming_distance(neighbour) == 1
+        assert base[position].index != neighbour[position].index
+
+    def test_index_pair_explicit_position(self, rng):
+        base, neighbour, position = adjacent_index_pair(20, 15, rng, position=3)
+        assert position == 3
+        assert base[3] != neighbour[3]
+
+    def test_index_pair_needs_universe_two(self, rng):
+        with pytest.raises(ValueError):
+            adjacent_index_pair(1, 5, rng)
+
+    def test_index_pair_needs_length_one(self, rng):
+        with pytest.raises(ValueError):
+            adjacent_index_pair(5, 0, rng)
+
+    def test_ram_pair_is_adjacent(self, rng):
+        base, neighbour, position = adjacent_ram_pair(20, 15, rng)
+        assert base.hamming_distance(neighbour) == 1
+        assert base[position].index != neighbour[position].index
+
+    def test_ram_pair_flips_op_kind(self, rng):
+        base, neighbour, position = adjacent_ram_pair(20, 15, rng)
+        assert base[position].kind is not neighbour[position].kind

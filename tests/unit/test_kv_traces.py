@@ -1,0 +1,103 @@
+"""Tests for repro.workloads.kv_traces."""
+
+import pytest
+
+from repro.workloads.kv_traces import (
+    KVOperation,
+    KVOpKind,
+    insert_then_lookup_trace,
+    random_keys,
+    ycsb_trace,
+)
+
+
+class TestKVOperation:
+    def test_builders(self):
+        get = KVOperation.get(b"k")
+        put = KVOperation.put(b"k", b"v")
+        assert get.kind is KVOpKind.GET
+        assert put.kind is KVOpKind.PUT
+        assert put.value == b"v"
+
+    def test_put_requires_value(self):
+        with pytest.raises(ValueError):
+            KVOperation(KVOpKind.PUT, b"k")
+
+    def test_get_rejects_value(self):
+        with pytest.raises(ValueError):
+            KVOperation(KVOpKind.GET, b"k", b"v")
+
+
+class TestRandomKeys:
+    def test_distinct_and_sized(self, rng):
+        keys = random_keys(100, rng, length=12)
+        assert len(keys) == 100
+        assert len(set(keys)) == 100
+        assert all(len(key) == 12 for key in keys)
+
+    def test_zero(self, rng):
+        assert random_keys(0, rng) == []
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            random_keys(-1, rng)
+
+
+class TestInsertThenLookup:
+    def test_structure(self, rng):
+        trace = insert_then_lookup_trace(20, 50, rng, missing_fraction=0.2)
+        puts = [op for op in trace if op.kind is KVOpKind.PUT]
+        gets = [op for op in trace if op.kind is KVOpKind.GET]
+        assert len(puts) == 20
+        assert len(gets) == 50
+        # puts come first (the load phase)
+        assert all(op.kind is KVOpKind.PUT for op in list(trace)[:20])
+
+    def test_missing_lookups_present(self, rng):
+        trace = insert_then_lookup_trace(10, 200, rng, missing_fraction=0.5)
+        inserted = {op.key for op in trace if op.kind is KVOpKind.PUT}
+        gets = [op for op in trace if op.kind is KVOpKind.GET]
+        missing = sum(1 for op in gets if op.key not in inserted)
+        assert 50 < missing < 150
+
+    def test_all_missing(self, rng):
+        trace = insert_then_lookup_trace(5, 30, rng, missing_fraction=1.0)
+        inserted = {op.key for op in trace if op.kind is KVOpKind.PUT}
+        gets = [op for op in trace if op.kind is KVOpKind.GET]
+        assert all(op.key not in inserted for op in gets)
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            insert_then_lookup_trace(5, 5, rng, missing_fraction=1.5)
+
+
+class TestYcsbTrace:
+    def test_profile_c_is_read_only_after_load(self, rng):
+        trace = ycsb_trace(10, 100, rng, profile="C")
+        after_load = list(trace)[10:]
+        assert all(op.kind is KVOpKind.GET for op in after_load)
+
+    def test_profile_a_mixes(self, rng):
+        trace = ycsb_trace(10, 1000, rng, profile="A")
+        after_load = list(trace)[10:]
+        reads = sum(1 for op in after_load if op.kind is KVOpKind.GET)
+        assert 350 < reads < 650
+
+    def test_profile_b_mostly_reads(self, rng):
+        trace = ycsb_trace(10, 1000, rng, profile="B")
+        after_load = list(trace)[10:]
+        reads = sum(1 for op in after_load if op.kind is KVOpKind.GET)
+        assert reads > 900
+
+    def test_operations_target_loaded_keys(self, rng):
+        trace = ycsb_trace(15, 200, rng, profile="B")
+        loaded = {op.key for op in list(trace)[:15]}
+        assert all(op.key in loaded for op in list(trace)[15:])
+
+    def test_unknown_profile_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ycsb_trace(10, 10, rng, profile="Z")
+
+    def test_keys_helper(self, rng):
+        trace = ycsb_trace(5, 20, rng)
+        assert len(trace.keys()) == 25

@@ -1,0 +1,105 @@
+"""Tests for repro.analysis.ledger."""
+
+import math
+
+import pytest
+
+from repro.analysis.composition import advanced_composition_epsilon
+from repro.analysis.ledger import BudgetExceededError, PrivacyLedger
+
+
+class TestCharging:
+    def test_accumulates(self):
+        ledger = PrivacyLedger()
+        ledger.charge(1.0)
+        ledger.charge(2.0, delta=0.01)
+        assert ledger.queries == 2
+        assert ledger.epsilon_spent == pytest.approx(3.0)
+        assert ledger.delta_spent == pytest.approx(0.01)
+
+    def test_cap_enforced(self):
+        ledger = PrivacyLedger(epsilon_cap=2.5)
+        ledger.charge(1.0)
+        ledger.charge(1.0)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge(1.0)
+        assert ledger.queries == 2  # failed charge not recorded
+
+    def test_remaining(self):
+        ledger = PrivacyLedger(epsilon_cap=5.0)
+        assert ledger.remaining() == 5.0
+        ledger.charge(2.0)
+        assert ledger.remaining() == pytest.approx(3.0)
+
+    def test_remaining_uncapped(self):
+        assert PrivacyLedger().remaining() is None
+
+    def test_can_afford(self):
+        ledger = PrivacyLedger(epsilon_cap=1.0)
+        assert ledger.can_afford(1.0)
+        ledger.charge(0.6)
+        assert ledger.can_afford(0.4)
+        assert not ledger.can_afford(0.5)
+
+    def test_validation(self):
+        ledger = PrivacyLedger()
+        with pytest.raises(ValueError):
+            ledger.charge(-1.0)
+        with pytest.raises(ValueError):
+            ledger.charge(1.0, delta=2.0)
+        with pytest.raises(ValueError):
+            PrivacyLedger(epsilon_cap=-1)
+        with pytest.raises(ValueError):
+            PrivacyLedger(delta_slack=0)
+
+
+class TestReports:
+    def test_uniform_charges_report_advanced(self):
+        ledger = PrivacyLedger(delta_slack=1e-6)
+        for _ in range(10):
+            ledger.charge(0.1)
+        report = ledger.report()
+        assert report.queries == 10
+        assert report.basic_epsilon == pytest.approx(1.0)
+        assert report.advanced_epsilon == pytest.approx(
+            advanced_composition_epsilon(0.1, 10, 1e-6)
+        )
+
+    def test_mixed_charges_skip_advanced(self):
+        ledger = PrivacyLedger()
+        ledger.charge(0.1)
+        ledger.charge(0.2)
+        assert ledger.report().advanced_epsilon is None
+
+    def test_empty_report(self):
+        report = PrivacyLedger().report()
+        assert report.queries == 0
+        assert report.basic_epsilon == 0.0
+        assert report.advanced_epsilon is None
+
+    def test_paper_regime_basic_is_binding(self):
+        # At eps = ln(n), advanced composition is worse than basic.
+        n, k = 1024, 8
+        ledger = PrivacyLedger()
+        for _ in range(k):
+            ledger.charge(math.log(n))
+        report = ledger.report()
+        assert report.advanced_epsilon > report.basic_epsilon
+
+
+class TestSchemeIntegration:
+    def test_ledger_driven_dpir_session(self, rng):
+        from repro.core.dp_ir import DPIR
+        from repro.storage.blocks import integer_database
+
+        n = 64
+        scheme = DPIR(integer_database(n), epsilon=math.log(n), alpha=0.1,
+                      rng=rng.spawn("s"))
+        ledger = PrivacyLedger(epsilon_cap=10 * scheme.epsilon)
+        served = 0
+        while ledger.can_afford(scheme.epsilon):
+            scheme.query(served % n)
+            ledger.charge(scheme.epsilon)
+            served += 1
+        assert served == 10
+        assert ledger.remaining() == pytest.approx(0.0)

@@ -1,0 +1,83 @@
+"""Tests for repro.simulation.metrics and repro.simulation.reporting."""
+
+import pytest
+
+from repro.simulation.metrics import RunMetrics
+from repro.simulation.reporting import ExperimentTable, format_table
+
+
+class TestRunMetrics:
+    def test_totals(self):
+        metrics = RunMetrics(scheme="s", trace="t", operations=10,
+                             blocks_downloaded=20, blocks_uploaded=10)
+        assert metrics.blocks_total == 30
+        assert metrics.blocks_per_operation == 3.0
+
+    def test_zero_operations(self):
+        metrics = RunMetrics(scheme="s", trace="t")
+        assert metrics.blocks_per_operation == 0.0
+        assert metrics.error_rate == 0.0
+
+    def test_error_rate(self):
+        metrics = RunMetrics(scheme="s", trace="t", operations=100, errors=7)
+        assert metrics.error_rate == pytest.approx(0.07)
+
+    def test_overhead(self):
+        metrics = RunMetrics(scheme="s", trace="t", operations=10,
+                             blocks_downloaded=30)
+        assert metrics.overhead_versus(1.0) == 3.0
+        with pytest.raises(ValueError):
+            metrics.overhead_versus(0.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        assert len(set(len(line.rstrip()) for line in lines[1:2])) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[0.123456], [12345.6], [1e-9], [0.0]])
+        assert "0.123" in text
+        assert "1.23e+04" in text or "12345.6" in text or "1.23e+4" in text
+        assert "1e-09" in text
+        assert "0" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text
+        assert "no" in text
+
+
+class TestExperimentTable:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable("E0", "claim", headers=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_to_text_includes_claim_and_notes(self):
+        table = ExperimentTable("E0", "my claim", headers=["a"])
+        table.add_row(1)
+        table.add_note("a note")
+        text = table.to_text()
+        assert "E0: my claim" in text
+        assert "note: a note" in text
+
+    def test_to_markdown_shape(self):
+        table = ExperimentTable("E0", "claim", headers=["a", "b"])
+        table.add_row(1, True)
+        markdown = table.to_markdown()
+        assert markdown.startswith("### E0 — claim")
+        assert "| a | b |" in markdown
+        assert "| 1 | yes |" in markdown

@@ -1,0 +1,53 @@
+"""Tests for repro.storage.network."""
+
+import pytest
+
+from repro.storage.network import LAN, MOBILE, WAN, NetworkModel
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        link = NetworkModel(rtt_ms=10, bandwidth_mbps=8)
+        # 1000 bytes = 8000 bits at 8 Mbps = 1 ms
+        assert link.transfer_ms(1000) == pytest.approx(1.0)
+
+    def test_response_time_combines_both(self):
+        link = NetworkModel(rtt_ms=10, bandwidth_mbps=8)
+        assert link.response_time_ms(2, 1, 1000) == pytest.approx(21.0)
+
+    def test_zero_blocks(self):
+        link = NetworkModel(rtt_ms=5, bandwidth_mbps=100)
+        assert link.response_time_ms(1, 0, 4096) == pytest.approx(5.0)
+
+    def test_latency_dominates_on_wan_for_small_transfers(self):
+        # DP-RAM's 3 blocks: transfer is negligible, RTTs dominate.
+        small = WAN.response_time_ms(2, 3, 4096)
+        assert small == pytest.approx(2 * WAN.rtt_ms, rel=0.05)
+
+    def test_bandwidth_dominates_for_pir(self):
+        n = 2**20
+        pir = WAN.response_time_ms(1, n, 4096)
+        assert pir > 100 * WAN.rtt_ms
+
+    def test_presets_ordered(self):
+        # For the same work, LAN < WAN < mobile.
+        times = [link.response_time_ms(2, 10, 4096)
+                 for link in (LAN, WAN, MOBILE)]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(rtt_ms=-1, bandwidth_mbps=1)
+        with pytest.raises(ValueError):
+            NetworkModel(rtt_ms=1, bandwidth_mbps=0)
+        link = NetworkModel(rtt_ms=1, bandwidth_mbps=1)
+        with pytest.raises(ValueError):
+            link.transfer_ms(-1)
+        with pytest.raises(ValueError):
+            link.response_time_ms(-1, 1, 1)
+        with pytest.raises(ValueError):
+            link.response_time_ms(1, -1, 1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            LAN.rtt_ms = 100

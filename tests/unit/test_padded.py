@@ -1,0 +1,63 @@
+"""Tests for repro.hashing.padded."""
+
+import pytest
+
+from repro.crypto.prf import PRF
+from repro.hashing.padded import PaddedTwoChoiceStore
+from repro.storage.errors import CapacityError
+
+
+@pytest.fixture
+def store():
+    return PaddedTwoChoiceStore(256, PRF(b"padded-test"))
+
+
+class TestPaddedStore:
+    def test_put_get(self, store):
+        store.put(b"key", b"value")
+        assert store.get(b"key") == b"value"
+
+    def test_get_missing(self, store):
+        assert store.get(b"nope") is None
+
+    def test_update(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert store.size == 1
+
+    def test_many_keys(self, store):
+        for i in range(256):
+            store.put(f"key{i}".encode(), f"val{i}".encode())
+        assert store.size == 256
+        for i in range(256):
+            assert store.get(f"key{i}".encode()) == f"val{i}".encode()
+
+    def test_max_load_within_capacity(self, store):
+        for i in range(256):
+            store.put(f"key{i}".encode(), b"v")
+        assert store.max_load() <= store.bin_capacity
+
+    def test_server_slots_is_padded_total(self, store):
+        assert store.server_slots == store.bins * store.bin_capacity
+
+    def test_storage_blowup_vs_n(self):
+        # The point of the ablation: slots/n grows like log log n.
+        small = PaddedTwoChoiceStore(2**8, PRF(b"a"))
+        large = PaddedTwoChoiceStore(2**20, PRF(b"b"))
+        assert large.server_slots / 2**20 >= small.server_slots / 2**8
+
+    def test_overflow_raises(self):
+        store = PaddedTwoChoiceStore(4, PRF(b"tiny"), bin_capacity=1)
+        with pytest.raises(CapacityError):
+            for i in range(5):
+                store.put(f"k{i}".encode(), b"v")
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PaddedTwoChoiceStore(0, PRF(b"k"))
+        with pytest.raises(ValueError):
+            PaddedTwoChoiceStore(4, PRF(b"k"), bin_capacity=0)
+
+    def test_candidates_deterministic(self, store):
+        assert store.candidates_for(b"k") == store.candidates_for(b"k")

@@ -1,0 +1,119 @@
+"""Tests for repro.baselines.path_oram."""
+
+import math
+
+import pytest
+
+from repro.baselines.path_oram import PathORAM
+from repro.storage.blocks import encode_int, integer_database
+from repro.storage.errors import RetrievalError
+
+
+def _oram(rng, n=32, z=4):
+    return PathORAM(integer_database(n), bucket_size=z, rng=rng.spawn("oram"))
+
+
+class TestConstruction:
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            PathORAM([], rng=rng)
+
+    def test_rejects_bad_bucket_size(self, rng, small_db):
+        with pytest.raises(ValueError):
+            PathORAM(small_db, bucket_size=0, rng=rng)
+
+    def test_rejects_uneven_blocks(self, rng):
+        with pytest.raises(ValueError):
+            PathORAM([b"aa", b"bbb"], rng=rng)
+
+    def test_height_is_log_n(self, rng):
+        for n, expected in ((2, 1), (32, 5), (33, 6), (1024, 10)):
+            oram = _oram(rng, n=n)
+            assert oram.height == expected
+
+
+class TestCorrectness:
+    def test_initial_reads(self, rng):
+        oram = _oram(rng, n=32)
+        db = integer_database(32)
+        for index in range(32):
+            assert oram.read(index) == db[index]
+
+    def test_write_then_read(self, rng):
+        oram = _oram(rng, n=32)
+        oram.write(9, encode_int(777))
+        assert oram.read(9) == encode_int(777)
+
+    def test_random_workload(self, rng):
+        oram = _oram(rng, n=64)
+        reference = {i: encode_int(i) for i in range(64)}
+        source = rng.spawn("ops")
+        for step in range(400):
+            index = source.randbelow(64)
+            if source.random() < 0.4:
+                value = encode_int(100_000 + step)
+                oram.write(index, value)
+                reference[index] = value
+            else:
+                assert oram.read(index) == reference[index]
+
+    def test_wrong_value_size_rejected(self, rng):
+        oram = _oram(rng)
+        with pytest.raises(ValueError):
+            oram.write(0, b"short")
+
+    def test_out_of_range(self, rng):
+        oram = _oram(rng, n=8)
+        with pytest.raises(RetrievalError):
+            oram.read(8)
+
+
+class TestBandwidth:
+    def test_blocks_per_access_formula(self, rng):
+        oram = _oram(rng, n=64, z=4)
+        assert oram.blocks_per_access() == 2 * 4 * (oram.height + 1)
+
+    def test_measured_matches_formula(self, rng):
+        oram = _oram(rng, n=64)
+        before = oram.server.operations
+        oram.read(0)
+        assert oram.server.operations - before == oram.blocks_per_access()
+
+    def test_cost_grows_with_log_n(self, rng):
+        small = _oram(rng, n=64)
+        large = _oram(rng, n=4096)
+        assert large.blocks_per_access() > small.blocks_per_access()
+        assert large.blocks_per_access() == pytest.approx(
+            2 * 4 * (math.log2(4096) + 1)
+        )
+
+
+class TestObliviousnessShape:
+    def test_position_remap_changes_paths(self, rng):
+        # Repeatedly accessing one index touches many distinct paths.
+        oram = _oram(rng, n=64)
+        from repro.storage.transcript import Transcript
+
+        transcript = Transcript()
+        oram.attach_transcript(transcript)
+        for _ in range(20)  :
+            oram.read(7)
+        slots_per_query = [
+            tuple(e.index for e in transcript.for_query(q))
+            for q in range(oram.query_count - 20, oram.query_count)
+        ]
+        assert len(set(slots_per_query)) > 5
+
+    def test_stash_stays_small(self, rng):
+        oram = _oram(rng, n=256)
+        source = rng.spawn("load")
+        for _ in range(500):
+            oram.read(source.randbelow(256))
+        # Classic Path ORAM result: stash is O(1)-ish w.h.p. for Z=4.
+        assert oram.stash_peak < 40
+
+    def test_query_counter(self, rng):
+        oram = _oram(rng, n=16)
+        oram.read(0)
+        oram.write(1, encode_int(5))
+        assert oram.query_count == 2

@@ -1,0 +1,111 @@
+"""Tests for repro.crypto.prf and repro.crypto.prg."""
+
+import pytest
+
+from repro.crypto.prf import PRF
+from repro.crypto.prg import CounterPRG
+
+
+class TestPRF:
+    def test_deterministic(self):
+        prf = PRF(b"key material")
+        assert prf.evaluate(b"message") == prf.evaluate(b"message")
+
+    def test_distinct_messages_distinct_outputs(self):
+        prf = PRF(b"key material")
+        assert prf.evaluate(b"a") != prf.evaluate(b"b")
+
+    def test_distinct_keys_distinct_outputs(self):
+        assert PRF(b"k1").evaluate(b"m") != PRF(b"k2").evaluate(b"m")
+
+    def test_output_length(self):
+        assert len(PRF(b"k").evaluate(b"m")) == 32
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            PRF(b"")
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(TypeError):
+            PRF("string key")
+
+    def test_integer_in_range(self):
+        prf = PRF(b"k")
+        for i in range(100):
+            assert 0 <= prf.integer(str(i).encode(), 17) < 17
+
+    def test_integer_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            PRF(b"k").integer(b"m", 0)
+
+    def test_integer_covers_range(self):
+        prf = PRF(b"k")
+        seen = {prf.integer(str(i).encode(), 5) for i in range(200)}
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_choices_count_and_range(self):
+        prf = PRF(b"k")
+        choices = prf.choices(b"key", 100, 3)
+        assert len(choices) == 3
+        assert all(0 <= c < 100 for c in choices)
+
+    def test_choices_deterministic(self):
+        prf = PRF(b"k")
+        assert prf.choices(b"key", 100, 2) == prf.choices(b"key", 100, 2)
+
+    def test_choices_are_domain_separated(self):
+        prf = PRF(b"k")
+        # choices(i) should not just repeat the same value d times.
+        many = [prf.choices(str(i).encode(), 10**6, 2) for i in range(50)]
+        assert any(a != b for a, b in many)
+
+    def test_choices_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            PRF(b"k").choices(b"m", 10, -1)
+
+    def test_subkey_differs_from_parent(self):
+        prf = PRF(b"k")
+        child = prf.subkey("label")
+        assert child.evaluate(b"m") != prf.evaluate(b"m")
+
+    def test_subkeys_by_label_independent(self):
+        prf = PRF(b"k")
+        assert prf.subkey("a").evaluate(b"m") != prf.subkey("b").evaluate(b"m")
+
+    def test_subkey_deterministic(self):
+        assert PRF(b"k").subkey("x").key == PRF(b"k").subkey("x").key
+
+
+class TestCounterPRG:
+    def test_deterministic(self):
+        assert CounterPRG(b"seed").read(64) == CounterPRG(b"seed").read(64)
+
+    def test_streaming_matches_one_shot(self):
+        stream = CounterPRG(b"seed")
+        chunks = stream.read(10) + stream.read(20) + stream.read(34)
+        assert chunks == CounterPRG.expand(b"seed", 64)
+
+    def test_distinct_seeds_diverge(self):
+        assert CounterPRG.expand(b"a", 32) != CounterPRG.expand(b"b", 32)
+
+    def test_requested_length(self):
+        for length in (0, 1, 31, 32, 33, 100):
+            assert len(CounterPRG.expand(b"s", length)) == length
+
+    def test_rejects_empty_seed(self):
+        with pytest.raises(ValueError):
+            CounterPRG(b"")
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            CounterPRG(b"s").read(-1)
+
+    def test_rejects_non_bytes_seed(self):
+        with pytest.raises(TypeError):
+            CounterPRG(12345)
+
+    def test_output_looks_balanced(self):
+        data = CounterPRG.expand(b"balance", 4096)
+        ones = sum(bin(byte).count("1") for byte in data)
+        # 4096 bytes = 32768 bits; expect ~16384 ones.
+        assert 15500 < ones < 17300

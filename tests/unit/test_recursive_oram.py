@@ -1,0 +1,126 @@
+"""Tests for repro.baselines.recursive_oram."""
+
+import pytest
+
+from repro.baselines.recursive_oram import RecursivePathORAM
+from repro.storage.blocks import encode_int, integer_database
+from repro.storage.errors import RetrievalError
+
+
+def _oram(rng, n=256, chi=4, limit=8):
+    return RecursivePathORAM(
+        integer_database(n), positions_per_block=chi, client_map_limit=limit,
+        rng=rng.spawn("recursive"),
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            RecursivePathORAM([], rng=rng)
+
+    def test_rejects_bad_chi(self, rng, small_db):
+        with pytest.raises(ValueError):
+            RecursivePathORAM(small_db, positions_per_block=1, rng=rng)
+
+    def test_rejects_bad_limit(self, rng, small_db):
+        with pytest.raises(ValueError):
+            RecursivePathORAM(small_db, client_map_limit=0, rng=rng)
+
+    def test_level_count_grows_with_n(self, rng):
+        shallow = _oram(rng, n=64, chi=4, limit=8)
+        deep = _oram(rng, n=1024, chi=4, limit=8)
+        assert deep.levels > shallow.levels
+
+    def test_client_map_fits_limit(self, rng):
+        oram = _oram(rng, n=512, chi=4, limit=8)
+        assert oram.client_position_entries <= 8
+
+    def test_small_db_single_level(self, rng):
+        oram = RecursivePathORAM(integer_database(16),
+                                 client_map_limit=64, rng=rng)
+        assert oram.levels == 1
+        assert oram.roundtrips_per_access == 1
+
+    def test_chi_reduces_levels(self, rng):
+        narrow = _oram(rng, n=1024, chi=2, limit=8)
+        wide = _oram(rng, n=1024, chi=16, limit=8)
+        assert wide.levels < narrow.levels
+
+
+class TestCorrectness:
+    def test_initial_reads(self, rng):
+        oram = _oram(rng, n=128)
+        db = integer_database(128)
+        for index in range(0, 128, 7):
+            assert oram.read(index) == db[index]
+
+    def test_write_then_read(self, rng):
+        oram = _oram(rng, n=64)
+        oram.write(9, encode_int(999))
+        assert oram.read(9) == encode_int(999)
+
+    def test_random_workload(self, rng):
+        oram = _oram(rng, n=128)
+        reference = {i: encode_int(i) for i in range(128)}
+        source = rng.spawn("ops")
+        for step in range(300):
+            index = source.randbelow(128)
+            if source.random() < 0.4:
+                value = encode_int(50_000 + step)
+                oram.write(index, value)
+                reference[index] = value
+            else:
+                assert oram.read(index) == reference[index]
+
+    def test_repeated_same_index(self, rng):
+        # Stresses map-block churn: the same packed map block is hit
+        # every access.
+        oram = _oram(rng, n=64)
+        for step in range(50):
+            oram.write(5, encode_int(step))
+            assert oram.read(5) == encode_int(step)
+
+    def test_out_of_range(self, rng):
+        oram = _oram(rng, n=32)
+        with pytest.raises(RetrievalError):
+            oram.read(32)
+        with pytest.raises(RetrievalError):
+            oram.write(-1, b"x")
+
+
+class TestAccounting:
+    def test_blocks_per_access_sums_levels(self, rng):
+        oram = _oram(rng, n=256)
+        per_level = [level.blocks_per_access() for level in oram._levels]
+        assert oram.blocks_per_access() == sum(per_level)
+
+    def test_server_operations_measured(self, rng):
+        oram = _oram(rng, n=128)
+        before = oram.server_operations()
+        oram.read(0)
+        moved = oram.server_operations() - before
+        assert moved == oram.blocks_per_access()
+
+    def test_roundtrips_equal_levels(self, rng):
+        oram = _oram(rng, n=512, chi=4, limit=8)
+        assert oram.roundtrips_per_access == oram.levels >= 4
+
+    def test_harness_integration(self, rng):
+        from repro.simulation.harness import run_ram_trace
+        from repro.workloads.generators import read_write_trace
+
+        n = 128
+        database = integer_database(n)
+        oram = _oram(rng, n=n)
+        trace = read_write_trace(n, 60, rng.spawn("t"), write_fraction=0.3)
+        metrics = run_ram_trace(oram, trace, initial=database)
+        assert metrics.mismatches == 0
+        assert metrics.blocks_per_operation == oram.blocks_per_access()
+        assert metrics.client_peak_blocks == oram.client_peak_blocks
+
+    def test_query_counter(self, rng):
+        oram = _oram(rng, n=64)
+        oram.read(0)
+        oram.write(1, encode_int(1))
+        assert oram.query_count == 2

@@ -1,0 +1,61 @@
+"""Tests for repro.core.strawman (the insecure Section 4 scheme)."""
+
+import pytest
+
+from repro.core.strawman import StrawmanIR
+from repro.storage.blocks import integer_database
+from repro.storage.errors import RetrievalError
+
+
+@pytest.fixture
+def scheme(rng):
+    return StrawmanIR(integer_database(64), rng=rng.spawn("straw"))
+
+
+class TestStrawman:
+    def test_always_correct(self, scheme):
+        db = integer_database(64)
+        for index in (0, 13, 63):
+            for _ in range(20):
+                assert scheme.query(index) == db[index]
+
+    def test_real_block_always_in_set(self, scheme):
+        for _ in range(200):
+            assert 11 in scheme.sample_query_set(11)
+
+    def test_noise_rate_one_over_n(self, scheme):
+        trials = 2000
+        total_extras = sum(
+            len(scheme.sample_query_set(0)) - 1 for _ in range(trials)
+        )
+        # E[extras] = (n-1)/n ~ 0.984
+        assert 0.85 < total_extras / trials < 1.15
+
+    def test_leaks_membership(self, scheme):
+        # The defining failure: q' not in T almost always when querying q.
+        trials = 500
+        leaked = sum(
+            1 for _ in range(trials) if 1 not in scheme.sample_query_set(0)
+        )
+        assert leaked / trials > 0.9
+
+    def test_expected_bandwidth_constant(self, scheme):
+        before = scheme.server.reads
+        queries = 300
+        for _ in range(queries):
+            scheme.query(5)
+        per_query = (scheme.server.reads - before) / queries
+        assert per_query < 3.0  # ~2 blocks in expectation
+
+    def test_out_of_range(self, scheme):
+        with pytest.raises(RetrievalError):
+            scheme.query(64)
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(ValueError):
+            StrawmanIR([])
+
+    def test_query_counter(self, scheme):
+        scheme.query(0)
+        scheme.query(1)
+        assert scheme.query_count == 2

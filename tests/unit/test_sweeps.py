@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.sweeps."""
+
+import math
+
+import pytest
+
+from repro.analysis.sweeps import (
+    dp_kvs_capacity_plan,
+    dp_ram_stash_tradeoff,
+    ir_privacy_frontier,
+    oram_crossover_bandwidth,
+    ram_privacy_frontier,
+)
+
+
+class TestIrFrontier:
+    def test_achieved_above_floor_everywhere(self):
+        points = ir_privacy_frontier(4096, bandwidths=(1, 4, 16, 64, 256))
+        for point in points:
+            assert point.epsilon_achieved >= point.epsilon_floor - 1e-9
+
+    def test_construction_hugs_floor_within_constant(self):
+        # Theorem 5.1 optimality: achieved - floor = ln((1-a)/a·...) ~ O(1)
+        # in the bandwidth; the gap must not grow with K.
+        alpha = 0.05
+        points = ir_privacy_frontier(65536, bandwidths=(2, 8, 32, 128),
+                                     alpha=alpha)
+        gaps = [p.epsilon_achieved - p.epsilon_floor for p in points]
+        assert max(gaps) - min(gaps) < 1.0
+
+    def test_monotone_decreasing_in_bandwidth(self):
+        points = ir_privacy_frontier(4096, bandwidths=(1, 8, 64, 512))
+        floors = [p.epsilon_floor for p in points]
+        achieved = [p.epsilon_achieved for p in points]
+        assert floors == sorted(floors, reverse=True)
+        assert achieved == sorted(achieved, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ir_privacy_frontier(0, bandwidths=(1,))
+        with pytest.raises(ValueError):
+            ir_privacy_frontier(16, bandwidths=(17,))
+
+
+class TestRamFrontier:
+    def test_floor_decreases_with_bandwidth(self):
+        points = ram_privacy_frontier(4096, bandwidths=(1, 2, 4, 8),
+                                      client_blocks=4)
+        floors = [p.epsilon_floor for p in points]
+        assert floors == sorted(floors, reverse=True)
+
+    def test_constant_bandwidth_needs_log_n(self):
+        point = ram_privacy_frontier(2**20, bandwidths=(3,),
+                                     client_blocks=4)[0]
+        assert point.epsilon_floor >= math.log(2**20) - 3 * math.log(4) - 1e-9
+
+    def test_no_achieved_column(self):
+        point = ram_privacy_frontier(64, bandwidths=(2,), client_blocks=4)[0]
+        assert point.epsilon_achieved is None
+
+
+class TestStashTradeoff:
+    def test_epsilon_bound_improves_with_phi(self):
+        points = dp_ram_stash_tradeoff(4096, phis=(8, 32, 128, 512))
+        bounds = [p.epsilon_bound for p in points]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_overflow_probability_improves_with_phi(self):
+        points = dp_ram_stash_tradeoff(4096, phis=(8, 64, 512))
+        overflow = [p.overflow_probability for p in points]
+        assert overflow == sorted(overflow, reverse=True)
+        assert overflow[-1] < 1e-30
+
+    def test_probability_clamped(self):
+        point = dp_ram_stash_tradeoff(16, phis=(64,))[0]
+        assert point.stash_probability == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dp_ram_stash_tradeoff(0, phis=(8,))
+        with pytest.raises(ValueError):
+            dp_ram_stash_tradeoff(16, phis=(0,))
+
+
+class TestKvsPlan:
+    def test_storage_linear_overhead_loglog(self):
+        points = dp_kvs_capacity_plan((2**10, 2**14, 2**18))
+        for point in points:
+            assert point.server_nodes_per_key < 3
+        costs = [p.blocks_per_operation for p in points]
+        # Quadrupling n twice adds at most a couple of path nodes.
+        assert costs[-1] - costs[0] <= 2 * 6
+
+    def test_path_length_grows_slowly(self):
+        points = dp_kvs_capacity_plan((2**8, 2**16, 2**24))
+        lengths = [p.path_length for p in points]
+        assert lengths == sorted(lengths)
+        assert lengths[-1] <= lengths[0] + 2
+
+
+class TestCrossover:
+    def test_matches_theorem_3_7_at_eps_zero(self):
+        n, c = 4096, 4
+        assert oram_crossover_bandwidth(n, c) == pytest.approx(
+            math.log(n) / math.log(c)
+        )
+
+    def test_grows_with_n(self):
+        assert oram_crossover_bandwidth(2**20) > oram_crossover_bandwidth(2**10)

@@ -1,0 +1,147 @@
+"""Tests for repro.analysis.tails and repro.analysis.composition."""
+
+import math
+
+import pytest
+
+from repro.analysis.composition import (
+    advanced_composition_epsilon,
+    basic_composition,
+    best_composition_epsilon,
+)
+from repro.analysis.tails import (
+    beta_sequence,
+    beta_sequence_closed_form,
+    chernoff_e_mu,
+    chernoff_tail,
+    stash_overflow_bound,
+    super_root_level,
+)
+
+
+class TestChernoff:
+    def test_vacuous_below_mean(self):
+        assert chernoff_tail(10, 5) == 1.0
+
+    def test_formula_above_mean(self):
+        mu, t = 10.0, 20.0
+        expected = (mu / t) ** t * math.exp(t - mu)
+        assert chernoff_tail(mu, t) == pytest.approx(expected)
+
+    def test_decreasing_in_threshold(self):
+        values = [chernoff_tail(10, t) for t in (10, 20, 40, 80)]
+        assert values == sorted(values, reverse=True)
+
+    def test_e_mu_corollary(self):
+        mu = 12.0
+        assert chernoff_e_mu(mu) == pytest.approx(math.exp(-mu))
+        # The corollary is implied by the general bound.
+        assert chernoff_tail(mu, math.e * mu) <= chernoff_e_mu(mu) * 1.001
+
+    def test_zero_mean(self):
+        assert chernoff_tail(0, 5) == 0.0
+
+    def test_rejects_negative_mu(self):
+        with pytest.raises(ValueError):
+            chernoff_tail(-1, 5)
+
+
+class TestStashBound:
+    def test_formula(self):
+        expected = math.exp(-40 * 0.5**2 / 2.5)
+        assert stash_overflow_bound(40, 0.5) == pytest.approx(expected)
+
+    def test_negligible_for_omega_log_n(self):
+        # With c = log^1.5(n) the bound beats any inverse polynomial.
+        n = 2**20
+        c = math.log2(n) ** 1.5
+        assert stash_overflow_bound(c, 1.0) < 1 / n
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ValueError):
+            stash_overflow_bound(10, 0)
+
+
+class TestBetaSequence:
+    def test_base_case(self):
+        assert beta_sequence(1000, 0)[0] == pytest.approx(1000 / (math.e * 81))
+
+    def test_recurrence_matches_closed_form(self):
+        # Lemma 7.3: the closed form solves the recurrence exactly.
+        n = 10**6
+        recurrence = beta_sequence(n, 6)
+        for level, value in enumerate(recurrence):
+            assert value == pytest.approx(
+                beta_sequence_closed_form(n, level), rel=1e-9
+            )
+
+    def test_doubly_exponential_decay(self):
+        n = 10**9
+        values = beta_sequence(n, 5)
+        # log(beta_i) should drop faster than geometrically.
+        drops = [
+            math.log(values[i] / values[i + 1])
+            for i in range(4)
+            if values[i + 1] > 0
+        ]
+        assert all(later > earlier for earlier, later in zip(drops, drops[1:]))
+
+    def test_decreasing(self):
+        values = beta_sequence(10**6, 5)
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            beta_sequence(0, 3)
+        with pytest.raises(ValueError):
+            beta_sequence_closed_form(10, -1)
+
+
+class TestSuperRootLevel:
+    def test_theta_log_log_n(self):
+        # i* grows very slowly with n.
+        small = super_root_level(2**10, phi=32)
+        large = super_root_level(2**30, phi=90)
+        assert 0 <= small <= large <= 6
+
+    def test_bigger_phi_smaller_level(self):
+        n = 2**20
+        assert super_root_level(n, phi=10**5) <= super_root_level(n, phi=10)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            super_root_level(0, 10)
+        with pytest.raises(ValueError):
+            super_root_level(10, 0)
+
+
+class TestComposition:
+    def test_basic(self):
+        assert basic_composition(0.5, 0.01, 4) == (2.0, 0.04)
+
+    def test_advanced_formula(self):
+        eps, k, slack = 0.1, 100, 1e-6
+        expected = eps * math.sqrt(2 * k * math.log(1 / slack)) + \
+            k * eps * (math.exp(eps) - 1)
+        assert advanced_composition_epsilon(eps, k, slack) == pytest.approx(
+            expected
+        )
+
+    def test_advanced_wins_for_small_epsilon(self):
+        eps, k = 0.01, 10_000
+        basic_eps, _ = basic_composition(eps, 0, k)
+        assert advanced_composition_epsilon(eps, k, 1e-9) < basic_eps
+
+    def test_basic_wins_at_log_n_epsilon(self):
+        # The paper's regime: per-query eps ~ ln(n) makes advanced useless.
+        eps, k = math.log(1024), 4
+        basic_eps, _ = basic_composition(eps, 0, k)
+        assert best_composition_epsilon(eps, k, 1e-9) == basic_eps
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            basic_composition(-1, 0, 1)
+        with pytest.raises(ValueError):
+            basic_composition(1, 0, 0)
+        with pytest.raises(ValueError):
+            advanced_composition_epsilon(1, 1, 0)

@@ -1,0 +1,83 @@
+"""Tests for repro.workloads.trace."""
+
+import pytest
+
+from repro.workloads.trace import OpKind, Operation, Trace, reads_from_indices
+
+
+class TestOperation:
+    def test_read_builder(self):
+        op = Operation.read(5)
+        assert op.kind is OpKind.READ
+        assert op.index == 5
+        assert op.value is None
+
+    def test_write_builder(self):
+        op = Operation.write(3, b"v")
+        assert op.kind is OpKind.WRITE
+        assert op.value == b"v"
+
+    def test_write_requires_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.WRITE, 0)
+
+    def test_read_rejects_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, 0, b"v")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Operation.read(-1)
+
+    def test_frozen(self):
+        op = Operation.read(1)
+        with pytest.raises(AttributeError):
+            op.index = 2
+
+
+class TestTrace:
+    def test_indices(self):
+        trace = reads_from_indices([3, 1, 4], universe=10)
+        assert trace.indices() == [3, 1, 4]
+        assert len(trace) == 3
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            reads_from_indices([10], universe=10)
+
+    def test_read_fraction(self):
+        trace = Trace(
+            [Operation.read(0), Operation.write(1, b"v")], universe=4
+        )
+        assert trace.read_fraction() == 0.5
+
+    def test_read_fraction_empty(self):
+        assert Trace([], universe=4).read_fraction() == 1.0
+
+    def test_replace_builds_adjacent(self):
+        base = reads_from_indices([0, 1, 2], universe=5)
+        neighbour = base.replace(1, Operation.read(4))
+        assert base.hamming_distance(neighbour) == 1
+        assert neighbour.indices() == [0, 4, 2]
+        assert base.indices() == [0, 1, 2]  # original untouched
+
+    def test_replace_out_of_range(self):
+        base = reads_from_indices([0], universe=2)
+        with pytest.raises(IndexError):
+            base.replace(5, Operation.read(1))
+
+    def test_hamming_distance_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            reads_from_indices([0], 2).hamming_distance(
+                reads_from_indices([0, 1], 2)
+            )
+
+    def test_hamming_distance_counts_op_kind(self):
+        a = Trace([Operation.read(0)], universe=2)
+        b = Trace([Operation.write(0, b"v")], universe=2)
+        assert a.hamming_distance(b) == 1
+
+    def test_getitem_and_iter(self):
+        trace = reads_from_indices([7, 8], universe=10)
+        assert trace[0].index == 7
+        assert [op.index for op in trace] == [7, 8]

@@ -1,0 +1,153 @@
+"""Tests for repro.hashing.tree_buckets."""
+
+import pytest
+
+from repro.hashing.tree_buckets import (
+    SUPER_ROOT,
+    TreeBucketLayout,
+    TreeOccupancySimulator,
+    TreeShape,
+)
+from repro.storage.errors import MappingOverflowError
+
+
+@pytest.fixture
+def layout():
+    # 2 trees of 4 leaves each: 8 buckets, 7 nodes per tree, 14 nodes.
+    return TreeBucketLayout(
+        TreeShape(leaves_per_tree=4, tree_count=2, depth=2, node_capacity=2)
+    )
+
+
+class TestLayoutGeometry:
+    def test_counts(self, layout):
+        assert layout.bucket_count == 8
+        assert layout.node_count == 14
+
+    def test_path_starts_at_leaf_ends_at_root(self, layout):
+        path = layout.path_nodes(0)
+        assert len(path) == 3  # depth 2 -> 3 nodes
+        assert layout.node_height(path[0]) == 0
+        assert layout.node_height(path[-1]) == 2
+
+    def test_paths_within_one_tree_share_root(self, layout):
+        roots = {layout.path_nodes(leaf)[-1] for leaf in range(4)}
+        assert len(roots) == 1
+
+    def test_paths_across_trees_disjoint(self, layout):
+        tree0 = set(layout.path_nodes(0))
+        tree1 = set(layout.path_nodes(4))
+        assert tree0.isdisjoint(tree1)
+
+    def test_sibling_leaves_share_parent(self, layout):
+        path0 = layout.path_nodes(0)
+        path1 = layout.path_nodes(1)
+        assert path0[1] == path1[1]  # height-1 ancestor shared
+        assert path0[0] != path1[0]
+
+    def test_heights_partition_nodes(self, layout):
+        total = sum(layout.nodes_at_height(h) for h in range(3))
+        assert total == layout.node_count
+
+    def test_all_buckets_table(self, layout):
+        buckets = layout.all_buckets()
+        assert len(buckets) == 8
+        assert buckets[3] == tuple(layout.path_nodes(3))
+
+    def test_leaf_out_of_range(self, layout):
+        with pytest.raises(ValueError):
+            layout.path_nodes(8)
+
+    def test_node_out_of_range(self, layout):
+        with pytest.raises(ValueError):
+            layout.node_height(14)
+
+    def test_for_capacity_convenience(self):
+        layout = TreeBucketLayout.for_capacity(1000)
+        assert layout.bucket_count >= 1000
+
+
+class TestStoringAlgorithm:
+    def test_prefers_leaf_level(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        node = simulator.insert(0, 5)
+        assert layout.node_height(node) == 0
+
+    def test_less_loaded_leaf_wins(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        first = simulator.insert(0, 5)
+        second = simulator.insert(0, 5)
+        assert {layout.node_height(first), layout.node_height(second)} == {0}
+        assert first != second  # capacity 2, but the lighter leaf is chosen
+
+    def test_climbs_when_leaves_full(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        # Fill both leaf nodes for choices (0, 1): 2 slots each.
+        for _ in range(4):
+            node = simulator.insert(0, 1)
+            assert layout.node_height(node) == 0
+        node = simulator.insert(0, 1)
+        assert layout.node_height(node) == 1  # shared parent of leaves 0,1
+
+    def test_same_choice_twice_is_one_path(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        for _ in range(2):
+            assert layout.node_height(simulator.insert(2, 2)) == 0
+        assert layout.node_height(simulator.insert(2, 2)) == 1
+
+    def test_super_root_spill(self):
+        shape = TreeShape(leaves_per_tree=2, tree_count=1, depth=1,
+                          node_capacity=1)
+        simulator = TreeOccupancySimulator(TreeBucketLayout(shape))
+        # 3 nodes of capacity 1: the 4th key must spill.
+        placements = [simulator.insert(0, 1) for _ in range(4)]
+        assert placements[-1] == SUPER_ROOT
+        assert simulator.super_root_load == 1
+
+    def test_super_root_capacity_enforced(self):
+        shape = TreeShape(leaves_per_tree=2, tree_count=1, depth=1,
+                          node_capacity=1)
+        simulator = TreeOccupancySimulator(
+            TreeBucketLayout(shape), super_root_capacity=1
+        )
+        for _ in range(4):
+            simulator.insert(0, 1)
+        with pytest.raises(MappingOverflowError):
+            simulator.insert(0, 1)
+
+    def test_insertion_counter(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        for _ in range(5):
+            simulator.insert(0, 4)
+        assert simulator.insertions == 5
+        assert simulator.total_slots_used() + simulator.super_root_load == 5
+
+
+class TestOccupancyAccounting:
+    def test_level_occupancy_counts_full_nodes(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        simulator.insert(0, 0)
+        assert simulator.level_occupancy() == [0, 0, 0]  # capacity 2, not full
+        simulator.insert(0, 0)
+        assert simulator.level_occupancy()[0] == 1
+
+    def test_filled_nodes_at_height(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        for _ in range(2):
+            simulator.insert(3, 3)
+        assert simulator.filled_nodes_at_height(0) == 1
+        assert simulator.filled_nodes_at_height(1) == 0
+
+    def test_random_insertions_bounded_super_root(self, rng):
+        layout = TreeBucketLayout.for_capacity(2048, node_capacity=4)
+        simulator = TreeOccupancySimulator(layout)
+        for _ in range(2048):
+            simulator.insert_random(rng)
+        # Theorem 7.2: super root holds omega(log n) keys only negligibly;
+        # at this scale it is essentially always tiny.
+        assert simulator.super_root_load <= 30
+
+    def test_node_load_accessor(self, layout):
+        simulator = TreeOccupancySimulator(layout)
+        node = simulator.insert(1, 1)
+        assert simulator.node_load(node) == 1

@@ -1,0 +1,100 @@
+"""Tests for repro.hashing.two_choice."""
+
+import math
+
+import pytest
+
+from repro.crypto.prf import PRF
+from repro.hashing.two_choice import DChoiceTable
+
+
+class TestConstruction:
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            DChoiceTable(0)
+
+    def test_rejects_bad_choices(self):
+        with pytest.raises(ValueError):
+            DChoiceTable(10, choices=0)
+
+
+class TestKeyedInsertion:
+    def test_requires_prf(self):
+        table = DChoiceTable(10)
+        with pytest.raises(ValueError):
+            table.insert(b"key")
+
+    def test_candidates_deterministic(self):
+        table = DChoiceTable(100, prf=PRF(b"k"))
+        assert table.candidates_for(b"key") == table.candidates_for(b"key")
+
+    def test_insert_uses_lighter_bin(self):
+        table = DChoiceTable(4, prf=PRF(b"k"))
+        chosen = table.insert(b"key")
+        candidates = table.candidates_for(b"key")
+        assert chosen in candidates
+        # Fill the chosen bin; the next same-key insert goes elsewhere
+        # (or the same bin if both candidates coincide).
+        for _ in range(3):
+            table.insert(b"key")
+        loads = table.loads()
+        assert sum(loads) == 4
+
+    def test_balls_counter(self):
+        table = DChoiceTable(10, prf=PRF(b"k"))
+        for i in range(7):
+            table.insert(str(i).encode())
+        assert table.balls == 7
+        assert sum(table.loads()) == 7
+
+
+class TestRandomInsertion:
+    def test_loads_sum_to_balls(self, rng):
+        table = DChoiceTable(64, choices=2)
+        for _ in range(200):
+            table.insert_random(rng)
+        assert sum(table.loads()) == 200
+        assert table.balls == 200
+
+    def test_two_choices_beat_one(self, rng):
+        n = 4096
+        one = DChoiceTable(n, choices=1)
+        two = DChoiceTable(n, choices=2)
+        source_one = rng.spawn("one")
+        source_two = rng.spawn("two")
+        for _ in range(n):
+            one.insert_random(source_one)
+            two.insert_random(source_two)
+        assert two.max_load() < one.max_load()
+
+    def test_two_choice_max_load_near_loglog(self, rng):
+        n = 4096
+        table = DChoiceTable(n, choices=2)
+        source = rng.spawn("ll")
+        for _ in range(n):
+            table.insert_random(source)
+        # Theorem A.1: O(log log n); allow a generous constant.
+        assert table.max_load() <= math.ceil(math.log2(math.log2(n))) + 2
+
+    def test_three_choices_no_worse(self, rng):
+        n = 2048
+        two = DChoiceTable(n, choices=2)
+        three = DChoiceTable(n, choices=3)
+        for label, table in (("2", two), ("3", three)):
+            source = rng.spawn(label)
+            for _ in range(n):
+                table.insert_random(source)
+        assert three.max_load() <= two.max_load() + 1
+
+    def test_load_histogram_consistent(self, rng):
+        table = DChoiceTable(16, choices=2)
+        for _ in range(50):
+            table.insert_random(rng)
+        histogram = table.load_histogram()
+        assert sum(histogram.values()) == 16
+        assert sum(load * count for load, count in histogram.items()) == 50
+
+    def test_load_accessor(self, rng):
+        table = DChoiceTable(8, choices=1)
+        table.insert_random(rng)
+        assert sum(table.load(i) for i in range(8)) == 1

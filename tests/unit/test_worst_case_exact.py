@@ -1,0 +1,85 @@
+"""Tests for the exact worst-case DP-RAM ratio search."""
+
+import math
+
+import pytest
+
+from repro.analysis.dp_ram_exact import (
+    dp_ram_analytic_epsilon,
+    empirical_epsilon,
+    sample_transcript_pairs,
+    transcript_log_ratio,
+    worst_case_log_ratio_exact,
+)
+from repro.crypto.rng import SeededRandomSource
+
+
+class TestWorstCaseExact:
+    def test_zero_for_identical_sequences(self):
+        assert worst_case_log_ratio_exact([0, 1], [0, 1], 4, 0.3) == 0.0
+
+    def test_positive_for_adjacent(self):
+        assert worst_case_log_ratio_exact([0], [1], 4, 0.3) > 0
+
+    def test_within_analytic_budget(self):
+        for p in (0.1, 0.3, 0.7):
+            worst = worst_case_log_ratio_exact([0, 1, 2], [0, 3, 2], 6, p)
+            assert worst <= dp_ram_analytic_epsilon(6, p)
+
+    def test_dominates_sampled_ratios(self):
+        # Every sampled transcript's exact ratio is below the exact sup.
+        n, p = 5, 0.4
+        queries_a, queries_b = [0, 1, 0], [0, 2, 0]
+        worst = worst_case_log_ratio_exact(queries_a, queries_b, n, p)
+        rng = SeededRandomSource(7)
+        for _ in range(400):
+            pairs = sample_transcript_pairs(queries_a, n, p, rng)
+            ratio = abs(transcript_log_ratio(queries_a, queries_b, pairs, n, p))
+            assert ratio <= worst + 1e-9
+
+    def test_matches_single_query_hand_computation(self):
+        # For sequences [a] vs [b] the worst transcript is (d=a, o=a):
+        #   P_A = ((1-p)+p/n)^2,  P_B = (p/n)^2.
+        n, p = 4, 0.25
+        worst = worst_case_log_ratio_exact([0], [1], n, p)
+        expected = 2 * math.log(((1 - p) + p / n) / (p / n))
+        assert worst == pytest.approx(expected)
+
+    def test_sampled_estimate_converges_from_below(self):
+        n, p = 4, 0.5
+        queries_a, queries_b = [0], [1]
+        exact = worst_case_log_ratio_exact(queries_a, queries_b, n, p)
+        sampled = empirical_epsilon(queries_a, queries_b, n, p,
+                                    SeededRandomSource(11), trials=1500)
+        assert sampled <= exact + 1e-9
+        assert sampled >= 0.5 * exact  # sampling finds a decent fraction
+
+    def test_epsilon_grows_as_p_shrinks(self):
+        # Smaller stash probability -> worse privacy (ratios ~ n/p).
+        values = [
+            worst_case_log_ratio_exact([0], [1], 4, p)
+            for p in (0.8, 0.4, 0.1)
+        ]
+        assert values == sorted(values)
+
+    def test_revisiting_block_covered(self):
+        # nx(Q,k) exists: sequence re-queries the differing block.
+        n, p = 5, 0.3
+        worst_single = worst_case_log_ratio_exact([0, 4], [1, 4], n, p)
+        worst_revisit = worst_case_log_ratio_exact([0, 0], [1, 0], n, p)
+        assert worst_revisit > 0
+        assert worst_single > 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_log_ratio_exact([0], [0, 1], 4, 0.3)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_log_ratio_exact([0], [1], 2, 0.3)
+
+    def test_too_many_affected_positions_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_log_ratio_exact(
+                [0] * 8, [1] + [0] * 7, 4, 0.3
+            )
