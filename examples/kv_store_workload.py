@@ -10,7 +10,8 @@ Run with::
     python examples/kv_store_workload.py
 """
 
-from repro import DPKVS, ORAMKeyValueStore, PlaintextKVS, SeededRandomSource
+import repro
+from repro import SeededRandomSource
 from repro.simulation.harness import run_kv_trace
 from repro.simulation.reporting import format_table
 from repro.workloads.kv_traces import ycsb_trace
@@ -25,11 +26,14 @@ rows = []
 for profile in ("A", "B", "C"):
     trace = ycsb_trace(KEYS, OPERATIONS, rng.spawn(f"trace-{profile}"),
                        profile=profile)
+    # Every store comes out of the same registry-driven factory the CLI
+    # and conformance tests use (repro.available_schemes("kvs")).
     for name, store in (
-        ("plaintext", PlaintextKVS(CAPACITY)),
-        ("DP-KVS", DPKVS(CAPACITY, rng=rng.spawn(f"dpkvs-{profile}"))),
-        ("ORAM-KVS", ORAMKeyValueStore(CAPACITY,
-                                       rng=rng.spawn(f"okvs-{profile}"))),
+        ("plaintext", repro.build("plaintext_kvs", n=CAPACITY)),
+        ("DP-KVS", repro.build("dp_kvs", n=CAPACITY,
+                               rng=rng.spawn(f"dpkvs-{profile}"))),
+        ("ORAM-KVS", repro.build("oram_kvs", n=CAPACITY,
+                                 rng=rng.spawn(f"okvs-{profile}"))),
     ):
         metrics = run_kv_trace(store, trace)
         client = metrics.client_peak_blocks
@@ -46,7 +50,7 @@ print(format_table(
     title=f"{OPERATIONS} ops over {KEYS} keys (capacity {CAPACITY})",
 ))
 
-store = DPKVS(CAPACITY, rng=rng.spawn("shape"))
+store = repro.build("dp_kvs", n=CAPACITY, rng=rng.spawn("shape"))
 shape = store.params.shape
 print()
 print(f"DP-KVS geometry at n={CAPACITY}: {shape.tree_count} trees, "

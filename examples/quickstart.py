@@ -8,8 +8,9 @@ and prints what the adversary pays for / learns.  Run with::
 
 import math
 
-from repro import DPIR, DPKVS, DPRAM, SeededRandomSource
-from repro.storage.blocks import encode_int, integer_database
+import repro
+from repro import SeededRandomSource
+from repro.storage.blocks import encode_int
 
 rng = SeededRandomSource(2024)
 
@@ -17,7 +18,7 @@ rng = SeededRandomSource(2024)
 def dp_ram_demo() -> None:
     print("== DP-RAM (Theorem 6.1): errorless, 3 blocks per query ==")
     n = 1024
-    ram = DPRAM(integer_database(n), rng=rng.spawn("ram"))
+    ram = repro.build("dp_ram", n=n, rng=rng.spawn("ram"))
     value = ram.read(7)
     print(f"read(7)  -> record {int.from_bytes(value[:8], 'big')}")
     ram.write(7, encode_int(70_707))
@@ -34,8 +35,8 @@ def dp_ram_demo() -> None:
 def dp_ir_demo() -> None:
     print("== DP-IR (Theorem 5.1): stateless, errs with probability alpha ==")
     n, alpha = 1024, 0.05
-    ir = DPIR(integer_database(n), epsilon=math.log(n), alpha=alpha,
-              rng=rng.spawn("ir"))
+    ir = repro.build("dp_ir", n=n, epsilon=math.log(n), alpha=alpha,
+                     rng=rng.spawn("ir"))
     print(f"target eps = ln(n) = {math.log(n):.2f}; "
           f"achieved exact eps = {ir.epsilon:.2f}")
     print(f"pad size K = {ir.pad_size} blocks per query "
@@ -48,10 +49,11 @@ def dp_ir_demo() -> None:
 
 def dp_kvs_demo() -> None:
     print("== DP-KVS (Theorem 7.5): large key universe, O(log log n) cost ==")
-    store = DPKVS(1024, rng=rng.spawn("kvs"))
+    store = repro.build("dp_kvs", n=1024, rng=rng.spawn("kvs"))
     store.put(b"alice", b"ciphertext-a")
     store.put(b"bob", b"ciphertext-b")
-    print(f"get(alice)   -> {store.get(b'alice').rstrip(bytes(1))!r}")
+    # get returns the exact bytes that were put — no padding to strip.
+    print(f"get(alice)   -> {store.get(b'alice')!r}")
     print(f"get(missing) -> {store.get(b'carol')}  (the paper's ⊥)")
     shape = store.params.shape
     print(f"tree layout: {shape.tree_count} trees x "

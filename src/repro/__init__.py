@@ -9,20 +9,29 @@ empirically.
 
 Quickstart::
 
-    from repro import DPRAM
-    from repro.storage.blocks import integer_database
+    import repro
 
-    db = integer_database(1024)
-    ram = DPRAM(db)              # eps = O(log n), 3 blocks per query
+    ram = repro.build("dp_ram", n=1024)   # eps = O(log n), 3 blocks/query
     value = ram.read(7)
     ram.write(7, b"new".ljust(64, b"\\x00"))
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-versus-measured results.
+Every scheme is registered in :mod:`repro.api` and constructible by name
+via :func:`repro.build`; direct class construction (``DPRAM(blocks)``)
+keeps working.  See README.md for the architecture overview and
+``python -m repro experiments`` for the paper-versus-measured results.
 """
 
 from repro.analysis.datasheet import PrivacyDatasheet, datasheet_for
 from repro.analysis.ledger import BudgetExceededError, PrivacyLedger
+from repro.api import (
+    PrivateIR,
+    PrivateKVS,
+    PrivateRAM,
+    Scheme,
+    available_schemes,
+    build,
+    register_scheme,
+)
 from repro.baselines import (
     LinearScanPIR,
     ORAMKeyValueStore,
@@ -46,7 +55,14 @@ from repro.core import (
     StrawmanIR,
 )
 from repro.crypto import PRF, SeededRandomSource, SystemRandomSource
-from repro.storage import ServerPool, StorageServer, Transcript
+from repro.storage import (
+    InMemoryBackend,
+    NetworkBackend,
+    ServerPool,
+    StorageBackend,
+    StorageServer,
+    Transcript,
+)
 from repro.storage.network import LAN, MOBILE, WAN, NetworkModel
 
 __version__ = "1.0.0"
@@ -61,10 +77,12 @@ __all__ = [
     "DPKVSParams",
     "DPRAM",
     "DPRAMParams",
+    "InMemoryBackend",
     "LAN",
     "LinearScanPIR",
     "MOBILE",
     "MultiServerDPIR",
+    "NetworkBackend",
     "NetworkModel",
     "ORAMKeyValueStore",
     "PRF",
@@ -73,15 +91,23 @@ __all__ = [
     "PlaintextRAM",
     "PrivacyDatasheet",
     "PrivacyLedger",
+    "PrivateIR",
+    "PrivateKVS",
+    "PrivateRAM",
     "ReadOnlyDPRAM",
     "RecursivePathORAM",
+    "Scheme",
     "SeededRandomSource",
     "ServerPool",
     "ShardedDPIR",
+    "StorageBackend",
     "StorageServer",
     "StrawmanIR",
     "SystemRandomSource",
     "Transcript",
     "WAN",
+    "available_schemes",
+    "build",
     "datasheet_for",
+    "register_scheme",
 ]

@@ -2,6 +2,8 @@
 
 Commands:
 
+* ``run`` — build any registered scheme, drive any named workload
+  against it, and print the measured metrics.
 * ``experiments`` — run the E1..E14 claim tables (all or a subset).
 * ``bounds`` — evaluate the paper's lower bounds for given parameters,
   answering the title question for your workload.
@@ -13,6 +15,163 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+
+_INDEX_WORKLOADS = ("uniform", "sequential", "zipf", "hotspot", "readwrite")
+_KV_WORKLOADS = ("ycsb-a", "ycsb-b", "ycsb-c", "insert-lookup")
+
+
+def _index_trace(name: str, universe: int, ops: int, rng,
+                 write_fraction: float):
+    from repro.workloads import generators
+
+    if name == "uniform":
+        return generators.uniform_trace(universe, ops, rng)
+    if name == "sequential":
+        return generators.sequential_trace(universe, ops)
+    if name == "zipf":
+        return generators.zipf_trace(universe, ops, rng)
+    if name == "hotspot":
+        return generators.hotspot_trace(universe, ops, rng)
+    if name == "readwrite":
+        return generators.read_write_trace(
+            universe, ops, rng, write_fraction=write_fraction
+        )
+    raise ValueError(f"unknown index workload {name!r}")
+
+
+def _kv_trace(name: str, capacity: int, ops: int, rng, value_size: int):
+    from repro.workloads import kv_traces
+
+    keys = max(1, min(capacity, ops) // 2)
+    if name.startswith("ycsb-"):
+        return kv_traces.ycsb_trace(
+            keys, max(0, ops - keys), rng,
+            profile=name[-1].upper(), value_size=value_size,
+        )
+    if name == "insert-lookup":
+        return kv_traces.insert_then_lookup_trace(
+            keys, max(0, ops - keys), rng, value_size=value_size
+        )
+    raise ValueError(f"unknown KV workload {name!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.storage.errors import ReproError
+
+    try:
+        return _cmd_run_checked(args)
+    except (ReproError, ValueError) as exc:
+        # User-level configuration mistakes (unknown scheme/workload/
+        # network, invalid sizes) get a message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_run_checked(args: argparse.Namespace) -> int:
+    from repro.api import available_schemes, build, scheme_spec
+    from repro.crypto.rng import SeededRandomSource, SystemRandomSource
+    from repro.simulation.harness import run_trace
+    from repro.simulation.reporting import format_table
+
+    if args.list:
+        rows = [
+            [name, scheme_spec(name).kind, scheme_spec(name).summary]
+            for name in available_schemes()
+        ]
+        print(format_table(["scheme", "kind", "summary"], rows,
+                           title="Registered schemes"))
+        return 0
+    spec = scheme_spec(args.scheme)
+    rng = (
+        SeededRandomSource(args.seed)
+        if args.seed is not None
+        else SystemRandomSource()
+    )
+    build_kwargs: dict = {
+        "n": args.n,
+        "rng": rng.spawn("scheme"),
+        "backend": args.backend,
+    }
+    if args.network is not None:
+        build_kwargs["network"] = args.network
+    if spec.kind == "kvs":
+        build_kwargs["value_size"] = args.value_size
+        workload = args.workload
+        if workload in _INDEX_WORKLOADS:
+            # Index workloads have a natural KV analogue: a mixed
+            # insert/lookup stream over the same operation budget.
+            workload = "insert-lookup"
+        trace = _kv_trace(
+            workload, args.n, args.ops, rng.spawn("trace"), args.value_size
+        )
+    else:
+        workload = args.workload
+        if workload in _KV_WORKLOADS:
+            print(f"workload {workload!r} needs a KVS scheme", file=sys.stderr)
+            return 1
+        if spec.kind == "ir" and workload == "readwrite":
+            print("IR schemes are read-only; pick another workload",
+                  file=sys.stderr)
+            return 1
+        trace = _index_trace(
+            workload, args.n, args.ops, rng.spawn("trace"),
+            args.write_fraction,
+        )
+    scheme = build(args.scheme, **build_kwargs)
+    if workload == "readwrite" and not getattr(scheme, "writable", True):
+        print(f"scheme {args.scheme!r} is read-only; pick a read workload",
+              file=sys.stderr)
+        return 1
+
+    if spec.kind == "kvs":
+        metrics = run_trace(scheme, trace)
+    else:
+        # The builders load integer_database(n) by default, so the same
+        # database doubles as the correctness reference.
+        from repro.storage.blocks import integer_database
+
+        database = integer_database(args.n)
+        if spec.kind == "ir":
+            metrics = run_trace(scheme, trace, expected=database)
+        else:
+            metrics = run_trace(scheme, trace, initial=database)
+
+    rows = [
+        ["scheme", args.scheme],
+        ["workload", trace.name],
+        ["operations", metrics.operations],
+        ["blocks downloaded", metrics.blocks_downloaded],
+        ["blocks uploaded", metrics.blocks_uploaded],
+        ["blocks / operation", f"{metrics.blocks_per_operation:.2f}"],
+        ["errors (alpha events)", metrics.errors],
+        ["mismatches", metrics.mismatches],
+        ["client peak blocks",
+         "stateless" if metrics.client_peak_blocks is None
+         else metrics.client_peak_blocks],
+        ["elapsed seconds", f"{metrics.elapsed_seconds:.3f}"],
+    ]
+    simulated = _simulated_network_ms(scheme)
+    if simulated is not None:
+        rows.append(["simulated network ms", f"{simulated:.1f}"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"Run: {args.scheme} over {args.workload}"))
+    if metrics.mismatches:
+        print("correctness mismatches detected!", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _simulated_network_ms(scheme) -> float | None:
+    from repro.storage.backends import NetworkBackend
+
+    total = 0.0
+    found = False
+    for server in scheme.servers():
+        backend = server.backend
+        if isinstance(backend, NetworkBackend):
+            total += backend.simulated_ms
+            found = True
+    return total if found else None
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -97,6 +256,39 @@ def main(argv: list[str] | None = None) -> int:
                     "— reproduction toolkit",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run",
+        help="build a registered scheme and drive a named workload",
+    )
+    run_parser.add_argument(
+        "--scheme", default="dp_ram",
+        help="registry name (see --list); default dp_ram",
+    )
+    run_parser.add_argument(
+        "--workload", default="uniform",
+        help="workload name: uniform, sequential, zipf, hotspot, "
+             "readwrite (RAM), ycsb-a/b/c, insert-lookup (KVS)",
+    )
+    run_parser.add_argument("--n", type=int, default=1024,
+                            help="database size / key capacity (default 1024)")
+    run_parser.add_argument("--ops", type=int, default=200,
+                            help="operations to run (default 200)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="deterministic randomness seed")
+    run_parser.add_argument("--value-size", type=int, default=32,
+                            help="KVS value size in bytes (default 32)")
+    run_parser.add_argument("--write-fraction", type=float, default=0.5,
+                            help="write fraction for the readwrite workload")
+    run_parser.add_argument("--backend", default=None,
+                            choices=("memory", "network"),
+                            help="slot-storage backend (default memory)")
+    run_parser.add_argument("--network", default=None,
+                            choices=("lan", "wan", "mobile"),
+                            help="link model for the network backend")
+    run_parser.add_argument("--list", action="store_true",
+                            help="list registered schemes and exit")
+    run_parser.set_defaults(handler=_cmd_run)
 
     experiments_parser = commands.add_parser(
         "experiments", help="run the claim-table experiments"

@@ -1,0 +1,65 @@
+"""The unified scheme API: protocols, backends, registry and factory.
+
+This package is the seam between scheme implementations and everything
+that drives them (harness, CLI, examples, benchmarks)::
+
+    consumers (harness / CLI / examples / benchmarks)
+          │  talk only to…
+          ▼
+    repro.api  — PrivateIR / PrivateRAM / PrivateKVS protocols,
+          │      repro.build(name, ...) factory, scheme registry
+          ▼
+    repro.core + repro.baselines — the constructions
+          │  store blocks through…
+          ▼
+    repro.storage — StorageServer over pluggable StorageBackend
+                    (in-memory, simulated network links, …)
+
+Typical use::
+
+    import repro
+
+    ram = repro.build("dp_ram", n=4096, seed=7)
+    ram.write(3, b"hello".ljust(64, b"\\x00"))
+    assert ram.read(3).startswith(b"hello")
+
+    for name in repro.available_schemes("kvs"):
+        print(name)
+
+New schemes register a builder with
+:func:`~repro.api.registry.register_scheme` and implement the matching
+protocol; nothing else in the library needs to learn about them.
+"""
+
+from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
+from repro.api.registry import (
+    SchemeSpec,
+    available_schemes,
+    build,
+    register_scheme,
+    scheme_spec,
+)
+from repro.storage.backends import (
+    BackendFactory,
+    InMemoryBackend,
+    NetworkBackend,
+    NetworkBackendFactory,
+    StorageBackend,
+)
+
+__all__ = [
+    "BackendFactory",
+    "InMemoryBackend",
+    "NetworkBackend",
+    "NetworkBackendFactory",
+    "PrivateIR",
+    "PrivateKVS",
+    "PrivateRAM",
+    "Scheme",
+    "SchemeSpec",
+    "StorageBackend",
+    "available_schemes",
+    "build",
+    "register_scheme",
+    "scheme_spec",
+]

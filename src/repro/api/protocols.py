@@ -1,0 +1,169 @@
+"""Typed scheme protocols: the one surface every consumer talks to.
+
+Historically the harness, CLI, examples and benchmarks each duck-typed
+the schemes (``hasattr(scheme, "server")``, ``getattr(scheme, "pool")``,
+…).  This module replaces that with three abstract base classes — one per
+paper primitive — plus a shared *scheme info* surface:
+
+* :class:`Scheme` — ``n``, ``block_size``, :meth:`Scheme.servers`,
+  operation counters, transcript attach/detach, and an optional client
+  storage figure.  Metrics code never probes attributes again.
+* :class:`PrivateIR` — ``query`` / ``query_many`` (Section 2.1's IR).
+* :class:`PrivateRAM` — ``read``/``write`` and their ``*_many`` forms.
+* :class:`PrivateKVS` — ``get``/``put``/``delete`` and ``get_many``.
+
+The ``*_many`` entry points default to per-operation loops so every
+scheme supports batched drivers; constructions that can genuinely
+amortize (``BatchDPIR`` fetches the union of pad sets,
+``MultiServerDPIR`` coalesces per-replica reads) override them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+from repro.storage.server import StorageServer
+from repro.storage.transcript import Transcript
+
+
+class Scheme(abc.ABC):
+    """Shared introspection surface of every scheme in the library."""
+
+    #: Which primitive this scheme implements: ``"ir"``, ``"ram"`` or
+    #: ``"kvs"``.  Set by the protocol subclasses.
+    kind: str = "scheme"
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Database size (IR/RAM) or key capacity (KVS)."""
+
+    @property
+    @abc.abstractmethod
+    def block_size(self) -> int:
+        """Bytes per logical block the scheme stores or serves."""
+
+    @abc.abstractmethod
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every passive server the scheme talks to.
+
+        Single-server schemes return a 1-tuple; replicated, sharded and
+        recursive constructions return one entry per server.  An empty
+        tuple is legal (a scheme whose servers are not yet provisioned)
+        and simply counts zero operations.
+        """
+
+    def server_counters(self) -> tuple[int, int]:
+        """Total ``(reads, writes)`` across :meth:`servers`."""
+        reads = 0
+        writes = 0
+        for server in self.servers():
+            reads += server.reads
+            writes += server.writes
+        return reads, writes
+
+    def server_operations(self) -> int:
+        """Total operations (downloads + uploads) across :meth:`servers`."""
+        reads, writes = self.server_counters()
+        return reads + writes
+
+    def attach_transcript(self, transcript: Transcript) -> None:
+        """Record the adversary view of subsequent queries.
+
+        All servers append into the same transcript, matching how the
+        privacy auditors consume multi-server views.
+        """
+        for server in self.servers():
+            server.attach_transcript(transcript)
+
+    def detach_transcript(self) -> Transcript | None:
+        """Stop recording and return the transcript, if any was attached."""
+        detached: Transcript | None = None
+        for server in self.servers():
+            transcript = server.detach_transcript()
+            if detached is None:
+                detached = transcript
+        return detached
+
+    @property
+    def client_peak_blocks(self) -> int | None:
+        """Peak client storage in blocks; ``None`` for stateless clients."""
+        return None
+
+
+class PrivateIR(Scheme):
+    """Read-only retrieval with a data-independent error event."""
+
+    kind = "ir"
+
+    @abc.abstractmethod
+    def query(self, index: int) -> bytes | None:
+        """Retrieve block ``index``; ``None`` on the scheme's error event."""
+
+    def query_many(self, indices: Sequence[int]) -> list[bytes | None]:
+        """Answer ``indices`` in order; default is one query per index.
+
+        Schemes that can amortize (shared pad sets, coalesced reads)
+        override this with a genuinely batched implementation.
+        """
+        return [self.query(index) for index in indices]
+
+
+class PrivateRAM(Scheme):
+    """Read/write access to ``n`` fixed-size records."""
+
+    kind = "ram"
+
+    #: Whether :meth:`write` is supported; read-only variants set this to
+    #: ``False`` and raise on writes.
+    writable: bool = True
+
+    @abc.abstractmethod
+    def read(self, index: int) -> bytes:
+        """Retrieve the current version of record ``index``."""
+
+    @abc.abstractmethod
+    def write(self, index: int, value: bytes) -> None:
+        """Overwrite record ``index`` with ``value``."""
+
+    def read_many(self, indices: Sequence[int]) -> list[bytes]:
+        """Read ``indices`` in order; default is one query per index."""
+        return [self.read(index) for index in indices]
+
+    def write_many(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Apply ``(index, value)`` overwrites in order."""
+        for index, value in items:
+            self.write(index, value)
+
+
+class PrivateKVS(Scheme):
+    """Key-value storage over a large key universe.
+
+    Values are exact: ``get`` returns precisely the bytes that were
+    ``put``, with any fixed-size storage padding stripped by the scheme
+    itself (each scheme declares its :attr:`value_size` budget).
+    """
+
+    kind = "kvs"
+
+    @property
+    @abc.abstractmethod
+    def value_size(self) -> int:
+        """Maximum value length in bytes accepted by :meth:`put`."""
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Retrieve the exact value for ``key``; ``None`` if absent (⊥)."""
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key`` with ``value``."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key`` if present; returns whether it existed."""
+
+    def get_many(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Retrieve ``keys`` in order; default is one query per key."""
+        return [self.get(key) for key in keys]

@@ -1,0 +1,133 @@
+"""Scheme registry and the ``repro.build`` factory.
+
+Every scheme ships with a *builder* — a keyword-only callable that turns
+deployment-level parameters (``n``, ``block_size``, ``seed``, ``backend``,
+scheme-specific knobs) into a configured instance.  Builders register
+themselves under a stable snake_case name with :func:`register_scheme`;
+consumers construct any scheme by name::
+
+    import repro
+
+    ram = repro.build("dp_ram", n=4096, seed=7)
+    kvs = repro.build("dp_kvs", n=1024, value_size=16)
+    ir = repro.build("dp_ir", n=2**16, epsilon=11.1, backend="network",
+                     network="wan")
+
+The registry is the one place that knows the full scheme catalogue, so
+the CLI's ``run`` subcommand, the conformance test suite and future
+benchmark sweeps all enumerate :func:`available_schemes` instead of
+hard-coding class lists.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.api.protocols import Scheme
+
+_BUILDERS_MODULE = "repro.api.builders"
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One registry entry.
+
+    Attributes:
+        name: the stable snake_case registry key (e.g. ``"dp_ram"``).
+        kind: the protocol the built scheme implements — ``"ir"``,
+            ``"ram"`` or ``"kvs"``.
+        builder: keyword-only callable returning a configured instance.
+        summary: one-line description for ``--help`` style listings.
+    """
+
+    name: str
+    kind: str
+    builder: Callable[..., Scheme]
+    summary: str
+
+
+_REGISTRY: dict[str, SchemeSpec] = {}
+
+
+def register_scheme(
+    name: str, *, kind: str, summary: str = ""
+) -> Callable[[Callable[..., Scheme]], Callable[..., Scheme]]:
+    """Class decorator-style registration of a scheme builder.
+
+    Args:
+        name: registry key; must be unique.
+        kind: ``"ir"``, ``"ram"`` or ``"kvs"``.
+        summary: one-line description shown by listings.
+
+    Returns:
+        A decorator that records the builder and returns it unchanged.
+    """
+    if kind not in ("ir", "ram", "kvs"):
+        raise ValueError(f"unknown scheme kind {kind!r}; expected ir/ram/kvs")
+
+    def decorator(builder: Callable[..., Scheme]) -> Callable[..., Scheme]:
+        if name in _REGISTRY:
+            raise ValueError(f"scheme {name!r} is already registered")
+        _REGISTRY[name] = SchemeSpec(
+            name=name,
+            kind=kind,
+            builder=builder,
+            summary=summary or (builder.__doc__ or "").strip().split("\n")[0],
+        )
+        return builder
+
+    return decorator
+
+
+def _ensure_builders_loaded() -> None:
+    """Import the stock builders exactly once.
+
+    Deferred so that scheme modules can import
+    :mod:`repro.api.protocols` without creating an import cycle through
+    the builder catalogue (which imports every scheme module).
+    """
+    importlib.import_module(_BUILDERS_MODULE)
+
+
+def available_schemes(kind: str | None = None) -> tuple[str, ...]:
+    """Registered scheme names, optionally filtered by ``kind``."""
+    _ensure_builders_loaded()
+    names = (
+        name
+        for name, spec in _REGISTRY.items()
+        if kind is None or spec.kind == kind
+    )
+    return tuple(sorted(names))
+
+
+def scheme_spec(name: str) -> SchemeSpec:
+    """The :class:`SchemeSpec` registered under ``name``.
+
+    Raises:
+        ValueError: for unknown names (listing what is available).
+    """
+    _ensure_builders_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown scheme {name!r}; registered schemes: {known}"
+        ) from None
+
+
+def build(name: str, **kwargs) -> Scheme:
+    """Construct the scheme registered under ``name``.
+
+    All keyword arguments are forwarded to the scheme's builder; common
+    ones are ``n`` (database size / key capacity), ``block_size``,
+    ``seed`` (deterministic randomness), ``backend`` (``"memory"`` /
+    ``"network"`` or a backend factory) and ``network`` (a link name or
+    :class:`~repro.storage.network.NetworkModel`).
+
+    Raises:
+        ValueError: for unknown scheme names.
+    """
+    return scheme_spec(name).builder(**kwargs)

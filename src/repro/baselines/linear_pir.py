@@ -11,19 +11,27 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateIR
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 
-class LinearScanPIR:
+class LinearScanPIR(PrivateIR):
     """Errorless, perfectly oblivious IR: every query touches all ``n``."""
 
-    def __init__(self, blocks: Sequence[bytes]) -> None:
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        backend_factory: BackendFactory | None = None,
+    ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
         self._n = len(blocks)
-        self._server = StorageServer(self._n)
+        self._block_size = len(blocks[0])
+        self._server = StorageServer(
+            self._n, backend=backend_factory(self._n) if backend_factory else None
+        )
         self._server.load(blocks)
         self._queries = 0
 
@@ -38,18 +46,23 @@ class LinearScanPIR:
         return 0.0
 
     @property
+    def block_size(self) -> int:
+        """Bytes per database record."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive server (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
 
     @property
     def query_count(self) -> int:
         """Number of queries issued so far."""
         return self._queries
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the adversary view (identical for every query)."""
-        self._server.attach_transcript(transcript)
 
     def query(self, index: int) -> bytes:
         """Retrieve record ``index`` by scanning the whole database."""

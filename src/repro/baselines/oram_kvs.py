@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import math
 
+from repro.api.protocols import PrivateKVS
 from repro.crypto.prf import PRF
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.baselines.path_oram import PathORAM
-from repro.hashing.node_codec import NodeCodec, NodeEntry
+from repro.hashing.node_codec import NodeCodec, NodeEntry, SizedValueCodec
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import CapacityError
 from repro.storage.server import StorageServer
 
@@ -36,7 +38,7 @@ def default_bucket_capacity(buckets: int) -> int:
     return math.ceil(3.0 * ln_m / math.log(max(ln_m, math.e))) + 2
 
 
-class ORAMKeyValueStore:
+class ORAMKeyValueStore(PrivateKVS):
     """Oblivious KVS: PRF bucketing + Path ORAM transport.
 
     Args:
@@ -57,6 +59,7 @@ class ORAMKeyValueStore:
         bucket_capacity: int | None = None,
         rng: RandomSource | None = None,
         prf: PRF | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -71,12 +74,18 @@ class ORAMKeyValueStore:
         )
         if slots <= 0:
             raise ValueError(f"bucket capacity must be positive, got {slots}")
+        # Length-prefixed values: ``get`` returns exactly what was ``put``.
+        self._values = SizedValueCodec(value_size)
         self._codec = NodeCodec(
-            capacity=slots, key_size=key_size, value_size=value_size
+            capacity=slots,
+            key_size=key_size,
+            value_size=self._values.stored_size,
         )
         empty = self._codec.empty()
         self._oram = PathORAM(
-            [empty] * self._buckets, rng=self._rng.spawn("oram")
+            [empty] * self._buckets,
+            rng=self._rng.spawn("oram"),
+            backend_factory=backend_factory,
         )
         self._size = 0
         self._overflows = 0
@@ -85,9 +94,24 @@ class ORAMKeyValueStore:
     # -- accounting ----------------------------------------------------------
 
     @property
+    def n(self) -> int:
+        """Maximum number of keys."""
+        return self._capacity
+
+    @property
     def capacity(self) -> int:
         """Maximum number of keys."""
         return self._capacity
+
+    @property
+    def value_size(self) -> int:
+        """Maximum value length in bytes accepted by :meth:`put`."""
+        return self._values.value_size
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per ORAM block (one serialized bucket)."""
+        return self._codec.block_size
 
     @property
     def size(self) -> int:
@@ -114,6 +138,15 @@ class ORAMKeyValueStore:
         """The ORAM's slot server (exposes operation counters)."""
         return self._oram.server
 
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The ORAM's single slot server."""
+        return (self._oram.server,)
+
+    @property
+    def client_peak_blocks(self) -> int:
+        """Peak client storage in blocks (the ORAM stash peak)."""
+        return self._oram.stash_peak
+
     @property
     def overflow_count(self) -> int:
         """Bucket overflow events (expected zero at the default sizing)."""
@@ -131,14 +164,14 @@ class ORAMKeyValueStore:
     # -- the KVS interface ------------------------------------------------------
 
     def get(self, user_key: bytes) -> bytes | None:
-        """Retrieve ``user_key``; ``None`` if absent (⊥)."""
+        """Retrieve the exact value for ``user_key``; ``None`` if absent (⊥)."""
         key = self._codec.normalize_key(user_key)
         bucket = self._bucket_for(key)
         entries = self._codec.unpack(self._oram.read(bucket))
         self._operations += 1
         for entry in entries:
             if entry.key == key:
-                return entry.value
+                return self._values.decode(entry.value)
         return None
 
     def put(self, user_key: bytes, user_value: bytes) -> None:
@@ -149,7 +182,7 @@ class ORAMKeyValueStore:
                 :attr:`overflow_count` before raising).
         """
         key = self._codec.normalize_key(user_key)
-        value = self._codec.normalize_value(user_value)
+        value = self._values.encode(user_value)
         bucket = self._bucket_for(key)
         entries = self._codec.unpack(self._oram.read(bucket))
         self._operations += 1

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.api.protocols import PrivateRAM
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 _DUMMY = (1 << 64) - 1
 _INDEX_BYTES = 8
@@ -36,7 +37,7 @@ PositionResolver = Callable[[int, int], int]
 """``resolve(index, new_leaf) -> old_leaf``: look up and remap in one shot."""
 
 
-class PathORAM:
+class PathORAM(PrivateRAM):
     """Path ORAM with bucket size ``Z`` (default 4).
 
     Args:
@@ -59,6 +60,7 @@ class PathORAM:
         bucket_size: int = 4,
         rng: RandomSource | None = None,
         position_resolver: PositionResolver | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -75,7 +77,11 @@ class PathORAM:
         self._height = max(1, (self._n - 1).bit_length())  # L
         self._leaves = 1 << self._height
         self._nodes = 2 * self._leaves - 1
-        self._server = StorageServer(self._nodes * self._z)
+        slot_count = self._nodes * self._z
+        self._server = StorageServer(
+            slot_count,
+            backend=backend_factory(slot_count) if backend_factory else None,
+        )
         initial_positions = [
             self._rng.randbelow(self._leaves) for _ in range(self._n)
         ]
@@ -115,9 +121,18 @@ class PathORAM:
         return self._z
 
     @property
+    def block_size(self) -> int:
+        """Bytes per logical record payload."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive slot server (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single slot server."""
+        return (self._server,)
 
     @property
     def stash_size(self) -> int:
@@ -127,6 +142,11 @@ class PathORAM:
     @property
     def stash_peak(self) -> int:
         """Largest stash occupancy observed."""
+        return self._stash_peak
+
+    @property
+    def client_peak_blocks(self) -> int:
+        """Peak client storage in blocks (the stash peak)."""
         return self._stash_peak
 
     @property
@@ -146,10 +166,6 @@ class PathORAM:
     def blocks_per_access(self) -> int:
         """Slots moved per access: ``2·Z·(L+1)``."""
         return 2 * self._z * (self._height + 1)
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the adversary view of subsequent accesses."""
-        self._server.attach_transcript(transcript)
 
     # -- the RAM interface ------------------------------------------------------
 

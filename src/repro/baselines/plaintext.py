@@ -9,19 +9,28 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateKVS, PrivateRAM
+from repro.hashing.node_codec import SizedValueCodec
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 
-class PlaintextRAM:
+class PlaintextRAM(PrivateRAM):
     """Direct read/write access — one block per query, zero privacy."""
 
-    def __init__(self, blocks: Sequence[bytes]) -> None:
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        backend_factory: BackendFactory | None = None,
+    ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
         self._n = len(blocks)
-        self._server = StorageServer(self._n)
+        self._block_size = len(blocks[0])
+        self._server = StorageServer(
+            self._n, backend=backend_factory(self._n) if backend_factory else None
+        )
         self._server.load(blocks)
         self._queries = 0
 
@@ -31,18 +40,23 @@ class PlaintextRAM:
         return self._n
 
     @property
+    def block_size(self) -> int:
+        """Bytes per database record."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive server (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
 
     @property
     def query_count(self) -> int:
         """Number of queries issued so far."""
         return self._queries
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the (fully leaking) adversary view."""
-        self._server.attach_transcript(transcript)
 
     def read(self, index: int) -> bytes:
         """Retrieve record ``index``."""
@@ -63,7 +77,7 @@ class PlaintextRAM:
             raise RetrievalError(f"index {index} out of range for n={self._n}")
 
 
-class PlaintextKVS:
+class PlaintextKVS(PrivateKVS):
     """Direct-access key-value store over a server-resident slot array.
 
     The client keeps a key → slot directory (metadata, not balls, mirroring
@@ -71,21 +85,43 @@ class PlaintextKVS:
     server slot per operation.
     """
 
-    def __init__(self, capacity: int, value_size: int = 32) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        value_size: int = 32,
+        backend_factory: BackendFactory | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._value_size = value_size
-        self._server = StorageServer(capacity)
-        self._server.load([b"\x00" * value_size] * capacity)
+        self._values = SizedValueCodec(value_size)
+        self._server = StorageServer(
+            capacity, backend=backend_factory(capacity) if backend_factory else None
+        )
+        self._server.load([self._values.encode(b"")] * capacity)
         self._directory: dict[bytes, int] = {}
         self._free = list(range(capacity - 1, -1, -1))
         self._operations = 0
 
     @property
+    def n(self) -> int:
+        """Maximum number of keys."""
+        return self._capacity
+
+    @property
     def capacity(self) -> int:
         """Maximum number of keys."""
         return self._capacity
+
+    @property
+    def value_size(self) -> int:
+        """Maximum value length in bytes accepted by :meth:`put`."""
+        return self._values.value_size
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per stored value slot (length prefix + padded value)."""
+        return self._values.stored_size
 
     @property
     def size(self) -> int:
@@ -97,26 +133,26 @@ class PlaintextKVS:
         """The passive server (exposes operation counters)."""
         return self._server
 
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
+
     @property
     def operation_count(self) -> int:
         """Completed operations."""
         return self._operations
 
     def get(self, key: bytes) -> bytes | None:
-        """Retrieve ``key``; ``None`` if absent."""
+        """Retrieve the exact value for ``key``; ``None`` if absent."""
         self._operations += 1
         slot = self._directory.get(key)
         if slot is None:
             return None
-        return self._server.read(slot)
+        return self._values.decode(self._server.read(slot))
 
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or update ``key``."""
-        if len(value) > self._value_size:
-            raise ValueError(
-                f"value of {len(value)} bytes exceeds value_size {self._value_size}"
-            )
-        padded = value + b"\x00" * (self._value_size - len(value))
+        encoded = self._values.encode(value)
         self._operations += 1
         slot = self._directory.get(key)
         if slot is None:
@@ -124,7 +160,7 @@ class PlaintextKVS:
                 raise RetrievalError(f"store is at capacity {self._capacity}")
             slot = self._free.pop()
             self._directory[key] = slot
-        self._server.write(slot, padded)
+        self._server.write(slot, encoded)
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key``; returns whether it existed."""

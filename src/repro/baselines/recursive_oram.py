@@ -20,9 +20,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateRAM
 from repro.baselines.path_oram import PathORAM
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
+from repro.storage.server import StorageServer
 
 _LABEL_BYTES = 4
 
@@ -38,7 +41,7 @@ def _unpack(block: bytes) -> list[int]:
     ]
 
 
-class RecursivePathORAM:
+class RecursivePathORAM(PrivateRAM):
     """Path ORAM with recursively outsourced position maps.
 
     Args:
@@ -61,6 +64,7 @@ class RecursivePathORAM:
         client_map_limit: int = 64,
         bucket_size: int = 4,
         rng: RandomSource | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -90,6 +94,7 @@ class RecursivePathORAM:
                 bucket_size=bucket_size,
                 rng=self._rng.spawn(f"level-{level}"),
                 position_resolver=resolver,
+                backend_factory=backend_factory,
             )
             self._levels.append(oram)
             labels = oram.initial_positions
@@ -118,6 +123,11 @@ class RecursivePathORAM:
     def n(self) -> int:
         """Database size."""
         return self._n
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per data-level record payload."""
+        return self._levels[0].block_size
 
     @property
     def levels(self) -> int:
@@ -150,10 +160,9 @@ class RecursivePathORAM:
         """Sum of stash peaks across all levels."""
         return sum(level.stash_peak for level in self._levels)
 
-    @property
-    def servers(self) -> list:
-        """Every level's slot server (the harness aggregates these)."""
-        return [level.server for level in self._levels]
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every level's slot server (data level first)."""
+        return tuple(level.server for level in self._levels)
 
     @property
     def client_peak_blocks(self) -> int:

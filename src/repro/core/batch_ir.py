@@ -20,13 +20,15 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
 from repro.storage.server import StorageServer
 
 
-class BatchDPIR:
+class BatchDPIR(PrivateIR):
     """ε-DP-IR serving batches of queries in one round.
 
     Args:
@@ -48,6 +50,7 @@ class BatchDPIR:
         pad_size: int | None = None,
         alpha: float = 0.05,
         rng: RandomSource | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -59,7 +62,10 @@ class BatchDPIR:
         else:
             self._params = DPIRParams.from_epsilon(n, epsilon, alpha)
         self._rng = rng if rng is not None else SystemRandomSource()
-        self._server = StorageServer(n)
+        self._block_size = len(blocks[0])
+        self._server = StorageServer(
+            n, backend=backend_factory(n) if backend_factory else None
+        )
         self._server.load(blocks)
         self._batches = 0
         self._queries = 0
@@ -88,9 +94,18 @@ class BatchDPIR:
         return self._params.alpha
 
     @property
+    def block_size(self) -> int:
+        """Bytes per database record."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive server (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
 
     @property
     def batch_count(self) -> int:
@@ -121,6 +136,14 @@ class BatchDPIR:
         return n * (1.0 - math.pow(1.0 - 1.0 / n, draws))
 
     # -- querying ------------------------------------------------------------
+
+    def query(self, index: int) -> bytes | None:
+        """Serve a single query — a batch of one (Algorithm 1 exactly)."""
+        return self.query_batch([index])[0]
+
+    def query_many(self, indices: Sequence[int]) -> list[bytes | None]:
+        """Serve ``indices`` as one batch, downloading the pad-set union."""
+        return self.query_batch(indices)
 
     def query_batch(self, indices: Sequence[int]) -> list[bytes | None]:
         """Serve a batch; position ``i`` of the result answers

@@ -37,11 +37,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.api.protocols import PrivateRAM
 from repro.crypto.encryption import SecretKey, decrypt, encrypt, generate_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError, StorageError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 
 @dataclass
@@ -60,7 +61,7 @@ class PendingQuery:
     _finished: bool = False
 
 
-class BucketDPRAM:
+class BucketDPRAM(PrivateRAM):
     """The Section 6 DP-RAM generalized to an overlapping-bucket repertoire.
 
     Args:
@@ -69,6 +70,7 @@ class BucketDPRAM:
         stash_probability: per-bucket stash probability ``p``.
         rng: randomness source (defaults to system entropy).
         key: symmetric key; freshly sampled when omitted.
+        backend_factory: optional slot-storage backend for the server.
     """
 
     def __init__(
@@ -78,6 +80,7 @@ class BucketDPRAM:
         stash_probability: float,
         rng: RandomSource | None = None,
         key: SecretKey | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not node_blocks:
             raise ValueError("need at least one node block")
@@ -102,7 +105,11 @@ class BucketDPRAM:
         self._rng = rng if rng is not None else SystemRandomSource()
         self._key = key if key is not None else generate_key(self._rng)
 
-        self._server = StorageServer(node_count)
+        self._block_size = len(node_blocks[0])
+        self._server = StorageServer(
+            node_count,
+            backend=backend_factory(node_count) if backend_factory else None,
+        )
         self._server.load(
             [encrypt(self._key, block, self._rng) for block in node_blocks]
         )
@@ -129,9 +136,19 @@ class BucketDPRAM:
     # -- accounting ----------------------------------------------------------
 
     @property
+    def n(self) -> int:
+        """Size of the repertoire ``Σ`` (the addressable units)."""
+        return len(self._buckets)
+
+    @property
     def bucket_count(self) -> int:
         """Size of the repertoire ``Σ``."""
         return len(self._buckets)
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per plaintext node block."""
+        return self._block_size
 
     @property
     def stash_probability(self) -> float:
@@ -142,6 +159,10 @@ class BucketDPRAM:
     def server(self) -> StorageServer:
         """The passive server of node slots (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single node-slot server."""
+        return (self._server,)
 
     @property
     def stashed_buckets(self) -> int:
@@ -167,10 +188,6 @@ class BucketDPRAM:
     def transcript_pairs(self) -> list[tuple[int, int]]:
         """Bucket-granular ``(d_j, o_j)`` pairs — the adversary view."""
         return list(self._pairs)
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the node-level adversary view of subsequent queries."""
-        self._server.attach_transcript(transcript)
 
     def bucket_nodes(self, bucket: int) -> tuple[int, ...]:
         """Node ids of ``bucket``."""
@@ -282,6 +299,43 @@ class BucketDPRAM:
         self._note_peak()
         self._pairs.append((pending.download_bucket, overwrite_bucket))
         self._queries += 1
+
+    # -- the RAM interface over single-node buckets ---------------------------
+
+    def read(self, index: int) -> bytes:
+        """Record-level read of bucket ``index``.
+
+        Only meaningful for single-node buckets (the degenerate repertoire
+        equivalent to the Section 6 scheme); multi-node repertoires go
+        through :meth:`begin_query`/:meth:`finish_query`.
+
+        Raises:
+            StorageError: if bucket ``index`` holds more than one node.
+        """
+        node = self._single_node(index)
+        return self.query(index)[node]
+
+    def write(self, index: int, value: bytes) -> None:
+        """Record-level overwrite of bucket ``index`` (single-node only).
+
+        Raises:
+            StorageError: if bucket ``index`` holds more than one node.
+        """
+        node = self._single_node(index)
+        self.query(index, {node: bytes(value)})
+
+    def _single_node(self, index: int) -> int:
+        if not 0 <= index < len(self._buckets):
+            raise RetrievalError(
+                f"bucket {index} out of range for {len(self._buckets)}"
+            )
+        nodes = self._buckets[index]
+        if len(nodes) != 1:
+            raise StorageError(
+                f"bucket {index} spans {len(nodes)} nodes; record-level "
+                "read/write needs single-node buckets"
+            )
+        return nodes[0]
 
     def query(
         self,

@@ -21,14 +21,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 
-class DPIR:
+class DPIR(PrivateIR):
     """Single-server ε-DP-IR (Algorithm 1).
 
     Args:
@@ -38,6 +39,7 @@ class DPIR:
         pad_size: explicit pad size ``K`` (overrides ``epsilon``).
         alpha: error probability in ``(0, 1)``.
         rng: randomness source (defaults to system entropy).
+        backend_factory: optional slot-storage backend for the server.
 
     The *exact* budget achieved by the resolved ``K`` is available as
     :attr:`epsilon`.
@@ -50,6 +52,7 @@ class DPIR:
         pad_size: int | None = None,
         alpha: float = 0.05,
         rng: RandomSource | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -61,7 +64,10 @@ class DPIR:
         else:
             self._params = DPIRParams.from_epsilon(n, epsilon, alpha)
         self._rng = rng if rng is not None else SystemRandomSource()
-        self._server = StorageServer(n)
+        self._block_size = len(blocks[0])
+        self._server = StorageServer(
+            n, backend=backend_factory(n) if backend_factory else None
+        )
         self._server.load(blocks)
         self._queries = 0
         self._errors = 0
@@ -94,9 +100,18 @@ class DPIR:
         return self._params
 
     @property
+    def block_size(self) -> int:
+        """Bytes per database record."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive server (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
 
     @property
     def query_count(self) -> int:
@@ -135,10 +150,6 @@ class DPIR:
         """
         download_set, _ = self._draw_set(index)
         return frozenset(download_set)
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the adversary view of subsequent queries."""
-        self._server.attach_transcript(transcript)
 
     # -- internals ----------------------------------------------------------
 

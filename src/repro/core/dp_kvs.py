@@ -25,19 +25,21 @@ fixed-size byte strings (shorter inputs are zero-padded by the codec).
 
 from __future__ import annotations
 
+from repro.api.protocols import PrivateKVS
 from repro.core.bucket_ram import BucketDPRAM, PendingQuery
 from repro.core.params import DPKVSParams
 from repro.crypto.encryption import SecretKey
 from repro.crypto.prf import PRF
 from repro.crypto.rng import RandomSource, SystemRandomSource
-from repro.hashing.node_codec import NodeCodec, NodeEntry
+from repro.hashing.node_codec import NodeCodec, NodeEntry, SizedValueCodec
 from repro.hashing.tree_buckets import TreeBucketLayout
+from repro.storage.backends import BackendFactory
 from repro.storage.client import ClientStash
 from repro.storage.errors import CapacityError, MappingOverflowError
 from repro.storage.server import StorageServer
 
 
-class DPKVS:
+class DPKVS(PrivateKVS):
     """ε-DP key-value store with ``O(log log n)`` overhead (Theorem 7.5).
 
     Args:
@@ -70,6 +72,7 @@ class DPKVS:
         rng: RandomSource | None = None,
         prf: PRF | None = None,
         key: SecretKey | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         self._params = DPKVSParams.for_capacity(
             capacity,
@@ -78,8 +81,13 @@ class DPKVS:
             leaves_per_tree=leaves_per_tree,
         )
         self._layout = TreeBucketLayout(self._params.shape)
+        # Values carry a length prefix inside the fixed node-entry field so
+        # ``get`` can return the exact bytes that were ``put``.
+        self._values = SizedValueCodec(value_size)
         self._codec = NodeCodec(
-            capacity=node_capacity, key_size=key_size, value_size=value_size
+            capacity=node_capacity,
+            key_size=key_size,
+            value_size=self._values.stored_size,
         )
         self._rng = rng if rng is not None else SystemRandomSource()
         self._prf = prf if prf is not None else PRF(self._rng.bytes(32))
@@ -92,6 +100,7 @@ class DPKVS:
             stash_probability=self._params.stash_probability,
             rng=self._rng.spawn("bucket-ram") if hasattr(self._rng, "spawn") else self._rng,
             key=key,
+            backend_factory=backend_factory,
         )
         super_root_capacity = (
             self._params.phi if enforce_super_root_capacity else None
@@ -103,9 +112,24 @@ class DPKVS:
     # -- parameters & accounting ---------------------------------------------
 
     @property
+    def n(self) -> int:
+        """Maximum number of keys."""
+        return self._params.n
+
+    @property
     def capacity(self) -> int:
         """Maximum number of keys (``n``)."""
         return self._params.n
+
+    @property
+    def value_size(self) -> int:
+        """Maximum value length in bytes accepted by :meth:`put`."""
+        return self._values.value_size
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per serialized node block (the transferred unit)."""
+        return self._codec.block_size
 
     @property
     def size(self) -> int:
@@ -121,6 +145,10 @@ class DPKVS:
     def server(self) -> StorageServer:
         """The node-slot server (exposes operation counters)."""
         return self._ram.server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single node-slot server."""
+        return (self._ram.server,)
 
     @property
     def server_node_count(self) -> int:
@@ -164,7 +192,7 @@ class DPKVS:
     # -- the KVS interface -----------------------------------------------------
 
     def get(self, user_key: bytes) -> bytes | None:
-        """Retrieve the value for ``user_key``; ``None`` if absent (⊥)."""
+        """Retrieve the exact value for ``user_key``; ``None`` if absent (⊥)."""
         key = self._codec.normalize_key(user_key)
         buckets, real_count = self._query_buckets(key)
         pending = [self._ram.begin_query(bucket) for bucket in buckets]
@@ -174,7 +202,7 @@ class DPKVS:
         for handle in pending:
             self._ram.finish_query(handle, None)
         self._operations += 1
-        return value
+        return None if value is None else self._values.decode(value)
 
     def put(self, user_key: bytes, user_value: bytes) -> None:
         """Insert or update ``user_key`` with ``user_value``.
@@ -185,7 +213,7 @@ class DPKVS:
                 spill target is full.
         """
         key = self._codec.normalize_key(user_key)
-        value = self._codec.normalize_value(user_value)
+        value = self._values.encode(user_value)
         buckets, real_count = self._query_buckets(key)
         pending = [self._ram.begin_query(bucket) for bucket in buckets]
         updates = self._plan_put(key, value, pending[:real_count])

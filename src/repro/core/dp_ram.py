@@ -29,16 +29,17 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateRAM
 from repro.core.params import DPRAMParams
 from repro.crypto.encryption import SecretKey, decrypt, encrypt, generate_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.client import ClientStash
-from repro.storage.errors import RetrievalError
+from repro.storage.errors import RetrievalError, StorageError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 
-class DPRAM:
+class DPRAM(PrivateRAM):
     """Errorless DP-RAM with a probability-``p`` stash (Algorithms 2–3).
 
     Args:
@@ -49,6 +50,7 @@ class DPRAM:
             (defaults to :func:`repro.core.params.default_phi`).
         rng: randomness source (defaults to system entropy).
         key: symmetric key; a fresh one is sampled when omitted.
+        backend_factory: optional slot-storage backend for the server.
     """
 
     def __init__(
@@ -58,6 +60,7 @@ class DPRAM:
         phi: int | None = None,
         rng: RandomSource | None = None,
         key: SecretKey | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -74,7 +77,10 @@ class DPRAM:
         # Setup (Algorithm 2): encrypted array on the server, independent
         # p-Bernoulli stash on the client.  The stash copy and the server
         # ciphertext start out equal, so both are fresh.
-        self._server = StorageServer(n)
+        self._block_size = len(blocks[0])
+        self._server = StorageServer(
+            n, backend=backend_factory(n) if backend_factory else None
+        )
         self._server.load([encrypt(self._key, b, self._rng) for b in blocks])
         self._stash = ClientStash()
         p = self._params.stash_probability
@@ -103,9 +109,18 @@ class DPRAM:
         return self._params
 
     @property
+    def block_size(self) -> int:
+        """Bytes per plaintext record."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive server (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
 
     @property
     def stash_size(self) -> int:
@@ -118,6 +133,11 @@ class DPRAM:
         return self._stash.peak
 
     @property
+    def client_peak_blocks(self) -> int:
+        """Peak client storage in blocks (the stash peak)."""
+        return self._stash.peak
+
+    @property
     def query_count(self) -> int:
         """Number of queries issued so far."""
         return self._queries
@@ -126,10 +146,6 @@ class DPRAM:
     def transcript_pairs(self) -> list[tuple[int, int]]:
         """The ``(d_j, o_j)`` pair per query — the adversary view."""
         return list(self._pairs)
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the full event-level adversary view of subsequent queries."""
-        self._server.attach_transcript(transcript)
 
     # -- the RAM interface ----------------------------------------------------
 
@@ -181,7 +197,7 @@ class DPRAM:
         return current
 
 
-class ReadOnlyDPRAM:
+class ReadOnlyDPRAM(PrivateRAM):
     """Encryption-free DP-RAM for public, read-only data.
 
     Section 6 ("Discussion about encryption") observes that when only
@@ -195,12 +211,15 @@ class ReadOnlyDPRAM:
     improve.
     """
 
+    writable = False
+
     def __init__(
         self,
         blocks: Sequence[bytes],
         stash_probability: float | None = None,
         phi: int | None = None,
         rng: RandomSource | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -212,7 +231,10 @@ class ReadOnlyDPRAM:
         else:
             self._params = DPRAMParams.from_phi(n, phi)
         self._rng = rng if rng is not None else SystemRandomSource()
-        self._server = StorageServer(n)
+        self._block_size = len(blocks[0])
+        self._server = StorageServer(
+            n, backend=backend_factory(n) if backend_factory else None
+        )
         self._server.load([bytes(b) for b in blocks])
         self._stash = ClientStash()
         p = self._params.stash_probability
@@ -233,9 +255,18 @@ class ReadOnlyDPRAM:
         return self._params
 
     @property
+    def block_size(self) -> int:
+        """Bytes per (plaintext) record."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive server (plaintext; exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
 
     @property
     def stash_size(self) -> int:
@@ -248,9 +279,18 @@ class ReadOnlyDPRAM:
         return self._stash.peak
 
     @property
+    def client_peak_blocks(self) -> int:
+        """Peak client storage in blocks (the stash peak)."""
+        return self._stash.peak
+
+    @property
     def transcript_pairs(self) -> list[tuple[int, int]]:
         """The ``(d_j, o_j)`` pair per query."""
         return list(self._pairs)
+
+    def write(self, index: int, value: bytes) -> None:
+        """Reject the write: this variant serves public, read-only data."""
+        raise StorageError("ReadOnlyDPRAM does not support writes")
 
     def read(self, index: int) -> bytes:
         """Retrieve record ``index``."""

@@ -21,14 +21,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
-from repro.storage.server import ServerPool
-from repro.storage.transcript import Transcript
+from repro.storage.server import ServerPool, StorageServer
 
 
-class MultiServerDPIR:
+class MultiServerDPIR(PrivateIR):
     """Replicated ε-DP-IR across ``server_count`` non-colluding servers.
 
     Args:
@@ -49,6 +50,7 @@ class MultiServerDPIR:
         pad_size: int | None = None,
         alpha: float = 0.05,
         rng: RandomSource | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -62,7 +64,8 @@ class MultiServerDPIR:
         else:
             self._params = DPIRParams.from_epsilon(n, epsilon, alpha)
         self._rng = rng if rng is not None else SystemRandomSource()
-        self._pool = ServerPool(server_count, n)
+        self._block_size = len(blocks[0])
+        self._pool = ServerPool(server_count, n, backend_factory=backend_factory)
         self._pool.load_replicas(blocks)
         self._queries = 0
         self._errors = 0
@@ -96,9 +99,18 @@ class MultiServerDPIR:
         return self._params.epsilon
 
     @property
+    def block_size(self) -> int:
+        """Bytes per database record."""
+        return self._block_size
+
+    @property
     def pool(self) -> ServerPool:
         """The replica pool (exposes per-server operation counters)."""
         return self._pool
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every replica server in the pool."""
+        return tuple(self._pool)
 
     @property
     def query_count(self) -> int:
@@ -109,10 +121,6 @@ class MultiServerDPIR:
     def error_count(self) -> int:
         """Number of queries that erred."""
         return self._errors
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the combined all-server view of subsequent queries."""
-        self._pool.attach_transcript(transcript)
 
     # -- querying ------------------------------------------------------------
 
@@ -132,6 +140,43 @@ class MultiServerDPIR:
             self._errors += 1
             return None
         return result
+
+    def query_many(self, indices: Sequence[int]) -> list[bytes | None]:
+        """Serve ``indices`` in one round, coalescing per-replica reads.
+
+        Each query draws its own independent plan (so the privacy
+        argument is untouched — revealing the per-server unions is
+        post-processing of the independent per-query transcripts), but
+        slots routed to the same replica by several queries are fetched
+        once.  Transcript events for the whole batch are attributed to
+        the ordinal of its first query: the coalesced union is a single
+        joint observation and cannot be split per query (the same
+        convention :class:`~repro.core.batch_ir.BatchDPIR` uses for its
+        batch counter).  ``query_count`` still advances by one per
+        logical query.
+        """
+        if not indices:
+            return []
+        plans = [self._draw_plan(index) for index in indices]
+        per_server: list[set[int]] = [set() for _ in range(len(self._pool))]
+        for plan, _ in plans:
+            for server_id, slots in enumerate(plan):
+                per_server[server_id] |= slots
+        self._pool.begin_query(self._queries)
+        retrieved: dict[tuple[int, int], bytes] = {}
+        for server_id, slots in enumerate(per_server):
+            server = self._pool[server_id]
+            for slot in sorted(slots):
+                retrieved[(server_id, slot)] = server.read(slot)
+        answers: list[bytes | None] = []
+        for index, (_, real_server) in zip(indices, plans):
+            self._queries += 1
+            if real_server is None:
+                self._errors += 1
+                answers.append(None)
+            else:
+                answers.append(retrieved[(real_server, index)])
+        return answers
 
     def sample_corrupted_view(
         self, index: int, corrupted: set[int]

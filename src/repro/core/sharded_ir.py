@@ -22,14 +22,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError, StorageError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 
-class ShardedDPIR:
+class ShardedDPIR(PrivateIR):
     """ε-DP-IR over ``D`` contiguous shards (no replication).
 
     Args:
@@ -52,6 +53,7 @@ class ShardedDPIR:
         pad_size: int | None = None,
         alpha: float = 0.05,
         rng: RandomSource | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -69,6 +71,7 @@ class ShardedDPIR:
         else:
             self._params = DPIRParams.from_epsilon(n, epsilon, alpha)
         self._rng = rng if rng is not None else SystemRandomSource()
+        self._block_size = len(blocks[0])
 
         # Contiguous range partition: shard s holds [starts[s], starts[s+1]).
         base, extra = divmod(n, shard_count)
@@ -79,7 +82,11 @@ class ShardedDPIR:
         self._shards = []
         for shard in range(shard_count):
             lo, hi = self._starts[shard], self._starts[shard + 1]
-            server = StorageServer(hi - lo, server_id=shard)
+            server = StorageServer(
+                hi - lo,
+                server_id=shard,
+                backend=backend_factory(hi - lo) if backend_factory else None,
+            )
             server.load(blocks[lo:hi])
             self._shards.append(server)
         self._queries = 0
@@ -113,14 +120,18 @@ class ShardedDPIR:
         return self._params.epsilon
 
     @property
+    def block_size(self) -> int:
+        """Bytes per database record."""
+        return self._block_size
+
+    @property
     def shards(self) -> list[StorageServer]:
         """Per-shard servers (exposes per-shard operation counters)."""
         return list(self._shards)
 
-    @property
-    def servers(self) -> list[StorageServer]:
-        """Alias for the harness' multi-server counter aggregation."""
-        return list(self._shards)
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every shard server."""
+        return tuple(self._shards)
 
     @property
     def query_count(self) -> int:
@@ -148,11 +159,6 @@ class ShardedDPIR:
     def total_storage_blocks(self) -> int:
         """Server storage across shards — ``n``, not ``D·n``."""
         return sum(server.capacity for server in self._shards)
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the combined all-shard view of subsequent queries."""
-        for server in self._shards:
-            server.attach_transcript(transcript)
 
     # -- querying ------------------------------------------------------------
 

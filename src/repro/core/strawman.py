@@ -17,25 +17,30 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.protocols import PrivateIR
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
 from repro.storage.server import StorageServer
-from repro.storage.transcript import Transcript
 
 
-class StrawmanIR:
+class StrawmanIR(PrivateIR):
     """The Section 4 construction: real block always, others w.p. ``1/n``."""
 
     def __init__(
         self,
         blocks: Sequence[bytes],
         rng: RandomSource | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
         self._n = len(blocks)
         self._rng = rng if rng is not None else SystemRandomSource()
-        self._server = StorageServer(self._n)
+        self._block_size = len(blocks[0])
+        self._server = StorageServer(
+            self._n, backend=backend_factory(self._n) if backend_factory else None
+        )
         self._server.load(blocks)
         self._queries = 0
 
@@ -45,9 +50,18 @@ class StrawmanIR:
         return self._n
 
     @property
+    def block_size(self) -> int:
+        """Bytes per database record."""
+        return self._block_size
+
+    @property
     def server(self) -> StorageServer:
         """The passive server (exposes operation counters)."""
         return self._server
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """The single passive server."""
+        return (self._server,)
 
     @property
     def query_count(self) -> int:
@@ -67,10 +81,6 @@ class StrawmanIR:
     def sample_query_set(self, index: int) -> frozenset[int]:
         """Sample the download set without touching the server."""
         return frozenset(self._draw_set(index))
-
-    def attach_transcript(self, transcript: Transcript) -> None:
-        """Record the adversary view of subsequent queries."""
-        self._server.attach_transcript(transcript)
 
     def _draw_set(self, index: int) -> set[int]:
         if not 0 <= index < self._n:

@@ -17,6 +17,7 @@
 from repro.hashing.node_codec import (
     NodeCodec,
     NodeEntry,
+    SizedValueCodec,
 )
 from repro.hashing.padded import PaddedTwoChoiceStore
 from repro.hashing.tree_buckets import (
@@ -30,6 +31,7 @@ __all__ = [
     "DChoiceTable",
     "NodeCodec",
     "NodeEntry",
+    "SizedValueCodec",
     "PaddedTwoChoiceStore",
     "SUPER_ROOT",
     "TreeBucketLayout",

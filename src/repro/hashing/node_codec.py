@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.storage.errors import BlockSizeError, CapacityError
 
 _COUNT_BYTES = 2
+_LENGTH_BYTES = 2
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,75 @@ class NodeEntry:
 
     key: bytes
     value: bytes
+
+
+@dataclass(frozen=True)
+class SizedValueCodec:
+    """Length-prefixed values inside a fixed-size storage field.
+
+    The balls-and-bins substrate needs equal-sized blocks, so KVS values
+    are stored padded — but the API contract says ``get`` returns the
+    exact bytes that were ``put``.  This codec reserves a 2-byte length
+    prefix inside the fixed field so the padding a scheme adds can be
+    stripped by the scheme itself on the way out.
+
+    Attributes:
+        value_size: maximum *user* value length in bytes.
+    """
+
+    value_size: int
+
+    def __post_init__(self) -> None:
+        if self.value_size < 0:
+            raise ValueError(
+                f"value_size must be non-negative, got {self.value_size}"
+            )
+        if self.value_size >= 1 << (8 * _LENGTH_BYTES):
+            raise ValueError(
+                f"value_size {self.value_size} exceeds the "
+                f"{_LENGTH_BYTES}-byte length prefix"
+            )
+
+    @property
+    def stored_size(self) -> int:
+        """Bytes per stored value field (length prefix + padded value)."""
+        return _LENGTH_BYTES + self.value_size
+
+    def encode(self, value: bytes) -> bytes:
+        """Serialize ``value`` into the fixed-size field.
+
+        Raises:
+            BlockSizeError: if ``value`` exceeds :attr:`value_size`.
+        """
+        if len(value) > self.value_size:
+            raise BlockSizeError(
+                f"value of {len(value)} bytes exceeds "
+                f"value_size {self.value_size}"
+            )
+        return (
+            len(value).to_bytes(_LENGTH_BYTES, "big")
+            + value
+            + b"\x00" * (self.value_size - len(value))
+        )
+
+    def decode(self, stored: bytes) -> bytes:
+        """Invert :meth:`encode`, returning the exact original value.
+
+        Raises:
+            BlockSizeError: if ``stored`` has the wrong size or a length
+                prefix pointing past the field.
+        """
+        if len(stored) != self.stored_size:
+            raise BlockSizeError(
+                f"stored value must be {self.stored_size} bytes, "
+                f"got {len(stored)}"
+            )
+        length = int.from_bytes(stored[:_LENGTH_BYTES], "big")
+        if length > self.value_size:
+            raise BlockSizeError(
+                f"length prefix {length} exceeds value_size {self.value_size}"
+            )
+        return stored[_LENGTH_BYTES : _LENGTH_BYTES + length]
 
 
 @dataclass(frozen=True)

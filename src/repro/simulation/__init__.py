@@ -10,7 +10,12 @@
   (``python -m repro.simulation.experiments``).
 """
 
-from repro.simulation.harness import run_ir_trace, run_kv_trace, run_ram_trace
+from repro.simulation.harness import (
+    run_ir_trace,
+    run_kv_trace,
+    run_ram_trace,
+    run_trace,
+)
 from repro.simulation.metrics import RunMetrics
 from repro.simulation.reporting import ExperimentTable, format_table
 
@@ -21,4 +26,5 @@ __all__ = [
     "run_ir_trace",
     "run_kv_trace",
     "run_ram_trace",
+    "run_trace",
 ]

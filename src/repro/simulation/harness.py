@@ -1,63 +1,77 @@
 """Drive schemes over workload traces with correctness checking.
 
-The harness knows three scheme shapes:
+The harness dispatches on the :mod:`repro.api` protocols:
 
-* **IR schemes** — expose ``query(index) -> bytes | None`` and a
-  ``server`` with operation counters (DP-IR, strawman, linear PIR,
-  multi-server DP-IR via its pool).
-* **RAM schemes** — expose ``read(index)`` / ``write(index, value)``
-  (DP-RAM, Path ORAM, plaintext RAM).
-* **KVS schemes** — expose ``get(key)`` / ``put(key, value)`` and
-  optionally ``delete(key)`` (DP-KVS, ORAM-KVS, plaintext KVS).
+* :class:`~repro.api.protocols.PrivateIR` — ``query`` (DP-IR, strawman,
+  linear PIR, batch/multi-server/sharded DP-IR).
+* :class:`~repro.api.protocols.PrivateRAM` — ``read``/``write`` (DP-RAM,
+  Path ORAM, plaintext RAM).
+* :class:`~repro.api.protocols.PrivateKVS` — ``get``/``put``/``delete``
+  (DP-KVS, ORAM-KVS, plaintext KVS).
 
-Every run keeps a client-side reference model (a plain dict) and counts
-mismatches, so the experiments measure privacy/bandwidth of schemes that
-are *demonstrably correct* on the same trace.
+Operation counters, multi-server aggregation and client-storage figures
+all come from the shared :class:`~repro.api.protocols.Scheme` surface —
+no attribute probing.  Every run keeps a client-side reference model (a
+plain dict) and counts mismatches, so the experiments measure
+privacy/bandwidth of schemes that are *demonstrably correct* on the same
+trace.
 """
 
 from __future__ import annotations
 
 import time
 
+from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
 from repro.simulation.metrics import RunMetrics
 from repro.workloads.kv_traces import KVOpKind, KVTrace
 from repro.workloads.trace import OpKind, Trace
 
 
 def _server_counters(scheme) -> tuple[int, int]:
-    """(reads, writes) across whatever servers the scheme exposes.
+    """(reads, writes) across every server the scheme exposes.
 
-    Recognized shapes: a single ``server``, a multi-replica ``pool``, or a
-    ``servers`` iterable (e.g. the per-level servers of the recursive
-    ORAM).
+    A scheme with no provisioned servers counts zero operations — it is
+    not an error (the old duck-typed probe silently *skipped* an empty
+    ``pool``, which this replaces).
     """
-    if hasattr(scheme, "server"):
-        return scheme.server.reads, scheme.server.writes
-    group = getattr(scheme, "pool", None) or getattr(scheme, "servers", None)
-    if group is not None:
-        servers = list(group)
-        reads = sum(server.reads for server in servers)
-        writes = sum(server.writes for server in servers)
-        return reads, writes
+    if not isinstance(scheme, Scheme):
+        raise TypeError(
+            f"{type(scheme).__name__} does not implement the "
+            "repro.api.Scheme protocol"
+        )
+    return scheme.server_counters()
+
+
+def run_trace(scheme: Scheme, trace, **kwargs) -> RunMetrics:
+    """Run ``trace`` against ``scheme``, dispatching on its protocol.
+
+    ``Trace`` workloads go to :func:`run_ir_trace` or
+    :func:`run_ram_trace` depending on the scheme; :class:`KVTrace`
+    workloads go to :func:`run_kv_trace`.  Keyword arguments pass
+    through to the protocol-specific runner.
+    """
+    if isinstance(trace, KVTrace):
+        if not isinstance(scheme, PrivateKVS):
+            raise TypeError(
+                f"{type(scheme).__name__} cannot run a KV trace"
+            )
+        return run_kv_trace(scheme, trace, **kwargs)
+    if isinstance(scheme, PrivateIR):
+        return run_ir_trace(scheme, trace, **kwargs)
+    if isinstance(scheme, PrivateRAM):
+        return run_ram_trace(scheme, trace, **kwargs)
     raise TypeError(
-        f"{type(scheme).__name__} exposes none of server/pool/servers"
+        f"{type(scheme).__name__} implements no runnable protocol"
     )
 
 
-def _client_peak(scheme) -> int | None:
-    for attribute in ("client_peak_blocks", "stash_peak"):
-        if hasattr(scheme, attribute):
-            return getattr(scheme, attribute)
-    return None
-
-
 def run_ir_trace(
-    scheme, trace: Trace, expected: list[bytes] | None = None
+    scheme: PrivateIR, trace: Trace, expected: list[bytes] | None = None
 ) -> RunMetrics:
     """Run a read-only trace against an IR scheme.
 
     Args:
-        scheme: an object with ``query(index) -> bytes | None``.
+        scheme: a :class:`~repro.api.protocols.PrivateIR`.
         trace: the workload (must be read-only).
         expected: plaintext database for correctness checking; mismatches
             are counted only for non-errored queries.
@@ -78,18 +92,17 @@ def run_ir_trace(
     reads_after, writes_after = _server_counters(scheme)
     metrics.blocks_downloaded = reads_after - reads_before
     metrics.blocks_uploaded = writes_after - writes_before
-    metrics.client_peak_blocks = _client_peak(scheme)
+    metrics.client_peak_blocks = scheme.client_peak_blocks
     return metrics
 
 
 def run_ram_trace(
-    scheme, trace: Trace, initial: list[bytes] | None = None
+    scheme: PrivateRAM, trace: Trace, initial: list[bytes] | None = None
 ) -> RunMetrics:
     """Run a read/write trace against a RAM scheme.
 
     Args:
-        scheme: an object with ``read(index)`` and (for write traces)
-            ``write(index, value)``.
+        scheme: a :class:`~repro.api.protocols.PrivateRAM`.
         trace: the workload.
         initial: initial database contents for the reference model; when
             omitted, reads are only checked against writes the trace
@@ -115,18 +128,23 @@ def run_ram_trace(
     reads_after, writes_after = _server_counters(scheme)
     metrics.blocks_downloaded = reads_after - reads_before
     metrics.blocks_uploaded = writes_after - writes_before
-    metrics.client_peak_blocks = _client_peak(scheme)
+    metrics.client_peak_blocks = scheme.client_peak_blocks
     return metrics
 
 
-def run_kv_trace(scheme, trace: KVTrace, check: bool = True) -> RunMetrics:
+def run_kv_trace(
+    scheme: PrivateKVS, trace: KVTrace, check: bool = True
+) -> RunMetrics:
     """Run a key-value trace against a KVS scheme.
 
     Args:
-        scheme: an object with ``get(key)`` and ``put(key, value)``.
+        scheme: a :class:`~repro.api.protocols.PrivateKVS`.
         trace: the workload.
         check: maintain a reference dict and count mismatches, including
             missing-key lookups that must return ``None``.
+
+    The protocol guarantees exact values — schemes strip their own
+    storage padding — so the reference comparison is plain equality.
     """
     reads_before, writes_before = _server_counters(scheme)
     metrics = RunMetrics(scheme=type(scheme).__name__, trace=trace.name)
@@ -136,15 +154,8 @@ def run_kv_trace(scheme, trace: KVTrace, check: bool = True) -> RunMetrics:
         if operation.kind is KVOpKind.GET:
             answer = scheme.get(operation.key)
             metrics.operations += 1
-            if check:
-                expected = reference.get(operation.key)
-                if expected is None:
-                    if answer is not None:
-                        metrics.mismatches += 1
-                elif answer is None or not answer.startswith(expected):
-                    # KVS schemes return fixed-size zero-padded values;
-                    # prefix comparison tolerates the padding.
-                    metrics.mismatches += 1
+            if check and answer != reference.get(operation.key):
+                metrics.mismatches += 1
         else:
             scheme.put(operation.key, operation.value)
             reference[operation.key] = operation.value
@@ -153,5 +164,5 @@ def run_kv_trace(scheme, trace: KVTrace, check: bool = True) -> RunMetrics:
     reads_after, writes_after = _server_counters(scheme)
     metrics.blocks_downloaded = reads_after - reads_before
     metrics.blocks_uploaded = writes_after - writes_before
-    metrics.client_peak_blocks = _client_peak(scheme)
+    metrics.client_peak_blocks = scheme.client_peak_blocks
     return metrics

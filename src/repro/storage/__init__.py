@@ -11,6 +11,9 @@ This package implements that model directly:
 
 * :class:`~repro.storage.server.StorageServer` — the passive block array
   with operation counters and an access log.
+* :class:`~repro.storage.backends.StorageBackend` — pluggable slot
+  persistence behind every server (in-memory by default, simulated
+  network links via :class:`~repro.storage.backends.NetworkBackend`).
 * :class:`~repro.storage.server.ServerPool` — multiple non-colluding
   servers for the Appendix C setting.
 * :class:`~repro.storage.transcript.Transcript` — the adversary view; the
@@ -19,6 +22,13 @@ This package implements that model directly:
   peak-usage accounting, used to check the paper's client-storage claims.
 """
 
+from repro.storage.backends import (
+    BackendFactory,
+    InMemoryBackend,
+    NetworkBackend,
+    NetworkBackendFactory,
+    StorageBackend,
+)
 from repro.storage.blocks import (
     DEFAULT_BLOCK_SIZE,
     decode_int,
@@ -41,14 +51,19 @@ from repro.storage.transcript import AccessEvent, AccessKind, Transcript
 __all__ = [
     "AccessEvent",
     "AccessKind",
+    "BackendFactory",
     "BlockSizeError",
     "CapacityError",
     "ClientStash",
     "DEFAULT_BLOCK_SIZE",
+    "InMemoryBackend",
     "MappingOverflowError",
+    "NetworkBackend",
+    "NetworkBackendFactory",
     "ReproError",
     "RetrievalError",
     "ServerPool",
+    "StorageBackend",
     "StorageError",
     "StorageServer",
     "Transcript",

@@ -1,0 +1,208 @@
+"""Pluggable slot-storage backends.
+
+:class:`~repro.storage.server.StorageServer` owns the balls-and-bins
+*semantics* — operation counters, transcript recording, size validation —
+but delegates the actual slot persistence to a :class:`StorageBackend`.
+Separating the two is what lets every scheme swap where its blocks live
+(in-memory array, latency-injecting simulated link, and later shards,
+caches or real object stores) without touching any privacy logic.
+
+Two backends ship today:
+
+* :class:`InMemoryBackend` — a plain Python list; the default, and the
+  behaviour of the original seed implementation.
+* :class:`NetworkBackend` — wraps any inner backend and charges every
+  slot access against a :class:`~repro.storage.network.NetworkModel`,
+  accumulating the simulated wall-clock cost so experiments can report
+  response times for LAN/WAN/mobile deployments.
+
+Backends are created per server; schemes accept a *backend factory*
+(``capacity -> StorageBackend``) so multi-server constructions can build
+one backend per replica/shard/level.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+from repro.storage.errors import StorageError
+from repro.storage.network import NetworkModel
+
+BackendFactory = Callable[[int], "StorageBackend"]
+"""Build a fresh backend for a server of the given slot capacity."""
+
+
+class StorageBackend(abc.ABC):
+    """Where a server's slots actually live.
+
+    The contract mirrors Definition 3.1's two operations plus the public
+    setup-time bulk load: single-slot reads and writes, with ``None``
+    marking a slot that was never written.  Index validation is the
+    server's job; backends may assume ``0 <= index < capacity``.
+    """
+
+    @property
+    @abc.abstractmethod
+    def capacity(self) -> int:
+        """Number of slots this backend holds."""
+
+    @abc.abstractmethod
+    def read_slot(self, index: int) -> bytes | None:
+        """Return the block at ``index``, or ``None`` if never written."""
+
+    @abc.abstractmethod
+    def write_slot(self, index: int, block: bytes) -> None:
+        """Store ``block`` into slot ``index``."""
+
+    @abc.abstractmethod
+    def load(self, blocks: Sequence[bytes]) -> None:
+        """Install the initial database (setup is public; not a query)."""
+
+    def peek_slot(self, index: int) -> bytes | None:
+        """Inspect a slot without charging any access cost.
+
+        Backends that account per-access costs (network time, quotas)
+        override this to bypass the accounting; the default simply reads.
+        """
+        return self.read_slot(index)
+
+
+class InMemoryBackend(StorageBackend):
+    """The default backend: a plain in-process list of blocks."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise StorageError(
+                f"capacity must be non-negative, got {capacity}"
+            )
+        self._slots: list[bytes | None] = [None] * capacity
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots."""
+        return len(self._slots)
+
+    def read_slot(self, index: int) -> bytes | None:
+        """Return the block at ``index``, or ``None`` if never written."""
+        return self._slots[index]
+
+    def write_slot(self, index: int, block: bytes) -> None:
+        """Store ``block`` into slot ``index``."""
+        self._slots[index] = bytes(block)
+
+    def load(self, blocks: Sequence[bytes]) -> None:
+        """Replace all slots with ``blocks``."""
+        if len(blocks) != len(self._slots):
+            raise StorageError(
+                f"expected {len(self._slots)} blocks, got {len(blocks)}"
+            )
+        self._slots = [bytes(block) for block in blocks]
+
+
+class NetworkBackend(StorageBackend):
+    """A backend behind a simulated client-server link.
+
+    Every slot access is one roundtrip plus the serialization time of the
+    moved block under ``model``; the accumulated cost is exposed as
+    :attr:`simulated_ms`.  Bulk :meth:`load` is free, matching the paper's
+    treatment of setup as public and outside the per-query accounting.
+
+    Args:
+        inner: the backend that actually stores the blocks, or an ``int``
+            capacity to wrap a fresh :class:`InMemoryBackend`.
+        model: the link parameters (RTT and bandwidth).
+    """
+
+    def __init__(self, inner: StorageBackend | int, model: NetworkModel) -> None:
+        if isinstance(inner, int):
+            inner = InMemoryBackend(inner)
+        self._inner = inner
+        self._model = model
+        self._simulated_ms = 0.0
+        self._roundtrips = 0
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots (delegated to the inner backend)."""
+        return self._inner.capacity
+
+    @property
+    def model(self) -> NetworkModel:
+        """The simulated link."""
+        return self._model
+
+    @property
+    def simulated_ms(self) -> float:
+        """Total simulated link time spent on slot accesses."""
+        return self._simulated_ms
+
+    @property
+    def roundtrips(self) -> int:
+        """Total slot accesses charged as roundtrips."""
+        return self._roundtrips
+
+    def read_slot(self, index: int) -> bytes | None:
+        """Download one slot, charging one roundtrip plus transfer time."""
+        block = self._inner.read_slot(index)
+        moved = len(block) if block is not None else 0
+        self._charge(moved)
+        return block
+
+    def write_slot(self, index: int, block: bytes) -> None:
+        """Upload one slot, charging one roundtrip plus transfer time."""
+        self._charge(len(block))
+        self._inner.write_slot(index, block)
+
+    def load(self, blocks: Sequence[bytes]) -> None:
+        """Install the initial database without charging link time."""
+        self._inner.load(blocks)
+
+    def peek_slot(self, index: int) -> bytes | None:
+        """Inspect a slot without charging link time (test helper path)."""
+        return self._inner.peek_slot(index)
+
+    def _charge(self, moved_bytes: int) -> None:
+        self._roundtrips += 1
+        self._simulated_ms += self._model.rtt_ms + self._model.transfer_ms(
+            moved_bytes
+        )
+
+
+class NetworkBackendFactory:
+    """A :data:`BackendFactory` that remembers every backend it creates.
+
+    Multi-server schemes build one backend per server; this factory sums
+    their simulated costs so a run can report a single response-time
+    figure.
+    """
+
+    def __init__(self, model: NetworkModel) -> None:
+        self._model = model
+        self._backends: list[NetworkBackend] = []
+
+    def __call__(self, capacity: int) -> NetworkBackend:
+        """Create (and track) a backend for a ``capacity``-slot server."""
+        backend = NetworkBackend(capacity, self._model)
+        self._backends.append(backend)
+        return backend
+
+    @property
+    def model(self) -> NetworkModel:
+        """The simulated link shared by every created backend."""
+        return self._model
+
+    @property
+    def backends(self) -> tuple[NetworkBackend, ...]:
+        """Every backend created so far."""
+        return tuple(self._backends)
+
+    @property
+    def simulated_ms(self) -> float:
+        """Total simulated link time across all created backends."""
+        return sum(backend.simulated_ms for backend in self._backends)
+
+    @property
+    def roundtrips(self) -> int:
+        """Total roundtrips across all created backends."""
+        return sum(backend.roundtrips for backend in self._backends)

@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.storage.backends import (
+    BackendFactory,
+    InMemoryBackend,
+    StorageBackend,
+)
 from repro.storage.blocks import check_block
 from repro.storage.errors import StorageError
 from repro.storage.transcript import AccessEvent, AccessKind, Transcript
@@ -28,6 +33,8 @@ class StorageServer:
             disables size validation (used when slots hold ciphertexts whose
             size is payload + nonce).
         server_id: identifier recorded into transcript events.
+        backend: where the slots live; defaults to a fresh
+            :class:`~repro.storage.backends.InMemoryBackend`.
     """
 
     def __init__(
@@ -35,13 +42,21 @@ class StorageServer:
         capacity: int,
         block_size: int | None = None,
         server_id: int = 0,
+        backend: StorageBackend | None = None,
     ) -> None:
         if capacity < 0:
             raise StorageError(f"capacity must be non-negative, got {capacity}")
+        if backend is None:
+            backend = InMemoryBackend(capacity)
+        elif backend.capacity != capacity:
+            raise StorageError(
+                f"backend holds {backend.capacity} slots, "
+                f"server needs {capacity}"
+            )
         self._capacity = capacity
         self._block_size = block_size
         self._server_id = server_id
-        self._slots: list[bytes | None] = [None] * capacity
+        self._backend = backend
         self._reads = 0
         self._writes = 0
         self._transcript: Transcript | None = None
@@ -58,6 +73,11 @@ class StorageServer:
     def server_id(self) -> int:
         """Identifier used in transcript events."""
         return self._server_id
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The slot-storage backend behind this server."""
+        return self._backend
 
     @property
     def reads(self) -> int:
@@ -101,7 +121,7 @@ class StorageServer:
             StorageError: if the slot is out of range or was never written.
         """
         self._check_index(index)
-        block = self._slots[index]
+        block = self._backend.read_slot(index)
         if block is None:
             raise StorageError(f"slot {index} was never written")
         self._reads += 1
@@ -119,7 +139,7 @@ class StorageServer:
         if self._block_size is not None:
             check_block(block, self._block_size)
         self._writes += 1
-        self._slots[index] = bytes(block)
+        self._backend.write_slot(index, block)
         self._record(AccessKind.UPLOAD, index)
 
     # -- setup-time bulk load (not part of the adversary view) ------------
@@ -138,12 +158,12 @@ class StorageServer:
         if self._block_size is not None:
             for block in blocks:
                 check_block(block, self._block_size)
-        self._slots = [bytes(b) for b in blocks]
+        self._backend.load(blocks)
 
     def peek(self, index: int) -> bytes | None:
         """Inspect a slot without counting an operation (test helper)."""
         self._check_index(index)
-        return self._slots[index]
+        return self._backend.peek_slot(index)
 
     # -- internals ---------------------------------------------------------
 
@@ -178,13 +198,19 @@ class ServerPool:
         server_count: int,
         capacity: int,
         block_size: int | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         if server_count <= 0:
             raise StorageError(
                 f"server count must be positive, got {server_count}"
             )
         self._servers = [
-            StorageServer(capacity, block_size=block_size, server_id=i)
+            StorageServer(
+                capacity,
+                block_size=block_size,
+                server_id=i,
+                backend=backend_factory(capacity) if backend_factory else None,
+            )
             for i in range(server_count)
         ]
 

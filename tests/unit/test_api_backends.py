@@ -1,0 +1,114 @@
+"""Tests for repro.storage.backends and its threading through servers."""
+
+import pytest
+
+from repro.storage.backends import (
+    InMemoryBackend,
+    NetworkBackend,
+    NetworkBackendFactory,
+)
+from repro.storage.errors import StorageError
+from repro.storage.network import LAN, WAN
+from repro.storage.server import ServerPool, StorageServer
+
+
+class TestInMemoryBackend:
+    def test_round_trip(self):
+        backend = InMemoryBackend(4)
+        assert backend.capacity == 4
+        assert backend.read_slot(2) is None
+        backend.write_slot(2, b"abc")
+        assert backend.read_slot(2) == b"abc"
+
+    def test_load_replaces_everything(self):
+        backend = InMemoryBackend(3)
+        backend.load([b"a", b"b", b"c"])
+        assert [backend.read_slot(i) for i in range(3)] == [b"a", b"b", b"c"]
+
+    def test_load_size_checked(self):
+        with pytest.raises(StorageError):
+            InMemoryBackend(3).load([b"a"])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            InMemoryBackend(-1)
+
+
+class TestNetworkBackend:
+    def test_charges_rtt_and_transfer(self):
+        backend = NetworkBackend(4, WAN)
+        backend.write_slot(0, b"x" * 1000)
+        expected = WAN.rtt_ms + WAN.transfer_ms(1000)
+        assert backend.simulated_ms == pytest.approx(expected)
+        backend.read_slot(0)
+        assert backend.roundtrips == 2
+        assert backend.simulated_ms == pytest.approx(2 * expected)
+
+    def test_load_is_free(self):
+        backend = NetworkBackend(2, WAN)
+        backend.load([b"a", b"b"])
+        assert backend.simulated_ms == 0.0
+        assert backend.read_slot(0) == b"a"
+
+    def test_peek_is_free(self):
+        backend = NetworkBackend(2, WAN)
+        backend.load([b"a", b"b"])
+        assert backend.peek_slot(1) == b"b"
+        assert backend.simulated_ms == 0.0
+        assert backend.roundtrips == 0
+
+    def test_server_peek_charges_nothing(self):
+        server = StorageServer(2, backend=NetworkBackend(2, WAN))
+        server.load([b"a", b"b"])
+        assert server.peek(0) == b"a"
+        assert server.backend.simulated_ms == 0.0
+
+    def test_wraps_existing_backend(self):
+        inner = InMemoryBackend(2)
+        inner.write_slot(1, b"z")
+        backend = NetworkBackend(inner, LAN)
+        assert backend.capacity == 2
+        assert backend.read_slot(1) == b"z"
+        assert backend.model is LAN
+
+
+class TestNetworkBackendFactory:
+    def test_aggregates_across_backends(self):
+        factory = NetworkBackendFactory(WAN)
+        first, second = factory(2), factory(3)
+        first.write_slot(0, b"a")
+        second.write_slot(0, b"b")
+        assert factory.backends == (first, second)
+        assert factory.roundtrips == 2
+        assert factory.simulated_ms == pytest.approx(
+            first.simulated_ms + second.simulated_ms
+        )
+
+
+class TestServerBackendThreading:
+    def test_server_defaults_to_memory(self):
+        server = StorageServer(4)
+        assert isinstance(server.backend, InMemoryBackend)
+
+    def test_server_uses_injected_backend(self):
+        backend = NetworkBackend(4, WAN)
+        server = StorageServer(4, backend=backend)
+        server.load([b"a"] * 4)
+        server.read(0)
+        server.write(1, b"bb")
+        assert server.backend is backend
+        assert backend.roundtrips == 2
+        assert server.reads == 1 and server.writes == 1
+
+    def test_capacity_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            StorageServer(4, backend=InMemoryBackend(3))
+
+    def test_pool_builds_one_backend_per_server(self):
+        factory = NetworkBackendFactory(LAN)
+        pool = ServerPool(3, 8, backend_factory=factory)
+        assert len(factory.backends) == 3
+        pool.load_replicas([b"x"] * 8)
+        pool[0].read(0)
+        pool[2].read(1)
+        assert factory.roundtrips == 2

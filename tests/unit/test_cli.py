@@ -29,6 +29,67 @@ class TestDemoCommand:
         assert "DP-KVS" in output
 
 
+class TestRunCommand:
+    def test_ram_smoke(self, capsys):
+        assert main(["run", "--scheme", "dp_ram", "--workload", "uniform",
+                     "--ops", "50", "--n", "64", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "dp_ram" in output
+        assert "blocks / operation" in output
+        assert "mismatches" in output
+
+    def test_ir_with_network_backend(self, capsys):
+        assert main(["run", "--scheme", "dp_ir", "--workload", "zipf",
+                     "--ops", "20", "--n", "64", "--seed", "7",
+                     "--backend", "network", "--network", "lan"]) == 0
+        output = capsys.readouterr().out
+        assert "simulated network ms" in output
+
+    def test_kvs_workload(self, capsys):
+        assert main(["run", "--scheme", "dp_kvs", "--workload", "ycsb-c",
+                     "--ops", "40", "--n", "64", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "ycsb-C" in output
+
+    def test_kvs_accepts_index_workload_alias(self, capsys):
+        assert main(["run", "--scheme", "plaintext_kvs",
+                     "--workload", "uniform", "--ops", "30", "--n", "64",
+                     "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "insert-lookup" in output
+
+    def test_ir_rejects_write_workload(self, capsys):
+        assert main(["run", "--scheme", "dp_ir", "--workload", "readwrite",
+                     "--ops", "10", "--seed", "7"]) == 1
+
+    def test_non_kvs_rejects_kv_workload(self, capsys):
+        assert main(["run", "--scheme", "dp_ram", "--workload", "ycsb-a",
+                     "--ops", "10", "--seed", "7"]) == 1
+
+    def test_list_schemes(self, capsys):
+        assert main(["run", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "dp_ram" in output
+        assert "kvs" in output
+
+    def test_unknown_scheme_reports_catalogue(self, capsys):
+        assert main(["run", "--scheme", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "registered schemes" in err
+        assert "dp_ram" in err
+
+    def test_unknown_workload_reported_cleanly(self, capsys):
+        assert main(["run", "--scheme", "dp_ir", "--workload", "nonsense",
+                     "--ops", "5", "--seed", "1"]) == 2
+        assert "unknown index workload" in capsys.readouterr().err
+
+    def test_read_only_scheme_rejects_readwrite(self, capsys):
+        assert main(["run", "--scheme", "read_only_dp_ram",
+                     "--workload", "readwrite", "--ops", "5",
+                     "--seed", "1"]) == 1
+        assert "read-only" in capsys.readouterr().err
+
+
 class TestExperimentsCommand:
     def test_only_filter(self, capsys):
         assert main(["experiments", "--only", "E1"]) == 0

@@ -95,9 +95,15 @@ class TestKeyValueNormalization:
         with pytest.raises(BlockSizeError):
             store.put(b"k", b"v" * 9)
 
-    def test_value_returned_padded(self, store):
+    def test_value_returned_exact(self, store):
+        # The PrivateKVS contract: get returns precisely the bytes put,
+        # with the fixed-size storage padding stripped by the scheme.
         store.put(b"k", b"v")
-        assert store.get(b"k") == b"v" + b"\x00" * 7
+        assert store.get(b"k") == b"v"
+
+    def test_value_with_trailing_zeros_preserved(self, store):
+        store.put(b"k", b"v\x00\x00")
+        assert store.get(b"k") == b"v\x00\x00"
 
 
 class TestBandwidthShape:
@@ -149,9 +155,10 @@ class TestServerStorage:
             assert store.server_node_count <= 3 * n
 
     def test_node_block_size(self, rng):
+        # Each entry stores key (4) + length prefix (2) + padded value (4).
         store = DPKVS(64, key_size=4, value_size=4, node_capacity=3,
                       rng=rng.spawn("sz"))
-        assert store.node_block_size == 2 + 3 * 8
+        assert store.node_block_size == 2 + 3 * (4 + 2 + 4)
 
 
 class TestSuperRoot:

@@ -124,3 +124,38 @@ class TestSchemeShapes:
 
         with pytest.raises(TypeError):
             run_ir_trace(NoServer(), reads_from_indices([0], 1))
+
+    def test_empty_server_group_counts_zero(self):
+        """Regression: the old duck-typed probe evaluated
+
+            getattr(scheme, "pool", None) or getattr(scheme, "servers", None)
+
+        so a scheme whose server group was *empty* (falsy) was silently
+        skipped and misreported as shapeless.  The protocol's ``servers()``
+        makes an empty group a legitimate zero-operation answer.
+        """
+        from repro.api.protocols import PrivateIR
+
+        class UnprovisionedIR(PrivateIR):
+            """An IR scheme whose servers are not yet provisioned."""
+
+            @property
+            def n(self):
+                return 4
+
+            @property
+            def block_size(self):
+                return 8
+
+            def servers(self):
+                return ()
+
+            def query(self, index):
+                return b"\x00" * 8  # answered from a warm client cache
+
+        scheme = UnprovisionedIR()
+        assert scheme.server_counters() == (0, 0)
+        metrics = run_ir_trace(scheme, reads_from_indices([0, 1], 4))
+        assert metrics.operations == 2
+        assert metrics.blocks_downloaded == 0
+        assert metrics.blocks_uploaded == 0

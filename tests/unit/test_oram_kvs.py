@@ -80,4 +80,5 @@ class TestORAMKVS:
     def test_bucket_block_size(self, rng):
         store = ORAMKeyValueStore(16, key_size=4, value_size=4,
                                   bucket_capacity=3, rng=rng.spawn("sz"))
-        assert store.bucket_block_size == 2 + 3 * 8
+        # Each entry stores key (4) + length prefix (2) + padded value (4).
+        assert store.bucket_block_size == 2 + 3 * (4 + 2 + 4)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.linear_pir import LinearScanPIR
 from repro.baselines.plaintext import PlaintextKVS, PlaintextRAM
-from repro.storage.errors import RetrievalError
+from repro.storage.errors import BlockSizeError, RetrievalError
 
 
 class TestPlaintextRAM:
@@ -72,7 +72,7 @@ class TestPlaintextKVS:
 
     def test_oversize_value_rejected(self):
         store = PlaintextKVS(4, value_size=4)
-        with pytest.raises(ValueError):
+        with pytest.raises(BlockSizeError):
             store.put(b"k", b"12345")
 
     def test_size_tracking(self):
