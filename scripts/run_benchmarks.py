@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Smoke-run the serving benchmark suite and record a JSON artifact.
+
+Runs the batched-versus-FIFO dispatch comparison from
+``repro.serving.bench`` at a deliberately tiny size (seconds, not
+minutes) and writes machine-readable ``BENCH_serving.json`` to the
+repository root, so CI — and anyone bisecting a perf regression — has a
+stable artifact to diff::
+
+    python scripts/run_benchmarks.py             # defaults
+    python scripts/run_benchmarks.py --n 512 --clients 8 --out my.json
+
+Exits non-zero if batching stops beating per-request dispatch on
+``batch_dp_ir``, the serving path's headline property.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serving.bench import compare_dispatch  # noqa: E402
+from repro.simulation.reporting import format_table  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n", type=int, default=128,
+                        help="database size (default 128 — smoke scale)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent sessions (default 4)")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client (default 8)")
+    parser.add_argument("--seed", type=int, default=0x5EED,
+                        help="deterministic seed")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=ROOT / "BENCH_serving.json",
+                        help="output path (default BENCH_serving.json)")
+    args = parser.parse_args(argv)
+
+    results = compare_dispatch(
+        n=args.n,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+    )
+    payload = {
+        "benchmark": "serving.dispatch_comparison",
+        "config": {
+            "n": args.n,
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "seed": args.seed,
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [r["scheme"], r["scheduler"], f"{r['ops_per_request']:.2f}",
+         f"{r['p95_ms']:.2f}", f"{r['throughput_rps']:.1f}"]
+        for r in results
+    ]
+    print(format_table(
+        ["scheme", "scheduler", "ops/request", "p95 ms", "req/s"],
+        rows, title=f"Serving dispatch smoke (wrote {args.out.name})",
+    ))
+
+    by = {(r["scheme"], r["scheduler"]): r for r in results}
+    fifo = by[("batch_dp_ir", "fifo")]["ops_per_request"]
+    batch = by[("batch_dp_ir", "batch")]["ops_per_request"]
+    if batch >= fifo:
+        print(
+            f"regression: batched dispatch ({batch:.2f} ops/request) no "
+            f"longer beats FIFO ({fifo:.2f}) on batch_dp_ir",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

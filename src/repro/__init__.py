@@ -55,6 +55,7 @@ from repro.core import (
     StrawmanIR,
 )
 from repro.crypto import PRF, SeededRandomSource, SystemRandomSource
+from repro.serving import ServingReport, serve
 from repro.storage import (
     InMemoryBackend,
     NetworkBackend,
@@ -99,6 +100,7 @@ __all__ = [
     "Scheme",
     "SeededRandomSource",
     "ServerPool",
+    "ServingReport",
     "ShardedDPIR",
     "StorageBackend",
     "StorageServer",
@@ -110,4 +112,5 @@ __all__ = [
     "build",
     "datasheet_for",
     "register_scheme",
+    "serve",
 ]

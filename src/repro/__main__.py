@@ -4,6 +4,8 @@ Commands:
 
 * ``run`` — build any registered scheme, drive any named workload
   against it, and print the measured metrics.
+* ``serve`` — run N concurrent client sessions against a scheme through
+  the request scheduler and print throughput + latency percentiles.
 * ``experiments`` — run the E1..E14 claim tables (all or a subset).
 * ``bounds`` — evaluate the paper's lower bounds for given parameters,
   answering the title question for your workload.
@@ -15,45 +17,6 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-
-_INDEX_WORKLOADS = ("uniform", "sequential", "zipf", "hotspot", "readwrite")
-_KV_WORKLOADS = ("ycsb-a", "ycsb-b", "ycsb-c", "insert-lookup")
-
-
-def _index_trace(name: str, universe: int, ops: int, rng,
-                 write_fraction: float):
-    from repro.workloads import generators
-
-    if name == "uniform":
-        return generators.uniform_trace(universe, ops, rng)
-    if name == "sequential":
-        return generators.sequential_trace(universe, ops)
-    if name == "zipf":
-        return generators.zipf_trace(universe, ops, rng)
-    if name == "hotspot":
-        return generators.hotspot_trace(universe, ops, rng)
-    if name == "readwrite":
-        return generators.read_write_trace(
-            universe, ops, rng, write_fraction=write_fraction
-        )
-    raise ValueError(f"unknown index workload {name!r}")
-
-
-def _kv_trace(name: str, capacity: int, ops: int, rng, value_size: int):
-    from repro.workloads import kv_traces
-
-    keys = max(1, min(capacity, ops) // 2)
-    if name.startswith("ycsb-"):
-        return kv_traces.ycsb_trace(
-            keys, max(0, ops - keys), rng,
-            profile=name[-1].upper(), value_size=value_size,
-        )
-    if name == "insert-lookup":
-        return kv_traces.insert_then_lookup_trace(
-            keys, max(0, ops - keys), rng, value_size=value_size
-        )
-    raise ValueError(f"unknown KV workload {name!r}")
-
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.storage.errors import ReproError
@@ -70,8 +33,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_run_checked(args: argparse.Namespace) -> int:
     from repro.api import available_schemes, build, scheme_spec
     from repro.crypto.rng import SeededRandomSource, SystemRandomSource
-    from repro.simulation.harness import run_trace
-    from repro.simulation.reporting import format_table
+    from repro.simulation.harness import run_trace, simulated_network_ms
+    from repro.simulation.reporting import format_table, latency_rows
+    from repro.workloads import catalogue
 
     if args.list:
         rows = [
@@ -97,25 +61,26 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
     if spec.kind == "kvs":
         build_kwargs["value_size"] = args.value_size
         workload = args.workload
-        if workload in _INDEX_WORKLOADS:
+        if workload in catalogue.INDEX_WORKLOADS:
             # Index workloads have a natural KV analogue: a mixed
             # insert/lookup stream over the same operation budget.
             workload = "insert-lookup"
-        trace = _kv_trace(
-            workload, args.n, args.ops, rng.spawn("trace"), args.value_size
+        trace = catalogue.kv_trace(
+            workload, args.n, args.ops, rng.spawn("trace"),
+            value_size=args.value_size,
         )
     else:
         workload = args.workload
-        if workload in _KV_WORKLOADS:
+        if workload in catalogue.KV_WORKLOADS:
             print(f"workload {workload!r} needs a KVS scheme", file=sys.stderr)
             return 1
         if spec.kind == "ir" and workload == "readwrite":
             print("IR schemes are read-only; pick another workload",
                   file=sys.stderr)
             return 1
-        trace = _index_trace(
+        trace = catalogue.index_trace(
             workload, args.n, args.ops, rng.spawn("trace"),
-            args.write_fraction,
+            write_fraction=args.write_fraction,
         )
     scheme = build(args.scheme, **build_kwargs)
     if workload == "readwrite" and not getattr(scheme, "writable", True):
@@ -150,9 +115,12 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
          else metrics.client_peak_blocks],
         ["elapsed seconds", f"{metrics.elapsed_seconds:.3f}"],
     ]
-    simulated = _simulated_network_ms(scheme)
+    simulated = simulated_network_ms(scheme)
     if simulated is not None:
         rows.append(["simulated network ms", f"{simulated:.1f}"])
+    summary = metrics.latency_summary
+    if summary is not None:
+        rows.extend(latency_rows(summary))
     print(format_table(["metric", "value"], rows,
                        title=f"Run: {args.scheme} over {args.workload}"))
     if metrics.mismatches:
@@ -161,17 +129,42 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
     return 0
 
 
-def _simulated_network_ms(scheme) -> float | None:
-    from repro.storage.backends import NetworkBackend
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.storage.errors import ReproError
 
-    total = 0.0
-    found = False
-    for server in scheme.servers():
-        backend = server.backend
-        if isinstance(backend, NetworkBackend):
-            total += backend.simulated_ms
-            found = True
-    return total if found else None
+    try:
+        return _cmd_serve_checked(args)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_serve_checked(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import serve
+
+    report = serve(
+        args.scheme,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        scheduler=args.scheduler,
+        batch_window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        load=args.load,
+        rate_rps=args.rate,
+        think_ms=args.think_ms,
+        workload=args.workload,
+        n=args.n,
+        seed=args.seed,
+        network=args.network,
+        value_size=args.value_size,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.to_text())
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -289,6 +282,50 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--list", action="store_true",
                             help="list registered schemes and exit")
     run_parser.set_defaults(handler=_cmd_run)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="serve N concurrent client sessions through a scheduler",
+    )
+    serve_parser.add_argument(
+        "--scheme", default="dp_ir",
+        help="registry name; hyphenated aliases like batch-dpir accepted",
+    )
+    serve_parser.add_argument("--clients", type=int, default=8,
+                              help="concurrent tenant sessions (default 8)")
+    serve_parser.add_argument("--requests", type=int, default=32,
+                              help="requests per client (default 32)")
+    serve_parser.add_argument("--scheduler", default="batch",
+                              choices=("fifo", "batch"),
+                              help="dispatch policy (default batch)")
+    serve_parser.add_argument("--window-ms", type=float, default=2.0,
+                              help="batching window in ms (default 2)")
+    serve_parser.add_argument("--max-batch", type=int, default=16,
+                              help="dispatch group size cap (default 16)")
+    serve_parser.add_argument("--load", default="open",
+                              choices=("open", "closed"),
+                              help="open-loop Poisson or closed-loop think")
+    serve_parser.add_argument("--rate", type=float, default=100.0,
+                              help="open-loop arrivals/s per client")
+    serve_parser.add_argument("--think-ms", type=float, default=5.0,
+                              help="closed-loop mean think time in ms")
+    serve_parser.add_argument(
+        "--workload", default="uniform",
+        help="per-tenant trace: uniform, sequential, zipf, hotspot, "
+             "readwrite (RAM), ycsb-a/b/c (KVS)",
+    )
+    serve_parser.add_argument("--n", type=int, default=1024,
+                              help="database size / key capacity")
+    serve_parser.add_argument("--seed", type=int, default=None,
+                              help="deterministic randomness seed")
+    serve_parser.add_argument("--network", default="lan",
+                              choices=("lan", "wan", "mobile"),
+                              help="link model pricing simulated time")
+    serve_parser.add_argument("--value-size", type=int, default=32,
+                              help="KVS value size in bytes (default 32)")
+    serve_parser.add_argument("--json", action="store_true",
+                              help="emit the report as JSON")
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     experiments_parser = commands.add_parser(
         "experiments", help="run the claim-table experiments"

@@ -29,6 +29,12 @@ Typical use::
 New schemes register a builder with
 :func:`~repro.api.registry.register_scheme` and implement the matching
 protocol; nothing else in the library needs to learn about them.
+
+The serving layer rides the same seam: :func:`repro.serving.serve` (also
+reachable as ``repro.api.serve``) builds any registered scheme by name
+and drives it with concurrent clients; because it dispatches through the
+protocol ``*_many`` entry points, every scheme — including ones
+registered by downstream code — is servable without extra wiring.
 """
 
 from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
@@ -62,4 +68,15 @@ __all__ = [
     "build",
     "register_scheme",
     "scheme_spec",
+    "serve",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.serving consumes this package (registry, protocols,
+    # backends), so importing it eagerly here would be a cycle.
+    if name == "serve":
+        from repro.serving import serve
+
+        return serve
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -50,6 +50,27 @@ class SchemeSpec:
 
 _REGISTRY: dict[str, SchemeSpec] = {}
 
+# Hyphenated and contracted spellings people naturally type map onto the
+# registry's snake_case catalogue ("batch-dpir" -> "batch_dp_ir").  Every
+# name-accepting entry point (build(), the run/serve CLIs, serve()) goes
+# through scheme_spec(), so the aliases work uniformly.
+_ALIASES = {
+    "dpir": "dp_ir",
+    "batch_dpir": "batch_dp_ir",
+    "multi_server_dpir": "multi_server_dp_ir",
+    "sharded_dpir": "sharded_dp_ir",
+    "dpram": "dp_ram",
+    "read_only_dpram": "read_only_dp_ram",
+    "bucket_dpram": "bucket_dp_ram",
+    "dpkvs": "dp_kvs",
+}
+
+
+def resolve_scheme_name(name: str) -> str:
+    """Normalize a user-facing scheme spelling to its registry key."""
+    key = name.strip().lower().replace("-", "_")
+    return _ALIASES.get(key, key)
+
 
 def register_scheme(
     name: str, *, kind: str, summary: str = ""
@@ -105,12 +126,15 @@ def available_schemes(kind: str | None = None) -> tuple[str, ...]:
 def scheme_spec(name: str) -> SchemeSpec:
     """The :class:`SchemeSpec` registered under ``name``.
 
+    Accepts the hyphenated/contracted aliases of
+    :func:`resolve_scheme_name` (``"batch-dpir"`` finds ``batch_dp_ir``).
+
     Raises:
         ValueError: for unknown names (listing what is available).
     """
     _ensure_builders_loaded()
     try:
-        return _REGISTRY[name]
+        return _REGISTRY[resolve_scheme_name(name)]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise ValueError(

@@ -1,0 +1,71 @@
+"""Batched-versus-per-request dispatch comparison, as reusable data.
+
+``benchmarks/bench_serving.py`` asserts on (and renders) these rows, and
+``scripts/run_benchmarks.py`` writes them to ``BENCH_serving.json`` —
+both call :func:`compare_dispatch` so the numbers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.serving.service import serve
+
+DEFAULT_SCHEMES = ("dp_ir", "batch_dp_ir", "multi_server_dp_ir")
+
+
+def compare_dispatch(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    *,
+    n: int = 256,
+    clients: int = 8,
+    requests_per_client: int = 12,
+    batch_window_ms: float = 4.0,
+    max_batch: int = 16,
+    rate_rps: float = 150.0,
+    seed: int = 0x5EED,
+    network: str = "lan",
+    workload: str = "uniform",
+) -> list[dict]:
+    """Serve the same saturating open-loop workload via FIFO and batching.
+
+    The per-client rate deliberately exceeds the per-request service
+    rate, so requests queue and the batching scheduler has material to
+    coalesce — the regime where ``query_many`` overrides pay off.
+
+    Returns:
+        One dict per ``(scheme, scheduler)`` cell with the figures the
+        bench assertions and JSON artifact need.
+    """
+    results = []
+    for name in schemes:
+        for scheduler in ("fifo", "batch"):
+            report = serve(
+                name,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                scheduler=scheduler,
+                batch_window_ms=batch_window_ms,
+                max_batch=max_batch,
+                load="open",
+                rate_rps=rate_rps,
+                workload=workload,
+                n=n,
+                seed=seed,
+                network=network,
+            )
+            results.append({
+                "scheme": name,
+                "scheduler": scheduler,
+                "requests": report.requests,
+                "completed": report.completed,
+                "errors": report.errors,
+                "ops_per_request": report.ops_per_request,
+                "mean_batch_size": report.mean_batch_size,
+                "throughput_rps": report.throughput_rps,
+                "p50_ms": report.latency.p50_ms,
+                "p95_ms": report.latency.p95_ms,
+                "p99_ms": report.latency.p99_ms,
+                "fairness_index": report.fairness_index,
+            })
+    return results

@@ -1,0 +1,130 @@
+"""Load generators: when each session's requests arrive.
+
+Two classic regimes from the queueing literature:
+
+* **Open loop** (:class:`OpenLoopLoad`) — arrivals follow a Poisson
+  process at a fixed rate, independent of how fast the server responds.
+  This is the regime that exposes queueing collapse: if the offered rate
+  exceeds the service rate, the queue (and tail latency) grows without
+  the load backing off.
+* **Closed loop** (:class:`ClosedLoopLoad`) — each session keeps one
+  request outstanding and "thinks" for a while after every response, so
+  offered load self-throttles to the server's speed.
+
+A generator turns ``(operation count, rng)`` into an :class:`ArrivalPlan`
+— a per-session schedule the simulator queries.  Plans pre-draw all of
+their randomness at construction, so a run is fully determined by the
+seeds handed to :meth:`LoadGenerator.plan`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.crypto.rng import RandomSource
+from repro.workloads.generators import (
+    poisson_arrival_times,
+    poisson_interarrivals,
+)
+
+
+class ArrivalPlan(abc.ABC):
+    """One session's arrival schedule, indexed by request ordinal."""
+
+    @abc.abstractmethod
+    def initial_arrivals(self) -> list[tuple[int, float]]:
+        """``(request_index, arrival_ms)`` pairs known before the run starts.
+
+        Open-loop plans emit every arrival here; closed-loop plans emit
+        only the first and derive the rest from completions.
+        """
+
+    @abc.abstractmethod
+    def after_completion(
+        self, completed_index: int, completion_ms: float
+    ) -> tuple[int, float] | None:
+        """The next arrival triggered by completing ``completed_index``.
+
+        ``None`` when the session has no response-driven follow-up (all
+        open-loop completions, or the last closed-loop request).
+        """
+
+
+class LoadGenerator(abc.ABC):
+    """Factory for per-session arrival plans."""
+
+    name: str = "load"
+
+    @abc.abstractmethod
+    def plan(self, count: int, rng: RandomSource) -> ArrivalPlan:
+        """An arrival plan for a session issuing ``count`` requests."""
+
+
+class _OpenPlan(ArrivalPlan):
+    def __init__(self, arrivals: list[float]) -> None:
+        self._arrivals = arrivals
+
+    def initial_arrivals(self) -> list[tuple[int, float]]:
+        return list(enumerate(self._arrivals))
+
+    def after_completion(
+        self, completed_index: int, completion_ms: float
+    ) -> tuple[int, float] | None:
+        del completed_index, completion_ms
+        return None
+
+
+class _ClosedPlan(ArrivalPlan):
+    def __init__(self, think_gaps: list[float]) -> None:
+        self._gaps = think_gaps
+
+    def initial_arrivals(self) -> list[tuple[int, float]]:
+        if not self._gaps:
+            return []
+        return [(0, self._gaps[0])]
+
+    def after_completion(
+        self, completed_index: int, completion_ms: float
+    ) -> tuple[int, float] | None:
+        following = completed_index + 1
+        if following >= len(self._gaps):
+            return None
+        return following, completion_ms + self._gaps[following]
+
+
+class OpenLoopLoad(LoadGenerator):
+    """Poisson arrivals at ``rate_rps`` requests/second per session.
+
+    Arrival times are drawn up front and never react to responses —
+    the defining property of an open loop.
+    """
+
+    name = "open"
+
+    def __init__(self, rate_rps: float) -> None:
+        if rate_rps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_rps}")
+        self.rate_rps = rate_rps
+
+    def plan(self, count: int, rng: RandomSource) -> ArrivalPlan:
+        mean_ms = 1000.0 / self.rate_rps
+        return _OpenPlan(poisson_arrival_times(count, mean_ms, rng))
+
+
+class ClosedLoopLoad(LoadGenerator):
+    """One request in flight per session, exponential think times.
+
+    The session issues its next request ``think`` milliseconds (mean
+    ``think_ms``, memoryless) after receiving the previous response; the
+    first request arrives after one think time from ``t = 0``.
+    """
+
+    name = "closed"
+
+    def __init__(self, think_ms: float) -> None:
+        if think_ms <= 0:
+            raise ValueError(f"think time must be positive, got {think_ms}")
+        self.think_ms = think_ms
+
+    def plan(self, count: int, rng: RandomSource) -> ArrivalPlan:
+        return _ClosedPlan(poisson_interarrivals(count, self.think_ms, rng))

@@ -1,0 +1,184 @@
+"""What a serving run measured: throughput, queues, tails, fairness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.metrics import LatencySummary
+from repro.simulation.reporting import format_table, latency_rows
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant isolation counters.
+
+    Attributes:
+        tenant: session label.
+        requests: requests the tenant issued.
+        completed: requests answered.
+        errors: requests that hit the scheme's error event.
+        mean_latency_ms: average arrival-to-completion time.
+        max_latency_ms: the tenant's worst request.
+        server_ops: server operations attributed to the tenant (a
+            shared dispatch's cost splits evenly across its requests,
+            so this may be fractional).
+    """
+
+    tenant: str
+    requests: int = 0
+    completed: int = 0
+    errors: int = 0
+    mean_latency_ms: float = 0.0
+    max_latency_ms: float = 0.0
+    server_ops: float = 0.0
+
+
+@dataclass
+class ServingReport:
+    """The outcome of one :class:`~repro.serving.simulator.ServingSimulator` run.
+
+    All times are simulated milliseconds under the run's network model,
+    so reports are deterministic and hardware-independent.
+    """
+
+    scheme: str
+    scheduler: str
+    network: str
+    clients: int
+    requests: int
+    completed: int
+    errors: int
+    duration_ms: float
+    latency: LatencySummary
+    queue_latency: LatencySummary
+    mean_queue_depth: float
+    max_queue_depth: int
+    dispatches: int
+    server_operations: int
+    tenants: list[TenantReport] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.completed / (self.duration_ms / 1000.0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatch."""
+        if self.dispatches == 0:
+            return 0.0
+        return self.completed / self.dispatches
+
+    @property
+    def ops_per_request(self) -> float:
+        """Server operations per completed request — the batching payoff."""
+        if self.completed == 0:
+            return 0.0
+        return self.server_operations / self.completed
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-tenant mean latencies.
+
+        1.0 means every tenant saw the same mean latency; ``1/k`` is the
+        worst case where one of ``k`` tenants absorbed all the delay.
+        Tenants that completed nothing are excluded.
+        """
+        means = [t.mean_latency_ms for t in self.tenants if t.completed]
+        if not means:
+            return 1.0
+        square_of_sum = sum(means) ** 2
+        sum_of_squares = sum(m * m for m in means)
+        if sum_of_squares == 0.0:
+            return 1.0
+        return square_of_sum / (len(means) * sum_of_squares)
+
+    def to_rows(self) -> list[list]:
+        """``[metric, value]`` rows for the summary table."""
+        rows = [
+            ["scheme", self.scheme],
+            ["scheduler", self.scheduler],
+            ["network", self.network],
+            ["clients", self.clients],
+            ["requests", self.requests],
+            ["completed", self.completed],
+            ["errors (alpha events)", self.errors],
+            ["duration ms", f"{self.duration_ms:.2f}"],
+            ["throughput req/s", f"{self.throughput_rps:.1f}"],
+        ]
+        rows.extend(latency_rows(self.latency))
+        rows.extend([
+            ["queue wait p95 ms", f"{self.queue_latency.p95_ms:.2f}"],
+            ["queue depth mean", f"{self.mean_queue_depth:.2f}"],
+            ["queue depth max", self.max_queue_depth],
+            ["dispatches", self.dispatches],
+            ["mean batch size", f"{self.mean_batch_size:.2f}"],
+            ["server operations", self.server_operations],
+            ["ops / request", f"{self.ops_per_request:.2f}"],
+            ["tenant fairness (Jain)", f"{self.fairness_index:.3f}"],
+        ])
+        return rows
+
+    def to_text(self) -> str:
+        """Render the summary and per-tenant tables."""
+        summary = format_table(
+            ["metric", "value"],
+            self.to_rows(),
+            title=f"Serving: {self.scheme} via {self.scheduler} scheduler",
+        )
+        tenant_rows = [
+            [t.tenant, t.requests, t.completed, t.errors,
+             f"{t.mean_latency_ms:.2f}", f"{t.max_latency_ms:.2f}",
+             f"{t.server_ops:.1f}"]
+            for t in self.tenants
+        ]
+        tenants = format_table(
+            ["tenant", "requests", "completed", "errors", "mean ms",
+             "max ms", "server ops"],
+            tenant_rows,
+            title="Per-tenant isolation",
+        )
+        return summary + "\n\n" + tenants
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (for ``--json`` and bench artifacts)."""
+        return {
+            "scheme": self.scheme,
+            "scheduler": self.scheduler,
+            "network": self.network,
+            "clients": self.clients,
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "duration_ms": self.duration_ms,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "p50": self.latency.p50_ms,
+                "p95": self.latency.p95_ms,
+                "p99": self.latency.p99_ms,
+                "mean": self.latency.mean_ms,
+                "max": self.latency.max_ms,
+            },
+            "queue_wait_p95_ms": self.queue_latency.p95_ms,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "dispatches": self.dispatches,
+            "mean_batch_size": self.mean_batch_size,
+            "server_operations": self.server_operations,
+            "ops_per_request": self.ops_per_request,
+            "fairness_index": self.fairness_index,
+            "tenants": [
+                {
+                    "tenant": t.tenant,
+                    "requests": t.requests,
+                    "completed": t.completed,
+                    "errors": t.errors,
+                    "mean_latency_ms": t.mean_latency_ms,
+                    "max_latency_ms": t.max_latency_ms,
+                    "server_ops": t.server_ops,
+                }
+                for t in self.tenants
+            ],
+        }

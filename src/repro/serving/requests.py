@@ -1,0 +1,49 @@
+"""The unit of work flowing through the serving layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.kv_traces import KVOperation
+from repro.workloads.trace import Operation
+
+
+@dataclass
+class Request:
+    """One client operation with its lifecycle timestamps.
+
+    Attributes:
+        tenant: label of the issuing session.
+        operation: the index-addressed or key-value operation to run.
+        arrival_ms: when the request entered the scheduler queue.
+        sequence: global arrival ordinal (ties broken deterministically).
+        session_index: which session issued it (for closed-loop follow-ups).
+        op_index: the request's ordinal within its session.
+        dispatched_ms: when the scheduler handed it to the scheme.
+        completed_ms: when its dispatch group finished.
+        errored: whether the scheme answered with its error event (DP-IR α).
+    """
+
+    tenant: str
+    operation: Operation | KVOperation
+    arrival_ms: float
+    sequence: int
+    session_index: int
+    op_index: int
+    dispatched_ms: float | None = None
+    completed_ms: float | None = None
+    errored: bool = False
+
+    @property
+    def latency_ms(self) -> float | None:
+        """Arrival-to-completion time, once completed."""
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.arrival_ms
+
+    @property
+    def queue_ms(self) -> float | None:
+        """Time spent waiting in the scheduler queue, once dispatched."""
+        if self.dispatched_ms is None:
+            return None
+        return self.dispatched_ms - self.arrival_ms

@@ -1,0 +1,121 @@
+"""Request schedulers: how queued requests become dispatches.
+
+The scheduler owns the pending queue and decides, whenever the scheme
+worker is idle, which requests to hand over next:
+
+* :class:`FIFOScheduler` — one request per dispatch, strictly in arrival
+  order.  This is the per-request baseline: every request pays the full
+  per-query cost of the scheme.
+* :class:`BatchScheduler` — accumulates requests for a configurable
+  window (or until a size cap) and dispatches them as one group.  The
+  simulator routes groups through the ``*_many`` protocol entry points,
+  so schemes with genuinely batched implementations (``BatchDPIR``'s
+  pad-set union, ``MultiServerDPIR``'s coalesced replica reads) serve a
+  group with fewer server operations than the same requests dispatched
+  one by one.
+
+Schedulers are deliberately passive: they never execute anything and
+keep no clock of their own.  ``enqueue`` may return a wake-up time (the
+batching window's deadline) which the simulator turns into an event.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.serving.requests import Request
+
+
+class RequestScheduler(abc.ABC):
+    """Queueing policy between arriving requests and the scheme worker."""
+
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self._queue: deque[Request] = deque()
+
+    def enqueue(self, request: Request, now_ms: float) -> float | None:
+        """Admit ``request`` at ``now_ms``.
+
+        Returns a wake-up time when the scheduler needs the simulator to
+        revisit it even if no other event fires (a batch window closing),
+        or ``None``.
+        """
+        del now_ms
+        self._queue.append(request)
+        return None
+
+    @abc.abstractmethod
+    def next_batch(self, now_ms: float) -> list[Request]:
+        """Requests to dispatch now; empty if nothing is ready.
+
+        Called by the simulator whenever the worker is idle.
+        """
+
+    def pending(self) -> int:
+        """Requests currently queued."""
+        return len(self._queue)
+
+
+class FIFOScheduler(RequestScheduler):
+    """Per-request dispatch in arrival order — the unbatched baseline."""
+
+    name = "fifo"
+
+    def next_batch(self, now_ms: float) -> list[Request]:
+        del now_ms
+        if not self._queue:
+            return []
+        return [self._queue.popleft()]
+
+
+class BatchScheduler(RequestScheduler):
+    """Dispatch groups gathered over a batching window.
+
+    A window opens when a request joins an empty queue and closes
+    ``window_ms`` later; at close (or as soon as ``max_batch`` requests
+    are waiting, or whenever requests piled up while the worker was
+    busy) the queued requests dispatch as one group of at most
+    ``max_batch``.
+
+    Args:
+        window_ms: how long the first queued request may wait for
+            company.  Zero degenerates to FIFO-with-coalescing: requests
+            that arrive while the worker is busy still share a dispatch.
+        max_batch: dispatch group size cap.
+    """
+
+    name = "batch"
+
+    def __init__(self, window_ms: float = 2.0, max_batch: int = 16) -> None:
+        super().__init__()
+        if window_ms < 0:
+            raise ValueError(f"window must be non-negative, got {window_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self._deadline = 0.0
+
+    def enqueue(self, request: Request, now_ms: float) -> float | None:
+        opened = not self._queue
+        self._queue.append(request)
+        if opened:
+            self._deadline = now_ms + self.window_ms
+            return self._deadline
+        return None
+
+    def next_batch(self, now_ms: float) -> list[Request]:
+        if not self._queue:
+            return []
+        if len(self._queue) < self.max_batch and now_ms < self._deadline:
+            return []
+        batch = [
+            self._queue.popleft()
+            for _ in range(min(self.max_batch, len(self._queue)))
+        ]
+        # Anything left over already waited a full window; it goes out
+        # the next time the worker frees up.
+        self._deadline = now_ms
+        return batch

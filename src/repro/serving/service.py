@@ -1,0 +1,222 @@
+"""``serve()``: registry-driven construction of a whole serving run.
+
+The one-call entry point behind ``repro.serve`` and the
+``python -m repro serve`` CLI subcommand: build any registered scheme,
+spin up N tenant sessions with per-tenant workload traces, pick a load
+generator and scheduler, and run the discrete-event simulation::
+
+    import repro
+
+    report = repro.serve("batch_dp_ir", clients=8, seed=7)
+    print(report.to_text())
+    print(report.latency.p99_ms, report.ops_per_request)
+"""
+
+from __future__ import annotations
+
+from repro.api.protocols import PrivateIR, PrivateKVS, Scheme
+from repro.api.registry import resolve_scheme_name, scheme_spec
+from repro.crypto.rng import (
+    RandomSource,
+    SeededRandomSource,
+    SystemRandomSource,
+)
+from repro.serving.load import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
+from repro.serving.report import ServingReport
+from repro.serving.schedulers import (
+    BatchScheduler,
+    FIFOScheduler,
+    RequestScheduler,
+)
+from repro.serving.simulator import ClientSession, ServingSimulator
+from repro.storage.network import NetworkModel
+from repro.workloads import catalogue
+
+
+def _resolve_scheduler(
+    scheduler: RequestScheduler | str,
+    batch_window_ms: float,
+    max_batch: int,
+) -> RequestScheduler:
+    if isinstance(scheduler, RequestScheduler):
+        return scheduler
+    if scheduler == "fifo":
+        return FIFOScheduler()
+    if scheduler == "batch":
+        return BatchScheduler(window_ms=batch_window_ms, max_batch=max_batch)
+    raise ValueError(
+        f"unknown scheduler {scheduler!r}; expected 'fifo', 'batch' or a "
+        "RequestScheduler"
+    )
+
+
+def _resolve_load(
+    load: LoadGenerator | str, rate_rps: float, think_ms: float
+) -> LoadGenerator:
+    if isinstance(load, LoadGenerator):
+        return load
+    if load == "open":
+        return OpenLoopLoad(rate_rps)
+    if load == "closed":
+        return ClosedLoopLoad(think_ms)
+    raise ValueError(
+        f"unknown load {load!r}; expected 'open', 'closed' or a LoadGenerator"
+    )
+
+
+def _tenant_trace(
+    kind: str,
+    workload: str,
+    n: int,
+    count: int,
+    rng: RandomSource,
+    value_size: int,
+    write_fraction: float,
+):
+    """One tenant's operation stream, matching the scheme's protocol."""
+    if kind == "kvs":
+        return catalogue.kv_trace(
+            workload, n, count, rng, value_size=value_size
+        )
+    if kind == "ir" and workload == "readwrite":
+        raise ValueError("IR schemes are read-only; pick a read workload")
+    if workload in catalogue.KV_WORKLOADS:
+        raise ValueError(f"workload {workload!r} needs a KVS scheme")
+    # Sequential tenants scan from distinct offsets so concurrent
+    # sessions don't trivially share every index.
+    return catalogue.index_trace(
+        workload, n, count, rng,
+        write_fraction=write_fraction,
+        sequential_start=rng.randbelow(n),
+    )
+
+
+def serve(
+    scheme: str | Scheme = "dp_ir",
+    *,
+    clients: int = 8,
+    requests_per_client: int = 32,
+    scheduler: RequestScheduler | str = "batch",
+    batch_window_ms: float = 2.0,
+    max_batch: int = 16,
+    load: LoadGenerator | str = "open",
+    rate_rps: float = 100.0,
+    think_ms: float = 5.0,
+    workload: str = "uniform",
+    n: int = 1024,
+    seed: int | bytes | str | None = None,
+    network: NetworkModel | str = "lan",
+    value_size: int = 32,
+    write_fraction: float = 0.25,
+    **build_kwargs,
+) -> ServingReport:
+    """Serve ``clients`` concurrent sessions against a scheme.
+
+    Args:
+        scheme: a registry name (hyphenated aliases like ``batch-dpir``
+            accepted) or an already-built scheme instance.
+        clients: number of concurrent tenant sessions.
+        requests_per_client: operations each session issues.
+        scheduler: ``"fifo"`` (per-request dispatch), ``"batch"`` (the
+            window/size-capped batcher) or a scheduler instance.
+        batch_window_ms: batching window for the ``"batch"`` scheduler.
+        max_batch: dispatch group size cap for the ``"batch"`` scheduler.
+        load: ``"open"`` (Poisson at ``rate_rps`` per client),
+            ``"closed"`` (think-time loop) or a generator instance.
+        rate_rps: per-client open-loop arrival rate.
+        think_ms: mean closed-loop think time.
+        workload: per-tenant trace shape (``uniform`` / ``zipf`` /
+            ``hotspot`` / ``sequential`` / ``readwrite`` for RAM;
+            ``ycsb-a/b/c`` for KVS, with index names aliased).
+        n: database size / key capacity when building by name.
+        seed: deterministic randomness; ``None`` uses system entropy.
+        network: link model (``lan`` / ``wan`` / ``mobile`` or a
+            :class:`~repro.storage.network.NetworkModel`) pricing
+            server operations into simulated time.
+        value_size: KVS value budget when building by name.
+        write_fraction: write share of the ``readwrite`` workload.
+        **build_kwargs: forwarded to the scheme's builder (``epsilon``,
+            ``server_count``, ``backend``, …).
+
+    Returns:
+        The run's :class:`~repro.serving.report.ServingReport`.
+    """
+    # Deferred like the registry defers it: the builders module imports
+    # the full scheme catalogue.
+    from repro.api.builders import resolve_network
+
+    if clients < 1:
+        raise ValueError(f"clients must be at least 1, got {clients}")
+    if requests_per_client < 1:
+        raise ValueError(
+            f"requests_per_client must be at least 1, got {requests_per_client}"
+        )
+
+    root = (
+        SeededRandomSource(seed) if seed is not None else SystemRandomSource()
+    )
+
+    if isinstance(scheme, str):
+        name = resolve_scheme_name(scheme)
+        spec = scheme_spec(name)
+        kind = spec.kind
+        kwargs = dict(build_kwargs)
+        kwargs.setdefault("n", n)
+        if kind == "kvs":
+            kwargs.setdefault("value_size", value_size)
+        if "backend" in kwargs:
+            # A network-backed build must price the link serve() reports:
+            # the backends' own model is authoritative in the simulator.
+            kwargs.setdefault("network", network)
+        if "seed" not in kwargs and "rng" not in kwargs:
+            kwargs["rng"] = root.spawn("scheme")
+        instance = spec.builder(**kwargs)
+        label = name
+    else:
+        if build_kwargs:
+            unknown = ", ".join(sorted(build_kwargs))
+            raise ValueError(
+                f"builder kwargs ({unknown}) need a scheme name, not an instance"
+            )
+        instance = scheme
+        kind = (
+            "ir" if isinstance(instance, PrivateIR)
+            else "kvs" if isinstance(instance, PrivateKVS)
+            else "ram"
+        )
+        label = type(instance).__name__
+        n = instance.n  # traces must address the instance's universe
+
+    if workload == "readwrite" and not getattr(instance, "writable", True):
+        # Fail before the simulation starts (matching the run CLI's
+        # pre-check) instead of dying mid-run on the scheme's own error.
+        raise ValueError(
+            f"scheme {label!r} is read-only; pick a read workload"
+        )
+
+    generator = _resolve_load(load, rate_rps, think_ms)
+    sessions = []
+    width = len(str(max(clients - 1, 1)))
+    for client in range(clients):
+        tenant = f"tenant-{client:0{width}d}"
+        trace = _tenant_trace(
+            kind, workload, n, requests_per_client,
+            root.spawn(f"trace/{tenant}"), value_size, write_fraction,
+        )
+        plan = generator.plan(
+            len(trace.operations), root.spawn(f"arrivals/{tenant}")
+        )
+        sessions.append(ClientSession(tenant, trace.operations, plan))
+
+    model = resolve_network(network)
+    label_network = network if isinstance(network, str) else "custom"
+    simulator = ServingSimulator(
+        instance,
+        sessions,
+        _resolve_scheduler(scheduler, batch_window_ms, max_batch),
+        network=model,
+        network_label=label_network,
+    )
+    report = simulator.run()
+    report.scheme = label
+    return report

@@ -1,0 +1,304 @@
+"""The deterministic discrete-event serving simulator.
+
+One scheme instance is modelled as a single worker serving dispatches
+sequentially (the schemes are synchronous state machines; concurrency
+lives in the *queueing*, not inside a query).  Events — request
+arrivals, batch-window wake-ups, dispatch completions — advance a
+simulated clock; each dispatch occupies the worker for the time its
+server operations cost under the network model, using exactly the
+accounting of :class:`~repro.storage.backends.NetworkBackend` (one
+roundtrip plus serialization per slot access).
+
+Dispatch groups are routed through the batched protocol entry points
+(``query_many`` / ``read_many`` / ``write_many`` / ``get_many``), which
+is what lets ``BatchDPIR`` download one pad-set union for a whole group
+instead of one pad set per request.
+
+Determinism: the event heap is tie-broken by an insertion counter and
+all randomness is pre-drawn by the arrival plans, so identical inputs
+replay identical reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
+from repro.serving.load import ArrivalPlan
+from repro.serving.report import ServingReport, TenantReport
+from repro.serving.requests import Request
+from repro.serving.schedulers import RequestScheduler
+from repro.simulation.metrics import LatencySummary
+from repro.storage.backends import NetworkBackend
+from repro.storage.network import LAN, NetworkModel
+from repro.workloads.kv_traces import KVOperation, KVOpKind
+from repro.workloads.trace import Operation, OpKind
+
+_ARRIVE, _COMPLETE, _WAKE = 0, 1, 2
+
+
+class ClientSession:
+    """One tenant: a sequence of operations plus an arrival plan."""
+
+    def __init__(
+        self,
+        tenant: str,
+        operations: Sequence[Operation | KVOperation],
+        plan: ArrivalPlan,
+    ) -> None:
+        self.tenant = tenant
+        self.operations = list(operations)
+        self.plan = plan
+
+
+class _CostMeter:
+    """Convert a dispatch's server-operation delta into simulated time.
+
+    When every server already runs over a :class:`NetworkBackend`, the
+    backends' own accumulated milliseconds are authoritative.  Otherwise
+    each operation is priced at one roundtrip plus one block transfer
+    under ``model`` — the same formula ``NetworkBackend`` charges — so
+    in-memory and network-backed runs of the same scheme agree.
+    """
+
+    def __init__(self, scheme: Scheme, model: NetworkModel) -> None:
+        self._scheme = scheme
+        self._model = model
+        backends = [server.backend for server in scheme.servers()]
+        network = [b for b in backends if isinstance(b, NetworkBackend)]
+        self._network = network if backends and len(network) == len(backends) else None
+        self._last_ms = self._network_ms()
+        self._last_ops = scheme.server_operations()
+
+    def _network_ms(self) -> float:
+        if self._network is None:
+            return 0.0
+        return sum(backend.simulated_ms for backend in self._network)
+
+    def charge(self) -> tuple[int, float]:
+        """``(operations, service_ms)`` consumed since the last charge."""
+        operations = self._scheme.server_operations()
+        ops_delta = operations - self._last_ops
+        self._last_ops = operations
+        if self._network is not None:
+            now_ms = self._network_ms()
+            service_ms = now_ms - self._last_ms
+            self._last_ms = now_ms
+        else:
+            per_op = self._model.rtt_ms + self._model.transfer_ms(
+                self._scheme.block_size
+            )
+            service_ms = ops_delta * per_op
+        return ops_delta, service_ms
+
+
+def _execute_batch(scheme: Scheme, batch: list[Request]) -> None:
+    """Run a dispatch group through the scheme's batched entry points.
+
+    Consecutive same-kind runs stay grouped (so a read-write stream keeps
+    its ordering) and error flags are recorded on the requests.
+    """
+    if isinstance(scheme, PrivateIR):
+        indices = []
+        for request in batch:
+            operation = request.operation
+            if not isinstance(operation, Operation) or operation.kind is not OpKind.READ:
+                raise ValueError(
+                    f"IR schemes only serve reads, got {operation!r}"
+                )
+            indices.append(operation.index)
+        answers = scheme.query_many(indices)
+        for request, answer in zip(batch, answers):
+            request.errored = answer is None
+        return
+    if isinstance(scheme, PrivateRAM):
+        for kind, run in _runs(batch, lambda r: r.operation.kind):
+            if kind is OpKind.READ:
+                scheme.read_many([r.operation.index for r in run])
+            else:
+                scheme.write_many(
+                    [(r.operation.index, r.operation.value) for r in run]
+                )
+        return
+    if isinstance(scheme, PrivateKVS):
+        for kind, run in _runs(batch, lambda r: r.operation.kind):
+            if kind is KVOpKind.GET:
+                scheme.get_many([r.operation.key for r in run])
+            else:
+                for request in run:
+                    scheme.put(request.operation.key, request.operation.value)
+        return
+    raise TypeError(
+        f"{type(scheme).__name__} implements no servable protocol"
+    )
+
+
+def _runs(batch: list[Request], key) -> list[tuple[object, list[Request]]]:
+    grouped: list[tuple[object, list[Request]]] = []
+    for request in batch:
+        kind = key(request)
+        if grouped and grouped[-1][0] is kind:
+            grouped[-1][1].append(request)
+        else:
+            grouped.append((kind, [request]))
+    return grouped
+
+
+class ServingSimulator:
+    """Run concurrent sessions against one scheme under a scheduler.
+
+    Args:
+        scheme: any :class:`~repro.api.protocols.Scheme` instance.
+        sessions: the tenants and their operation streams.
+        scheduler: queueing policy (FIFO or batching).
+        network: link model pricing server operations; defaults to
+            :data:`~repro.storage.network.LAN`.  Ignored when the scheme
+            already runs over network backends, whose own model wins.
+        network_label: name recorded in the report.
+    """
+
+    def __init__(
+        self,
+        scheme: Scheme,
+        sessions: Sequence[ClientSession],
+        scheduler: RequestScheduler,
+        network: NetworkModel | None = None,
+        network_label: str = "lan",
+    ) -> None:
+        if not isinstance(scheme, Scheme):
+            raise TypeError(
+                f"{type(scheme).__name__} does not implement the "
+                "repro.api.Scheme protocol"
+            )
+        self._scheme = scheme
+        self._sessions = list(sessions)
+        tenants = [session.tenant for session in self._sessions]
+        if len(set(tenants)) != len(tenants):
+            raise ValueError("session tenant labels must be unique")
+        self._scheduler = scheduler
+        self._model = network if network is not None else LAN
+        self._network_label = network_label
+
+    def run(self) -> ServingReport:
+        """Simulate to completion and return the report."""
+        heap: list[tuple[float, int, int, object]] = []
+        ticket = itertools.count()
+
+        def push(time_ms: float, kind: int, payload: object) -> None:
+            heapq.heappush(heap, (time_ms, next(ticket), kind, payload))
+
+        for session_index, session in enumerate(self._sessions):
+            plan_arrivals = session.plan.initial_arrivals()
+            for op_index, time_ms in plan_arrivals:
+                if op_index < len(session.operations):
+                    push(time_ms, _ARRIVE, (session_index, op_index))
+
+        meter = _CostMeter(self._scheme, self._model)
+        scheduler = self._scheduler
+        requests: list[Request] = []
+        tenant_reports = {
+            session.tenant: TenantReport(tenant=session.tenant)
+            for session in self._sessions
+        }
+        tenant_latencies: dict[str, list[float]] = {
+            session.tenant: [] for session in self._sessions
+        }
+
+        busy = False
+        last_ms = 0.0
+        depth_area = 0.0
+        max_depth = 0
+        dispatches = 0
+        total_ops = 0
+        makespan_ms = 0.0
+
+        while heap:
+            now_ms, _, kind, payload = heapq.heappop(heap)
+            depth_area += scheduler.pending() * (now_ms - last_ms)
+            last_ms = now_ms
+
+            if kind == _ARRIVE:
+                session_index, op_index = payload
+                session = self._sessions[session_index]
+                request = Request(
+                    tenant=session.tenant,
+                    operation=session.operations[op_index],
+                    arrival_ms=now_ms,
+                    sequence=len(requests),
+                    session_index=session_index,
+                    op_index=op_index,
+                )
+                requests.append(request)
+                tenant_reports[session.tenant].requests += 1
+                wake_ms = scheduler.enqueue(request, now_ms)
+                max_depth = max(max_depth, scheduler.pending())
+                if wake_ms is not None:
+                    push(wake_ms, _WAKE, None)
+            elif kind == _COMPLETE:
+                busy = False
+                batch: list[Request] = payload
+                for request in batch:
+                    request.completed_ms = now_ms
+                    makespan_ms = max(makespan_ms, now_ms)
+                    report = tenant_reports[request.tenant]
+                    report.completed += 1
+                    if request.errored:
+                        report.errors += 1
+                    tenant_latencies[request.tenant].append(request.latency_ms)
+                    session = self._sessions[request.session_index]
+                    follow = session.plan.after_completion(
+                        request.op_index, now_ms
+                    )
+                    if follow is not None:
+                        next_index, at_ms = follow
+                        if next_index < len(session.operations):
+                            push(at_ms, _ARRIVE,
+                                 (request.session_index, next_index))
+            # _WAKE carries no payload; it only forces a dispatch check.
+
+            if not busy:
+                batch = scheduler.next_batch(now_ms)
+                if batch:
+                    for request in batch:
+                        request.dispatched_ms = now_ms
+                    _execute_batch(self._scheme, batch)
+                    ops_delta, service_ms = meter.charge()
+                    dispatches += 1
+                    total_ops += ops_delta
+                    share = ops_delta / len(batch)
+                    for request in batch:
+                        tenant_reports[request.tenant].server_ops += share
+                    push(now_ms + service_ms, _COMPLETE, batch)
+                    busy = True
+
+        for tenant, latencies in tenant_latencies.items():
+            report = tenant_reports[tenant]
+            if latencies:
+                report.mean_latency_ms = sum(latencies) / len(latencies)
+                report.max_latency_ms = max(latencies)
+
+        completed = [r for r in requests if r.completed_ms is not None]
+        duration_ms = makespan_ms
+        return ServingReport(
+            scheme=type(self._scheme).__name__,
+            scheduler=scheduler.name,
+            network=self._network_label,
+            clients=len(self._sessions),
+            requests=len(requests),
+            completed=len(completed),
+            errors=sum(1 for r in completed if r.errored),
+            duration_ms=duration_ms,
+            latency=LatencySummary.from_values(
+                [r.latency_ms for r in completed]
+            ),
+            queue_latency=LatencySummary.from_values(
+                [r.queue_ms for r in completed]
+            ),
+            mean_queue_depth=(depth_area / duration_ms) if duration_ms > 0 else 0.0,
+            max_queue_depth=max_depth,
+            dispatches=dispatches,
+            server_operations=total_ops,
+            tenants=[tenant_reports[s.tenant] for s in self._sessions],
+        )

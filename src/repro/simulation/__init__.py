@@ -15,16 +15,25 @@ from repro.simulation.harness import (
     run_kv_trace,
     run_ram_trace,
     run_trace,
+    simulated_network_ms,
 )
-from repro.simulation.metrics import RunMetrics
-from repro.simulation.reporting import ExperimentTable, format_table
+from repro.simulation.metrics import LatencySummary, RunMetrics, percentile
+from repro.simulation.reporting import (
+    ExperimentTable,
+    format_table,
+    latency_rows,
+)
 
 __all__ = [
     "ExperimentTable",
+    "LatencySummary",
     "RunMetrics",
     "format_table",
+    "latency_rows",
+    "percentile",
     "run_ir_trace",
     "run_kv_trace",
     "run_ram_trace",
     "run_trace",
+    "simulated_network_ms",
 ]

@@ -23,8 +23,47 @@ import time
 
 from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
 from repro.simulation.metrics import RunMetrics
+from repro.storage.backends import NetworkBackend
 from repro.workloads.kv_traces import KVOpKind, KVTrace
 from repro.workloads.trace import OpKind, Trace
+
+
+def simulated_network_ms(scheme: Scheme) -> float | None:
+    """Total simulated link time across the scheme's servers.
+
+    ``None`` when no server runs over a latency-accounting
+    :class:`~repro.storage.backends.NetworkBackend` — the distinction
+    lets callers tell "zero milliseconds" from "not simulated at all".
+    """
+    total = 0.0
+    found = False
+    for server in scheme.servers():
+        backend = server.backend
+        if isinstance(backend, NetworkBackend):
+            total += backend.simulated_ms
+            found = True
+    return total if found else None
+
+
+class _LatencyProbe:
+    """Record per-operation simulated latency deltas into a metrics bundle.
+
+    A no-op for purely in-memory schemes; over network backends each
+    ``sample()`` appends the link time spent since the previous sample,
+    giving the per-query response-time stream the tail statistics need.
+    """
+
+    def __init__(self, scheme: Scheme, metrics: RunMetrics) -> None:
+        self._scheme = scheme
+        self._metrics = metrics
+        self._last = simulated_network_ms(scheme)
+
+    def sample(self) -> None:
+        if self._last is None:
+            return
+        now = simulated_network_ms(self._scheme)
+        self._metrics.latencies_ms.append(now - self._last)
+        self._last = now
 
 
 def _server_counters(scheme) -> tuple[int, int]:
@@ -78,11 +117,13 @@ def run_ir_trace(
     """
     reads_before, writes_before = _server_counters(scheme)
     metrics = RunMetrics(scheme=type(scheme).__name__, trace=trace.name)
+    probe = _LatencyProbe(scheme, metrics)
     started = time.perf_counter()
     for operation in trace:
         if operation.kind is not OpKind.READ:
             raise ValueError("IR schemes only support reads")
         answer = scheme.query(operation.index)
+        probe.sample()
         metrics.operations += 1
         if answer is None:
             metrics.errors += 1
@@ -113,6 +154,7 @@ def run_ram_trace(
     reference: dict[int, bytes] = (
         {i: bytes(b) for i, b in enumerate(initial)} if initial else {}
     )
+    probe = _LatencyProbe(scheme, metrics)
     started = time.perf_counter()
     for operation in trace:
         if operation.kind is OpKind.READ:
@@ -124,6 +166,7 @@ def run_ram_trace(
             scheme.write(operation.index, operation.value)
             reference[operation.index] = operation.value
             metrics.operations += 1
+        probe.sample()
     metrics.elapsed_seconds = time.perf_counter() - started
     reads_after, writes_after = _server_counters(scheme)
     metrics.blocks_downloaded = reads_after - reads_before
@@ -149,6 +192,7 @@ def run_kv_trace(
     reads_before, writes_before = _server_counters(scheme)
     metrics = RunMetrics(scheme=type(scheme).__name__, trace=trace.name)
     reference: dict[bytes, bytes] = {}
+    probe = _LatencyProbe(scheme, metrics)
     started = time.perf_counter()
     for operation in trace:
         if operation.kind is KVOpKind.GET:
@@ -160,6 +204,7 @@ def run_kv_trace(
             scheme.put(operation.key, operation.value)
             reference[operation.key] = operation.value
             metrics.operations += 1
+        probe.sample()
     metrics.elapsed_seconds = time.perf_counter() - started
     reads_after, writes_after = _server_counters(scheme)
     metrics.blocks_downloaded = reads_after - reads_before

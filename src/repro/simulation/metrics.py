@@ -1,8 +1,82 @@
-"""Measurement bundle for one scheme-over-trace run."""
+"""Measurement bundle for one scheme-over-trace run, plus latency tails.
+
+Path ORAM's evaluation style reports response-time *distributions*, not
+just operation counts; :func:`percentile` and :class:`LatencySummary`
+bring the same discipline here.  The single-client harness records a
+per-operation simulated latency stream when the scheme runs over a
+:class:`~repro.storage.backends.NetworkBackend`, and the serving layer
+builds its p50/p95/p99 report from the same helpers.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` with linear interpolation.
+
+    ``fraction`` is in ``[0, 1]`` (``0.5`` is the median).  Uses the
+    standard "linear between closest ranks" definition, so
+    ``percentile(v, 0.0) == min(v)`` and ``percentile(v, 1.0) == max(v)``.
+
+    Raises:
+        ValueError: on an empty sequence or a fraction outside ``[0, 1]``.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    return _interpolate(sorted(values), fraction)
+
+
+def _interpolate(ordered: Sequence[float], fraction: float) -> float:
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Tail statistics of a latency sample, in milliseconds.
+
+    Attributes:
+        count: number of observations summarized.
+        mean_ms: arithmetic mean.
+        p50_ms: median.
+        p95_ms: 95th percentile.
+        p99_ms: 99th percentile.
+        max_ms: worst observation.
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        """Summarize a latency sample (all zeros for an empty sample)."""
+        if not values:
+            return cls(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0,
+                       p99_ms=0.0, max_ms=0.0)
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            mean_ms=sum(ordered) / len(ordered),
+            p50_ms=_interpolate(ordered, 0.50),
+            p95_ms=_interpolate(ordered, 0.95),
+            p99_ms=_interpolate(ordered, 0.99),
+            max_ms=ordered[-1],
+        )
 
 
 @dataclass
@@ -21,6 +95,8 @@ class RunMetrics:
         client_peak_blocks: peak client storage in blocks, when the scheme
             reports it.
         elapsed_seconds: wall-clock time of the run.
+        latencies_ms: per-operation simulated response times, recorded
+            when the scheme runs over a latency-accounting backend.
     """
 
     scheme: str
@@ -32,6 +108,7 @@ class RunMetrics:
     mismatches: int = 0
     client_peak_blocks: int | None = None
     elapsed_seconds: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
 
     @property
     def blocks_total(self) -> int:
@@ -51,6 +128,13 @@ class RunMetrics:
         if self.operations == 0:
             return 0.0
         return self.errors / self.operations
+
+    @property
+    def latency_summary(self) -> LatencySummary | None:
+        """Tail statistics of the recorded latencies, if any were taken."""
+        if not self.latencies_ms:
+            return None
+        return LatencySummary.from_values(self.latencies_ms)
 
     def overhead_versus(self, baseline_blocks_per_op: float) -> float:
         """Block overhead relative to a baseline (usually plaintext = 1)."""

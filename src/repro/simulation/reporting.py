@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.simulation.metrics import LatencySummary
+
 
 def _render(value) -> str:
     if isinstance(value, bool):
@@ -39,6 +41,24 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def latency_rows(
+    summary: LatencySummary, label: str = "latency"
+) -> list[list]:
+    """``[metric, value]`` rows for a latency summary.
+
+    Shared by ``python -m repro run`` (single-client tails over a network
+    backend) and the serving report so both render percentiles the same
+    way.
+    """
+    return [
+        [f"{label} p50 ms", f"{summary.p50_ms:.2f}"],
+        [f"{label} p95 ms", f"{summary.p95_ms:.2f}"],
+        [f"{label} p99 ms", f"{summary.p99_ms:.2f}"],
+        [f"{label} mean ms", f"{summary.mean_ms:.2f}"],
+        [f"{label} max ms", f"{summary.max_ms:.2f}"],
+    ]
 
 
 @dataclass

@@ -15,10 +15,18 @@ from repro.workloads.generators import (
     adjacent_index_pair,
     adjacent_ram_pair,
     hotspot_trace,
+    poisson_arrival_times,
+    poisson_interarrivals,
     read_write_trace,
     sequential_trace,
     uniform_trace,
     zipf_trace,
+)
+from repro.workloads.catalogue import (
+    INDEX_WORKLOADS,
+    KV_WORKLOADS,
+    index_trace,
+    kv_trace,
 )
 from repro.workloads.kv_traces import (
     KVOperation,
@@ -42,8 +50,10 @@ from repro.workloads.replay import (
 from repro.workloads.trace import OpKind, Operation, Trace
 
 __all__ = [
+    "INDEX_WORKLOADS",
     "KVOperation",
     "KVTrace",
+    "KV_WORKLOADS",
     "OpKind",
     "Operation",
     "Trace",
@@ -52,10 +62,14 @@ __all__ = [
     "burst_trace",
     "concat_traces",
     "hotspot_trace",
+    "index_trace",
     "insert_then_lookup_trace",
     "interleave_traces",
+    "kv_trace",
     "load_kv_trace",
     "load_trace",
+    "poisson_arrival_times",
+    "poisson_interarrivals",
     "random_keys",
     "read_write_trace",
     "save_kv_trace",

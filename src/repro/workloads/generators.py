@@ -114,6 +114,44 @@ def read_write_trace(
     )
 
 
+# -- arrival processes ------------------------------------------------------
+
+
+def poisson_interarrivals(
+    count: int, mean_ms: float, rng: RandomSource
+) -> list[float]:
+    """``count`` exponential inter-arrival gaps with mean ``mean_ms``.
+
+    Consecutive gaps of a Poisson process: sampling each gap as
+    ``-ln(1 - U) * mean_ms`` with ``U`` uniform in ``[0, 1)`` gives a
+    memoryless arrival stream whose rate is ``1000 / mean_ms`` requests
+    per second.  The serving load generators and closed-loop think times
+    both draw from here so every arrival process is seeded through the
+    same :class:`~repro.crypto.rng.RandomSource` discipline.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if mean_ms <= 0:
+        raise ValueError(f"mean_ms must be positive, got {mean_ms}")
+    return [-math.log(1.0 - rng.random()) * mean_ms for _ in range(count)]
+
+
+def poisson_arrival_times(
+    count: int, mean_ms: float, rng: RandomSource, start_ms: float = 0.0
+) -> list[float]:
+    """Absolute arrival times of a Poisson process starting at ``start_ms``.
+
+    The cumulative sum of :func:`poisson_interarrivals`; strictly
+    increasing, with expected spacing ``mean_ms``.
+    """
+    times: list[float] = []
+    now = start_ms
+    for gap in poisson_interarrivals(count, mean_ms, rng):
+        now += gap
+        times.append(now)
+    return times
+
+
 # -- adjacency builders (Definition 2.1) -----------------------------------
 
 

@@ -71,6 +71,34 @@ class TestNetworkBackend:
         assert backend.read_slot(1) == b"z"
         assert backend.model is LAN
 
+    def test_mixed_sequence_accumulates_exactly(self):
+        # The serving layer derives dispatch service times from these
+        # accumulators, so the sum must match the per-access formula.
+        backend = NetworkBackend(4, WAN)
+        backend.load([b"a" * 100, b"b" * 200, b"c" * 300, b"d" * 400])
+        backend.read_slot(0)                 # 100 bytes down
+        backend.write_slot(1, b"x" * 500)    # 500 bytes up
+        backend.read_slot(2)                 # 300 bytes down
+        moved = (100, 500, 300)
+        expected = sum(WAN.rtt_ms + WAN.transfer_ms(b) for b in moved)
+        assert backend.roundtrips == 3
+        assert backend.simulated_ms == pytest.approx(expected)
+
+    def test_unwritten_slot_read_charges_rtt_only(self):
+        backend = NetworkBackend(2, WAN)
+        assert backend.read_slot(0) is None
+        assert backend.simulated_ms == pytest.approx(WAN.rtt_ms)
+
+    def test_accumulation_is_monotone(self):
+        backend = NetworkBackend(2, LAN)
+        backend.load([b"a", b"b"])
+        seen = []
+        for _ in range(5):
+            backend.read_slot(0)
+            seen.append(backend.simulated_ms)
+        assert seen == sorted(seen)
+        assert seen[-1] == pytest.approx(5 * seen[0])
+
 
 class TestNetworkBackendFactory:
     def test_aggregates_across_backends(self):

@@ -42,6 +42,16 @@ class TestCatalogue:
         with pytest.raises(ValueError, match="dp_ram"):
             build("no_such_scheme")
 
+    def test_hyphenated_aliases_resolve_everywhere(self):
+        from repro.api.registry import resolve_scheme_name, scheme_spec
+
+        assert resolve_scheme_name("batch-dpir") == "batch_dp_ir"
+        assert resolve_scheme_name("DPIR") == "dp_ir"
+        assert resolve_scheme_name("dp_ram") == "dp_ram"
+        assert scheme_spec("batch-dpir").name == "batch_dp_ir"
+        scheme = build("dpram", n=16, seed=1)
+        assert scheme.n == 16
+
 
 class TestBuild:
     def test_top_level_reexport(self):

@@ -44,6 +44,14 @@ class TestRunCommand:
                      "--backend", "network", "--network", "lan"]) == 0
         output = capsys.readouterr().out
         assert "simulated network ms" in output
+        # Network-backed single-client runs report latency tails too.
+        assert "latency p50 ms" in output
+        assert "latency p99 ms" in output
+
+    def test_memory_backend_has_no_latency_tails(self, capsys):
+        assert main(["run", "--scheme", "dp_ram", "--workload", "uniform",
+                     "--ops", "20", "--n", "64", "--seed", "7"]) == 0
+        assert "latency p50" not in capsys.readouterr().out
 
     def test_kvs_workload(self, capsys):
         assert main(["run", "--scheme", "dp_kvs", "--workload", "ycsb-c",
@@ -87,6 +95,41 @@ class TestRunCommand:
         assert main(["run", "--scheme", "read_only_dp_ram",
                      "--workload", "readwrite", "--ops", "5",
                      "--seed", "1"]) == 1
+        assert "read-only" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_smoke(self, capsys):
+        assert main(["serve", "--scheme", "dp_ram", "--clients", "3",
+                     "--requests", "4", "--n", "64", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "throughput req/s" in output
+        assert "latency p95 ms" in output
+        assert "tenant-0" in output
+
+    def test_hyphenated_scheme_alias(self, capsys):
+        assert main(["serve", "--scheme", "batch-dpir", "--clients", "2",
+                     "--requests", "3", "--n", "64", "--seed", "7"]) == 0
+        assert "batch_dp_ir" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["serve", "--scheme", "dp_ram", "--clients", "2",
+                     "--requests", "3", "--n", "64", "--seed", "7",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clients"] == 2
+        assert payload["completed"] == 6
+
+    def test_unknown_scheme_reports_catalogue(self, capsys):
+        assert main(["serve", "--scheme", "warp_drive"]) == 2
+        assert "registered schemes" in capsys.readouterr().err
+
+    def test_ir_rejects_write_workload(self, capsys):
+        assert main(["serve", "--scheme", "dp_ir", "--workload",
+                     "readwrite", "--clients", "2", "--requests", "3",
+                     "--seed", "1"]) == 2
         assert "read-only" in capsys.readouterr().err
 
 

@@ -2,10 +2,13 @@
 
 import pytest
 
+from repro.crypto.rng import SeededRandomSource
 from repro.workloads.generators import (
     adjacent_index_pair,
     adjacent_ram_pair,
     hotspot_trace,
+    poisson_arrival_times,
+    poisson_interarrivals,
     read_write_trace,
     sequential_trace,
     uniform_trace,
@@ -123,3 +126,43 @@ class TestAdjacentPairs:
     def test_ram_pair_flips_op_kind(self, rng):
         base, neighbour, position = adjacent_ram_pair(20, 15, rng)
         assert base[position].kind is not neighbour[position].kind
+
+
+class TestPoissonInterarrivals:
+    def test_count_and_positivity(self, rng):
+        gaps = poisson_interarrivals(500, 4.0, rng)
+        assert len(gaps) == 500
+        assert all(gap > 0 for gap in gaps)
+
+    def test_mean_matches_parameter(self, rng):
+        gaps = poisson_interarrivals(5000, 8.0, rng)
+        assert sum(gaps) / len(gaps) == pytest.approx(8.0, rel=0.1)
+
+    def test_memoryless_spread(self, rng):
+        # An exponential at mean m has ~37% of mass above m and a tail
+        # well past 2m — a degenerate constant stream would fail both.
+        gaps = poisson_interarrivals(2000, 10.0, rng)
+        above = sum(1 for gap in gaps if gap > 10.0) / len(gaps)
+        assert 0.30 < above < 0.45
+        assert max(gaps) > 20.0
+
+    def test_seeded_determinism(self):
+        first = poisson_interarrivals(50, 3.0, SeededRandomSource(99))
+        second = poisson_interarrivals(50, 3.0, SeededRandomSource(99))
+        assert first == second
+
+    def test_arrival_times_cumulative_and_increasing(self, rng):
+        times = poisson_arrival_times(100, 2.0, rng, start_ms=7.0)
+        assert len(times) == 100
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+        assert times[0] > 7.0
+
+    def test_empty_stream(self, rng):
+        assert poisson_interarrivals(0, 1.0, rng) == []
+        assert poisson_arrival_times(0, 1.0, rng) == []
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_interarrivals(-1, 1.0, rng)
+        with pytest.raises(ValueError):
+            poisson_interarrivals(5, 0.0, rng)

@@ -2,8 +2,65 @@
 
 import pytest
 
-from repro.simulation.metrics import RunMetrics
-from repro.simulation.reporting import ExperimentTable, format_table
+from repro.simulation.metrics import LatencySummary, RunMetrics, percentile
+from repro.simulation.reporting import (
+    ExperimentTable,
+    format_table,
+    latency_rows,
+)
+
+
+class TestPercentile:
+    def test_endpoints_are_min_and_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_linear_between_ranks(self):
+        # Rank 0.95 * 9 = 8.55 between 90 and 100.
+        values = [float(v) for v in range(10, 101, 10)]
+        assert percentile(values, 0.95) == pytest.approx(95.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_input_order_irrelevant(self):
+        values = [9.0, 2.0, 7.0, 4.0]
+        assert percentile(values, 0.5) == percentile(sorted(values), 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLatencySummary:
+    def test_from_values(self):
+        summary = LatencySummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean_ms == pytest.approx(2.5)
+        assert summary.p50_ms == pytest.approx(2.5)
+        assert summary.max_ms == 4.0
+        assert summary.p50_ms <= summary.p95_ms <= summary.p99_ms
+
+    def test_empty_sample(self):
+        summary = LatencySummary.from_values([])
+        assert summary.count == 0
+        assert summary.p99_ms == 0.0
+
+    def test_latency_rows_render(self):
+        summary = LatencySummary.from_values([1.0, 2.0, 3.0])
+        rows = latency_rows(summary)
+        labels = [row[0] for row in rows]
+        assert labels == ["latency p50 ms", "latency p95 ms",
+                          "latency p99 ms", "latency mean ms",
+                          "latency max ms"]
+        text = format_table(["metric", "value"], rows)
+        assert "p99" in text
 
 
 class TestRunMetrics:
@@ -28,6 +85,23 @@ class TestRunMetrics:
         assert metrics.overhead_versus(1.0) == 3.0
         with pytest.raises(ValueError):
             metrics.overhead_versus(0.0)
+
+    def test_latency_summary_absent_without_samples(self):
+        assert RunMetrics(scheme="s", trace="t").latency_summary is None
+
+    def test_latency_summary_from_recorded_stream(self):
+        metrics = RunMetrics(scheme="s", trace="t",
+                             latencies_ms=[10.0, 20.0, 30.0])
+        summary = metrics.latency_summary
+        assert summary is not None
+        assert summary.count == 3
+        assert summary.p50_ms == 20.0
+
+    def test_latency_lists_are_independent(self):
+        # A mutable default must not be shared between instances.
+        first = RunMetrics(scheme="a", trace="t")
+        first.latencies_ms.append(1.0)
+        assert RunMetrics(scheme="b", trace="t").latencies_ms == []
 
 
 class TestFormatTable:

@@ -68,6 +68,33 @@ class TestInterleave:
                 [sequential_trace(4, 2), sequential_trace(8, 2)], rng
             )
 
+    def test_many_tenants_each_keep_order(self, rng):
+        # The serving layer's multi-tenant regime: disjoint index bands
+        # per tenant, every band's internal order intact after merging.
+        tenants = [sequential_trace(64, 8, start=16 * t) for t in range(4)]
+        merged = interleave_traces(tenants, rng)
+        assert len(merged) == 32
+        for which, tenant in enumerate(tenants):
+            band = [op.index for op in merged
+                    if 16 * which <= op.index < 16 * (which + 1)]
+            assert band == tenant.indices()
+
+    def test_unequal_lengths_all_operations_survive(self, rng):
+        short = sequential_trace(32, 2)
+        long = sequential_trace(32, 10, start=16)
+        merged = interleave_traces([short, long], rng)
+        assert sorted(merged.indices()) == sorted(
+            short.indices() + long.indices()
+        )
+
+    def test_seeded_determinism(self):
+        from repro.crypto.rng import SeededRandomSource
+
+        traces = [sequential_trace(32, 6), sequential_trace(32, 6, start=8)]
+        first = interleave_traces(traces, SeededRandomSource(17))
+        second = interleave_traces(traces, SeededRandomSource(17))
+        assert first.indices() == second.indices()
+
 
 class TestBurst:
     def test_length(self, rng):
