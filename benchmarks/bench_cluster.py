@@ -1,0 +1,156 @@
+"""Cluster layer — scaling, failover and detection, as claim assertions.
+
+Three claims under test:
+
+* **Scaling**: growing the shard count ``D`` cuts ops/request and p95
+  (the per-query pad splits as ``K/D``) and per-server storage to
+  ``n/D`` — while the per-shard exact ε stays equal to the
+  single-server budget (the ``ln((1−α)n/(αK)+1)`` invariance).
+* **Failover**: with R=2 replicas and a 10 % flaky-read rate the
+  cluster completes every query *correctly*, at a measured
+  operation-count overhead over the fault-free run.
+* **Detection**: a corrupting replica behind authenticated storage is
+  detected and failed over (zero mismatches); behind plain storage the
+  same corruption is silent (mismatches > 0).
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.cluster.bench import (
+    DEFAULT_ALPHA,
+    DEFAULT_N,
+    DEFAULT_PAD,
+    detection_comparison,
+    failover_curve,
+    scaling_curve,
+    single_server_epsilon,
+)
+from repro.simulation.reporting import ExperimentTable
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    return scaling_curve()
+
+
+@pytest.fixture(scope="module")
+def failover_results():
+    return failover_curve()
+
+
+@pytest.fixture(scope="module")
+def detection_results():
+    return detection_comparison()
+
+
+def test_cluster_scaling_table(scaling_results):
+    table = ExperimentTable(
+        "CLUSTER_SCALING",
+        "sharding cuts ops/request and per-server storage at a fixed "
+        "exact budget",
+        headers=["shards", "ops/request", "p95 ms", "per-server blocks",
+                 "per-query eps", "Jain"],
+    )
+    for row in scaling_results:
+        table.add_row(
+            row["shards"], round(row["ops_per_request"], 2),
+            round(row["p95_ms"], 2), row["per_server_storage_blocks"],
+            round(row["per_query_epsilon"], 4),
+            round(row["load_jain_index"], 3),
+        )
+    table.add_note(
+        f"n={DEFAULT_N}, global pad K={DEFAULT_PAD}, alpha={DEFAULT_ALPHA}, "
+        "uniform reads, deterministic seed, LAN cost model"
+    )
+    write_report(table)
+    print("\n" + table.to_text())
+
+
+def test_ops_and_storage_drop_with_shard_count(scaling_results):
+    ops = [row["ops_per_request"] for row in scaling_results]
+    p95 = [row["p95_ms"] for row in scaling_results]
+    storage = [row["per_server_storage_blocks"] for row in scaling_results]
+    assert ops == sorted(ops, reverse=True)
+    assert all(a > b for a, b in zip(ops, ops[1:]))
+    assert all(a >= b for a, b in zip(p95, p95[1:]))
+    for row in scaling_results:
+        # Per-server storage is exactly ceil(n/D) here (D divides n).
+        assert row["per_server_storage_blocks"] == \
+            DEFAULT_N // row["shards"]
+
+
+def test_cluster_epsilon_matches_single_server_exact_budget(scaling_results):
+    single = single_server_epsilon()
+    for row in scaling_results:
+        assert row["per_query_epsilon"] == pytest.approx(single), (
+            f"D={row['shards']} budget drifted from the single-server "
+            f"exact budget {single:.4f}"
+        )
+
+
+def test_every_scaled_query_correct(scaling_results):
+    for row in scaling_results:
+        assert row["completed"] == 64
+        assert row["mismatches"] == 0
+
+
+def test_failover_completes_every_query_correctly(failover_results):
+    # The acceptance claim: R=2 replicas, 10 % flaky reads, zero losses.
+    flaky = [row for row in failover_results if row["flake_rate"] == 0.10]
+    assert flaky, "10% flake point missing from the curve"
+    for row in flaky:
+        assert row["replicas"] == 2
+        assert row["completed"] == row["requests"]
+        assert row["mismatches"] == 0
+        assert row["failovers"] > 0
+        assert row["failed_operations"] > 0
+
+
+def test_failover_overhead_grows_with_flake_rate(failover_results):
+    overheads = [row["failover_overhead"] for row in failover_results]
+    assert overheads[0] == pytest.approx(0.0)
+    assert overheads == sorted(overheads)
+    assert overheads[-1] > 0.0
+
+
+def test_failover_table(failover_results):
+    table = ExperimentTable(
+        "CLUSTER_FAILOVER",
+        "R=2 replicas turn flaky reads into retries, never wrong answers",
+        headers=["flake rate", "completed", "mismatches", "failovers",
+                 "ops/request", "overhead"],
+    )
+    for row in failover_results:
+        table.add_row(
+            row["flake_rate"], row["completed"], row["mismatches"],
+            row["failovers"], round(row["ops_per_request"], 2),
+            f"{row['failover_overhead']:.1%}",
+        )
+    table.add_note("4 shard groups x 2 replicas, deterministic seed")
+    write_report(table)
+    print("\n" + table.to_text())
+
+
+def test_authenticated_detection_versus_silent_corruption(detection_results):
+    by_auth = {row["authenticated"]: row for row in detection_results}
+    detected = by_auth[True]
+    silent = by_auth[False]
+    # Authenticated storage: every tampered answer detected, failover
+    # serves the right block.
+    assert detected["mismatches"] == 0
+    assert detected["detected_corruptions"] > 0
+    # Plain storage: corruption slips through as wrong answers.
+    assert silent["mismatches"] > 0
+    assert silent["detected_corruptions"] == 0
+
+
+def test_cluster_query_throughput(benchmark, rng):
+    from repro.cluster.scheme import ClusterIR
+    from repro.storage.blocks import integer_database
+
+    ir = ClusterIR(integer_database(256), shard_count=4, replica_count=2,
+                   pad_size=16, rng=rng.spawn("bench"))
+    indices = iter(range(10**9))
+    benchmark(lambda: ir.query(next(indices) % 256))

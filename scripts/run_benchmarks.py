@@ -1,17 +1,20 @@
 #!/usr/bin/env python
-"""Smoke-run the serving benchmark suite and record a JSON artifact.
+"""Smoke-run the serving + cluster benchmarks and record JSON artifacts.
 
 Runs the batched-versus-FIFO dispatch comparison from
-``repro.serving.bench`` at a deliberately tiny size (seconds, not
-minutes) and writes machine-readable ``BENCH_serving.json`` to the
-repository root, so CI — and anyone bisecting a perf regression — has a
-stable artifact to diff::
+``repro.serving.bench`` and the cluster scaling/failover curves from
+``repro.cluster.bench`` at a deliberately tiny size (seconds, not
+minutes) and writes machine-readable ``BENCH_serving.json`` and
+``BENCH_cluster.json`` to the repository root, so CI — and anyone
+bisecting a perf regression — has stable artifacts to diff::
 
     python scripts/run_benchmarks.py             # defaults
-    python scripts/run_benchmarks.py --n 512 --clients 8 --out my.json
+    python scripts/run_benchmarks.py --n 512 --clients 8
 
 Exits non-zero if batching stops beating per-request dispatch on
-``batch_dp_ir``, the serving path's headline property.
+``batch_dp_ir``, or if the cluster stops completing every query
+correctly under R=2 failover / stops preserving the single-server
+exact budget — the two layers' headline properties.
 """
 
 from __future__ import annotations
@@ -24,25 +27,16 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.cluster.bench import (  # noqa: E402
+    failover_curve,
+    scaling_curve,
+    single_server_epsilon,
+)
 from repro.serving.bench import compare_dispatch  # noqa: E402
 from repro.simulation.reporting import format_table  # noqa: E402
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--n", type=int, default=128,
-                        help="database size (default 128 — smoke scale)")
-    parser.add_argument("--clients", type=int, default=4,
-                        help="concurrent sessions (default 4)")
-    parser.add_argument("--requests", type=int, default=8,
-                        help="requests per client (default 8)")
-    parser.add_argument("--seed", type=int, default=0x5EED,
-                        help="deterministic seed")
-    parser.add_argument("--out", type=pathlib.Path,
-                        default=ROOT / "BENCH_serving.json",
-                        help="output path (default BENCH_serving.json)")
-    args = parser.parse_args(argv)
-
+def _serving(args) -> int:
     results = compare_dispatch(
         n=args.n,
         clients=args.clients,
@@ -82,6 +76,90 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     return 0
+
+
+def _cluster(args) -> int:
+    # Database/pad sizes stay at the curves' fixed defaults (they are
+    # chosen for exact n/D and K/D divisibility); the seed follows the
+    # --seed flag so reruns can vary the randomness.
+    requests = args.requests * args.clients
+    scaling = scaling_curve(requests=requests, seed=args.seed)
+    failover = failover_curve(requests=requests, seed=args.seed)
+    single = single_server_epsilon()
+    payload = {
+        "benchmark": "cluster.scaling_and_failover",
+        "config": {
+            "requests": requests,
+            "seed": args.seed,
+            "single_server_epsilon": single,
+        },
+        "scaling": scaling,
+        "failover": failover,
+    }
+    args.cluster_out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [r["shards"], f"{r['ops_per_request']:.2f}", f"{r['p95_ms']:.2f}",
+         r["per_server_storage_blocks"], f"{r['per_query_epsilon']:.4f}"]
+        for r in scaling
+    ]
+    print(format_table(
+        ["shards", "ops/request", "p95 ms", "blocks/server", "eps"],
+        rows, title=f"Cluster scaling smoke (wrote {args.cluster_out.name})",
+    ))
+    rows = [
+        [r["flake_rate"], r["completed"], r["mismatches"], r["failovers"],
+         f"{r['failover_overhead']:.1%}"]
+        for r in failover
+    ]
+    print(format_table(
+        ["flake rate", "completed", "mismatches", "failovers", "overhead"],
+        rows, title="Cluster failover smoke",
+    ))
+
+    status = 0
+    for row in failover:
+        if row["completed"] != row["requests"] or row["mismatches"]:
+            print(
+                f"regression: flake rate {row['flake_rate']} lost or "
+                f"corrupted answers ({row['completed']}/{row['requests']} "
+                f"complete, {row['mismatches']} mismatches)",
+                file=sys.stderr,
+            )
+            status = 1
+    for row in scaling:
+        if abs(row["per_query_epsilon"] - single) > 1e-9:
+            print(
+                f"regression: D={row['shards']} per-query epsilon "
+                f"{row['per_query_epsilon']:.4f} drifted from the "
+                f"single-server exact budget {single:.4f}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n", type=int, default=128,
+                        help="database size (default 128 — smoke scale)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent sessions (default 4)")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client (default 8)")
+    parser.add_argument("--seed", type=int, default=0x5EED,
+                        help="deterministic seed")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=ROOT / "BENCH_serving.json",
+                        help="serving artifact (default BENCH_serving.json)")
+    parser.add_argument("--cluster-out", type=pathlib.Path,
+                        default=ROOT / "BENCH_cluster.json",
+                        help="cluster artifact (default BENCH_cluster.json)")
+    args = parser.parse_args(argv)
+
+    status = _serving(args)
+    status = _cluster(args) or status
+    return status
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.api import (
     available_schemes,
     build,
     register_scheme,
+    schemes,
 )
 from repro.baselines import (
     LinearScanPIR,
@@ -54,6 +55,15 @@ from repro.core import (
     ShardedDPIR,
     StrawmanIR,
 )
+# repro.cluster stays the (callable) subpackage: ``repro.cluster(...)``
+# runs a deployment, ``repro.cluster.ClusterIR`` still resolves.
+import repro.cluster as cluster  # noqa: F401
+from repro.cluster import (
+    ClusterIR,
+    ClusterKVS,
+    ClusterLedger,
+    ClusterReport,
+)
 from repro.crypto import PRF, SeededRandomSource, SystemRandomSource
 from repro.serving import ServingReport, serve
 from repro.storage import (
@@ -72,6 +82,10 @@ __all__ = [
     "BatchDPIR",
     "BucketDPRAM",
     "BudgetExceededError",
+    "ClusterIR",
+    "ClusterKVS",
+    "ClusterLedger",
+    "ClusterReport",
     "DPIR",
     "DPIRParams",
     "DPKVS",
@@ -110,7 +124,9 @@ __all__ = [
     "WAN",
     "available_schemes",
     "build",
+    "cluster",
     "datasheet_for",
     "register_scheme",
+    "schemes",
     "serve",
 ]

@@ -6,6 +6,8 @@ Commands:
   against it, and print the measured metrics.
 * ``serve`` — run N concurrent client sessions against a scheme through
   the request scheduler and print throughput + latency percentiles.
+* ``cluster`` — deploy a scheme as N shard groups x R replicas with
+  failover and print load balance, tails and the cluster-wide budget.
 * ``experiments`` — run the E1..E14 claim tables (all or a subset).
 * ``bounds`` — evaluate the paper's lower bounds for given parameters,
   answering the title question for your workload.
@@ -118,6 +120,8 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
     simulated = simulated_network_ms(scheme)
     if simulated is not None:
         rows.append(["simulated network ms", f"{simulated:.1f}"])
+    for name in sorted(metrics.fault_counters):
+        rows.append([f"faults: {name}", metrics.fault_counters[name]])
     summary = metrics.latency_summary
     if summary is not None:
         rows.extend(latency_rows(summary))
@@ -164,6 +168,64 @@ def _cmd_serve_checked(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.to_text())
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.storage.errors import ReproError
+
+    try:
+        return _cmd_cluster_checked(args)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_cluster_checked(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import schemes
+    from repro.cluster import cluster
+    from repro.simulation.reporting import format_table
+
+    if args.list:
+        rows = [
+            [listing.name, listing.kind,
+             ", ".join(listing.aliases) or "-", listing.summary]
+            for listing in schemes()
+            if listing.kind in ("ir", "kvs")
+        ]
+        print(format_table(
+            ["scheme", "kind", "aliases", "summary"], rows,
+            title="Cluster-capable base schemes (IR and KVS)",
+        ))
+        return 0
+
+    report = cluster(
+        args.scheme,
+        shards=args.shards,
+        replicas=args.replicas,
+        n=args.n,
+        requests=args.requests,
+        workload=args.workload,
+        placement=args.placement,
+        epsilon=args.epsilon,
+        pad_size=args.pad_size,
+        alpha=args.alpha,
+        authenticated=not args.no_auth,
+        failure_rate=args.failure_rate,
+        corruption_rate=args.corruption_rate,
+        value_size=args.value_size,
+        seed=args.seed,
+        network=args.network,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.to_text())
+    if report.mismatches:
+        print("correctness mismatches detected!", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -326,6 +388,58 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--json", action="store_true",
                               help="emit the report as JSON")
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    cluster_parser = commands.add_parser(
+        "cluster",
+        help="deploy a scheme as N shard groups x R replicas with failover",
+    )
+    cluster_parser.add_argument(
+        "--scheme", default="dp_ir",
+        help="base scheme each shard group hosts (IR or KVS; see --list)",
+    )
+    cluster_parser.add_argument("--shards", type=int, default=4,
+                                help="shard groups D (default 4)")
+    cluster_parser.add_argument("--replicas", type=int, default=2,
+                                help="replicas per group R (default 2)")
+    cluster_parser.add_argument("--n", type=int, default=1024,
+                                help="database size / key capacity")
+    cluster_parser.add_argument("--requests", type=int, default=256,
+                                help="operations to drive (default 256)")
+    cluster_parser.add_argument(
+        "--workload", default="uniform",
+        help="trace shape: uniform, sequential, zipf, hotspot (IR); "
+             "ycsb-a/b/c, insert-lookup (KVS)",
+    )
+    cluster_parser.add_argument("--placement", default="range",
+                                choices=("range", "hash"),
+                                help="shard placement policy (IR clusters)")
+    cluster_parser.add_argument("--epsilon", type=float, default=None,
+                                help="cluster-wide privacy target "
+                                     "(default ln n)")
+    cluster_parser.add_argument("--pad-size", type=int, default=None,
+                                help="explicit global pad size K")
+    cluster_parser.add_argument("--alpha", type=float, default=0.05,
+                                help="per-query error probability")
+    cluster_parser.add_argument("--no-auth", action="store_true",
+                                help="store plaintext instead of "
+                                     "authenticated ciphertexts")
+    cluster_parser.add_argument("--failure-rate", type=float, default=0.0,
+                                help="flaky-node rate per replica")
+    cluster_parser.add_argument("--corruption-rate", type=float, default=0.0,
+                                help="bit-flip rate per replica")
+    cluster_parser.add_argument("--value-size", type=int, default=32,
+                                help="KVS value size in bytes (default 32)")
+    cluster_parser.add_argument("--seed", type=int, default=None,
+                                help="deterministic randomness seed")
+    cluster_parser.add_argument("--network", default="lan",
+                                choices=("lan", "wan", "mobile"),
+                                help="link model pricing simulated time")
+    cluster_parser.add_argument("--json", action="store_true",
+                                help="emit the report as JSON")
+    cluster_parser.add_argument("--list", action="store_true",
+                                help="list cluster-capable base schemes "
+                                     "(names + aliases) and exit")
+    cluster_parser.set_defaults(handler=_cmd_cluster)
 
     experiments_parser = commands.add_parser(
         "experiments", help="run the claim-table experiments"

@@ -35,15 +35,24 @@ reachable as ``repro.api.serve``) builds any registered scheme by name
 and drives it with concurrent clients; because it dispatches through the
 protocol ``*_many`` entry points, every scheme — including ones
 registered by downstream code — is servable without extra wiring.
+
+So does the cluster layer: :mod:`repro.cluster` composes any registered
+IR/KVS scheme into shard groups with replicas, and the resulting
+``ClusterIR`` / ``ClusterKVS`` are themselves registered
+(``cluster_dp_ir`` …), so they pass the same conformance suite and are
+servable like any single-node scheme.  :func:`schemes` lists the full
+catalogue including the accepted alias spellings.
 """
 
 from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
 from repro.api.registry import (
+    SchemeListing,
     SchemeSpec,
     available_schemes,
     build,
     register_scheme,
     scheme_spec,
+    schemes,
 )
 from repro.storage.backends import (
     BackendFactory,
@@ -62,12 +71,14 @@ __all__ = [
     "PrivateKVS",
     "PrivateRAM",
     "Scheme",
+    "SchemeListing",
     "SchemeSpec",
     "StorageBackend",
     "available_schemes",
     "build",
     "register_scheme",
     "scheme_spec",
+    "schemes",
     "serve",
 ]
 

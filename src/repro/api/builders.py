@@ -475,6 +475,94 @@ def build_oram_kvs(
     )
 
 
+def _build_cluster_ir(
+    base: str,
+    *,
+    n: int | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    blocks: Sequence[bytes] | None = None,
+    shard_count: int = 2,
+    replica_count: int = 2,
+    placement: str = "range",
+    epsilon: float | None = None,
+    pad_size: int | None = None,
+    alpha: float = 0.05,
+    authenticated: bool = True,
+    failure_rate=0.0,
+    corruption_rate=0.0,
+    seed: int | bytes | str | None = None,
+    rng: RandomSource | None = None,
+    backend: BackendFactory | str | None = None,
+    network: NetworkModel | str | None = None,
+):
+    """Shared implementation of the registered ClusterIR builders."""
+    from repro.cluster.scheme import ClusterIR
+
+    return ClusterIR(
+        _resolve_blocks(n, block_size, blocks),
+        base=base,
+        shard_count=shard_count,
+        replica_count=replica_count,
+        placement=placement,
+        epsilon=epsilon,
+        pad_size=pad_size,
+        alpha=alpha,
+        authenticated=authenticated,
+        failure_rate=failure_rate,
+        corruption_rate=corruption_rate,
+        rng=_resolve_rng(rng, seed),
+        backend_factory=resolve_backend(backend, network),
+    )
+
+
+@register_scheme("cluster_dp_ir", kind="ir",
+                 summary="N shard groups x R replicas of DP-IR with failover")
+def build_cluster_dp_ir(**kwargs):
+    """Build a :class:`~repro.cluster.scheme.ClusterIR` over ``dp_ir`` bases."""
+    return _build_cluster_ir("dp_ir", **kwargs)
+
+
+@register_scheme("cluster_batch_dp_ir", kind="ir",
+                 summary="sharded+replicated BatchDPIR (batching compounds "
+                         "with sharding)")
+def build_cluster_batch_dp_ir(**kwargs):
+    """Build a :class:`~repro.cluster.scheme.ClusterIR` over ``batch_dp_ir``."""
+    return _build_cluster_ir("batch_dp_ir", **kwargs)
+
+
+@register_scheme("cluster_dp_kvs", kind="kvs",
+                 summary="sharded+replicated DP-KVS with fail-stop failover")
+def build_cluster_dp_kvs(
+    *,
+    n: int = 1024,
+    value_size: int = 32,
+    shard_count: int = 2,
+    replica_count: int = 2,
+    capacity_slack: float = 1.5,
+    failure_rate=0.0,
+    corruption_rate=0.0,
+    seed: int | bytes | str | None = None,
+    rng: RandomSource | None = None,
+    backend: BackendFactory | str | None = None,
+    network: NetworkModel | str | None = None,
+):
+    """Build a :class:`~repro.cluster.scheme.ClusterKVS` over ``dp_kvs``."""
+    from repro.cluster.scheme import ClusterKVS
+
+    return ClusterKVS(
+        n,
+        base="dp_kvs",
+        shard_count=shard_count,
+        replica_count=replica_count,
+        value_size=value_size,
+        capacity_slack=capacity_slack,
+        failure_rate=failure_rate,
+        corruption_rate=corruption_rate,
+        rng=_resolve_rng(rng, seed),
+        backend_factory=resolve_backend(backend, network),
+    )
+
+
 @register_scheme("plaintext_kvs", kind="kvs",
                  summary="direct-access KVS, no privacy (overhead denominator)")
 def build_plaintext_kvs(

@@ -63,6 +63,9 @@ _ALIASES = {
     "read_only_dpram": "read_only_dp_ram",
     "bucket_dpram": "bucket_dp_ram",
     "dpkvs": "dp_kvs",
+    "cluster_dpir": "cluster_dp_ir",
+    "cluster_batch_dpir": "cluster_batch_dp_ir",
+    "cluster_dpkvs": "cluster_dp_kvs",
 }
 
 
@@ -121,6 +124,44 @@ def available_schemes(kind: str | None = None) -> tuple[str, ...]:
         if kind is None or spec.kind == kind
     )
     return tuple(sorted(names))
+
+
+@dataclass(frozen=True)
+class SchemeListing:
+    """One catalogue row of :func:`schemes`: a name plus its aliases.
+
+    Attributes:
+        name: the stable registry key.
+        kind: ``"ir"``, ``"ram"`` or ``"kvs"``.
+        summary: one-line description.
+        aliases: contracted spellings that resolve to ``name`` (the
+            hyphenated variants follow by substituting ``-`` for ``_``).
+    """
+
+    name: str
+    kind: str
+    summary: str
+    aliases: tuple[str, ...]
+
+
+def schemes(kind: str | None = None) -> tuple[SchemeListing, ...]:
+    """The full catalogue — registered names *and* their aliases.
+
+    Used by CLI ``--scheme`` validation and ``--help`` text, and by any
+    consumer that wants to show users every accepted spelling rather
+    than just the canonical registry keys.
+    """
+    _ensure_builders_loaded()
+    listings = []
+    for name in available_schemes(kind):
+        spec = _REGISTRY[name]
+        aliases = tuple(sorted(
+            alias for alias, target in _ALIASES.items() if target == name
+        ))
+        listings.append(SchemeListing(
+            name=name, kind=spec.kind, summary=spec.summary, aliases=aliases,
+        ))
+    return tuple(listings)
 
 
 def scheme_spec(name: str) -> SchemeSpec:

@@ -1,0 +1,92 @@
+"""Sharded + replicated multi-node deployment of any registered scheme.
+
+The ROADMAP north star is a production-scale system; this package is
+the deployment layer that takes any registered IR or KVS scheme and
+runs it as **N shard groups × R replicas**::
+
+    client query / key
+         │
+         ▼
+    ShardRouter ── contiguous-range or hash placement maps the logical
+         │         index / key to its owning shard group
+         ▼
+    shard group s ── R independently built base-scheme instances over
+         │           the shard's ≈ n/D records; reads rotate across
+         │           replicas and FAIL OVER on ServerFault or on an
+         │           authenticated-decryption failure (tampering)
+         ▼
+    ClusterLedger ── per-shard ε ledgers composed into cluster-wide
+                     budgets via repro.analysis.composition
+
+Because :class:`~repro.cluster.scheme.ClusterIR` and
+:class:`~repro.cluster.scheme.ClusterKVS` implement the ordinary
+:mod:`repro.api` protocols, the harness, the conformance suite and the
+:mod:`repro.serving` simulator drive a cluster unchanged — registered
+as ``cluster_dp_ir`` / ``cluster_batch_dp_ir`` / ``cluster_dp_kvs``.
+``reshard()`` and ``rebalance()`` migrate key ranges online; per-shard
+load counters make the load-hiding gap of sharding (one hot shard
+serves more traffic) measurable as a Jain index.
+
+Privacy model, stated honestly: the per-shard pad splits as ``K/D`` so
+each shard instance's exact budget over its ``n/D`` records equals the
+single-server budget over ``n`` — but the *routing* of a query to its
+owner shard is only hidden from non-colluding shard operators.  The
+:class:`~repro.cluster.ledger.ClusterLedger` reports both that model's
+binding budget (worst single shard) and the colluding upper bound.
+
+Entry points: :func:`~repro.cluster.service.cluster` (re-exported as
+``repro.cluster``), the ``python -m repro cluster`` CLI subcommand, and
+``benchmarks/bench_cluster.py``.
+"""
+
+import sys
+from types import ModuleType
+
+from repro.cluster.group import (
+    DEFAULT_MAX_ATTEMPTS,
+    GroupExhaustedError,
+    KVShardGroup,
+    ShardGroup,
+)
+from repro.cluster.ledger import ClusterBudgetReport, ClusterLedger
+from repro.cluster.report import ClusterReport, ShardReport, jain_index
+from repro.cluster.router import (
+    HashRouter,
+    RangeRouter,
+    ShardRouter,
+    make_router,
+)
+from repro.cluster.scheme import ClusterIR, ClusterKVS, MigrationReport
+from repro.cluster.service import cluster
+
+__all__ = [
+    "ClusterBudgetReport",
+    "ClusterIR",
+    "ClusterKVS",
+    "ClusterLedger",
+    "ClusterReport",
+    "DEFAULT_MAX_ATTEMPTS",
+    "GroupExhaustedError",
+    "HashRouter",
+    "KVShardGroup",
+    "MigrationReport",
+    "RangeRouter",
+    "ShardGroup",
+    "ShardReport",
+    "ShardRouter",
+    "cluster",
+    "jain_index",
+    "make_router",
+]
+
+
+class _CallableClusterModule(ModuleType):
+    """Make ``repro.cluster(...)`` run a deployment while keeping this a
+    real subpackage (``repro.cluster.ClusterIR``, ``import
+    repro.cluster.router`` and friends all keep working)."""
+
+    def __call__(self, *args, **kwargs):
+        return cluster(*args, **kwargs)
+
+
+sys.modules[__name__].__class__ = _CallableClusterModule

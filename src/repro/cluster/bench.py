@@ -1,0 +1,178 @@
+"""Cluster benchmarks as reusable data: scaling curve and failover cost.
+
+``benchmarks/bench_cluster.py`` asserts on (and renders) these rows, and
+``scripts/run_benchmarks.py`` writes them to ``BENCH_cluster.json`` —
+both call the same functions so the numbers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.dp_ir_exact import dpir_epsilon
+from repro.cluster.service import cluster
+
+#: Shard counts for the scaling curve.  The pad splits as ``K/D``, so
+#: ``n`` and the pad below are chosen divisible by every entry — the
+#: per-shard exact ε then *equals* the single-server budget instead of
+#: merely approximating it.
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+DEFAULT_N = 1024
+DEFAULT_PAD = 64
+DEFAULT_ALPHA = 0.05
+
+
+def single_server_epsilon(
+    n: int = DEFAULT_N,
+    pad_size: int = DEFAULT_PAD,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """The unsharded exact budget the cluster must preserve."""
+    return dpir_epsilon(n, pad_size, alpha)
+
+
+def scaling_curve(
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    *,
+    n: int = DEFAULT_N,
+    pad_size: int = DEFAULT_PAD,
+    alpha: float = DEFAULT_ALPHA,
+    replicas: int = 1,
+    requests: int = 64,
+    seed: int = 0x5EED,
+    base: str = "dp_ir",
+) -> list[dict]:
+    """Ops/request, p95 and per-server storage versus shard count.
+
+    The claim under test: growing ``D`` cuts the per-query pad to
+    ``K/D`` (fewer ops and lower latency per request) and per-server
+    storage to ``≈ n/D``, while the per-shard exact ε stays equal to the
+    single-server budget.
+    """
+    rows = []
+    for shards in shard_counts:
+        report = cluster(
+            base,
+            shards=shards,
+            replicas=replicas,
+            n=n,
+            pad_size=pad_size,
+            alpha=alpha,
+            requests=requests,
+            seed=seed,
+        )
+        rows.append({
+            "shards": shards,
+            "replicas": replicas,
+            "ops_per_request": report.ops_per_request,
+            "p95_ms": report.latency.p95_ms,
+            "p999_ms": report.latency.p999_ms,
+            "per_server_storage_blocks": report.per_server_storage_blocks,
+            "total_storage_blocks": report.total_storage_blocks,
+            "per_query_epsilon": report.budget.per_query_epsilon,
+            "load_jain_index": report.load_jain_index,
+            "completed": report.completed,
+            "errors": report.errors,
+            "mismatches": report.mismatches,
+        })
+    return rows
+
+
+def failover_curve(
+    flake_rates: Sequence[float] = (0.0, 0.05, 0.10),
+    *,
+    n: int = 256,
+    pad_size: int = 32,
+    alpha: float = 0.01,
+    shards: int = 4,
+    replicas: int = 2,
+    requests: int = 64,
+    seed: int = 0xFA11,
+    base: str = "dp_ir",
+) -> list[dict]:
+    """Failover overhead and correctness versus per-node flake rate.
+
+    With ``R`` replicas per shard a flaky node costs retries, not
+    answers: every completed request must still be correct, and the
+    extra server operations relative to the fault-free run are the
+    measured failover overhead.
+    """
+    rows = []
+    baseline_ops = None
+    for rate in flake_rates:
+        report = cluster(
+            base,
+            shards=shards,
+            replicas=replicas,
+            n=n,
+            pad_size=pad_size,
+            alpha=alpha,
+            requests=requests,
+            seed=seed,
+            failure_rate=rate,
+        )
+        if baseline_ops is None:
+            baseline_ops = report.ops_per_request
+        overhead = (
+            report.ops_per_request / baseline_ops - 1.0
+            if baseline_ops else 0.0
+        )
+        rows.append({
+            "flake_rate": rate,
+            "shards": shards,
+            "replicas": replicas,
+            "completed": report.completed,
+            "requests": report.requests,
+            "errors": report.errors,
+            "mismatches": report.mismatches,
+            "ops_per_request": report.ops_per_request,
+            "failover_overhead": overhead,
+            "failovers": report.faults.get("failovers", 0),
+            "failed_operations": report.faults.get("failed_operations", 0),
+            "p95_ms": report.latency.p95_ms,
+        })
+    return rows
+
+
+def detection_comparison(
+    *,
+    n: int = 128,
+    pad_size: int = 16,
+    alpha: float = 0.01,
+    shards: int = 2,
+    replicas: int = 2,
+    requests: int = 48,
+    corruption_rate: float = 0.3,
+    seed: int = 0xC0DE,
+) -> list[dict]:
+    """Detected-versus-silent corruption: authenticated on and off.
+
+    A corrupting replica behind authenticated storage is *detected*
+    (failover serves the right answer); the same replica behind plain
+    storage silently garbles answers — the mismatch counter shows it.
+    """
+    rows = []
+    for authenticated in (True, False):
+        report = cluster(
+            "dp_ir",
+            shards=shards,
+            replicas=replicas,
+            n=n,
+            pad_size=pad_size,
+            alpha=alpha,
+            requests=requests,
+            seed=seed,
+            authenticated=authenticated,
+            corruption_rate=(corruption_rate, 0.0),
+        )
+        rows.append({
+            "authenticated": authenticated,
+            "completed": report.completed,
+            "mismatches": report.mismatches,
+            "corrupted_reads": report.faults.get("corrupted_reads", 0),
+            "detected_corruptions": report.faults.get(
+                "detected_corruptions", 0
+            ),
+            "failovers": report.faults.get("failovers", 0),
+        })
+    return rows

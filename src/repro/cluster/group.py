@@ -1,0 +1,381 @@
+"""Shard groups: R replicas of one scheme instance, with read failover.
+
+A :class:`ShardGroup` owns one shard's records and hosts ``R``
+independently-built replica instances of the base scheme.  Reads rotate
+across replicas for load spreading and *fail over*: a replica that
+raises :class:`~repro.storage.faults.ServerFault` (flaky node) — or
+whose answer fails authenticated decryption
+(:class:`~repro.crypto.encryption.IntegrityError`, a tampering node) —
+is skipped and the read retries on the next replica.
+
+Failure semantics differ by protocol, deliberately:
+
+* **IR replicas** are client-stateless, so a faulted query is safely
+  retryable on the *same* replica later — faults are treated as
+  transient and attempts cycle through all replicas up to a cap.
+* **KVS replicas** mutate client *and* server state on every operation
+  (DP-KVS reads evict), so a fault mid-operation can leave the replica
+  internally inconsistent.  A faulted KVS replica is marked dead and
+  never used again (fail-stop), and reads continue on the survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.protocols import PrivateIR, PrivateKVS
+from repro.crypto.encryption import (
+    IntegrityError,
+    SecretKey,
+    decrypt_authenticated,
+)
+from repro.storage.faults import ServerFault
+from repro.storage.server import StorageServer
+
+#: Attempt cap for transient-fault retries on IR reads.  Generous on
+#: purpose: a flaky node fails each *slot* access independently, so a
+#: pad-set query against a 10 %-flaky server fails much more often than
+#: 10 % — the cap bounds pathological runs, not the common case.
+DEFAULT_MAX_ATTEMPTS = 32
+
+
+class GroupExhaustedError(ServerFault):
+    """Every replica of a shard group failed to serve an operation."""
+
+
+class _GroupCounters:
+    """Shared failover bookkeeping for both group flavours."""
+
+    def __init__(self) -> None:
+        self.failovers = 0
+        self.detected_corruptions = 0
+        self.faulted_reads = 0
+
+    def fault_counters(self) -> dict[str, int]:
+        counters: dict[str, int] = {}
+        if self.failovers:
+            counters["failovers"] = self.failovers
+        if self.detected_corruptions:
+            counters["detected_corruptions"] = self.detected_corruptions
+        if self.faulted_reads:
+            counters["faulted_reads"] = self.faulted_reads
+        return counters
+
+
+class ShardGroup:
+    """One shard's records behind ``R`` IR replicas with read failover.
+
+    Args:
+        shard_id: position in the cluster (for reports).
+        replicas: independently built base-scheme instances, each
+            loaded with this shard's (possibly encrypted) records.
+        key: authenticated-encryption key when the cluster stores
+            ciphertexts; ``None`` stores plaintext (corruption is then
+            silent, exactly as in the single-node fault tests).
+        max_attempts: transient-fault retry cap per logical query.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        replicas: Sequence[PrivateIR],
+        key: SecretKey | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a shard group needs at least one replica")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {max_attempts}"
+            )
+        self.shard_id = shard_id
+        self._replicas = list(replicas)
+        self._key = key
+        self._max_attempts = max_attempts
+        self._next_primary = 0
+        self._counters = _GroupCounters()
+        self._draws = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        """Number of replicas ``R``."""
+        return len(self._replicas)
+
+    @property
+    def replicas(self) -> list[PrivateIR]:
+        """The replica instances (exposed for tests and reports)."""
+        return list(self._replicas)
+
+    @property
+    def draws(self) -> int:
+        """Per-query pad-set draws served by replicas, retries included.
+
+        Every attempt — even one a flaky node aborts partway — exposes
+        an (at least partial) independently drawn pad set to that
+        replica's operator, so the privacy ledger charges each draw.
+        """
+        return self._draws
+
+    @property
+    def local_n(self) -> int:
+        """Records owned by this shard."""
+        return self._replicas[0].n
+
+    @property
+    def epsilon(self) -> float:
+        """The replicas' exact per-query budget (0.0 for ε-free bases)."""
+        return getattr(self._replicas[0], "epsilon", 0.0)
+
+    @property
+    def failovers(self) -> int:
+        """Reads that had to move to another replica (or retry)."""
+        return self._counters.failovers
+
+    @property
+    def detected_corruptions(self) -> int:
+        """Answers rejected by authenticated decryption."""
+        return self._counters.detected_corruptions
+
+    def fault_counters(self) -> dict[str, int]:
+        """Failover totals in the uniform fault-counter vocabulary."""
+        return self._counters.fault_counters()
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every server behind every replica."""
+        servers: list[StorageServer] = []
+        for replica in self._replicas:
+            servers.extend(replica.servers())
+        return tuple(servers)
+
+    def operations(self) -> int:
+        """Total server operations across the group."""
+        return sum(replica.server_operations() for replica in self._replicas)
+
+    # -- reads -------------------------------------------------------------
+
+    def query(self, local_index: int) -> bytes | None:
+        """Serve one read with failover; ``None`` only on the α event."""
+        start = self._rotate()
+        for attempt in range(self._max_attempts):
+            replica = self._replicas[(start + attempt) % len(self._replicas)]
+            self._draws += 1
+            try:
+                answer = replica.query(local_index)
+            except ServerFault:
+                self._counters.faulted_reads += 1
+                self._counters.failovers += 1
+                continue
+            if answer is None:
+                # The α-error event is a *scheme* coin, not a fault —
+                # retrying would distort the error distribution.
+                return None
+            try:
+                return self._decode(answer)
+            except IntegrityError:
+                self._counters.detected_corruptions += 1
+                self._counters.failovers += 1
+        raise GroupExhaustedError(
+            f"shard {self.shard_id}: all {self._max_attempts} attempts "
+            f"across {len(self._replicas)} replicas failed"
+        )
+
+    def query_many(self, local_indices: Sequence[int]) -> list[bytes | None]:
+        """Serve a batch through one replica's ``query_many``, failing over.
+
+        A :class:`ServerFault` mid-batch retries the whole batch on the
+        next replica (IR batches are stateless, so redrawing pad sets is
+        safe); per-answer integrity failures fall back to single-read
+        failover for just the affected indices.
+        """
+        if not local_indices:
+            return []
+        start = self._rotate()
+        answers: list[bytes | None] | None = None
+        for attempt in range(self._max_attempts):
+            replica = self._replicas[(start + attempt) % len(self._replicas)]
+            self._draws += len(local_indices)
+            try:
+                answers = replica.query_many(list(local_indices))
+            except ServerFault:
+                self._counters.faulted_reads += 1
+                self._counters.failovers += 1
+                continue
+            break
+        if answers is None:
+            raise GroupExhaustedError(
+                f"shard {self.shard_id}: batched read failed on every "
+                "attempt"
+            )
+        decoded: list[bytes | None] = []
+        for local_index, answer in zip(local_indices, answers):
+            if answer is None:
+                decoded.append(None)
+                continue
+            try:
+                decoded.append(self._decode(answer))
+            except IntegrityError:
+                self._counters.detected_corruptions += 1
+                self._counters.failovers += 1
+                decoded.append(self.query(local_index))
+        return decoded
+
+    # -- internals ---------------------------------------------------------
+
+    def _rotate(self) -> int:
+        start = self._next_primary
+        self._next_primary = (start + 1) % len(self._replicas)
+        return start
+
+    def _decode(self, block: bytes) -> bytes:
+        if self._key is None:
+            return block
+        return decrypt_authenticated(self._key, block)
+
+
+class KVShardGroup:
+    """One shard's key range behind ``R`` KVS replicas (fail-stop).
+
+    Writes go to every live replica so reads can be served by any of
+    them; a replica that faults mid-operation is marked dead (its
+    client-side state may be inconsistent — see the module docstring)
+    and the group continues on the survivors.
+    """
+
+    def __init__(
+        self, shard_id: int, replicas: Sequence[PrivateKVS]
+    ) -> None:
+        if not replicas:
+            raise ValueError("a shard group needs at least one replica")
+        self.shard_id = shard_id
+        self._replicas = list(replicas)
+        self._alive = [True] * len(replicas)
+        self._next_primary = 0
+        self._counters = _GroupCounters()
+        self._draws = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        """Number of replicas ``R`` (dead ones included)."""
+        return len(self._replicas)
+
+    @property
+    def live_replicas(self) -> int:
+        """Replicas still serving."""
+        return sum(self._alive)
+
+    @property
+    def replicas(self) -> list[PrivateKVS]:
+        """The replica instances (exposed for tests and reports)."""
+        return list(self._replicas)
+
+    @property
+    def draws(self) -> int:
+        """Replica operations attempted, failovers and write fan-out
+        included — each is an independent mechanism invocation visible
+        to that replica's operator, so the ledger charges each one."""
+        return self._draws
+
+    @property
+    def value_size(self) -> int:
+        """The replicas' value budget."""
+        return self._replicas[0].value_size
+
+    @property
+    def epsilon(self) -> float:
+        """The replicas' exact per-operation budget, when they report one."""
+        return getattr(self._replicas[0], "epsilon", 0.0)
+
+    @property
+    def failovers(self) -> int:
+        """Reads that had to move to another replica."""
+        return self._counters.failovers
+
+    def fault_counters(self) -> dict[str, int]:
+        """Failover totals in the uniform fault-counter vocabulary."""
+        counters = self._counters.fault_counters()
+        dead = len(self._replicas) - self.live_replicas
+        if dead:
+            counters["dead_replicas"] = dead
+        return counters
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every server behind every replica (dead ones included)."""
+        servers: list[StorageServer] = []
+        for replica in self._replicas:
+            servers.extend(replica.servers())
+        return tuple(servers)
+
+    def operations(self) -> int:
+        """Total server operations across the group."""
+        return sum(replica.server_operations() for replica in self._replicas)
+
+    # -- operations --------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        """Read ``key`` from the first live replica that serves it."""
+        start = self._rotate()
+        count = len(self._replicas)
+        for offset in range(count):
+            position = (start + offset) % count
+            if not self._alive[position]:
+                continue
+            self._draws += 1
+            try:
+                return self._replicas[position].get(key)
+            except ServerFault:
+                self._mark_dead(position)
+        raise GroupExhaustedError(
+            f"shard {self.shard_id}: no live replicas left for get"
+        )
+
+    def get_many(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Per-key reads with failover (KVS bases do not batch)."""
+        return [self.get(key) for key in keys]
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Write to every live replica; dead ones are skipped."""
+        self._fan_out("put", key, value)
+
+    def delete(self, key: bytes) -> bool:
+        """Delete from every live replica; result from the first survivor."""
+        return bool(self._fan_out("delete", key))
+
+    # -- internals ---------------------------------------------------------
+
+    def _fan_out(self, operation: str, *args):
+        result = None
+        first = True
+        any_succeeded = False
+        for position, replica in enumerate(self._replicas):
+            if not self._alive[position]:
+                continue
+            self._draws += 1
+            try:
+                outcome = getattr(replica, operation)(*args)
+            except ServerFault:
+                self._mark_dead(position)
+                continue
+            any_succeeded = True
+            if first:
+                result = outcome
+                first = False
+        if not any_succeeded:
+            raise GroupExhaustedError(
+                f"shard {self.shard_id}: no live replicas left for "
+                f"{operation}"
+            )
+        return result
+
+    def _mark_dead(self, position: int) -> None:
+        self._counters.faulted_reads += 1
+        self._counters.failovers += 1
+        self._alive[position] = False
+
+    def _rotate(self) -> int:
+        start = self._next_primary
+        self._next_primary = (start + 1) % len(self._replicas)
+        return start

@@ -1,0 +1,126 @@
+"""Cluster-wide privacy accounting: per-shard ledgers, composed budgets.
+
+Each shard group hosts an independent DP scheme over its own records, so
+privacy spend is naturally *per shard*: a query routed to shard ``s``
+charges that shard's :class:`~repro.analysis.ledger.PrivacyLedger` with
+the shard instance's exact per-query ε.  The cluster-wide figures then
+come from :mod:`repro.analysis.composition`:
+
+* **non-colluding operators** (the deployment model: each shard group is
+  run by a separate operator who sees only its own traffic) — the
+  binding budget is the worst single shard's composed spend;
+* **colluding upper bound** — basic composition across every charge on
+  every shard, the figure to quote if all operators pool their views.
+
+The cross-shard *routing* channel (which shard a query went to) is not
+a DP-protected quantity; see the :mod:`repro.cluster` package docstring
+and the ROADMAP open item for the honest statement of that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ledger import BudgetReport, PrivacyLedger
+
+
+@dataclass(frozen=True)
+class ClusterBudgetReport:
+    """Cluster-wide privacy spend.
+
+    Attributes:
+        queries: total charged mechanism draws across all shards.  One
+            per logical query in the fault-free case; failover retries
+            and replica write fan-out each charge separately, since
+            every draw is independently visible to a shard operator.
+        per_query_epsilon: worst per-query ε charged anywhere (0.0 until
+            the first charge) — directly comparable to a single-server
+            scheme's exact budget.
+        worst_shard_epsilon: largest per-shard basic-composition total —
+            the binding budget against non-colluding shard operators.
+        colluding_epsilon: basic composition over every charge — the
+            upper bound if all shard operators pool their transcripts.
+        per_shard: one :class:`~repro.analysis.ledger.BudgetReport` per
+            shard group, in shard order.
+    """
+
+    queries: int
+    per_query_epsilon: float
+    worst_shard_epsilon: float
+    colluding_epsilon: float
+    per_shard: tuple[BudgetReport, ...]
+
+
+class ClusterLedger:
+    """Running (ε, δ) account for a sharded deployment.
+
+    Args:
+        shard_count: number of shard groups.
+        epsilon_cap: optional per-shard hard budget — a charge that
+            would push any single shard past it raises
+            :class:`~repro.analysis.ledger.BudgetExceededError` (caps
+            are per-operator in the non-colluding model).
+        delta_slack: the δ' used for advanced-composition reporting.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        epsilon_cap: float | None = None,
+        delta_slack: float = 1e-9,
+    ) -> None:
+        if shard_count <= 0:
+            raise ValueError(
+                f"shard count must be positive, got {shard_count}"
+            )
+        self._shards = [
+            PrivacyLedger(epsilon_cap=epsilon_cap, delta_slack=delta_slack)
+            for _ in range(shard_count)
+        ]
+        self._per_query_epsilon = 0.0
+
+    @property
+    def shard_count(self) -> int:
+        """Number of per-shard ledgers."""
+        return len(self._shards)
+
+    @property
+    def queries(self) -> int:
+        """Total queries charged across all shards."""
+        return sum(ledger.queries for ledger in self._shards)
+
+    @property
+    def per_query_epsilon(self) -> float:
+        """Worst per-query ε charged so far (0.0 before any charge)."""
+        return self._per_query_epsilon
+
+    def shard_ledger(self, shard: int) -> PrivacyLedger:
+        """The underlying ledger of one shard group."""
+        return self._shards[shard]
+
+    def charge(self, shard: int, epsilon: float, delta: float = 0.0) -> None:
+        """Charge one query against ``shard``'s budget.
+
+        Raises:
+            BudgetExceededError: when a per-shard cap would be exceeded.
+        """
+        self._shards[shard].charge(epsilon, delta)
+        self._per_query_epsilon = max(self._per_query_epsilon, epsilon)
+
+    def report(self) -> ClusterBudgetReport:
+        """Compose the per-shard spends into the cluster-wide budgets."""
+        per_shard = tuple(ledger.report() for ledger in self._shards)
+        worst = max(
+            (shard.basic_epsilon for shard in per_shard), default=0.0
+        )
+        # Colluding upper bound: every charge on every shard composes
+        # sequentially, and the per-shard totals are already basic
+        # compositions — so the cross-shard composition is their sum.
+        colluding = sum(shard.basic_epsilon for shard in per_shard)
+        return ClusterBudgetReport(
+            queries=self.queries,
+            per_query_epsilon=self._per_query_epsilon,
+            worst_shard_epsilon=worst,
+            colluding_epsilon=colluding,
+            per_shard=per_shard,
+        )

@@ -1,0 +1,197 @@
+"""Cluster run reporting: per-shard load, failover, budget, tails."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.ledger import ClusterBudgetReport
+from repro.simulation.metrics import (
+    DEFAULT_PERCENTILES,
+    LatencySummary,
+    percentile_map,
+)
+from repro.simulation.reporting import format_table, latency_rows
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-shard loads.
+
+    1.0 means perfectly even load; ``1/D`` means one of ``D`` shards
+    absorbed everything — the quantitative form of the load-hiding gap
+    the sharded construction gives up versus replication.  An all-zero
+    load vector is trivially even (1.0).
+    """
+    if not values:
+        return 1.0
+    if any(value < 0 for value in values):
+        raise ValueError("loads must be non-negative")
+    sum_of_squares = sum(value * value for value in values)
+    if sum_of_squares == 0.0:
+        return 1.0
+    return sum(values) ** 2 / (len(values) * sum_of_squares)
+
+
+@dataclass
+class ShardReport:
+    """One shard group's slice of a cluster run."""
+
+    shard: int
+    records: int
+    queries: int
+    server_operations: int
+    failovers: int
+    epsilon_spent: float
+
+
+@dataclass
+class ClusterReport:
+    """The outcome of one :func:`repro.cluster.service.cluster` run.
+
+    Simulated milliseconds come from the run's network model (one
+    roundtrip plus serialization per slot access — the same pricing the
+    serving simulator uses), so reports are deterministic.
+    """
+
+    scheme: str
+    base: str
+    placement: str
+    shards: int
+    replicas: int
+    n: int
+    requests: int
+    completed: int
+    errors: int
+    #: Answers that disagreed with the reference model.  Zero whenever
+    #: failover + authenticated storage hold; positive under *silent*
+    #: (unauthenticated) corruption — the detected-vs-silent contrast.
+    mismatches: int
+    network: str
+    latency: LatencySummary
+    server_operations: int
+    per_server_storage_blocks: int
+    total_storage_blocks: int
+    load_jain_index: float
+    budget: ClusterBudgetReport
+    shard_reports: list[ShardReport] = field(default_factory=list)
+    faults: dict = field(default_factory=dict)
+    #: Extra quantiles beyond the summary's fixed fields, keyed ``pXX``.
+    percentiles: dict = field(default_factory=dict)
+
+    @property
+    def ops_per_request(self) -> float:
+        """Server operations per completed request."""
+        if self.completed == 0:
+            return 0.0
+        return self.server_operations / self.completed
+
+    def to_rows(self) -> list[list]:
+        """``[metric, value]`` rows for the summary table."""
+        rows = [
+            ["scheme", self.scheme],
+            ["base scheme", self.base],
+            ["placement", self.placement],
+            ["shard groups", self.shards],
+            ["replicas / group", self.replicas],
+            ["records (n)", self.n],
+            ["requests", self.requests],
+            ["completed", self.completed],
+            ["errors (alpha events)", self.errors],
+            ["mismatches", self.mismatches],
+            ["network", self.network],
+            ["server operations", self.server_operations],
+            ["ops / request", f"{self.ops_per_request:.2f}"],
+            ["per-server storage blocks", self.per_server_storage_blocks],
+            ["total storage blocks", self.total_storage_blocks],
+            ["shard load balance (Jain)", f"{self.load_jain_index:.3f}"],
+            ["per-query epsilon", f"{self.budget.per_query_epsilon:.4f}"],
+            ["worst-shard epsilon spent",
+             f"{self.budget.worst_shard_epsilon:.2f}"],
+            ["colluding epsilon bound",
+             f"{self.budget.colluding_epsilon:.2f}"],
+        ]
+        rows.extend(latency_rows(self.latency))
+        for name in sorted(self.faults):
+            rows.append([f"faults: {name}", self.faults[name]])
+        return rows
+
+    def to_text(self) -> str:
+        """Render the summary and per-shard tables."""
+        summary = format_table(
+            ["metric", "value"],
+            self.to_rows(),
+            title=(
+                f"Cluster: {self.shards}x{self.replicas} "
+                f"{self.base} shard groups ({self.placement} placement)"
+            ),
+        )
+        shard_rows = [
+            [s.shard, s.records, s.queries, s.server_operations,
+             s.failovers, f"{s.epsilon_spent:.2f}"]
+            for s in self.shard_reports
+        ]
+        shards = format_table(
+            ["shard", "records", "queries", "server ops", "failovers",
+             "eps spent"],
+            shard_rows,
+            title="Per-shard load",
+        )
+        return summary + "\n\n" + shards
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (for ``--json`` and bench artifacts)."""
+        return {
+            "scheme": self.scheme,
+            "base": self.base,
+            "placement": self.placement,
+            "shards": self.shards,
+            "replicas": self.replicas,
+            "n": self.n,
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "network": self.network,
+            "server_operations": self.server_operations,
+            "ops_per_request": self.ops_per_request,
+            "per_server_storage_blocks": self.per_server_storage_blocks,
+            "total_storage_blocks": self.total_storage_blocks,
+            "load_jain_index": self.load_jain_index,
+            "latency_ms": {
+                "p50": self.latency.p50_ms,
+                "p95": self.latency.p95_ms,
+                "p99": self.latency.p99_ms,
+                "p999": self.latency.p999_ms,
+                "mean": self.latency.mean_ms,
+                "max": self.latency.max_ms,
+            },
+            # The configurable quantile list, kept apart from the fixed
+            # summary fields so each tail has exactly one source of truth.
+            "percentiles": dict(self.percentiles),
+            "budget": {
+                "queries": self.budget.queries,
+                "per_query_epsilon": self.budget.per_query_epsilon,
+                "worst_shard_epsilon": self.budget.worst_shard_epsilon,
+                "colluding_epsilon": self.budget.colluding_epsilon,
+            },
+            "faults": dict(self.faults),
+            "shards_detail": [
+                {
+                    "shard": s.shard,
+                    "records": s.records,
+                    "queries": s.queries,
+                    "server_operations": s.server_operations,
+                    "failovers": s.failovers,
+                    "epsilon_spent": s.epsilon_spent,
+                }
+                for s in self.shard_reports
+            ],
+        }
+
+
+def extra_percentiles(
+    latencies: Sequence[float],
+    fractions: Sequence[float] = DEFAULT_PERCENTILES,
+) -> dict[str, float]:
+    """The configurable quantile set for :attr:`ClusterReport.percentiles`."""
+    return percentile_map(latencies, fractions)

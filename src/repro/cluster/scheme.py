@@ -1,0 +1,861 @@
+"""Cluster schemes: N shard groups × R replicas behind the protocols.
+
+:class:`ClusterIR` and :class:`ClusterKVS` implement the ordinary
+:class:`~repro.api.protocols.PrivateIR` / ``PrivateKVS`` protocols, so
+the harness, conformance suite and serving simulator drive a whole
+cluster exactly like a single-node scheme.  Internally a
+:class:`~repro.cluster.router.ShardRouter` maps each logical index (or
+key) to one shard group; the group hosts ``R`` independently built
+instances of any registered base scheme over that shard's records and
+fails reads over between them (see :mod:`repro.cluster.group`).
+
+Privacy model — stated honestly: within a shard, the base instance's
+exact per-query ε (over its ``n/D`` records, with a ``K/D`` pad) equals
+the single-server budget over all ``n`` records with pad ``K``, because
+``ε = ln((1−α)·n/(α·K) + 1)`` is invariant under scaling ``n`` and ``K``
+together.  *Across* shards, the routing of a query to its owner group is
+visible to whoever can observe all groups — the cluster accounting
+therefore assumes non-colluding shard operators (each sees only its own
+traffic) and reports the colluding basic-composition bound separately
+via the :class:`~repro.cluster.ledger.ClusterLedger`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api.protocols import PrivateIR, PrivateKVS
+from repro.api.registry import scheme_spec
+from repro.cluster.group import (
+    DEFAULT_MAX_ATTEMPTS,
+    KVShardGroup,
+    ShardGroup,
+)
+from repro.cluster.ledger import ClusterLedger
+from repro.cluster.report import jain_index
+from repro.cluster.router import (
+    RangeRouter,
+    ShardRouter,
+    hash_shard_of_key,
+    make_router,
+)
+from repro.core.params import DPIRParams
+from repro.crypto.encryption import encrypt_authenticated, generate_key
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.storage.faults import (
+    CorruptingServer,
+    FlakyServer,
+    wrap_scheme_servers,
+)
+from repro.storage.server import StorageServer
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one :meth:`ClusterIR.reshard` / ``rebalance`` call did.
+
+    Attributes:
+        shards_before: shard-group count before the migration.
+        shards_after: shard-group count after.
+        moved_records: records whose owning shard changed.
+        migration_operations: server operations spent reading the data
+            out of the old layout (the measurable cost of going online).
+    """
+
+    shards_before: int
+    shards_after: int
+    moved_records: int
+    migration_operations: int
+
+
+def _rate_per_replica(
+    rate: float | Sequence[float], replica_count: int, label: str
+) -> list[float]:
+    """Broadcast a scalar fault rate, or validate a per-replica list."""
+    if isinstance(rate, (int, float)):
+        rates = [float(rate)] * replica_count
+    else:
+        rates = [float(value) for value in rate]
+        if len(rates) != replica_count:
+            raise ValueError(
+                f"expected {replica_count} per-replica {label}s, "
+                f"got {len(rates)}"
+            )
+    for value in rates:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{label} must be in [0, 1], got {value}")
+    return rates
+
+
+def _build_base(base: str, **kwargs):
+    """Build the base scheme, dropping kwargs its builder cannot take.
+
+    Only the *cluster-supplied* tuning kwargs (pad size, error rate) are
+    filtered — bases like ``linear_pir`` take neither and should simply
+    be built without them.  Caller-supplied ``base_kwargs`` pass through
+    unfiltered so typos still fail loudly.
+    """
+    spec = scheme_spec(base)
+    parameters = inspect.signature(spec.builder).parameters
+    takes_any = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    filtered = {
+        key: value
+        for key, value in kwargs.items()
+        if takes_any
+        or key in parameters
+        or key not in ("pad_size", "alpha", "epsilon")
+    }
+    return spec.builder(**filtered)
+
+
+def _inject_faults(
+    replica,
+    failure_rate: float,
+    corruption_rate: float,
+    rng: RandomSource,
+) -> None:
+    """Wrap every server of a built replica in the requested fault layers."""
+    if failure_rate <= 0.0 and corruption_rate <= 0.0:
+        return
+
+    def wrap(server: StorageServer):
+        wrapped = server
+        if failure_rate > 0.0:
+            wrapped = FlakyServer(wrapped, failure_rate, rng.spawn("flaky"))
+        if corruption_rate > 0.0:
+            wrapped = CorruptingServer(
+                wrapped, corruption_rate, rng.spawn("corrupt")
+            )
+        return wrapped
+
+    wrap_scheme_servers(replica, wrap)
+
+
+class ClusterIR(PrivateIR):
+    """Sharded + replicated deployment of any registered IR base scheme.
+
+    Args:
+        blocks: the logical database ``B_1..B_n``.
+        base: registry name of the per-shard scheme (``dp_ir``,
+            ``batch_dp_ir``, ``linear_pir``, …).
+        shard_count: number of shard groups ``D``.
+        replica_count: replicas per group ``R``.
+        placement: ``"range"`` (contiguous, rebalance-capable) or
+            ``"hash"``; a :class:`~repro.cluster.router.ShardRouter`
+            instance is also accepted.
+        epsilon: cluster-wide target budget, resolved to a global pad
+            size exactly like the single-server scheme and split as
+            ``K/D`` per shard (keeping the exact budget invariant).
+            Mutually exclusive with ``pad_size``.
+        pad_size: explicit global pad size ``K``.
+        alpha: error probability of the per-shard base instances.
+        authenticated: store authenticated ciphertexts so tampered
+            answers are *detected* and fail over; ``False`` stores
+            plaintext (corruption is silent).
+        failure_rate: flaky-node rate — a scalar for every replica or a
+            per-replica sequence (``(1.0, 0.0)`` kills replica 0).
+        corruption_rate: bit-flip rate, scalar or per-replica.
+        max_attempts: transient-fault retry cap per logical read.
+        epsilon_cap: optional per-shard ledger cap.
+        rng: randomness source.
+        backend_factory: slot-storage backend for every replica server.
+        **base_kwargs: forwarded verbatim to the base scheme's builder.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[bytes],
+        *,
+        base: str = "dp_ir",
+        shard_count: int = 2,
+        replica_count: int = 2,
+        placement: str | ShardRouter = "range",
+        epsilon: float | None = None,
+        pad_size: int | None = None,
+        alpha: float = 0.05,
+        authenticated: bool = True,
+        failure_rate: float | Sequence[float] = 0.0,
+        corruption_rate: float | Sequence[float] = 0.0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        epsilon_cap: float | None = None,
+        rng: RandomSource | None = None,
+        backend_factory=None,
+        **base_kwargs,
+    ) -> None:
+        if not blocks:
+            raise ValueError("the database must contain at least one block")
+        if replica_count <= 0:
+            raise ValueError(
+                f"replica count must be positive, got {replica_count}"
+            )
+        spec = scheme_spec(base)
+        if spec.kind != "ir":
+            raise ValueError(
+                f"ClusterIR needs an IR base scheme, got {base!r} "
+                f"({spec.kind})"
+            )
+        data = [bytes(block) for block in blocks]
+        n = len(data)
+        self._n = n
+        self._block_size = len(data[0])
+        self._base = spec.name
+        self._replica_count = replica_count
+        self._alpha = alpha
+        self._max_attempts = max_attempts
+        self._epsilon_cap = epsilon_cap
+        self._backend_factory = backend_factory
+        self._base_kwargs = dict(base_kwargs)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._failure_rates = _rate_per_replica(
+            failure_rate, replica_count, "failure rate"
+        )
+        self._corruption_rates = _rate_per_replica(
+            corruption_rate, replica_count, "corruption rate"
+        )
+        self._key = (
+            generate_key(self._rng.spawn("cluster-key"))
+            if authenticated
+            else None
+        )
+
+        # Resolve the *global* pad budget once; every (re)sharding splits
+        # it as K/D so the exact per-shard budget stays put.
+        if epsilon is not None and pad_size is not None:
+            raise ValueError("provide at most one of epsilon or pad_size")
+        if pad_size is not None:
+            self._global_params = DPIRParams.from_pad_size(n, pad_size, alpha)
+        else:
+            self._global_params = DPIRParams.from_epsilon(
+                n, epsilon if epsilon is not None else math.log(max(n, 2)),
+                alpha,
+            )
+
+        router = make_router(placement, n, shard_count)
+        self._generation = 0
+        self._install(router, data)
+
+        self._queries = 0
+        self._errors = 0
+        self._reshard_count = 0
+
+    # -- layout ------------------------------------------------------------
+
+    def _install(self, router: ShardRouter, blocks: list[bytes]) -> None:
+        """(Re)build every shard group for ``router``'s assignment."""
+        assignment = router.assignment()
+        groups: list[ShardGroup] = []
+        locate: dict[int, tuple[int, int]] = {}
+        generation = self._generation
+        self._generation += 1
+        for shard, owned in enumerate(assignment):
+            for local, global_index in enumerate(owned):
+                locate[global_index] = (shard, local)
+            shard_pad = min(
+                len(owned),
+                max(1, math.ceil(
+                    self._global_params.pad_size / router.shard_count
+                )),
+            )
+            replicas = []
+            for replica in range(self._replica_count):
+                label = f"g{generation}/s{shard}/r{replica}"
+                stored = self._stored_blocks(blocks, owned, label)
+                instance = _build_base(
+                    self._base,
+                    blocks=stored,
+                    pad_size=shard_pad,
+                    alpha=self._alpha,
+                    rng=self._rng.spawn(f"scheme/{label}"),
+                    backend=self._backend_factory,
+                    **self._base_kwargs,
+                )
+                _inject_faults(
+                    instance,
+                    self._failure_rates[replica],
+                    self._corruption_rates[replica],
+                    self._rng.spawn(f"faults/{label}"),
+                )
+                replicas.append(instance)
+            groups.append(ShardGroup(
+                shard, replicas, key=self._key,
+                max_attempts=self._max_attempts,
+            ))
+        self._router = router
+        self._groups = groups
+        self._locate = locate
+        self._shard_queries = [0] * router.shard_count
+        self._ledger = ClusterLedger(
+            router.shard_count, epsilon_cap=self._epsilon_cap
+        )
+
+    def _stored_blocks(
+        self, blocks: list[bytes], owned: Sequence[int], label: str
+    ) -> list[bytes]:
+        if self._key is None:
+            return [blocks[index] for index in owned]
+        enc_rng = self._rng.spawn(f"enc/{label}")
+        return [
+            encrypt_authenticated(self._key, blocks[index], enc_rng)
+            for index in owned
+        ]
+
+    # -- scheme info -------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Logical database size."""
+        return self._n
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per *logical* record (before any storage encryption)."""
+        return self._block_size
+
+    @property
+    def base(self) -> str:
+        """Registry name of the per-shard base scheme."""
+        return self._base
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shard groups ``D``."""
+        return len(self._groups)
+
+    @property
+    def replica_count(self) -> int:
+        """Replicas per shard group ``R``."""
+        return self._replica_count
+
+    @property
+    def router(self) -> ShardRouter:
+        """The active placement policy."""
+        return self._router
+
+    @property
+    def groups(self) -> list[ShardGroup]:
+        """The shard groups (exposed for tests and reports)."""
+        return list(self._groups)
+
+    @property
+    def authenticated(self) -> bool:
+        """Whether stored blocks carry authentication tags."""
+        return self._key is not None
+
+    @property
+    def epsilon(self) -> float:
+        """Worst per-shard exact budget — the cluster's per-query ε."""
+        return max(group.epsilon for group in self._groups)
+
+    @property
+    def ledger(self) -> ClusterLedger:
+        """The cluster-wide privacy account."""
+        return self._ledger
+
+    @property
+    def query_count(self) -> int:
+        """Logical queries issued so far."""
+        return self._queries
+
+    @property
+    def error_count(self) -> int:
+        """Queries that hit the α-error event."""
+        return self._errors
+
+    @property
+    def reshard_count(self) -> int:
+        """Completed reshard/rebalance migrations."""
+        return self._reshard_count
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every server behind every replica of every group."""
+        servers: list[StorageServer] = []
+        for group in self._groups:
+            servers.extend(group.servers())
+        return tuple(servers)
+
+    def fault_counters(self) -> dict[str, int]:
+        """Cluster-level failover totals, merged across shard groups."""
+        totals: dict[str, int] = {}
+        for group in self._groups:
+            for key, value in group.fault_counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # -- storage figures ---------------------------------------------------
+
+    def per_server_storage_blocks(self) -> int:
+        """Largest single server, in stored blocks — the ≈ n/D figure."""
+        return max(server.capacity for server in self.servers())
+
+    def total_storage_blocks(self) -> int:
+        """Total stored blocks across the cluster — ``R·n``."""
+        return sum(server.capacity for server in self.servers())
+
+    # -- load metrics ------------------------------------------------------
+
+    def shard_loads(self) -> list[int]:
+        """Per-shard server operations (the measurable hot-spot signal)."""
+        return [group.operations() for group in self._groups]
+
+    def shard_query_counts(self) -> list[int]:
+        """Logical queries routed to each shard."""
+        return list(self._shard_queries)
+
+    def load_balance_index(self) -> float:
+        """Jain index over per-shard server operations."""
+        return jain_index(self.shard_loads())
+
+    # -- querying ----------------------------------------------------------
+
+    def query(self, index: int) -> bytes | None:
+        """Retrieve block ``index``; ``None`` on the α-error event."""
+        shard, local = self._locate_index(index)
+        group = self._groups[shard]
+        before = group.draws
+        try:
+            answer = group.query(local)
+        finally:
+            # Failover retries expose extra pad-set draws to the shard
+            # operator; every draw is charged, even on a failed query.
+            self._charge(shard, queries=1, draws=group.draws - before)
+        if answer is None:
+            self._errors += 1
+        return answer
+
+    def query_many(self, indices: Sequence[int]) -> list[bytes | None]:
+        """Serve ``indices`` in one round, batching per shard group.
+
+        Indices owned by the same group go through the group's
+        ``query_many`` (so a ``batch_dp_ir`` base downloads one pad-set
+        union per shard per round — batching and sharding compound).
+        """
+        if not indices:
+            return []
+        per_shard: dict[int, list[tuple[int, int]]] = {}
+        for position, index in enumerate(indices):
+            shard, local = self._locate_index(index)
+            per_shard.setdefault(shard, []).append((position, local))
+        answers: list[bytes | None] = [None] * len(indices)
+        for shard, entries in per_shard.items():
+            group = self._groups[shard]
+            locals_ = [local for _, local in entries]
+            before = group.draws
+            try:
+                results = group.query_many(locals_)
+            finally:
+                self._charge(shard, queries=len(entries),
+                             draws=group.draws - before)
+            for (position, _), answer in zip(entries, results):
+                answers[position] = answer
+                if answer is None:
+                    self._errors += 1
+        return answers
+
+    def _locate_index(self, index: int) -> tuple[int, int]:
+        try:
+            return self._locate[index]
+        except KeyError:
+            raise ValueError(
+                f"index {index} out of range for n={self.n}"
+            ) from None
+
+    def _charge(self, shard: int, queries: int, draws: int) -> None:
+        """Count logical queries and charge the ledger per visible draw."""
+        self._queries += queries
+        self._shard_queries[shard] += queries
+        epsilon = self._groups[shard].epsilon
+        for _ in range(draws):
+            self._ledger.charge(shard, epsilon)
+
+    # -- online migration --------------------------------------------------
+
+    def reshard(
+        self,
+        shard_count: int | None = None,
+        placement: str | ShardRouter | None = None,
+    ) -> MigrationReport:
+        """Migrate to a new shard count and/or placement, online.
+
+        Reads every record out of the old layout through the normal
+        failover path (so migration works over faulty replicas too),
+        rebuilds the groups under the new router with a ``K/D′`` pad
+        split, and reports the measured migration cost.  The privacy
+        ledger restarts with the new shard set; migration reads touch
+        *every* record in index order — a data-independent maintenance
+        scan, not client queries — so they are not charged.
+
+        Resharding to the *same* shard count reuses the active router
+        (custom boundaries included) and just rebuilds the groups; a
+        custom :class:`~repro.cluster.router.ShardRouter` subclass must
+        pass ``placement`` explicitly to change its shard count.
+        """
+        new_count = shard_count if shard_count is not None else self.shard_count
+        if placement is not None:
+            router = make_router(placement, self.n, new_count)
+        elif new_count == self.shard_count:
+            router = self._router
+        elif self._router.policy in ("range", "hash"):
+            router = make_router(self._router.policy, self.n, new_count)
+        else:
+            raise ValueError(
+                f"cannot re-derive a {type(self._router).__name__} for "
+                f"{new_count} shards; pass placement= explicitly"
+            )
+        return self._migrate(router)
+
+    def rebalance(self) -> MigrationReport:
+        """Recut range boundaries so observed per-shard load evens out.
+
+        Only meaningful for range placement (hash placement has no
+        boundaries to move).
+        """
+        if not isinstance(self._router, RangeRouter):
+            raise ValueError(
+                "rebalance() needs range placement; "
+                f"active policy is {self._router.policy!r}"
+            )
+        loads = [float(load) for load in self.shard_loads()]
+        return self._migrate(self._router.rebalanced(loads))
+
+    def _migrate(self, router: ShardRouter) -> MigrationReport:
+        before_ops = sum(self.shard_loads())
+        shards_before = self.shard_count
+        # Drain the current layout: a full scan through the failover
+        # path, retrying the α-error coin until each record is read.
+        recovered: list[bytes] = []
+        for index in range(self.n):
+            shard, local = self._locate_index(index)
+            group = self._groups[shard]
+            answer = None
+            for _ in range(self._max_attempts * 8):
+                answer = group.query(local)
+                if answer is not None:
+                    break
+            if answer is None:
+                raise RuntimeError(
+                    f"migration could not read record {index} "
+                    "(persistent alpha errors)"
+                )
+            recovered.append(answer)
+        migration_ops = sum(self.shard_loads()) - before_ops
+        moved = sum(
+            1
+            for index in range(self.n)
+            if self._locate[index][0] != router.shard_of(index)
+        )
+        self._install(router, recovered)
+        self._reshard_count += 1
+        return MigrationReport(
+            shards_before=shards_before,
+            shards_after=router.shard_count,
+            moved_records=moved,
+            migration_operations=migration_ops,
+        )
+
+
+class ClusterKVS(PrivateKVS):
+    """Sharded + replicated deployment of any registered KVS base scheme.
+
+    Keys hash to shard groups; each group hosts ``R`` replicas of the
+    base KVS over a slice of the key-capacity budget (with head-room for
+    hash skew).  Writes fan out to every live replica, reads fail over
+    (fail-stop — see :mod:`repro.cluster.group`).  The cluster keeps a
+    client-side key *directory* (keys only, no values) so
+    :meth:`reshard` can enumerate what to migrate.
+
+    Args:
+        n: cluster-wide key capacity.
+        base: registry name of the per-shard KVS scheme.
+        shard_count: number of shard groups ``D``.
+        replica_count: replicas per group ``R``.
+        value_size: maximum value bytes accepted by :meth:`put`.
+        capacity_slack: per-shard over-provisioning factor absorbing
+            hash skew (shard capacity ``≈ slack · n/D``).
+        failure_rate: flaky-node rate, scalar or per-replica sequence.
+        corruption_rate: bit-flip rate, scalar or per-replica (KVS
+            corruption is *silent* — the base schemes authenticate
+            nothing at the cluster boundary; the IR cluster's
+            ``authenticated`` mode is the contrast).
+        epsilon_cap: optional per-shard ledger cap.
+        rng: randomness source.
+        backend_factory: slot-storage backend for every replica server.
+        **base_kwargs: forwarded verbatim to the base scheme's builder.
+    """
+
+    def __init__(
+        self,
+        n: int = 1024,
+        *,
+        base: str = "dp_kvs",
+        shard_count: int = 2,
+        replica_count: int = 2,
+        value_size: int = 32,
+        capacity_slack: float = 1.5,
+        failure_rate: float | Sequence[float] = 0.0,
+        corruption_rate: float | Sequence[float] = 0.0,
+        epsilon_cap: float | None = None,
+        rng: RandomSource | None = None,
+        backend_factory=None,
+        **base_kwargs,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if shard_count <= 0:
+            raise ValueError(
+                f"shard count must be positive, got {shard_count}"
+            )
+        if replica_count <= 0:
+            raise ValueError(
+                f"replica count must be positive, got {replica_count}"
+            )
+        if capacity_slack < 1.0:
+            raise ValueError(
+                f"capacity slack must be at least 1.0, got {capacity_slack}"
+            )
+        spec = scheme_spec(base)
+        if spec.kind != "kvs":
+            raise ValueError(
+                f"ClusterKVS needs a KVS base scheme, got {base!r} "
+                f"({spec.kind})"
+            )
+        self._n = n
+        self._base = spec.name
+        self._replica_count = replica_count
+        self._value_size = value_size
+        self._capacity_slack = capacity_slack
+        self._epsilon_cap = epsilon_cap
+        self._base_kwargs = dict(base_kwargs)
+        self._backend_factory = backend_factory
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._failure_rates = _rate_per_replica(
+            failure_rate, replica_count, "failure rate"
+        )
+        self._corruption_rates = _rate_per_replica(
+            corruption_rate, replica_count, "corruption rate"
+        )
+        self._generation = 0
+        self._keys: set[bytes] = set()
+        self._install(shard_count)
+        self._operations = 0
+        self._reshard_count = 0
+
+    def _install(self, shard_count: int) -> None:
+        local_n = max(4, math.ceil(
+            self._capacity_slack * self._n / shard_count
+        ))
+        generation = self._generation
+        self._generation += 1
+        groups: list[KVShardGroup] = []
+        for shard in range(shard_count):
+            replicas = []
+            for replica in range(self._replica_count):
+                label = f"g{generation}/s{shard}/r{replica}"
+                instance = _build_base(
+                    self._base,
+                    n=local_n,
+                    value_size=self._value_size,
+                    rng=self._rng.spawn(f"scheme/{label}"),
+                    backend=self._backend_factory,
+                    **self._base_kwargs,
+                )
+                _inject_faults(
+                    instance,
+                    self._failure_rates[replica],
+                    self._corruption_rates[replica],
+                    self._rng.spawn(f"faults/{label}"),
+                )
+                replicas.append(instance)
+            groups.append(KVShardGroup(shard, replicas))
+        self._groups = groups
+        self._shard_queries = [0] * shard_count
+        self._ledger = ClusterLedger(
+            shard_count, epsilon_cap=self._epsilon_cap
+        )
+
+    # -- scheme info -------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Cluster-wide key capacity."""
+        return self._n
+
+    @property
+    def value_size(self) -> int:
+        """Maximum value length accepted by :meth:`put`."""
+        return self._value_size
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per transferred block (the base scheme's node size)."""
+        return self._groups[0].replicas[0].block_size
+
+    @property
+    def base(self) -> str:
+        """Registry name of the per-shard base scheme."""
+        return self._base
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shard groups ``D``."""
+        return len(self._groups)
+
+    @property
+    def replica_count(self) -> int:
+        """Replicas per shard group ``R``."""
+        return self._replica_count
+
+    @property
+    def groups(self) -> list[KVShardGroup]:
+        """The shard groups (exposed for tests and reports)."""
+        return list(self._groups)
+
+    @property
+    def size(self) -> int:
+        """Keys currently stored (from the client-side directory)."""
+        return len(self._keys)
+
+    @property
+    def ledger(self) -> ClusterLedger:
+        """The cluster-wide privacy account."""
+        return self._ledger
+
+    @property
+    def operation_count(self) -> int:
+        """Logical KVS operations issued so far."""
+        return self._operations
+
+    @property
+    def reshard_count(self) -> int:
+        """Completed reshard migrations."""
+        return self._reshard_count
+
+    def servers(self) -> tuple[StorageServer, ...]:
+        """Every server behind every replica of every group."""
+        servers: list[StorageServer] = []
+        for group in self._groups:
+            servers.extend(group.servers())
+        return tuple(servers)
+
+    def fault_counters(self) -> dict[str, int]:
+        """Cluster-level failover totals, merged across shard groups."""
+        totals: dict[str, int] = {}
+        for group in self._groups:
+            for key, value in group.fault_counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def shard_loads(self) -> list[int]:
+        """Per-shard server operations."""
+        return [group.operations() for group in self._groups]
+
+    def shard_query_counts(self) -> list[int]:
+        """Logical operations routed to each shard."""
+        return list(self._shard_queries)
+
+    def load_balance_index(self) -> float:
+        """Jain index over per-shard server operations."""
+        return jain_index(self.shard_loads())
+
+    def per_server_storage_blocks(self) -> int:
+        """Largest single server, in stored blocks."""
+        return max(server.capacity for server in self.servers())
+
+    def total_storage_blocks(self) -> int:
+        """Total stored blocks across the cluster."""
+        return sum(server.capacity for server in self.servers())
+
+    # -- operations --------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        """Retrieve the exact value for ``key``; ``None`` if absent."""
+        shard = self._shard_of(key)
+        group = self._groups[shard]
+        before = group.draws
+        try:
+            value = group.get(key)
+        finally:
+            self._charge(shard, group.draws - before)
+        return value
+
+    def get_many(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Retrieve ``keys`` in order, routing each to its shard."""
+        return [self.get(key) for key in keys]
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key`` on every live replica of its shard."""
+        shard = self._shard_of(key)
+        group = self._groups[shard]
+        before = group.draws
+        try:
+            group.put(key, value)
+        finally:
+            self._charge(shard, group.draws - before)
+        self._keys.add(bytes(key))
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        shard = self._shard_of(key)
+        group = self._groups[shard]
+        before = group.draws
+        try:
+            existed = group.delete(key)
+        finally:
+            self._charge(shard, group.draws - before)
+        self._keys.discard(bytes(key))
+        return existed
+
+    def _shard_of(self, key: bytes) -> int:
+        return hash_shard_of_key(key, self.shard_count)
+
+    def _charge(self, shard: int, draws: int) -> None:
+        """Count one logical operation; charge the ledger per replica
+        operation attempted (write fan-out and failovers each expose an
+        independent mechanism invocation to a replica's operator)."""
+        self._operations += 1
+        self._shard_queries[shard] += 1
+        epsilon = self._groups[shard].epsilon
+        for _ in range(draws):
+            self._ledger.charge(shard, epsilon)
+
+    # -- online migration --------------------------------------------------
+
+    def reshard(self, shard_count: int | None = None) -> MigrationReport:
+        """Migrate every stored key to a new shard count, online.
+
+        Values are read out through the failover path using the
+        client-side key directory, the groups are rebuilt, and every
+        pair is re-inserted under the new hash placement.
+        """
+        new_count = shard_count if shard_count is not None else self.shard_count
+        before_ops = sum(self.shard_loads())
+        shards_before = self.shard_count
+        snapshot: list[tuple[bytes, bytes]] = []
+        for key in sorted(self._keys):
+            value = self._groups[self._shard_of(key)].get(key)
+            if value is not None:
+                snapshot.append((key, value))
+        migration_ops = sum(self.shard_loads()) - before_ops
+        self._install(new_count)
+        moved = sum(
+            1
+            for key, _ in snapshot
+            if hash_shard_of_key(key, shards_before)
+            != hash_shard_of_key(key, new_count)
+        )
+        self._keys = set()
+        for key, value in snapshot:
+            self._groups[self._shard_of(key)].put(key, value)
+            self._keys.add(key)
+        self._reshard_count += 1
+        return MigrationReport(
+            shards_before=shards_before,
+            shards_after=new_count,
+            moved_records=moved,
+            migration_operations=migration_ops,
+        )

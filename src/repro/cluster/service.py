@@ -1,0 +1,225 @@
+"""``cluster()``: registry-driven construction and run of a deployment.
+
+The one-call entry point behind ``repro.cluster`` and the
+``python -m repro cluster`` CLI subcommand: build a sharded + replicated
+cluster around any registered IR or KVS base scheme, drive a workload
+trace through it, and report ops/request, tail latency (priced by the
+network model), per-shard load balance, failover totals and the
+cluster-wide privacy budget::
+
+    import repro
+
+    report = repro.cluster("dp_ir", shards=4, replicas=2, seed=7)
+    print(report.to_text())
+    print(report.ops_per_request, report.budget.per_query_epsilon)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.registry import resolve_scheme_name, scheme_spec
+from repro.cluster.report import (
+    ClusterReport,
+    ShardReport,
+    extra_percentiles,
+    jain_index,
+)
+from repro.cluster.scheme import ClusterIR, ClusterKVS
+from repro.crypto.rng import SeededRandomSource, SystemRandomSource
+from repro.simulation.metrics import DEFAULT_PERCENTILES, LatencySummary
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE, integer_database
+from repro.storage.faults import scheme_fault_counters
+from repro.workloads import catalogue
+
+
+def cluster(
+    scheme: str = "dp_ir",
+    *,
+    shards: int = 4,
+    replicas: int = 2,
+    n: int = 1024,
+    requests: int = 256,
+    workload: str = "uniform",
+    placement: str = "range",
+    epsilon: float | None = None,
+    pad_size: int | None = None,
+    alpha: float = 0.05,
+    authenticated: bool = True,
+    failure_rate: float | Sequence[float] = 0.0,
+    corruption_rate: float | Sequence[float] = 0.0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    value_size: int = 32,
+    seed: int | bytes | str | None = None,
+    network: str = "lan",
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    **base_kwargs,
+) -> ClusterReport:
+    """Run a workload against a sharded + replicated cluster.
+
+    Args:
+        scheme: registry name of the *base* scheme each shard group
+            hosts (IR or KVS; hyphenated aliases accepted).
+        shards: number of shard groups ``D``.
+        replicas: replicas per group ``R``.
+        n: logical database size / key capacity.
+        requests: operations to drive through the cluster.
+        workload: trace shape (``uniform`` / ``zipf`` / ``hotspot`` /
+            ``sequential`` for IR; ``ycsb-a/b/c`` / ``insert-lookup``
+            for KVS, with index names aliased).
+        placement: ``"range"`` or ``"hash"`` (IR clusters; KVS always
+            hashes keys).
+        epsilon: cluster-wide privacy target (IR; default ``ln n``).
+        pad_size: explicit global pad size ``K`` (IR alternative).
+        alpha: per-query error probability of the IR base instances.
+        authenticated: authenticated storage encryption (IR) so
+            corruption is detected and fails over.
+        failure_rate: flaky-node rate, scalar or per-replica sequence.
+        corruption_rate: bit-flip rate, scalar or per-replica.
+        block_size: record bytes for IR databases.
+        value_size: KVS value budget.
+        seed: deterministic randomness; ``None`` uses system entropy.
+        network: link model (``lan`` / ``wan`` / ``mobile``) pricing
+            server operations into simulated milliseconds.
+        percentiles: quantile fractions for the report's tail set.
+        **base_kwargs: forwarded to the base scheme's builder.
+
+    Returns:
+        The run's :class:`~repro.cluster.report.ClusterReport`.
+    """
+    from repro.api.builders import resolve_network
+
+    if requests < 1:
+        raise ValueError(f"requests must be at least 1, got {requests}")
+    base = resolve_scheme_name(scheme)
+    spec = scheme_spec(base)
+    if spec.kind == "ram":
+        raise ValueError(
+            f"cluster bases must be IR or KVS schemes; {base!r} is RAM"
+        )
+    root = (
+        SeededRandomSource(seed) if seed is not None else SystemRandomSource()
+    )
+    model = resolve_network(network)
+
+    if spec.kind == "ir":
+        database = integer_database(n, block_size)
+        instance = ClusterIR(
+            database,
+            base=base,
+            shard_count=shards,
+            replica_count=replicas,
+            placement=placement,
+            epsilon=epsilon,
+            pad_size=pad_size,
+            alpha=alpha,
+            authenticated=authenticated,
+            failure_rate=failure_rate,
+            corruption_rate=corruption_rate,
+            rng=root.spawn("cluster"),
+            **base_kwargs,
+        )
+        trace = catalogue.index_trace(
+            workload, n, requests, root.spawn("trace"), write_fraction=0.0,
+        )
+        operations = [op.index for op in trace]
+        runner = instance.query
+        expected = database
+    else:
+        instance = ClusterKVS(
+            n,
+            base=base,
+            shard_count=shards,
+            replica_count=replicas,
+            value_size=value_size,
+            failure_rate=failure_rate,
+            corruption_rate=corruption_rate,
+            rng=root.spawn("cluster"),
+            **base_kwargs,
+        )
+        # kv_trace itself aliases index-workload names to their KV analogue.
+        trace = catalogue.kv_trace(
+            workload, n, requests, root.spawn("trace"),
+            value_size=value_size,
+        )
+        operations = list(trace)
+        runner = None
+        expected = None
+
+    per_op = model.rtt_ms + model.transfer_ms(instance.block_size)
+    latencies: list[float] = []
+    completed = 0
+    errors = 0
+    mismatches = 0
+    last_ops = 0
+    if spec.kind == "ir":
+        for index in operations:
+            answer = runner(index)
+            now_ops = sum(instance.shard_loads())
+            latencies.append((now_ops - last_ops) * per_op)
+            last_ops = now_ops
+            completed += 1
+            if answer is None:
+                errors += 1
+            elif expected is not None and answer != expected[index]:
+                mismatches += 1
+    else:
+        from repro.workloads.kv_traces import KVOpKind
+
+        reference: dict[bytes, bytes] = {}
+        for operation in operations:
+            if operation.kind is KVOpKind.GET:
+                answer = instance.get(operation.key)
+                if answer != reference.get(operation.key):
+                    mismatches += 1
+            else:
+                instance.put(operation.key, operation.value)
+                reference[operation.key] = operation.value
+            now_ops = sum(instance.shard_loads())
+            latencies.append((now_ops - last_ops) * per_op)
+            last_ops = now_ops
+            completed += 1
+
+    loads = instance.shard_loads()
+    budget = instance.ledger.report()
+    assignment = (
+        instance.router.assignment() if spec.kind == "ir" else None
+    )
+    shard_reports = []
+    for shard, group in enumerate(instance.groups):
+        shard_reports.append(ShardReport(
+            shard=shard,
+            records=(
+                len(assignment[shard]) if assignment is not None
+                else group.replicas[0].n
+            ),
+            queries=instance.shard_query_counts()[shard],
+            server_operations=loads[shard],
+            failovers=group.failovers,
+            epsilon_spent=budget.per_shard[shard].basic_epsilon,
+        ))
+
+    return ClusterReport(
+        scheme=type(instance).__name__,
+        base=base,
+        placement=(
+            instance.router.policy if spec.kind == "ir" else "hash"
+        ),
+        shards=shards,
+        replicas=replicas,
+        n=n,
+        requests=len(operations),
+        completed=completed,
+        errors=errors,
+        mismatches=mismatches,
+        network=network if isinstance(network, str) else "custom",
+        latency=LatencySummary.from_values(latencies),
+        server_operations=sum(loads),
+        per_server_storage_blocks=instance.per_server_storage_blocks(),
+        total_storage_blocks=instance.total_storage_blocks(),
+        load_jain_index=jain_index(loads),
+        budget=budget,
+        shard_reports=shard_reports,
+        faults=scheme_fault_counters(instance),
+        percentiles=extra_percentiles(latencies, percentiles),
+    )

@@ -56,6 +56,10 @@ class ServingReport:
     dispatches: int
     server_operations: int
     tenants: list[TenantReport] = field(default_factory=list)
+    #: Injected/observed fault totals (``failed_operations``,
+    #: ``corrupted_reads``, cluster ``failovers`` …); empty for a
+    #: fault-free run.
+    faults: dict = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -119,6 +123,8 @@ class ServingReport:
             ["ops / request", f"{self.ops_per_request:.2f}"],
             ["tenant fairness (Jain)", f"{self.fairness_index:.3f}"],
         ])
+        for name in sorted(self.faults):
+            rows.append([f"faults: {name}", self.faults[name]])
         return rows
 
     def to_text(self) -> str:
@@ -158,9 +164,11 @@ class ServingReport:
                 "p50": self.latency.p50_ms,
                 "p95": self.latency.p95_ms,
                 "p99": self.latency.p99_ms,
+                "p999": self.latency.p999_ms,
                 "mean": self.latency.mean_ms,
                 "max": self.latency.max_ms,
             },
+            "faults": dict(self.faults),
             "queue_wait_p95_ms": self.queue_latency.p95_ms,
             "mean_queue_depth": self.mean_queue_depth,
             "max_queue_depth": self.max_queue_depth,

@@ -32,6 +32,7 @@ from repro.serving.requests import Request
 from repro.serving.schedulers import RequestScheduler
 from repro.simulation.metrics import LatencySummary
 from repro.storage.backends import NetworkBackend
+from repro.storage.faults import scheme_fault_counters
 from repro.storage.network import LAN, NetworkModel
 from repro.workloads.kv_traces import KVOperation, KVOpKind
 from repro.workloads.trace import Operation, OpKind
@@ -301,4 +302,5 @@ class ServingSimulator:
             dispatches=dispatches,
             server_operations=total_ops,
             tenants=[tenant_reports[s.tenant] for s in self._sessions],
+            faults=scheme_fault_counters(self._scheme),
         )

@@ -24,6 +24,7 @@ import time
 from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
 from repro.simulation.metrics import RunMetrics
 from repro.storage.backends import NetworkBackend
+from repro.storage.faults import scheme_fault_counters
 from repro.workloads.kv_traces import KVOpKind, KVTrace
 from repro.workloads.trace import OpKind, Trace
 
@@ -134,6 +135,7 @@ def run_ir_trace(
     metrics.blocks_downloaded = reads_after - reads_before
     metrics.blocks_uploaded = writes_after - writes_before
     metrics.client_peak_blocks = scheme.client_peak_blocks
+    metrics.fault_counters = scheme_fault_counters(scheme)
     return metrics
 
 
@@ -172,6 +174,7 @@ def run_ram_trace(
     metrics.blocks_downloaded = reads_after - reads_before
     metrics.blocks_uploaded = writes_after - writes_before
     metrics.client_peak_blocks = scheme.client_peak_blocks
+    metrics.fault_counters = scheme_fault_counters(scheme)
     return metrics
 
 
@@ -210,4 +213,5 @@ def run_kv_trace(
     metrics.blocks_downloaded = reads_after - reads_before
     metrics.blocks_uploaded = writes_after - writes_before
     metrics.client_peak_blocks = scheme.client_peak_blocks
+    metrics.fault_counters = scheme_fault_counters(scheme)
     return metrics

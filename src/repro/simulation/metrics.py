@@ -42,6 +42,38 @@ def _interpolate(ordered: Sequence[float], fraction: float) -> float:
     return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
 
+#: The tails every report shows by default.  Cluster-scale runs care
+#: about deeper tails than p99, hence p99.9 — callers with different
+#: needs pass their own fraction list to :func:`percentile_map`.
+DEFAULT_PERCENTILES = (0.50, 0.95, 0.99, 0.999)
+
+
+def percentile_label(fraction: float) -> str:
+    """The conventional name of a quantile: ``0.999`` → ``"p99.9"``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    return f"p{100.0 * fraction:g}"
+
+
+def percentile_map(
+    values: Sequence[float],
+    fractions: Sequence[float] = DEFAULT_PERCENTILES,
+) -> dict[str, float]:
+    """Quantiles of ``values`` at each fraction, keyed by ``pXX`` label.
+
+    One sort serves every requested fraction.  An empty sample maps every
+    label to ``0.0`` (matching :meth:`LatencySummary.from_values`).
+    """
+    labels = [percentile_label(fraction) for fraction in fractions]
+    if not values:
+        return {label: 0.0 for label in labels}
+    ordered = sorted(values)
+    return {
+        label: _interpolate(ordered, fraction)
+        for label, fraction in zip(labels, fractions)
+    }
+
+
 @dataclass(frozen=True)
 class LatencySummary:
     """Tail statistics of a latency sample, in milliseconds.
@@ -53,6 +85,8 @@ class LatencySummary:
         p95_ms: 95th percentile.
         p99_ms: 99th percentile.
         max_ms: worst observation.
+        p999_ms: 99.9th percentile (cluster-scale tail; defaults to 0.0
+            so summaries built by older call sites stay valid).
     """
 
     count: int
@@ -61,13 +95,14 @@ class LatencySummary:
     p95_ms: float
     p99_ms: float
     max_ms: float
+    p999_ms: float = 0.0
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencySummary":
         """Summarize a latency sample (all zeros for an empty sample)."""
         if not values:
             return cls(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0,
-                       p99_ms=0.0, max_ms=0.0)
+                       p99_ms=0.0, max_ms=0.0, p999_ms=0.0)
         ordered = sorted(values)
         return cls(
             count=len(ordered),
@@ -76,6 +111,7 @@ class LatencySummary:
             p95_ms=_interpolate(ordered, 0.95),
             p99_ms=_interpolate(ordered, 0.99),
             max_ms=ordered[-1],
+            p999_ms=_interpolate(ordered, 0.999),
         )
 
 
@@ -97,6 +133,8 @@ class RunMetrics:
         elapsed_seconds: wall-clock time of the run.
         latencies_ms: per-operation simulated response times, recorded
             when the scheme runs over a latency-accounting backend.
+        fault_counters: injected/observed fault totals aggregated from
+            the scheme's fault wrappers; empty for fault-free runs.
     """
 
     scheme: str
@@ -109,6 +147,7 @@ class RunMetrics:
     client_peak_blocks: int | None = None
     elapsed_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
+    fault_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def blocks_total(self) -> int:

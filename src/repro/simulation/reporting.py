@@ -56,6 +56,7 @@ def latency_rows(
         [f"{label} p50 ms", f"{summary.p50_ms:.2f}"],
         [f"{label} p95 ms", f"{summary.p95_ms:.2f}"],
         [f"{label} p99 ms", f"{summary.p99_ms:.2f}"],
+        [f"{label} p99.9 ms", f"{summary.p999_ms:.2f}"],
         [f"{label} mean ms", f"{summary.mean_ms:.2f}"],
         [f"{label} max ms", f"{summary.max_ms:.2f}"],
     ]

@@ -15,13 +15,25 @@ use them to demonstrate two facts: the plain IND-CPA encryption of the
 DP schemes does *not* detect tampering (decryptions silently garble,
 exactly as the threat model predicts), while the authenticated mode of
 :mod:`repro.crypto.encryption` catches every corrupted block.
+
+Both wrappers expose a uniform :meth:`~CorruptingServer.fault_counters`
+mapping, which :func:`scheme_fault_counters` aggregates across a whole
+scheme (nested wrappers included) — that is what the serving report and
+harness metrics surface, and what the cluster failover benchmarks use to
+report detected-versus-silent faults.  :func:`wrap_scheme_servers`
+installs wrappers into an already-built scheme, replacing every server
+reference it holds (directly, in a :class:`ServerPool`, in a list, or
+inside a nested sub-scheme), so fault injection works on any registered
+scheme without per-scheme wiring.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.crypto.rng import RandomSource
 from repro.storage.errors import StorageError
-from repro.storage.server import StorageServer
+from repro.storage.server import ServerPool, StorageServer
 
 
 class ServerFault(StorageError):
@@ -53,6 +65,14 @@ class CorruptingServer:
     def corrupted_reads(self) -> int:
         """Reads that were served corrupted."""
         return self._corrupted
+
+    def fault_counters(self) -> dict[str, int]:
+        """Injected-fault totals, merged with any wrapped fault layer."""
+        counters = _inner_fault_counters(self._inner)
+        counters["corrupted_reads"] = (
+            counters.get("corrupted_reads", 0) + self._corrupted
+        )
+        return counters
 
     def read(self, index: int) -> bytes:
         """Serve a read, possibly with one bit flipped."""
@@ -92,6 +112,14 @@ class FlakyServer:
         """Operations that failed."""
         return self._failures
 
+    def fault_counters(self) -> dict[str, int]:
+        """Injected-fault totals, merged with any wrapped fault layer."""
+        counters = _inner_fault_counters(self._inner)
+        counters["failed_operations"] = (
+            counters.get("failed_operations", 0) + self._failures
+        )
+        return counters
+
     def read(self, index: int) -> bytes:
         """Serve a read or fail."""
         self._maybe_fail("read", index)
@@ -109,3 +137,86 @@ class FlakyServer:
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
+
+
+def _inner_fault_counters(inner) -> dict[str, int]:
+    counters = getattr(inner, "fault_counters", None)
+    return dict(counters()) if counters is not None else {}
+
+
+def scheme_fault_counters(scheme) -> dict[str, int]:
+    """Aggregate fault counters across everything ``scheme`` exposes.
+
+    Sums the :meth:`fault_counters` of every server returned by the
+    scheme's ``servers()`` (wrapped servers report, plain ones are
+    skipped), then merges the scheme's own ``fault_counters()`` when it
+    defines one — the cluster layer reports failovers and detected
+    corruptions that way.  Returns an empty mapping for a fault-free
+    deployment, so report code can cheaply show nothing.
+    """
+    totals: dict[str, int] = {}
+    for server in scheme.servers():
+        counters = getattr(server, "fault_counters", None)
+        if counters is None:
+            continue
+        for key, value in counters().items():
+            totals[key] = totals.get(key, 0) + value
+    own = getattr(scheme, "fault_counters", None)
+    if own is not None:
+        for key, value in own().items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def wrap_scheme_servers(
+    scheme, wrap: Callable[[StorageServer], object]
+) -> list:
+    """Replace every server reference inside a built scheme with ``wrap(server)``.
+
+    Walks the instance's attributes — direct :class:`StorageServer`
+    fields, :class:`~repro.storage.server.ServerPool` contents, lists of
+    servers, and nested sub-schemes (DP-KVS keeps its server inside an
+    internal bucket RAM) — and swaps each server for its wrapper, so the
+    scheme's own reads and writes flow through the injected fault layer
+    and ``servers()`` reports the wrappers.
+
+    Returns:
+        The installed wrappers.
+
+    Raises:
+        ValueError: if no server reference was found to wrap.
+    """
+    wrapped: list = []
+    _wrap_attrs(scheme, wrap, wrapped, seen=set())
+    if not wrapped:
+        raise ValueError(
+            f"no server references found on {type(scheme).__name__}"
+        )
+    return wrapped
+
+
+def _wrap_attrs(obj, wrap, wrapped: list, seen: set[int]) -> None:
+    if id(obj) in seen or not hasattr(obj, "__dict__"):
+        return
+    seen.add(id(obj))
+    for name, value in list(vars(obj).items()):
+        if isinstance(value, StorageServer):
+            wrapper = wrap(value)
+            setattr(obj, name, wrapper)
+            wrapped.append(wrapper)
+        elif isinstance(value, ServerPool):
+            servers = value._servers
+            for position, server in enumerate(servers):
+                if isinstance(server, StorageServer):
+                    servers[position] = wrap(server)
+                    wrapped.append(servers[position])
+        elif isinstance(value, list):
+            for position, item in enumerate(value):
+                if isinstance(item, StorageServer):
+                    value[position] = wrap(item)
+                    wrapped.append(value[position])
+        elif hasattr(value, "servers") and callable(
+            getattr(value, "servers", None)
+        ):
+            # A nested sub-scheme (e.g. the bucket RAM inside DP-KVS).
+            _wrap_attrs(value, wrap, wrapped, seen)

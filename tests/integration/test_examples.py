@@ -17,6 +17,8 @@ EXAMPLES = sorted(
 
 EXPECTED_MARKERS = {
     "quickstart.py": ["DP-RAM", "DP-IR", "DP-KVS", "Done."],
+    "cluster_deployment.py": ["shard groups", "failover", "resharding",
+                              "retrieval preserved", "Done."],
     "concurrent_serving.py": ["FIFO", "batched", "latency p95", "Done."],
     "private_advertising.py": ["impressions", "DP-IR", "linear PIR"],
     "kv_store_workload.py": ["YCSB", "DP-KVS", "ORAM-KVS"],

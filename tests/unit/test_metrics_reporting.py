@@ -45,22 +45,58 @@ class TestLatencySummary:
         assert summary.mean_ms == pytest.approx(2.5)
         assert summary.p50_ms == pytest.approx(2.5)
         assert summary.max_ms == 4.0
-        assert summary.p50_ms <= summary.p95_ms <= summary.p99_ms
+        assert (summary.p50_ms <= summary.p95_ms <= summary.p99_ms
+                <= summary.p999_ms <= summary.max_ms)
 
     def test_empty_sample(self):
         summary = LatencySummary.from_values([])
         assert summary.count == 0
         assert summary.p99_ms == 0.0
+        assert summary.p999_ms == 0.0
+
+    def test_backward_compatible_construction(self):
+        # Call sites predating p99.9 build summaries without it.
+        summary = LatencySummary(count=1, mean_ms=1.0, p50_ms=1.0,
+                                 p95_ms=1.0, p99_ms=1.0, max_ms=1.0)
+        assert summary.p999_ms == 0.0
 
     def test_latency_rows_render(self):
         summary = LatencySummary.from_values([1.0, 2.0, 3.0])
         rows = latency_rows(summary)
         labels = [row[0] for row in rows]
         assert labels == ["latency p50 ms", "latency p95 ms",
-                          "latency p99 ms", "latency mean ms",
-                          "latency max ms"]
+                          "latency p99 ms", "latency p99.9 ms",
+                          "latency mean ms", "latency max ms"]
         text = format_table(["metric", "value"], rows)
-        assert "p99" in text
+        assert "p99.9" in text
+
+
+class TestPercentileMap:
+    def test_default_fractions_include_p999(self):
+        from repro.simulation.metrics import percentile_map
+
+        values = [float(i) for i in range(1, 1001)]
+        tails = percentile_map(values)
+        assert set(tails) == {"p50", "p95", "p99", "p99.9"}
+        assert tails["p50"] == pytest.approx(500.5)
+        assert tails["p99.9"] == pytest.approx(999.001)
+
+    def test_configurable_fraction_list(self):
+        from repro.simulation.metrics import percentile_map
+
+        tails = percentile_map([1.0, 2.0, 3.0, 4.0], (0.0, 0.25, 1.0))
+        assert tails == {"p0": 1.0, "p25": pytest.approx(1.75), "p100": 4.0}
+
+    def test_empty_sample_maps_to_zero(self):
+        from repro.simulation.metrics import percentile_map
+
+        assert percentile_map([], (0.5, 0.999)) == {"p50": 0.0, "p99.9": 0.0}
+
+    def test_bad_fraction_rejected(self):
+        from repro.simulation.metrics import percentile_map
+
+        with pytest.raises(ValueError):
+            percentile_map([1.0], (1.5,))
 
 
 class TestRunMetrics:

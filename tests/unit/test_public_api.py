@@ -37,8 +37,8 @@ class TestTopLevelExports:
 class TestSubpackageExports:
     @pytest.mark.parametrize("module_name", [
         "repro.core", "repro.analysis", "repro.baselines", "repro.crypto",
-        "repro.hashing", "repro.simulation", "repro.storage",
-        "repro.workloads",
+        "repro.cluster", "repro.hashing", "repro.simulation",
+        "repro.storage", "repro.workloads",
     ])
     def test_subpackage_all_resolves(self, module_name):
         import importlib
