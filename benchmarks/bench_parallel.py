@@ -1,0 +1,123 @@
+"""Parallel execution layer — speedup and equivalence, as claim assertions.
+
+Two claims under test:
+
+* **Speedup**: with batched dispatch across ``D`` shard groups, the
+  parallel executor's wall-clock is *strictly below* the serial
+  executor's at every ``D ≥ 4`` (the acceptance bar), while
+  ops/request, per-server storage and the exact per-query ε stay
+  exactly invariant — overlap changes when legs run, never what the
+  ledger sees.
+* **Equivalence**: under injected flaky-read and corruption faults,
+  serial, threaded-parallel and simulated-parallel executors return
+  bit-identical retrievals, identical privacy budgets and identical
+  failover counters.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.parallel.bench import (
+    DEFAULT_BATCH,
+    executor_equivalence,
+    speedup_curve,
+)
+from repro.simulation.reporting import ExperimentTable
+
+
+@pytest.fixture(scope="module")
+def speedup_results():
+    return speedup_curve()
+
+
+@pytest.fixture(scope="module")
+def equivalence_result():
+    return executor_equivalence()
+
+
+def test_parallel_speedup_table(speedup_results):
+    table = ExperimentTable(
+        "PARALLEL_SPEEDUP",
+        "cross-shard fan-out overlaps wall-clock at invariant "
+        "ops/request, storage and epsilon",
+        headers=["shards", "serial ms", "parallel ms", "speedup",
+                 "ops/request", "per-query eps"],
+    )
+    for row in speedup_results:
+        table.add_row(
+            row["shards"], round(row["serial_ms"], 1),
+            round(row["parallel_ms"], 1), round(row["speedup"], 2),
+            round(row["ops_per_request"]["parallel"], 2),
+            round(row["per_query_epsilon"]["parallel"], 4),
+        )
+    table.add_note(
+        f"batched dispatch ({DEFAULT_BATCH}/round), uniform reads, "
+        "deterministic seed, LAN cost model"
+    )
+    write_report(table)
+    print("\n" + table.to_text())
+
+
+def test_parallel_wall_clock_strictly_below_serial_at_four_shards(
+    speedup_results,
+):
+    # The acceptance claim: parallel wall-clock < serial at D >= 4.
+    eligible = [row for row in speedup_results if row["shards"] >= 4]
+    assert eligible, "the curve must include a D >= 4 point"
+    for row in eligible:
+        assert row["parallel_ms"] < row["serial_ms"], (
+            f"D={row['shards']}: parallel {row['parallel_ms']:.1f} ms is "
+            f"not below serial {row['serial_ms']:.1f} ms"
+        )
+        assert row["speedup"] > 1.0
+
+
+def test_speedup_grows_with_shard_count(speedup_results):
+    speedups = [row["speedup"] for row in speedup_results]
+    assert speedups == sorted(speedups)
+    # A single shard has one leg per round: nothing to overlap.
+    single = [row for row in speedup_results if row["shards"] == 1]
+    for row in single:
+        assert row["speedup"] == pytest.approx(1.0)
+
+
+def test_invariants_hold_under_every_executor(speedup_results):
+    for row in speedup_results:
+        for witness in ("ops_per_request", "per_query_epsilon",
+                        "worst_shard_epsilon", "per_server_storage_blocks",
+                        "errors", "mismatches"):
+            values = row[witness]
+            assert values["serial"] == values["parallel"], (
+                f"D={row['shards']}: {witness} differs across executors "
+                f"({values})"
+            )
+        assert row["mismatches"]["serial"] == 0
+
+
+def test_executors_bit_identical_under_faults(equivalence_result):
+    assert equivalence_result["identical_answers"]
+    assert equivalence_result["identical_budgets"]
+    assert equivalence_result["identical_fault_counters"]
+    # The fault injection actually bit: failovers happened.
+    assert equivalence_result["fault_counters"].get("failovers", 0) > 0
+
+
+def test_equivalence_table(equivalence_result):
+    table = ExperimentTable(
+        "PARALLEL_EQUIVALENCE",
+        "serial, parallel and simulated executors agree bit-for-bit "
+        "under injected faults",
+        headers=["witness", "identical"],
+    )
+    for witness in ("identical_answers", "identical_budgets",
+                    "identical_fault_counters"):
+        table.add_row(witness.removeprefix("identical_"),
+                      equivalence_result[witness])
+    table.add_note(
+        f"D={equivalence_result['shards']} x "
+        f"R={equivalence_result['replicas']}, flaky replica 0, "
+        "corrupting replica 0, authenticated storage"
+    )
+    write_report(table)
+    print("\n" + table.to_text())

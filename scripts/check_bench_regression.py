@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Gate the benchmark artifacts against committed baselines.
+
+``scripts/run_benchmarks.py`` writes ``BENCH_serving.json``,
+``BENCH_cluster.json`` and ``BENCH_parallel.json``; this script compares
+them against the copies committed under ``benchmarks/baselines/`` and
+fails (exit 1) when:
+
+* serving throughput of any (scheme, scheduler) cell drops more than
+  ``--threshold`` (default 25 %) below its baseline, or batching stops
+  beating FIFO on ``batch_dp_ir``;
+* the cluster scaling curve breaks an exact invariant — ops/request
+  must stay ``K/D``-proportional (equal to baseline), per-server
+  storage must stay ``n/D``, the per-query ε must stay equal to the
+  single-server exact budget — or failover stops completing every
+  query correctly;
+* the parallel executor's wall-clock stops being strictly below serial
+  at ``D ≥ 4``, its speedup at the largest shard count regresses more
+  than the threshold, or the executors stop being bit-identical.
+
+The simulations are seeded and deterministic, so baseline comparisons
+are exact reproductions, not noisy timings — a drift is a real
+behavioral change, never machine jitter.  Refresh the baselines
+deliberately (and review the diff) with::
+
+    python scripts/run_benchmarks.py
+    cp BENCH_*.json benchmarks/baselines/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_BASELINES = ROOT / "benchmarks" / "baselines"
+
+ARTIFACTS = ("BENCH_serving.json", "BENCH_cluster.json",
+             "BENCH_parallel.json")
+
+
+class _Gate:
+    """Collects failures so one run reports every regression at once."""
+
+    def __init__(self) -> None:
+        self.failures: list[str] = []
+
+    def check(self, ok: bool, message: str) -> None:
+        if not ok:
+            self.failures.append(message)
+
+    @property
+    def status(self) -> int:
+        return 1 if self.failures else 0
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"missing {path} — run `python scripts/run_benchmarks.py` "
+            "first (or commit the baseline)"
+        ) from None
+
+
+def check_serving(current: dict, baseline: dict, threshold: float,
+                  gate: _Gate) -> None:
+    """Throughput floor per cell + the batching-beats-FIFO invariant."""
+    def cells(payload: dict) -> dict:
+        return {
+            (row["scheme"], row["scheduler"]): row
+            for row in payload["results"]
+        }
+
+    now = cells(current)
+    then = cells(baseline)
+    for key, base_row in then.items():
+        gate.check(key in now, f"serving: cell {key} vanished")
+        if key not in now:
+            continue
+        floor = base_row["throughput_rps"] * (1.0 - threshold)
+        got = now[key]["throughput_rps"]
+        gate.check(
+            got >= floor,
+            f"serving: {key} throughput {got:.1f} req/s dropped more "
+            f"than {threshold:.0%} below baseline "
+            f"{base_row['throughput_rps']:.1f}",
+        )
+    fifo = now.get(("batch_dp_ir", "fifo"))
+    batch = now.get(("batch_dp_ir", "batch"))
+    if fifo and batch:
+        gate.check(
+            batch["ops_per_request"] < fifo["ops_per_request"],
+            "serving: batching no longer beats FIFO on batch_dp_ir "
+            f"({batch['ops_per_request']:.2f} >= "
+            f"{fifo['ops_per_request']:.2f} ops/request)",
+        )
+
+
+def check_cluster(current: dict, baseline: dict, threshold: float,
+                  gate: _Gate) -> None:
+    """Exact scaling invariants + failover correctness + p95 ceiling."""
+    single = current["config"]["single_server_epsilon"]
+    by_shards = {row["shards"]: row for row in baseline["scaling"]}
+    for row in current["scaling"]:
+        shards = row["shards"]
+        gate.check(
+            abs(row["per_query_epsilon"] - single) < 1e-9,
+            f"cluster: D={shards} per-query epsilon "
+            f"{row['per_query_epsilon']:.4f} drifted from the "
+            f"single-server exact budget {single:.4f}",
+        )
+        base_row = by_shards.get(shards)
+        if base_row is None:
+            continue
+        gate.check(
+            row["ops_per_request"] == base_row["ops_per_request"],
+            f"cluster: D={shards} ops/request {row['ops_per_request']:.2f} "
+            f"broke the K/D invariant (baseline "
+            f"{base_row['ops_per_request']:.2f})",
+        )
+        gate.check(
+            row["per_server_storage_blocks"]
+            == base_row["per_server_storage_blocks"],
+            f"cluster: D={shards} per-server storage "
+            f"{row['per_server_storage_blocks']} broke the n/D invariant "
+            f"(baseline {base_row['per_server_storage_blocks']})",
+        )
+        ceiling = base_row["p95_ms"] * (1.0 + threshold)
+        gate.check(
+            row["p95_ms"] <= ceiling,
+            f"cluster: D={shards} p95 {row['p95_ms']:.2f} ms regressed "
+            f"more than {threshold:.0%} over baseline "
+            f"{base_row['p95_ms']:.2f} ms",
+        )
+    for row in current["failover"]:
+        gate.check(
+            row["completed"] == row["requests"] and not row["mismatches"],
+            f"cluster: flake rate {row['flake_rate']} lost or corrupted "
+            f"answers ({row['completed']}/{row['requests']}, "
+            f"{row['mismatches']} mismatches)",
+        )
+
+
+def check_parallel(current: dict, baseline: dict, threshold: float,
+                   gate: _Gate) -> None:
+    """Overlap wins at D >= 4, speedup floor, executor equivalence."""
+    for row in current["speedup"]:
+        shards = row["shards"]
+        if shards >= 4:
+            gate.check(
+                row["parallel_ms"] < row["serial_ms"],
+                f"parallel: D={shards} wall-clock {row['parallel_ms']:.1f} "
+                f"ms is not below serial {row['serial_ms']:.1f} ms",
+            )
+        for witness in ("ops_per_request", "per_query_epsilon",
+                        "per_server_storage_blocks"):
+            values = row[witness]
+            gate.check(
+                values["serial"] == values["parallel"],
+                f"parallel: D={shards} {witness} differs across "
+                f"executors ({values})",
+            )
+    largest = max(current["speedup"], key=lambda row: row["shards"])
+    base_largest = max(baseline["speedup"], key=lambda row: row["shards"])
+    if largest["shards"] == base_largest["shards"]:
+        floor = base_largest["speedup"] * (1.0 - threshold)
+        gate.check(
+            largest["speedup"] >= floor,
+            f"parallel: D={largest['shards']} speedup "
+            f"{largest['speedup']:.2f}x dropped more than "
+            f"{threshold:.0%} below baseline "
+            f"{base_largest['speedup']:.2f}x",
+        )
+    for witness in ("identical_answers", "identical_budgets",
+                    "identical_fault_counters"):
+        gate.check(
+            bool(current["equivalence"][witness]),
+            f"parallel: executors are no longer {witness} under faults",
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=DEFAULT_BASELINES,
+                        help="committed baselines "
+                             "(default benchmarks/baselines)")
+    parser.add_argument("--current-dir", type=pathlib.Path, default=ROOT,
+                        help="where the fresh BENCH_*.json live "
+                             "(default repo root)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="tolerated relative drop in throughput / "
+                             "speedup (default 0.25)")
+    args = parser.parse_args(argv)
+
+    if not 0.0 <= args.threshold < 1.0:
+        raise SystemExit(f"threshold must be in [0, 1), got {args.threshold}")
+
+    gate = _Gate()
+    current = {name: _load(args.current_dir / name) for name in ARTIFACTS}
+    baseline = {name: _load(args.baseline_dir / name) for name in ARTIFACTS}
+
+    check_serving(current["BENCH_serving.json"],
+                  baseline["BENCH_serving.json"], args.threshold, gate)
+    check_cluster(current["BENCH_cluster.json"],
+                  baseline["BENCH_cluster.json"], args.threshold, gate)
+    check_parallel(current["BENCH_parallel.json"],
+                   baseline["BENCH_parallel.json"], args.threshold, gate)
+
+    if gate.failures:
+        for failure in gate.failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        print(f"{len(gate.failures)} benchmark regression(s)",
+              file=sys.stderr)
+    else:
+        print("benchmark regression gate: all checks passed "
+              f"({len(ARTIFACTS)} artifacts vs {args.baseline_dir})")
+    return gate.status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,20 +1,24 @@
 #!/usr/bin/env python
-"""Smoke-run the serving + cluster benchmarks and record JSON artifacts.
+"""Smoke-run the serving + cluster + parallel benchmarks, record JSON.
 
 Runs the batched-versus-FIFO dispatch comparison from
-``repro.serving.bench`` and the cluster scaling/failover curves from
-``repro.cluster.bench`` at a deliberately tiny size (seconds, not
-minutes) and writes machine-readable ``BENCH_serving.json`` and
-``BENCH_cluster.json`` to the repository root, so CI — and anyone
-bisecting a perf regression — has stable artifacts to diff::
+``repro.serving.bench``, the cluster scaling/failover curves from
+``repro.cluster.bench`` and the executor speedup/equivalence curves
+from ``repro.parallel.bench`` at a deliberately tiny size (seconds,
+not minutes) and writes machine-readable ``BENCH_serving.json``,
+``BENCH_cluster.json`` and ``BENCH_parallel.json`` to the repository
+root, so CI — and anyone bisecting a perf regression — has stable
+artifacts to diff (``scripts/check_bench_regression.py`` gates them
+against the committed baselines)::
 
     python scripts/run_benchmarks.py             # defaults
     python scripts/run_benchmarks.py --n 512 --clients 8
 
 Exits non-zero if batching stops beating per-request dispatch on
-``batch_dp_ir``, or if the cluster stops completing every query
-correctly under R=2 failover / stops preserving the single-server
-exact budget — the two layers' headline properties.
+``batch_dp_ir``, if the cluster stops completing every query correctly
+under R=2 failover / stops preserving the single-server exact budget,
+or if the parallel executor stops beating serial wall-clock at D >= 4
+/ stops being bit-identical to it — the layers' headline properties.
 """
 
 from __future__ import annotations
@@ -31,6 +35,10 @@ from repro.cluster.bench import (  # noqa: E402
     failover_curve,
     scaling_curve,
     single_server_epsilon,
+)
+from repro.parallel.bench import (  # noqa: E402
+    executor_equivalence,
+    speedup_curve,
 )
 from repro.serving.bench import compare_dispatch  # noqa: E402
 from repro.simulation.reporting import format_table  # noqa: E402
@@ -139,6 +147,66 @@ def _cluster(args) -> int:
     return status
 
 
+def _parallel(args) -> int:
+    requests = args.requests * args.clients
+    speedup = speedup_curve(requests=requests, seed=args.seed)
+    equivalence = executor_equivalence(seed=args.seed)
+    payload = {
+        "benchmark": "parallel.speedup_and_equivalence",
+        "config": {
+            "requests": requests,
+            "seed": args.seed,
+        },
+        "speedup": speedup,
+        "equivalence": equivalence,
+    }
+    args.parallel_out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [r["shards"], f"{r['serial_ms']:.1f}", f"{r['parallel_ms']:.1f}",
+         f"{r['speedup']:.2f}x",
+         f"{r['ops_per_request']['parallel']:.2f}",
+         f"{r['per_query_epsilon']['parallel']:.4f}"]
+        for r in speedup
+    ]
+    print(format_table(
+        ["shards", "serial ms", "parallel ms", "speedup", "ops/request",
+         "eps"],
+        rows, title=f"Parallel speedup smoke (wrote {args.parallel_out.name})",
+    ))
+
+    status = 0
+    for row in speedup:
+        if row["shards"] >= 4 and row["parallel_ms"] >= row["serial_ms"]:
+            print(
+                f"regression: D={row['shards']} parallel wall-clock "
+                f"{row['parallel_ms']:.1f} ms is not below serial "
+                f"{row['serial_ms']:.1f} ms",
+                file=sys.stderr,
+            )
+            status = 1
+        for witness in ("ops_per_request", "per_query_epsilon",
+                        "per_server_storage_blocks"):
+            values = row[witness]
+            if values["serial"] != values["parallel"]:
+                print(
+                    f"regression: D={row['shards']} {witness} differs "
+                    f"across executors ({values})",
+                    file=sys.stderr,
+                )
+                status = 1
+    for witness in ("identical_answers", "identical_budgets",
+                    "identical_fault_counters"):
+        if not equivalence[witness]:
+            print(
+                f"regression: executors are no longer {witness} under "
+                "injected faults",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--n", type=int, default=128,
@@ -155,10 +223,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cluster-out", type=pathlib.Path,
                         default=ROOT / "BENCH_cluster.json",
                         help="cluster artifact (default BENCH_cluster.json)")
+    parser.add_argument("--parallel-out", type=pathlib.Path,
+                        default=ROOT / "BENCH_parallel.json",
+                        help="parallel artifact (default BENCH_parallel.json)")
     args = parser.parse_args(argv)
 
     status = _serving(args)
     status = _cluster(args) or status
+    status = _parallel(args) or status
     return status
 
 

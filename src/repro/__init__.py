@@ -65,6 +65,13 @@ from repro.cluster import (
     ClusterReport,
 )
 from repro.crypto import PRF, SeededRandomSource, SystemRandomSource
+from repro.parallel import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    SimulatedParallelExecutor,
+    resolve_executor,
+)
 from repro.serving import ServingReport, serve
 from repro.storage import (
     InMemoryBackend,
@@ -92,6 +99,7 @@ __all__ = [
     "DPKVSParams",
     "DPRAM",
     "DPRAMParams",
+    "Executor",
     "InMemoryBackend",
     "LAN",
     "LinearScanPIR",
@@ -101,6 +109,7 @@ __all__ = [
     "NetworkModel",
     "ORAMKeyValueStore",
     "PRF",
+    "ParallelExecutor",
     "PathORAM",
     "PlaintextKVS",
     "PlaintextRAM",
@@ -113,9 +122,11 @@ __all__ = [
     "RecursivePathORAM",
     "Scheme",
     "SeededRandomSource",
+    "SerialExecutor",
     "ServerPool",
     "ServingReport",
     "ShardedDPIR",
+    "SimulatedParallelExecutor",
     "StorageBackend",
     "StorageServer",
     "StrawmanIR",
@@ -127,6 +138,7 @@ __all__ = [
     "cluster",
     "datasheet_for",
     "register_scheme",
+    "resolve_executor",
     "schemes",
     "serve",
 ]

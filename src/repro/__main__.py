@@ -146,7 +146,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_serve_checked(args: argparse.Namespace) -> int:
     import json
 
+    from repro.api import scheme_spec
     from repro.serving import serve
+
+    # Validate the scheme spelling up front: unknown names exit 2 with
+    # the registry catalogue (ValueError above) and can never surface
+    # as a raw KeyError from some deeper lookup.
+    scheme_spec(args.scheme)
 
     report = serve(
         args.scheme,
@@ -163,6 +169,7 @@ def _cmd_serve_checked(args: argparse.Namespace) -> int:
         seed=args.seed,
         network=args.network,
         value_size=args.value_size,
+        executor=args.executor,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -184,9 +191,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 def _cmd_cluster_checked(args: argparse.Namespace) -> int:
     import json
 
-    from repro.api import schemes
+    from repro.api import scheme_spec, schemes
     from repro.cluster import cluster
     from repro.simulation.reporting import format_table
+
+    if not args.list:
+        # Validate the scheme spelling up front (unknown names exit 2
+        # with the catalogue, never a raw KeyError traceback).
+        scheme_spec(args.scheme)
 
     if args.list:
         rows = [
@@ -218,6 +230,8 @@ def _cmd_cluster_checked(args: argparse.Namespace) -> int:
         value_size=args.value_size,
         seed=args.seed,
         network=args.network,
+        executor=args.executor,
+        batch=args.batch,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -385,6 +399,10 @@ def main(argv: list[str] | None = None) -> int:
                               help="link model pricing simulated time")
     serve_parser.add_argument("--value-size", type=int, default=32,
                               help="KVS value size in bytes (default 32)")
+    serve_parser.add_argument("--executor", default=None,
+                              choices=("serial", "parallel", "simulated"),
+                              help="cross-shard fan-out policy for "
+                                   "cluster schemes (default serial)")
     serve_parser.add_argument("--json", action="store_true",
                               help="emit the report as JSON")
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -434,6 +452,15 @@ def main(argv: list[str] | None = None) -> int:
     cluster_parser.add_argument("--network", default="lan",
                                 choices=("lan", "wan", "mobile"),
                                 help="link model pricing simulated time")
+    cluster_parser.add_argument("--executor", default="serial",
+                                choices=("serial", "parallel", "simulated"),
+                                help="cross-shard fan-out policy "
+                                     "(default serial)")
+    cluster_parser.add_argument("--batch", type=int, default=1,
+                                help="requests dispatched per round; a "
+                                     "round spanning several shards is "
+                                     "what a parallel executor overlaps "
+                                     "(default 1)")
     cluster_parser.add_argument("--json", action="store_true",
                                 help="emit the report as JSON")
     cluster_parser.add_argument("--list", action="store_true",

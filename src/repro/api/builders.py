@@ -494,6 +494,7 @@ def _build_cluster_ir(
     rng: RandomSource | None = None,
     backend: BackendFactory | str | None = None,
     network: NetworkModel | str | None = None,
+    executor=None,
 ):
     """Shared implementation of the registered ClusterIR builders."""
     from repro.cluster.scheme import ClusterIR
@@ -512,6 +513,8 @@ def _build_cluster_ir(
         corruption_rate=corruption_rate,
         rng=_resolve_rng(rng, seed),
         backend_factory=resolve_backend(backend, network),
+        executor=executor,
+        network=network,
     )
 
 
@@ -545,6 +548,7 @@ def build_cluster_dp_kvs(
     rng: RandomSource | None = None,
     backend: BackendFactory | str | None = None,
     network: NetworkModel | str | None = None,
+    executor=None,
 ):
     """Build a :class:`~repro.cluster.scheme.ClusterKVS` over ``dp_kvs``."""
     from repro.cluster.scheme import ClusterKVS
@@ -558,6 +562,8 @@ def build_cluster_dp_kvs(
         capacity_slack=capacity_slack,
         failure_rate=failure_rate,
         corruption_rate=corruption_rate,
+        executor=executor,
+        network=network,
         rng=_resolve_rng(rng, seed),
         backend_factory=resolve_backend(backend, network),
     )

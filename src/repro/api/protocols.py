@@ -68,6 +68,19 @@ class Scheme(abc.ABC):
         reads, writes = self.server_counters()
         return reads + writes
 
+    def wall_operations(self) -> float:
+        """Overlap-accounted operation units consumed so far.
+
+        A single-worker scheme performs its server operations one after
+        another, so the default equals :meth:`server_operations`.
+        Deployments that fan independent legs out concurrently (the
+        cluster schemes under a parallel executor) override this with
+        their per-stage max-over-legs accounting — the quantity the
+        ``wall_clock_ms`` report fields price, while
+        :meth:`server_operations` keeps pricing ``serial_ms``.
+        """
+        return float(self.server_operations())
+
     def attach_transcript(self, transcript: Transcript) -> None:
         """Record the adversary view of subsequent queries.
 

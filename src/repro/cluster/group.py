@@ -17,11 +17,25 @@ Failure semantics differ by protocol, deliberately:
   (DP-KVS reads evict), so a fault mid-operation can leave the replica
   internally inconsistent.  A faulted KVS replica is marked dead and
   never used again (fail-stop), and reads continue on the survivors.
+
+Executors and wall-clock accounting (:mod:`repro.parallel`): a group
+accepts an :class:`~repro.parallel.executor.Executor` and keeps two
+operation counters — :meth:`ShardGroup.operations` (every server
+operation, the serial cost) and :meth:`ShardGroup.wall_operations`
+(overlap-accounted op-units).  Legs that are independent race for real
+under a concurrent executor (KVS write fan-out hits ``R`` disjoint
+replica instances); legs that share client state — the rotation
+pointer, the draw ledger, integrity-fallback re-reads — execute in
+deterministic order (``ordered=True``) and are only *accounted* as
+racing.  Failover retries themselves stay sequential in *draw* terms
+everywhere: a retry is causally dependent on the previous attempt's
+failure, and racing it would multiply the privacy charge — the
+executor must never change what the ledger sees.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.api.protocols import PrivateIR, PrivateKVS
 from repro.crypto.encryption import (
@@ -29,6 +43,7 @@ from repro.crypto.encryption import (
     SecretKey,
     decrypt_authenticated,
 )
+from repro.parallel.executor import Executor, SerialExecutor
 from repro.storage.faults import ServerFault
 from repro.storage.server import StorageServer
 
@@ -73,6 +88,8 @@ class ShardGroup:
             ciphertexts; ``None`` stores plaintext (corruption is then
             silent, exactly as in the single-node fault tests).
         max_attempts: transient-fault retry cap per logical query.
+        executor: fan-out policy for integrity-fallback re-reads and
+            the group's wall-clock accounting; defaults to serial.
     """
 
     def __init__(
@@ -81,6 +98,7 @@ class ShardGroup:
         replicas: Sequence[PrivateIR],
         key: SecretKey | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        executor: Executor | None = None,
     ) -> None:
         if not replicas:
             raise ValueError("a shard group needs at least one replica")
@@ -92,9 +110,11 @@ class ShardGroup:
         self._replicas = list(replicas)
         self._key = key
         self._max_attempts = max_attempts
+        self._executor = executor if executor is not None else SerialExecutor()
         self._next_primary = 0
         self._counters = _GroupCounters()
         self._draws = 0
+        self._wall_ops = 0.0
 
     # -- introspection -----------------------------------------------------
 
@@ -153,10 +173,27 @@ class ShardGroup:
         """Total server operations across the group."""
         return sum(replica.server_operations() for replica in self._replicas)
 
+    def wall_operations(self) -> float:
+        """Overlap-accounted op-units served through the group's entry
+        points; equals :meth:`operations` under the serial executor."""
+        return self._wall_ops
+
     # -- reads -------------------------------------------------------------
 
     def query(self, local_index: int) -> bytes | None:
-        """Serve one read with failover; ``None`` only on the α event."""
+        """Serve one read with failover; ``None`` only on the α event.
+
+        Failover attempts are causally dependent (each retry exists only
+        because the previous attempt failed), so they cost serial
+        wall-clock under every executor.
+        """
+        before = self.operations()
+        try:
+            return self._query_with_failover(local_index)
+        finally:
+            self._wall_ops += self.operations() - before
+
+    def _query_with_failover(self, local_index: int) -> bytes | None:
         start = self._rotate()
         for attempt in range(self._max_attempts):
             replica = self._replicas[(start + attempt) % len(self._replicas)]
@@ -187,10 +224,14 @@ class ShardGroup:
         A :class:`ServerFault` mid-batch retries the whole batch on the
         next replica (IR batches are stateless, so redrawing pad sets is
         safe); per-answer integrity failures fall back to single-read
-        failover for just the affected indices.
+        failover for just the affected indices.  The fallback re-reads
+        target distinct indices and race under a concurrent executor —
+        they run in deterministic order (group state is shared) but the
+        stage's wall-clock is the slowest leg, not the sum.
         """
         if not local_indices:
             return []
+        batch_before = self.operations()
         start = self._rotate()
         answers: list[bytes | None] | None = None
         for attempt in range(self._max_attempts):
@@ -203,12 +244,14 @@ class ShardGroup:
                 self._counters.failovers += 1
                 continue
             break
+        self._wall_ops += self.operations() - batch_before
         if answers is None:
             raise GroupExhaustedError(
                 f"shard {self.shard_id}: batched read failed on every "
                 "attempt"
             )
         decoded: list[bytes | None] = []
+        fallbacks: list[tuple[int, int]] = []
         for local_index, answer in zip(local_indices, answers):
             if answer is None:
                 decoded.append(None)
@@ -218,8 +261,36 @@ class ShardGroup:
             except IntegrityError:
                 self._counters.detected_corruptions += 1
                 self._counters.failovers += 1
-                decoded.append(self.query(local_index))
+                fallbacks.append((len(decoded), local_index))
+                decoded.append(None)
+        if fallbacks:
+            leg_ops = [0.0] * len(fallbacks)
+            results = self._executor.fan_out(
+                [
+                    self._fallback_task(local_index, leg_ops, slot)
+                    for slot, (_, local_index) in enumerate(fallbacks)
+                ],
+                ordered=True,
+            )
+            self._wall_ops += self._executor.stage_cost(leg_ops)
+            for (position, _), result in zip(fallbacks, results):
+                decoded[position] = result.unwrap()
         return decoded
+
+    def _fallback_task(
+        self, local_index: int, leg_ops: list[float], slot: int
+    ) -> Callable[[], bytes | None]:
+        """One integrity-fallback leg, recording its op cost into
+        ``leg_ops[slot]`` (the legs run in order — see ``ordered=True``)."""
+
+        def run() -> bytes | None:
+            before = self.operations()
+            try:
+                return self._query_with_failover(local_index)
+            finally:
+                leg_ops[slot] = float(self.operations() - before)
+
+        return run
 
     # -- internals ---------------------------------------------------------
 
@@ -244,16 +315,21 @@ class KVShardGroup:
     """
 
     def __init__(
-        self, shard_id: int, replicas: Sequence[PrivateKVS]
+        self,
+        shard_id: int,
+        replicas: Sequence[PrivateKVS],
+        executor: Executor | None = None,
     ) -> None:
         if not replicas:
             raise ValueError("a shard group needs at least one replica")
         self.shard_id = shard_id
         self._replicas = list(replicas)
         self._alive = [True] * len(replicas)
+        self._executor = executor if executor is not None else SerialExecutor()
         self._next_primary = 0
         self._counters = _GroupCounters()
         self._draws = 0
+        self._wall_ops = 0.0
 
     # -- introspection -----------------------------------------------------
 
@@ -313,10 +389,22 @@ class KVShardGroup:
         """Total server operations across the group."""
         return sum(replica.server_operations() for replica in self._replicas)
 
+    def wall_operations(self) -> float:
+        """Overlap-accounted op-units served through the group's entry
+        points; equals :meth:`operations` under the serial executor."""
+        return self._wall_ops
+
     # -- operations --------------------------------------------------------
 
     def get(self, key: bytes) -> bytes | None:
         """Read ``key`` from the first live replica that serves it."""
+        before = self.operations()
+        try:
+            return self._get_with_failover(key)
+        finally:
+            self._wall_ops += self.operations() - before
+
+    def _get_with_failover(self, key: bytes) -> bytes | None:
         start = self._rotate()
         count = len(self._replicas)
         for offset in range(count):
@@ -333,8 +421,37 @@ class KVShardGroup:
         )
 
     def get_many(self, keys: Sequence[bytes]) -> list[bytes | None]:
-        """Per-key reads with failover (KVS bases do not batch)."""
-        return [self.get(key) for key in keys]
+        """Per-key reads with failover (KVS bases do not batch).
+
+        Distinct keys are independent requests and race under a
+        concurrent executor; they execute in deterministic order
+        (rotation pointer and liveness marks are shared) while the
+        stage's wall-clock is the slowest key, not the sum.
+        """
+        if not keys:
+            return []
+        leg_ops = [0.0] * len(keys)
+        results = self._executor.fan_out(
+            [
+                self._get_task(key, leg_ops, slot)
+                for slot, key in enumerate(keys)
+            ],
+            ordered=True,
+        )
+        self._wall_ops += self._executor.stage_cost(leg_ops)
+        return [result.unwrap() for result in results]
+
+    def _get_task(
+        self, key: bytes, leg_ops: list[float], slot: int
+    ) -> Callable[[], bytes | None]:
+        def run() -> bytes | None:
+            before = self.operations()
+            try:
+                return self._get_with_failover(key)
+            finally:
+                leg_ops[slot] = float(self.operations() - before)
+
+        return run
 
     def put(self, key: bytes, value: bytes) -> None:
         """Write to every live replica; dead ones are skipped."""
@@ -347,22 +464,58 @@ class KVShardGroup:
     # -- internals ---------------------------------------------------------
 
     def _fan_out(self, operation: str, *args):
+        """Apply one write to every live replica, racing when possible.
+
+        Replicas are disjoint object graphs, so their legs genuinely run
+        concurrently under a threaded executor; liveness marks and draw
+        charges are applied from the coordinating thread afterwards.
+        The ledger draw count (one per live replica attempted) and the
+        first-survivor result are executor-independent.
+        """
+        live = [
+            (position, replica)
+            for position, replica in enumerate(self._replicas)
+            if self._alive[position]
+        ]
+        if not live:
+            raise GroupExhaustedError(
+                f"shard {self.shard_id}: no live replicas left for "
+                f"{operation}"
+            )
+        self._draws += len(live)
+        ops_before = [replica.server_operations() for _, replica in live]
+        results = self._executor.fan_out(
+            [
+                (lambda replica=replica: getattr(replica, operation)(*args))
+                for _, replica in live
+            ]
+        )
+        leg_ops = [
+            float(replica.server_operations() - before)
+            for (_, replica), before in zip(live, ops_before)
+        ]
+        self._wall_ops += self._executor.stage_cost(leg_ops)
         result = None
         first = True
         any_succeeded = False
-        for position, replica in enumerate(self._replicas):
-            if not self._alive[position]:
-                continue
-            self._draws += 1
-            try:
-                outcome = getattr(replica, operation)(*args)
-            except ServerFault:
-                self._mark_dead(position)
+        failure: BaseException | None = None
+        # Every leg ran (capture-all contract), so process every
+        # outcome before raising: a non-fault error from one replica
+        # must not leave a sibling's ServerFault unrecorded — the
+        # faulted sibling is inconsistent and has to go fail-stop dead.
+        for (position, _), outcome in zip(live, results):
+            if outcome.error is not None:
+                if isinstance(outcome.error, ServerFault):
+                    self._mark_dead(position)
+                elif failure is None:
+                    failure = outcome.error
                 continue
             any_succeeded = True
             if first:
-                result = outcome
+                result = outcome.value
                 first = False
+        if failure is not None:
+            raise failure
         if not any_succeeded:
             raise GroupExhaustedError(
                 f"shard {self.shard_id}: no live replicas left for "

@@ -77,6 +77,16 @@ class ClusterReport:
     faults: dict = field(default_factory=dict)
     #: Extra quantiles beyond the summary's fixed fields, keyed ``pXX``.
     percentiles: dict = field(default_factory=dict)
+    #: The run's cross-shard fan-out policy (``serial`` / ``parallel``
+    #: / ``simulated``).
+    executor: str = "serial"
+    #: Requests dispatched per round through the batched entry points.
+    batch: int = 1
+    #: Total simulated time with every shard leg run back-to-back.
+    serial_ms: float = 0.0
+    #: Total simulated time under the executor's overlap accounting
+    #: (equals :attr:`serial_ms` for the serial executor).
+    wall_clock_ms: float = 0.0
 
     @property
     def ops_per_request(self) -> float:
@@ -84,6 +94,14 @@ class ClusterReport:
         if self.completed == 0:
             return 0.0
         return self.server_operations / self.completed
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serial over wall-clock time — the cross-shard parallel payoff
+        (1.0 when nothing overlapped)."""
+        if self.wall_clock_ms <= 0.0:
+            return 1.0
+        return self.serial_ms / self.wall_clock_ms
 
     def to_rows(self) -> list[list]:
         """``[metric, value]`` rows for the summary table."""
@@ -99,6 +117,11 @@ class ClusterReport:
             ["errors (alpha events)", self.errors],
             ["mismatches", self.mismatches],
             ["network", self.network],
+            ["executor", self.executor],
+            ["dispatch batch", self.batch],
+            ["serial ms", f"{self.serial_ms:.2f}"],
+            ["wall-clock ms", f"{self.wall_clock_ms:.2f}"],
+            ["overlap speedup", f"{self.overlap_speedup:.2f}x"],
             ["server operations", self.server_operations],
             ["ops / request", f"{self.ops_per_request:.2f}"],
             ["per-server storage blocks", self.per_server_storage_blocks],
@@ -152,6 +175,11 @@ class ClusterReport:
             "errors": self.errors,
             "mismatches": self.mismatches,
             "network": self.network,
+            "executor": self.executor,
+            "batch": self.batch,
+            "serial_ms": self.serial_ms,
+            "wall_clock_ms": self.wall_clock_ms,
+            "overlap_speedup": self.overlap_speedup,
             "server_operations": self.server_operations,
             "ops_per_request": self.ops_per_request,
             "per_server_storage_blocks": self.per_server_storage_blocks,

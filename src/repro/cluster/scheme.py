@@ -45,11 +45,13 @@ from repro.cluster.router import (
 from repro.core.params import DPIRParams
 from repro.crypto.encryption import encrypt_authenticated, generate_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.parallel.executor import Executor, resolve_executor
 from repro.storage.faults import (
     CorruptingServer,
     FlakyServer,
     wrap_scheme_servers,
 )
+from repro.storage.network import LAN, NetworkModel
 from repro.storage.server import StorageServer
 
 
@@ -63,12 +65,30 @@ class MigrationReport:
         moved_records: records whose owning shard changed.
         migration_operations: server operations spent reading the data
             out of the old layout (the measurable cost of going online).
+        serial_ms: the drain scan priced one shard after another under
+            the cluster's network model.
+        wall_clock_ms: the same scan under the cluster's executor —
+            per-shard drain legs are independent and overlap, so a
+            concurrent executor pays the slowest shard, not the sum.
     """
 
     shards_before: int
     shards_after: int
     moved_records: int
     migration_operations: int
+    serial_ms: float = 0.0
+    wall_clock_ms: float = 0.0
+
+
+def _resolve_model(network: NetworkModel | str | None) -> NetworkModel:
+    """The link model pricing a cluster's ms figures (LAN by default)."""
+    if network is None:
+        return LAN
+    if isinstance(network, NetworkModel):
+        return network
+    from repro.api.builders import resolve_network
+
+    return resolve_network(network)
 
 
 def _rate_per_replica(
@@ -165,6 +185,12 @@ class ClusterIR(PrivateIR):
         epsilon_cap: optional per-shard ledger cap.
         rng: randomness source.
         backend_factory: slot-storage backend for every replica server.
+        executor: cross-shard fan-out policy (``"serial"``,
+            ``"parallel"``, ``"simulated"`` or an
+            :class:`~repro.parallel.executor.Executor`).  Changes
+            wall-clock accounting and real concurrency only — answers,
+            draw sequences and privacy budgets are executor-invariant.
+        network: link model pricing the ``*_ms`` figures (LAN default).
         **base_kwargs: forwarded verbatim to the base scheme's builder.
     """
 
@@ -186,6 +212,8 @@ class ClusterIR(PrivateIR):
         epsilon_cap: float | None = None,
         rng: RandomSource | None = None,
         backend_factory=None,
+        executor: Executor | str | None = None,
+        network: NetworkModel | str | None = None,
         **base_kwargs,
     ) -> None:
         if not blocks:
@@ -212,6 +240,9 @@ class ClusterIR(PrivateIR):
         self._backend_factory = backend_factory
         self._base_kwargs = dict(base_kwargs)
         self._rng = rng if rng is not None else SystemRandomSource()
+        self._owns_executor = not isinstance(executor, Executor)
+        self._executor = resolve_executor(executor)
+        self._network_model = _resolve_model(network)
         self._failure_rates = _rate_per_replica(
             failure_rate, replica_count, "failure rate"
         )
@@ -243,6 +274,10 @@ class ClusterIR(PrivateIR):
         self._queries = 0
         self._errors = 0
         self._reshard_count = 0
+        # Cumulative op-unit accounting across generations (reshard
+        # rebuilds the groups and their server counters, these survive).
+        self._serial_ops = 0
+        self._wall_ops = 0.0
 
     # -- layout ------------------------------------------------------------
 
@@ -285,6 +320,7 @@ class ClusterIR(PrivateIR):
             groups.append(ShardGroup(
                 shard, replicas, key=self._key,
                 max_attempts=self._max_attempts,
+                executor=self._executor,
             ))
         self._router = router
         self._groups = groups
@@ -358,6 +394,16 @@ class ClusterIR(PrivateIR):
         return self._ledger
 
     @property
+    def executor(self) -> Executor:
+        """The cross-shard fan-out policy."""
+        return self._executor
+
+    @property
+    def network_model(self) -> NetworkModel:
+        """The link model pricing this cluster's millisecond figures."""
+        return self._network_model
+
+    @property
     def query_count(self) -> int:
         """Logical queries issued so far."""
         return self._queries
@@ -397,6 +443,60 @@ class ClusterIR(PrivateIR):
         """Total stored blocks across the cluster — ``R·n``."""
         return sum(server.capacity for server in self.servers())
 
+    # -- overlap accounting ------------------------------------------------
+
+    def serial_operations(self) -> int:
+        """Op-units through the cluster entry points, priced serially.
+
+        Unlike :meth:`~repro.api.protocols.Scheme.server_operations`
+        (the live generation's server counters), this survives reshard
+        migrations — it is the cumulative serial cost of everything the
+        cluster did, drain scans included.
+        """
+        return self._serial_ops
+
+    def wall_operations(self) -> float:
+        """Overlap-accounted op-units: each cross-shard stage costs what
+        its executor says (max over concurrent legs under a parallel
+        executor, the plain sum under the serial one)."""
+        return self._wall_ops
+
+    def _per_op_ms(self) -> float:
+        return self._network_model.rtt_ms + self._network_model.transfer_ms(
+            self.block_size
+        )
+
+    def serial_ms(self) -> float:
+        """Cumulative simulated time with every leg run back-to-back."""
+        return self.serial_operations() * self._per_op_ms()
+
+    def wall_clock_ms(self) -> float:
+        """Cumulative simulated time under the configured executor."""
+        return self.wall_operations() * self._per_op_ms()
+
+    def _account_stage(
+        self, leg_serial: Sequence[int], leg_wall: Sequence[float]
+    ) -> None:
+        self._serial_ops += sum(leg_serial)
+        self._wall_ops += self._executor.stage_cost(leg_wall)
+
+    def close(self) -> None:
+        """Release executor worker threads.
+
+        Only shuts down an executor the cluster resolved itself from a
+        name; a caller-supplied :class:`Executor` instance stays alive
+        for its owner to reuse.  Safe to call more than once, and a
+        no-op for poolless executors.
+        """
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "ClusterIR":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- load metrics ------------------------------------------------------
 
     def shard_loads(self) -> list[int]:
@@ -418,12 +518,18 @@ class ClusterIR(PrivateIR):
         shard, local = self._locate_index(index)
         group = self._groups[shard]
         before = group.draws
+        ops_before = group.operations()
+        wall_before = group.wall_operations()
         try:
             answer = group.query(local)
         finally:
             # Failover retries expose extra pad-set draws to the shard
             # operator; every draw is charged, even on a failed query.
             self._charge(shard, queries=1, draws=group.draws - before)
+            self._account_stage(
+                [group.operations() - ops_before],
+                [group.wall_operations() - wall_before],
+            )
         if answer is None:
             self._errors += 1
         return answer
@@ -434,6 +540,14 @@ class ClusterIR(PrivateIR):
         Indices owned by the same group go through the group's
         ``query_many`` (so a ``batch_dp_ir`` base downloads one pad-set
         union per shard per round — batching and sharding compound).
+        The per-shard sub-batches are independent legs confined to
+        disjoint groups: under a concurrent executor they genuinely run
+        in parallel and the round's wall-clock is the slowest shard's
+        leg plus dispatch overhead, not the sum.  Answers, per-group
+        draw sequences and ledger charges are executor-invariant, and a
+        leg that exhausts its replicas does not poison its siblings —
+        the healthy shards' draws are charged before the fault
+        propagates.
         """
         if not indices:
             return []
@@ -441,20 +555,40 @@ class ClusterIR(PrivateIR):
         for position, index in enumerate(indices):
             shard, local = self._locate_index(index)
             per_shard.setdefault(shard, []).append((position, local))
+        shards = sorted(per_shard)
+        draws_before = {s: self._groups[s].draws for s in shards}
+        ops_before = {s: self._groups[s].operations() for s in shards}
+        wall_before = {s: self._groups[s].wall_operations() for s in shards}
+        tasks = []
+        for shard in shards:
+            locals_ = [local for _, local in per_shard[shard]]
+            tasks.append(
+                lambda group=self._groups[shard], batch=locals_:
+                    group.query_many(batch)
+            )
+        results = self._executor.fan_out(tasks)
         answers: list[bytes | None] = [None] * len(indices)
-        for shard, entries in per_shard.items():
+        failure: BaseException | None = None
+        leg_serial: list[int] = []
+        leg_wall: list[float] = []
+        for shard, result in zip(shards, results):
             group = self._groups[shard]
-            locals_ = [local for _, local in entries]
-            before = group.draws
-            try:
-                results = group.query_many(locals_)
-            finally:
-                self._charge(shard, queries=len(entries),
-                             draws=group.draws - before)
-            for (position, _), answer in zip(entries, results):
+            entries = per_shard[shard]
+            self._charge(shard, queries=len(entries),
+                         draws=group.draws - draws_before[shard])
+            leg_serial.append(group.operations() - ops_before[shard])
+            leg_wall.append(group.wall_operations() - wall_before[shard])
+            if result.error is not None:
+                if failure is None:
+                    failure = result.error
+                continue
+            for (position, _), answer in zip(entries, result.value):
                 answers[position] = answer
                 if answer is None:
                     self._errors += 1
+        self._account_stage(leg_serial, leg_wall)
+        if failure is not None:
+            raise failure
         return answers
 
     def _locate_index(self, index: int) -> tuple[int, int]:
@@ -524,14 +658,64 @@ class ClusterIR(PrivateIR):
         return self._migrate(self._router.rebalanced(loads))
 
     def _migrate(self, router: ShardRouter) -> MigrationReport:
-        before_ops = sum(self.shard_loads())
         shards_before = self.shard_count
         # Drain the current layout: a full scan through the failover
         # path, retrying the α-error coin until each record is read.
-        recovered: list[bytes] = []
+        # Each shard's drain leg touches only its own group, so the
+        # legs overlap under a concurrent executor — migration pays the
+        # slowest shard, not the sum.
+        per_shard_indices: dict[int, list[int]] = {}
         for index in range(self.n):
-            shard, local = self._locate_index(index)
-            group = self._groups[shard]
+            shard, _ = self._locate_index(index)
+            per_shard_indices.setdefault(shard, []).append(index)
+        shards = sorted(per_shard_indices)
+        ops_before = {s: self._groups[s].operations() for s in shards}
+        wall_before = {s: self._groups[s].wall_operations() for s in shards}
+        results = self._executor.fan_out([
+            (lambda shard=shard: self._drain_shard(
+                shard, per_shard_indices[shard]
+            ))
+            for shard in shards
+        ])
+        leg_serial = [
+            self._groups[s].operations() - ops_before[s] for s in shards
+        ]
+        leg_wall = [
+            self._groups[s].wall_operations() - wall_before[s] for s in shards
+        ]
+        migration_ops = sum(leg_serial)
+        wall_units = self._executor.stage_cost(leg_wall)
+        self._serial_ops += migration_ops
+        self._wall_ops += wall_units
+        recovered: list[bytes | None] = [None] * self.n
+        for result in results:
+            for index, block in result.unwrap():
+                recovered[index] = block
+        moved = sum(
+            1
+            for index in range(self.n)
+            if self._locate[index][0] != router.shard_of(index)
+        )
+        self._install(router, [bytes(block) for block in recovered])
+        self._reshard_count += 1
+        per_op = self._per_op_ms()
+        return MigrationReport(
+            shards_before=shards_before,
+            shards_after=router.shard_count,
+            moved_records=moved,
+            migration_operations=migration_ops,
+            serial_ms=migration_ops * per_op,
+            wall_clock_ms=wall_units * per_op,
+        )
+
+    def _drain_shard(
+        self, shard: int, indices: Sequence[int]
+    ) -> list[tuple[int, bytes]]:
+        """Read one shard's records out through the failover path."""
+        group = self._groups[shard]
+        drained: list[tuple[int, bytes]] = []
+        for index in indices:
+            _, local = self._locate[index]
             answer = None
             for _ in range(self._max_attempts * 8):
                 answer = group.query(local)
@@ -542,21 +726,8 @@ class ClusterIR(PrivateIR):
                     f"migration could not read record {index} "
                     "(persistent alpha errors)"
                 )
-            recovered.append(answer)
-        migration_ops = sum(self.shard_loads()) - before_ops
-        moved = sum(
-            1
-            for index in range(self.n)
-            if self._locate[index][0] != router.shard_of(index)
-        )
-        self._install(router, recovered)
-        self._reshard_count += 1
-        return MigrationReport(
-            shards_before=shards_before,
-            shards_after=router.shard_count,
-            moved_records=moved,
-            migration_operations=migration_ops,
-        )
+            drained.append((index, answer))
+        return drained
 
 
 class ClusterKVS(PrivateKVS):
@@ -585,6 +756,12 @@ class ClusterKVS(PrivateKVS):
         epsilon_cap: optional per-shard ledger cap.
         rng: randomness source.
         backend_factory: slot-storage backend for every replica server.
+        executor: cross-shard fan-out policy (``"serial"``,
+            ``"parallel"``, ``"simulated"`` or an
+            :class:`~repro.parallel.executor.Executor`); wall-clock
+            accounting and real concurrency only, never the draw
+            sequence the ledger charges.
+        network: link model pricing the ``*_ms`` figures (LAN default).
         **base_kwargs: forwarded verbatim to the base scheme's builder.
     """
 
@@ -602,6 +779,8 @@ class ClusterKVS(PrivateKVS):
         epsilon_cap: float | None = None,
         rng: RandomSource | None = None,
         backend_factory=None,
+        executor: Executor | str | None = None,
+        network: NetworkModel | str | None = None,
         **base_kwargs,
     ) -> None:
         if n <= 0:
@@ -633,6 +812,9 @@ class ClusterKVS(PrivateKVS):
         self._base_kwargs = dict(base_kwargs)
         self._backend_factory = backend_factory
         self._rng = rng if rng is not None else SystemRandomSource()
+        self._owns_executor = not isinstance(executor, Executor)
+        self._executor = resolve_executor(executor)
+        self._network_model = _resolve_model(network)
         self._failure_rates = _rate_per_replica(
             failure_rate, replica_count, "failure rate"
         )
@@ -644,6 +826,8 @@ class ClusterKVS(PrivateKVS):
         self._install(shard_count)
         self._operations = 0
         self._reshard_count = 0
+        self._serial_ops = 0
+        self._wall_ops = 0.0
 
     def _install(self, shard_count: int) -> None:
         local_n = max(4, math.ceil(
@@ -671,7 +855,9 @@ class ClusterKVS(PrivateKVS):
                     self._rng.spawn(f"faults/{label}"),
                 )
                 replicas.append(instance)
-            groups.append(KVShardGroup(shard, replicas))
+            groups.append(KVShardGroup(
+                shard, replicas, executor=self._executor,
+            ))
         self._groups = groups
         self._shard_queries = [0] * shard_count
         self._ledger = ClusterLedger(
@@ -770,6 +956,57 @@ class ClusterKVS(PrivateKVS):
         """Total stored blocks across the cluster."""
         return sum(server.capacity for server in self.servers())
 
+    # -- overlap accounting ------------------------------------------------
+
+    @property
+    def executor(self) -> Executor:
+        """The cross-shard fan-out policy."""
+        return self._executor
+
+    @property
+    def network_model(self) -> NetworkModel:
+        """The link model pricing this cluster's millisecond figures."""
+        return self._network_model
+
+    def serial_operations(self) -> int:
+        """Cumulative op-units through the entry points, priced serially
+        (survives reshard migrations, unlike the server counters)."""
+        return self._serial_ops
+
+    def wall_operations(self) -> float:
+        """Overlap-accounted op-units under the configured executor."""
+        return self._wall_ops
+
+    def _per_op_ms(self) -> float:
+        return self._network_model.rtt_ms + self._network_model.transfer_ms(
+            self.block_size
+        )
+
+    def serial_ms(self) -> float:
+        """Cumulative simulated time with every leg run back-to-back."""
+        return self.serial_operations() * self._per_op_ms()
+
+    def wall_clock_ms(self) -> float:
+        """Cumulative simulated time under the configured executor."""
+        return self.wall_operations() * self._per_op_ms()
+
+    def _account_stage(
+        self, leg_serial: Sequence[int], leg_wall: Sequence[float]
+    ) -> None:
+        self._serial_ops += sum(leg_serial)
+        self._wall_ops += self._executor.stage_cost(leg_wall)
+
+    def close(self) -> None:
+        """Release executor worker threads (see :meth:`ClusterIR.close`)."""
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "ClusterKVS":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- operations --------------------------------------------------------
 
     def get(self, key: bytes) -> bytes | None:
@@ -777,25 +1014,86 @@ class ClusterKVS(PrivateKVS):
         shard = self._shard_of(key)
         group = self._groups[shard]
         before = group.draws
+        ops_before = group.operations()
+        wall_before = group.wall_operations()
         try:
             value = group.get(key)
         finally:
             self._charge(shard, group.draws - before)
+            self._account_stage(
+                [group.operations() - ops_before],
+                [group.wall_operations() - wall_before],
+            )
         return value
 
     def get_many(self, keys: Sequence[bytes]) -> list[bytes | None]:
-        """Retrieve ``keys`` in order, routing each to its shard."""
-        return [self.get(key) for key in keys]
+        """Retrieve ``keys`` in order, batching per shard group.
+
+        Keys owned by different groups are independent legs confined to
+        disjoint object graphs: a concurrent executor runs them in
+        parallel and the round costs the slowest shard's leg, not the
+        sum.  Values, draw sequences and ledger charges are
+        executor-invariant; a leg whose group is exhausted does not
+        poison its siblings (their draws are charged before the fault
+        propagates).
+        """
+        if not keys:
+            return []
+        per_shard: dict[int, list[tuple[int, bytes]]] = {}
+        for position, key in enumerate(keys):
+            shard = self._shard_of(key)
+            per_shard.setdefault(shard, []).append((position, bytes(key)))
+        shards = sorted(per_shard)
+        draws_before = {s: self._groups[s].draws for s in shards}
+        ops_before = {s: self._groups[s].operations() for s in shards}
+        wall_before = {s: self._groups[s].wall_operations() for s in shards}
+        tasks = []
+        for shard in shards:
+            shard_keys = [key for _, key in per_shard[shard]]
+            tasks.append(
+                lambda group=self._groups[shard], batch=shard_keys:
+                    group.get_many(batch)
+            )
+        results = self._executor.fan_out(tasks)
+        values: list[bytes | None] = [None] * len(keys)
+        failure: BaseException | None = None
+        leg_serial: list[int] = []
+        leg_wall: list[float] = []
+        for shard, result in zip(shards, results):
+            group = self._groups[shard]
+            entries = per_shard[shard]
+            self._charge_many(
+                shard, count=len(entries),
+                draws=group.draws - draws_before[shard],
+            )
+            leg_serial.append(group.operations() - ops_before[shard])
+            leg_wall.append(group.wall_operations() - wall_before[shard])
+            if result.error is not None:
+                if failure is None:
+                    failure = result.error
+                continue
+            for (position, _), value in zip(entries, result.value):
+                values[position] = value
+        self._account_stage(leg_serial, leg_wall)
+        if failure is not None:
+            raise failure
+        return values
 
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or update ``key`` on every live replica of its shard."""
         shard = self._shard_of(key)
         group = self._groups[shard]
         before = group.draws
+        ops_before = group.operations()
+        wall_before = group.wall_operations()
         try:
             group.put(key, value)
         finally:
             self._charge(shard, group.draws - before)
+            self._account_stage(
+                [group.operations() - ops_before],
+                [group.wall_operations() - wall_before],
+            )
         self._keys.add(bytes(key))
 
     def delete(self, key: bytes) -> bool:
@@ -803,10 +1101,16 @@ class ClusterKVS(PrivateKVS):
         shard = self._shard_of(key)
         group = self._groups[shard]
         before = group.draws
+        ops_before = group.operations()
+        wall_before = group.wall_operations()
         try:
             existed = group.delete(key)
         finally:
             self._charge(shard, group.draws - before)
+            self._account_stage(
+                [group.operations() - ops_before],
+                [group.wall_operations() - wall_before],
+            )
         self._keys.discard(bytes(key))
         return existed
 
@@ -817,8 +1121,11 @@ class ClusterKVS(PrivateKVS):
         """Count one logical operation; charge the ledger per replica
         operation attempted (write fan-out and failovers each expose an
         independent mechanism invocation to a replica's operator)."""
-        self._operations += 1
-        self._shard_queries[shard] += 1
+        self._charge_many(shard, count=1, draws=draws)
+
+    def _charge_many(self, shard: int, count: int, draws: int) -> None:
+        self._operations += count
+        self._shard_queries[shard] += count
         epsilon = self._groups[shard].epsilon
         for _ in range(draws):
             self._ledger.charge(shard, epsilon)
@@ -829,18 +1136,40 @@ class ClusterKVS(PrivateKVS):
         """Migrate every stored key to a new shard count, online.
 
         Values are read out through the failover path using the
-        client-side key directory, the groups are rebuilt, and every
-        pair is re-inserted under the new hash placement.
+        client-side key directory — one independent drain leg per shard
+        group, overlapped under a concurrent executor — the groups are
+        rebuilt, and every pair is re-inserted under the new hash
+        placement.
         """
         new_count = shard_count if shard_count is not None else self.shard_count
-        before_ops = sum(self.shard_loads())
         shards_before = self.shard_count
-        snapshot: list[tuple[bytes, bytes]] = []
+        per_shard_keys: dict[int, list[bytes]] = {}
         for key in sorted(self._keys):
-            value = self._groups[self._shard_of(key)].get(key)
-            if value is not None:
-                snapshot.append((key, value))
-        migration_ops = sum(self.shard_loads()) - before_ops
+            per_shard_keys.setdefault(self._shard_of(key), []).append(key)
+        shards = sorted(per_shard_keys)
+        ops_before = {s: self._groups[s].operations() for s in shards}
+        wall_before = {s: self._groups[s].wall_operations() for s in shards}
+        results = self._executor.fan_out([
+            (lambda group=self._groups[shard], keys=per_shard_keys[shard]:
+                list(zip(keys, group.get_many(keys))))
+            for shard in shards
+        ])
+        leg_serial = [
+            self._groups[s].operations() - ops_before[s] for s in shards
+        ]
+        leg_wall = [
+            self._groups[s].wall_operations() - wall_before[s] for s in shards
+        ]
+        migration_ops = sum(leg_serial)
+        wall_units = self._executor.stage_cost(leg_wall)
+        self._serial_ops += migration_ops
+        self._wall_ops += wall_units
+        snapshot: list[tuple[bytes, bytes]] = []
+        for result in results:
+            for key, value in result.unwrap():
+                if value is not None:
+                    snapshot.append((key, value))
+        snapshot.sort()
         self._install(new_count)
         moved = sum(
             1
@@ -853,9 +1182,12 @@ class ClusterKVS(PrivateKVS):
             self._groups[self._shard_of(key)].put(key, value)
             self._keys.add(key)
         self._reshard_count += 1
+        per_op = self._per_op_ms()
         return MigrationReport(
             shards_before=shards_before,
             shards_after=new_count,
             moved_records=moved,
             migration_operations=migration_ops,
+            serial_ms=migration_ops * per_op,
+            wall_clock_ms=wall_units * per_op,
         )

@@ -33,6 +33,10 @@ from repro.storage.faults import scheme_fault_counters
 from repro.workloads import catalogue
 
 
+def _chunks(items: list, size: int) -> list[list]:
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
 def cluster(
     scheme: str = "dp_ir",
     *,
@@ -52,6 +56,8 @@ def cluster(
     value_size: int = 32,
     seed: int | bytes | str | None = None,
     network: str = "lan",
+    executor: str | None = None,
+    batch: int = 1,
     percentiles: Sequence[float] = DEFAULT_PERCENTILES,
     **base_kwargs,
 ) -> ClusterReport:
@@ -81,6 +87,13 @@ def cluster(
         seed: deterministic randomness; ``None`` uses system entropy.
         network: link model (``lan`` / ``wan`` / ``mobile``) pricing
             server operations into simulated milliseconds.
+        executor: cross-shard fan-out policy (``serial`` / ``parallel``
+            / ``simulated`` or an Executor instance); answers and
+            privacy budgets are executor-invariant, only wall-clock
+            changes.
+        batch: requests dispatched per round through the batched entry
+            points — a round spanning several shards is what a parallel
+            executor overlaps; ``1`` keeps per-request dispatch.
         percentiles: quantile fractions for the report's tail set.
         **base_kwargs: forwarded to the base scheme's builder.
 
@@ -91,6 +104,8 @@ def cluster(
 
     if requests < 1:
         raise ValueError(f"requests must be at least 1, got {requests}")
+    if batch < 1:
+        raise ValueError(f"batch must be at least 1, got {batch}")
     base = resolve_scheme_name(scheme)
     spec = scheme_spec(base)
     if spec.kind == "ram":
@@ -117,13 +132,14 @@ def cluster(
             failure_rate=failure_rate,
             corruption_rate=corruption_rate,
             rng=root.spawn("cluster"),
+            executor=executor,
+            network=model,
             **base_kwargs,
         )
         trace = catalogue.index_trace(
             workload, n, requests, root.spawn("trace"), write_fraction=0.0,
         )
         operations = [op.index for op in trace]
-        runner = instance.query
         expected = database
     else:
         instance = ClusterKVS(
@@ -135,6 +151,8 @@ def cluster(
             failure_rate=failure_rate,
             corruption_rate=corruption_rate,
             rng=root.spawn("cluster"),
+            executor=executor,
+            network=model,
             **base_kwargs,
         )
         # kv_trace itself aliases index-workload names to their KV analogue.
@@ -143,42 +161,78 @@ def cluster(
             value_size=value_size,
         )
         operations = list(trace)
-        runner = None
         expected = None
 
-    per_op = model.rtt_ms + model.transfer_ms(instance.block_size)
-    latencies: list[float] = []
-    completed = 0
-    errors = 0
-    mismatches = 0
-    last_ops = 0
-    if spec.kind == "ir":
-        for index in operations:
-            answer = runner(index)
-            now_ops = sum(instance.shard_loads())
-            latencies.append((now_ops - last_ops) * per_op)
-            last_ops = now_ops
-            completed += 1
-            if answer is None:
-                errors += 1
-            elif expected is not None and answer != expected[index]:
-                mismatches += 1
-    else:
-        from repro.workloads.kv_traces import KVOpKind
+    try:
+        per_op = model.rtt_ms + model.transfer_ms(instance.block_size)
+        latencies: list[float] = []
+        completed = 0
+        errors = 0
+        mismatches = 0
+        last_wall = instance.wall_operations()
+        if spec.kind == "ir":
+            for chunk in _chunks(operations, batch):
+                answers = (
+                    instance.query_many(chunk) if len(chunk) > 1
+                    else [instance.query(chunk[0])]
+                )
+                now_wall = instance.wall_operations()
+                # A round's requests complete together at the round's
+                # (overlap-accounted) wall-clock cost.
+                round_ms = (now_wall - last_wall) * per_op
+                last_wall = now_wall
+                for index, answer in zip(chunk, answers):
+                    latencies.append(round_ms)
+                    completed += 1
+                    if answer is None:
+                        errors += 1
+                    elif expected is not None and answer != expected[index]:
+                        mismatches += 1
+        else:
+            from repro.workloads.kv_traces import KVOpKind
 
-        reference: dict[bytes, bytes] = {}
-        for operation in operations:
-            if operation.kind is KVOpKind.GET:
-                answer = instance.get(operation.key)
-                if answer != reference.get(operation.key):
-                    mismatches += 1
-            else:
-                instance.put(operation.key, operation.value)
-                reference[operation.key] = operation.value
-            now_ops = sum(instance.shard_loads())
-            latencies.append((now_ops - last_ops) * per_op)
-            last_ops = now_ops
-            completed += 1
+            reference: dict[bytes, bytes] = {}
+            rounds: list[list] = []
+            for operation in operations:
+                if (
+                    batch > 1
+                    and operation.kind is KVOpKind.GET
+                    and rounds
+                    and rounds[-1][0].kind is KVOpKind.GET
+                    and len(rounds[-1]) < batch
+                ):
+                    rounds[-1].append(operation)
+                else:
+                    rounds.append([operation])
+            for round_ops in rounds:
+                if round_ops[0].kind is KVOpKind.GET and len(round_ops) > 1:
+                    answers = instance.get_many(
+                        [operation.key for operation in round_ops]
+                    )
+                elif round_ops[0].kind is KVOpKind.GET:
+                    answers = [instance.get(round_ops[0].key)]
+                else:
+                    instance.put(round_ops[0].key, round_ops[0].value)
+                    reference[round_ops[0].key] = round_ops[0].value
+                    answers = None
+                now_wall = instance.wall_operations()
+                round_ms = (now_wall - last_wall) * per_op
+                last_wall = now_wall
+                if answers is None:
+                    latencies.append(round_ms)
+                    completed += 1
+                    continue
+                for operation, answer in zip(round_ops, answers):
+                    latencies.append(round_ms)
+                    completed += 1
+                    if answer != reference.get(operation.key):
+                        mismatches += 1
+
+    finally:
+        # Success or not, release any worker threads the
+        # instance's own executor spawned (pool-backed executors
+        # recreate them if the instance is reused).
+        instance.close()
 
     loads = instance.shard_loads()
     budget = instance.ledger.report()
@@ -213,6 +267,10 @@ def cluster(
         errors=errors,
         mismatches=mismatches,
         network=network if isinstance(network, str) else "custom",
+        executor=instance.executor.name,
+        batch=batch,
+        serial_ms=instance.serial_ms(),
+        wall_clock_ms=instance.wall_clock_ms(),
         latency=LatencySummary.from_values(latencies),
         server_operations=sum(loads),
         per_server_storage_blocks=instance.per_server_storage_blocks(),

@@ -1,0 +1,180 @@
+"""Parallel-execution benchmarks as reusable data: speedup + equivalence.
+
+``benchmarks/bench_parallel.py`` asserts on (and renders) these rows,
+and ``scripts/run_benchmarks.py`` writes them to ``BENCH_parallel.json``
+— both call the same functions so the numbers cannot drift apart.
+
+Two claims under test:
+
+* **Speedup**: at a fixed global pad ``K`` and batched dispatch, a
+  parallel executor's wall-clock drops strictly below the serial
+  executor's at every ``D ≥ 2`` (the acceptance bar is ``D ≥ 4``) —
+  while ops/request, per-server storage and the exact per-query ε stay
+  *exactly* invariant.  Overlap is free privacy-wise because the
+  executor never changes the draw sequence.
+* **Equivalence**: under injected faults, serial and parallel executors
+  return bit-identical retrievals, identical ledger budgets and
+  identical failover counters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.bench import (
+    DEFAULT_ALPHA,
+    DEFAULT_N,
+    DEFAULT_PAD,
+    DEFAULT_SHARD_COUNTS,
+)
+from repro.cluster.scheme import ClusterIR
+from repro.cluster.service import cluster
+from repro.crypto.rng import SeededRandomSource
+from repro.storage.blocks import integer_database
+
+DEFAULT_BATCH = 16
+EXECUTORS = ("serial", "parallel")
+
+
+def speedup_curve(
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    *,
+    n: int = DEFAULT_N,
+    pad_size: int = DEFAULT_PAD,
+    alpha: float = DEFAULT_ALPHA,
+    replicas: int = 1,
+    requests: int = 64,
+    batch: int = DEFAULT_BATCH,
+    seed: int = 0x5EED,
+    base: str = "dp_ir",
+) -> list[dict]:
+    """Wall-clock speedup of parallel over serial versus shard count.
+
+    Every shard count runs the same seeded workload once per executor;
+    the only thing allowed to differ between the two runs is the
+    wall-clock accounting.
+    """
+    rows = []
+    for shards in shard_counts:
+        reports = {}
+        for executor in EXECUTORS:
+            reports[executor] = cluster(
+                base,
+                shards=shards,
+                replicas=replicas,
+                n=n,
+                pad_size=pad_size,
+                alpha=alpha,
+                requests=requests,
+                seed=seed,
+                executor=executor,
+                batch=batch,
+            )
+        serial = reports["serial"]
+        parallel = reports["parallel"]
+        rows.append({
+            "shards": shards,
+            "replicas": replicas,
+            "batch": batch,
+            "serial_ms": serial.wall_clock_ms,
+            "parallel_ms": parallel.wall_clock_ms,
+            "speedup": (
+                serial.wall_clock_ms / parallel.wall_clock_ms
+                if parallel.wall_clock_ms > 0 else 1.0
+            ),
+            "serial_p95_ms": serial.latency.p95_ms,
+            "parallel_p95_ms": parallel.latency.p95_ms,
+            # Executor-invariance witnesses: these must be equal pairs.
+            "ops_per_request": {
+                executor: reports[executor].ops_per_request
+                for executor in EXECUTORS
+            },
+            "per_query_epsilon": {
+                executor: reports[executor].budget.per_query_epsilon
+                for executor in EXECUTORS
+            },
+            "worst_shard_epsilon": {
+                executor: reports[executor].budget.worst_shard_epsilon
+                for executor in EXECUTORS
+            },
+            "per_server_storage_blocks": {
+                executor: reports[executor].per_server_storage_blocks
+                for executor in EXECUTORS
+            },
+            "errors": {
+                executor: reports[executor].errors
+                for executor in EXECUTORS
+            },
+            "mismatches": {
+                executor: reports[executor].mismatches
+                for executor in EXECUTORS
+            },
+            "completed": serial.completed,
+        })
+    return rows
+
+
+def executor_equivalence(
+    *,
+    n: int = 256,
+    shards: int = 4,
+    replicas: int = 2,
+    pad_size: int = 32,
+    alpha: float = 0.05,
+    failure_rate: Sequence[float] = (0.2, 0.0),
+    corruption_rate: Sequence[float] = (0.1, 0.0),
+    seed: int = 0xFA11,
+    executors: Sequence[str] = ("serial", "parallel", "simulated"),
+) -> dict:
+    """Bit-identical retrievals + identical budgets across executors.
+
+    Builds one faulty cluster per executor from the same seed, reads
+    the whole database through ``query_many``, and compares answers,
+    ledger budgets and failover counters.  Returns the comparison (the
+    bench and CI gate assert on ``identical_*``).
+    """
+    blocks = integer_database(n)
+    answers = {}
+    budgets = {}
+    faults = {}
+    for executor in executors:
+        instance = ClusterIR(
+            blocks,
+            shard_count=shards,
+            replica_count=replicas,
+            pad_size=pad_size,
+            alpha=alpha,
+            failure_rate=tuple(failure_rate),
+            corruption_rate=tuple(corruption_rate),
+            rng=SeededRandomSource(seed),
+            executor=executor,
+        )
+        answers[executor] = instance.query_many(list(range(n)))
+        report = instance.ledger.report()
+        budgets[executor] = (
+            report.queries,
+            report.per_query_epsilon,
+            report.worst_shard_epsilon,
+            report.colluding_epsilon,
+        )
+        faults[executor] = instance.fault_counters()
+        instance.close()
+    reference = executors[0]
+    return {
+        "executors": list(executors),
+        "n": n,
+        "shards": shards,
+        "replicas": replicas,
+        "identical_answers": all(
+            answers[executor] == answers[reference] for executor in executors
+        ),
+        "identical_budgets": all(
+            budgets[executor] == budgets[reference] for executor in executors
+        ),
+        "identical_fault_counters": all(
+            faults[executor] == faults[reference] for executor in executors
+        ),
+        "ledger_queries": budgets[reference][0],
+        "worst_shard_epsilon": budgets[reference][2],
+        "fault_counters": dict(faults[reference]),
+    }

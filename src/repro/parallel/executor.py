@@ -1,0 +1,289 @@
+"""The ``fan_out`` contract and its three executors.
+
+An :class:`Executor` runs a *stage*: a list of independent thunks
+("legs"), one per shard group / replica / server.  The contract every
+implementation honours:
+
+* **Ordering** — results come back in submission order, whatever order
+  the legs actually ran in.
+* **Per-task fault capture** — a leg that raises is recorded in its
+  :class:`TaskResult` instead of aborting sibling legs, so the caller
+  can fail over leg-by-leg (the cluster's replica failover needs the
+  healthy shards' answers even when one shard is exhausted).
+* **Per-task timing** — each result carries the leg's measured
+  wall-clock milliseconds.
+* **Stage cost** — :meth:`Executor.stage_cost` turns per-leg costs into
+  the stage's accounted cost: a serial stage is the *sum* of its legs,
+  a concurrent stage is the *max* over its legs plus a fixed dispatch
+  overhead.
+
+Stateful legs: :meth:`Executor.fan_out` takes ``ordered=True`` for
+stages whose legs share mutable client state (a shard group's rotation
+pointer, a privacy ledger).  Concurrent executors then run the legs in
+deterministic submission order — the stage is still *accounted* as
+overlapped, but the draw sequence cannot depend on thread scheduling,
+which is what keeps privacy budgets identical across executors.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+Task = Callable[[], Any]
+
+
+@dataclass
+class TaskResult:
+    """One leg's outcome: a value or a captured exception, plus timing.
+
+    Attributes:
+        index: the leg's position in the submitted stage.
+        value: what the task returned (``None`` if it raised).
+        error: the exception the task raised, if any.
+        elapsed_ms: measured wall-clock duration of the task body.
+    """
+
+    index: int
+    value: Any = None
+    error: BaseException | None = None
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the leg completed without raising."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The task's value, re-raising its exception if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+def _run_task(index: int, task: Task) -> TaskResult:
+    started = time.perf_counter()
+    try:
+        value = task()
+    except Exception as exc:  # noqa: BLE001 — per-task capture is the contract
+        return TaskResult(
+            index=index, error=exc,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+    return TaskResult(
+        index=index, value=value,
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+    )
+
+
+class Executor(abc.ABC):
+    """How a stage of independent legs executes and is accounted.
+
+    Attributes:
+        name: the spelling ``resolve_executor`` accepts and reports show.
+        concurrent: whether stage cost overlaps (max) or serializes (sum).
+        dispatch_overhead_ms: fixed per-stage cost a concurrent executor
+            adds on top of its slowest leg (coordination is not free).
+    """
+
+    name: str = "executor"
+    concurrent: bool = False
+    dispatch_overhead_ms: float = 0.0
+
+    @abc.abstractmethod
+    def fan_out(
+        self, tasks: Sequence[Task], *, ordered: bool = False
+    ) -> list[TaskResult]:
+        """Run every task, returning results in submission order.
+
+        Args:
+            tasks: independent thunks, one per leg.
+            ordered: the legs mutate shared state — execute them in
+                deterministic submission order even when concurrent
+                (the stage is still *accounted* as overlapped).
+        """
+
+    def stage_cost(self, leg_costs: Sequence[float]) -> float:
+        """Accounted cost of one stage given its per-leg costs.
+
+        The unit is the caller's (op-units or milliseconds); the
+        combination rule is the executor's: sum for serial execution,
+        ``max + dispatch_overhead_ms`` for overlapped legs.
+        """
+        legs = [float(cost) for cost in leg_costs]
+        for cost in legs:
+            if cost < 0:
+                raise ValueError(f"leg cost must be non-negative, got {cost}")
+        if not legs:
+            return 0.0
+        if self.concurrent and len(legs) > 1:
+            return max(legs) + self.dispatch_overhead_ms
+        return sum(legs)
+
+    def close(self) -> None:
+        """Release any worker resources (no-op for poolless executors)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialExecutor(Executor):
+    """One leg after another, in order — the baseline everything else
+    must agree with bit-for-bit."""
+
+    name = "serial"
+    concurrent = False
+
+    def fan_out(
+        self, tasks: Sequence[Task], *, ordered: bool = False
+    ) -> list[TaskResult]:
+        del ordered  # serial execution is always ordered
+        return [_run_task(index, task) for index, task in enumerate(tasks)]
+
+
+class SimulatedParallelExecutor(Executor):
+    """Deterministic overlap: legs run in submission order, the stage is
+    accounted as concurrent.
+
+    This is the executor the equivalence tests lean on: execution is
+    bit-identical to :class:`SerialExecutor` (same order, same draws,
+    same budgets) while :meth:`stage_cost` models the wall-clock of a
+    genuinely racing deployment (max over legs + dispatch overhead).
+    """
+
+    name = "simulated"
+    concurrent = True
+
+    def __init__(self, dispatch_overhead_ms: float = 0.0) -> None:
+        if dispatch_overhead_ms < 0:
+            raise ValueError(
+                f"dispatch overhead must be non-negative, "
+                f"got {dispatch_overhead_ms}"
+            )
+        self.dispatch_overhead_ms = dispatch_overhead_ms
+
+    def fan_out(
+        self, tasks: Sequence[Task], *, ordered: bool = False
+    ) -> list[TaskResult]:
+        del ordered
+        return [_run_task(index, task) for index, task in enumerate(tasks)]
+
+
+class ParallelExecutor(Executor):
+    """Real threads: a lazily created ``ThreadPoolExecutor`` fan-out.
+
+    Legs confined to disjoint object graphs (different shard groups,
+    different replicas, different servers) genuinely race; ``ordered``
+    stages fall back to deterministic in-order execution because their
+    legs share client state (see the module docstring).
+
+    Args:
+        max_workers: thread cap; defaults to the stdlib's.
+        dispatch_overhead_ms: fixed per-stage accounting overhead.
+    """
+
+    name = "parallel"
+    concurrent = True
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        dispatch_overhead_ms: float = 0.0,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be at least 1, got {max_workers}"
+            )
+        if dispatch_overhead_ms < 0:
+            raise ValueError(
+                f"dispatch overhead must be non-negative, "
+                f"got {dispatch_overhead_ms}"
+            )
+        self._max_workers = max_workers
+        self.dispatch_overhead_ms = dispatch_overhead_ms
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-fanout",
+            )
+        return self._pool
+
+    def fan_out(
+        self, tasks: Sequence[Task], *, ordered: bool = False
+    ) -> list[TaskResult]:
+        if ordered or len(tasks) <= 1:
+            return [_run_task(index, task) for index, task in enumerate(tasks)]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_task, index, task)
+            for index, task in enumerate(tasks)
+        ]
+        # Gathering in submission order preserves the result contract
+        # regardless of completion order.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+@dataclass
+class StageTiming:
+    """Bookkeeping for one fan-out stage: per-leg costs plus the
+    executor's accounted (overlapped or serial) total.
+
+    Attributes:
+        leg_costs: per-leg costs in the caller's unit (op-units here).
+        serial_cost: what the stage costs executed one leg at a time.
+        wall_cost: what the stage costs under the recording executor.
+    """
+
+    leg_costs: list[float] = field(default_factory=list)
+    serial_cost: float = 0.0
+    wall_cost: float = 0.0
+
+    @classmethod
+    def record(
+        cls, executor: Executor, leg_costs: Sequence[float]
+    ) -> "StageTiming":
+        legs = [float(cost) for cost in leg_costs]
+        return cls(
+            leg_costs=legs,
+            serial_cost=sum(legs),
+            wall_cost=executor.stage_cost(legs),
+        )
+
+
+_EXECUTORS: dict[str, Callable[[], Executor]] = {
+    "serial": SerialExecutor,
+    "parallel": ParallelExecutor,
+    "simulated": SimulatedParallelExecutor,
+}
+
+
+def resolve_executor(executor: Executor | str | None) -> Executor:
+    """Map a name (``serial``/``parallel``/``simulated``) to an executor.
+
+    ``None`` keeps the serial default; an :class:`Executor` instance
+    passes through unchanged.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, Executor):
+        return executor
+    try:
+        factory = _EXECUTORS[executor.strip().lower()]
+    except (KeyError, AttributeError):
+        known = ", ".join(sorted(_EXECUTORS))
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {known} "
+            "or an Executor instance"
+        ) from None
+    return factory()

@@ -60,6 +60,20 @@ class ServingReport:
     #: ``corrupted_reads``, cluster ``failovers`` …); empty for a
     #: fault-free run.
     faults: dict = field(default_factory=dict)
+    #: Total dispatch service time with every leg run back-to-back.
+    serial_ms: float = 0.0
+    #: Total dispatch service time actually charged — overlap-accounted
+    #: for schemes that fan legs out concurrently (equals
+    #: :attr:`serial_ms` otherwise).
+    wall_clock_ms: float = 0.0
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serial over wall-clock dispatch time (1.0 when nothing
+        overlapped)."""
+        if self.wall_clock_ms <= 0.0:
+            return 1.0
+        return self.serial_ms / self.wall_clock_ms
 
     @property
     def throughput_rps(self) -> float:
@@ -120,6 +134,9 @@ class ServingReport:
             ["dispatches", self.dispatches],
             ["mean batch size", f"{self.mean_batch_size:.2f}"],
             ["server operations", self.server_operations],
+            ["serial ms", f"{self.serial_ms:.2f}"],
+            ["wall-clock ms", f"{self.wall_clock_ms:.2f}"],
+            ["overlap speedup", f"{self.overlap_speedup:.2f}x"],
             ["ops / request", f"{self.ops_per_request:.2f}"],
             ["tenant fairness (Jain)", f"{self.fairness_index:.3f}"],
         ])
@@ -175,6 +192,9 @@ class ServingReport:
             "dispatches": self.dispatches,
             "mean_batch_size": self.mean_batch_size,
             "server_operations": self.server_operations,
+            "serial_ms": self.serial_ms,
+            "wall_clock_ms": self.wall_clock_ms,
+            "overlap_speedup": self.overlap_speedup,
             "ops_per_request": self.ops_per_request,
             "fairness_index": self.fairness_index,
             "tenants": [

@@ -108,6 +108,7 @@ def serve(
     network: NetworkModel | str = "lan",
     value_size: int = 32,
     write_fraction: float = 0.25,
+    executor: str | None = None,
     **build_kwargs,
 ) -> ServingReport:
     """Serve ``clients`` concurrent sessions against a scheme.
@@ -135,6 +136,11 @@ def serve(
             server operations into simulated time.
         value_size: KVS value budget when building by name.
         write_fraction: write share of the ``readwrite`` workload.
+        executor: cross-shard fan-out policy (``serial`` / ``parallel``
+            / ``simulated``) for cluster schemes — a dispatch spanning
+            several shards then occupies the worker for the slowest
+            shard leg, not the sum.  Rejected with a clear error for
+            schemes that have no fan-out to parallelize.
         **build_kwargs: forwarded to the scheme's builder (``epsilon``,
             ``server_count``, ``backend``, …).
 
@@ -162,6 +168,21 @@ def serve(
         kind = spec.kind
         kwargs = dict(build_kwargs)
         kwargs.setdefault("n", n)
+        if executor is not None:
+            import inspect
+
+            parameters = inspect.signature(spec.builder).parameters
+            if "executor" not in parameters and not any(
+                parameter.kind is inspect.Parameter.VAR_KEYWORD
+                for parameter in parameters.values()
+            ):
+                raise ValueError(
+                    f"scheme {name!r} has no cross-shard fan-out to "
+                    "parallelize; --executor applies to the cluster "
+                    "schemes (cluster_dp_ir, cluster_batch_dp_ir, "
+                    "cluster_dp_kvs)"
+                )
+            kwargs.setdefault("executor", executor)
         if kind == "kvs":
             kwargs.setdefault("value_size", value_size)
         if "backend" in kwargs:
@@ -177,6 +198,11 @@ def serve(
             unknown = ", ".join(sorted(build_kwargs))
             raise ValueError(
                 f"builder kwargs ({unknown}) need a scheme name, not an instance"
+            )
+        if executor is not None:
+            raise ValueError(
+                "executor= needs a scheme name, not an instance; pass "
+                "the executor to the instance's own constructor"
             )
         instance = scheme
         kind = (
@@ -217,6 +243,14 @@ def serve(
         network=model,
         network_label=label_network,
     )
-    report = simulator.run()
+    try:
+        report = simulator.run()
+    finally:
+        if isinstance(scheme, str):
+            # serve() built (and owns) the instance: release any
+            # executor worker threads even when the run raises.
+            closer = getattr(instance, "close", None)
+            if callable(closer):
+                closer()
     report.scheme = label
     return report

@@ -67,6 +67,25 @@ class _LatencyProbe:
         self._last = now
 
 
+def _price_overlap(
+    scheme: Scheme, metrics: RunMetrics, wall_before: float
+) -> None:
+    """Fill the metrics' serial vs wall-clock figures for the run.
+
+    Both are priced under the LAN reference link (one roundtrip plus
+    one block transfer per operation) so they are comparable across
+    schemes; they differ exactly when the scheme overlapped independent
+    legs (:meth:`~repro.api.protocols.Scheme.wall_operations`).
+    """
+    from repro.storage.network import LAN
+
+    per_op = LAN.rtt_ms + LAN.transfer_ms(scheme.block_size)
+    metrics.serial_ms = metrics.blocks_total * per_op
+    metrics.wall_clock_ms = (
+        scheme.wall_operations() - wall_before
+    ) * per_op
+
+
 def _server_counters(scheme) -> tuple[int, int]:
     """(reads, writes) across every server the scheme exposes.
 
@@ -117,6 +136,7 @@ def run_ir_trace(
             are counted only for non-errored queries.
     """
     reads_before, writes_before = _server_counters(scheme)
+    wall_before = scheme.wall_operations()
     metrics = RunMetrics(scheme=type(scheme).__name__, trace=trace.name)
     probe = _LatencyProbe(scheme, metrics)
     started = time.perf_counter()
@@ -136,6 +156,7 @@ def run_ir_trace(
     metrics.blocks_uploaded = writes_after - writes_before
     metrics.client_peak_blocks = scheme.client_peak_blocks
     metrics.fault_counters = scheme_fault_counters(scheme)
+    _price_overlap(scheme, metrics, wall_before)
     return metrics
 
 
@@ -152,6 +173,7 @@ def run_ram_trace(
             itself performed.
     """
     reads_before, writes_before = _server_counters(scheme)
+    wall_before = scheme.wall_operations()
     metrics = RunMetrics(scheme=type(scheme).__name__, trace=trace.name)
     reference: dict[int, bytes] = (
         {i: bytes(b) for i, b in enumerate(initial)} if initial else {}
@@ -175,6 +197,7 @@ def run_ram_trace(
     metrics.blocks_uploaded = writes_after - writes_before
     metrics.client_peak_blocks = scheme.client_peak_blocks
     metrics.fault_counters = scheme_fault_counters(scheme)
+    _price_overlap(scheme, metrics, wall_before)
     return metrics
 
 
@@ -193,6 +216,7 @@ def run_kv_trace(
     storage padding — so the reference comparison is plain equality.
     """
     reads_before, writes_before = _server_counters(scheme)
+    wall_before = scheme.wall_operations()
     metrics = RunMetrics(scheme=type(scheme).__name__, trace=trace.name)
     reference: dict[bytes, bytes] = {}
     probe = _LatencyProbe(scheme, metrics)
@@ -214,4 +238,5 @@ def run_kv_trace(
     metrics.blocks_uploaded = writes_after - writes_before
     metrics.client_peak_blocks = scheme.client_peak_blocks
     metrics.fault_counters = scheme_fault_counters(scheme)
+    _price_overlap(scheme, metrics, wall_before)
     return metrics

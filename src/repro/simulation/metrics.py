@@ -135,6 +135,12 @@ class RunMetrics:
             when the scheme runs over a latency-accounting backend.
         fault_counters: injected/observed fault totals aggregated from
             the scheme's fault wrappers; empty for fault-free runs.
+        serial_ms: simulated time for the run's server operations priced
+            one after another under the LAN reference link.
+        wall_clock_ms: the same operations under the scheme's overlap
+            accounting (:meth:`repro.api.protocols.Scheme.wall_operations`)
+            — below :attr:`serial_ms` exactly when the scheme fanned
+            independent legs out concurrently, equal otherwise.
     """
 
     scheme: str
@@ -148,6 +154,15 @@ class RunMetrics:
     elapsed_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
     fault_counters: dict[str, int] = field(default_factory=dict)
+    serial_ms: float = 0.0
+    wall_clock_ms: float = 0.0
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serial over wall-clock time (1.0 when nothing overlapped)."""
+        if self.wall_clock_ms <= 0.0:
+            return 1.0
+        return self.serial_ms / self.wall_clock_ms
 
     @property
     def blocks_total(self) -> int:

@@ -242,6 +242,31 @@ class ServerPool:
         """Sum of operations over all servers."""
         return sum(server.operations for server in self._servers)
 
+    def request_all(self, operation, executor=None) -> list:
+        """Apply ``operation(server)`` to every server, fanning out.
+
+        Servers in a pool are independent object graphs, so their legs
+        may genuinely race under a concurrent executor
+        (:mod:`repro.parallel`); the default stays serial.  Results come
+        back in server order as :class:`~repro.parallel.executor.TaskResult`
+        entries, so a caller can fail over per-server (one faulted
+        replica does not poison its siblings' answers).
+        """
+        from functools import partial
+
+        from repro.parallel.executor import Executor, resolve_executor
+
+        runner = resolve_executor(executor)
+        try:
+            return runner.fan_out(
+                [partial(operation, server) for server in self._servers]
+            )
+        finally:
+            # An executor resolved here from a name is ours to clean up;
+            # a caller-supplied instance stays alive for reuse.
+            if not isinstance(executor, Executor):
+                runner.close()
+
     @staticmethod
     def corrupted_view(transcript: Transcript, corrupted: set[int]) -> Transcript:
         """Return the sub-transcript visible to servers in ``corrupted``."""

@@ -132,6 +132,78 @@ class TestServeCommand:
                      "--seed", "1"]) == 2
         assert "read-only" in capsys.readouterr().err
 
+    def test_parallel_executor_on_cluster_scheme(self, capsys):
+        assert main(["serve", "--scheme", "cluster-dpir", "--clients", "2",
+                     "--requests", "4", "--n", "128", "--seed", "7",
+                     "--executor", "parallel"]) == 0
+        output = capsys.readouterr().out
+        assert "wall-clock ms" in output
+        assert "overlap speedup" in output
+
+    def test_executor_rejected_for_fanout_free_scheme(self, capsys):
+        assert main(["serve", "--scheme", "dp_ir", "--clients", "2",
+                     "--requests", "4", "--n", "64", "--seed", "7",
+                     "--executor", "parallel"]) == 2
+        assert "no cross-shard fan-out" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_smoke(self, capsys):
+        assert main(["cluster", "--shards", "2", "--replicas", "1",
+                     "--n", "64", "--requests", "16", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "shard groups" in output
+        assert "per-query epsilon" in output
+
+    def test_unknown_scheme_exits_nonzero_with_catalogue(self, capsys):
+        assert main(["cluster", "--scheme", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "registered schemes" in err
+
+    def test_ram_scheme_rejected_cleanly(self, capsys):
+        assert main(["cluster", "--scheme", "dp_ram", "--n", "64",
+                     "--requests", "8", "--seed", "1"]) == 2
+        assert "IR or KVS" in capsys.readouterr().err
+
+    def test_list_shows_cluster_capable_bases(self, capsys):
+        assert main(["cluster", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "dp_ir" in output
+        assert "dp_ram" not in output.split()
+
+    def test_parallel_executor_json_reports_overlap(self, capsys):
+        import json
+
+        assert main(["cluster", "--shards", "4", "--replicas", "1",
+                     "--n", "128", "--requests", "32", "--seed", "7",
+                     "--pad-size", "16", "--executor", "parallel",
+                     "--batch", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "parallel"
+        assert payload["batch"] == 8
+        assert payload["wall_clock_ms"] < payload["serial_ms"]
+        assert payload["overlap_speedup"] > 1.0
+        assert payload["mismatches"] == 0
+
+    def test_serial_and_parallel_runs_agree_on_everything_but_time(
+        self, capsys
+    ):
+        import json
+
+        payloads = {}
+        for executor in ("serial", "parallel"):
+            assert main(["cluster", "--shards", "4", "--replicas", "1",
+                         "--n", "128", "--requests", "32", "--seed", "7",
+                         "--pad-size", "16", "--executor", executor,
+                         "--batch", "8", "--json"]) == 0
+            payloads[executor] = json.loads(capsys.readouterr().out)
+        serial, parallel = payloads["serial"], payloads["parallel"]
+        assert serial["ops_per_request"] == parallel["ops_per_request"]
+        assert serial["budget"] == parallel["budget"]
+        assert serial["serial_ms"] == pytest.approx(parallel["serial_ms"])
+        assert parallel["wall_clock_ms"] < serial["wall_clock_ms"]
+
 
 class TestExperimentsCommand:
     def test_only_filter(self, capsys):

@@ -1,0 +1,233 @@
+"""Tests for the executor abstraction and its accounting contract."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    SimulatedParallelExecutor,
+    resolve_executor,
+)
+from repro.storage.faults import ServerFault
+from repro.storage.network import LAN, NetworkModel
+from repro.storage.server import ServerPool
+
+
+class TestFanOutContract:
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(), ParallelExecutor(), SimulatedParallelExecutor(),
+    ])
+    def test_results_preserve_submission_order(self, executor):
+        tasks = [lambda value=value: value * 2 for value in range(16)]
+        results = executor.fan_out(tasks)
+        assert [result.value for result in results] == [
+            value * 2 for value in range(16)
+        ]
+        assert [result.index for result in results] == list(range(16))
+        assert all(result.ok for result in results)
+        executor.close()
+
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(), ParallelExecutor(), SimulatedParallelExecutor(),
+    ])
+    def test_faulted_task_does_not_poison_siblings(self, executor):
+        def boom():
+            raise ServerFault("injected")
+
+        results = executor.fan_out([lambda: "a", boom, lambda: "c"])
+        assert results[0].value == "a"
+        assert results[2].value == "c"
+        assert isinstance(results[1].error, ServerFault)
+        assert not results[1].ok
+        with pytest.raises(ServerFault):
+            results[1].unwrap()
+        executor.close()
+
+    def test_per_task_timing_recorded(self):
+        executor = SerialExecutor()
+        results = executor.fan_out([lambda: time.sleep(0.002)])
+        assert results[0].elapsed_ms > 0.0
+
+    def test_empty_stage(self):
+        assert SerialExecutor().fan_out([]) == []
+        assert ParallelExecutor().fan_out([]) == []
+
+    def test_parallel_executor_actually_uses_threads(self):
+        executor = ParallelExecutor(max_workers=4)
+        seen = set()
+
+        def record():
+            seen.add(threading.get_ident())
+            time.sleep(0.005)
+
+        executor.fan_out([record for _ in range(4)])
+        executor.close()
+        assert len(seen) > 1
+
+    def test_ordered_stage_runs_in_submission_order_under_threads(self):
+        executor = ParallelExecutor(max_workers=4)
+        order = []
+        executor.fan_out(
+            [lambda slot=slot: order.append(slot) for slot in range(8)],
+            ordered=True,
+        )
+        executor.close()
+        assert order == list(range(8))
+
+
+class TestStageCost:
+    def test_serial_is_the_sum(self):
+        assert SerialExecutor().stage_cost([3.0, 5.0, 2.0]) == 10.0
+
+    def test_concurrent_is_the_max(self):
+        assert SimulatedParallelExecutor().stage_cost([3.0, 5.0, 2.0]) == 5.0
+        assert ParallelExecutor().stage_cost([3.0, 5.0, 2.0]) == 5.0
+
+    def test_dispatch_overhead_added_once(self):
+        executor = SimulatedParallelExecutor(dispatch_overhead_ms=0.5)
+        assert executor.stage_cost([3.0, 5.0]) == 5.5
+
+    def test_single_leg_costs_the_leg(self):
+        # One leg has nothing to overlap — no overhead, no discount.
+        assert SimulatedParallelExecutor(
+            dispatch_overhead_ms=0.5
+        ).stage_cost([4.0]) == 4.0
+
+    def test_empty_stage_is_free(self):
+        assert ParallelExecutor().stage_cost([]) == 0.0
+
+    def test_negative_leg_rejected(self):
+        with pytest.raises(ValueError):
+            SerialExecutor().stage_cost([-1.0])
+
+
+class TestResolveExecutor:
+    def test_names(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        assert isinstance(
+            resolve_executor("simulated"), SimulatedParallelExecutor
+        )
+
+    def test_none_is_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_instance_passes_through(self):
+        executor = ParallelExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="serial"):
+            resolve_executor("warp")
+
+    def test_subclass_counts_as_executor(self):
+        class Custom(Executor):
+            def fan_out(self, tasks, *, ordered=False):
+                return SerialExecutor().fan_out(tasks)
+
+        custom = Custom()
+        assert resolve_executor(custom) is custom
+
+
+class TestNetworkStageAccounting:
+    def test_serial_stage_is_the_sum(self):
+        assert LAN.serial_stage_ms([1.0, 2.0, 3.0]) == 6.0
+
+    def test_overlapped_stage_is_the_max_plus_overhead(self):
+        assert LAN.overlapped_stage_ms([1.0, 4.0, 3.0]) == 4.0
+        assert LAN.overlapped_stage_ms(
+            [1.0, 4.0], dispatch_overhead_ms=0.25
+        ) == 4.25
+
+    def test_empty_stage_is_free(self):
+        assert LAN.overlapped_stage_ms([]) == 0.0
+        assert LAN.serial_stage_ms([]) == 0.0
+
+    def test_single_leg_pays_no_dispatch_overhead(self):
+        # Matches Executor.stage_cost: one leg has nothing to coordinate.
+        assert LAN.overlapped_stage_ms(
+            [4.0], dispatch_overhead_ms=0.5
+        ) == 4.0
+
+    def test_invalid_legs_rejected(self):
+        with pytest.raises(ValueError):
+            LAN.overlapped_stage_ms([-1.0])
+        with pytest.raises(ValueError):
+            LAN.overlapped_stage_ms([1.0], dispatch_overhead_ms=-0.5)
+
+    def test_works_on_any_model(self):
+        model = NetworkModel(rtt_ms=10.0, bandwidth_mbps=100.0)
+        assert model.overlapped_stage_ms([7.0, 2.0]) == 7.0
+
+
+class _StubKVSReplica:
+    """Minimal KVS replica double for fan-out error-path tests."""
+
+    def __init__(self, error: Exception | None = None):
+        self._error = error
+        self.puts = 0
+
+    def put(self, key, value):
+        if self._error is not None:
+            raise self._error
+        self.puts += 1
+
+    def server_operations(self):
+        return self.puts
+
+
+class TestKVWriteFanOutErrorHandling:
+    def test_sibling_server_fault_marks_dead_before_other_error_raises(self):
+        from repro.cluster.group import KVShardGroup
+
+        group = KVShardGroup(0, [
+            _StubKVSReplica(ValueError("capacity")),
+            _StubKVSReplica(ServerFault("mid-write crash")),
+            _StubKVSReplica(),
+        ])
+        with pytest.raises(ValueError, match="capacity"):
+            group.put(b"k", b"v")
+        # The faulted sibling went fail-stop dead even though another
+        # replica's non-fault error is what propagated.
+        assert group.live_replicas == 2
+        assert group.fault_counters()["dead_replicas"] == 1
+        # And the healthy replica's write landed before the raise.
+        assert group.replicas[2].puts == 1
+
+
+class TestServerPoolRequestAll:
+    def test_serial_default_hits_every_server_in_order(self):
+        pool = ServerPool(3, capacity=4, block_size=8)
+        pool.load_replicas([bytes(8)] * 4)
+        results = pool.request_all(lambda server: server.read(0))
+        assert [result.value for result in results] == [bytes(8)] * 3
+        assert all(server.reads == 1 for server in pool)
+
+    def test_parallel_path_races_independent_servers(self):
+        pool = ServerPool(4, capacity=4, block_size=8)
+        pool.load_replicas([bytes(8)] * 4)
+        executor = ParallelExecutor(max_workers=4)
+        results = pool.request_all(
+            lambda server: [server.read(slot) for slot in range(4)],
+            executor=executor,
+        )
+        executor.close()
+        assert all(result.ok for result in results)
+        assert all(server.reads == 4 for server in pool)
+
+    def test_per_server_fault_does_not_poison_siblings(self):
+        pool = ServerPool(3, capacity=2, block_size=8)
+        pool.load_replicas([bytes(8)] * 2)
+
+        def read_or_die(server):
+            if server.server_id == 1:
+                raise ServerFault("server 1 is down")
+            return server.read(0)
+
+        results = pool.request_all(read_or_die, executor="parallel")
+        assert results[0].ok and results[2].ok
+        assert isinstance(results[1].error, ServerFault)
