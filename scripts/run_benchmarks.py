@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Smoke-run the serving + cluster + parallel benchmarks, record JSON.
+"""Smoke-run the serving + cluster + parallel + hotpath benchmarks.
 
 Runs the batched-versus-FIFO dispatch comparison from
 ``repro.serving.bench``, the cluster scaling/failover curves from
-``repro.cluster.bench`` and the executor speedup/equivalence curves
-from ``repro.parallel.bench`` at a deliberately tiny size (seconds,
-not minutes) and writes machine-readable ``BENCH_serving.json``,
-``BENCH_cluster.json`` and ``BENCH_parallel.json`` to the repository
-root, so CI — and anyone bisecting a perf regression — has stable
-artifacts to diff (``scripts/check_bench_regression.py`` gates them
-against the committed baselines)::
+``repro.cluster.bench``, the executor speedup/equivalence curves
+from ``repro.parallel.bench`` and the client-side hot-path timing from
+``repro.storage.bench`` at a deliberately tiny size (seconds, not
+minutes) and writes machine-readable ``BENCH_serving.json``,
+``BENCH_cluster.json``, ``BENCH_parallel.json`` and
+``BENCH_hotpath.json`` to the repository root, so CI — and anyone
+bisecting a perf regression — has stable artifacts to diff
+(``scripts/check_bench_regression.py`` gates them against the
+committed baselines)::
 
     python scripts/run_benchmarks.py             # defaults
     python scripts/run_benchmarks.py --n 512 --clients 8
@@ -17,8 +19,10 @@ against the committed baselines)::
 Exits non-zero if batching stops beating per-request dispatch on
 ``batch_dp_ir``, if the cluster stops completing every query correctly
 under R=2 failover / stops preserving the single-server exact budget,
-or if the parallel executor stops beating serial wall-clock at D >= 4
-/ stops being bit-identical to it — the layers' headline properties.
+if the parallel executor stops beating serial wall-clock at D >= 4
+/ stops being bit-identical to it, or if ``read_many`` stops beating
+the per-slot loop by >= 3x / stops being observationally identical to
+it — the layers' headline properties.
 """
 
 from __future__ import annotations
@@ -42,6 +46,14 @@ from repro.parallel.bench import (  # noqa: E402
 )
 from repro.serving.bench import compare_dispatch  # noqa: E402
 from repro.simulation.reporting import format_table  # noqa: E402
+from repro.storage.bench import hotpath_comparison  # noqa: E402
+
+#: Smoke-gate floor for the read-path speedup.  The claims suite
+#: (``benchmarks/bench_hotpath.py``) asserts the 3x acceptance bar on a
+#: quiet machine; this floor leaves headroom for shared CI runners,
+#: where pure-Python wall-clock ratios jitter by tens of percent — a
+#: drop below it is a real regression, not noise.
+HOTPATH_SPEEDUP_FLOOR = 2.5
 
 
 def _serving(args) -> int:
@@ -207,6 +219,68 @@ def _parallel(args) -> int:
     return status
 
 
+def _hotpath(args) -> int:
+    results = hotpath_comparison(
+        n=args.hotpath_n, pad_size=args.hotpath_pad
+    )
+    payload = {
+        "benchmark": "hotpath.read_many_vs_per_slot",
+        "config": {
+            "n": args.hotpath_n,
+            "pad_size": args.hotpath_pad,
+            "speedup_floor": HOTPATH_SPEEDUP_FLOOR,
+        },
+        "read_path": results["read_path"],
+        "query": results["query"],
+        "invariance": results["invariance"],
+    }
+    args.hotpath_out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    read_path = results["read_path"]
+    query = results["query"]
+    rows = [
+        ["read path (slot ops/s)",
+         f"{read_path['per_slot_ops_per_sec']:,.0f}",
+         f"{read_path['batched_ops_per_sec']:,.0f}",
+         f"{read_path['speedup']:.2f}x"],
+        ["DPIR.query (queries/s)",
+         f"{query['per_slot_queries_per_sec']:,.0f}",
+         f"{query['batched_queries_per_sec']:,.0f}",
+         f"{query['speedup']:.2f}x"],
+    ]
+    print(format_table(
+        ["path", "per-slot", "batched", "speedup"],
+        rows, title=f"Hot-path smoke (wrote {args.hotpath_out.name})",
+    ))
+
+    status = 0
+    if read_path["speedup"] < HOTPATH_SPEEDUP_FLOOR:
+        print(
+            f"regression: read_many is only {read_path['speedup']:.2f}x "
+            f"the per-slot loop (floor {HOTPATH_SPEEDUP_FLOOR}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    if query["speedup"] <= 1.0:
+        print(
+            "regression: batched DPIR.query is no longer faster than "
+            f"per-slot ({query['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    invariance = results["invariance"]
+    for witness in ("identical_answers", "identical_counters",
+                    "identical_transcript_multisets"):
+        if not invariance[witness]:
+            print(
+                f"regression: batched and per-slot execution are no "
+                f"longer {witness}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--n", type=int, default=128,
@@ -226,11 +300,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--parallel-out", type=pathlib.Path,
                         default=ROOT / "BENCH_parallel.json",
                         help="parallel artifact (default BENCH_parallel.json)")
+    parser.add_argument("--hotpath-out", type=pathlib.Path,
+                        default=ROOT / "BENCH_hotpath.json",
+                        help="hotpath artifact (default BENCH_hotpath.json)")
+    # The hot path times real wall-clock at its own scale; --n is the
+    # serving smoke scale (128) and would distort the timing, so the
+    # hotpath sizing has dedicated flags matching the committed baseline.
+    parser.add_argument("--hotpath-n", type=int, default=4096,
+                        help="hotpath database size (default 4096)")
+    parser.add_argument("--hotpath-pad", type=int, default=64,
+                        help="hotpath pad size K (default 64)")
     args = parser.parse_args(argv)
 
     status = _serving(args)
     status = _cluster(args) or status
     status = _parallel(args) or status
+    status = _hotpath(args) or status
     return status
 
 

@@ -128,6 +128,7 @@ def build_dp_ir(
     rng: RandomSource | None = None,
     backend: BackendFactory | str | None = None,
     network: NetworkModel | str | None = None,
+    batched: bool = True,
 ) -> DPIR:
     """Build a :class:`~repro.core.dp_ir.DPIR` (ε defaults to ``ln n``)."""
     data = _resolve_blocks(n, block_size, blocks)
@@ -140,6 +141,7 @@ def build_dp_ir(
         alpha=alpha,
         rng=_resolve_rng(rng, seed),
         backend_factory=resolve_backend(backend, network),
+        batched=batched,
     )
 
 
@@ -187,6 +189,7 @@ def build_multi_server_dp_ir(
     rng: RandomSource | None = None,
     backend: BackendFactory | str | None = None,
     network: NetworkModel | str | None = None,
+    executor=None,
 ) -> MultiServerDPIR:
     """Build a :class:`~repro.core.multi_server.MultiServerDPIR`."""
     data = _resolve_blocks(n, block_size, blocks)
@@ -200,6 +203,7 @@ def build_multi_server_dp_ir(
         alpha=alpha,
         rng=_resolve_rng(rng, seed),
         backend_factory=resolve_backend(backend, network),
+        executor=executor,
     )
 
 

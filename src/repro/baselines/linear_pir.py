@@ -65,14 +65,15 @@ class LinearScanPIR(PrivateIR):
         return self._queries
 
     def query(self, index: int) -> bytes:
-        """Retrieve record ``index`` by scanning the whole database."""
+        """Retrieve record ``index`` by scanning the whole database.
+
+        The scan is one batched
+        :meth:`~repro.storage.server.StorageServer.read_many` round over
+        all ``n`` slots — the downloaded set (everything, in order) is
+        what makes the scheme perfectly oblivious, batched or not.
+        """
         if not 0 <= index < self._n:
             raise RetrievalError(f"index {index} out of range for n={self._n}")
         self._server.begin_query(self._queries)
         self._queries += 1
-        result = b""
-        for slot in range(self._n):
-            block = self._server.read(slot)
-            if slot == index:
-                result = block
-        return result
+        return self._server.read_many(range(self._n))[index]

@@ -206,15 +206,16 @@ class PathORAM(PrivateRAM):
         new_leaf = self._rng.randbelow(self._leaves)
         leaf = self._resolver(index, new_leaf)
 
-        # Read the whole path into the stash (blocks carry their own tag).
+        # Read the whole path into the stash (blocks carry their own tag)
+        # as one batched round — 2·Z·(L+1) per-slot calls become two.
         path = self._path_nodes(leaf)
-        for node in path:
-            for slot in self._slot_range(node):
-                stored_index, tag, payload = self._decode(
-                    self._server.read(slot)
-                )
-                if stored_index != _DUMMY:
-                    self._stash[stored_index] = (tag, payload)
+        path_slots = [
+            slot for node in path for slot in self._slot_range(node)
+        ]
+        for raw in self._server.read_many(path_slots):
+            stored_index, tag, payload = self._decode(raw)
+            if stored_index != _DUMMY:
+                self._stash[stored_index] = (tag, payload)
         if len(self._stash) > self._stash_peak:
             self._stash_peak = len(self._stash)
 
@@ -235,17 +236,22 @@ class PathORAM(PrivateRAM):
             self._stash[index] = (new_leaf, result)
 
         # Write the path back, evicting greedily from the leaf upward.
+        # Eviction decisions are client-side (they consume stash state,
+        # never server answers), so the whole write-back is planned
+        # node-by-node and uploaded as one batched round.
+        uploads: list[tuple[int, bytes]] = []
         for node in reversed(path):  # path is root-first; evict leaf-first
             placed = self._evict_into(node)
             for offset, slot in enumerate(self._slot_range(node)):
                 if offset < len(placed):
                     stored_index = placed[offset]
                     tag, payload = self._stash.pop(stored_index)
-                    self._server.write(
-                        slot, self._encode(stored_index, tag, payload)
+                    uploads.append(
+                        (slot, self._encode(stored_index, tag, payload))
                     )
                 else:
-                    self._server.write(slot, self._encode(_DUMMY, 0, b""))
+                    uploads.append((slot, self._encode(_DUMMY, 0, b"")))
+        self._server.write_many(uploads)
         return result
 
     def _evict_into(self, node: int) -> list[int]:

@@ -22,6 +22,7 @@ from typing import Sequence
 
 from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
+from repro.core.sampling import draw_pad_set
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
@@ -154,18 +155,19 @@ class BatchDPIR(PrivateIR):
         if not indices:
             raise ValueError("batch must contain at least one index")
         n = self._params.n
-        plans: list[tuple[set[int], bool]] = []
+        plans: list[tuple[list[int], bool]] = []
         union: set[int] = set()
         for index in indices:
             if not 0 <= index < n:
                 raise RetrievalError(f"index {index} out of range for n={n}")
             plan = self._draw_single(index)
             plans.append(plan)
-            union |= plan[0]
+            union.update(plan[0])
 
         self._server.begin_query(self._batches)
         self._batches += 1
-        retrieved = {slot: self._server.read(slot) for slot in sorted(union)}
+        order = sorted(union)
+        retrieved = dict(zip(order, self._server.read_many(order)))
 
         answers: list[bytes | None] = []
         for index, (_, include_real) in zip(indices, plans):
@@ -177,14 +179,8 @@ class BatchDPIR(PrivateIR):
                 answers.append(None)
         return answers
 
-    def _draw_single(self, index: int) -> tuple[set[int], bool]:
-        n = self._params.n
-        chosen: set[int] = set()
-        include_real = self._rng.random() >= self._params.alpha
-        if include_real:
-            chosen.add(index)
-        while len(chosen) < self._params.pad_size:
-            candidate = self._rng.randbelow(n)
-            if candidate not in chosen:
-                chosen.add(candidate)
-        return chosen, include_real
+    def _draw_single(self, index: int) -> tuple[list[int], bool]:
+        return draw_pad_set(
+            self._rng, self._params.n, self._params.pad_size,
+            self._params.alpha, index,
+        )

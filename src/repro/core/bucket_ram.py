@@ -216,8 +216,8 @@ class BucketDPRAM(PrivateRAM):
         nodes = self._buckets[bucket]
         if bucket in self._stashed:
             download_bucket = self._rng.randbelow(len(self._buckets))
-            for node in self._buckets[download_bucket]:
-                self._server.read(node)  # cover traffic, discarded
+            # Cover traffic, discarded — one batched round for the bucket.
+            self._server.read_many(self._buckets[download_bucket])
             contents = {node: self._overlay[node] for node in nodes}
             self._stashed.remove(bucket)
             for node in nodes:
@@ -227,8 +227,8 @@ class BucketDPRAM(PrivateRAM):
         else:
             download_bucket = bucket
             contents = {}
-            for node in nodes:
-                ciphertext = self._server.read(node)
+            ciphertexts = self._server.read_many(nodes)
+            for node, ciphertext in zip(nodes, ciphertexts):
                 if node in self._overlay:
                     contents[node] = self._overlay[node]
                 else:
@@ -266,6 +266,10 @@ class BucketDPRAM(PrivateRAM):
                     )
                 contents[node] = bytes(block)
 
+        # Both overwrite branches move a whole bucket: one batched
+        # download round, then one batched upload round (the per-query
+        # event multiset is unchanged; only the within-query interleaving
+        # goes from read/write per node to reads-then-writes).
         if self._rng.random() < self._p:
             # Re-stash the queried bucket; cover-rewrite a random bucket.
             self._stashed.add(bucket)
@@ -273,23 +277,30 @@ class BucketDPRAM(PrivateRAM):
                 self._overlay[node] = contents[node]
                 self._pin(node)
             overwrite_bucket = self._rng.randbelow(len(self._buckets))
-            for node in self._buckets[overwrite_bucket]:
-                ciphertext = self._server.read(node)
+            overwrite_nodes = self._buckets[overwrite_bucket]
+            ciphertexts = self._server.read_many(overwrite_nodes)
+            uploads: list[tuple[int, bytes]] = []
+            for node, ciphertext in zip(overwrite_nodes, ciphertexts):
                 if node in self._overlay:
                     authoritative = self._overlay[node]
                 else:
                     authoritative = decrypt(self._key, ciphertext)
-                self._server.write(
-                    node, encrypt(self._key, authoritative, self._rng)
+                uploads.append(
+                    (node, encrypt(self._key, authoritative, self._rng))
                 )
+            self._server.write_many(uploads)
+            for node in overwrite_nodes:
                 self._evict_if_unpinned(node)
         else:
             overwrite_bucket = bucket
+            self._server.read_many(nodes)  # downloaded and discarded
+            self._server.write_many(
+                [
+                    (node, encrypt(self._key, contents[node], self._rng))
+                    for node in nodes
+                ]
+            )
             for node in nodes:
-                self._server.read(node)  # downloaded and discarded
-                self._server.write(
-                    node, encrypt(self._key, contents[node], self._rng)
-                )
                 if node in self._overlay:
                     # A stashed sibling pins this node; keep the overlay in
                     # sync with the value just uploaded.

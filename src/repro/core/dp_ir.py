@@ -19,10 +19,12 @@ between queries.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Sequence
 
 from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
+from repro.core.sampling import draw_pad_set
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
@@ -40,6 +42,13 @@ class DPIR(PrivateIR):
         alpha: error probability in ``(0, 1)``.
         rng: randomness source (defaults to system entropy).
         backend_factory: optional slot-storage backend for the server.
+        batched: retrieve the pad set through the server's one-round
+            :meth:`~repro.storage.server.StorageServer.read_many` wire
+            protocol (the default) instead of ``K`` per-slot ``read``
+            calls.  Both paths consume the same randomness, touch the
+            same slots in the same sorted order and leave identical
+            counters and transcripts — the per-slot path stays only so
+            ``benchmarks/bench_hotpath.py`` can measure the difference.
 
     The *exact* budget achieved by the resolved ``K`` is available as
     :attr:`epsilon`.
@@ -53,6 +62,7 @@ class DPIR(PrivateIR):
         alpha: float = 0.05,
         rng: RandomSource | None = None,
         backend_factory: BackendFactory | None = None,
+        batched: bool = True,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -69,6 +79,7 @@ class DPIR(PrivateIR):
             n, backend=backend_factory(n) if backend_factory else None
         )
         self._server.load(blocks)
+        self._batched = batched
         self._queries = 0
         self._errors = 0
 
@@ -128,19 +139,32 @@ class DPIR(PrivateIR):
     def query(self, index: int) -> bytes | None:
         """Retrieve block ``index``; returns ``None`` on the α-error event.
 
+        The pad set is downloaded in sorted slot order (one batched
+        round by default) and only the real block — when the error coin
+        spares it — is retained; the cover blocks are discarded as they
+        arrive instead of being accumulated in a per-query dict.
+
         Raises:
             RetrievalError: if ``index`` is out of range.
         """
         download_set, include_real = self._draw_set(index)
         self._server.begin_query(self._queries)
         self._queries += 1
-        retrieved = {}
-        for slot in sorted(download_set):
-            retrieved[slot] = self._server.read(slot)
-        if include_real:
-            return retrieved[index]
-        self._errors += 1
-        return None
+        order = sorted(download_set)
+        result: bytes | None = None
+        if self._batched:
+            blocks = self._server.read_many(order)
+            if include_real:
+                result = blocks[bisect_left(order, index)]
+        else:
+            for slot in order:
+                block = self._server.read(slot)
+                if include_real and slot == index:
+                    result = block
+        if not include_real:
+            self._errors += 1
+            return None
+        return result
 
     def sample_query_set(self, index: int) -> frozenset[int]:
         """Sample the download set for ``index`` without touching the server.
@@ -153,16 +177,10 @@ class DPIR(PrivateIR):
 
     # -- internals ----------------------------------------------------------
 
-    def _draw_set(self, index: int) -> tuple[set[int], bool]:
+    def _draw_set(self, index: int) -> tuple[list[int], bool]:
         n = self._params.n
         if not 0 <= index < n:
             raise RetrievalError(f"index {index} out of range for n={n}")
-        download_set: set[int] = set()
-        include_real = self._rng.random() >= self._params.alpha
-        if include_real:
-            download_set.add(index)
-        while len(download_set) < self._params.pad_size:
-            candidate = self._rng.randbelow(n)
-            if candidate not in download_set:
-                download_set.add(candidate)
-        return download_set, include_real
+        return draw_pad_set(
+            self._rng, n, self._params.pad_size, self._params.alpha, index
+        )

@@ -165,29 +165,39 @@ class DPRAM(PrivateRAM):
             raise RetrievalError(f"index {index} out of range for n={n}")
         self._server.begin_query(self._queries)
 
+        # Plan both phases' coins first (the slots depend only on the
+        # stash state and the scheme's own randomness, never on block
+        # contents), then serve the two downloads as one batched round.
+        # The rng draw order matches the per-slot formulation exactly:
+        # reads consume no client randomness, so hoisting them past the
+        # overwrite coin changes nothing the adversary — or a seeded
+        # replay — can observe.
+        stashed = index in self._stash
+        download_slot = self._rng.randbelow(n) if stashed else index
+        restash = self._rng.random() < self._params.stash_probability
+        overwrite_slot = self._rng.randbelow(n) if restash else index
+        downloaded, overwritten = self._server.read_many(
+            [download_slot, overwrite_slot]
+        )
+
         # Download phase.
-        if index in self._stash:
-            download_slot = self._rng.randbelow(n)
-            self._server.read(download_slot)  # cover traffic, discarded
-            current = self._stash.pop(index)
+        if stashed:
+            current = self._stash.pop(index)  # cover download discarded
         else:
-            download_slot = index
-            current = decrypt(self._key, self._server.read(download_slot))
+            current = decrypt(self._key, downloaded)
         if new_value is not None:
             current = new_value
 
         # Overwrite phase.
-        if self._rng.random() < self._params.stash_probability:
+        if restash:
             self._stash.put(index, current)
-            overwrite_slot = self._rng.randbelow(n)
-            ciphertext = self._server.read(overwrite_slot)
-            refreshed = decrypt(self._key, ciphertext)
+            refreshed = decrypt(self._key, overwritten)
             self._server.write(
                 overwrite_slot, encrypt(self._key, refreshed, self._rng)
             )
         else:
-            overwrite_slot = index
-            self._server.read(overwrite_slot)  # downloaded and discarded
+            # The overwrite download was discarded; upload a fresh
+            # ciphertext of the current version.
             self._server.write(
                 overwrite_slot, encrypt(self._key, current, self._rng)
             )
@@ -293,26 +303,29 @@ class ReadOnlyDPRAM(PrivateRAM):
         raise StorageError("ReadOnlyDPRAM does not support writes")
 
     def read(self, index: int) -> bytes:
-        """Retrieve record ``index``."""
+        """Retrieve record ``index``.
+
+        Both cover downloads are planned up front and served as one
+        batched round — the same coin order as the per-slot formulation
+        (reads consume no client randomness), so the ``(d_j, o_j)``
+        distribution is untouched.
+        """
         n = self._params.n
         if not 0 <= index < n:
             raise RetrievalError(f"index {index} out of range for n={n}")
         self._server.begin_query(self._queries)
 
-        if index in self._stash:
-            download_slot = self._rng.randbelow(n)
-            self._server.read(download_slot)
-            current = self._stash.pop(index)
-        else:
-            download_slot = index
-            current = self._server.read(download_slot)
+        stashed = index in self._stash
+        download_slot = self._rng.randbelow(n) if stashed else index
+        restash = self._rng.random() < self._params.stash_probability
+        overwrite_slot = self._rng.randbelow(n) if restash else index
+        downloaded, _ = self._server.read_many(
+            [download_slot, overwrite_slot]  # second is pure cover traffic
+        )
 
-        if self._rng.random() < self._params.stash_probability:
+        current = self._stash.pop(index) if stashed else downloaded
+        if restash:
             self._stash.put(index, current)
-            overwrite_slot = self._rng.randbelow(n)
-        else:
-            overwrite_slot = index
-        self._server.read(overwrite_slot)  # cover download, no upload needed
 
         self._pairs.append((download_slot, overwrite_slot))
         self._queries += 1

@@ -19,11 +19,14 @@ Experiment E12 audits the corrupted view empirically against Theorem C.1.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Sequence
 
 from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
+from repro.core.sampling import draw_pad_set
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.parallel.executor import Executor, resolve_executor
 from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError
 from repro.storage.server import ServerPool, StorageServer
@@ -40,6 +43,13 @@ class MultiServerDPIR(PrivateIR):
         pad_size: explicit total pad size ``K``.
         alpha: error probability in ``(0, 1)``.
         rng: randomness source.
+        executor: fan-out policy for the one-batched-leg-per-server reads
+            (``"serial"``/``"parallel"``/``"simulated"`` or an
+            :class:`~repro.parallel.executor.Executor`).  Executors change
+            wall-clock accounting only — every server still sees exactly
+            one :meth:`~repro.storage.server.StorageServer.read_many`
+            round per query, in deterministic order, so draws, answers
+            and transcripts are executor-invariant.
     """
 
     def __init__(
@@ -51,6 +61,7 @@ class MultiServerDPIR(PrivateIR):
         alpha: float = 0.05,
         rng: RandomSource | None = None,
         backend_factory: BackendFactory | None = None,
+        executor: Executor | str | None = None,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -67,6 +78,9 @@ class MultiServerDPIR(PrivateIR):
         self._block_size = len(blocks[0])
         self._pool = ServerPool(server_count, n, backend_factory=backend_factory)
         self._pool.load_replicas(blocks)
+        self._owns_executor = not isinstance(executor, Executor)
+        self._executor = resolve_executor(executor)
+        self._wall_ops = 0.0
         self._queries = 0
         self._errors = 0
 
@@ -122,20 +136,44 @@ class MultiServerDPIR(PrivateIR):
         """Number of queries that erred."""
         return self._errors
 
+    def wall_operations(self) -> float:
+        """Overlap-accounted op-units: each query's per-server legs cost
+        what the configured executor says (max over concurrent legs, the
+        plain sum under the serial default)."""
+        return self._wall_ops
+
+    def close(self) -> None:
+        """Release executor worker threads.
+
+        Only shuts down an executor this scheme resolved itself from a
+        name; a caller-supplied instance stays alive for its owner.
+        """
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "MultiServerDPIR":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- querying ------------------------------------------------------------
 
     def query(self, index: int) -> bytes | None:
-        """Retrieve block ``index``; ``None`` on the α-error event."""
+        """Retrieve block ``index``; ``None`` on the α-error event.
+
+        Every contacted server serves its share of the pad set as one
+        batched :meth:`~repro.storage.server.StorageServer.read_many`
+        round — one leg per server instead of ``K`` per-slot calls.
+        """
         plan, real_server = self._draw_plan(index)
         self._pool.begin_query(self._queries)
         self._queries += 1
         result: bytes | None = None
-        for server_id, slots in enumerate(plan):
-            server = self._pool[server_id]
-            for slot in sorted(slots):
-                block = server.read(slot)
-                if server_id == real_server and slot == index:
-                    result = block
+        legs = self._read_per_server(plan)
+        if real_server is not None:
+            order, blocks = legs[real_server]
+            result = blocks[bisect_left(order, index)]
         if real_server is None:
             self._errors += 1
             return None
@@ -148,12 +186,14 @@ class MultiServerDPIR(PrivateIR):
         argument is untouched — revealing the per-server unions is
         post-processing of the independent per-query transcripts), but
         slots routed to the same replica by several queries are fetched
-        once.  Transcript events for the whole batch are attributed to
-        the ordinal of its first query: the coalesced union is a single
-        joint observation and cannot be split per query (the same
-        convention :class:`~repro.core.batch_ir.BatchDPIR` uses for its
-        batch counter).  ``query_count`` still advances by one per
-        logical query.
+        once — one batched leg per server, fanned out through the
+        configured executor.  Transcript events for the whole batch are
+        attributed to the ordinal of its first query: the coalesced
+        union is a single joint observation and cannot be split per
+        query (the same convention
+        :class:`~repro.core.batch_ir.BatchDPIR` uses for its batch
+        counter).  ``query_count`` still advances by one per logical
+        query.
         """
         if not indices:
             return []
@@ -161,13 +201,9 @@ class MultiServerDPIR(PrivateIR):
         per_server: list[set[int]] = [set() for _ in range(len(self._pool))]
         for plan, _ in plans:
             for server_id, slots in enumerate(plan):
-                per_server[server_id] |= slots
+                per_server[server_id].update(slots)
         self._pool.begin_query(self._queries)
-        retrieved: dict[tuple[int, int], bytes] = {}
-        for server_id, slots in enumerate(per_server):
-            server = self._pool[server_id]
-            for slot in sorted(slots):
-                retrieved[(server_id, slot)] = server.read(slot)
+        legs = self._read_per_server(per_server)
         answers: list[bytes | None] = []
         for index, (_, real_server) in zip(indices, plans):
             self._queries += 1
@@ -175,8 +211,39 @@ class MultiServerDPIR(PrivateIR):
                 self._errors += 1
                 answers.append(None)
             else:
-                answers.append(retrieved[(real_server, index)])
+                order, blocks = legs[real_server]
+                answers.append(blocks[bisect_left(order, index)])
         return answers
+
+    def _read_per_server(
+        self, per_server: Sequence[set[int]]
+    ) -> list[tuple[list[int], list[bytes]]]:
+        """One batched ``read_many`` leg per server, through the executor.
+
+        Legs run in deterministic submission order (``ordered=True``:
+        the pool's servers may share one attached transcript, and the
+        draw-free reads must interleave identically under every
+        executor) while the stage is *accounted* as overlapped — the
+        wall-clock cost is the slowest server's share of the pad set,
+        not the sum.
+        """
+        orders = [sorted(slots) for slots in per_server]
+        pool = self._pool
+        results = self._executor.fan_out(
+            [
+                (lambda server=pool[server_id], order=order:
+                    server.read_many(order))
+                for server_id, order in enumerate(orders)
+            ],
+            ordered=True,
+        )
+        self._wall_ops += self._executor.stage_cost(
+            [float(len(order)) for order in orders]
+        )
+        return [
+            (order, result.unwrap())
+            for order, result in zip(orders, results)
+        ]
 
     def sample_corrupted_view(
         self, index: int, corrupted: set[int]
@@ -207,14 +274,9 @@ class MultiServerDPIR(PrivateIR):
         n = self._params.n
         if not 0 <= index < n:
             raise RetrievalError(f"index {index} out of range for n={n}")
-        chosen: set[int] = set()
-        include_real = self._rng.random() >= self._params.alpha
-        if include_real:
-            chosen.add(index)
-        while len(chosen) < self._params.pad_size:
-            candidate = self._rng.randbelow(n)
-            if candidate not in chosen:
-                chosen.add(candidate)
+        chosen, include_real = draw_pad_set(
+            self._rng, n, self._params.pad_size, self._params.alpha, index
+        )
         plan: list[set[int]] = [set() for _ in range(len(self._pool))]
         real_server: int | None = None
         for slot in chosen:

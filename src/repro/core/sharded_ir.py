@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.api.protocols import PrivateIR
 from repro.core.params import DPIRParams
+from repro.core.sampling import draw_pad_set
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError, StorageError
@@ -163,18 +164,32 @@ class ShardedDPIR(PrivateIR):
     # -- querying ------------------------------------------------------------
 
     def query(self, index: int) -> bytes | None:
-        """Retrieve block ``index``; ``None`` on the α-error event."""
+        """Retrieve block ``index``; ``None`` on the α-error event.
+
+        The pad set is served as one batched
+        :meth:`~repro.storage.server.StorageServer.read_many` round per
+        touched shard.  Shards hold contiguous ranges, so visiting the
+        shards in order and their local slots sorted preserves exactly
+        the global sorted access order of the per-slot loop.
+        """
         chosen, include_real = self._draw_set(index)
         for server in self._shards:
             server.begin_query(self._queries)
         self._queries += 1
-        result: bytes | None = None
+        per_shard: dict[int, list[int]] = {}
         for global_index in sorted(chosen):
             shard = self.shard_of(global_index)
-            local = global_index - self._starts[shard]
-            block = self._shards[shard].read(local)
-            if global_index == index and include_real:
-                result = block
+            per_shard.setdefault(shard, []).append(
+                global_index - self._starts[shard]
+            )
+        result: bytes | None = None
+        for shard in sorted(per_shard):
+            locals_ = per_shard[shard]
+            blocks = self._shards[shard].read_many(locals_)
+            if include_real and self.shard_of(index) == shard:
+                local = index - self._starts[shard]
+                if local in locals_:
+                    result = blocks[locals_.index(local)]
         if not include_real:
             self._errors += 1
             return None
@@ -194,16 +209,10 @@ class ShardedDPIR(PrivateIR):
 
     # -- internals ----------------------------------------------------------
 
-    def _draw_set(self, index: int) -> tuple[set[int], bool]:
+    def _draw_set(self, index: int) -> tuple[list[int], bool]:
         n = self._params.n
         if not 0 <= index < n:
             raise RetrievalError(f"index {index} out of range for n={n}")
-        chosen: set[int] = set()
-        include_real = self._rng.random() >= self._params.alpha
-        if include_real:
-            chosen.add(index)
-        while len(chosen) < self._params.pad_size:
-            candidate = self._rng.randbelow(n)
-            if candidate not in chosen:
-                chosen.add(candidate)
-        return chosen, include_real
+        return draw_pad_set(
+            self._rng, n, self._params.pad_size, self._params.alpha, index
+        )

@@ -73,10 +73,9 @@ class StrawmanIR(PrivateIR):
         download_set = self._draw_set(index)
         self._server.begin_query(self._queries)
         self._queries += 1
-        retrieved = {}
-        for slot in sorted(download_set):
-            retrieved[slot] = self._server.read(slot)
-        return retrieved[index]
+        order = sorted(download_set)
+        blocks = self._server.read_many(order)
+        return blocks[order.index(index)]
 
     def sample_query_set(self, index: int) -> frozenset[int]:
         """Sample the download set without touching the server."""

@@ -4,6 +4,13 @@ The two-choice hashing scheme of Section 7.2 represents the mapping function
 ``Π(u) = {F(key1, u), F(key2, u)}`` with a PRF ``F``.  This module provides
 that ``F`` with convenience helpers for deriving integers in a range and for
 deriving independent subkeys.
+
+Hot-path note: keying an HMAC re-derives the inner/outer pads from the key
+on every call, which dominates short-message evaluation.  The pads are
+derived once at construction and every evaluation works on a ``copy()`` of
+the keyed state, so batched :meth:`PRF.choices` calls (the hashing layer
+evaluates ``k(n)`` choices per key lookup) pay one keying total instead of
+one per choice.  Outputs are bit-identical to a freshly keyed HMAC.
 """
 
 from __future__ import annotations
@@ -12,6 +19,14 @@ import hashlib
 import hmac
 
 _DIGEST_BYTES = 32
+
+
+def _check_message(message: bytes) -> None:
+    """Reject non-bytes messages before any HMAC state is touched."""
+    if not isinstance(message, (bytes, bytearray, memoryview)):
+        raise TypeError(
+            f"PRF message must be bytes-like, got {type(message).__name__}"
+        )
 
 
 class PRF:
@@ -26,6 +41,9 @@ class PRF:
         if len(key) == 0:
             raise ValueError("PRF key must be non-empty")
         self._key = bytes(key)
+        # Keyed-but-empty HMAC state; every evaluation copies it instead
+        # of re-deriving the pads from the key.
+        self._state = hmac.new(self._key, digestmod=hashlib.sha256)
 
     @property
     def key(self) -> bytes:
@@ -33,8 +51,15 @@ class PRF:
         return self._key
 
     def evaluate(self, message: bytes) -> bytes:
-        """Return the 32-byte PRF output on ``message``."""
-        return hmac.new(self._key, message, hashlib.sha256).digest()
+        """Return the 32-byte PRF output on ``message``.
+
+        Raises:
+            TypeError: if ``message`` is not bytes-like.
+        """
+        _check_message(message)
+        mac = self._state.copy()
+        mac.update(message)
+        return mac.digest()
 
     def integer(self, message: bytes, modulus: int) -> int:
         """Return a pseudorandom integer in ``[0, modulus)`` for ``message``.
@@ -53,14 +78,27 @@ class PRF:
         The ``i``-th choice is derived from ``message`` with a domain
         separator, so the choices are independent PRF evaluations (they may
         still collide by chance, exactly as in the paper's scheme where the
-        two hash choices of a key may coincide).
+        two hash choices of a key may coincide).  The batch is evaluated
+        against the shared keyed state — bit-identical to ``count``
+        separate :meth:`integer` calls, without re-keying per choice.
+
+        Raises:
+            TypeError: if ``message`` is not bytes-like.
+            ValueError: if ``count`` is negative or ``modulus`` not positive.
         """
+        _check_message(message)
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        return [
-            self.integer(i.to_bytes(4, "big") + b"|" + message, modulus)
-            for i in range(count)
-        ]
+        suffix = b"|" + bytes(message)
+        state = self._state
+        out: list[int] = []
+        for i in range(count):
+            mac = state.copy()
+            mac.update(i.to_bytes(4, "big") + suffix)
+            out.append(int.from_bytes(mac.digest(), "big") % modulus)
+        return out
 
     def subkey(self, label: str) -> "PRF":
         """Derive an independent PRF keyed by ``F(key, label)``."""

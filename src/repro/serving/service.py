@@ -177,10 +177,10 @@ def serve(
                 for parameter in parameters.values()
             ):
                 raise ValueError(
-                    f"scheme {name!r} has no cross-shard fan-out to "
-                    "parallelize; --executor applies to the cluster "
-                    "schemes (cluster_dp_ir, cluster_batch_dp_ir, "
-                    "cluster_dp_kvs)"
+                    f"scheme {name!r} has no fan-out to parallelize; "
+                    "--executor applies to schemes with per-server or "
+                    "per-shard legs (cluster_dp_ir, cluster_batch_dp_ir, "
+                    "cluster_dp_kvs, multi_server_dp_ir)"
                 )
             kwargs.setdefault("executor", executor)
         if kind == "kvs":

@@ -40,7 +40,14 @@ class StorageBackend(abc.ABC):
     setup-time bulk load: single-slot reads and writes, with ``None``
     marking a slot that was never written.  Index validation is the
     server's job; backends may assume ``0 <= index < capacity``.
+
+    The batched entry points :meth:`read_slots` / :meth:`write_slots`
+    exist so one dispatched round can move a whole pad set; the defaults
+    loop per slot, and backends that can genuinely amortize (a single
+    in-memory pass, one network roundtrip) override them.
     """
+
+    __slots__ = ()
 
     @property
     @abc.abstractmethod
@@ -59,6 +66,15 @@ class StorageBackend(abc.ABC):
     def load(self, blocks: Sequence[bytes]) -> None:
         """Install the initial database (setup is public; not a query)."""
 
+    def read_slots(self, indices: Sequence[int]) -> list[bytes | None]:
+        """Read several slots in one dispatched round, in order."""
+        return [self.read_slot(index) for index in indices]
+
+    def write_slots(self, items: Sequence[tuple[int, bytes]]) -> None:
+        """Store several ``(index, block)`` pairs in one dispatched round."""
+        for index, block in items:
+            self.write_slot(index, block)
+
     def peek_slot(self, index: int) -> bytes | None:
         """Inspect a slot without charging any access cost.
 
@@ -70,6 +86,8 @@ class StorageBackend(abc.ABC):
 
 class InMemoryBackend(StorageBackend):
     """The default backend: a plain in-process list of blocks."""
+
+    __slots__ = ("_slots",)
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -91,6 +109,17 @@ class InMemoryBackend(StorageBackend):
         """Store ``block`` into slot ``index``."""
         self._slots[index] = bytes(block)
 
+    def read_slots(self, indices: Sequence[int]) -> list[bytes | None]:
+        """One pass over the slot list — no per-slot method dispatch."""
+        slots = self._slots
+        return [slots[index] for index in indices]
+
+    def write_slots(self, items: Sequence[tuple[int, bytes]]) -> None:
+        """One pass storing every ``(index, block)`` pair."""
+        slots = self._slots
+        for index, block in items:
+            slots[index] = bytes(block)
+
     def load(self, blocks: Sequence[bytes]) -> None:
         """Replace all slots with ``blocks``."""
         if len(blocks) != len(self._slots):
@@ -108,11 +137,18 @@ class NetworkBackend(StorageBackend):
     :attr:`simulated_ms`.  Bulk :meth:`load` is free, matching the paper's
     treatment of setup as public and outside the per-query accounting.
 
+    Batched accesses through :meth:`read_slots` / :meth:`write_slots`
+    are priced as *one* roundtrip carrying the whole batch — that is the
+    point of the wire-level ``read_many`` protocol: a K-block pad set
+    costs ``rtt + transfer(K · block)`` instead of ``K · rtt + ...``.
+
     Args:
         inner: the backend that actually stores the blocks, or an ``int``
             capacity to wrap a fresh :class:`InMemoryBackend`.
         model: the link parameters (RTT and bandwidth).
     """
+
+    __slots__ = ("_inner", "_model", "_simulated_ms", "_roundtrips")
 
     def __init__(self, inner: StorageBackend | int, model: NetworkModel) -> None:
         if isinstance(inner, int):
@@ -153,6 +189,21 @@ class NetworkBackend(StorageBackend):
         """Upload one slot, charging one roundtrip plus transfer time."""
         self._charge(len(block))
         self._inner.write_slot(index, block)
+
+    def read_slots(self, indices: Sequence[int]) -> list[bytes | None]:
+        """Download a batch as one roundtrip plus the combined transfer."""
+        blocks = self._inner.read_slots(indices)
+        if indices:
+            self._charge(
+                sum(len(block) for block in blocks if block is not None)
+            )
+        return blocks
+
+    def write_slots(self, items: Sequence[tuple[int, bytes]]) -> None:
+        """Upload a batch as one roundtrip plus the combined transfer."""
+        if items:
+            self._charge(sum(len(block) for _, block in items))
+        self._inner.write_slots(items)
 
     def load(self, blocks: Sequence[bytes]) -> None:
         """Install the initial database without charging link time."""

@@ -1,0 +1,242 @@
+"""Client-side hot-path benchmarks: ``read_many`` versus the per-slot loop.
+
+Every other benchmark in this repository prices *modeled* milliseconds
+(operation counts under a :class:`~repro.storage.network.NetworkModel`);
+this module times the *actual Python hot path* — real wall-clock
+ops/sec on the client — before and after the batched wire protocol.
+``benchmarks/bench_hotpath.py`` asserts on these rows and
+``scripts/run_benchmarks.py`` writes them to ``BENCH_hotpath.json``, so
+the numbers cannot drift apart.
+
+Three claims under test:
+
+* **Read path**: serving a DP-IR pad set through one
+  :meth:`~repro.storage.server.StorageServer.read_many` round is at
+  least 3x the slot-ops/sec of ``K`` per-slot ``read()`` calls — the
+  pad sets are drawn by the scheme's own sampler, so this is the
+  retrieval hot path of every Algorithm-1 query, not a synthetic
+  access pattern.
+* **End-to-end**: a full ``DPIR.query`` (sampling included) is
+  measurably faster batched than per-slot.
+* **Invariance**: the two execution modes are *observationally
+  identical* under a shared seed — same answers, same ``reads`` /
+  ``writes`` counters, same per-query transcript multiset, same exact
+  ε and storage.  Timing is the only thing the wire protocol is
+  allowed to change.
+
+Timings use best-of-``repeats`` over a fixed seeded workload, which is
+as machine-independent as pure-Python timing gets; the CI gate
+therefore checks the *ratios* (plus a conservative absolute ops/sec
+floor), never raw cross-machine throughput.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.dp_ir import DPIR
+from repro.crypto.rng import SeededRandomSource
+from repro.storage.blocks import integer_database
+from repro.storage.transcript import Transcript
+
+DEFAULT_N = 4096
+DEFAULT_PAD = 64
+DEFAULT_ALPHA = 0.05
+
+
+def _build(
+    blocks, pad_size: int, alpha: float, seed: int, batched: bool
+) -> DPIR:
+    return DPIR(
+        blocks,
+        pad_size=pad_size,
+        alpha=alpha,
+        rng=SeededRandomSource(seed),
+        batched=batched,
+    )
+
+
+def _best_of(measure, repeats: int) -> float:
+    """Smallest elapsed seconds over ``repeats`` runs (noise floor)."""
+    return min(measure() for _ in range(repeats))
+
+
+def _per_query_multisets(transcript: Transcript) -> list[tuple]:
+    """The per-query event multiset, with queries in ordinal order."""
+    by_query: dict[int, list[tuple]] = {}
+    for event in transcript:
+        by_query.setdefault(event.query, []).append(
+            (event.kind.value, event.server, event.index)
+        )
+    return [tuple(sorted(by_query[query])) for query in sorted(by_query)]
+
+
+def read_path_comparison(
+    *,
+    n: int = DEFAULT_N,
+    pad_size: int = DEFAULT_PAD,
+    alpha: float = DEFAULT_ALPHA,
+    queries: int = 1000,
+    repeats: int = 5,
+    seed: int = 0x407,
+) -> dict:
+    """Time the pure retrieval path on scheme-drawn pad sets.
+
+    The pad sets come from a real ``DPIR``'s sampler (sorted access
+    order, exactly as ``query`` issues them); the measured region is
+    only the server retrieval — ``K`` per-slot ``read()`` calls versus
+    one ``read_many`` round — so the ratio isolates what the batched
+    wire protocol buys.
+    """
+    scheme = _build(integer_database(n), pad_size, alpha, seed, True)
+    server = scheme.server
+    workload = SeededRandomSource(seed + 1)
+    pads = [
+        sorted(scheme._draw_set(workload.randbelow(n))[0])
+        for _ in range(queries)
+    ]
+    slot_ops = queries * pad_size
+
+    def per_slot() -> float:
+        started = time.perf_counter()
+        for pad in pads:
+            for slot in pad:
+                server.read(slot)
+        return time.perf_counter() - started
+
+    def batched() -> float:
+        started = time.perf_counter()
+        for pad in pads:
+            server.read_many(pad)
+        return time.perf_counter() - started
+
+    per_slot()  # warm-up
+    batched()
+    loop_s = _best_of(per_slot, repeats)
+    batch_s = _best_of(batched, repeats)
+    return {
+        "n": n,
+        "pad_size": pad_size,
+        "queries": queries,
+        "per_slot_ops_per_sec": slot_ops / loop_s,
+        "batched_ops_per_sec": slot_ops / batch_s,
+        "speedup": loop_s / batch_s,
+    }
+
+
+def query_comparison(
+    *,
+    n: int = DEFAULT_N,
+    pad_size: int = DEFAULT_PAD,
+    alpha: float = DEFAULT_ALPHA,
+    queries: int = 600,
+    repeats: int = 5,
+    seed: int = 0x407,
+) -> dict:
+    """Time full ``DPIR.query`` calls, batched versus per-slot.
+
+    Sampling, sorting and bookkeeping are identical in both modes (same
+    seed, same draws), so this is the end-to-end figure a serving
+    deployment sees.  Each timed run rebuilds the scheme from the same
+    seed so both modes replay the identical query plans.
+    """
+    blocks = integer_database(n)
+    workload = SeededRandomSource(seed + 2)
+    indices = [workload.randbelow(n) for _ in range(queries)]
+
+    def run(batched: bool) -> float:
+        scheme = _build(blocks, pad_size, alpha, seed, batched)
+        started = time.perf_counter()
+        for index in indices:
+            scheme.query(index)
+        return time.perf_counter() - started
+
+    run(True)  # warm-up
+    run(False)
+    loop_s = _best_of(lambda: run(False), repeats)
+    batch_s = _best_of(lambda: run(True), repeats)
+    return {
+        "n": n,
+        "pad_size": pad_size,
+        "queries": queries,
+        "per_slot_queries_per_sec": queries / loop_s,
+        "batched_queries_per_sec": queries / batch_s,
+        "speedup": loop_s / batch_s,
+    }
+
+
+def mode_invariance(
+    *,
+    n: int = 512,
+    pad_size: int = 16,
+    alpha: float = 0.1,
+    queries: int = 200,
+    seed: int = 0x1A7,
+) -> dict:
+    """Witness that batched and per-slot execution are observationally
+    identical: answers, counters, per-query transcript multisets, exact
+    ε, ops/request and storage all match under a shared seed."""
+    blocks = integer_database(n)
+    workload = SeededRandomSource(seed + 3)
+    indices = [workload.randbelow(n) for _ in range(queries)]
+    witnesses = {}
+    for label, batched in (("per_slot", False), ("batched", True)):
+        scheme = _build(blocks, pad_size, alpha, seed, batched)
+        transcript = Transcript()
+        scheme.attach_transcript(transcript)
+        answers = [scheme.query(index) for index in indices]
+        witnesses[label] = {
+            "answers": answers,
+            "reads": scheme.server.reads,
+            "writes": scheme.server.writes,
+            "multisets": _per_query_multisets(transcript),
+            "epsilon": scheme.epsilon,
+            "ops_per_request": scheme.server.operations / queries,
+            "storage_blocks": scheme.server.capacity,
+            "errors": scheme.error_count,
+        }
+    per_slot, batched = witnesses["per_slot"], witnesses["batched"]
+    return {
+        "n": n,
+        "pad_size": pad_size,
+        "queries": queries,
+        "identical_answers": per_slot["answers"] == batched["answers"],
+        "identical_counters": (
+            per_slot["reads"] == batched["reads"]
+            and per_slot["writes"] == batched["writes"]
+        ),
+        "identical_transcript_multisets": (
+            per_slot["multisets"] == batched["multisets"]
+        ),
+        "epsilon": {k: witnesses[k]["epsilon"] for k in witnesses},
+        "ops_per_request": {
+            k: witnesses[k]["ops_per_request"] for k in witnesses
+        },
+        "storage_blocks": {
+            k: witnesses[k]["storage_blocks"] for k in witnesses
+        },
+        "errors": {k: witnesses[k]["errors"] for k in witnesses},
+    }
+
+
+def hotpath_comparison(
+    *,
+    n: int = DEFAULT_N,
+    pad_size: int = DEFAULT_PAD,
+    alpha: float = DEFAULT_ALPHA,
+    queries: int = 1000,
+    repeats: int = 5,
+    seed: int = 0x407,
+) -> dict:
+    """The full hot-path bundle the JSON artifact and CI gate consume."""
+    return {
+        "read_path": read_path_comparison(
+            n=n, pad_size=pad_size, alpha=alpha,
+            queries=queries, repeats=repeats, seed=seed,
+        ),
+        "query": query_comparison(
+            n=n, pad_size=pad_size, alpha=alpha,
+            queries=max(1, queries * 3 // 5), repeats=repeats, seed=seed,
+        ),
+        "invariance": mode_invariance(),
+    }

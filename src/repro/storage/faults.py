@@ -88,6 +88,18 @@ class CorruptingServer:
             self._corrupted += 1
         return block
 
+    def read_many(self, indices) -> list[bytes]:
+        """Serve a batched read as the per-slot loop.
+
+        Fault injection must stay per-slot-accurate — one corruption
+        coin per served block, in slot order — so the batched entry
+        point deliberately degrades to the single-slot path instead of
+        delegating to the inner server's fast ``read_many`` (which would
+        bypass the fault layer entirely via ``__getattr__``).  These
+        wrappers are chaos tooling; accuracy beats speed here.
+        """
+        return [self.read(index) for index in indices]
+
     def __getattr__(self, name):
         return getattr(self._inner, name)
 
@@ -129,6 +141,23 @@ class FlakyServer:
         """Serve a write or fail."""
         self._maybe_fail("write", index)
         self._inner.write(index, block)
+
+    def read_many(self, indices) -> list[bytes]:
+        """Serve a batched read as the per-slot loop.
+
+        One failure coin per slot, in order, with a mid-batch fault
+        leaving exactly the prefix the per-slot loop would have served
+        (inner counters and transcript included) — the equivalence the
+        failover layers and property tests rely on.  Without this
+        override ``__getattr__`` would route ``read_many`` straight to
+        the inner server and silently skip fault injection.
+        """
+        return [self.read(index) for index in indices]
+
+    def write_many(self, items) -> None:
+        """Serve a batched write as the per-slot loop (one coin per slot)."""
+        for index, block in items:
+            self.write(index, block)
 
     def _maybe_fail(self, operation: str, index: int) -> None:
         if self._rng.random() < self._rate:

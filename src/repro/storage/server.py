@@ -142,6 +142,92 @@ class StorageServer:
         self._backend.write_slot(index, block)
         self._record(AccessKind.UPLOAD, index)
 
+    # -- the batched wire protocol ----------------------------------------
+
+    def read_many(self, indices: Sequence[int]) -> list[bytes]:
+        """Download every slot in ``indices`` (in order) as one round.
+
+        Observationally equivalent to ``[self.read(i) for i in indices]``
+        — identical counter totals and the identical transcript event
+        sequence — but validated once, counted once, recorded in one
+        batched append and dispatched to the backend as a single
+        :meth:`~repro.storage.backends.StorageBackend.read_slots` call.
+        The one deliberate difference: validation failures (out-of-range
+        or never-written slots) fail *before* any counter or transcript
+        side effect, where the per-slot loop would have committed a
+        prefix.
+
+        Raises:
+            StorageError: if any slot is out of range or never written.
+        """
+        if not indices:
+            return []
+        capacity = self._capacity
+        # C-speed range check over the whole batch; only a failing batch
+        # pays a Python loop to name the offending slot.
+        if min(indices) < 0 or max(indices) >= capacity:
+            for index in indices:
+                if not 0 <= index < capacity:
+                    raise StorageError(
+                        f"slot {index} out of range for capacity {capacity}"
+                    )
+        blocks = self._backend.read_slots(indices)
+        if None in blocks:
+            index = indices[blocks.index(None)]
+            raise StorageError(f"slot {index} was never written")
+        self._reads += len(indices)
+        if self._transcript is not None:
+            server_id = self._server_id
+            query = self._current_query
+            self._transcript.extend(
+                AccessEvent(
+                    kind=AccessKind.DOWNLOAD,
+                    index=index,
+                    server=server_id,
+                    query=query,
+                )
+                for index in indices
+            )
+        return blocks
+
+    def write_many(self, items: Sequence[tuple[int, bytes]]) -> None:
+        """Upload every ``(index, block)`` pair (in order) as one round.
+
+        The batched counterpart of :meth:`write`, with the same
+        validate-once / count-once / single-dispatch shape as
+        :meth:`read_many`.
+
+        Raises:
+            StorageError: if any slot is out of range.
+            BlockSizeError: if size validation is on and any size
+                mismatches.
+        """
+        if not items:
+            return
+        capacity = self._capacity
+        block_size = self._block_size
+        for index, block in items:
+            if not 0 <= index < capacity:
+                raise StorageError(
+                    f"slot {index} out of range for capacity {capacity}"
+                )
+            if block_size is not None:
+                check_block(block, block_size)
+        self._writes += len(items)
+        self._backend.write_slots(items)
+        if self._transcript is not None:
+            server_id = self._server_id
+            query = self._current_query
+            self._transcript.extend(
+                AccessEvent(
+                    kind=AccessKind.UPLOAD,
+                    index=index,
+                    server=server_id,
+                    query=query,
+                )
+                for index, _ in items
+            )
+
     # -- setup-time bulk load (not part of the adversary view) ------------
 
     def load(self, blocks: Sequence[bytes]) -> None:

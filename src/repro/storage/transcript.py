@@ -26,9 +26,13 @@ class AccessKind(enum.Enum):
     UPLOAD = "upload"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessEvent:
     """One touched server slot.
+
+    Allocated once per slot access on the hot path, so the class is
+    slotted: batched ``read_many`` appends create K of these per query
+    and the ``__dict__`` per instance would dominate the allocation.
 
     Attributes:
         kind: download or upload.
@@ -44,7 +48,7 @@ class AccessEvent:
     query: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Transcript:
     """Ordered adversary view of a run.
 

@@ -154,7 +154,7 @@ class TestWallClockAccountingEndToEnd:
         assert payload["wall_clock_ms"] < payload["serial_ms"]
 
     def test_serve_rejects_executor_for_fanout_free_schemes(self):
-        with pytest.raises(ValueError, match="no cross-shard fan-out"):
+        with pytest.raises(ValueError, match="no fan-out"):
             serve("dp_ir", clients=2, requests_per_client=2, n=64,
                   seed=1, executor="parallel")
 

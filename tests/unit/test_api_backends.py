@@ -140,3 +140,55 @@ class TestServerBackendThreading:
         pool[0].read(0)
         pool[2].read(1)
         assert factory.roundtrips == 2
+
+
+class TestBatchedSlotRounds:
+    def test_read_slots_charges_one_roundtrip(self):
+        backend = NetworkBackend(4, WAN)
+        backend.load([b"a" * 100, b"b" * 200, b"c" * 300, b"d" * 400])
+        backend.read_slots([0, 2, 3])
+        assert backend.roundtrips == 1
+        expected = WAN.rtt_ms + WAN.transfer_ms(100 + 300 + 400)
+        assert backend.simulated_ms == pytest.approx(expected)
+
+    def test_write_slots_charges_one_roundtrip(self):
+        backend = NetworkBackend(4, WAN)
+        backend.write_slots([(0, b"x" * 50), (1, b"y" * 150)])
+        assert backend.roundtrips == 1
+        expected = WAN.rtt_ms + WAN.transfer_ms(200)
+        assert backend.simulated_ms == pytest.approx(expected)
+        assert backend.read_slot(1) == b"y" * 150
+
+    def test_empty_batches_charge_nothing(self):
+        backend = NetworkBackend(2, WAN)
+        assert backend.read_slots([]) == []
+        backend.write_slots([])
+        assert backend.roundtrips == 0
+        assert backend.simulated_ms == 0.0
+
+    def test_batched_round_is_cheaper_than_per_slot(self):
+        batched = NetworkBackend(8, WAN)
+        per_slot = NetworkBackend(8, WAN)
+        blocks = [bytes([i]) * 64 for i in range(8)]
+        batched.load(blocks)
+        per_slot.load(blocks)
+        batched.read_slots(list(range(8)))
+        for slot in range(8):
+            per_slot.read_slot(slot)
+        assert batched.simulated_ms < per_slot.simulated_ms
+        assert per_slot.roundtrips == 8
+        assert batched.roundtrips == 1
+
+    def test_in_memory_read_slots_in_order(self):
+        backend = InMemoryBackend(3)
+        backend.load([b"a", b"b", b"c"])
+        assert backend.read_slots([2, 0]) == [b"c", b"a"]
+
+    def test_backends_are_slotted(self):
+        # Hot-path objects carry no per-instance __dict__.
+        backend = InMemoryBackend(1)
+        with pytest.raises(AttributeError):
+            backend.extra = 1
+        network = NetworkBackend(1, WAN)
+        with pytest.raises(AttributeError):
+            network.extra = 1

@@ -144,7 +144,7 @@ class TestServeCommand:
         assert main(["serve", "--scheme", "dp_ir", "--clients", "2",
                      "--requests", "4", "--n", "64", "--seed", "7",
                      "--executor", "parallel"]) == 2
-        assert "no cross-shard fan-out" in capsys.readouterr().err
+        assert "no fan-out" in capsys.readouterr().err
 
 
 class TestClusterCommand:

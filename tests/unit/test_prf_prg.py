@@ -109,3 +109,50 @@ class TestCounterPRG:
         ones = sum(bin(byte).count("1") for byte in data)
         # 4096 bytes = 32768 bits; expect ~16384 ones.
         assert 15500 < ones < 17300
+
+
+class TestBatchedChoices:
+    def test_choices_match_per_evaluation_loop(self):
+        # The batched evaluation against the shared keyed state must be
+        # bit-identical to deriving each choice with its own integer().
+        prf = PRF(b"batch equivalence key")
+        for message in (b"", b"u", b"a much longer user key" * 3):
+            expected = [
+                prf.integer(i.to_bytes(4, "big") + b"|" + message, 977)
+                for i in range(5)
+            ]
+            assert prf.choices(message, 977, 5) == expected
+
+    def test_evaluate_matches_fresh_hmac(self):
+        import hashlib
+        import hmac as hmac_mod
+
+        prf = PRF(b"some key")
+        assert prf.evaluate(b"msg") == hmac_mod.new(
+            b"some key", b"msg", hashlib.sha256
+        ).digest()
+
+    def test_evaluate_rejects_non_bytes_message(self):
+        with pytest.raises(TypeError):
+            PRF(b"k").evaluate("text")
+
+    def test_integer_rejects_non_bytes_message(self):
+        with pytest.raises(TypeError):
+            PRF(b"k").integer(123, 10)
+
+    def test_choices_reject_non_bytes_message(self):
+        with pytest.raises(TypeError):
+            PRF(b"k").choices(None, 10, 2)
+
+    def test_choices_reject_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            PRF(b"k").choices(b"m", 0, 2)
+
+    def test_choices_accept_bytearray_and_memoryview(self):
+        prf = PRF(b"k")
+        expected = prf.choices(b"mm", 100, 2)
+        assert prf.choices(bytearray(b"mm"), 100, 2) == expected
+        assert prf.choices(memoryview(b"mm"), 100, 2) == expected
+
+    def test_zero_choices(self):
+        assert PRF(b"k").choices(b"m", 10, 0) == []

@@ -151,3 +151,40 @@ class TestDefaultRng:
 
     def test_none_gives_system(self):
         assert isinstance(default_rng(None), SystemRandomSource)
+
+
+class TestSampleDistinct:
+    def test_size_distinct_range(self):
+        source = SeededRandomSource(21)
+        picked = source.sample_distinct(50, 12)
+        assert len(picked) == 12
+        assert len(set(picked)) == 12
+        assert all(0 <= value < 50 for value in picked)
+
+    def test_deterministic_per_seed(self):
+        assert SeededRandomSource(22).sample_distinct(100, 10) == \
+            SeededRandomSource(22).sample_distinct(100, 10)
+
+    def test_full_universe(self):
+        assert sorted(SeededRandomSource(23).sample_distinct(7, 7)) == \
+            list(range(7))
+
+    def test_zero_count(self):
+        assert SeededRandomSource(24).sample_distinct(5, 0) == []
+
+    def test_rejects_invalid_counts(self):
+        source = SeededRandomSource(25)
+        with pytest.raises(ValueError):
+            source.sample_distinct(4, 5)
+        with pytest.raises(ValueError):
+            source.sample_distinct(4, -1)
+
+    def test_system_source_also_samples(self):
+        picked = SystemRandomSource().sample_distinct(30, 8)
+        assert len(set(picked)) == 8
+        assert all(0 <= value < 30 for value in picked)
+
+    def test_sample_indices_delegates(self):
+        a = SeededRandomSource(26).sample_indices(40, 6)
+        b = SeededRandomSource(26).sample_distinct(40, 6)
+        assert a == b

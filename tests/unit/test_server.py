@@ -145,3 +145,60 @@ class TestServerPool:
 
     def test_len(self, tiny_db):
         assert len(ServerPool(5, len(tiny_db))) == 5
+
+
+class TestReadManyWireProtocol:
+    def test_read_many_returns_blocks_in_order(self, tiny_db):
+        server = StorageServer(len(tiny_db))
+        server.load(tiny_db)
+        assert server.read_many([3, 0, 5]) == [
+            tiny_db[3], tiny_db[0], tiny_db[5]
+        ]
+        assert server.reads == 3
+
+    def test_read_many_accepts_ranges(self, tiny_db):
+        server = StorageServer(len(tiny_db))
+        server.load(tiny_db)
+        assert server.read_many(range(len(tiny_db))) == list(tiny_db)
+
+    def test_read_many_records_one_event_per_slot(self, tiny_db):
+        server = StorageServer(len(tiny_db))
+        server.load(tiny_db)
+        transcript = Transcript()
+        server.attach_transcript(transcript)
+        server.begin_query(4)
+        server.read_many([1, 2, 1])
+        assert [e.index for e in transcript] == [1, 2, 1]
+        assert all(e.kind is AccessKind.DOWNLOAD for e in transcript)
+        assert all(e.query == 4 for e in transcript)
+
+    def test_read_many_validates_before_counting(self, tiny_db):
+        server = StorageServer(len(tiny_db))
+        server.load(tiny_db)
+        with pytest.raises(StorageError):
+            server.read_many([0, len(tiny_db)])
+        with pytest.raises(StorageError):
+            server.read_many([0, -1])
+        assert server.reads == 0
+
+    def test_write_many_then_read_many(self, tiny_db):
+        server = StorageServer(len(tiny_db))
+        server.load(tiny_db)
+        server.write_many([(0, b"aa"), (3, b"bb")])
+        assert server.writes == 2
+        assert server.read_many([0, 3]) == [b"aa", b"bb"]
+
+    def test_write_many_checks_block_size(self):
+        server = StorageServer(4, block_size=2)
+        with pytest.raises(BlockSizeError):
+            server.write_many([(0, b"ok"), (1, b"toolong")])
+        # Validation precedes dispatch: nothing was written or counted.
+        assert server.writes == 0
+        assert server.peek(0) is None
+
+    def test_empty_batches_are_noops(self, tiny_db):
+        server = StorageServer(len(tiny_db))
+        server.load(tiny_db)
+        assert server.read_many([]) == []
+        server.write_many([])
+        assert server.operations == 0
