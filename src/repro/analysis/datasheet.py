@@ -67,7 +67,7 @@ class PrivacyDatasheet:
                             title=f"Datasheet: {self.scheme}")
 
 
-def datasheet_for(scheme) -> PrivacyDatasheet:
+def datasheet_for(scheme: object) -> PrivacyDatasheet:
     """Build a datasheet for any scheme in this library.
 
     Supported: ``DPIR``, ``BatchDPIR``, ``StrawmanIR``, ``DPRAM``,

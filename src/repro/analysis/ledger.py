@@ -12,13 +12,27 @@ a cap.  Because the schemes here live in the ε = Θ(log n) regime, basic
 composition is essentially always the binding total (see
 :func:`repro.analysis.composition.best_composition_epsilon`), but the
 ledger reports both.
+
+Exactness: the running totals are :class:`fractions.Fraction`, not
+floats.  Conversion from a caller's float ε is exact (every IEEE-754
+double is a rational), sums of Fractions are exact, and floats are
+produced only at the reporting boundary — so "the ledger spent k·ε"
+is an identity, not an approximation that drifts with k.  The
+``float-budget`` lint rule (:mod:`repro.lint`) enforces this discipline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from fractions import Fraction
 
 from repro.analysis.composition import advanced_composition_epsilon
+
+#: Exact slack for cap comparisons.  Caller-supplied caps are usually
+#: float products (``10 * scheme.epsilon``) whose rounding can land a
+#: hair *below* the exact k·ε sum; the historical 1e-12 float slack is
+#: kept, as an exact rational so it cannot itself drift.
+CAP_SLACK = Fraction(1, 10**12)
 
 
 @dataclass(frozen=True)
@@ -31,12 +45,17 @@ class BudgetReport:
         basic_delta: total δ under basic composition.
         advanced_epsilon: total ε under advanced composition at the
             ledger's ``delta_slack`` (``None`` when no queries charged).
+        basic_epsilon_exact: the ε total as the exact rational the
+            ledger accumulated (``basic_epsilon`` is its float image).
+        basic_delta_exact: the δ total as the exact rational.
     """
 
     queries: int
     basic_epsilon: float
     basic_delta: float
     advanced_epsilon: float | None
+    basic_epsilon_exact: Fraction = field(default=Fraction(0), compare=False)
+    basic_delta_exact: Fraction = field(default=Fraction(0), compare=False)
 
 
 class PrivacyLedger:
@@ -51,20 +70,20 @@ class PrivacyLedger:
 
     def __init__(
         self,
-        epsilon_cap: float | None = None,
+        epsilon_cap: float | Fraction | None = None,
         delta_slack: float = 1e-9,
     ) -> None:
         if epsilon_cap is not None and epsilon_cap < 0:
             raise ValueError(f"epsilon cap must be >= 0, got {epsilon_cap}")
-        if not 0.0 < delta_slack < 1.0:
+        if not 0 < delta_slack < 1:
             raise ValueError(
                 f"delta_slack must be in (0, 1), got {delta_slack}"
             )
-        self._cap = epsilon_cap
+        self._cap = Fraction(epsilon_cap) if epsilon_cap is not None else None
         self._delta_slack = delta_slack
-        self._epsilon_total = 0.0
-        self._delta_total = 0.0
-        self._uniform_epsilon: float | None = None
+        self._epsilon_total = Fraction(0)
+        self._delta_total = Fraction(0)
+        self._uniform_epsilon: Fraction | None = None
         self._uniform = True
         self._queries = 0
 
@@ -76,26 +95,39 @@ class PrivacyLedger:
     @property
     def epsilon_spent(self) -> float:
         """Basic-composition ε spent so far."""
+        return float(self._epsilon_total)
+
+    @property
+    def epsilon_spent_exact(self) -> Fraction:
+        """The exact rational ε total (what the cap check uses)."""
         return self._epsilon_total
 
     @property
     def delta_spent(self) -> float:
         """Basic-composition δ spent so far."""
+        return float(self._delta_total)
+
+    @property
+    def delta_spent_exact(self) -> Fraction:
+        """The exact rational δ total."""
         return self._delta_total
 
     def remaining(self) -> float | None:
         """Budget left under the cap (``None`` when uncapped)."""
         if self._cap is None:
             return None
-        return max(0.0, self._cap - self._epsilon_total)
+        return float(max(Fraction(0), self._cap - self._epsilon_total))
 
-    def can_afford(self, epsilon: float) -> bool:
+    def can_afford(self, epsilon: float | Fraction) -> bool:
         """Whether one more ``epsilon``-query fits under the cap."""
         if self._cap is None:
             return True
-        return self._epsilon_total + epsilon <= self._cap + 1e-12
+        spend = self._epsilon_total + Fraction(epsilon)
+        return spend <= self._cap + CAP_SLACK
 
-    def charge(self, epsilon: float, delta: float = 0.0) -> None:
+    def charge(
+        self, epsilon: float | Fraction, delta: float | Fraction = 0
+    ) -> None:
         """Record one query against the budget.
 
         Raises:
@@ -104,19 +136,22 @@ class PrivacyLedger:
         """
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
-        if not 0.0 <= delta <= 1.0:
+        if not 0 <= delta <= 1:
             raise ValueError(f"delta must be in [0, 1], got {delta}")
         if not self.can_afford(epsilon):
+            assert self._cap is not None
             raise BudgetExceededError(
-                f"charging eps={epsilon:.4f} would exceed the cap "
-                f"{self._cap:.4f} (spent {self._epsilon_total:.4f})"
+                f"charging eps={float(epsilon):.4f} would exceed the cap "
+                f"{float(self._cap):.4f} "
+                f"(spent {float(self._epsilon_total):.4f})"
             )
-        self._epsilon_total += epsilon
-        self._delta_total += delta
+        exact_epsilon = Fraction(epsilon)
+        self._epsilon_total += exact_epsilon
+        self._delta_total += Fraction(delta)
         self._queries += 1
         if self._uniform_epsilon is None:
-            self._uniform_epsilon = epsilon
-        elif self._uniform_epsilon != epsilon:
+            self._uniform_epsilon = exact_epsilon
+        elif self._uniform_epsilon != exact_epsilon:
             self._uniform = False
 
     def report(self) -> BudgetReport:
@@ -129,13 +164,15 @@ class PrivacyLedger:
         advanced = None
         if self._queries > 0 and self._uniform and self._uniform_epsilon is not None:
             advanced = advanced_composition_epsilon(
-                self._uniform_epsilon, self._queries, self._delta_slack
+                float(self._uniform_epsilon), self._queries, self._delta_slack
             )
         return BudgetReport(
             queries=self._queries,
-            basic_epsilon=self._epsilon_total,
-            basic_delta=self._delta_total,
+            basic_epsilon=float(self._epsilon_total),
+            basic_delta=float(self._delta_total),
             advanced_epsilon=advanced,
+            basic_epsilon_exact=self._epsilon_total,
+            basic_delta_exact=self._delta_total,
         )
 
 

@@ -83,7 +83,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy: repro.serving consumes this package (registry, protocols,
     # backends), so importing it eagerly here would be a cycle.
     if name == "serve":

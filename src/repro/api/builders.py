@@ -21,7 +21,10 @@ Scheme-specific knobs (``epsilon``, ``alpha``, ``phi``, ``value_size``,
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:
+    from repro.cluster.scheme import ClusterIR, ClusterKVS
 
 from repro.api.registry import register_scheme
 from repro.baselines.linear_pir import LinearScanPIR
@@ -189,7 +192,7 @@ def build_multi_server_dp_ir(
     rng: RandomSource | None = None,
     backend: BackendFactory | str | None = None,
     network: NetworkModel | str | None = None,
-    executor=None,
+    executor: Any = None,
 ) -> MultiServerDPIR:
     """Build a :class:`~repro.core.multi_server.MultiServerDPIR`."""
     data = _resolve_blocks(n, block_size, blocks)
@@ -492,14 +495,14 @@ def _build_cluster_ir(
     pad_size: int | None = None,
     alpha: float = 0.05,
     authenticated: bool = True,
-    failure_rate=0.0,
-    corruption_rate=0.0,
+    failure_rate: float | Sequence[float] = 0.0,
+    corruption_rate: float | Sequence[float] = 0.0,
     seed: int | bytes | str | None = None,
     rng: RandomSource | None = None,
     backend: BackendFactory | str | None = None,
     network: NetworkModel | str | None = None,
-    executor=None,
-):
+    executor: Any = None,
+) -> "ClusterIR":
     """Shared implementation of the registered ClusterIR builders."""
     from repro.cluster.scheme import ClusterIR
 
@@ -524,7 +527,7 @@ def _build_cluster_ir(
 
 @register_scheme("cluster_dp_ir", kind="ir",
                  summary="N shard groups x R replicas of DP-IR with failover")
-def build_cluster_dp_ir(**kwargs):
+def build_cluster_dp_ir(**kwargs: Any) -> "ClusterIR":
     """Build a :class:`~repro.cluster.scheme.ClusterIR` over ``dp_ir`` bases."""
     return _build_cluster_ir("dp_ir", **kwargs)
 
@@ -532,7 +535,7 @@ def build_cluster_dp_ir(**kwargs):
 @register_scheme("cluster_batch_dp_ir", kind="ir",
                  summary="sharded+replicated BatchDPIR (batching compounds "
                          "with sharding)")
-def build_cluster_batch_dp_ir(**kwargs):
+def build_cluster_batch_dp_ir(**kwargs: Any) -> "ClusterIR":
     """Build a :class:`~repro.cluster.scheme.ClusterIR` over ``batch_dp_ir``."""
     return _build_cluster_ir("batch_dp_ir", **kwargs)
 
@@ -546,14 +549,14 @@ def build_cluster_dp_kvs(
     shard_count: int = 2,
     replica_count: int = 2,
     capacity_slack: float = 1.5,
-    failure_rate=0.0,
-    corruption_rate=0.0,
+    failure_rate: float | Sequence[float] = 0.0,
+    corruption_rate: float | Sequence[float] = 0.0,
     seed: int | bytes | str | None = None,
     rng: RandomSource | None = None,
     backend: BackendFactory | str | None = None,
     network: NetworkModel | str | None = None,
-    executor=None,
-):
+    executor: Any = None,
+) -> "ClusterKVS":
     """Build a :class:`~repro.cluster.scheme.ClusterKVS` over ``dp_kvs``."""
     from repro.cluster.scheme import ClusterKVS
 

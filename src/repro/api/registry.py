@@ -183,7 +183,7 @@ def scheme_spec(name: str) -> SchemeSpec:
         ) from None
 
 
-def build(name: str, **kwargs) -> Scheme:
+def build(name: str, **kwargs: object) -> Scheme:
     """Construct the scheme registered under ``name``.
 
     All keyword arguments are forwarded to the scheme's builder; common

@@ -41,6 +41,7 @@ Entry points: :func:`~repro.cluster.service.cluster` (re-exported as
 
 import sys
 from types import ModuleType
+from typing import Any
 
 from repro.cluster.group import (
     DEFAULT_MAX_ATTEMPTS,
@@ -85,7 +86,7 @@ class _CallableClusterModule(ModuleType):
     real subpackage (``repro.cluster.ClusterIR``, ``import
     repro.cluster.router`` and friends all keep working)."""
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> ClusterReport:
         return cluster(*args, **kwargs)
 
 

@@ -463,7 +463,7 @@ class KVShardGroup:
 
     # -- internals ---------------------------------------------------------
 
-    def _fan_out(self, operation: str, *args):
+    def _fan_out(self, operation: str, *args: bytes) -> object:
         """Apply one write to every live replica, racing when possible.
 
         Replicas are disjoint object graphs, so their legs genuinely run

@@ -8,9 +8,24 @@ come from :mod:`repro.analysis.composition`:
 
 * **non-colluding operators** (the deployment model: each shard group is
   run by a separate operator who sees only its own traffic) — the
-  binding budget is the worst single shard's composed spend;
+  binding budget is the worst single operator's composed spend;
 * **colluding upper bound** — basic composition across every charge on
   every shard, the figure to quote if all operators pool their views.
+
+Reshard epochs compose.  A migration rebuilds the shard groups, but the
+traffic the *old* layout served was still seen by its operators — a
+cluster's privacy spend is monotone over its lifetime.  The ledger
+therefore carries every drained epoch's exact per-operator totals
+forward (composed via
+:func:`repro.analysis.composition.compose_totals_exact`) and reports
+lifetime budgets; per-shard figures for the current epoch remain
+available in :attr:`ClusterBudgetReport.per_shard`.  Operators are
+matched across epochs by shard id: the operator who ran shard ``i``
+before a reshard runs shard ``i`` after it (extra operators from a
+shrunk layout keep their historical spend).
+
+All totals accumulate as :class:`fractions.Fraction` and convert to
+float only in the report, per the ``float-budget`` lint rule.
 
 The cross-shard *routing* channel (which shard a query went to) is not
 a DP-protected quantity; see the :mod:`repro.cluster` package docstring
@@ -20,28 +35,41 @@ and the ROADMAP open item for the honest statement of that gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 
-from repro.analysis.ledger import BudgetReport, PrivacyLedger
+from repro.analysis.composition import compose_totals_exact
+from repro.analysis.ledger import (
+    CAP_SLACK,
+    BudgetExceededError,
+    BudgetReport,
+    PrivacyLedger,
+)
 
 
 @dataclass(frozen=True)
 class ClusterBudgetReport:
-    """Cluster-wide privacy spend.
+    """Cluster-wide privacy spend, composed over the cluster's lifetime.
 
     Attributes:
-        queries: total charged mechanism draws across all shards.  One
-            per logical query in the fault-free case; failover retries
-            and replica write fan-out each charge separately, since
-            every draw is independently visible to a shard operator.
-        per_query_epsilon: worst per-query ε charged anywhere (0.0 until
-            the first charge) — directly comparable to a single-server
-            scheme's exact budget.
-        worst_shard_epsilon: largest per-shard basic-composition total —
-            the binding budget against non-colluding shard operators.
-        colluding_epsilon: basic composition over every charge — the
-            upper bound if all shard operators pool their transcripts.
+        queries: total charged mechanism draws across all shards and
+            all reshard epochs.  One per logical query in the
+            fault-free case; failover retries and replica write fan-out
+            each charge separately, since every draw is independently
+            visible to a shard operator.
+        per_query_epsilon: worst per-query ε charged anywhere, any
+            epoch (0.0 until the first charge) — directly comparable to
+            a single-server scheme's exact budget.
+        worst_shard_epsilon: largest per-operator composed total across
+            the cluster's lifetime — the binding budget against
+            non-colluding shard operators (an operator's view spans
+            reshard epochs).
+        colluding_epsilon: basic composition over every charge in every
+            epoch — the upper bound if all shard operators pool their
+            transcripts.
         per_shard: one :class:`~repro.analysis.ledger.BudgetReport` per
-            shard group, in shard order.
+            shard group of the *current* epoch, in shard order.
+        epochs: reshard epochs composed into the lifetime figures
+            (1 for a never-resharded cluster).
     """
 
     queries: int
@@ -49,6 +77,7 @@ class ClusterBudgetReport:
     worst_shard_epsilon: float
     colluding_epsilon: float
     per_shard: tuple[BudgetReport, ...]
+    epochs: int = 1
 
 
 class ClusterLedger:
@@ -56,71 +85,151 @@ class ClusterLedger:
 
     Args:
         shard_count: number of shard groups.
-        epsilon_cap: optional per-shard hard budget — a charge that
-            would push any single shard past it raises
-            :class:`~repro.analysis.ledger.BudgetExceededError` (caps
-            are per-operator in the non-colluding model).
+        epsilon_cap: optional per-operator hard budget — a charge that
+            would push any single operator's *lifetime* spend past it
+            raises :class:`~repro.analysis.ledger.BudgetExceededError`
+            (caps are per-operator in the non-colluding model, and an
+            operator's view survives resharding).
         delta_slack: the δ' used for advanced-composition reporting.
+        carried_from: the previous epoch's ledger, when resharding.
+            Its lifetime per-operator spends (its own carried epochs
+            included) seed this ledger's carried totals, so cluster
+            budgets stay honest over the deployment's lifetime.
     """
 
     def __init__(
         self,
         shard_count: int,
-        epsilon_cap: float | None = None,
+        epsilon_cap: float | Fraction | None = None,
         delta_slack: float = 1e-9,
+        carried_from: "ClusterLedger | None" = None,
     ) -> None:
         if shard_count <= 0:
             raise ValueError(
                 f"shard count must be positive, got {shard_count}"
             )
+        # Per-shard caps are enforced here against lifetime spend, so
+        # the epoch-scoped PrivacyLedgers stay uncapped.
+        self._cap = Fraction(epsilon_cap) if epsilon_cap is not None else None
         self._shards = [
-            PrivacyLedger(epsilon_cap=epsilon_cap, delta_slack=delta_slack)
+            PrivacyLedger(delta_slack=delta_slack)
             for _ in range(shard_count)
         ]
-        self._per_query_epsilon = 0.0
+        if carried_from is None:
+            self._carried_epsilon: list[Fraction] = []
+            self._carried_delta: list[Fraction] = []
+            self._carried_queries = 0
+            self._per_query_epsilon = Fraction(0)
+            self._epochs = 1
+        else:
+            lifetime = carried_from._lifetime_per_operator()
+            self._carried_epsilon = [eps for eps, _ in lifetime]
+            self._carried_delta = [delta for _, delta in lifetime]
+            self._carried_queries = carried_from.queries
+            self._per_query_epsilon = carried_from._per_query_epsilon
+            self._epochs = carried_from._epochs + 1
 
     @property
     def shard_count(self) -> int:
-        """Number of per-shard ledgers."""
+        """Number of per-shard ledgers in the current epoch."""
         return len(self._shards)
 
     @property
+    def epochs(self) -> int:
+        """Reshard epochs composed into this ledger (≥ 1)."""
+        return self._epochs
+
+    @property
     def queries(self) -> int:
-        """Total queries charged across all shards."""
-        return sum(ledger.queries for ledger in self._shards)
+        """Total queries charged across all shards and epochs."""
+        current = sum(ledger.queries for ledger in self._shards)
+        return self._carried_queries + current
 
     @property
     def per_query_epsilon(self) -> float:
         """Worst per-query ε charged so far (0.0 before any charge)."""
-        return self._per_query_epsilon
+        return float(self._per_query_epsilon)
 
     def shard_ledger(self, shard: int) -> PrivacyLedger:
-        """The underlying ledger of one shard group."""
+        """The current epoch's ledger of one shard group."""
         return self._shards[shard]
 
-    def charge(self, shard: int, epsilon: float, delta: float = 0.0) -> None:
+    def _carried_for(self, shard: int) -> tuple[Fraction, Fraction]:
+        """Earlier epochs' exact (ε, δ) spend of operator ``shard``."""
+        if shard < len(self._carried_epsilon):
+            return self._carried_epsilon[shard], self._carried_delta[shard]
+        return Fraction(0), Fraction(0)
+
+    def _lifetime_per_operator(self) -> list[tuple[Fraction, Fraction]]:
+        """Exact lifetime (ε, δ) totals per operator, carried + current."""
+        operators = max(len(self._shards), len(self._carried_epsilon))
+        totals: list[tuple[Fraction, Fraction]] = []
+        for operator in range(operators):
+            carried_epsilon, carried_delta = self._carried_for(operator)
+            if operator < len(self._shards):
+                ledger = self._shards[operator]
+                epoch_epsilon = ledger.epsilon_spent_exact
+                epoch_delta = ledger.delta_spent_exact
+            else:
+                epoch_epsilon = Fraction(0)
+                epoch_delta = Fraction(0)
+            totals.append(
+                compose_totals_exact(
+                    [
+                        (carried_epsilon, carried_delta),
+                        (epoch_epsilon, epoch_delta),
+                    ]
+                )
+            )
+        return totals
+
+    def charge(
+        self,
+        shard: int,
+        epsilon: float | Fraction,
+        delta: float | Fraction = 0,
+    ) -> None:
         """Charge one query against ``shard``'s budget.
 
         Raises:
-            BudgetExceededError: when a per-shard cap would be exceeded.
+            BudgetExceededError: when the per-operator cap would be
+                exceeded by the operator's lifetime spend.
         """
+        exact_epsilon = Fraction(epsilon)
+        if self._cap is not None:
+            carried_epsilon, _ = self._carried_for(shard)
+            lifetime = (
+                carried_epsilon
+                + self._shards[shard].epsilon_spent_exact
+                + exact_epsilon
+            )
+            if lifetime > self._cap + CAP_SLACK:
+                raise BudgetExceededError(
+                    f"charging eps={float(exact_epsilon):.4f} on shard "
+                    f"{shard} would exceed the per-operator cap "
+                    f"{float(self._cap):.4f} (lifetime spend "
+                    f"{float(lifetime - exact_epsilon):.4f} over "
+                    f"{self._epochs} epoch(s))"
+                )
         self._shards[shard].charge(epsilon, delta)
-        self._per_query_epsilon = max(self._per_query_epsilon, epsilon)
+        self._per_query_epsilon = max(self._per_query_epsilon, exact_epsilon)
 
     def report(self) -> ClusterBudgetReport:
         """Compose the per-shard spends into the cluster-wide budgets."""
         per_shard = tuple(ledger.report() for ledger in self._shards)
+        lifetime = self._lifetime_per_operator()
         worst = max(
-            (shard.basic_epsilon for shard in per_shard), default=0.0
+            (epsilon for epsilon, _ in lifetime), default=Fraction(0)
         )
-        # Colluding upper bound: every charge on every shard composes
-        # sequentially, and the per-shard totals are already basic
-        # compositions — so the cross-shard composition is their sum.
-        colluding = sum(shard.basic_epsilon for shard in per_shard)
+        # Colluding upper bound: every charge in every epoch composes
+        # sequentially; per-operator lifetime totals are already basic
+        # compositions, so the pooled view is their exact sum.
+        colluding, _ = compose_totals_exact(lifetime)
         return ClusterBudgetReport(
             queries=self.queries,
-            per_query_epsilon=self._per_query_epsilon,
-            worst_shard_epsilon=worst,
-            colluding_epsilon=colluding,
+            per_query_epsilon=float(self._per_query_epsilon),
+            worst_shard_epsilon=float(worst),
+            colluding_epsilon=float(colluding),
             per_shard=per_shard,
+            epochs=self._epochs,
         )

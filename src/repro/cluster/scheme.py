@@ -25,7 +25,7 @@ from __future__ import annotations
 import inspect
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.api.protocols import PrivateIR, PrivateKVS
 from repro.api.registry import scheme_spec
@@ -51,6 +51,7 @@ from repro.storage.faults import (
     FlakyServer,
     wrap_scheme_servers,
 )
+from repro.storage.backends import BackendFactory
 from repro.storage.network import LAN, NetworkModel
 from repro.storage.server import StorageServer
 
@@ -110,7 +111,7 @@ def _rate_per_replica(
     return rates
 
 
-def _build_base(base: str, **kwargs):
+def _build_base(base: str, **kwargs: Any) -> Any:
     """Build the base scheme, dropping kwargs its builder cannot take.
 
     Only the *cluster-supplied* tuning kwargs (pad size, error rate) are
@@ -135,7 +136,7 @@ def _build_base(base: str, **kwargs):
 
 
 def _inject_faults(
-    replica,
+    replica: Any,
     failure_rate: float,
     corruption_rate: float,
     rng: RandomSource,
@@ -144,7 +145,7 @@ def _inject_faults(
     if failure_rate <= 0.0 and corruption_rate <= 0.0:
         return
 
-    def wrap(server: StorageServer):
+    def wrap(server: StorageServer) -> StorageServer:
         wrapped = server
         if failure_rate > 0.0:
             wrapped = FlakyServer(wrapped, failure_rate, rng.spawn("flaky"))
@@ -211,10 +212,10 @@ class ClusterIR(PrivateIR):
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         epsilon_cap: float | None = None,
         rng: RandomSource | None = None,
-        backend_factory=None,
+        backend_factory: BackendFactory | str | None = None,
         executor: Executor | str | None = None,
         network: NetworkModel | str | None = None,
-        **base_kwargs,
+        **base_kwargs: Any,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -326,8 +327,12 @@ class ClusterIR(PrivateIR):
         self._groups = groups
         self._locate = locate
         self._shard_queries = [0] * router.shard_count
+        # Resharding must not launder spent budget: the drained epoch's
+        # ledger seeds the new one so lifetime accounting stays honest.
         self._ledger = ClusterLedger(
-            router.shard_count, epsilon_cap=self._epsilon_cap
+            router.shard_count,
+            epsilon_cap=self._epsilon_cap,
+            carried_from=getattr(self, "_ledger", None),
         )
 
     def _stored_blocks(
@@ -494,7 +499,7 @@ class ClusterIR(PrivateIR):
     def __enter__(self) -> "ClusterIR":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- load metrics ------------------------------------------------------
@@ -620,9 +625,11 @@ class ClusterIR(PrivateIR):
         failover path (so migration works over faulty replicas too),
         rebuilds the groups under the new router with a ``K/D′`` pad
         split, and reports the measured migration cost.  The privacy
-        ledger restarts with the new shard set; migration reads touch
-        *every* record in index order — a data-independent maintenance
-        scan, not client queries — so they are not charged.
+        ledger carries the drained epoch's per-operator spend into the
+        new shard set (budgets compose over the cluster's lifetime —
+        they never reset); migration reads touch *every* record in
+        index order — a data-independent maintenance scan, not client
+        queries — so they are not charged.
 
         Resharding to the *same* shard count reuses the active router
         (custom boundaries included) and just rebuilds the groups; a
@@ -778,10 +785,10 @@ class ClusterKVS(PrivateKVS):
         corruption_rate: float | Sequence[float] = 0.0,
         epsilon_cap: float | None = None,
         rng: RandomSource | None = None,
-        backend_factory=None,
+        backend_factory: BackendFactory | str | None = None,
         executor: Executor | str | None = None,
         network: NetworkModel | str | None = None,
-        **base_kwargs,
+        **base_kwargs: Any,
     ) -> None:
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
@@ -860,8 +867,11 @@ class ClusterKVS(PrivateKVS):
             ))
         self._groups = groups
         self._shard_queries = [0] * shard_count
+        # Same epoch carry as ClusterIR: reshard composes, never resets.
         self._ledger = ClusterLedger(
-            shard_count, epsilon_cap=self._epsilon_cap
+            shard_count,
+            epsilon_cap=self._epsilon_cap,
+            carried_from=getattr(self, "_ledger", None),
         )
 
     # -- scheme info -------------------------------------------------------
@@ -1004,7 +1014,7 @@ class ClusterKVS(PrivateKVS):
     def __enter__(self) -> "ClusterKVS":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- operations --------------------------------------------------------
@@ -1139,7 +1149,9 @@ class ClusterKVS(PrivateKVS):
         client-side key directory — one independent drain leg per shard
         group, overlapped under a concurrent executor — the groups are
         rebuilt, and every pair is re-inserted under the new hash
-        placement.
+        placement.  The privacy ledger carries the drained epoch's
+        per-operator spend forward; re-insertion writes are maintenance
+        traffic and are not charged.
         """
         new_count = shard_count if shard_count is not None else self.shard_count
         shards_before = self.shard_count

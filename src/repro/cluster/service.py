@@ -16,7 +16,7 @@ cluster-wide privacy budget::
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.api.registry import resolve_scheme_name, scheme_spec
 from repro.cluster.report import (
@@ -59,7 +59,7 @@ def cluster(
     executor: str | None = None,
     batch: int = 1,
     percentiles: Sequence[float] = DEFAULT_PERCENTILES,
-    **base_kwargs,
+    **base_kwargs: Any,
 ) -> ClusterReport:
     """Run a workload against a sharded + replicated cluster.
 

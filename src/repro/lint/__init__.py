@@ -1,0 +1,58 @@
+"""repro.lint — AST-based privacy & determinism linter.
+
+Every headline guarantee in this reproduction — bit-identical results
+across executors, transcript/ε invariance under batching, exact
+per-shard budget accounting — rests on coding disciplines no runtime
+test can fully cover: all randomness flows through the seeded
+``RandomSource``, storage is only touched via ``StorageServer``, budget
+math never drifts through floats, hot-path control flow never reads the
+query's secrets.  This package enforces those invariants statically, at
+review time.
+
+Public surface::
+
+    from repro.lint import lint_paths, lint_sources, all_rules
+    result = lint_paths(["src/repro"])
+    result.findings        # list[Finding], pragma-suppressed removed
+
+CLI: ``python -m repro lint`` (``--json``, ``--rule``, ``--baseline``,
+``--write-baseline``, ``--list-rules``).  Suppress an intentional
+deviation in code with ``# repro: allow(<rule>) -- justification``.
+
+See ``src/repro/lint/README.md`` for the rule-authoring guide.
+"""
+
+from repro.lint.baseline import Baseline, BaselineDiff
+from repro.lint.context import ModuleContext
+from repro.lint.engine import (
+    LintResult,
+    iter_python_files,
+    lint_module,
+    lint_paths,
+    lint_sources,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import (
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+    select_rules,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_module",
+    "lint_paths",
+    "lint_sources",
+    "register_rule",
+    "select_rules",
+]

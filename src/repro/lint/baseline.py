@@ -1,0 +1,119 @@
+"""Baselines: grandfather old findings, gate on new ones.
+
+A baseline file records the findings a repository has consciously
+decided to live with (typically: none).  The CI gate then fails only on
+*new* findings — the linter can grow stricter rules without blocking
+every PR on historical debt, while any fresh violation is caught at
+review time.
+
+Matching is by :meth:`~repro.lint.findings.Finding.fingerprint`
+(rule, path, message) with per-fingerprint counts, deliberately ignoring
+line numbers: edits above a grandfathered finding must not un-baseline
+it, while a *second* occurrence of the same violation in the same file
+is new and fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineDiff:
+    """Findings split against a baseline.
+
+    Attributes:
+        new: findings not covered by the baseline — these fail the gate.
+        matched: findings absorbed by a baseline entry.
+        stale: baseline entries (fingerprints, with counts) that no
+            longer match anything — candidates for deletion.
+    """
+
+    new: list[Finding] = field(default_factory=list)
+    matched: list[Finding] = field(default_factory=list)
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(
+        self, counts: Counter[tuple[str, str, str]] | None = None
+    ) -> None:
+        self._counts: Counter[tuple[str, str, str]] = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(finding.fingerprint() for finding in findings))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline).
+
+        Raises:
+            ValueError: on malformed JSON or an unknown version.
+        """
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path} is not valid JSON: {exc}")
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version')!r} (expected {_VERSION})"
+            )
+        counts: Counter[tuple[str, str, str]] = Counter()
+        for entry in payload.get("findings", []):
+            fingerprint = (entry["rule"], entry["path"], entry["message"])
+            counts[fingerprint] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        entries = [
+            {
+                "rule": rule,
+                "path": file_path,
+                "message": message,
+                "count": count,
+            }
+            for (rule, file_path, message), count in sorted(
+                self._counts.items()
+            )
+            if count > 0
+        ]
+        payload = {"version": _VERSION, "findings": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def diff(self, findings: list[Finding]) -> BaselineDiff:
+        """Split ``findings`` into new vs. baseline-matched."""
+        remaining = Counter(self._counts)
+        result = BaselineDiff()
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if remaining[fingerprint] > 0:
+                remaining[fingerprint] -= 1
+                result.matched.append(finding)
+            else:
+                result.new.append(finding)
+        result.stale = sorted(
+            fingerprint
+            for fingerprint, count in remaining.items()
+            if count > 0
+        )
+        return result

@@ -1,0 +1,117 @@
+"""``python -m repro lint`` — the static-analysis gate.
+
+Exit status: 0 when no *new* findings (pragma-suppressed and baselined
+findings do not fail the gate), 1 when new findings exist, 2 on usage
+errors (unknown rule, malformed baseline).
+
+Examples::
+
+    python -m repro lint                         # lint src/repro
+    python -m repro lint --json src/repro/core   # one subsystem, JSON
+    python -m repro lint --rule rng-discipline   # one rule only
+    python -m repro lint --write-baseline        # grandfather findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineDiff
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules
+from repro.lint.reporters import render_json, render_rule_list, render_text
+
+#: Default lint target, relative to the working directory.
+DEFAULT_PATHS = ("src/repro",)
+
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand body."""
+    if args.list_rules:
+        print(render_rule_list(all_rules()))
+        return 0
+
+    paths = args.paths if args.paths else list(DEFAULT_PATHS)
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        result = lint_paths(
+            paths, rule_names=args.rule, display_root=Path.cwd()
+        )
+    except KeyError as exc:
+        # Unknown --rule name; the registry error carries the catalogue.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        diff = BaselineDiff(new=list(result.findings))
+    else:
+        try:
+            diff = Baseline.load(baseline_path).diff(result.findings)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        print(render_json(result, diff))
+    else:
+        print(render_text(result, diff))
+    return 1 if diff.new else 0

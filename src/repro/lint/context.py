@@ -1,0 +1,106 @@
+"""Per-module context handed to every lint rule.
+
+A :class:`ModuleContext` bundles what a rule needs to reason about one
+source file: the parsed AST, the raw source lines, and the module's
+position in the package tree (so rules can scope themselves to, say,
+``repro.core`` without re-deriving paths).  Contexts are built once per
+file by the engine and shared by all rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed source file, as seen by the rules.
+
+    Attributes:
+        path: display path for findings (POSIX separators).
+        source: full file text.
+        tree: the parsed :class:`ast.Module`.
+        lines: ``source`` split into lines (1-based access via
+            ``lines[lineno - 1]``).
+        module: dotted module name when the file sits under a ``repro``
+            package root (``"repro.core.dp_ir"``), else the stem.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    module: str
+
+    @classmethod
+    def from_source(cls, source: str, path: str | Path) -> "ModuleContext":
+        """Parse ``source`` into a context.
+
+        ``path`` is only used for display and package scoping, so tests
+        can lint in-memory fixture snippets under any virtual path
+        (e.g. ``"src/repro/core/fixture.py"``).
+
+        Raises:
+            SyntaxError: when ``source`` does not parse.
+        """
+        display = PurePosixPath(Path(path)).as_posix()
+        tree = ast.parse(source, filename=display)
+        return cls(
+            path=display,
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+            module=_dotted_module(display),
+        )
+
+    @classmethod
+    def from_file(cls, path: Path, display: str | None = None) -> "ModuleContext":
+        """Read and parse ``path`` (display defaults to the path itself)."""
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, display if display is not None else path)
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this module lives under any of the dotted ``packages``.
+
+        ``ctx.in_package("repro.core", "repro.cluster")`` is true for
+        ``repro.core.dp_ir`` and for ``repro.core`` itself.
+        """
+        for package in packages:
+            if self.module == package or self.module.startswith(package + "."):
+                return True
+        return False
+
+    def is_module(self, *modules: str) -> bool:
+        """Whether this module *is* one of the dotted ``modules`` exactly."""
+        return self.module in modules
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def _dotted_module(display: str) -> str:
+    """Derive a dotted module name from a display path.
+
+    The name starts at the last path component named ``repro`` (the
+    package root under ``src/``), so both ``src/repro/core/dp_ir.py``
+    and ``/abs/checkout/src/repro/core/dp_ir.py`` map to
+    ``repro.core.dp_ir``.  Files outside a ``repro`` tree fall back to
+    their stem, which keeps fixture snippets lintable.
+    """
+    parts = PurePosixPath(display).parts
+    anchor = None
+    for position, part in enumerate(parts):
+        if part == "repro":
+            anchor = position
+    if anchor is None:
+        return PurePosixPath(display).stem
+    tail = list(parts[anchor:])
+    tail[-1] = PurePosixPath(tail[-1]).stem
+    if tail[-1] == "__init__":
+        tail.pop()
+    return ".".join(tail)

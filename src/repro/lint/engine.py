@@ -1,0 +1,148 @@
+"""The lint engine: walk files, run rules, apply pragmas.
+
+:func:`lint_paths` is the one entry point everything else uses — the
+CLI, the CI gate and the repo-is-clean integration test.  It walks the
+given files/directories, parses each ``*.py`` once, runs the selected
+rules over the shared :class:`~repro.lint.context.ModuleContext`, and
+strips pragma-suppressed findings.  Baseline subtraction is layered on
+top by :mod:`repro.lint.baseline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.pragmas import filter_suppressed
+from repro.lint.registry import Rule, select_rules
+
+#: Rule name used for files that fail to parse.
+SYNTAX_RULE = "syntax-error"
+
+#: Directories never descended into.
+_SKIPPED_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run.
+
+    Attributes:
+        findings: violations that survived pragma suppression, sorted
+            by path/line/column.
+        suppressed: findings silenced by ``# repro: allow(...)`` pragmas
+            (kept for ``--json`` transparency and the stats line).
+        files: number of Python files linted.
+        rules: names of the rules that ran.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``*.py`` under ``paths`` (files listed explicitly always
+    count, even without the suffix), in sorted order, deduplicated."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+        elif path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                if any(part in _SKIPPED_DIRS for part in found.parts):
+                    continue
+                resolved = found.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    yield found
+
+
+def lint_module(
+    module: ModuleContext, rules: Iterable[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    """Run ``rules`` over one parsed module → (kept, suppressed)."""
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(module))
+    # Overlapping rule scopes can report one node twice; findings are
+    # value objects, so dedupe before pragma filtering.
+    findings = sorted(set(findings))
+    return filter_suppressed(module, findings)
+
+
+def lint_sources(
+    sources: Iterable[tuple[str, str]],
+    rule_names: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint in-memory ``(path, source)`` pairs (the test-fixture path)."""
+    rules = select_rules(rule_names)
+    result = LintResult(rules=[rule.name for rule in rules])
+    for path, source in sources:
+        result.files += 1
+        try:
+            module = ModuleContext.from_source(source, path)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=SYNTAX_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="fix the syntax error; nothing else was checked",
+                )
+            )
+            continue
+        kept, suppressed = lint_module(module, rules)
+        result.findings.extend(kept)
+        result.suppressed.extend(suppressed)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    rule_names: Sequence[str] | None = None,
+    display_root: Path | None = None,
+) -> LintResult:
+    """Lint files/directories on disk.
+
+    Args:
+        paths: files or directories to walk.
+        rule_names: restrict to these registry names (default: all).
+        display_root: when given, finding paths are reported relative
+            to it (CI runs from the repo root so findings match the
+            committed baseline regardless of absolute checkout paths).
+    """
+    resolved = [Path(path) for path in paths]
+
+    def display(path: Path) -> str:
+        if display_root is not None:
+            try:
+                return path.resolve().relative_to(
+                    display_root.resolve()
+                ).as_posix()
+            except ValueError:
+                pass
+        return path.as_posix()
+
+    return lint_sources(
+        (
+            (display(path), path.read_text(encoding="utf-8"))
+            for path in iter_python_files(resolved)
+        ),
+        rule_names,
+    )

@@ -1,0 +1,54 @@
+"""Finding objects: what a lint rule reports.
+
+A :class:`Finding` pins one invariant violation to a ``path:line:col``
+location, names the rule that produced it, and carries a human message
+plus a fix hint.  Findings are value objects: the baseline machinery
+(:mod:`repro.lint.baseline`) matches them across runs by their
+:meth:`Finding.fingerprint`, which deliberately excludes line numbers so
+unrelated edits above a grandfathered finding do not un-baseline it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: POSIX-style path of the offending file, as given to the
+            engine (repo-relative in CI, absolute for ad-hoc runs).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: registry name of the rule that fired.
+        message: what is wrong, in one sentence.
+        hint: how to fix it (or how to suppress it when intentional).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = field(default="", compare=False)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def location(self) -> str:
+        """``path:line:col`` for terminal output (clickable in IDEs)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (the ``--json`` reporter shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,104 @@
+"""Pragma suppression: ``# repro: allow(<rule>)``.
+
+Intentional deviations from an invariant are silenced *in the code*, at
+the spot where a reviewer needs to see the justification:
+
+* ``x = thing()  # repro: allow(rule-name) -- why it is safe`` silences
+  ``rule-name`` findings on that line;
+* a pragma on its own line silences the *next* line (for statements too
+  long to share a line with the pragma);
+* a pragma on a ``def`` / ``class`` header line silences the whole
+  block — use sparingly, for functions whose entire body is an
+  intentional exception (e.g. float-native reporting math);
+* ``# repro: allow(rule-a, rule-b)`` lists several rules; ``allow(*)``
+  silences every rule (reserved for generated code).
+
+The free-text justification after ``--`` is not parsed, but writing one
+is the convention this repository enforces in review.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+#: Sentinel rule name matching every rule.
+ALLOW_ALL = "*"
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    """Rules silenced over an inclusive line span."""
+
+    start: int
+    end: int
+    rules: frozenset[str]
+
+    def covers(self, finding: Finding) -> bool:
+        if not self.start <= finding.line <= self.end:
+            return False
+        return ALLOW_ALL in self.rules or finding.rule in self.rules
+
+
+def _pragma_rules(line: str) -> frozenset[str] | None:
+    """The rule names named by a pragma on ``line`` (``None``: no pragma)."""
+    match = _PRAGMA.search(line)
+    if match is None:
+        return None
+    names = {name.strip() for name in match.group(1).split(",")}
+    return frozenset(name for name in names if name)
+
+
+def _block_spans(tree: ast.Module) -> dict[int, int]:
+    """Map ``def``/``class`` header lines to their block's last line."""
+    spans: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            end = node.end_lineno if node.end_lineno is not None else node.lineno
+            spans[node.lineno] = max(spans.get(node.lineno, 0), end)
+    return spans
+
+
+def collect_suppressions(module: ModuleContext) -> list[_Suppression]:
+    """All pragma spans declared in ``module``, in source order."""
+    spans = _block_spans(module.tree)
+    suppressions: list[_Suppression] = []
+    for lineno, text in enumerate(module.lines, start=1):
+        rules = _pragma_rules(text)
+        if rules is None:
+            continue
+        stripped = text.strip()
+        if stripped.startswith("#"):
+            # Pragma-only line: applies to the next line (and, when
+            # that line opens a def/class block, to the whole block).
+            target = lineno + 1
+        else:
+            target = lineno
+        end = spans.get(target, target)
+        suppressions.append(_Suppression(start=target, end=end, rules=rules))
+    return suppressions
+
+
+def filter_suppressed(
+    module: ModuleContext, findings: list[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (kept, pragma-suppressed)."""
+    suppressions = collect_suppressions(module)
+    if not suppressions:
+        return list(findings), []
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        if any(suppression.covers(finding) for suppression in suppressions):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

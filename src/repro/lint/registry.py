@@ -1,0 +1,103 @@
+"""Rule base class and registry.
+
+A rule is a small AST visitor packaged with a name, a one-line summary
+and a fix hint.  Rules self-register via :func:`register_rule`, exactly
+like schemes register with :mod:`repro.api.registry` — the CLI, the
+reporters and the test suite all discover rules through
+:func:`all_rules` / :func:`get_rule`.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Iterable, Iterator, Type, TypeVar
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+
+class Rule(abc.ABC):
+    """One enforced invariant.
+
+    Subclasses set three class attributes and implement :meth:`check`:
+
+    * ``name`` — kebab-case registry name, used in pragmas, baselines
+      and ``--rule`` filters;
+    * ``summary`` — one line describing the invariant (shown by
+      ``--list-rules``);
+    * ``hint`` — the default fix hint attached to findings.
+    """
+
+    name: str = ""
+    summary: str = ""
+    hint: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``module`` (may be empty)."""
+
+    def finding(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+            hint=hint if hint is not None else self.hint,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+_R = TypeVar("_R", bound=Type[Rule])
+
+
+def register_rule(cls: _R) -> _R:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} must define a name")
+    if rule.name in _RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.name] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by name."""
+    _ensure_loaded()
+    return [_RULES[name] for name in sorted(_RULES)]
+
+
+def get_rule(name: str) -> Rule:
+    """Look up one rule by registry name.
+
+    Raises:
+        KeyError: with the catalogue of known names.
+    """
+    _ensure_loaded()
+    try:
+        return _RULES[name]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule {name!r}; known rules: {known}") from None
+
+
+def select_rules(names: Iterable[str] | None) -> list[Rule]:
+    """The rules matching ``names`` (all rules when ``names`` is falsy)."""
+    if not names:
+        return all_rules()
+    return [get_rule(name) for name in names]
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in rule modules (idempotent, import-cached)."""
+    import repro.lint.rules  # noqa: F401  (registers on import)

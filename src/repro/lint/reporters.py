@@ -1,0 +1,75 @@
+"""Reporters: render a lint run for terminals and for machines."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.baseline import BaselineDiff
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+
+def render_text(
+    result: LintResult, diff: BaselineDiff, verbose_hints: bool = True
+) -> str:
+    """Human-readable report: one line per new finding, plus a summary."""
+    lines: list[str] = []
+    for finding in diff.new:
+        lines.append(
+            f"{finding.location()}: [{finding.rule}] {finding.message}"
+        )
+        if verbose_hints and finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    summary = (
+        f"{len(diff.new)} finding{'s' if len(diff.new) != 1 else ''} "
+        f"in {result.files} file{'s' if result.files != 1 else ''} "
+        f"({len(result.rules)} rules"
+    )
+    extras: list[str] = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} pragma-suppressed")
+    if diff.matched:
+        extras.append(f"{len(diff.matched)} baselined")
+    if extras:
+        summary += ", " + ", ".join(extras)
+    summary += ")"
+    lines.append(summary)
+    for fingerprint in diff.stale:
+        rule, path, _ = fingerprint
+        lines.append(
+            f"note: stale baseline entry [{rule}] for {path} no longer "
+            "matches — consider removing it"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, diff: BaselineDiff) -> str:
+    """Machine-readable report (the ``--json`` shape, one document)."""
+    payload = {
+        "files": result.files,
+        "rules": result.rules,
+        "findings": [finding.to_dict() for finding in diff.new],
+        "baselined": [finding.to_dict() for finding in diff.matched],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "stale_baseline_entries": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in diff.stale
+        ],
+        "clean": not diff.new,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_list(rules: Sequence[object]) -> str:
+    """The ``--list-rules`` catalogue."""
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.name}")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines)
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Path/line/col ordering shared by both reporters."""
+    return sorted(findings)

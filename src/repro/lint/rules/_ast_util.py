@@ -1,0 +1,78 @@
+"""Small AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in ``tree``, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def call_attr_name(node: ast.AST) -> str | None:
+    """``"meth"`` when ``node`` is a call of the form ``<expr>.meth(...)``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Collapse ``a.b.c`` attribute chains into ``"a.b.c"`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def names_in(node: ast.AST) -> set[str]:
+    """Every bare ``Name`` identifier read anywhere inside ``node``."""
+    return {
+        child.id for child in ast.walk(node) if isinstance(child, ast.Name)
+    }
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """Whether ``node`` syntactically builds a ``set``/``frozenset``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def is_set_annotation(node: ast.expr | None) -> bool:
+    """Whether an annotation expression names a set type."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet")
+    if isinstance(node, ast.Subscript):
+        return is_set_annotation(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head in ("set", "frozenset", "Set", "FrozenSet")
+    return False
+
+
+def raises_only(body: list[ast.stmt]) -> bool:
+    """Whether a branch body does nothing but raise (validation shape).
+
+    Message-building assignments before the ``raise`` are tolerated, so
+    ``msg = f"..."; raise ValueError(msg)`` still counts as validation.
+    """
+    if not body:
+        return False
+    for statement in body[:-1]:
+        if not isinstance(statement, (ast.Assign, ast.Expr)):
+            return False
+    return isinstance(body[-1], ast.Raise)

@@ -1,0 +1,139 @@
+"""nondeterministic-iteration: set iteration order must not feed state.
+
+``set`` iteration order depends on insertion history and hash seeding —
+it is exactly the kind of hidden nondeterminism that breaks bit-identical
+replay when the iterated elements feed randomness draws, transcripts, or
+dispatch order.  In the deterministic packages (``repro.core``,
+``repro.cluster``, ``repro.parallel``) every iteration over a set must go
+through ``sorted(...)`` (dicts are insertion-ordered in Python and are
+left alone).
+
+The rule is syntactic with one-pass local inference: it flags iteration
+over set literals / ``set()`` calls / set comprehensions, over local
+names assigned such expressions, and over ``self.<attr>`` attributes
+that the enclosing class assigns or annotates as sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+from repro.lint.rules._ast_util import (
+    is_set_annotation,
+    is_set_expression,
+    walk_functions,
+)
+
+#: Packages where replay determinism is a stated invariant.
+_SCOPED_PACKAGES = ("repro.core", "repro.cluster", "repro.parallel")
+
+#: Materializing calls that freeze an iteration order.
+_ORDER_FREEZERS = ("list", "tuple", "enumerate")
+
+
+@register_rule
+class NondeterministicIterationRule(Rule):
+    name = "nondeterministic-iteration"
+    summary = (
+        "unordered set iteration in repro.core/cluster/parallel, where "
+        "order feeds draws, transcripts or dispatch"
+    )
+    hint = "iterate over sorted(<set>) to pin a deterministic order"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPED_PACKAGES):
+            return
+        set_attrs = _set_typed_attributes(module.tree)
+        for function in walk_functions(module.tree):
+            set_locals = _set_typed_locals(function)
+
+            def is_set_valued(expr: ast.expr) -> bool:
+                if is_set_expression(expr):
+                    return True
+                if isinstance(expr, ast.Name) and expr.id in set_locals:
+                    return True
+                return (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and expr.attr in set_attrs
+                )
+
+            for node in ast.walk(function):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if is_set_valued(node.iter):
+                        yield self._order_finding(module, node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                           ast.DictComp)
+                ):
+                    for generator in node.generators:
+                        if is_set_valued(generator.iter):
+                            yield self._order_finding(module, generator.iter)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_FREEZERS
+                    and node.args
+                    and is_set_valued(node.args[0])
+                ):
+                    yield self._order_finding(module, node.args[0])
+
+    def _order_finding(
+        self, module: ModuleContext, expr: ast.expr
+    ) -> Finding:
+        return self.finding(
+            module,
+            expr,
+            "iteration over a set has nondeterministic order here; "
+            "wrap it in sorted(...) so replay stays bit-identical",
+        )
+
+
+def _set_typed_locals(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Local names the function visibly binds to set values."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if is_set_expression(node.value):
+                        names.add(target.id)
+                    else:
+                        names.discard(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and is_set_annotation(
+                node.annotation
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _set_typed_attributes(tree: ast.Module) -> set[str]:
+    """``self.<attr>`` names assigned or annotated as sets anywhere."""
+    attrs: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and is_set_expression(node.value):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and is_set_annotation(node.annotation)
+            ):
+                attrs.add(target.attr)
+    return attrs

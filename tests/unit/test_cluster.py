@@ -1,5 +1,7 @@
 """Unit tests for the cluster deployment layer: router, ledger, groups."""
 
+from fractions import Fraction
+
 import pytest
 
 from repro.cluster.group import GroupExhaustedError, ShardGroup
@@ -135,6 +137,110 @@ class TestClusterLedger:
         assert report.queries == 0
         assert report.worst_shard_epsilon == 0.0
         assert report.colluding_epsilon == 0.0
+        assert report.epochs == 1
+
+    def test_totals_are_exact_rationals(self):
+        # 0.1 is not exactly representable; ten float adds drift, ten
+        # Fraction adds do not.  The colluding total must be the exact
+        # sum of what was charged, bit-for-bit.
+        ledger = ClusterLedger(1)
+        for _ in range(10):
+            ledger.charge(0, 0.1)
+        report = ledger.report()
+        assert report.colluding_epsilon == float(10 * Fraction(0.1))
+        assert report.per_shard[0].basic_epsilon_exact == 10 * Fraction(0.1)
+
+
+class TestClusterLedgerEpochs:
+    """Reshard epochs compose: spend is carried, never laundered."""
+
+    def test_carry_preserves_spend(self):
+        old = ClusterLedger(2)
+        old.charge(0, 2.0)
+        old.charge(0, 2.0)
+        old.charge(1, 1.0)
+        new = ClusterLedger(4, carried_from=old)
+        report = new.report()
+        assert report.epochs == 2
+        assert report.queries == 3
+        assert report.worst_shard_epsilon == pytest.approx(4.0)
+        assert report.colluding_epsilon == pytest.approx(5.0)
+        # Current-epoch per-shard ledgers start fresh...
+        assert all(shard.queries == 0 for shard in report.per_shard)
+        # ...but new charges compose on top of the carried spend.
+        new.charge(1, 0.5)
+        report = new.report()
+        assert report.queries == 4
+        assert report.worst_shard_epsilon == pytest.approx(4.0)
+        assert report.colluding_epsilon == pytest.approx(5.5)
+
+    def test_shrinking_keeps_departed_operator_history(self):
+        old = ClusterLedger(3)
+        old.charge(2, 7.0)     # the operator about to be dropped
+        new = ClusterLedger(2, carried_from=old)
+        report = new.report()
+        # Operator 2 no longer hosts a shard but already saw 7.0 worth
+        # of transcript; the lifetime figures must still say so.
+        assert report.worst_shard_epsilon == pytest.approx(7.0)
+        assert report.colluding_epsilon == pytest.approx(7.0)
+
+    def test_cap_is_enforced_over_lifetime(self):
+        from repro.analysis.ledger import BudgetExceededError
+
+        old = ClusterLedger(2, epsilon_cap=3.0)
+        old.charge(0, 2.0)
+        new = ClusterLedger(2, epsilon_cap=3.0, carried_from=old)
+        new.charge(0, 1.0)     # 2.0 carried + 1.0 = exactly at the cap
+        with pytest.raises(BudgetExceededError):
+            new.charge(0, 0.5)
+        new.charge(1, 3.0)     # operator 1 spent nothing last epoch
+
+    def test_chained_epochs_accumulate(self):
+        ledger = ClusterLedger(2)
+        ledger.charge(0, 1.0)
+        for _ in range(3):
+            ledger = ClusterLedger(2, carried_from=ledger)
+            ledger.charge(0, 1.0)
+        report = ledger.report()
+        assert report.epochs == 4
+        assert report.queries == 4
+        assert report.worst_shard_epsilon == pytest.approx(4.0)
+
+    def test_reshard_carries_cluster_ir_budget(self, rng):
+        # Regression: reshard() used to build a fresh ClusterLedger,
+        # silently forgetting the drained epoch's spend.
+        blocks = integer_database(16)
+        ir = ClusterIR(blocks, shard_count=2, replica_count=1,
+                       pad_size=4, alpha=0.05, rng=rng.spawn("epoch"))
+        for index in range(6):
+            ir.query(index)
+        before = ir.ledger.report()
+        assert before.colluding_epsilon > 0.0
+        ir.reshard(4)
+        after = ir.ledger.report()
+        assert after.epochs == 2
+        assert after.queries == before.queries
+        assert after.colluding_epsilon >= before.colluding_epsilon
+        assert after.worst_shard_epsilon > 0.0
+        ir.query(0)
+        assert ir.ledger.report().colluding_epsilon > after.colluding_epsilon
+
+    def test_reshard_carries_cluster_kvs_budget(self, rng):
+        # DPKVS exposes no per-query ε (groups charge ε=0), so the
+        # carried quantity to check here is the charged-query count.
+        kvs = ClusterKVS(n=16, value_size=8, shard_count=2,
+                         replica_count=1, rng=rng.spawn("kv-epoch"))
+        kvs.put(b"k1", b"v1")
+        kvs.put(b"k2", b"v2")
+        kvs.get(b"k1")
+        before = kvs.ledger.report()
+        assert before.queries > 0
+        kvs.reshard(4)
+        after = kvs.ledger.report()
+        assert after.epochs == 2
+        assert after.queries == before.queries
+        assert kvs.get(b"k2") == b"v2"
+        assert kvs.ledger.report().queries > after.queries
 
 
 def _group(rng, replicas=2, key=None, blocks=None, max_attempts=8):
