@@ -53,6 +53,11 @@ ARTIFACTS = ("BENCH_serving.json", "BENCH_cluster.json",
 #: below this is broken on any supported machine, CI runners included.
 HOTPATH_MIN_OPS_PER_SEC = 100_000.0
 
+#: Fallback ceiling on the base/disabled ops ratio when the committed
+#: baseline predates the tracing section (see run_benchmarks.py, which
+#: records the authoritative value in the artifact's config).
+DISABLED_TRACER_OVERHEAD_CEILING = 1.02
+
 
 class _Gate:
     """Collects failures so one run reports every regression at once."""
@@ -255,6 +260,27 @@ def check_hotpath(current: dict, baseline: dict, threshold: float,
             values["per_slot"] == values["batched"],
             f"hotpath: {witness} differs across execution modes "
             f"({values})",
+        )
+    # Disabled observability must be free.  The ceiling comes from the
+    # baseline artifact (same reviewed-refresh discipline as the speedup
+    # floor); the enabled ratio is informational and never gated — a
+    # span per round is real, priced work.
+    tracing = current.get("tracing")
+    gate.check(
+        tracing is not None,
+        "hotpath: artifact is missing the tracing overhead section — "
+        "rerun `python scripts/run_benchmarks.py`",
+    )
+    if tracing is not None:
+        ceiling = baseline["config"].get(
+            "disabled_tracer_ceiling", DISABLED_TRACER_OVERHEAD_CEILING
+        )
+        ratio = tracing["disabled_overhead_ratio"]
+        gate.check(
+            ratio <= ceiling,
+            f"hotpath: disabled-tracer overhead ratio {ratio:.4f} "
+            f"exceeds the {ceiling} ceiling — the switched-off "
+            "observer must cost nothing on the read path",
         )
 
 

@@ -55,6 +55,11 @@ from repro.storage.bench import hotpath_comparison  # noqa: E402
 #: drop below it is a real regression, not noise.
 HOTPATH_SPEEDUP_FLOOR = 2.5
 
+#: Ceiling on the base/disabled ops-per-sec ratio of the batched read
+#: path: observability that is switched *off* may cost at most 2% — the
+#: hot path pays one ``is not None`` check and nothing else.
+DISABLED_TRACER_OVERHEAD_CEILING = 1.02
+
 
 def _serving(args) -> int:
     results = compare_dispatch(
@@ -229,10 +234,12 @@ def _hotpath(args) -> int:
             "n": args.hotpath_n,
             "pad_size": args.hotpath_pad,
             "speedup_floor": HOTPATH_SPEEDUP_FLOOR,
+            "disabled_tracer_ceiling": DISABLED_TRACER_OVERHEAD_CEILING,
         },
         "read_path": results["read_path"],
         "query": results["query"],
         "invariance": results["invariance"],
+        "tracing": results["tracing"],
     }
     args.hotpath_out.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -251,6 +258,18 @@ def _hotpath(args) -> int:
     print(format_table(
         ["path", "per-slot", "batched", "speedup"],
         rows, title=f"Hot-path smoke (wrote {args.hotpath_out.name})",
+    ))
+    tracing = results["tracing"]
+    print(format_table(
+        ["observer", "slot ops/s", "overhead"],
+        [
+            ["none", f"{tracing['base_ops_per_sec']:,.0f}", "1.00x"],
+            ["disabled", f"{tracing['disabled_ops_per_sec']:,.0f}",
+             f"{tracing['disabled_overhead_ratio']:.3f}x"],
+            ["enabled", f"{tracing['enabled_ops_per_sec']:,.0f}",
+             f"{tracing['enabled_overhead_ratio']:.3f}x"],
+        ],
+        title="Tracer overhead smoke",
     ))
 
     status = 0
@@ -278,6 +297,14 @@ def _hotpath(args) -> int:
                 file=sys.stderr,
             )
             status = 1
+    if tracing["disabled_overhead_ratio"] > DISABLED_TRACER_OVERHEAD_CEILING:
+        print(
+            f"regression: disabled-tracer overhead ratio "
+            f"{tracing['disabled_overhead_ratio']:.4f} exceeds the "
+            f"{DISABLED_TRACER_OVERHEAD_CEILING} ceiling",
+            file=sys.stderr,
+        )
+        status = 1
     return status
 
 

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Validate a trace JSON written by ``--trace`` against the span schema.
+
+Hand-rolled (stdlib-only — no jsonschema in the image) structural check
+of the contract ``repro.obs.tracer.Tracer.export()`` promises and the
+equivalence tests rely on:
+
+* top level: ``{"version": 1, "name": <str>, "spans": [...]}``;
+* span ids are dotted decimal paths (``"0"``, ``"0.2.1"``), unique, and
+  listed in sorted path order;
+* every non-null ``parent`` names an existing span whose id is the
+  dotted prefix of the child's id — the flat list is a forest;
+* ``name`` is a non-empty string; ``labels`` maps strings to scalars
+  (bool/int/float/str/None) — the trace-hygiene contract's wire shape;
+* ``sim_start_ms``/``sim_end_ms``/``wall_ms`` are numbers or null, with
+  ``sim_end_ms >= sim_start_ms`` when both are set;
+* ``error`` is null or a string.
+
+Exit 0 when the file conforms, 1 with one line per violation otherwise::
+
+    python -m repro cluster --requests 32 --trace trace.json
+    python scripts/validate_trace.py trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+SPAN_ID = re.compile(r"^\d+(\.\d+)*$")
+
+SCALARS = (bool, int, float, str, type(None))
+
+SPAN_FIELDS = {
+    "id", "parent", "name", "labels",
+    "sim_start_ms", "sim_end_ms", "wall_ms", "error",
+}
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _path(span_id: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in span_id.split("."))
+
+
+def validate(payload: object) -> list[str]:
+    """All schema violations in ``payload`` (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    if payload.get("version") != 1:
+        problems.append(f"version must be 1, got {payload.get('version')!r}")
+    if not isinstance(payload.get("name"), str):
+        problems.append(f"name must be a string, got {payload.get('name')!r}")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans must be a list")
+        return problems
+
+    seen: dict[str, int] = {}
+    for position, span in enumerate(spans):
+        where = f"spans[{position}]"
+        if not isinstance(span, dict):
+            problems.append(f"{where}: span must be an object")
+            continue
+        unknown = set(span) - SPAN_FIELDS
+        missing = SPAN_FIELDS - set(span)
+        if unknown:
+            problems.append(f"{where}: unknown field(s) {sorted(unknown)}")
+        if missing:
+            problems.append(f"{where}: missing field(s) {sorted(missing)}")
+            continue
+
+        span_id = span["id"]
+        if not (isinstance(span_id, str) and SPAN_ID.match(span_id)):
+            problems.append(
+                f"{where}: id {span_id!r} is not a dotted decimal path"
+            )
+            continue
+        if span_id in seen:
+            problems.append(
+                f"{where}: duplicate id {span_id!r} "
+                f"(first at spans[{seen[span_id]}])"
+            )
+        seen[span_id] = position
+
+        parent = span["parent"]
+        if parent is not None:
+            if not (isinstance(parent, str) and SPAN_ID.match(parent)):
+                problems.append(f"{where}: parent {parent!r} is not a span id")
+            elif not span_id.startswith(parent + "."):
+                problems.append(
+                    f"{where}: id {span_id!r} is not nested under "
+                    f"parent {parent!r}"
+                )
+            elif parent not in seen:
+                # Sorted path order lists every parent before its children.
+                problems.append(
+                    f"{where}: parent {parent!r} does not precede its child"
+                )
+
+        if not (isinstance(span["name"], str) and span["name"]):
+            problems.append(
+                f"{where}: name must be a non-empty string, "
+                f"got {span['name']!r}"
+            )
+        labels = span["labels"]
+        if not isinstance(labels, dict):
+            problems.append(f"{where}: labels must be an object")
+        else:
+            for key, value in labels.items():
+                if not isinstance(key, str):
+                    problems.append(f"{where}: label key {key!r} not a string")
+                if not isinstance(value, SCALARS):
+                    problems.append(
+                        f"{where}: label {key!r} must be scalar, "
+                        f"got {type(value).__name__}"
+                    )
+        for field in ("sim_start_ms", "sim_end_ms", "wall_ms"):
+            if span[field] is not None and not _is_number(span[field]):
+                problems.append(
+                    f"{where}: {field} must be a number or null, "
+                    f"got {span[field]!r}"
+                )
+        if (
+            _is_number(span["sim_start_ms"])
+            and _is_number(span["sim_end_ms"])
+            and span["sim_end_ms"] < span["sim_start_ms"]
+        ):
+            problems.append(
+                f"{where}: sim_end_ms {span['sim_end_ms']} precedes "
+                f"sim_start_ms {span['sim_start_ms']}"
+            )
+        if span["error"] is not None and not isinstance(span["error"], str):
+            problems.append(
+                f"{where}: error must be null or a string, "
+                f"got {span['error']!r}"
+            )
+
+    ids = [span_id for span_id in seen]
+    if ids != sorted(ids, key=_path):
+        problems.append("spans are not in sorted path order")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("trace", type=pathlib.Path,
+                        help="trace JSON written by --trace")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.trace.read_text())
+    except FileNotFoundError:
+        print(f"missing {args.trace}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{args.trace}: not valid JSON ({exc})", file=sys.stderr)
+        return 1
+
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        print(f"{args.trace}: {len(problems)} schema violation(s)",
+              file=sys.stderr)
+        return 1
+    spans = payload["spans"]
+    roots = sum(1 for span in spans if span["parent"] is None)
+    print(f"{args.trace}: valid trace — {len(spans)} spans, {roots} roots")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

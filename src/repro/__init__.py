@@ -65,6 +65,15 @@ from repro.cluster import (
     ClusterReport,
 )
 from repro.crypto import PRF, SeededRandomSource, SystemRandomSource
+from repro.obs import (
+    BudgetTimeline,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    TracingExecutor,
+    instrument_scheme,
+    trace_summary,
+)
 from repro.parallel import (
     Executor,
     ParallelExecutor,
@@ -89,6 +98,7 @@ __all__ = [
     "BatchDPIR",
     "BucketDPRAM",
     "BudgetExceededError",
+    "BudgetTimeline",
     "ClusterIR",
     "ClusterKVS",
     "ClusterLedger",
@@ -104,9 +114,11 @@ __all__ = [
     "LAN",
     "LinearScanPIR",
     "MOBILE",
+    "MetricsRegistry",
     "MultiServerDPIR",
     "NetworkBackend",
     "NetworkModel",
+    "NullTracer",
     "ORAMKeyValueStore",
     "PRF",
     "ParallelExecutor",
@@ -131,14 +143,18 @@ __all__ = [
     "StorageServer",
     "StrawmanIR",
     "SystemRandomSource",
+    "Tracer",
+    "TracingExecutor",
     "Transcript",
     "WAN",
     "available_schemes",
     "build",
     "cluster",
     "datasheet_for",
+    "instrument_scheme",
     "register_scheme",
     "resolve_executor",
     "schemes",
     "serve",
+    "trace_summary",
 ]

@@ -9,6 +9,8 @@ Commands:
 * ``cluster`` — deploy a scheme as N shard groups x R replicas with
   failover and print load balance, tails and the cluster-wide budget.
 * ``experiments`` — run the E1..E14 claim tables (all or a subset).
+* ``audit`` — run a cluster workload with an ε-budget timeline attached
+  and report cumulative spend against a cap (first crossing flagged).
 * ``bounds`` — evaluate the paper's lower bounds for given parameters,
   answering the title question for your workload.
 * ``lint`` — run the privacy & determinism linter (``repro.lint``)
@@ -21,6 +23,43 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+
+
+def _observability(args: argparse.Namespace):
+    """Build (tracer, registry) from the shared --trace/--metrics flags."""
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = (
+        Tracer(args.command) if getattr(args, "trace", None) else None
+    )
+    registry = MetricsRegistry() if getattr(args, "metrics", False) else None
+    return tracer, registry
+
+
+def _emit_observability(args: argparse.Namespace, tracer, registry) -> None:
+    """Write the trace JSON and print the Prometheus exposition."""
+    import json
+
+    if tracer is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(tracer.export(), handle, indent=2)
+            handle.write("\n")
+        print(f"trace written to {args.trace} "
+              f"({len(tracer.spans())} spans)", file=sys.stderr)
+    if registry is not None:
+        print(registry.to_prometheus(), end="")
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a deterministic span trace and write it as JSON",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print collected metrics in Prometheus text format",
+    )
+
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.storage.errors import ReproError
@@ -91,6 +130,11 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
         print(f"scheme {args.scheme!r} is read-only; pick a read workload",
               file=sys.stderr)
         return 1
+    tracer, registry = _observability(args)
+    if tracer is not None or registry is not None:
+        from repro.obs import instrument_scheme
+
+        instrument_scheme(scheme, tracer=tracer, registry=registry)
 
     if spec.kind == "kvs":
         metrics = run_trace(scheme, trace)
@@ -129,6 +173,11 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
         rows.extend(latency_rows(summary))
     print(format_table(["metric", "value"], rows,
                        title=f"Run: {args.scheme} over {args.workload}"))
+    if registry is not None:
+        from repro.obs import collect_scheme_metrics
+
+        collect_scheme_metrics(scheme, registry)
+    _emit_observability(args, tracer, registry)
     if metrics.mismatches:
         print("correctness mismatches detected!", file=sys.stderr)
         return 1
@@ -156,6 +205,7 @@ def _cmd_serve_checked(args: argparse.Namespace) -> int:
     # as a raw KeyError from some deeper lookup.
     scheme_spec(args.scheme)
 
+    tracer, registry = _observability(args)
     report = serve(
         args.scheme,
         clients=args.clients,
@@ -172,11 +222,14 @@ def _cmd_serve_checked(args: argparse.Namespace) -> int:
         network=args.network,
         value_size=args.value_size,
         executor=args.executor,
+        tracer=tracer,
+        metrics_registry=registry,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.to_text())
+    _emit_observability(args, tracer, registry)
     return 0
 
 
@@ -215,6 +268,7 @@ def _cmd_cluster_checked(args: argparse.Namespace) -> int:
         ))
         return 0
 
+    tracer, registry = _observability(args)
     report = cluster(
         args.scheme,
         shards=args.shards,
@@ -234,11 +288,15 @@ def _cmd_cluster_checked(args: argparse.Namespace) -> int:
         network=args.network,
         executor=args.executor,
         batch=args.batch,
+        tracer=tracer,
+        metrics_registry=registry,
+        fault_coin_mode=args.fault_coins,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.to_text())
+    _emit_observability(args, tracer, registry)
     if report.mismatches:
         print("correctness mismatches detected!", file=sys.stderr)
         return 1
@@ -268,6 +326,72 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         lambda t: t.to_text()
     )
     print("\n\n".join(renderer(table) for table in selected))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.storage.errors import ReproError
+
+    try:
+        return _cmd_audit_checked(args)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_audit_checked(args: argparse.Namespace) -> int:
+    import json
+    from fractions import Fraction
+
+    from repro.api import scheme_spec
+    from repro.cluster import cluster
+    from repro.obs import BudgetTimeline
+
+    scheme_spec(args.scheme)
+
+    # The cap lives on the *timeline*, not the cluster ledger: the run
+    # completes and the audit flags the first crossing instead of dying
+    # on a BudgetExceededError mid-workload.  Fraction(str(...)) keeps a
+    # decimal cap like 0.5 exact rather than its float image.
+    cap = Fraction(str(args.cap)) if args.cap is not None else None
+    timeline = BudgetTimeline(cap=cap)
+    report = cluster(
+        args.scheme,
+        shards=args.shards,
+        replicas=args.replicas,
+        n=args.n,
+        requests=args.requests,
+        workload=args.workload,
+        epsilon=args.epsilon,
+        pad_size=args.pad_size,
+        seed=args.seed,
+        executor=args.executor,
+        batch=args.batch,
+        timeline=timeline,
+    )
+
+    if args.json:
+        print(json.dumps(timeline.to_dict(), indent=2))
+    elif args.timeline:
+        print(timeline.to_text())
+    else:
+        per_operator = timeline.per_operator()
+        print(f"audit: {report.requests} requests over "
+              f"{args.shards} shards ({len(timeline.events)} charges)")
+        print(f"  total epsilon spent: {float(timeline.total_spent):.4f}")
+        for operator in sorted(per_operator):
+            print(f"  {operator}: "
+                  f"{float(per_operator[operator]):.4f}")
+        if cap is not None and timeline.first_crossing is None:
+            print(f"  cap {float(cap):.4f}: never crossed")
+    crossing = timeline.first_crossing
+    if crossing is not None:
+        print(
+            f"budget cap crossed at charge #{crossing.sequence} "
+            f"(operator {crossing.operator}, epoch {crossing.epoch})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -365,6 +489,7 @@ def main(argv: list[str] | None = None) -> int:
                             help="link model for the network backend")
     run_parser.add_argument("--list", action="store_true",
                             help="list registered schemes and exit")
+    _add_observability_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     serve_parser = commands.add_parser(
@@ -413,6 +538,7 @@ def main(argv: list[str] | None = None) -> int:
                                    "cluster schemes (default serial)")
     serve_parser.add_argument("--json", action="store_true",
                               help="emit the report as JSON")
+    _add_observability_arguments(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
     cluster_parser = commands.add_parser(
@@ -469,12 +595,56 @@ def main(argv: list[str] | None = None) -> int:
                                      "round spanning several shards is "
                                      "what a parallel executor overlaps "
                                      "(default 1)")
+    cluster_parser.add_argument("--fault-coins", default="per_slot",
+                                choices=("per_slot", "per_round"),
+                                help="fault-coin granularity for injected "
+                                     "faults (default per_slot)")
     cluster_parser.add_argument("--json", action="store_true",
                                 help="emit the report as JSON")
     cluster_parser.add_argument("--list", action="store_true",
                                 help="list cluster-capable base schemes "
                                      "(names + aliases) and exit")
+    _add_observability_arguments(cluster_parser)
     cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    audit_parser = commands.add_parser(
+        "audit",
+        help="run a cluster workload with an eps-budget timeline attached",
+    )
+    audit_parser.add_argument(
+        "--scheme", default="dp_ir",
+        help="base scheme each shard group hosts (IR or KVS)",
+    )
+    audit_parser.add_argument("--shards", type=int, default=4,
+                              help="shard groups D (default 4)")
+    audit_parser.add_argument("--replicas", type=int, default=1,
+                              help="replicas per group R (default 1)")
+    audit_parser.add_argument("--n", type=int, default=1024,
+                              help="database size / key capacity")
+    audit_parser.add_argument("--requests", type=int, default=64,
+                              help="operations to drive (default 64)")
+    audit_parser.add_argument("--workload", default="uniform",
+                              help="trace shape (uniform, zipf, ...)")
+    audit_parser.add_argument("--epsilon", type=float, default=None,
+                              help="cluster-wide privacy target "
+                                   "(default ln n)")
+    audit_parser.add_argument("--pad-size", type=int, default=None,
+                              help="explicit global pad size K")
+    audit_parser.add_argument("--seed", type=int, default=None,
+                              help="deterministic randomness seed")
+    audit_parser.add_argument("--executor", default="serial",
+                              choices=("serial", "parallel", "simulated"),
+                              help="cross-shard fan-out policy")
+    audit_parser.add_argument("--batch", type=int, default=1,
+                              help="requests dispatched per round")
+    audit_parser.add_argument("--cap", type=float, default=None,
+                              help="budget cap to audit cumulative spend "
+                                   "against (flags the first crossing)")
+    audit_parser.add_argument("--timeline", action="store_true",
+                              help="plot the cumulative spend timeline")
+    audit_parser.add_argument("--json", action="store_true",
+                              help="emit the timeline as JSON")
+    audit_parser.set_defaults(handler=_cmd_audit)
 
     experiments_parser = commands.add_parser(
         "experiments", help="run the claim-table experiments"

@@ -25,8 +25,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from repro.analysis.composition import advanced_composition_epsilon
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dep
+    from repro.obs.timeline import BudgetTimeline
 
 #: Exact slack for cap comparisons.  Caller-supplied caps are usually
 #: float products (``10 * scheme.epsilon``) whose rounding can land a
@@ -86,6 +90,8 @@ class PrivacyLedger:
         self._uniform_epsilon: Fraction | None = None
         self._uniform = True
         self._queries = 0
+        self._timeline: "BudgetTimeline | None" = None
+        self._timeline_operator = "ledger"
 
     @property
     def queries(self) -> int:
@@ -118,6 +124,20 @@ class PrivacyLedger:
             return None
         return float(max(Fraction(0), self._cap - self._epsilon_total))
 
+    def attach_timeline(
+        self,
+        timeline: "BudgetTimeline | None",
+        operator: str = "ledger",
+    ) -> None:
+        """Emit every successful charge as an exact spend event.
+
+        The event carries the charge's ε and δ as exact rationals under
+        the given ``operator`` label, so ``repro audit --timeline`` can
+        plot cumulative spend against a cap.  Pass ``None`` to detach.
+        """
+        self._timeline = timeline
+        self._timeline_operator = operator
+
     def can_afford(self, epsilon: float | Fraction) -> bool:
         """Whether one more ``epsilon``-query fits under the cap."""
         if self._cap is None:
@@ -146,13 +166,20 @@ class PrivacyLedger:
                 f"(spent {float(self._epsilon_total):.4f})"
             )
         exact_epsilon = Fraction(epsilon)
+        exact_delta = Fraction(delta)
         self._epsilon_total += exact_epsilon
-        self._delta_total += Fraction(delta)
+        self._delta_total += exact_delta
         self._queries += 1
         if self._uniform_epsilon is None:
             self._uniform_epsilon = exact_epsilon
         elif self._uniform_epsilon != exact_epsilon:
             self._uniform = False
+        if self._timeline is not None:
+            self._timeline.record(
+                epsilon=exact_epsilon,
+                delta=exact_delta,
+                operator=self._timeline_operator,
+            )
 
     def report(self) -> BudgetReport:
         """Summarize the spend under both composition theorems.

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from repro.analysis.composition import compose_totals_exact
 from repro.analysis.ledger import (
@@ -44,6 +45,9 @@ from repro.analysis.ledger import (
     BudgetReport,
     PrivacyLedger,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dep
+    from repro.obs.timeline import BudgetTimeline
 
 
 @dataclass(frozen=True)
@@ -121,6 +125,7 @@ class ClusterLedger:
             self._carried_queries = 0
             self._per_query_epsilon = Fraction(0)
             self._epochs = 1
+            self._timeline: "BudgetTimeline | None" = None
         else:
             lifetime = carried_from._lifetime_per_operator()
             self._carried_epsilon = [eps for eps, _ in lifetime]
@@ -128,6 +133,9 @@ class ClusterLedger:
             self._carried_queries = carried_from.queries
             self._per_query_epsilon = carried_from._per_query_epsilon
             self._epochs = carried_from._epochs + 1
+            # Spend events keep flowing to the same timeline across
+            # reshard epochs — an operator's view never resets.
+            self._timeline = carried_from._timeline
 
     @property
     def shard_count(self) -> int:
@@ -153,6 +161,16 @@ class ClusterLedger:
     def shard_ledger(self, shard: int) -> PrivacyLedger:
         """The current epoch's ledger of one shard group."""
         return self._shards[shard]
+
+    def attach_timeline(self, timeline: "BudgetTimeline | None") -> None:
+        """Emit every charge as an exact spend event onto ``timeline``.
+
+        Events carry the shard id as the operator (``shard-<i>``) and
+        the current reshard epoch, so ``repro audit --timeline`` can
+        plot cumulative per-operator spend against caps.  Pass ``None``
+        to detach.
+        """
+        self._timeline = timeline
 
     def _carried_for(self, shard: int) -> tuple[Fraction, Fraction]:
         """Earlier epochs' exact (ε, δ) spend of operator ``shard``."""
@@ -213,6 +231,14 @@ class ClusterLedger:
                 )
         self._shards[shard].charge(epsilon, delta)
         self._per_query_epsilon = max(self._per_query_epsilon, exact_epsilon)
+        if self._timeline is not None:
+            self._timeline.record(
+                epsilon=exact_epsilon,
+                delta=Fraction(delta),
+                shard=shard,
+                operator=f"shard-{shard}",
+                epoch=self._epochs,
+            )
 
     def report(self) -> ClusterBudgetReport:
         """Compose the per-shard spends into the cluster-wide budgets."""

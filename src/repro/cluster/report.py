@@ -11,7 +11,7 @@ from repro.simulation.metrics import (
     LatencySummary,
     percentile_map,
 )
-from repro.simulation.reporting import format_table, latency_rows
+from repro.simulation.reporting import format_table, latency_rows_from
 
 
 def jain_index(values: Sequence[float]) -> float:
@@ -103,55 +103,67 @@ class ClusterReport:
             return 1.0
         return self.serial_ms / self.wall_clock_ms
 
-    def to_rows(self) -> list[list]:
-        """``[metric, value]`` rows for the summary table."""
+    def to_rows(self, data: dict | None = None) -> list[list]:
+        """``[metric, value]`` rows for the summary table.
+
+        Rendered from the :meth:`to_dict` view — the JSON export is the
+        single source of truth, so every figure the text table shows is
+        also present (same value, machine-readable) under ``--json``.
+        """
+        if data is None:
+            data = self.to_dict()
+        budget = data["budget"]
         rows = [
-            ["scheme", self.scheme],
-            ["base scheme", self.base],
-            ["placement", self.placement],
-            ["shard groups", self.shards],
-            ["replicas / group", self.replicas],
-            ["records (n)", self.n],
-            ["requests", self.requests],
-            ["completed", self.completed],
-            ["errors (alpha events)", self.errors],
-            ["mismatches", self.mismatches],
-            ["network", self.network],
-            ["executor", self.executor],
-            ["dispatch batch", self.batch],
-            ["serial ms", f"{self.serial_ms:.2f}"],
-            ["wall-clock ms", f"{self.wall_clock_ms:.2f}"],
-            ["overlap speedup", f"{self.overlap_speedup:.2f}x"],
-            ["server operations", self.server_operations],
-            ["ops / request", f"{self.ops_per_request:.2f}"],
-            ["per-server storage blocks", self.per_server_storage_blocks],
-            ["total storage blocks", self.total_storage_blocks],
-            ["shard load balance (Jain)", f"{self.load_jain_index:.3f}"],
-            ["per-query epsilon", f"{self.budget.per_query_epsilon:.4f}"],
+            ["scheme", data["scheme"]],
+            ["base scheme", data["base"]],
+            ["placement", data["placement"]],
+            ["shard groups", data["shards"]],
+            ["replicas / group", data["replicas"]],
+            ["records (n)", data["n"]],
+            ["requests", data["requests"]],
+            ["completed", data["completed"]],
+            ["errors (alpha events)", data["errors"]],
+            ["mismatches", data["mismatches"]],
+            ["network", data["network"]],
+            ["executor", data["executor"]],
+            ["dispatch batch", data["batch"]],
+            ["serial ms", f"{data['serial_ms']:.2f}"],
+            ["wall-clock ms", f"{data['wall_clock_ms']:.2f}"],
+            ["overlap speedup", f"{data['overlap_speedup']:.2f}x"],
+            ["server operations", data["server_operations"]],
+            ["ops / request", f"{data['ops_per_request']:.2f}"],
+            ["per-server storage blocks", data["per_server_storage_blocks"]],
+            ["total storage blocks", data["total_storage_blocks"]],
+            ["shard load balance (Jain)", f"{data['load_jain_index']:.3f}"],
+            ["budget epochs", budget["epochs"]],
+            ["per-query epsilon", f"{budget['per_query_epsilon']:.4f}"],
             ["worst-shard epsilon spent",
-             f"{self.budget.worst_shard_epsilon:.2f}"],
+             f"{budget['worst_shard_epsilon']:.2f}"],
             ["colluding epsilon bound",
-             f"{self.budget.colluding_epsilon:.2f}"],
+             f"{budget['colluding_epsilon']:.2f}"],
         ]
-        rows.extend(latency_rows(self.latency))
-        for name in sorted(self.faults):
-            rows.append([f"faults: {name}", self.faults[name]])
+        rows.extend(latency_rows_from(data["latency_ms"]))
+        faults = data["faults"]
+        for name in sorted(faults):
+            rows.append([f"faults: {name}", faults[name]])
         return rows
 
     def to_text(self) -> str:
-        """Render the summary and per-shard tables."""
+        """Render the summary and per-shard tables (from :meth:`to_dict`)."""
+        data = self.to_dict()
         summary = format_table(
             ["metric", "value"],
-            self.to_rows(),
+            self.to_rows(data),
             title=(
-                f"Cluster: {self.shards}x{self.replicas} "
-                f"{self.base} shard groups ({self.placement} placement)"
+                f"Cluster: {data['shards']}x{data['replicas']} "
+                f"{data['base']} shard groups "
+                f"({data['placement']} placement)"
             ),
         )
         shard_rows = [
-            [s.shard, s.records, s.queries, s.server_operations,
-             s.failovers, f"{s.epsilon_spent:.2f}"]
-            for s in self.shard_reports
+            [s["shard"], s["records"], s["queries"], s["server_operations"],
+             s["failovers"], f"{s['epsilon_spent']:.2f}"]
+            for s in data["shards_detail"]
         ]
         shards = format_table(
             ["shard", "records", "queries", "server ops", "failovers",
@@ -162,7 +174,12 @@ class ClusterReport:
         return summary + "\n\n" + shards
 
     def to_dict(self) -> dict:
-        """A JSON-serializable view (for ``--json`` and bench artifacts)."""
+        """A JSON-serializable view (for ``--json`` and bench artifacts).
+
+        The single source of truth: :meth:`to_rows` / :meth:`to_text`
+        render from this mapping, so the text table can never show a
+        figure the JSON export omits.
+        """
         return {
             "scheme": self.scheme,
             "base": self.base,
@@ -185,14 +202,7 @@ class ClusterReport:
             "per_server_storage_blocks": self.per_server_storage_blocks,
             "total_storage_blocks": self.total_storage_blocks,
             "load_jain_index": self.load_jain_index,
-            "latency_ms": {
-                "p50": self.latency.p50_ms,
-                "p95": self.latency.p95_ms,
-                "p99": self.latency.p99_ms,
-                "p999": self.latency.p999_ms,
-                "mean": self.latency.mean_ms,
-                "max": self.latency.max_ms,
-            },
+            "latency_ms": self.latency.to_dict(),
             # The configurable quantile list, kept apart from the fixed
             # summary fields so each tail has exactly one source of truth.
             "percentiles": dict(self.percentiles),
@@ -201,6 +211,7 @@ class ClusterReport:
                 "per_query_epsilon": self.budget.per_query_epsilon,
                 "worst_shard_epsilon": self.budget.worst_shard_epsilon,
                 "colluding_epsilon": self.budget.colluding_epsilon,
+                "epochs": self.budget.epochs,
             },
             "faults": dict(self.faults),
             "shards_detail": [

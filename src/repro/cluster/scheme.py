@@ -45,6 +45,8 @@ from repro.cluster.router import (
 from repro.core.params import DPIRParams
 from repro.crypto.encryption import encrypt_authenticated, generate_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.obs.executor import TracingExecutor
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.executor import Executor, resolve_executor
 from repro.storage.faults import (
     CorruptingServer,
@@ -140,6 +142,7 @@ def _inject_faults(
     failure_rate: float,
     corruption_rate: float,
     rng: RandomSource,
+    coin_mode: str = "per_slot",
 ) -> None:
     """Wrap every server of a built replica in the requested fault layers."""
     if failure_rate <= 0.0 and corruption_rate <= 0.0:
@@ -148,10 +151,14 @@ def _inject_faults(
     def wrap(server: StorageServer) -> StorageServer:
         wrapped = server
         if failure_rate > 0.0:
-            wrapped = FlakyServer(wrapped, failure_rate, rng.spawn("flaky"))
+            wrapped = FlakyServer(
+                wrapped, failure_rate, rng.spawn("flaky"),
+                coin_mode=coin_mode,
+            )
         if corruption_rate > 0.0:
             wrapped = CorruptingServer(
-                wrapped, corruption_rate, rng.spawn("corrupt")
+                wrapped, corruption_rate, rng.spawn("corrupt"),
+                coin_mode=coin_mode,
             )
         return wrapped
 
@@ -192,6 +199,14 @@ class ClusterIR(PrivateIR):
             wall-clock accounting and real concurrency only — answers,
             draw sequences and privacy budgets are executor-invariant.
         network: link model pricing the ``*_ms`` figures (LAN default).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; entry
+            points and shard legs emit spans (answers, draws and
+            budgets stay bit-identical to an untraced run).  The
+            default :data:`~repro.obs.tracer.NULL_TRACER` costs one
+            ``enabled`` check per entry point.
+        fault_coin_mode: ``"per_slot"`` (slot-exact fault coins) or
+            ``"per_round"`` (one coin per batched round — chaos at
+            batched speed).
         **base_kwargs: forwarded verbatim to the base scheme's builder.
     """
 
@@ -215,6 +230,8 @@ class ClusterIR(PrivateIR):
         backend_factory: BackendFactory | str | None = None,
         executor: Executor | str | None = None,
         network: NetworkModel | str | None = None,
+        tracer: Tracer | None = None,
+        fault_coin_mode: str = "per_slot",
         **base_kwargs: Any,
     ) -> None:
         if not blocks:
@@ -243,7 +260,9 @@ class ClusterIR(PrivateIR):
         self._rng = rng if rng is not None else SystemRandomSource()
         self._owns_executor = not isinstance(executor, Executor)
         self._executor = resolve_executor(executor)
+        self.attach_tracer(tracer)
         self._network_model = _resolve_model(network)
+        self._fault_coin_mode = fault_coin_mode
         self._failure_rates = _rate_per_replica(
             failure_rate, replica_count, "failure rate"
         )
@@ -316,6 +335,7 @@ class ClusterIR(PrivateIR):
                     self._failure_rates[replica],
                     self._corruption_rates[replica],
                     self._rng.spawn(f"faults/{label}"),
+                    coin_mode=self._fault_coin_mode,
                 )
                 replicas.append(instance)
             groups.append(ShardGroup(
@@ -402,6 +422,21 @@ class ClusterIR(PrivateIR):
     def executor(self) -> Executor:
         """The cross-shard fan-out policy."""
         return self._executor
+
+    @property
+    def tracer(self) -> Tracer:
+        """The attached tracer (the shared no-op one by default)."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Emit spans to ``tracer`` (``None`` restores the no-op default).
+
+        Tracing never touches answers, draw sequences or ledger
+        charges; leg spans are pre-allocated in submission order, so
+        serial/parallel/simulated executors emit identical span trees.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._texec = TracingExecutor(self._executor, self._tracer)
 
     @property
     def network_model(self) -> NetworkModel:
@@ -525,16 +560,18 @@ class ClusterIR(PrivateIR):
         before = group.draws
         ops_before = group.operations()
         wall_before = group.wall_operations()
-        try:
-            answer = group.query(local)
-        finally:
-            # Failover retries expose extra pad-set draws to the shard
-            # operator; every draw is charged, even on a failed query.
-            self._charge(shard, queries=1, draws=group.draws - before)
-            self._account_stage(
-                [group.operations() - ops_before],
-                [group.wall_operations() - wall_before],
-            )
+        with self._tracer.span("cluster.query", shard=shard):
+            try:
+                answer = group.query(local)
+            finally:
+                # Failover retries expose extra pad-set draws to the
+                # shard operator; every draw is charged, even on a
+                # failed query.
+                self._charge(shard, queries=1, draws=group.draws - before)
+                self._account_stage(
+                    [group.operations() - ops_before],
+                    [group.wall_operations() - wall_before],
+                )
         if answer is None:
             self._errors += 1
         return answer
@@ -571,27 +608,36 @@ class ClusterIR(PrivateIR):
                 lambda group=self._groups[shard], batch=locals_:
                     group.query_many(batch)
             )
-        results = self._executor.fan_out(tasks)
-        answers: list[bytes | None] = [None] * len(indices)
-        failure: BaseException | None = None
-        leg_serial: list[int] = []
-        leg_wall: list[float] = []
-        for shard, result in zip(shards, results):
-            group = self._groups[shard]
-            entries = per_shard[shard]
-            self._charge(shard, queries=len(entries),
-                         draws=group.draws - draws_before[shard])
-            leg_serial.append(group.operations() - ops_before[shard])
-            leg_wall.append(group.wall_operations() - wall_before[shard])
-            if result.error is not None:
-                if failure is None:
-                    failure = result.error
-                continue
-            for (position, _), answer in zip(entries, result.value):
-                answers[position] = answer
-                if answer is None:
-                    self._errors += 1
-        self._account_stage(leg_serial, leg_wall)
+        with self._tracer.span(
+            "cluster.query_many", batch=len(indices), shards=len(shards),
+        ):
+            results = self._texec.fan_out(
+                tasks,
+                name="cluster.shard_leg",
+                leg_labels=[{"shard": shard} for shard in shards],
+            )
+            answers: list[bytes | None] = [None] * len(indices)
+            failure: BaseException | None = None
+            leg_serial: list[int] = []
+            leg_wall: list[float] = []
+            for shard, result in zip(shards, results):
+                group = self._groups[shard]
+                entries = per_shard[shard]
+                self._charge(shard, queries=len(entries),
+                             draws=group.draws - draws_before[shard])
+                leg_serial.append(group.operations() - ops_before[shard])
+                leg_wall.append(
+                    group.wall_operations() - wall_before[shard]
+                )
+                if result.error is not None:
+                    if failure is None:
+                        failure = result.error
+                    continue
+                for (position, _), answer in zip(entries, result.value):
+                    answers[position] = answer
+                    if answer is None:
+                        self._errors += 1
+            self._account_stage(leg_serial, leg_wall)
         if failure is not None:
             raise failure
         return answers
@@ -678,12 +724,21 @@ class ClusterIR(PrivateIR):
         shards = sorted(per_shard_indices)
         ops_before = {s: self._groups[s].operations() for s in shards}
         wall_before = {s: self._groups[s].wall_operations() for s in shards}
-        results = self._executor.fan_out([
-            (lambda shard=shard: self._drain_shard(
-                shard, per_shard_indices[shard]
-            ))
-            for shard in shards
-        ])
+        with self._tracer.span(
+            "cluster.reshard",
+            shards_before=shards_before,
+            shards_after=router.shard_count,
+        ):
+            results = self._texec.fan_out(
+                [
+                    (lambda shard=shard: self._drain_shard(
+                        shard, per_shard_indices[shard]
+                    ))
+                    for shard in shards
+                ],
+                name="cluster.drain_leg",
+                leg_labels=[{"shard": shard} for shard in shards],
+            )
         leg_serial = [
             self._groups[s].operations() - ops_before[s] for s in shards
         ]
@@ -769,6 +824,10 @@ class ClusterKVS(PrivateKVS):
             accounting and real concurrency only, never the draw
             sequence the ledger charges.
         network: link model pricing the ``*_ms`` figures (LAN default).
+        tracer: optional :class:`~repro.obs.tracer.Tracer` (see
+            :class:`ClusterIR`); no-op by default.
+        fault_coin_mode: ``"per_slot"`` or ``"per_round"`` fault-coin
+            granularity for the injected fault wrappers.
         **base_kwargs: forwarded verbatim to the base scheme's builder.
     """
 
@@ -788,6 +847,8 @@ class ClusterKVS(PrivateKVS):
         backend_factory: BackendFactory | str | None = None,
         executor: Executor | str | None = None,
         network: NetworkModel | str | None = None,
+        tracer: Tracer | None = None,
+        fault_coin_mode: str = "per_slot",
         **base_kwargs: Any,
     ) -> None:
         if n <= 0:
@@ -821,7 +882,9 @@ class ClusterKVS(PrivateKVS):
         self._rng = rng if rng is not None else SystemRandomSource()
         self._owns_executor = not isinstance(executor, Executor)
         self._executor = resolve_executor(executor)
+        self.attach_tracer(tracer)
         self._network_model = _resolve_model(network)
+        self._fault_coin_mode = fault_coin_mode
         self._failure_rates = _rate_per_replica(
             failure_rate, replica_count, "failure rate"
         )
@@ -860,6 +923,7 @@ class ClusterKVS(PrivateKVS):
                     self._failure_rates[replica],
                     self._corruption_rates[replica],
                     self._rng.spawn(f"faults/{label}"),
+                    coin_mode=self._fault_coin_mode,
                 )
                 replicas.append(instance)
             groups.append(KVShardGroup(
@@ -974,6 +1038,16 @@ class ClusterKVS(PrivateKVS):
         return self._executor
 
     @property
+    def tracer(self) -> Tracer:
+        """The attached tracer (the shared no-op one by default)."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Emit spans to ``tracer`` (see :meth:`ClusterIR.attach_tracer`)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._texec = TracingExecutor(self._executor, self._tracer)
+
+    @property
     def network_model(self) -> NetworkModel:
         """The link model pricing this cluster's millisecond figures."""
         return self._network_model
@@ -1026,14 +1100,15 @@ class ClusterKVS(PrivateKVS):
         before = group.draws
         ops_before = group.operations()
         wall_before = group.wall_operations()
-        try:
-            value = group.get(key)
-        finally:
-            self._charge(shard, group.draws - before)
-            self._account_stage(
-                [group.operations() - ops_before],
-                [group.wall_operations() - wall_before],
-            )
+        with self._tracer.span("cluster.get", shard=shard):
+            try:
+                value = group.get(key)
+            finally:
+                self._charge(shard, group.draws - before)
+                self._account_stage(
+                    [group.operations() - ops_before],
+                    [group.wall_operations() - wall_before],
+                )
         return value
 
     def get_many(self, keys: Sequence[bytes]) -> list[bytes | None]:
@@ -1064,27 +1139,36 @@ class ClusterKVS(PrivateKVS):
                 lambda group=self._groups[shard], batch=shard_keys:
                     group.get_many(batch)
             )
-        results = self._executor.fan_out(tasks)
-        values: list[bytes | None] = [None] * len(keys)
-        failure: BaseException | None = None
-        leg_serial: list[int] = []
-        leg_wall: list[float] = []
-        for shard, result in zip(shards, results):
-            group = self._groups[shard]
-            entries = per_shard[shard]
-            self._charge_many(
-                shard, count=len(entries),
-                draws=group.draws - draws_before[shard],
+        with self._tracer.span(
+            "cluster.get_many", batch=len(keys), shards=len(shards),
+        ):
+            results = self._texec.fan_out(
+                tasks,
+                name="cluster.shard_leg",
+                leg_labels=[{"shard": shard} for shard in shards],
             )
-            leg_serial.append(group.operations() - ops_before[shard])
-            leg_wall.append(group.wall_operations() - wall_before[shard])
-            if result.error is not None:
-                if failure is None:
-                    failure = result.error
-                continue
-            for (position, _), value in zip(entries, result.value):
-                values[position] = value
-        self._account_stage(leg_serial, leg_wall)
+            values: list[bytes | None] = [None] * len(keys)
+            failure: BaseException | None = None
+            leg_serial: list[int] = []
+            leg_wall: list[float] = []
+            for shard, result in zip(shards, results):
+                group = self._groups[shard]
+                entries = per_shard[shard]
+                self._charge_many(
+                    shard, count=len(entries),
+                    draws=group.draws - draws_before[shard],
+                )
+                leg_serial.append(group.operations() - ops_before[shard])
+                leg_wall.append(
+                    group.wall_operations() - wall_before[shard]
+                )
+                if result.error is not None:
+                    if failure is None:
+                        failure = result.error
+                    continue
+                for (position, _), value in zip(entries, result.value):
+                    values[position] = value
+            self._account_stage(leg_serial, leg_wall)
         if failure is not None:
             raise failure
         return values
@@ -1096,14 +1180,15 @@ class ClusterKVS(PrivateKVS):
         before = group.draws
         ops_before = group.operations()
         wall_before = group.wall_operations()
-        try:
-            group.put(key, value)
-        finally:
-            self._charge(shard, group.draws - before)
-            self._account_stage(
-                [group.operations() - ops_before],
-                [group.wall_operations() - wall_before],
-            )
+        with self._tracer.span("cluster.put", shard=shard):
+            try:
+                group.put(key, value)
+            finally:
+                self._charge(shard, group.draws - before)
+                self._account_stage(
+                    [group.operations() - ops_before],
+                    [group.wall_operations() - wall_before],
+                )
         self._keys.add(bytes(key))
 
     def delete(self, key: bytes) -> bool:
@@ -1113,14 +1198,15 @@ class ClusterKVS(PrivateKVS):
         before = group.draws
         ops_before = group.operations()
         wall_before = group.wall_operations()
-        try:
-            existed = group.delete(key)
-        finally:
-            self._charge(shard, group.draws - before)
-            self._account_stage(
-                [group.operations() - ops_before],
-                [group.wall_operations() - wall_before],
-            )
+        with self._tracer.span("cluster.delete", shard=shard):
+            try:
+                existed = group.delete(key)
+            finally:
+                self._charge(shard, group.draws - before)
+                self._account_stage(
+                    [group.operations() - ops_before],
+                    [group.wall_operations() - wall_before],
+                )
         self._keys.discard(bytes(key))
         return existed
 
@@ -1161,11 +1247,23 @@ class ClusterKVS(PrivateKVS):
         shards = sorted(per_shard_keys)
         ops_before = {s: self._groups[s].operations() for s in shards}
         wall_before = {s: self._groups[s].wall_operations() for s in shards}
-        results = self._executor.fan_out([
-            (lambda group=self._groups[shard], keys=per_shard_keys[shard]:
-                list(zip(keys, group.get_many(keys))))
-            for shard in shards
-        ])
+        with self._tracer.span(
+            "cluster.reshard",
+            shards_before=shards_before,
+            shards_after=new_count,
+        ):
+            results = self._texec.fan_out(
+                [
+                    (
+                        lambda group=self._groups[shard],
+                        keys=per_shard_keys[shard]:
+                            list(zip(keys, group.get_many(keys)))
+                    )
+                    for shard in shards
+                ],
+                name="cluster.drain_leg",
+                leg_labels=[{"shard": shard} for shard in shards],
+            )
         leg_serial = [
             self._groups[s].operations() - ops_before[s] for s in shards
         ]

@@ -27,6 +27,10 @@ from repro.cluster.report import (
 )
 from repro.cluster.scheme import ClusterIR, ClusterKVS
 from repro.crypto.rng import SeededRandomSource, SystemRandomSource
+from repro.obs.instrument import instrument_scheme
+from repro.obs.metrics import MetricsRegistry, collect_scheme_metrics
+from repro.obs.timeline import BudgetTimeline
+from repro.obs.tracer import Tracer
 from repro.simulation.metrics import DEFAULT_PERCENTILES, LatencySummary
 from repro.storage.blocks import DEFAULT_BLOCK_SIZE, integer_database
 from repro.storage.faults import scheme_fault_counters
@@ -59,6 +63,10 @@ def cluster(
     executor: str | None = None,
     batch: int = 1,
     percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    tracer: Tracer | None = None,
+    metrics_registry: MetricsRegistry | None = None,
+    timeline: BudgetTimeline | None = None,
+    fault_coin_mode: str = "per_slot",
     **base_kwargs: Any,
 ) -> ClusterReport:
     """Run a workload against a sharded + replicated cluster.
@@ -95,6 +103,19 @@ def cluster(
             points — a round spanning several shards is what a parallel
             executor overlaps; ``1`` keeps per-request dispatch.
         percentiles: quantile fractions for the report's tail set.
+        tracer: optional :class:`~repro.obs.tracer.Tracer` recording
+            ``cluster.*`` spans (queries, shard legs, reshard drains,
+            batched storage rounds).  Tracing never perturbs answers,
+            draws or budgets.
+        metrics_registry: optional
+            :class:`~repro.obs.metrics.MetricsRegistry` the cluster's
+            counter surfaces are collected into after the run.
+        timeline: optional :class:`~repro.obs.timeline.BudgetTimeline`
+            receiving one exact spend event per ledger charge, for
+            ``repro audit --timeline``.
+        fault_coin_mode: ``"per_slot"`` (default, slot-exact fault
+            equivalence) or ``"per_round"`` (one fault coin per batched
+            round, matching real RPC failure granularity).
         **base_kwargs: forwarded to the base scheme's builder.
 
     Returns:
@@ -134,6 +155,8 @@ def cluster(
             rng=root.spawn("cluster"),
             executor=executor,
             network=model,
+            tracer=tracer,
+            fault_coin_mode=fault_coin_mode,
             **base_kwargs,
         )
         trace = catalogue.index_trace(
@@ -153,6 +176,8 @@ def cluster(
             rng=root.spawn("cluster"),
             executor=executor,
             network=model,
+            tracer=tracer,
+            fault_coin_mode=fault_coin_mode,
             **base_kwargs,
         )
         # kv_trace itself aliases index-workload names to their KV analogue.
@@ -162,6 +187,11 @@ def cluster(
         )
         operations = list(trace)
         expected = None
+
+    if tracer is not None or metrics_registry is not None:
+        instrument_scheme(instance, tracer=tracer, registry=metrics_registry)
+    if timeline is not None:
+        instance.ledger.attach_timeline(timeline)
 
     try:
         per_op = model.rtt_ms + model.transfer_ms(instance.block_size)
@@ -234,6 +264,8 @@ def cluster(
         # recreate them if the instance is reused).
         instance.close()
 
+    if metrics_registry is not None:
+        collect_scheme_metrics(instance, metrics_registry)
     loads = instance.shard_loads()
     budget = instance.ledger.report()
     assignment = (

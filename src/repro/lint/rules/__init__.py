@@ -12,4 +12,5 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     nondeterministic_iteration,
     rng_discipline,
     secret_branch,
+    trace_hygiene,
 )

@@ -1,0 +1,129 @@
+"""trace-hygiene: span/metric labels must never carry secret values.
+
+Observability is an *adversary-visible* channel: a trace JSON shipped to
+a collector, a Prometheus scrape, a metrics dashboard — all of them
+leave the trust boundary the DP guarantee was proved against.  A span
+label carrying the queried index, a KVS key, or the contents of a pad
+set re-creates exactly the leak the schemes pay K-block downloads to
+hide.  Sizes, shard ids, server ids and timing are fine — the server
+observes those anyway (they are part of the modelled view).
+
+The rule flags keyword arguments passed to the observability emitters
+(``tracer.span(...)``, ``tracer.start_span(...)``, ``span.annotate(...)``,
+``counter.inc(...)``, ``histogram.observe(...)``, ``gauge.set(...)``)
+whose value expression reads a secret-named variable or attribute
+(``index``, ``key``, ``pads``, ``value`` …) other than through
+``len(...)`` — batch *cardinality* is public, batch *contents* are not.
+
+Scoped to the ``repro`` tree so fixture snippets and user scripts can
+still label however they like.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+#: Methods that emit labels/values onto the observability channel.
+_OBSERVED_ATTRS = frozenset(
+    {"span", "start_span", "annotate", "inc", "observe", "set"}
+)
+
+#: Identifiers whose *contents* are client secrets.  Matching is by
+#: exact name (of a variable or an attribute tail), not substring, so
+#: ``shard_index`` is deliberately not caught — name the public thing
+#: ``shard`` and the secret thing ``index`` and the rule stays sharp.
+_SECRET_NAMES = frozenset(
+    {
+        "index",
+        "indices",
+        "key",
+        "keys",
+        "pad",
+        "pads",
+        "pad_set",
+        "pad_sets",
+        "value",
+        "values",
+        "item",
+        "items",
+        "plaintext",
+        "block",
+        "blocks",
+        "answer",
+        "answers",
+    }
+)
+
+
+@register_rule
+class TraceHygieneRule(Rule):
+    name = "trace-hygiene"
+    summary = (
+        "span/metric label values derived from secrets (query indices, "
+        "KVS keys, pad-set contents) leak through the observability "
+        "channel"
+    )
+    hint = (
+        "label spans and metrics with sizes (len(...)), shard/server ids "
+        "and timing only; never with the secret values themselves"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _OBSERVED_ATTRS
+            ):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None or keyword.value is None:
+                    continue
+                tainted = _secret_reads(keyword.value)
+                if tainted:
+                    yield self.finding(
+                        module,
+                        keyword.value,
+                        f"label {keyword.arg!r} on "
+                        f"{node.func.attr}(...) is derived from "
+                        f"secret-named value(s) {_fmt(tainted)}",
+                    )
+
+
+def _secret_reads(node: ast.expr) -> set[str]:
+    """Secret-named identifiers read by ``node`` outside ``len(...)``.
+
+    ``len(indices)`` is a public cardinality; ``indices[0]``,
+    ``str(key)`` or a bare ``index`` all expose contents and taint the
+    label.
+    """
+    tainted: set[str] = set()
+    _walk(node, tainted)
+    return tainted
+
+
+def _walk(node: ast.AST, tainted: set[str]) -> None:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+    ):
+        # Only the *size* of the argument escapes a len() call.
+        return
+    if isinstance(node, ast.Name) and node.id in _SECRET_NAMES:
+        tainted.add(node.id)
+    elif isinstance(node, ast.Attribute) and node.attr in _SECRET_NAMES:
+        tainted.add(node.attr)
+    for child in ast.iter_child_nodes(node):
+        _walk(child, tainted)
+
+
+def _fmt(names: set[str]) -> str:
+    return ", ".join(sorted(names))

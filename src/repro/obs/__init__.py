@@ -1,0 +1,56 @@
+"""``repro.obs`` — deterministic observability for the whole stack.
+
+Three pieces, one import surface:
+
+* :class:`Tracer` / :class:`NullTracer` — span trees with
+  counter-derived ids (no clocks, no uuids), executor-invariant and
+  seed-deterministic modulo wall-clock fields.
+* :class:`MetricsRegistry` — counters / gauges / histograms with JSON
+  and Prometheus-text exporters, absorbing the scattered counter
+  surfaces via :func:`collect_scheme_metrics`.
+* :class:`BudgetTimeline` — exact-Fraction ε spend events emitted by
+  the ledgers, with first-cap-crossing detection for ``repro audit``.
+
+Plus the wiring: :class:`TracingExecutor` (span per shard leg),
+:func:`instrument_scheme` (attach to a built scheme) and
+:func:`trace_summary` (per-round critical paths from a span tree).
+"""
+
+from repro.obs.executor import TracingExecutor
+from repro.obs.instrument import StorageObserver, instrument_scheme
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_scheme_metrics,
+)
+from repro.obs.summary import summary_to_text, trace_summary
+from repro.obs.timeline import BudgetTimeline, SpendEvent
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    canonical_trace,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "BudgetTimeline",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "SpendEvent",
+    "StorageObserver",
+    "Tracer",
+    "TracingExecutor",
+    "canonical_trace",
+    "collect_scheme_metrics",
+    "instrument_scheme",
+    "summary_to_text",
+    "trace_summary",
+]

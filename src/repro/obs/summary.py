@@ -1,0 +1,98 @@
+"""``trace_summary()``: per-round critical paths from a span tree.
+
+Reconstructs, for every span that fanned out children, where the
+round's time went: which leg was the straggler (the leg a concurrent
+executor's wall-clock waits on), how much serial work the round held
+in total, and — for serving rounds, which annotate their spans with
+the simulator's deterministic clock — queue wait vs. service time.
+This is PR 4's overlap accounting, read back out of a trace instead
+of recomputed from counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["summary_to_text", "trace_summary"]
+
+
+def _wall(span: Mapping[str, Any]) -> float:
+    value = span.get("wall_ms")
+    return float(value) if value is not None else 0.0
+
+
+def trace_summary(trace: Any) -> dict[str, Any]:
+    """Summarize an exported trace (or a live :class:`Tracer`).
+
+    Returns ``{"spans": N, "rounds": [...]}`` with one entry per span
+    that has children: leg count, serial sum of leg wall time, the
+    straggler leg (id, name, labels, wall), the implied overlap
+    speedup, and any ``queue_wait_ms`` / ``service_ms`` /
+    ``serial_ms`` labels the round span carries.
+    """
+    payload = trace.export() if hasattr(trace, "export") else trace
+    spans = payload.get("spans", [])
+    children: dict[str | None, list[Mapping[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+
+    rounds: list[dict[str, Any]] = []
+    for span in spans:
+        legs = children.get(span["id"])
+        if not legs:
+            continue
+        straggler = max(legs, key=_wall)
+        serial_wall = sum(_wall(leg) for leg in legs)
+        straggler_wall = _wall(straggler)
+        labels = span.get("labels", {})
+        entry: dict[str, Any] = {
+            "span_id": span["id"],
+            "name": span["name"],
+            "legs": len(legs),
+            "errors": sum(1 for leg in legs if leg.get("error")),
+            "serial_wall_ms": serial_wall,
+            "straggler_wall_ms": straggler_wall,
+            "overlap_speedup": (
+                serial_wall / straggler_wall if straggler_wall > 0 else 1.0
+            ),
+            "straggler": {
+                "id": straggler["id"],
+                "name": straggler["name"],
+                "labels": straggler.get("labels", {}),
+                "wall_ms": straggler.get("wall_ms"),
+            },
+        }
+        for key in ("queue_wait_ms", "service_ms", "serial_ms", "batch"):
+            if key in labels:
+                entry[key] = labels[key]
+        rounds.append(entry)
+    return {"spans": len(spans), "rounds": rounds}
+
+
+def summary_to_text(summary: Mapping[str, Any]) -> str:
+    """Small fixed-width rendering of :func:`trace_summary` output."""
+    lines = [f"trace summary: {summary.get('spans', 0)} spans, "
+             f"{len(summary.get('rounds', []))} fan-out rounds"]
+    for entry in summary.get("rounds", []):
+        straggler = entry["straggler"]
+        labels = ",".join(
+            f"{key}={value}"
+            for key, value in sorted(straggler.get("labels", {}).items())
+        )
+        line = (
+            f"  {entry['span_id']:<8} {entry['name']:<24} "
+            f"legs={entry['legs']} "
+            f"serial={entry['serial_wall_ms']:.3f}ms "
+            f"straggler={straggler['name']}[{labels}]"
+            f"@{entry['straggler_wall_ms']:.3f}ms "
+            f"overlap={entry['overlap_speedup']:.2f}x"
+        )
+        if "queue_wait_ms" in entry:
+            line += (
+                f" queue_wait={entry['queue_wait_ms']:.3f}ms"
+                f" service={entry['service_ms']:.3f}ms"
+            )
+        if entry["errors"]:
+            line += f" errors={entry['errors']}"
+        lines.append(line)
+    return "\n".join(lines)

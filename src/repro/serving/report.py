@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.simulation.metrics import LatencySummary
-from repro.simulation.reporting import format_table, latency_rows
+from repro.simulation.reporting import format_table, latency_rows_from
 
 
 @dataclass
@@ -113,49 +113,61 @@ class ServingReport:
             return 1.0
         return square_of_sum / (len(means) * sum_of_squares)
 
-    def to_rows(self) -> list[list]:
-        """``[metric, value]`` rows for the summary table."""
+    def to_rows(self, data: dict | None = None) -> list[list]:
+        """``[metric, value]`` rows for the summary table.
+
+        Rendered from the :meth:`to_dict` view — the JSON export is the
+        single source of truth, so every figure the text table shows is
+        also present (same value, machine-readable) under ``--json``.
+        """
+        if data is None:
+            data = self.to_dict()
         rows = [
-            ["scheme", self.scheme],
-            ["scheduler", self.scheduler],
-            ["network", self.network],
-            ["clients", self.clients],
-            ["requests", self.requests],
-            ["completed", self.completed],
-            ["errors (alpha events)", self.errors],
-            ["duration ms", f"{self.duration_ms:.2f}"],
-            ["throughput req/s", f"{self.throughput_rps:.1f}"],
+            ["scheme", data["scheme"]],
+            ["scheduler", data["scheduler"]],
+            ["network", data["network"]],
+            ["clients", data["clients"]],
+            ["requests", data["requests"]],
+            ["completed", data["completed"]],
+            ["errors (alpha events)", data["errors"]],
+            ["duration ms", f"{data['duration_ms']:.2f}"],
+            ["throughput req/s", f"{data['throughput_rps']:.1f}"],
         ]
-        rows.extend(latency_rows(self.latency))
+        rows.extend(latency_rows_from(data["latency_ms"]))
         rows.extend([
-            ["queue wait p95 ms", f"{self.queue_latency.p95_ms:.2f}"],
-            ["queue depth mean", f"{self.mean_queue_depth:.2f}"],
-            ["queue depth max", self.max_queue_depth],
-            ["dispatches", self.dispatches],
-            ["mean batch size", f"{self.mean_batch_size:.2f}"],
-            ["server operations", self.server_operations],
-            ["serial ms", f"{self.serial_ms:.2f}"],
-            ["wall-clock ms", f"{self.wall_clock_ms:.2f}"],
-            ["overlap speedup", f"{self.overlap_speedup:.2f}x"],
-            ["ops / request", f"{self.ops_per_request:.2f}"],
-            ["tenant fairness (Jain)", f"{self.fairness_index:.3f}"],
+            ["queue wait p95 ms", f"{data['queue_latency_ms']['p95']:.2f}"],
+            ["queue depth mean", f"{data['mean_queue_depth']:.2f}"],
+            ["queue depth max", data["max_queue_depth"]],
+            ["dispatches", data["dispatches"]],
+            ["mean batch size", f"{data['mean_batch_size']:.2f}"],
+            ["server operations", data["server_operations"]],
+            ["serial ms", f"{data['serial_ms']:.2f}"],
+            ["wall-clock ms", f"{data['wall_clock_ms']:.2f}"],
+            ["overlap speedup", f"{data['overlap_speedup']:.2f}x"],
+            ["ops / request", f"{data['ops_per_request']:.2f}"],
+            ["tenant fairness (Jain)", f"{data['fairness_index']:.3f}"],
         ])
-        for name in sorted(self.faults):
-            rows.append([f"faults: {name}", self.faults[name]])
+        faults = data["faults"]
+        for name in sorted(faults):
+            rows.append([f"faults: {name}", faults[name]])
         return rows
 
     def to_text(self) -> str:
-        """Render the summary and per-tenant tables."""
+        """Render the summary and per-tenant tables (from :meth:`to_dict`)."""
+        data = self.to_dict()
         summary = format_table(
             ["metric", "value"],
-            self.to_rows(),
-            title=f"Serving: {self.scheme} via {self.scheduler} scheduler",
+            self.to_rows(data),
+            title=(
+                f"Serving: {data['scheme']} via "
+                f"{data['scheduler']} scheduler"
+            ),
         )
         tenant_rows = [
-            [t.tenant, t.requests, t.completed, t.errors,
-             f"{t.mean_latency_ms:.2f}", f"{t.max_latency_ms:.2f}",
-             f"{t.server_ops:.1f}"]
-            for t in self.tenants
+            [t["tenant"], t["requests"], t["completed"], t["errors"],
+             f"{t['mean_latency_ms']:.2f}", f"{t['max_latency_ms']:.2f}",
+             f"{t['server_ops']:.1f}"]
+            for t in data["tenants"]
         ]
         tenants = format_table(
             ["tenant", "requests", "completed", "errors", "mean ms",
@@ -166,7 +178,12 @@ class ServingReport:
         return summary + "\n\n" + tenants
 
     def to_dict(self) -> dict:
-        """A JSON-serializable view (for ``--json`` and bench artifacts)."""
+        """A JSON-serializable view (for ``--json`` and bench artifacts).
+
+        The single source of truth: :meth:`to_rows` / :meth:`to_text`
+        render from this mapping, so the text table can never show a
+        figure the JSON export omits.
+        """
         return {
             "scheme": self.scheme,
             "scheduler": self.scheduler,
@@ -177,14 +194,8 @@ class ServingReport:
             "errors": self.errors,
             "duration_ms": self.duration_ms,
             "throughput_rps": self.throughput_rps,
-            "latency_ms": {
-                "p50": self.latency.p50_ms,
-                "p95": self.latency.p95_ms,
-                "p99": self.latency.p99_ms,
-                "p999": self.latency.p999_ms,
-                "mean": self.latency.mean_ms,
-                "max": self.latency.max_ms,
-            },
+            "latency_ms": self.latency.to_dict(),
+            "queue_latency_ms": self.queue_latency.to_dict(),
             "faults": dict(self.faults),
             "queue_wait_p95_ms": self.queue_latency.p95_ms,
             "mean_queue_depth": self.mean_queue_depth,

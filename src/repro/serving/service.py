@@ -21,6 +21,9 @@ from repro.crypto.rng import (
     SeededRandomSource,
     SystemRandomSource,
 )
+from repro.obs.instrument import instrument_scheme
+from repro.obs.metrics import MetricsRegistry, collect_scheme_metrics
+from repro.obs.tracer import Tracer
 from repro.serving.load import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
 from repro.serving.report import ServingReport
 from repro.serving.schedulers import (
@@ -109,6 +112,8 @@ def serve(
     value_size: int = 32,
     write_fraction: float = 0.25,
     executor: str | None = None,
+    tracer: Tracer | None = None,
+    metrics_registry: MetricsRegistry | None = None,
     **build_kwargs,
 ) -> ServingReport:
     """Serve ``clients`` concurrent sessions against a scheme.
@@ -141,6 +146,14 @@ def serve(
             several shards then occupies the worker for the slowest
             shard leg, not the sum.  Rejected with a clear error for
             schemes that have no fan-out to parallelize.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; the
+            simulator emits ``serve.round`` spans and the scheme's own
+            seams (shard legs, batched storage rounds) nest beneath
+            them.  Tracing never perturbs answers, draws or budgets.
+        metrics_registry: optional
+            :class:`~repro.obs.metrics.MetricsRegistry`; request-flow
+            counters accumulate during the run and the scheme's counter
+            surfaces are collected into it afterwards.
         **build_kwargs: forwarded to the scheme's builder (``epsilon``,
             ``server_count``, ``backend``, …).
 
@@ -236,15 +249,21 @@ def serve(
 
     model = resolve_network(network)
     label_network = network if isinstance(network, str) else "custom"
+    if tracer is not None or metrics_registry is not None:
+        instrument_scheme(instance, tracer=tracer, registry=metrics_registry)
     simulator = ServingSimulator(
         instance,
         sessions,
         _resolve_scheduler(scheduler, batch_window_ms, max_batch),
         network=model,
         network_label=label_network,
+        tracer=tracer,
+        registry=metrics_registry,
     )
     try:
         report = simulator.run()
+        if metrics_registry is not None:
+            collect_scheme_metrics(instance, metrics_registry)
     finally:
         if isinstance(scheme, str):
             # serve() built (and owns) the instance: release any

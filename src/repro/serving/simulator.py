@@ -26,6 +26,8 @@ import itertools
 from typing import Sequence
 
 from repro.api.protocols import PrivateIR, PrivateKVS, PrivateRAM, Scheme
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.serving.load import ArrivalPlan
 from repro.serving.report import ServingReport, TenantReport
 from repro.serving.requests import Request
@@ -179,6 +181,13 @@ class ServingSimulator:
             :data:`~repro.storage.network.LAN`.  Ignored when the scheme
             already runs over network backends, whose own model wins.
         network_label: name recorded in the report.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; each
+            dispatch emits one ``serve.round`` span carrying the
+            simulated clock (start = dispatch, end = completion) and
+            queue-wait / service / serial annotations.  Defaults to the
+            no-op tracer.
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            admits / completions / errors are counted as requests flow.
     """
 
     def __init__(
@@ -188,6 +197,8 @@ class ServingSimulator:
         scheduler: RequestScheduler,
         network: NetworkModel | None = None,
         network_label: str = "lan",
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if not isinstance(scheme, Scheme):
             raise TypeError(
@@ -202,6 +213,20 @@ class ServingSimulator:
         self._scheduler = scheduler
         self._model = network if network is not None else LAN
         self._network_label = network_label
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._registry = registry
+        if registry is not None:
+            self._admitted = registry.counter(
+                "repro_serve_admitted_total", "Requests admitted to the queue"
+            )
+            self._completed = registry.counter(
+                "repro_serve_completed_total", "Requests completed"
+            )
+            self._errored = registry.counter(
+                "repro_serve_errors_total", "Requests completed with errors"
+            )
+        else:
+            self._admitted = self._completed = self._errored = None
 
     def run(self) -> ServingReport:
         """Simulate to completion and return the report."""
@@ -256,6 +281,8 @@ class ServingSimulator:
                 )
                 requests.append(request)
                 tenant_reports[session.tenant].requests += 1
+                if self._admitted is not None:
+                    self._admitted.inc(tenant=session.tenant)
                 wake_ms = scheduler.enqueue(request, now_ms)
                 max_depth = max(max_depth, scheduler.pending())
                 if wake_ms is not None:
@@ -268,8 +295,12 @@ class ServingSimulator:
                     makespan_ms = max(makespan_ms, now_ms)
                     report = tenant_reports[request.tenant]
                     report.completed += 1
+                    if self._completed is not None:
+                        self._completed.inc(tenant=request.tenant)
                     if request.errored:
                         report.errors += 1
+                        if self._errored is not None:
+                            self._errored.inc(tenant=request.tenant)
                     tenant_latencies[request.tenant].append(request.latency_ms)
                     session = self._sessions[request.session_index]
                     follow = session.plan.after_completion(
@@ -285,10 +316,23 @@ class ServingSimulator:
             if not busy:
                 batch = scheduler.next_batch(now_ms)
                 if batch:
+                    queue_wait = 0.0
                     for request in batch:
                         request.dispatched_ms = now_ms
-                    _execute_batch(self._scheme, batch)
+                        queue_wait += now_ms - request.arrival_ms
+                    with self._tracer.span(
+                        "serve.round", round=dispatches, batch=len(batch)
+                    ) as round_span:
+                        _execute_batch(self._scheme, batch)
                     ops_delta, service_ms, serial_ms = meter.charge()
+                    # Annotate after the executor legs ran so the span
+                    # carries the dispatch's simulated occupancy window.
+                    round_span.set_sim(now_ms, now_ms + service_ms)
+                    round_span.annotate(
+                        queue_wait_ms=queue_wait / len(batch),
+                        service_ms=service_ms,
+                        serial_ms=serial_ms,
+                    )
                     dispatches += 1
                     total_ops += ops_delta
                     total_wall_ms += service_ms

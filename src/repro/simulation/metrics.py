@@ -114,6 +114,17 @@ class LatencySummary:
             p999_ms=_interpolate(ordered, 0.999),
         )
 
+    def to_dict(self) -> dict[str, float]:
+        """The JSON view the report classes embed (``p50`` … ``max``)."""
+        return {
+            "p50": self.p50_ms,
+            "p95": self.p95_ms,
+            "p99": self.p99_ms,
+            "p999": self.p999_ms,
+            "mean": self.mean_ms,
+            "max": self.max_ms,
+        }
+
 
 @dataclass
 class RunMetrics:

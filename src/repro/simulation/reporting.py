@@ -62,6 +62,24 @@ def latency_rows(
     ]
 
 
+def latency_rows_from(summary: dict, label: str = "latency") -> list[list]:
+    """Dict-keyed twin of :func:`latency_rows`.
+
+    The report classes render their text tables from their ``to_dict()``
+    views (the single source of truth for ``--json`` parity), so their
+    latency sections start from the exported mapping rather than the
+    live :class:`LatencySummary`.
+    """
+    return [
+        [f"{label} p50 ms", f"{summary['p50']:.2f}"],
+        [f"{label} p95 ms", f"{summary['p95']:.2f}"],
+        [f"{label} p99 ms", f"{summary['p99']:.2f}"],
+        [f"{label} p99.9 ms", f"{summary['p999']:.2f}"],
+        [f"{label} mean ms", f"{summary['mean']:.2f}"],
+        [f"{label} max ms", f"{summary['max']:.2f}"],
+    ]
+
+
 @dataclass
 class ExperimentTable:
     """A named experiment result: headers, rows, and provenance notes.

@@ -219,6 +219,79 @@ def mode_invariance(
     }
 
 
+def tracer_overhead(
+    *,
+    n: int = DEFAULT_N,
+    pad_size: int = DEFAULT_PAD,
+    alpha: float = DEFAULT_ALPHA,
+    queries: int = 600,
+    repeats: int = 7,
+    seed: int = 0x407,
+) -> dict:
+    """Price the observability hook on the batched read path.
+
+    Three timings of the same scheme-drawn pad-set retrieval through
+    ``read_many``:
+
+    * **base** — a plain server, no observer ever attached;
+    * **disabled** — a :class:`~repro.obs.tracer.NullTracer` observer is
+      *offered*, which ``attach_observer`` refuses, leaving the hot path
+      paying exactly one ``is not None`` check (the production default);
+    * **enabled** — a live tracer + registry record every round.
+
+    The CI gate holds ``disabled_overhead_ratio`` at ≤ 2%: switching the
+    subsystem off must cost nothing.  The enabled ratio is reported for
+    information only — a span per round is real work, priced here so
+    regressions are visible, but not gated.
+    """
+    from repro.obs.instrument import StorageObserver
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import NULL_TRACER, Tracer
+
+    scheme = _build(integer_database(n), pad_size, alpha, seed, True)
+    server = scheme.server
+    workload = SeededRandomSource(seed + 4)
+    pads = [
+        sorted(scheme._draw_set(workload.randbelow(n))[0])
+        for _ in range(queries)
+    ]
+    slot_ops = queries * pad_size
+
+    def retrieval() -> float:
+        started = time.perf_counter()
+        for pad in pads:
+            server.read_many(pad)
+        return time.perf_counter() - started
+
+    def timed() -> float:
+        retrieval()  # warm-up
+        return _best_of(retrieval, repeats)
+
+    server.detach_observer()
+    base_s = timed()
+
+    server.attach_observer(StorageObserver(NULL_TRACER, None))
+    disabled_s = timed()
+
+    server.attach_observer(StorageObserver(Tracer("bench"), MetricsRegistry()))
+    enabled_s = timed()
+    server.detach_observer()
+
+    base_ops = slot_ops / base_s
+    disabled_ops = slot_ops / disabled_s
+    enabled_ops = slot_ops / enabled_s
+    return {
+        "n": n,
+        "pad_size": pad_size,
+        "queries": queries,
+        "base_ops_per_sec": base_ops,
+        "disabled_ops_per_sec": disabled_ops,
+        "enabled_ops_per_sec": enabled_ops,
+        "disabled_overhead_ratio": base_ops / disabled_ops,
+        "enabled_overhead_ratio": base_ops / enabled_ops,
+    }
+
+
 def hotpath_comparison(
     *,
     n: int = DEFAULT_N,
@@ -239,4 +312,8 @@ def hotpath_comparison(
             queries=max(1, queries * 3 // 5), repeats=repeats, seed=seed,
         ),
         "invariance": mode_invariance(),
+        "tracing": tracer_overhead(
+            n=n, pad_size=pad_size, alpha=alpha,
+            queries=max(1, queries * 3 // 5), repeats=repeats, seed=seed,
+        ),
     }

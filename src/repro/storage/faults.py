@@ -40,6 +40,17 @@ class ServerFault(StorageError):
     """A wrapped server simulated an operational failure."""
 
 
+_COIN_MODES = ("per_slot", "per_round")
+
+
+def _check_coin_mode(coin_mode: str) -> str:
+    if coin_mode not in _COIN_MODES:
+        raise ValueError(
+            f"coin mode must be one of {_COIN_MODES}, got {coin_mode!r}"
+        )
+    return coin_mode
+
+
 class CorruptingServer:
     """Wrapper that flips one bit in a fraction of served reads.
 
@@ -47,10 +58,22 @@ class CorruptingServer:
         inner: the real server.
         corruption_rate: probability a read returns a corrupted block.
         rng: randomness for fault decisions.
+        coin_mode: ``"per_slot"`` (default) flips one coin per served
+            block, preserving slot-exact equivalence with the unbatched
+            path; ``"per_round"`` flips one coin per batched round —
+            matching real RPC failure granularity — and delegates clean
+            rounds to the inner server's fast ``read_many``, so chaos
+            tests run at batched speed.  The two modes report under
+            *different* counter keys (``corrupted_reads`` vs.
+            ``corrupted_rounds``) so metrics stay distinguishable.
     """
 
     def __init__(
-        self, inner: StorageServer, corruption_rate: float, rng: RandomSource
+        self,
+        inner: StorageServer,
+        corruption_rate: float,
+        rng: RandomSource,
+        coin_mode: str = "per_slot",
     ) -> None:
         if not 0.0 <= corruption_rate <= 1.0:
             raise ValueError(
@@ -59,12 +82,24 @@ class CorruptingServer:
         self._inner = inner
         self._rate = corruption_rate
         self._rng = rng
+        self._coin_mode = _check_coin_mode(coin_mode)
         self._corrupted = 0
+        self._corrupted_rounds = 0
 
     @property
     def corrupted_reads(self) -> int:
         """Reads that were served corrupted."""
         return self._corrupted
+
+    @property
+    def corrupted_rounds(self) -> int:
+        """Batched rounds served with a corrupted block (per-round mode)."""
+        return self._corrupted_rounds
+
+    @property
+    def coin_mode(self) -> str:
+        """Fault-coin granularity: ``"per_slot"`` or ``"per_round"``."""
+        return self._coin_mode
 
     def fault_counters(self) -> dict[str, int]:
         """Injected-fault totals, merged with any wrapped fault layer."""
@@ -72,6 +107,10 @@ class CorruptingServer:
         counters["corrupted_reads"] = (
             counters.get("corrupted_reads", 0) + self._corrupted
         )
+        if self._coin_mode == "per_round":
+            counters["corrupted_rounds"] = (
+                counters.get("corrupted_rounds", 0) + self._corrupted_rounds
+            )
         return counters
 
     def read(self, index: int) -> bytes:
@@ -89,15 +128,33 @@ class CorruptingServer:
         return block
 
     def read_many(self, indices) -> list[bytes]:
-        """Serve a batched read as the per-slot loop.
+        """Serve a batched read; coin granularity follows ``coin_mode``.
 
-        Fault injection must stay per-slot-accurate — one corruption
-        coin per served block, in slot order — so the batched entry
-        point deliberately degrades to the single-slot path instead of
+        Per-slot mode stays slot-accurate — one corruption coin per
+        served block, in slot order — so the batched entry point
+        deliberately degrades to the single-slot path instead of
         delegating to the inner server's fast ``read_many`` (which would
-        bypass the fault layer entirely via ``__getattr__``).  These
-        wrappers are chaos tooling; accuracy beats speed here.
+        bypass the fault layer entirely via ``__getattr__``).  Per-round
+        mode flips *one* coin for the whole round: a clean round rides
+        the inner server's batched fast path untouched, a corrupted
+        round has one bit flipped in one rng-chosen slot.
         """
+        if self._coin_mode == "per_round":
+            blocks = self._inner.read_many(indices)
+            if blocks and self._rng.random() < self._rate:
+                position = self._rng.randbelow(len(blocks))
+                block = blocks[position]
+                if block:
+                    offset = self._rng.randbelow(len(block))
+                    bit = 1 << self._rng.randbelow(8)
+                    blocks[position] = (
+                        block[:offset]
+                        + bytes([block[offset] ^ bit])
+                        + block[offset + 1 :]
+                    )
+                    self._corrupted += 1
+                    self._corrupted_rounds += 1
+            return blocks
         return [self.read(index) for index in indices]
 
     def __getattr__(self, name):
@@ -105,10 +162,27 @@ class CorruptingServer:
 
 
 class FlakyServer:
-    """Wrapper that raises :class:`ServerFault` on a fraction of operations."""
+    """Wrapper that raises :class:`ServerFault` on a fraction of operations.
+
+    Args:
+        inner: the real server.
+        failure_rate: probability an operation (or, in per-round mode,
+            a batched round) fails.
+        rng: randomness for fault decisions.
+        coin_mode: ``"per_slot"`` (default) flips one coin per slot so
+            a mid-batch fault commits exactly the prefix the unbatched
+            loop would have; ``"per_round"`` flips one coin per batched
+            round — the whole round fails or the whole round rides the
+            inner fast path — under the distinct ``failed_rounds``
+            counter key.
+    """
 
     def __init__(
-        self, inner: StorageServer, failure_rate: float, rng: RandomSource
+        self,
+        inner: StorageServer,
+        failure_rate: float,
+        rng: RandomSource,
+        coin_mode: str = "per_slot",
     ) -> None:
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError(
@@ -117,12 +191,24 @@ class FlakyServer:
         self._inner = inner
         self._rate = failure_rate
         self._rng = rng
+        self._coin_mode = _check_coin_mode(coin_mode)
         self._failures = 0
+        self._failed_rounds = 0
 
     @property
     def failures(self) -> int:
         """Operations that failed."""
         return self._failures
+
+    @property
+    def failed_rounds(self) -> int:
+        """Batched rounds that failed outright (per-round mode)."""
+        return self._failed_rounds
+
+    @property
+    def coin_mode(self) -> str:
+        """Fault-coin granularity: ``"per_slot"`` or ``"per_round"``."""
+        return self._coin_mode
 
     def fault_counters(self) -> dict[str, int]:
         """Injected-fault totals, merged with any wrapped fault layer."""
@@ -130,6 +216,10 @@ class FlakyServer:
         counters["failed_operations"] = (
             counters.get("failed_operations", 0) + self._failures
         )
+        if self._coin_mode == "per_round":
+            counters["failed_rounds"] = (
+                counters.get("failed_rounds", 0) + self._failed_rounds
+            )
         return counters
 
     def read(self, index: int) -> bytes:
@@ -143,21 +233,37 @@ class FlakyServer:
         self._inner.write(index, block)
 
     def read_many(self, indices) -> list[bytes]:
-        """Serve a batched read as the per-slot loop.
+        """Serve a batched read; coin granularity follows ``coin_mode``.
 
-        One failure coin per slot, in order, with a mid-batch fault
-        leaving exactly the prefix the per-slot loop would have served
-        (inner counters and transcript included) — the equivalence the
-        failover layers and property tests rely on.  Without this
-        override ``__getattr__`` would route ``read_many`` straight to
-        the inner server and silently skip fault injection.
+        Per-slot mode: one failure coin per slot, in order, with a
+        mid-batch fault leaving exactly the prefix the per-slot loop
+        would have served (inner counters and transcript included) —
+        the equivalence the failover layers and property tests rely on.
+        Without this override ``__getattr__`` would route ``read_many``
+        straight to the inner server and silently skip fault injection.
+        Per-round mode: one coin for the whole round; a clean round
+        delegates to the inner batched fast path.
         """
+        if self._coin_mode == "per_round":
+            self._maybe_fail_round("read", len(indices))
+            return self._inner.read_many(indices)
         return [self.read(index) for index in indices]
 
     def write_many(self, items) -> None:
-        """Serve a batched write as the per-slot loop (one coin per slot)."""
+        """Serve a batched write (coin granularity follows ``coin_mode``)."""
+        if self._coin_mode == "per_round":
+            self._maybe_fail_round("write", len(items))
+            self._inner.write_many(items)
+            return
         for index, block in items:
             self.write(index, block)
+
+    def _maybe_fail_round(self, operation: str, size: int) -> None:
+        if size and self._rng.random() < self._rate:
+            self._failed_rounds += 1
+            raise ServerFault(
+                f"simulated batched {operation} failure ({size} slots)"
+            )
 
     def _maybe_fail(self, operation: str, index: int) -> None:
         if self._rng.random() < self._rate:

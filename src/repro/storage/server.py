@@ -61,6 +61,7 @@ class StorageServer:
         self._writes = 0
         self._transcript: Transcript | None = None
         self._current_query = -1
+        self._obs = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -111,6 +112,24 @@ class StorageServer:
     def begin_query(self, query: int) -> None:
         """Attribute subsequent accesses to client query ``query``."""
         self._current_query = query
+
+    def attach_observer(self, observer) -> None:
+        """Report batched rounds to ``observer`` (``repro.obs``).
+
+        Disabled observers are refused outright so the batched hot
+        path keeps paying exactly one ``is not None`` check when
+        observability is off — the overhead contract gated in
+        ``BENCH_hotpath.json``.
+        """
+        if observer is not None and getattr(observer, "enabled", True):
+            self._obs = observer
+        else:
+            self._obs = None
+
+    def detach_observer(self):
+        """Stop reporting batched rounds; returns the observer, if any."""
+        observer, self._obs = self._obs, None
+        return observer
 
     # -- the two balls-and-bins operations --------------------------------
 
@@ -188,6 +207,9 @@ class StorageServer:
                 )
                 for index in indices
             )
+        obs = self._obs
+        if obs is not None:
+            obs.on_batch(self._server_id, "read", len(indices))
         return blocks
 
     def write_many(self, items: Sequence[tuple[int, bytes]]) -> None:
@@ -227,6 +249,9 @@ class StorageServer:
                 )
                 for index, _ in items
             )
+        obs = self._obs
+        if obs is not None:
+            obs.on_batch(self._server_id, "write", len(items))
 
     # -- setup-time bulk load (not part of the adversary view) ------------
 

@@ -25,6 +25,9 @@ EXPECTED_MARKERS = {
     "privacy_audit.py": ["strawman", "delta", "attack"],
     "oram_comparison.py": ["DP-RAM", "ORAM", "factor"],
     "deployment_review.py": ["Datasheet", "WAN", "budget"],
+    "trace_cluster.py": ["span tree", "straggler", "Prometheus",
+                         "epsilon spend timeline",
+                         "identical canonical trace: True", "Done."],
 }
 
 

@@ -43,6 +43,7 @@ class TestRepoIsClean:
             "secret-dependent-branch",
             "float-budget",
             "fan-out-mutation",
+            "trace-hygiene",
         }
         assert result.files > 50
 

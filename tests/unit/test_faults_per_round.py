@@ -1,0 +1,88 @@
+"""Unit tests for the batched fault model (one coin per round)."""
+
+import pytest
+
+from repro.crypto.rng import SeededRandomSource
+from repro.storage.blocks import integer_database
+from repro.storage.faults import (
+    CorruptingServer,
+    FlakyServer,
+    ServerFault,
+)
+from repro.storage.server import StorageServer
+
+
+def _server(n=32):
+    server = StorageServer(n)
+    for index, block in enumerate(integer_database(n)):
+        server.write(index, block)
+    return server
+
+
+class TestCoinModeValidation:
+    @pytest.mark.parametrize("cls", [FlakyServer, CorruptingServer])
+    def test_unknown_mode_rejected(self, cls):
+        with pytest.raises(ValueError, match="coin mode"):
+            cls(_server(), 0.1, SeededRandomSource(1), coin_mode="per_rpc")
+
+
+class TestFlakyPerRound:
+    def test_one_coin_per_round_not_per_slot(self):
+        # rate=1.0: per-round mode fails every round exactly once,
+        # so failed_rounds counts rounds, not slots.
+        flaky = FlakyServer(_server(), 1.0, SeededRandomSource(2),
+                            coin_mode="per_round")
+        for _ in range(5):
+            with pytest.raises(ServerFault):
+                flaky.read_many([0, 1, 2, 3])
+        assert flaky.failed_rounds == 5
+
+    def test_clean_round_rides_the_inner_fast_path(self):
+        flaky = FlakyServer(_server(), 0.0, SeededRandomSource(3),
+                            coin_mode="per_round")
+        blocks = flaky.read_many([0, 1, 2])
+        assert len(blocks) == 3
+        assert flaky.failed_rounds == 0
+
+    def test_counters_distinguish_the_two_modes(self):
+        per_slot = FlakyServer(_server(), 0.0, SeededRandomSource(4))
+        per_round = FlakyServer(_server(), 0.0, SeededRandomSource(4),
+                                coin_mode="per_round")
+        assert "failed_rounds" not in per_slot.fault_counters()
+        assert "failed_rounds" in per_round.fault_counters()
+        assert "failed_operations" in per_slot.fault_counters()
+
+
+class TestCorruptingPerRound:
+    def test_corrupts_exactly_one_slot_per_bad_round(self):
+        server = _server()
+        clean = server.read_many(list(range(8)))
+        corrupting = CorruptingServer(server, 1.0, SeededRandomSource(5),
+                                      coin_mode="per_round")
+        blocks = corrupting.read_many(list(range(8)))
+        differing = sum(1 for a, b in zip(clean, blocks) if a != b)
+        assert differing == 1
+        assert corrupting.corrupted_rounds == 1
+        assert corrupting.corrupted_reads == 1
+
+    def test_clean_round_is_untouched(self):
+        server = _server()
+        corrupting = CorruptingServer(server, 0.0, SeededRandomSource(6),
+                                      coin_mode="per_round")
+        assert corrupting.read_many([0, 1]) == server.read_many([0, 1])
+        assert corrupting.corrupted_rounds == 0
+
+    def test_counters_distinguish_the_two_modes(self):
+        per_slot = CorruptingServer(_server(), 0.0, SeededRandomSource(7))
+        per_round = CorruptingServer(_server(), 0.0, SeededRandomSource(7),
+                                     coin_mode="per_round")
+        assert "corrupted_rounds" not in per_slot.fault_counters()
+        assert "corrupted_rounds" in per_round.fault_counters()
+
+
+class TestPerSlotDefaultUnchanged:
+    def test_default_mode_is_per_slot(self):
+        flaky = FlakyServer(_server(), 0.5, SeededRandomSource(8))
+        assert flaky.coin_mode == "per_slot"
+        corrupting = CorruptingServer(_server(), 0.5, SeededRandomSource(8))
+        assert corrupting.coin_mode == "per_slot"

@@ -42,7 +42,7 @@ def rules_hit(source, path=CORE, rules=None):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         names = {rule.name for rule in all_rules()}
         assert names == {
             "rng-discipline",
@@ -51,6 +51,7 @@ class TestRegistry:
             "secret-dependent-branch",
             "float-budget",
             "fan-out-mutation",
+            "trace-hygiene",
         }
 
     def test_get_rule_and_unknown(self):
@@ -367,6 +368,66 @@ class TestFanOutMutation:
                 return results
         """
         assert rules_hit(source) == set()
+
+
+class TestTraceHygiene:
+    def test_flags_secret_index_span_label(self):
+        source = """
+            def query(self, index):
+                with self._tracer.span("cluster.query", index=index):
+                    pass
+        """
+        assert "trace-hygiene" in rules_hit(source)
+
+    def test_flags_key_in_annotate_and_metric_labels(self):
+        for call in (
+            'span.annotate(key=key)',
+            'self._counter.inc(key=str(key))',
+            'self._histogram.observe(1.0, first=keys[0])',
+            'self._gauge.set(1.0, pad=pad_set[0])',
+        ):
+            source = f"""
+                def touch(self, span, key, keys, pad_set):
+                    {call}
+            """
+            assert "trace-hygiene" in rules_hit(source), call
+
+    def test_flags_secret_attribute_tail(self):
+        source = """
+            def emit(self, request):
+                with self._tracer.span("serve.round", what=request.index):
+                    pass
+        """
+        assert "trace-hygiene" in rules_hit(source)
+
+    def test_len_of_secret_collection_is_public(self):
+        source = """
+            def emit(self, indices, pads):
+                with self._tracer.span(
+                    "storage.read_many", batch=len(indices)
+                ) as span:
+                    span.annotate(pads=len(pads))
+        """
+        assert rules_hit(source) == set()
+
+    def test_public_labels_pass(self):
+        source = """
+            def emit(self, shard, server_id, elapsed_ms):
+                with self._tracer.span(
+                    "cluster.shard_leg", shard=shard, server=server_id
+                ) as span:
+                    span.annotate(service_ms=elapsed_ms)
+        """
+        assert rules_hit(source) == set()
+
+    def test_scoped_to_the_repro_tree(self):
+        source = """
+            def emit(self, tracer, index):
+                with tracer.span("demo", index=index):
+                    pass
+        """
+        assert rules_hit(source, path="examples/fixture.py") == set()
+        assert "trace-hygiene" in rules_hit(source)
 
 
 class TestPragmas:

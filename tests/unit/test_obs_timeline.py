@@ -1,0 +1,99 @@
+"""Unit tests for the exact ε-budget timeline."""
+
+import json
+from fractions import Fraction
+
+from repro.obs import BudgetTimeline
+
+
+class TestRecord:
+    def test_events_are_exact_and_sequenced(self):
+        timeline = BudgetTimeline()
+        timeline.record(epsilon=Fraction(1, 3), operator="shard-0",
+                        shard=0)
+        timeline.record(epsilon=Fraction(1, 6), operator="shard-1",
+                        shard=1, epoch=2, tenant="t0")
+        events = timeline.events
+        assert [e.sequence for e in events] == [0, 1]
+        assert events[0].epsilon == Fraction(1, 3)
+        assert events[1].tenant == "t0"
+        assert events[1].epoch == 2
+        # Exact accumulation: 1/3 + 1/6 == 1/2 with no float round-off.
+        assert timeline.total_spent == Fraction(1, 2)
+
+    def test_per_operator_totals(self):
+        timeline = BudgetTimeline()
+        for _ in range(3):
+            timeline.record(epsilon=Fraction(1, 7), operator="shard-0")
+        timeline.record(epsilon=Fraction(2, 7), operator="shard-1")
+        assert timeline.per_operator() == {
+            "shard-0": Fraction(3, 7),
+            "shard-1": Fraction(2, 7),
+        }
+
+    def test_cumulative_series_per_operator_and_global(self):
+        timeline = BudgetTimeline()
+        timeline.record(epsilon=1, operator="a")
+        timeline.record(epsilon=2, operator="b")
+        timeline.record(epsilon=3, operator="a")
+        assert timeline.cumulative_series("a") == [
+            (0, Fraction(1)), (2, Fraction(4)),
+        ]
+        assert timeline.cumulative_series() == [
+            (0, Fraction(1)), (1, Fraction(3)), (2, Fraction(6)),
+        ]
+
+
+class TestCap:
+    def test_first_crossing_is_per_operator_cumulative(self):
+        timeline = BudgetTimeline(cap=Fraction(5, 2))
+        timeline.record(epsilon=1, operator="a")
+        timeline.record(epsilon=2, operator="b")
+        assert timeline.first_crossing is None
+        timeline.record(epsilon=2, operator="a")  # a hits 3 > 5/2
+        crossing = timeline.first_crossing
+        assert crossing is not None
+        assert crossing.sequence == 2
+        assert crossing.operator == "a"
+        # Later crossings do not overwrite the first.
+        timeline.record(epsilon=10, operator="b")
+        assert timeline.first_crossing.sequence == 2
+
+    def test_decimal_string_cap_stays_exact(self):
+        timeline = BudgetTimeline(cap="0.1")
+        assert timeline.cap == Fraction(1, 10)
+
+    def test_no_cap_never_crosses(self):
+        timeline = BudgetTimeline()
+        timeline.record(epsilon=10**9, operator="a")
+        assert timeline.first_crossing is None
+
+
+class TestExport:
+    def test_to_dict_renders_exact_fraction_strings(self):
+        timeline = BudgetTimeline(cap=Fraction(2))
+        timeline.record(epsilon=Fraction(1, 3), delta=Fraction(1, 1000),
+                        operator="shard-0", shard=0)
+        payload = timeline.to_dict()
+        assert payload["version"] == 1
+        assert payload["cap"]["fraction"] == "2/1"
+        event = payload["events"][0]
+        assert event["epsilon"]["fraction"] == "1/3"
+        assert event["delta"]["fraction"] == "1/1000"
+        assert payload["total"]["fraction"] == "1/3"
+        assert payload["first_crossing"] is None
+        json.dumps(payload)
+
+    def test_to_text_bars_and_crossing_flag(self):
+        timeline = BudgetTimeline(cap=2)
+        timeline.record(epsilon=1, operator="shard-0")
+        timeline.record(epsilon=3, operator="shard-1")
+        text = timeline.to_text()
+        assert "shard-0" in text and "shard-1" in text
+        assert "OVER CAP" in text
+        assert "first cap-crossing: event #1" in text
+        # The crossing message reports the cumulative *at* the crossing.
+        assert "cumulative 3.0000" in text
+
+    def test_to_text_without_events(self):
+        assert "no spend events" in BudgetTimeline().to_text()
