@@ -16,10 +16,22 @@ equivalence tests rely on:
   ``sim_end_ms >= sim_start_ms`` when both are set;
 * ``error`` is null or a string.
 
-Exit 0 when the file conforms, 1 with one line per violation otherwise::
+With ``--metrics metrics.json`` the metrics JSON export written by
+``--metrics PATH`` is validated too, against the
+``MetricsRegistry.to_json()`` contract:
 
-    python -m repro cluster --requests 32 --trace trace.json
-    python scripts/validate_trace.py trace.json
+* top level: ``{"version": 1, "metrics": [...]}``;
+* every sample carries ``name`` (Prometheus-shaped), ``type``
+  (counter/gauge/histogram), ``labels`` (str -> str) and ``value`` —
+  a number for counters/gauges, a stats object with at least
+  ``count``/``sum`` for histograms.
+
+Exit 0 when the file(s) conform, 1 with one line per violation
+otherwise::
+
+    python -m repro cluster --requests 32 --trace trace.json \
+        --metrics metrics.json
+    python scripts/validate_trace.py trace.json --metrics metrics.json
 """
 
 from __future__ import annotations
@@ -31,6 +43,12 @@ import re
 import sys
 
 SPAN_ID = re.compile(r"^\d+(\.\d+)*$")
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+SAMPLE_FIELDS = {"name", "type", "labels", "value"}
 
 SCALARS = (bool, int, float, str, type(None))
 
@@ -148,32 +166,128 @@ def validate(payload: object) -> list[str]:
     return problems
 
 
+def validate_metrics(payload: object) -> list[str]:
+    """All metrics-export violations in ``payload`` (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    if payload.get("version") != 1:
+        problems.append(f"version must be 1, got {payload.get('version')!r}")
+    samples = payload.get("metrics")
+    if not isinstance(samples, list):
+        problems.append("metrics must be a list")
+        return problems
+
+    for position, sample in enumerate(samples):
+        where = f"metrics[{position}]"
+        if not isinstance(sample, dict):
+            problems.append(f"{where}: sample must be an object")
+            continue
+        unknown = set(sample) - SAMPLE_FIELDS
+        missing = SAMPLE_FIELDS - set(sample)
+        if unknown:
+            problems.append(f"{where}: unknown field(s) {sorted(unknown)}")
+        if missing:
+            problems.append(f"{where}: missing field(s) {sorted(missing)}")
+            continue
+        name = sample["name"]
+        if not (isinstance(name, str) and METRIC_NAME.match(name)):
+            problems.append(
+                f"{where}: name {name!r} is not a valid metric name"
+            )
+        kind = sample["type"]
+        if kind not in METRIC_TYPES:
+            problems.append(
+                f"{where}: type must be one of {sorted(METRIC_TYPES)}, "
+                f"got {kind!r}"
+            )
+        labels = sample["labels"]
+        if not isinstance(labels, dict):
+            problems.append(f"{where}: labels must be an object")
+        else:
+            for key, value in labels.items():
+                if not isinstance(key, str):
+                    problems.append(f"{where}: label key {key!r} not a string")
+                if not isinstance(value, str):
+                    problems.append(
+                        f"{where}: label {key!r} must be a string "
+                        f"(stringified at record time), "
+                        f"got {type(value).__name__}"
+                    )
+        value = sample["value"]
+        if kind == "histogram":
+            if not isinstance(value, dict):
+                problems.append(
+                    f"{where}: histogram value must be a stats object"
+                )
+            else:
+                for stat in ("count", "sum"):
+                    if not _is_number(value.get(stat)):
+                        problems.append(
+                            f"{where}: histogram value needs numeric "
+                            f"{stat!r}, got {value.get(stat)!r}"
+                        )
+                for stat, figure in value.items():
+                    if not _is_number(figure):
+                        problems.append(
+                            f"{where}: histogram stat {stat!r} must be a "
+                            f"number, got {figure!r}"
+                        )
+        elif not _is_number(value):
+            problems.append(
+                f"{where}: {kind} value must be a number, got {value!r}"
+            )
+    return problems
+
+
+def _check(
+    path: pathlib.Path, validator, describe
+) -> int:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"missing {path}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON ({exc})", file=sys.stderr)
+        return 1
+
+    problems = validator(payload)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        print(f"{path}: {len(problems)} schema violation(s)",
+              file=sys.stderr)
+        return 1
+    print(describe(path, payload))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("trace", type=pathlib.Path,
                         help="trace JSON written by --trace")
+    parser.add_argument("--metrics", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="also validate a metrics JSON export "
+                             "written by --metrics PATH")
     args = parser.parse_args(argv)
 
-    try:
-        payload = json.loads(args.trace.read_text())
-    except FileNotFoundError:
-        print(f"missing {args.trace}", file=sys.stderr)
-        return 1
-    except json.JSONDecodeError as exc:
-        print(f"{args.trace}: not valid JSON ({exc})", file=sys.stderr)
-        return 1
+    def describe_trace(path: pathlib.Path, payload: dict) -> str:
+        spans = payload["spans"]
+        roots = sum(1 for span in spans if span["parent"] is None)
+        return f"{path}: valid trace — {len(spans)} spans, {roots} roots"
 
-    problems = validate(payload)
-    if problems:
-        for problem in problems:
-            print(f"INVALID: {problem}", file=sys.stderr)
-        print(f"{args.trace}: {len(problems)} schema violation(s)",
-              file=sys.stderr)
-        return 1
-    spans = payload["spans"]
-    roots = sum(1 for span in spans if span["parent"] is None)
-    print(f"{args.trace}: valid trace — {len(spans)} spans, {roots} roots")
-    return 0
+    status = _check(args.trace, validate, describe_trace)
+    if args.metrics is not None:
+        def describe_metrics(path: pathlib.Path, payload: dict) -> str:
+            return (f"{path}: valid metrics export — "
+                    f"{len(payload['metrics'])} series")
+
+        status = max(
+            status, _check(args.metrics, validate_metrics, describe_metrics)
+        )
+    return status
 
 
 if __name__ == "__main__":

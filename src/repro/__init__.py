@@ -67,12 +67,18 @@ from repro.cluster import (
 from repro.crypto import PRF, SeededRandomSource, SystemRandomSource
 from repro.obs import (
     BudgetTimeline,
+    LeakageReport,
     MetricsRegistry,
     NullTracer,
     Tracer,
     TracingExecutor,
+    default_monitors,
+    diff_traces,
+    evaluate_slo,
     instrument_scheme,
+    trace_profile,
     trace_summary,
+    watch_scheme,
 )
 from repro.parallel import (
     Executor,
@@ -112,6 +118,7 @@ __all__ = [
     "Executor",
     "InMemoryBackend",
     "LAN",
+    "LeakageReport",
     "LinearScanPIR",
     "MOBILE",
     "MetricsRegistry",
@@ -151,10 +158,15 @@ __all__ = [
     "build",
     "cluster",
     "datasheet_for",
+    "default_monitors",
+    "diff_traces",
+    "evaluate_slo",
     "instrument_scheme",
     "register_scheme",
     "resolve_executor",
     "schemes",
     "serve",
+    "trace_profile",
     "trace_summary",
+    "watch_scheme",
 ]

@@ -37,7 +37,7 @@ def _observability(args: argparse.Namespace):
 
 
 def _emit_observability(args: argparse.Namespace, tracer, registry) -> None:
-    """Write the trace JSON and print the Prometheus exposition."""
+    """Write the trace JSON and emit the metrics export."""
     import json
 
     if tracer is not None:
@@ -47,7 +47,15 @@ def _emit_observability(args: argparse.Namespace, tracer, registry) -> None:
         print(f"trace written to {args.trace} "
               f"({len(tracer.spans())} spans)", file=sys.stderr)
     if registry is not None:
-        print(registry.to_prometheus(), end="")
+        destination = getattr(args, "metrics", False)
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                json.dump(registry.to_json(), handle, indent=2)
+                handle.write("\n")
+            print(f"metrics written to {destination} "
+                  f"({len(registry.collect())} series)", file=sys.stderr)
+        else:
+            print(registry.to_prometheus(), end="")
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -56,8 +64,9 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         help="record a deterministic span trace and write it as JSON",
     )
     parser.add_argument(
-        "--metrics", action="store_true",
-        help="print collected metrics in Prometheus text format",
+        "--metrics", nargs="?", const=True, default=False, metavar="PATH",
+        help="collect metrics; bare prints Prometheus text, with PATH "
+             "writes the JSON export there",
     )
 
 
@@ -224,12 +233,19 @@ def _cmd_serve_checked(args: argparse.Namespace) -> int:
         executor=args.executor,
         tracer=tracer,
         metrics_registry=registry,
+        monitor=args.monitor,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.to_text())
     _emit_observability(args, tracer, registry)
+    if report.leakage_tripped:
+        for leakage in report.leakage:
+            if leakage.tripped:
+                print(f"leakage monitor tripped: {leakage.to_text()}",
+                      file=sys.stderr)
+        return 1
     return 0
 
 
@@ -291,6 +307,7 @@ def _cmd_cluster_checked(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics_registry=registry,
         fault_coin_mode=args.fault_coins,
+        monitor=args.monitor,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -299,6 +316,12 @@ def _cmd_cluster_checked(args: argparse.Namespace) -> int:
     _emit_observability(args, tracer, registry)
     if report.mismatches:
         print("correctness mismatches detected!", file=sys.stderr)
+        return 1
+    if report.leakage_tripped:
+        for leakage in report.leakage:
+            if leakage.tripped:
+                print(f"leakage monitor tripped: {leakage.to_text()}",
+                      file=sys.stderr)
         return 1
     return 0
 
@@ -352,7 +375,8 @@ def _cmd_audit_checked(args: argparse.Namespace) -> int:
     # The cap lives on the *timeline*, not the cluster ledger: the run
     # completes and the audit flags the first crossing instead of dying
     # on a BudgetExceededError mid-workload.  Fraction(str(...)) keeps a
-    # decimal cap like 0.5 exact rather than its float image.
+    # decimal cap like 0.5 (or a rational like 7/3) exact rather than
+    # its float image.
     cap = Fraction(str(args.cap)) if args.cap is not None else None
     timeline = BudgetTimeline(cap=cap)
     report = cluster(
@@ -370,10 +394,35 @@ def _cmd_audit_checked(args: argparse.Namespace) -> int:
         timeline=timeline,
     )
 
+    slo_report = None
+    if args.slo:
+        from repro.obs import evaluate_slo
+
+        if args.slo_budget is not None:
+            slo_budget = Fraction(str(args.slo_budget))
+        elif cap is not None:
+            slo_budget = cap
+        else:
+            raise ValueError("--slo needs --slo-budget or --cap")
+        slo_report = evaluate_slo(
+            timeline,
+            budget=slo_budget,
+            horizon=args.slo_horizon,
+            fast_window=args.slo_fast_window,
+            slow_window=args.slo_slow_window,
+            fast_burn=Fraction(str(args.slo_fast_burn)),
+            slow_burn=Fraction(str(args.slo_slow_burn)),
+        )
+
     if args.json:
-        print(json.dumps(timeline.to_dict(), indent=2))
+        payload = timeline.to_dict()
+        if slo_report is not None:
+            payload["slo"] = slo_report.to_dict()
+        print(json.dumps(payload, indent=2))
     elif args.timeline:
         print(timeline.to_text())
+        if slo_report is not None:
+            print(slo_report.to_text())
     else:
         per_operator = timeline.per_operator()
         print(f"audit: {report.requests} requests over "
@@ -384,6 +433,8 @@ def _cmd_audit_checked(args: argparse.Namespace) -> int:
                   f"{float(per_operator[operator]):.4f}")
         if cap is not None and timeline.first_crossing is None:
             print(f"  cap {float(cap):.4f}: never crossed")
+        if slo_report is not None:
+            print(slo_report.to_text())
     crossing = timeline.first_crossing
     if crossing is not None:
         print(
@@ -392,6 +443,81 @@ def _cmd_audit_checked(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if slo_report is not None and slo_report.breached:
+        for alert in slo_report.alerts:
+            print(
+                f"slo burn-rate alert: {alert.scope} at charge "
+                f"#{alert.sequence} (fast {float(alert.fast_rate):.1f}x, "
+                f"slow {float(alert.slow_rate):.1f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import diff_traces
+
+    if args.tolerance < 0:
+        print("error: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    payloads = []
+    for path in (args.trace_a, args.trace_b):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payloads.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
+            return 2
+    diff = diff_traces(payloads[0], payloads[1], tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.to_text())
+    return 0 if diff.identical else 1
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        DEFAULT_STRAGGLER_THRESHOLD,
+        profile_to_text,
+        summary_to_text,
+        trace_profile,
+        trace_summary,
+    )
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.profile:
+            profile = trace_profile(payload)
+            if args.json:
+                print(json.dumps(profile, indent=2))
+            else:
+                print(profile_to_text(profile))
+            return 0
+        threshold = (
+            args.straggler_threshold
+            if args.straggler_threshold is not None
+            else DEFAULT_STRAGGLER_THRESHOLD
+        )
+        summary = trace_summary(payload, straggler_threshold=threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(summary_to_text(summary))
     return 0
 
 
@@ -536,6 +662,10 @@ def main(argv: list[str] | None = None) -> int:
                               choices=("serial", "parallel", "simulated"),
                               help="cross-shard fan-out policy for "
                                    "cluster schemes (default serial)")
+    serve_parser.add_argument("--monitor", action="store_true",
+                              help="attach online leakage monitors; exit 1 "
+                                   "if empirical adversary success exceeds "
+                                   "the eps-implied ceiling")
     serve_parser.add_argument("--json", action="store_true",
                               help="emit the report as JSON")
     _add_observability_arguments(serve_parser)
@@ -599,6 +729,11 @@ def main(argv: list[str] | None = None) -> int:
                                 choices=("per_slot", "per_round"),
                                 help="fault-coin granularity for injected "
                                      "faults (default per_slot)")
+    cluster_parser.add_argument("--monitor", action="store_true",
+                                help="attach online leakage monitors "
+                                     "(membership + shard routing); exit 1 "
+                                     "if empirical success exceeds the "
+                                     "eps-implied ceiling")
     cluster_parser.add_argument("--json", action="store_true",
                                 help="emit the report as JSON")
     cluster_parser.add_argument("--list", action="store_true",
@@ -637,14 +772,73 @@ def main(argv: list[str] | None = None) -> int:
                               help="cross-shard fan-out policy")
     audit_parser.add_argument("--batch", type=int, default=1,
                               help="requests dispatched per round")
-    audit_parser.add_argument("--cap", type=float, default=None,
+    audit_parser.add_argument("--cap", default=None, metavar="EPS",
                               help="budget cap to audit cumulative spend "
-                                   "against (flags the first crossing)")
+                                   "against (flags the first crossing); "
+                                   "decimals and rationals like 7/3 stay "
+                                   "exact")
     audit_parser.add_argument("--timeline", action="store_true",
                               help="plot the cumulative spend timeline")
+    audit_parser.add_argument("--slo", action="store_true",
+                              help="evaluate the two-window eps burn-rate "
+                                   "SLO (per tenant and per operator); "
+                                   "exit 1 on a breach")
+    audit_parser.add_argument("--slo-budget", default=None, metavar="EPS",
+                              help="SLO budget (exact; defaults to --cap)")
+    audit_parser.add_argument("--slo-horizon", type=int, default=None,
+                              help="SLO period in spend events "
+                                   "(default: the run length)")
+    audit_parser.add_argument("--slo-fast-window", type=int, default=None,
+                              help="fast window in events "
+                                   "(default horizon/50)")
+    audit_parser.add_argument("--slo-slow-window", type=int, default=None,
+                              help="slow window in events "
+                                   "(default horizon/10)")
+    audit_parser.add_argument("--slo-fast-burn", default="14",
+                              metavar="RATE",
+                              help="fast-window burn threshold (default 14)")
+    audit_parser.add_argument("--slo-slow-burn", default="6",
+                              metavar="RATE",
+                              help="slow-window burn threshold (default 6)")
     audit_parser.add_argument("--json", action="store_true",
-                              help="emit the timeline as JSON")
+                              help="emit the timeline (and SLO) as JSON")
     audit_parser.set_defaults(handler=_cmd_audit)
+
+    diff_parser = commands.add_parser(
+        "trace-diff",
+        help="structurally compare two exported traces (regression gate)",
+    )
+    diff_parser.add_argument("trace_a", metavar="A.json",
+                             help="baseline trace JSON")
+    diff_parser.add_argument("trace_b", metavar="B.json",
+                             help="candidate trace JSON")
+    diff_parser.add_argument("--tolerance", type=float, default=1e-6,
+                             help="relative tolerance for simulated-time "
+                                  "fields and numeric labels "
+                                  "(default 1e-6)")
+    diff_parser.add_argument("--json", action="store_true",
+                            help="emit the diff as JSON")
+    diff_parser.set_defaults(handler=_cmd_trace_diff)
+
+    summary_parser = commands.add_parser(
+        "trace-summary",
+        help="summarize an exported trace (fan-out rounds, stragglers, "
+             "or a --profile cost attribution)",
+    )
+    summary_parser.add_argument("trace", metavar="TRACE.json",
+                                help="exported trace JSON")
+    summary_parser.add_argument("--profile", action="store_true",
+                                help="self-vs-child cost attribution with "
+                                     "critical-path share instead of the "
+                                     "round summary")
+    summary_parser.add_argument(
+        "--straggler-threshold", type=float, default=None, metavar="RATIO",
+        help="flag rounds whose slowest leg costs at least RATIO times "
+             "the mean leg (default 1.5)",
+    )
+    summary_parser.add_argument("--json", action="store_true",
+                                help="emit the summary as JSON")
+    summary_parser.set_defaults(handler=_cmd_trace_summary)
 
     experiments_parser = commands.add_parser(
         "experiments", help="run the claim-table experiments"

@@ -50,6 +50,42 @@ def max_success_probability(epsilon: float, delta: float = 0.0) -> float:
     return 1.0 - (1.0 - delta) / (2.0 * math.exp(epsilon))
 
 
+def hoeffding_slack(trials: int, failure_probability: float = 1e-4) -> float:
+    """One-sided Hoeffding confidence slack ``sqrt(ln(1/γ) / (2·T))``.
+
+    An empirical success rate over ``trials`` i.i.d. games exceeds its
+    expectation by more than this slack with probability at most
+    ``failure_probability``; the online monitors add it to the DP bound
+    before tripping so a finite-sample fluctuation cannot fire a false
+    alarm.  Zero trials give an infinite slack (no evidence yet).
+    """
+    if not 0.0 < failure_probability < 1.0:
+        raise ValueError(
+            f"failure_probability must be in (0, 1), got {failure_probability}"
+        )
+    if trials <= 0:
+        return math.inf
+    return math.sqrt(math.log(1.0 / failure_probability) / (2.0 * trials))
+
+
+def distinguishing_guess(
+    true_present: bool, decoy_present: bool, rng: RandomSource
+) -> bool:
+    """One round of the membership game; returns whether the guess is right.
+
+    The adversary sees whether each candidate's block appears in the
+    observed access set and names the one that is present when exactly
+    one is, a fair coin otherwise — the same decision rule
+    :func:`membership_attack` applies offline, factored out so the
+    online monitors can score transcripts one round at a time.
+    """
+    if true_present and not decoy_present:
+        return True
+    if decoy_present and not true_present:
+        return False
+    return rng.random() < 0.5
+
+
 def membership_attack(
     sampler: SetSampler,
     query_a: int,
@@ -84,16 +120,13 @@ def membership_attack(
     correct = 0
     for _ in range(trials):
         truth_is_a = rng.random() < 0.5
-        download_set = sampler(query_a if truth_is_a else query_b)
-        a_in = query_a in download_set
-        b_in = query_b in download_set
-        if a_in and not b_in:
-            guess_a = True
-        elif b_in and not a_in:
-            guess_a = False
-        else:
-            guess_a = rng.random() < 0.5
-        if guess_a == truth_is_a:
+        truth, decoy = (
+            (query_a, query_b) if truth_is_a else (query_b, query_a)
+        )
+        download_set = sampler(truth)
+        if distinguishing_guess(
+            truth in download_set, decoy in download_set, rng
+        ):
             correct += 1
     success = correct / trials
     bound = (

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.cluster.ledger import ClusterBudgetReport
+from repro.obs.monitor import LeakageReport
 from repro.simulation.metrics import (
     DEFAULT_PERCENTILES,
     LatencySummary,
@@ -87,6 +88,14 @@ class ClusterReport:
     #: Total simulated time under the executor's overlap accounting
     #: (equals :attr:`serial_ms` for the serial executor).
     wall_clock_ms: float = 0.0
+    #: Online leakage-monitor verdicts when the run was driven with
+    #: ``monitor=True``; empty otherwise.
+    leakage: list[LeakageReport] = field(default_factory=list)
+
+    @property
+    def leakage_tripped(self) -> bool:
+        """True when any online monitor exceeded its ε-implied ceiling."""
+        return any(report.tripped for report in self.leakage)
 
     @property
     def ops_per_request(self) -> float:
@@ -146,6 +155,13 @@ class ClusterReport:
         faults = data["faults"]
         for name in sorted(faults):
             rows.append([f"faults: {name}", faults[name]])
+        for entry in data.get("leakage", []):
+            verdict = "TRIPPED" if entry["tripped"] else "ok"
+            rows.append([
+                f"leakage: {entry['attack']}",
+                f"{verdict} emp={entry['empirical_success']:.3f} "
+                f"bound={entry['bound']:.3f} trials={entry['trials']}",
+            ])
         return rows
 
     def to_text(self) -> str:
@@ -214,6 +230,8 @@ class ClusterReport:
                 "epochs": self.budget.epochs,
             },
             "faults": dict(self.faults),
+            "leakage": [report.to_dict() for report in self.leakage],
+            "leakage_tripped": self.leakage_tripped,
             "shards_detail": [
                 {
                     "shard": s.shard,

@@ -642,6 +642,19 @@ class ClusterIR(PrivateIR):
             raise failure
         return answers
 
+    def locate(self, index: int) -> tuple[int, int]:
+        """Public ``(shard, local_slot)`` image of a global index.
+
+        The placement a colluding observer can reconstruct anyway —
+        routing is deterministic — exposed so the leakage monitors
+        (``repro.obs.monitor``) can address candidates in the same
+        per-shard namespace the transcripts record.
+
+        Raises:
+            ValueError: if ``index`` is out of range.
+        """
+        return self._locate_index(index)
+
     def _locate_index(self, index: int) -> tuple[int, int]:
         try:
             return self._locate[index]

@@ -29,6 +29,7 @@ from repro.cluster.scheme import ClusterIR, ClusterKVS
 from repro.crypto.rng import SeededRandomSource, SystemRandomSource
 from repro.obs.instrument import instrument_scheme
 from repro.obs.metrics import MetricsRegistry, collect_scheme_metrics
+from repro.obs.monitor import SchemeWatch, default_monitors, watch_scheme
 from repro.obs.timeline import BudgetTimeline
 from repro.obs.tracer import Tracer
 from repro.simulation.metrics import DEFAULT_PERCENTILES, LatencySummary
@@ -67,6 +68,7 @@ def cluster(
     metrics_registry: MetricsRegistry | None = None,
     timeline: BudgetTimeline | None = None,
     fault_coin_mode: str = "per_slot",
+    monitor: bool = False,
     **base_kwargs: Any,
 ) -> ClusterReport:
     """Run a workload against a sharded + replicated cluster.
@@ -116,6 +118,13 @@ def cluster(
         fault_coin_mode: ``"per_slot"`` (default, slot-exact fault
             equivalence) or ``"per_round"`` (one fault coin per batched
             round, matching real RPC failure granularity).
+        monitor: attach online leakage monitors (streaming membership
+            and shard-routing attackers, one trial per round) scoring
+            the run against the cluster's ε-implied success ceiling;
+            verdicts land in
+            :attr:`~repro.cluster.report.ClusterReport.leakage`.
+            Monitoring observes per-shard transcripts only — answers,
+            draws and budgets are untouched.
         **base_kwargs: forwarded to the base scheme's builder.
 
     Returns:
@@ -192,6 +201,12 @@ def cluster(
         instrument_scheme(instance, tracer=tracer, registry=metrics_registry)
     if timeline is not None:
         instance.ledger.attach_timeline(timeline)
+    watch: SchemeWatch | None = None
+    if monitor:
+        watch = watch_scheme(
+            instance,
+            default_monitors(instance, rng=root.spawn("monitor")),
+        )
 
     try:
         per_op = model.rtt_ms + model.transfer_ms(instance.block_size)
@@ -259,6 +274,8 @@ def cluster(
                         mismatches += 1
 
     finally:
+        if watch is not None:
+            watch.unwatch()
         # Success or not, release any worker threads the
         # instance's own executor spawned (pool-backed executors
         # recreate them if the instance is reused).
@@ -312,4 +329,5 @@ def cluster(
         shard_reports=shard_reports,
         faults=scheme_fault_counters(instance),
         percentiles=extra_percentiles(latencies, percentiles),
+        leakage=watch.reports() if watch is not None else [],
     )

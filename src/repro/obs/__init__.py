@@ -14,8 +14,22 @@ Three pieces, one import surface:
 Plus the wiring: :class:`TracingExecutor` (span per shard leg),
 :func:`instrument_scheme` (attach to a built scheme) and
 :func:`trace_summary` (per-round critical paths from a span tree).
+
+PR 8 adds the *active* layer on top of that passive one:
+
+* :class:`LeakageMonitor` / :func:`watch_scheme` — streaming
+  membership and shard-routing attackers scored against the ε-implied
+  success ceiling, tripping live when a scheme leaks more than it
+  claims.
+* :func:`evaluate_slo` — multi-window ε burn-rate alerting (SRE
+  fast/slow windows) over a :class:`BudgetTimeline`.
+* :func:`diff_traces` — structural trace regression gate over
+  :func:`canonical_trace` payloads.
+* :func:`trace_profile` — per-phase/per-operator self-vs-child cost
+  attribution with critical-path share.
 """
 
+from repro.obs.diff import TraceDiff, diff_traces
 from repro.obs.executor import TracingExecutor
 from repro.obs.instrument import StorageObserver, instrument_scheme
 from repro.obs.metrics import (
@@ -25,7 +39,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
     collect_scheme_metrics,
 )
-from repro.obs.summary import summary_to_text, trace_summary
+from repro.obs.monitor import (
+    LeakageMonitor,
+    LeakageReport,
+    MembershipMonitor,
+    RoutingMonitor,
+    default_monitors,
+    watch_scheme,
+)
+from repro.obs.profile import profile_to_text, trace_profile
+from repro.obs.slo import BurnRateAlert, SLOPolicy, SLOReport, evaluate_slo
+from repro.obs.summary import (
+    DEFAULT_STRAGGLER_THRESHOLD,
+    summary_to_text,
+    trace_summary,
+)
 from repro.obs.timeline import BudgetTimeline, SpendEvent
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -36,21 +64,36 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "DEFAULT_STRAGGLER_THRESHOLD",
     "NULL_TRACER",
     "BudgetTimeline",
+    "BurnRateAlert",
     "Counter",
     "Gauge",
     "Histogram",
+    "LeakageMonitor",
+    "LeakageReport",
+    "MembershipMonitor",
     "MetricsRegistry",
     "NullTracer",
+    "RoutingMonitor",
+    "SLOPolicy",
+    "SLOReport",
     "Span",
     "SpendEvent",
     "StorageObserver",
+    "TraceDiff",
     "Tracer",
     "TracingExecutor",
     "canonical_trace",
     "collect_scheme_metrics",
+    "default_monitors",
+    "diff_traces",
+    "evaluate_slo",
     "instrument_scheme",
+    "profile_to_text",
     "summary_to_text",
+    "trace_profile",
     "trace_summary",
+    "watch_scheme",
 ]

@@ -1,0 +1,198 @@
+"""Structural trace diff: the regression gate over canonical traces.
+
+Two seeded runs of the same code produce identical
+:func:`~repro.obs.tracer.canonical_trace` payloads — that is the
+tracer's determinism contract.  :func:`diff_traces` turns the contract
+into a CI gate: it compares two exported traces *structurally* (span
+tree shape, names, parents, labels, counters, simulated-clock costs)
+after stripping the wall-clock fields, with a numeric tolerance for
+the float-valued per-phase costs, and reports every divergence.  A
+scheduling or fan-out regression that changes how many legs a round
+spawns, which shard a query lands on, or what a batched round costs
+shows up as a nonzero ``python -m repro trace-diff`` exit against the
+committed golden under ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs.tracer import canonical_trace
+
+__all__ = ["TraceDiff", "diff_traces"]
+
+#: Span fields compared exactly (identity / structure).
+_EXACT_FIELDS = ("name", "parent", "error")
+
+#: Span fields compared as numbers within the tolerance.
+_NUMERIC_FIELDS = ("sim_start_ms", "sim_end_ms")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _close(a: Any, b: Any, tolerance: float) -> bool:
+    """Numeric equality within an absolute-or-relative tolerance."""
+    if a is None or b is None:
+        return a is None and b is None
+    if not (_is_number(a) and _is_number(b)):
+        return bool(a == b)
+    scale = max(1.0, abs(float(a)), abs(float(b)))
+    return abs(float(a) - float(b)) <= tolerance * scale
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of a structural trace comparison.
+
+    Attributes:
+        differences: one human-readable line per divergence; empty
+            means the canonical traces are structurally identical.
+        spans_a: span count of the first (baseline) trace.
+        spans_b: span count of the second (candidate) trace.
+        tolerance: the numeric tolerance the comparison used.
+    """
+
+    differences: tuple[str, ...]
+    spans_a: int
+    spans_b: int
+    tolerance: float
+
+    @property
+    def identical(self) -> bool:
+        return not self.differences
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "identical": self.identical,
+            "differences": list(self.differences),
+            "spans_a": self.spans_a,
+            "spans_b": self.spans_b,
+            "tolerance": self.tolerance,
+        }
+
+    def to_text(self, *, limit: int = 50) -> str:
+        if self.identical:
+            return (
+                f"traces structurally identical "
+                f"({self.spans_a} spans, tolerance {self.tolerance:g})"
+            )
+        shown = list(self.differences[:limit])
+        lines = [
+            f"traces differ: {len(self.differences)} divergence(s) "
+            f"({self.spans_a} vs {self.spans_b} spans, "
+            f"tolerance {self.tolerance:g})"
+        ]
+        lines.extend(f"  {line}" for line in shown)
+        remaining = len(self.differences) - len(shown)
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more")
+        return "\n".join(lines)
+
+
+def _span_map(payload: Mapping[str, Any]) -> dict[str, Mapping[str, Any]]:
+    spans = {}
+    for span in payload.get("spans", []):
+        spans[span.get("id")] = span
+    return spans
+
+
+def _diff_span(
+    span_id: str,
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    tolerance: float,
+    out: list[str],
+) -> None:
+    for field in _EXACT_FIELDS:
+        if a.get(field) != b.get(field):
+            out.append(
+                f"span {span_id}: {field} {a.get(field)!r} != "
+                f"{b.get(field)!r}"
+            )
+    for field in _NUMERIC_FIELDS:
+        if not _close(a.get(field), b.get(field), tolerance):
+            out.append(
+                f"span {span_id}: {field} {a.get(field)!r} != "
+                f"{b.get(field)!r}"
+            )
+    labels_a = a.get("labels", {}) or {}
+    labels_b = b.get("labels", {}) or {}
+    for key in sorted(set(labels_a) - set(labels_b)):
+        out.append(f"span {span_id}: label {key!r} only in baseline")
+    for key in sorted(set(labels_b) - set(labels_a)):
+        out.append(f"span {span_id}: label {key!r} only in candidate")
+    for key in sorted(set(labels_a) & set(labels_b)):
+        value_a, value_b = labels_a[key], labels_b[key]
+        if _is_number(value_a) and _is_number(value_b):
+            if not _close(value_a, value_b, tolerance):
+                out.append(
+                    f"span {span_id}: label {key}={value_a!r} != {value_b!r}"
+                )
+        elif value_a != value_b:
+            out.append(
+                f"span {span_id}: label {key}={value_a!r} != {value_b!r}"
+            )
+
+
+def diff_traces(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    *,
+    tolerance: float = 1e-6,
+) -> TraceDiff:
+    """Structurally compare two exported traces.
+
+    Both payloads are canonicalized first (wall-clock stripped), so a
+    diff never fails on real elapsed time.  ``tolerance`` is applied
+    to the simulated-clock fields and numeric label values as a
+    relative-or-absolute margin; everything else must match exactly.
+
+    Args:
+        a: baseline trace payload (``Tracer.export()`` shape).
+        b: candidate trace payload.
+        tolerance: numeric margin for per-phase cost fields.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    canon_a = canonical_trace(dict(a))
+    canon_b = canonical_trace(dict(b))
+    spans_a = _span_map(canon_a)
+    spans_b = _span_map(canon_b)
+    differences: list[str] = []
+    if canon_a.get("name") != canon_b.get("name"):
+        differences.append(
+            f"trace name {canon_a.get('name')!r} != {canon_b.get('name')!r}"
+        )
+    for span_id in sorted(
+        set(spans_a) - set(spans_b),
+        key=lambda s: tuple(int(p) for p in s.split(".")),
+    ):
+        differences.append(
+            f"span {span_id} ({spans_a[span_id].get('name')}) "
+            "only in baseline"
+        )
+    for span_id in sorted(
+        set(spans_b) - set(spans_a),
+        key=lambda s: tuple(int(p) for p in s.split(".")),
+    ):
+        differences.append(
+            f"span {span_id} ({spans_b[span_id].get('name')}) "
+            "only in candidate"
+        )
+    for span_id in sorted(
+        set(spans_a) & set(spans_b),
+        key=lambda s: tuple(int(p) for p in s.split(".")),
+    ):
+        _diff_span(
+            span_id, spans_a[span_id], spans_b[span_id], tolerance,
+            differences,
+        )
+    return TraceDiff(
+        differences=tuple(differences),
+        spans_a=len(spans_a),
+        spans_b=len(spans_b),
+        tolerance=tolerance,
+    )

@@ -44,10 +44,31 @@ def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label escaping: ``\\`` then ``"`` then newline.
+
+    Backslash first so already-escaped output is never double-mangled;
+    format 0.0.4 requires all three (a raw newline would end the sample
+    line mid-label and corrupt the whole scrape).
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    """HELP-line escaping: backslash and newline (quotes stay literal)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 
@@ -206,7 +227,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, metric in metrics:
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             for key, value in metric._series():
                 if isinstance(value, dict):

@@ -1,0 +1,163 @@
+"""Deterministic profiling: self-vs-child cost attribution from spans.
+
+``trace_summary`` answers "where did each fan-out round wait"; this
+module answers the aggregate question — *which phase owns the time*.
+:func:`trace_profile` folds a span tree into per-phase (span name) and
+per-operator (``shard``/``server`` label) cost attribution:
+
+* **total** — a phase's inclusive cost (its spans' own intervals);
+* **self** — total minus the cost of child spans, i.e. the time the
+  phase spent that no nested phase explains;
+* **critical path** — the straggler chain from each root (always
+  descend into the costliest child), whose per-phase self-cost share
+  says what actually bounds wall-clock under a concurrent executor.
+
+Costs prefer the measured ``wall_ms`` and fall back to the
+deterministic simulated interval (``sim_end_ms − sim_start_ms``), so
+the profile works on live exports and on canonical (wall-stripped)
+golden traces alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["profile_to_text", "trace_profile"]
+
+
+def _cost(span: Mapping[str, Any]) -> float:
+    wall = span.get("wall_ms")
+    if wall is not None:
+        return float(wall)
+    start, end = span.get("sim_start_ms"), span.get("sim_end_ms")
+    if start is not None and end is not None:
+        return max(0.0, float(end) - float(start))
+    return 0.0
+
+
+def _operator_key(span: Mapping[str, Any]) -> str | None:
+    labels = span.get("labels", {}) or {}
+    for key in ("shard", "server"):
+        if key in labels:
+            return f"{key}={labels[key]}"
+    return None
+
+
+def trace_profile(trace: Any) -> dict[str, Any]:
+    """Aggregate a trace (or live tracer) into a cost profile.
+
+    Returns ``{"spans", "roots", "total_cost_ms", "critical_path_ms",
+    "by_name", "by_operator", "critical_path"}`` where ``by_name``
+    rows carry ``count / total_ms / self_ms / max_ms / critical_ms /
+    critical_share`` per span name, sorted by self cost descending.
+    """
+    payload = trace.export() if hasattr(trace, "export") else trace
+    spans = payload.get("spans", [])
+    children: dict[str | None, list[Mapping[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+
+    cost: dict[str, float] = {}
+    self_cost: dict[str, float] = {}
+    for span in spans:
+        cost[span["id"]] = _cost(span)
+    for span in spans:
+        child_total = sum(
+            cost[child["id"]] for child in children.get(span["id"], [])
+        )
+        self_cost[span["id"]] = max(0.0, cost[span["id"]] - child_total)
+
+    by_name: dict[str, dict[str, Any]] = {}
+    by_operator: dict[str, dict[str, Any]] = {}
+    for span in spans:
+        entry = by_name.setdefault(span["name"], {
+            "name": span["name"], "count": 0, "total_ms": 0.0,
+            "self_ms": 0.0, "max_ms": 0.0, "critical_ms": 0.0,
+        })
+        entry["count"] += 1
+        entry["total_ms"] += cost[span["id"]]
+        entry["self_ms"] += self_cost[span["id"]]
+        entry["max_ms"] = max(entry["max_ms"], cost[span["id"]])
+        operator = _operator_key(span)
+        if operator is not None:
+            op_entry = by_operator.setdefault(operator, {
+                "operator": operator, "count": 0,
+                "total_ms": 0.0, "self_ms": 0.0,
+            })
+            op_entry["count"] += 1
+            op_entry["total_ms"] += cost[span["id"]]
+            op_entry["self_ms"] += self_cost[span["id"]]
+
+    # Straggler chain per root: always descend into the costliest
+    # child — the realized critical path a concurrent executor waits on.
+    critical_path: list[dict[str, Any]] = []
+    critical_total = 0.0
+    for root in children.get(None, []):
+        node = root
+        while True:
+            contribution = self_cost[node["id"]]
+            critical_total += contribution
+            by_name[node["name"]]["critical_ms"] += contribution
+            critical_path.append({
+                "id": node["id"],
+                "name": node["name"],
+                "cost_ms": cost[node["id"]],
+                "self_ms": contribution,
+            })
+            legs = children.get(node["id"])
+            if not legs:
+                break
+            node = max(legs, key=lambda leg: cost[leg["id"]])
+
+    for entry in by_name.values():
+        entry["critical_share"] = (
+            entry["critical_ms"] / critical_total if critical_total > 0
+            else 0.0
+        )
+
+    ordering = sorted(
+        by_name.values(), key=lambda e: (-e["self_ms"], e["name"])
+    )
+    operators = sorted(
+        by_operator.values(), key=lambda e: (-e["self_ms"], e["operator"])
+    )
+    return {
+        "spans": len(spans),
+        "roots": len(children.get(None, [])),
+        "total_cost_ms": sum(cost[root["id"]]
+                             for root in children.get(None, [])),
+        "critical_path_ms": critical_total,
+        "by_name": ordering,
+        "by_operator": operators,
+        "critical_path": critical_path,
+    }
+
+
+def profile_to_text(profile: Mapping[str, Any]) -> str:
+    """Small fixed-width rendering of :func:`trace_profile` output."""
+    lines = [
+        f"trace profile: {profile.get('spans', 0)} spans, "
+        f"{profile.get('roots', 0)} roots, "
+        f"critical path {profile.get('critical_path_ms', 0.0):.3f}ms"
+    ]
+    lines.append(
+        f"  {'phase':<28} {'count':>6} {'total ms':>10} "
+        f"{'self ms':>10} {'max ms':>9} {'crit %':>7}"
+    )
+    for entry in profile.get("by_name", []):
+        lines.append(
+            f"  {entry['name']:<28} {entry['count']:>6} "
+            f"{entry['total_ms']:>10.3f} {entry['self_ms']:>10.3f} "
+            f"{entry['max_ms']:>9.3f} "
+            f"{100.0 * entry['critical_share']:>6.1f}%"
+        )
+    operators = profile.get("by_operator", [])
+    if operators:
+        lines.append(f"  {'operator':<28} {'count':>6} "
+                     f"{'total ms':>10} {'self ms':>10}")
+        for entry in operators:
+            lines.append(
+                f"  {entry['operator']:<28} {entry['count']:>6} "
+                f"{entry['total_ms']:>10.3f} {entry['self_ms']:>10.3f}"
+            )
+    return "\n".join(lines)

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
-__all__ = ["summary_to_text", "trace_summary"]
+__all__ = [
+    "DEFAULT_STRAGGLER_THRESHOLD",
+    "summary_to_text",
+    "trace_summary",
+]
 
 
 def _wall(span: Mapping[str, Any]) -> float:
@@ -21,15 +25,35 @@ def _wall(span: Mapping[str, Any]) -> float:
     return float(value) if value is not None else 0.0
 
 
-def trace_summary(trace: Any) -> dict[str, Any]:
+#: A round's slowest leg is *flagged* when it costs at least this many
+#: times the round's mean leg (override per call).
+DEFAULT_STRAGGLER_THRESHOLD = 1.5
+
+
+def trace_summary(
+    trace: Any, *, straggler_threshold: float = DEFAULT_STRAGGLER_THRESHOLD
+) -> dict[str, Any]:
     """Summarize an exported trace (or a live :class:`Tracer`).
 
-    Returns ``{"spans": N, "rounds": [...]}`` with one entry per span
-    that has children: leg count, serial sum of leg wall time, the
-    straggler leg (id, name, labels, wall), the implied overlap
-    speedup, and any ``queue_wait_ms`` / ``service_ms`` /
-    ``serial_ms`` labels the round span carries.
+    Returns ``{"spans": N, "straggler_threshold": t, "flagged_rounds":
+    F, "rounds": [...]}`` with one entry per span that has children:
+    leg count, serial sum of leg wall time, the straggler leg (id,
+    name, labels, wall), the implied overlap speedup, and any
+    ``queue_wait_ms`` / ``service_ms`` / ``serial_ms`` labels the
+    round span carries.  A round is *flagged* (``straggler_flagged``)
+    when its slowest leg costs at least ``straggler_threshold`` times
+    the round's mean leg — the skew worth chasing, as opposed to the
+    bookkeeping fact that some leg is always the max.
+
+    Args:
+        trace: an exported payload or a live tracer.
+        straggler_threshold: straggler-to-mean-leg ratio at which a
+            round counts as skewed (must be >= 1).
     """
+    if straggler_threshold < 1.0:
+        raise ValueError(
+            f"straggler_threshold must be >= 1, got {straggler_threshold}"
+        )
     payload = trace.export() if hasattr(trace, "export") else trace
     spans = payload.get("spans", [])
     children: dict[str | None, list[Mapping[str, Any]]] = {}
@@ -44,6 +68,10 @@ def trace_summary(trace: Any) -> dict[str, Any]:
         straggler = max(legs, key=_wall)
         serial_wall = sum(_wall(leg) for leg in legs)
         straggler_wall = _wall(straggler)
+        mean_leg = serial_wall / len(legs) if legs else 0.0
+        straggler_ratio = (
+            straggler_wall / mean_leg if mean_leg > 0 else 1.0
+        )
         labels = span.get("labels", {})
         entry: dict[str, Any] = {
             "span_id": span["id"],
@@ -61,12 +89,23 @@ def trace_summary(trace: Any) -> dict[str, Any]:
                 "labels": straggler.get("labels", {}),
                 "wall_ms": straggler.get("wall_ms"),
             },
+            "straggler_ratio": straggler_ratio,
+            "straggler_flagged": (
+                len(legs) > 1 and straggler_ratio >= straggler_threshold
+            ),
         }
         for key in ("queue_wait_ms", "service_ms", "serial_ms", "batch"):
             if key in labels:
                 entry[key] = labels[key]
         rounds.append(entry)
-    return {"spans": len(spans), "rounds": rounds}
+    return {
+        "spans": len(spans),
+        "straggler_threshold": straggler_threshold,
+        "flagged_rounds": sum(
+            1 for entry in rounds if entry["straggler_flagged"]
+        ),
+        "rounds": rounds,
+    }
 
 
 def summary_to_text(summary: Mapping[str, Any]) -> str:
@@ -94,5 +133,7 @@ def summary_to_text(summary: Mapping[str, Any]) -> str:
             )
         if entry["errors"]:
             line += f" errors={entry['errors']}"
+        if entry.get("straggler_flagged"):
+            line += f" STRAGGLER({entry['straggler_ratio']:.2f}x mean)"
         lines.append(line)
     return "\n".join(lines)

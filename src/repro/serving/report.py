@@ -66,6 +66,15 @@ class ServingReport:
     #: for schemes that fan legs out concurrently (equals
     #: :attr:`serial_ms` otherwise).
     wall_clock_ms: float = 0.0
+    #: Online leakage-monitor verdicts
+    #: (:class:`~repro.obs.monitor.LeakageReport` instances) when the
+    #: run was served with ``monitor=True``; empty otherwise.
+    leakage: list = field(default_factory=list)
+
+    @property
+    def leakage_tripped(self) -> bool:
+        """True when any online monitor exceeded its ε-implied ceiling."""
+        return any(getattr(report, "tripped", False) for report in self.leakage)
 
     @property
     def overlap_speedup(self) -> float:
@@ -150,6 +159,13 @@ class ServingReport:
         faults = data["faults"]
         for name in sorted(faults):
             rows.append([f"faults: {name}", faults[name]])
+        for entry in data.get("leakage", []):
+            verdict = "TRIPPED" if entry["tripped"] else "ok"
+            rows.append([
+                f"leakage: {entry['attack']}",
+                f"{verdict} emp={entry['empirical_success']:.3f} "
+                f"bound={entry['bound']:.3f} trials={entry['trials']}",
+            ])
         return rows
 
     def to_text(self) -> str:
@@ -208,6 +224,8 @@ class ServingReport:
             "overlap_speedup": self.overlap_speedup,
             "ops_per_request": self.ops_per_request,
             "fairness_index": self.fairness_index,
+            "leakage": [report.to_dict() for report in self.leakage],
+            "leakage_tripped": self.leakage_tripped,
             "tenants": [
                 {
                     "tenant": t.tenant,

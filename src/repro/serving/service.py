@@ -23,6 +23,7 @@ from repro.crypto.rng import (
 )
 from repro.obs.instrument import instrument_scheme
 from repro.obs.metrics import MetricsRegistry, collect_scheme_metrics
+from repro.obs.monitor import default_monitors, watch_scheme
 from repro.obs.tracer import Tracer
 from repro.serving.load import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
 from repro.serving.report import ServingReport
@@ -114,6 +115,7 @@ def serve(
     executor: str | None = None,
     tracer: Tracer | None = None,
     metrics_registry: MetricsRegistry | None = None,
+    monitor: bool = False,
     **build_kwargs,
 ) -> ServingReport:
     """Serve ``clients`` concurrent sessions against a scheme.
@@ -154,6 +156,12 @@ def serve(
             :class:`~repro.obs.metrics.MetricsRegistry`; request-flow
             counters accumulate during the run and the scheme's counter
             surfaces are collected into it afterwards.
+        monitor: attach online leakage monitors (streaming membership /
+            shard-routing attackers) that score every serving round
+            against the scheme's ε-implied success ceiling; verdicts
+            land in :attr:`~repro.serving.report.ServingReport.leakage`.
+            Monitoring observes transcripts only — answers, draws and
+            budgets are untouched.
         **build_kwargs: forwarded to the scheme's builder (``epsilon``,
             ``server_count``, ``backend``, …).
 
@@ -251,6 +259,12 @@ def serve(
     label_network = network if isinstance(network, str) else "custom"
     if tracer is not None or metrics_registry is not None:
         instrument_scheme(instance, tracer=tracer, registry=metrics_registry)
+    watch = None
+    if monitor:
+        watch = watch_scheme(
+            instance,
+            default_monitors(instance, rng=root.spawn("monitor")),
+        )
     simulator = ServingSimulator(
         instance,
         sessions,
@@ -265,11 +279,15 @@ def serve(
         if metrics_registry is not None:
             collect_scheme_metrics(instance, metrics_registry)
     finally:
+        if watch is not None:
+            watch.unwatch()
         if isinstance(scheme, str):
             # serve() built (and owns) the instance: release any
             # executor worker threads even when the run raises.
             closer = getattr(instance, "close", None)
             if callable(closer):
                 closer()
+    if watch is not None:
+        report.leakage = watch.reports()
     report.scheme = label
     return report

@@ -28,6 +28,8 @@ EXPECTED_MARKERS = {
     "trace_cluster.py": ["span tree", "straggler", "Prometheus",
                          "epsilon spend timeline",
                          "identical canonical trace: True", "Done."],
+    "monitor_serving.py": ["within bound", "TRIPPED",
+                           "caught the cheat", "Done."],
 }
 
 

@@ -1,0 +1,73 @@
+"""The committed golden trace matches a fresh run of its frozen config.
+
+This is the same gate CI's ``golden-trace`` job enforces, in-process:
+regenerate the pinned cluster run and structurally diff it against
+``benchmarks/baselines/trace_cluster_golden.json``.  If a legitimate
+change alters the span tree, regenerate with
+``python scripts/update_golden_trace.py`` and commit the new golden.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import diff_traces
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+GOLDEN = REPO / "benchmarks" / "baselines" / "trace_cluster_golden.json"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "update_golden_trace", REPO / "scripts" / "update_golden_trace.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return _load_generator()
+
+
+@pytest.fixture(scope="module")
+def committed():
+    with open(GOLDEN, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_golden_file_is_committed_and_canonical(committed):
+    assert committed["spans"], "golden trace must not be empty"
+    for span in committed["spans"]:
+        assert "wall_ms" not in span, "golden must be canonical"
+
+
+def test_fresh_run_matches_the_committed_golden(generator, committed):
+    fresh = generator.golden_trace()
+    diff = diff_traces(committed, fresh)
+    assert diff.identical, (
+        "golden trace drifted; inspect the diff and, if intended, "
+        "regenerate via scripts/update_golden_trace.py:\n"
+        + diff.to_text(limit=10)
+    )
+
+
+def test_regeneration_is_deterministic(generator):
+    assert diff_traces(
+        generator.golden_trace(), generator.golden_trace()
+    ).identical
+
+
+def test_config_change_is_caught(generator, committed):
+    original = dict(generator.GOLDEN_CONFIG)
+    try:
+        generator.GOLDEN_CONFIG["seed"] = original["seed"] + 1
+        drifted = generator.golden_trace()
+    finally:
+        generator.GOLDEN_CONFIG.clear()
+        generator.GOLDEN_CONFIG.update(original)
+    diff = diff_traces(committed, drifted)
+    assert not diff.identical

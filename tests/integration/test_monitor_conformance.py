@@ -1,0 +1,89 @@
+"""Leakage-monitor conformance: every registered scheme stays in bound.
+
+The ISSUE's acceptance bar: for every scheme in the registry, driving
+it under ``watch_scheme(default_monitors(...))`` must leave the
+empirical adversary advantage at or below the ε-implied ceiling plus
+the finite-sample slack — honest implementations never trip their own
+monitor.  The one scheme engineered to cheat (an under-padded DP-IR)
+must trip.  Together these pin both directions of the gate: no false
+alarms on the registry, no silence on a real leak.
+"""
+
+import pytest
+
+from repro import DPIR, SeededRandomSource
+from repro.api import available_schemes, build, scheme_spec
+from repro.obs import default_monitors, watch_scheme
+from repro.storage.blocks import integer_database
+
+N = 64
+ROUNDS = 96
+
+
+def all_schemes():
+    names = available_schemes()
+    assert len(names) >= 11
+    return names
+
+
+def _drive(scheme, kind):
+    if kind == "ir":
+        for index in range(ROUNDS):
+            scheme.query(index * 7 % N)
+    elif kind == "ram":
+        payload = b"\xab" * scheme.block_size
+        for index in range(ROUNDS):
+            slot = index * 5 % N
+            if scheme.writable and index % 3 == 0:
+                scheme.write(slot, payload)
+            else:
+                scheme.read(slot)
+    else:
+        for index in range(N // 2):
+            scheme.put(b"key-%d" % index, b"%d" % index)
+        for index in range(ROUNDS):
+            scheme.get(b"key-%d" % (index % N))
+
+
+@pytest.mark.parametrize("name", all_schemes())
+def test_registered_scheme_stays_within_its_bound(name):
+    scheme = build(name, n=N, seed=0xFEED)
+    monitors = default_monitors(scheme, rng=SeededRandomSource(0xFEED))
+    watch = watch_scheme(scheme, monitors)
+    try:
+        _drive(scheme, scheme_spec(name).kind)
+    finally:
+        watch.unwatch()
+    assert monitors, "every scheme gets at least the membership monitor"
+    for monitor in monitors:
+        report = monitor.report()
+        assert report.trials > 0, f"{name}: monitor saw no rounds"
+        assert report.empirical_success <= report.bound + report.slack, (
+            f"{name}/{report.attack}: empirical {report.empirical_success} "
+            f"exceeds bound {report.bound} + slack {report.slack}"
+        )
+        assert not report.tripped, f"{name} tripped its own monitor"
+    assert not watch.tripped
+
+
+def test_under_padded_scheme_is_caught():
+    class UnderPaddedDPIR(DPIR):
+        def _draw_set(self, index):
+            return [index], True
+
+    rng = SeededRandomSource(0xFEED)
+    cheat = UnderPaddedDPIR(
+        integer_database(N), epsilon=1.0, alpha=0.05,
+        rng=rng.spawn("scheme"),
+    )
+    monitors = default_monitors(cheat, rng=rng.spawn("monitor"))
+    watch = watch_scheme(cheat, monitors)
+    try:
+        for index in range(2 * ROUNDS):
+            cheat.query(index % N)
+    finally:
+        watch.unwatch()
+    assert watch.tripped
+    report = monitors[0].report()
+    assert report.tripped_at is not None
+    assert report.tripped_at >= report.min_trials

@@ -1,0 +1,102 @@
+"""Audit boundary semantics: spend exactly at the cap is NOT a crossing.
+
+The ledgers and the timeline do exact :class:`fractions.Fraction`
+arithmetic precisely so this boundary is crisp: a deployment that
+spends its budget to the last drop is compliant; one more charge —
+however small — is not.  These tests pin that down at the timeline
+level and end to end through ``python -m repro audit --cap``.
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import BudgetTimeline
+
+
+class TestTimelineCapBoundary:
+    def test_spend_exactly_equal_to_cap_does_not_cross(self):
+        cap = Fraction(7, 3)
+        timeline = BudgetTimeline(cap=cap)
+        for _ in range(7):
+            timeline.record(epsilon=Fraction(1, 3), operator="shard-0")
+        assert timeline.per_operator()["shard-0"] == cap
+        assert timeline.first_crossing is None
+
+    def test_one_event_past_the_cap_crosses(self):
+        cap = Fraction(7, 3)
+        timeline = BudgetTimeline(cap=cap)
+        for _ in range(7):
+            timeline.record(epsilon=Fraction(1, 3), operator="shard-0")
+        crossing = timeline.record(
+            epsilon=Fraction(1, 10**12), operator="shard-0"
+        )
+        assert timeline.first_crossing is crossing
+        assert crossing.sequence == 7
+
+    def test_cap_is_per_operator_not_total(self):
+        timeline = BudgetTimeline(cap=Fraction(1))
+        timeline.record(epsilon=Fraction(1), operator="shard-0")
+        timeline.record(epsilon=Fraction(1), operator="shard-1")
+        # Each operator sits exactly at the cap; the colluding total
+        # (2) is over it, but no single operator crossed.
+        assert timeline.first_crossing is None
+
+    def test_float_cap_image_would_get_the_boundary_wrong(self):
+        # 0.1 * 10 != 1.0 in floats; ten exact 1/10 charges against an
+        # exact cap of 1 must land precisely on the boundary.
+        timeline = BudgetTimeline(cap=Fraction(1))
+        for _ in range(10):
+            timeline.record(epsilon=Fraction(1, 10), operator="shard-0")
+        assert timeline.first_crossing is None
+
+
+AUDIT_ARGS = [
+    "audit", "--shards", "2", "--requests", "16", "--n", "128",
+    "--seed", "7",
+]
+
+
+@pytest.fixture(scope="module")
+def audit_spend():
+    """Exact per-operator spend of the pinned audit config."""
+    # Run once uncapped to learn the exact totals; module-scoped so the
+    # three CLI boundary tests pay for one extra run, not three.
+    import contextlib
+    import io
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        status = main(AUDIT_ARGS + ["--json"])
+    assert status == 0
+    payload = json.loads(stdout.getvalue())
+    return {
+        operator: Fraction(entry["fraction"])
+        for operator, entry in payload["per_operator"].items()
+    }
+
+
+class TestAuditCliCapBoundary:
+    def test_cap_exactly_at_peak_spend_exits_zero(self, audit_spend, capsys):
+        peak = max(audit_spend.values())
+        cap = f"{peak.numerator}/{peak.denominator}"
+        assert main(AUDIT_ARGS + ["--cap", cap]) == 0
+        captured = capsys.readouterr()
+        assert "never crossed" in captured.out
+        assert "crossed" not in captured.err
+
+    def test_cap_one_sliver_below_peak_exits_one(self, audit_spend, capsys):
+        peak = max(audit_spend.values())
+        below = peak - Fraction(1, 10**12)
+        cap = f"{below.numerator}/{below.denominator}"
+        assert main(AUDIT_ARGS + ["--cap", cap]) == 1
+        captured = capsys.readouterr()
+        assert "budget cap crossed" in captured.err
+
+    def test_generous_cap_exits_zero(self, audit_spend, capsys):
+        peak = max(audit_spend.values())
+        cap = str(peak.numerator // peak.denominator + 1000)
+        assert main(AUDIT_ARGS + ["--cap", cap]) == 0
+        capsys.readouterr()

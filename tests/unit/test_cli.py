@@ -228,3 +228,191 @@ class TestExperimentsCommand:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+def _trace_payload():
+    return {
+        "name": "cluster",
+        "spans": [
+            {"id": "1", "name": "round", "parent": None, "error": None,
+             "sim_start_ms": 0.0, "sim_end_ms": 5.0, "wall_ms": 1.0,
+             "labels": {"batch": 2}},
+            {"id": "1.1", "name": "leg", "parent": "1", "error": None,
+             "sim_start_ms": 0.0, "sim_end_ms": 2.0, "wall_ms": 0.5,
+             "labels": {"shard": 0}},
+            {"id": "1.2", "name": "leg", "parent": "1", "error": None,
+             "sim_start_ms": 0.0, "sim_end_ms": 5.0, "wall_ms": 0.9,
+             "labels": {"shard": 1}},
+        ],
+    }
+
+
+def _write_trace(path, payload):
+    import json
+
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestTraceDiffCommand:
+    def test_identical_traces_exit_zero(self, tmp_path, capsys):
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        b = _write_trace(tmp_path / "b.json", _trace_payload())
+        assert main(["trace-diff", a, b]) == 0
+        assert "structurally identical" in capsys.readouterr().out
+
+    def test_structural_change_exits_one(self, tmp_path, capsys):
+        payload = _trace_payload()
+        payload["spans"][2]["labels"]["shard"] = 9
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        b = _write_trace(tmp_path / "b.json", payload)
+        assert main(["trace-diff", a, b]) == 1
+        output = capsys.readouterr().out
+        assert "traces differ" in output
+        assert "shard" in output
+
+    def test_json_mode_emits_the_diff_payload(self, tmp_path, capsys):
+        import json
+
+        payload = _trace_payload()
+        payload["spans"].pop()
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        b = _write_trace(tmp_path / "b.json", payload)
+        assert main(["trace-diff", a, b, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["identical"] is False
+        assert data["spans_a"] == 3 and data["spans_b"] == 2
+
+    def test_wall_clock_drift_is_not_a_regression(self, tmp_path, capsys):
+        payload = _trace_payload()
+        for span in payload["spans"]:
+            span["wall_ms"] *= 50
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        b = _write_trace(tmp_path / "b.json", payload)
+        assert main(["trace-diff", a, b]) == 0
+        capsys.readouterr()
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        assert main(["trace-diff", a, str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["trace-diff", a, str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_negative_tolerance_exits_two(self, tmp_path, capsys):
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        assert main(["trace-diff", a, a, "--tolerance", "-1"]) == 2
+        capsys.readouterr()
+
+
+class TestTraceSummaryCommand:
+    def test_summary_renders(self, tmp_path, capsys):
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        assert main(["trace-summary", a]) == 0
+        assert "fan-out rounds" in capsys.readouterr().out
+
+    def test_profile_mode(self, tmp_path, capsys):
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        assert main(["trace-summary", a, "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "trace profile" in output
+        assert "shard=1" in output
+
+    def test_straggler_threshold_flag_changes_flagging(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        assert main(["trace-summary", a, "--json",
+                     "--straggler-threshold", "1.0"]) == 0
+        strict = json.loads(capsys.readouterr().out)
+        assert main(["trace-summary", a, "--json",
+                     "--straggler-threshold", "2.0"]) == 0
+        lax = json.loads(capsys.readouterr().out)
+        assert strict["straggler_threshold"] == 1.0
+        assert strict["flagged_rounds"] >= lax["flagged_rounds"]
+
+    def test_threshold_below_one_exits_two(self, tmp_path, capsys):
+        a = _write_trace(tmp_path / "a.json", _trace_payload())
+        assert main(["trace-summary", a,
+                     "--straggler-threshold", "0.5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["trace-summary", str(tmp_path / "nope.json")]) == 2
+        capsys.readouterr()
+
+
+class TestAuditSloCommand:
+    ARGS = ["audit", "--shards", "2", "--requests", "16", "--n", "128",
+            "--seed", "7"]
+
+    def test_slo_requires_a_budget(self, capsys):
+        assert main(self.ARGS + ["--slo"]) == 2
+        assert "--slo-budget" in capsys.readouterr().err
+
+    def test_healthy_slo_exits_zero(self, capsys):
+        assert main(self.ARGS + ["--slo", "--slo-budget", "100000"]) == 0
+        assert "SLO healthy" in capsys.readouterr().out
+
+    def test_burn_rate_breach_exits_one(self, capsys):
+        assert main(self.ARGS + ["--slo", "--slo-budget", "40",
+                                 "--slo-horizon", "100000"]) == 1
+        captured = capsys.readouterr()
+        assert "SLO breached" in captured.out
+        assert "slo burn-rate alert" in captured.err
+
+    def test_slo_budget_defaults_to_cap(self, capsys):
+        assert main(self.ARGS + ["--slo", "--cap", "100000"]) == 0
+        assert "SLO healthy" in capsys.readouterr().out
+
+    def test_json_mode_carries_the_slo_payload(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--slo", "--slo-budget", "100000",
+                                 "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["slo"]["breached"] is False
+        assert payload["slo"]["policy"]["budget"]["float"] == 100000.0
+
+
+class TestMonitorFlag:
+    def test_serve_monitor_reports_leakage(self, capsys):
+        assert main(["serve", "--scheme", "dp_ir", "--clients", "4",
+                     "--requests", "8", "--n", "128", "--seed", "7",
+                     "--monitor"]) == 0
+        output = capsys.readouterr().out
+        assert "leakage: membership" in output
+
+    def test_serve_monitor_json_carries_reports(self, capsys):
+        import json
+
+        assert main(["serve", "--scheme", "dp_ir", "--clients", "4",
+                     "--requests", "8", "--n", "128", "--seed", "7",
+                     "--monitor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["leakage_tripped"] is False
+        attacks = {entry["attack"] for entry in payload["leakage"]}
+        assert "membership" in attacks
+
+    def test_cluster_monitor_reports_both_attacks(self, capsys):
+        import json
+
+        assert main(["cluster", "--shards", "2", "--replicas", "1",
+                     "--n", "256", "--requests", "32", "--seed", "7",
+                     "--monitor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["leakage_tripped"] is False
+        attacks = {entry["attack"] for entry in payload["leakage"]}
+        assert attacks == {"membership", "routing"}
+
+    def test_unmonitored_reports_have_no_leakage_rows(self, capsys):
+        assert main(["serve", "--scheme", "dp_ir", "--clients", "4",
+                     "--requests", "8", "--n", "128", "--seed", "7"]) == 0
+        assert "leakage" not in capsys.readouterr().out

@@ -85,6 +85,67 @@ class TestRegistry:
         assert text.endswith("\n")
 
 
+def _unescape_label_value(raw: str) -> str:
+    """Decode a Prometheus exposition label value (the client's job)."""
+    out = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\" and i + 1 < len(raw):
+            nxt = raw[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class TestPrometheusEscaping:
+    HOSTILE = [
+        'quote " inside',
+        "back\\slash",
+        "line\nbreak",
+        'all \\ of " it\n together',
+        "trailing backslash \\",
+    ]
+
+    @pytest.mark.parametrize("value", HOSTILE, ids=repr)
+    def test_hostile_label_values_round_trip(self, value):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3, tenant=value)
+        text = registry.to_prometheus()
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("c_total{")
+        )
+        # Each sample stays a single line no matter the label value...
+        assert "\n" not in line
+        raw = line[line.index('tenant="') + len('tenant="'):line.rindex('"')]
+        # ...and a spec-compliant client recovers the exact original.
+        assert _unescape_label_value(raw) == value
+
+    def test_hostile_help_text_stays_one_line(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help with \\ and\nnewline").inc()
+        text = registry.to_prometheus()
+        help_line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("# HELP c_total")
+        )
+        assert help_line == "# HELP c_total help with \\\\ and\\nnewline"
+
+    def test_escaping_orders_backslash_first(self):
+        # The classic double-escape bug: escaping quotes before
+        # backslashes would turn `\"` input into `\\\"` -> `\"` -> `"`.
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1, op='\\"')
+        line = next(
+            ln for ln in registry.to_prometheus().splitlines()
+            if ln.startswith("c_total{")
+        )
+        assert 'op="\\\\\\""' in line
+
+
 class TestCollectSchemeMetrics:
     def test_absorbs_scheme_counters(self):
         scheme = DPIR(

@@ -1,0 +1,93 @@
+"""Unit tests for deterministic profiling (``repro.obs.profile``)."""
+
+from repro.obs import profile_to_text, trace_profile
+from repro.obs.tracer import Tracer, canonical_trace
+
+
+def _payload():
+    # One root round (10ms) with two legs: shard 0 at 4ms, shard 1 at
+    # 6ms (the straggler).  Root self-cost is 10 - (4 + 6) = 0.
+    return {
+        "name": "t",
+        "spans": [
+            {
+                "id": "1", "name": "round", "parent": None, "error": None,
+                "sim_start_ms": 0.0, "sim_end_ms": 10.0, "labels": {},
+            },
+            {
+                "id": "1.1", "name": "leg", "parent": "1", "error": None,
+                "sim_start_ms": 0.0, "sim_end_ms": 4.0,
+                "labels": {"shard": 0},
+            },
+            {
+                "id": "1.2", "name": "leg", "parent": "1", "error": None,
+                "sim_start_ms": 0.0, "sim_end_ms": 6.0,
+                "labels": {"shard": 1},
+            },
+        ],
+    }
+
+
+class TestTraceProfile:
+    def test_totals_and_self_costs(self):
+        profile = trace_profile(_payload())
+        assert profile["spans"] == 3
+        assert profile["roots"] == 1
+        assert profile["total_cost_ms"] == 10.0
+        by_name = {entry["name"]: entry for entry in profile["by_name"]}
+        assert by_name["round"]["total_ms"] == 10.0
+        assert by_name["round"]["self_ms"] == 0.0
+        assert by_name["leg"]["count"] == 2
+        assert by_name["leg"]["total_ms"] == 10.0
+        assert by_name["leg"]["self_ms"] == 10.0
+        assert by_name["leg"]["max_ms"] == 6.0
+
+    def test_critical_path_descends_into_the_straggler(self):
+        profile = trace_profile(_payload())
+        path = profile["critical_path"]
+        assert [node["id"] for node in path] == ["1", "1.2"]
+        # Root self is 0, straggler leg self is 6: the path is 6ms.
+        assert profile["critical_path_ms"] == 6.0
+        by_name = {entry["name"]: entry for entry in profile["by_name"]}
+        assert by_name["leg"]["critical_ms"] == 6.0
+        assert by_name["leg"]["critical_share"] == 1.0
+        assert by_name["round"]["critical_share"] == 0.0
+
+    def test_by_operator_uses_shard_labels(self):
+        profile = trace_profile(_payload())
+        operators = {
+            entry["operator"]: entry for entry in profile["by_operator"]
+        }
+        assert set(operators) == {"shard=0", "shard=1"}
+        assert operators["shard=1"]["total_ms"] == 6.0
+
+    def test_wall_clock_preferred_over_sim_interval(self):
+        payload = _payload()
+        payload["spans"][1]["wall_ms"] = 40.0
+        profile = trace_profile(payload)
+        by_name = {entry["name"]: entry for entry in profile["by_name"]}
+        assert by_name["leg"]["total_ms"] == 46.0
+
+    def test_accepts_a_live_tracer_and_canonical_payloads(self):
+        tracer = Tracer("t")
+        with tracer.span("outer"):
+            with tracer.span("inner", shard=2):
+                pass
+        live = trace_profile(tracer)
+        cold = trace_profile(canonical_trace(tracer.export()))
+        assert live["spans"] == cold["spans"] == 2
+        assert [e["name"] for e in cold["by_name"]] == sorted(
+            e["name"] for e in cold["by_name"]
+        )  # zero-cost entries fall back to name ordering
+
+    def test_empty_trace_profiles_cleanly(self):
+        profile = trace_profile({"name": "t", "spans": []})
+        assert profile["spans"] == 0
+        assert profile["critical_path_ms"] == 0.0
+        assert profile["by_name"] == []
+
+    def test_text_rendering_mentions_phases_and_operators(self):
+        text = profile_to_text(trace_profile(_payload()))
+        assert "trace profile: 3 spans" in text
+        assert "round" in text and "leg" in text
+        assert "shard=1" in text

@@ -1,0 +1,131 @@
+"""The schema validator CI runs over ``--trace``/``--metrics`` exports."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro import SeededRandomSource
+from repro.core.dp_ir import DPIR
+from repro.obs import MetricsRegistry, Tracer, collect_scheme_metrics
+from repro.storage.blocks import integer_database
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def script():
+    spec = importlib.util.spec_from_file_location(
+        "validate_trace", REPO / "scripts" / "validate_trace.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _real_metrics_payload():
+    scheme = DPIR(
+        integer_database(64), pad_size=8, alpha=0.1,
+        rng=SeededRandomSource(7),
+    )
+    for index in range(8):
+        scheme.query(index)
+    registry = MetricsRegistry()
+    collect_scheme_metrics(scheme, registry)
+    registry.histogram("lat_ms").observe(2.5)
+    return registry.to_json()
+
+
+class TestValidateMetrics:
+    def test_real_export_is_valid(self, script):
+        assert script.validate_metrics(_real_metrics_payload()) == []
+
+    def test_bad_version_flagged(self, script):
+        payload = _real_metrics_payload()
+        payload["version"] = 2
+        assert any(
+            "version" in p for p in script.validate_metrics(payload)
+        )
+
+    def test_bad_name_type_and_labels_flagged(self, script):
+        payload = {
+            "version": 1,
+            "metrics": [
+                {"name": "bad name!", "type": "counter",
+                 "labels": {}, "value": 1},
+                {"name": "ok_total", "type": "timer",
+                 "labels": {}, "value": 1},
+                {"name": "ok_total", "type": "counter",
+                 "labels": {"shard": 3}, "value": 1},
+                {"name": "ok_total", "type": "counter",
+                 "labels": {}, "value": "three"},
+            ],
+        }
+        problems = script.validate_metrics(payload)
+        assert len(problems) == 4
+
+    def test_histogram_needs_count_and_sum(self, script):
+        payload = {
+            "version": 1,
+            "metrics": [
+                {"name": "h", "type": "histogram",
+                 "labels": {}, "value": {"count": 2}},
+            ],
+        }
+        problems = script.validate_metrics(payload)
+        assert any("sum" in p for p in problems)
+
+    def test_unknown_and_missing_fields_flagged(self, script):
+        payload = {
+            "version": 1,
+            "metrics": [
+                {"name": "c", "type": "counter", "labels": {},
+                 "value": 1, "extra": True},
+                {"name": "c", "type": "counter"},
+            ],
+        }
+        problems = script.validate_metrics(payload)
+        assert any("unknown" in p for p in problems)
+        assert any("missing" in p for p in problems)
+
+
+class TestMainEndToEnd:
+    def _write_exports(self, tmp_path):
+        tracer = Tracer("t")
+        with tracer.span("round"):
+            with tracer.span("leg", shard=0):
+                pass
+        trace_path = tmp_path / "trace.json"
+        trace_path.write_text(json.dumps(tracer.export()))
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(_real_metrics_payload()))
+        return trace_path, metrics_path
+
+    def test_valid_pair_exits_zero(self, script, tmp_path, capsys):
+        trace_path, metrics_path = self._write_exports(tmp_path)
+        status = script.main([str(trace_path),
+                              "--metrics", str(metrics_path)])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "valid trace" in output
+        assert "valid metrics export" in output
+
+    def test_corrupt_metrics_fail_even_with_a_valid_trace(
+        self, script, tmp_path, capsys
+    ):
+        trace_path, metrics_path = self._write_exports(tmp_path)
+        payload = json.loads(metrics_path.read_text())
+        payload["metrics"][0]["type"] = "timer"
+        metrics_path.write_text(json.dumps(payload))
+        status = script.main([str(trace_path),
+                              "--metrics", str(metrics_path)])
+        assert status == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_trace_only_invocation_still_works(
+        self, script, tmp_path, capsys
+    ):
+        trace_path, _ = self._write_exports(tmp_path)
+        assert script.main([str(trace_path)]) == 0
+        capsys.readouterr()
