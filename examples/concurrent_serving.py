@@ -18,8 +18,7 @@ SEED = 2024
 
 
 def run(scheduler: str):
-    return repro.serve(
-        "batch_dp_ir",
+    config = repro.ServingConfig(
         clients=CLIENTS,
         requests_per_client=REQUESTS,
         scheduler=scheduler,
@@ -28,13 +27,14 @@ def run(scheduler: str):
         seed=SEED,
         network="lan",
     )
+    return repro.serve("batch_dp_ir", config)
 
 
 def main() -> None:
     print(f"== Serving {CLIENTS} concurrent clients, {REQUESTS} requests "
           f"each, over BatchDPIR (n={N}) ==\n")
     fifo = run("fifo")
-    batch = run("batch")
+    batch = run("window")
 
     print(f"{'':24}{'FIFO':>10}{'batched':>10}")
     for label, attribute in [

@@ -1,0 +1,83 @@
+"""Continuous batching under an open-loop flood, with admission caps.
+
+Eight tenants flood one ``BatchDPIR`` worker far past its service rate.
+The lock-step windowed scheduler serves every request — eventually —
+by letting the queue (and therefore p99) grow with the backlog.  The
+continuous scheduler pipelines dispatch groups across rounds, which
+lifts sustained throughput; adding per-tenant admission credits sheds
+the excess instead of queueing it, which is what actually bounds the
+tail.  Run with::
+
+    python examples/continuous_batching.py
+"""
+
+import repro
+
+CLIENTS = 8
+REQUESTS = 48
+N = 256
+RATE_RPS = 2000.0      # per tenant: far past the worker's service rate
+CREDITS = 4
+SEED = 2026
+
+BASE = repro.ServingConfig(
+    clients=CLIENTS,
+    requests_per_client=REQUESTS,
+    load="open",
+    rate_rps=RATE_RPS,
+    n=N,
+    seed=SEED,
+    network="lan",
+)
+
+CELLS = [
+    ("windowed rounds", BASE.replace(scheduler="window",
+                                     batch_window_ms=0.0)),
+    ("continuous", BASE.replace(scheduler="continuous")),
+    ("continuous + caps", BASE.replace(scheduler="continuous",
+                                       tenant_credits=CREDITS)),
+]
+
+
+def main() -> None:
+    print(f"== {CLIENTS} tenants flooding one BatchDPIR worker "
+          f"(n={N}, {RATE_RPS:.0f} req/s each) ==\n")
+    print("registered schedulers:")
+    for spec in repro.schedulers():
+        print(f"  {spec.name:<12} {spec.summary}")
+    print()
+
+    reports = [(label, repro.serve("batch_dp_ir", config))
+               for label, config in CELLS]
+
+    header = (f"{'':20}{'req/s':>8}{'p99 ms':>10}{'max queue':>11}"
+              f"{'in-flight':>11}{'shed':>6}")
+    print(header)
+    for label, report in reports:
+        print(f"{label:20}{report.throughput_rps:>8.1f}"
+              f"{report.latency.p99_ms:>10.2f}"
+              f"{report.max_queue_depth:>11}"
+              f"{report.max_in_flight:>11}"
+              f"{report.shed:>6}")
+
+    windowed, continuous, capped = (report for _, report in reports)
+    gain = continuous.throughput_rps / windowed.throughput_rps
+    print(f"\npipelining dispatch groups sustains {gain:.1f}x the "
+          "windowed throughput")
+    print(f"admission caps ({CREDITS} credits/tenant) shed "
+          f"{capped.shed}/{capped.requests} requests, bounding the "
+          f"queue at {capped.max_queue_depth} "
+          f"(was {continuous.max_queue_depth})")
+    print("and the shed load is spread fairly across tenants:")
+    for tenant in capped.fairness["tenants"]:
+        print(f"  {tenant['tenant']:<12} offered {tenant['offered']:>3}  "
+              f"shed {tenant['shed']:>3}  "
+              f"({tenant['shed_fraction']:.0%})")
+
+    assert continuous.throughput_rps > windowed.throughput_rps
+    assert capped.latency.p99_ms < continuous.latency.p99_ms
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

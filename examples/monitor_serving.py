@@ -3,7 +3,7 @@
 The paper's lower bounds say meaningful privacy at small overhead is a
 tight trade: a DP-IR instance that promises a small ε must pad its
 download sets accordingly.  This example serves two schemes through
-``repro.serve(..., monitor=True)``:
+``repro.serve`` with ``ServingConfig(monitor=True)``:
 
 * an **honest** DP-IR built for a tight ε target — at n=512 the
   cheapest pad honoring it is the full database, so the streaming
@@ -21,7 +21,7 @@ noise cannot fire a false alarm.  Run with::
     python examples/monitor_serving.py
 """
 
-from repro import DPIR, SeededRandomSource, serve
+from repro import DPIR, SeededRandomSource, ServingConfig, serve
 from repro.storage.blocks import integer_database
 
 N = 512
@@ -46,14 +46,14 @@ class UnderPaddedDPIR(DPIR):
 
 
 def run(label: str, scheme) -> bool:
-    report = serve(
-        scheme,
+    config = ServingConfig(
         clients=CLIENTS,
         requests_per_client=REQUESTS,
         scheduler="fifo",
         seed=SEED,
         monitor=True,
     )
+    report = serve(scheme, config)
     print(f"-- {label} --")
     for leakage in report.leakage:
         print(f"  {leakage.to_text()}")

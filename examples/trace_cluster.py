@@ -12,6 +12,7 @@ receives every ledger charge as an exact Fraction.  Run with::
 import json
 from fractions import Fraction
 
+from repro.cluster.config import ClusterConfig
 from repro.cluster.service import cluster
 from repro.obs import (
     BudgetTimeline,
@@ -34,11 +35,11 @@ def main() -> None:
     tracer = Tracer("trace_cluster")
     registry = MetricsRegistry()
     timeline = BudgetTimeline(cap=Fraction(200))
-    report = cluster(
+    report = cluster("dp_ir", ClusterConfig(
         shards=SHARDS, replicas=1, n=512, requests=REQUESTS,
         pad_size=16, seed=SEED, executor="parallel", batch=8,
         tracer=tracer, metrics_registry=registry, timeline=timeline,
-    )
+    ))
     print(f"completed {report.completed}/{report.requests} requests, "
           f"overlap speedup {report.overlap_speedup:.2f}x\n")
 
@@ -72,11 +73,11 @@ def main() -> None:
     # The determinism contract: the canonical trace (wall-clock fields
     # stripped) is bit-identical across same-seed runs and executors.
     replay = Tracer("trace_cluster")
-    cluster(
+    cluster("dp_ir", ClusterConfig(
         shards=SHARDS, replicas=1, n=512, requests=REQUESTS,
         pad_size=16, seed=SEED, executor="serial", batch=8,
         tracer=replay,
-    )
+    ))
     identical = (
         json.dumps(canonical_trace(trace), sort_keys=True)
         == json.dumps(canonical_trace(replay.export()), sort_keys=True)

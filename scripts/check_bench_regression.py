@@ -7,8 +7,10 @@ them against the copies committed under ``benchmarks/baselines/`` and
 fails (exit 1) when:
 
 * serving throughput of any (scheme, scheduler) cell drops more than
-  ``--threshold`` (default 25 %) below its baseline, or batching stops
-  beating FIFO on ``batch_dp_ir``;
+  ``--threshold`` (default 25 %) below its baseline, batching stops
+  beating FIFO on ``batch_dp_ir``, or the continuous-batching flood
+  section breaks its invariants (continuous > windowed throughput, a
+  p99 ceiling per cell, caps must shed and bound the queue);
 * the cluster scaling curve breaks an exact invariant — ops/request
   must stay ``K/D``-proportional (equal to baseline), per-server
   storage must stay ``n/D``, the per-query ε must stay equal to the
@@ -87,10 +89,10 @@ def _load(path: pathlib.Path) -> dict:
 def check_serving(current: dict, baseline: dict, threshold: float,
                   gate: _Gate) -> None:
     """Throughput floor per cell + the batching-beats-FIFO invariant."""
-    def cells(payload: dict) -> dict:
+    def cells(payload: dict, section: str = "results") -> dict:
         return {
             (row["scheme"], row["scheduler"]): row
-            for row in payload["results"]
+            for row in payload.get(section, [])
         }
 
     now = cells(current)
@@ -115,6 +117,80 @@ def check_serving(current: dict, baseline: dict, threshold: float,
             "serving: batching no longer beats FIFO on batch_dp_ir "
             f"({batch['ops_per_request']:.2f} >= "
             f"{fifo['ops_per_request']:.2f} ops/request)",
+        )
+    _check_continuous(current, baseline, threshold, gate, cells)
+
+
+def _check_continuous(current: dict, baseline: dict, threshold: float,
+                      gate: _Gate, cells) -> None:
+    """Gate the continuous-batching flood section of BENCH_serving.json.
+
+    The flood is seeded (8 tenants on one worker, i.e. tenants =
+    8 x shards at the defaults), so cells reproduce exactly; the gate
+    still allows ``--threshold`` slack on throughput/p99 so a reviewed
+    simulator-cost tweak doesn't hard-fail on every machine.  Three
+    invariants never get slack:
+
+    * continuous dispatch must sustain strictly more throughput than
+      the lock-step window baseline under the same flood;
+    * admission caps must not make p99 *worse* than the uncapped run;
+    * a flood past the service rate with caps on must actually shed.
+    """
+    now = cells(current, "continuous")
+    then = cells(baseline, "continuous")
+    gate.check(
+        bool(now),
+        "serving: artifact is missing the continuous flood section — "
+        "rerun `python scripts/run_benchmarks.py`",
+    )
+    if not now:
+        return
+    for key, base_row in then.items():
+        gate.check(key in now, f"serving: continuous cell {key} vanished")
+        if key not in now:
+            continue
+        row = now[key]
+        floor = base_row["throughput_rps"] * (1.0 - threshold)
+        gate.check(
+            row["throughput_rps"] >= floor,
+            f"serving: continuous cell {key} throughput "
+            f"{row['throughput_rps']:.1f} req/s dropped more than "
+            f"{threshold:.0%} below baseline "
+            f"{base_row['throughput_rps']:.1f}",
+        )
+        ceiling = base_row["p99_ms"] * (1.0 + threshold)
+        gate.check(
+            row["p99_ms"] <= ceiling,
+            f"serving: continuous cell {key} p99 {row['p99_ms']:.2f} ms "
+            f"regressed more than {threshold:.0%} over baseline "
+            f"{base_row['p99_ms']:.2f} ms",
+        )
+    by_label = {key[1]: row for key, row in now.items()}
+    window = by_label.get("window")
+    cont = by_label.get("continuous")
+    capped = by_label.get("continuous+caps")
+    if window and cont:
+        gate.check(
+            cont["throughput_rps"] > window["throughput_rps"],
+            "serving: continuous batching no longer beats the windowed "
+            f"round baseline ({cont['throughput_rps']:.1f} <= "
+            f"{window['throughput_rps']:.1f} req/s)",
+        )
+    if cont and capped:
+        gate.check(
+            capped["p99_ms"] <= cont["p99_ms"],
+            "serving: admission caps made p99 worse than the uncapped "
+            f"flood ({capped['p99_ms']:.2f} > {cont['p99_ms']:.2f} ms)",
+        )
+        gate.check(
+            capped["shed"] > 0,
+            "serving: capped flood shed nothing — admission control is "
+            "not engaging under overload",
+        )
+        gate.check(
+            capped["max_queue_depth"] <= cont["max_queue_depth"],
+            "serving: caps no longer bound the queue "
+            f"({capped['max_queue_depth']} > {cont['max_queue_depth']})",
         )
 
 

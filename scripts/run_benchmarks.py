@@ -44,7 +44,10 @@ from repro.parallel.bench import (  # noqa: E402
     executor_equivalence,
     speedup_curve,
 )
-from repro.serving.bench import compare_dispatch  # noqa: E402
+from repro.serving.bench import (  # noqa: E402
+    compare_dispatch,
+    continuous_flood,
+)
 from repro.simulation.reporting import format_table  # noqa: E402
 from repro.storage.bench import hotpath_comparison  # noqa: E402
 
@@ -68,6 +71,7 @@ def _serving(args) -> int:
         requests_per_client=args.requests,
         seed=args.seed,
     )
+    flood = continuous_flood(seed=args.seed)
     payload = {
         "benchmark": "serving.dispatch_comparison",
         "config": {
@@ -77,6 +81,7 @@ def _serving(args) -> int:
             "seed": args.seed,
         },
         "results": results,
+        "continuous": flood,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -89,6 +94,15 @@ def _serving(args) -> int:
         ["scheme", "scheduler", "ops/request", "p95 ms", "req/s"],
         rows, title=f"Serving dispatch smoke (wrote {args.out.name})",
     ))
+    flood_rows = [
+        [r["scheduler"], f"{r['throughput_rps']:.1f}", f"{r['p99_ms']:.2f}",
+         r["max_queue_depth"], r["max_in_flight"], r["shed"]]
+        for r in flood
+    ]
+    print(format_table(
+        ["scheduler", "req/s", "p99 ms", "max queue", "in-flight", "shed"],
+        flood_rows, title="Continuous-batching flood (tenants = 8x shards)",
+    ))
 
     by = {(r["scheme"], r["scheduler"]): r for r in results}
     fifo = by[("batch_dp_ir", "fifo")]["ops_per_request"]
@@ -97,6 +111,33 @@ def _serving(args) -> int:
         print(
             f"regression: batched dispatch ({batch:.2f} ops/request) no "
             f"longer beats FIFO ({fifo:.2f}) on batch_dp_ir",
+            file=sys.stderr,
+        )
+        return 1
+    flood_by = {r["scheduler"]: r for r in flood}
+    window_thr = flood_by["window"]["throughput_rps"]
+    cont_thr = flood_by["continuous"]["throughput_rps"]
+    if cont_thr <= window_thr:
+        print(
+            f"regression: continuous batching ({cont_thr:.1f} req/s) no "
+            f"longer beats the windowed scheduler ({window_thr:.1f}) "
+            "under open-loop flood",
+            file=sys.stderr,
+        )
+        return 1
+    capped = flood_by["continuous+caps"]
+    uncapped_p99 = flood_by["continuous"]["p99_ms"]
+    if capped["p99_ms"] > uncapped_p99:
+        print(
+            f"regression: admission caps raised p99 "
+            f"({capped['p99_ms']:.2f} ms > {uncapped_p99:.2f} ms uncapped)",
+            file=sys.stderr,
+        )
+        return 1
+    if capped["shed"] == 0:
+        print(
+            "regression: the capped flood shed nothing — admission "
+            "control is not engaging",
             file=sys.stderr,
         )
         return 1

@@ -59,6 +59,7 @@ from repro.core import (
 # runs a deployment, ``repro.cluster.ClusterIR`` still resolves.
 import repro.cluster as cluster  # noqa: F401
 from repro.cluster import (
+    ClusterConfig,
     ClusterIR,
     ClusterKVS,
     ClusterLedger,
@@ -87,7 +88,17 @@ from repro.parallel import (
     SimulatedParallelExecutor,
     resolve_executor,
 )
-from repro.serving import ServingReport, serve
+from repro.serving import (
+    ContinuousBatchScheduler,
+    FIFOScheduler,
+    RequestScheduler,
+    ServingConfig,
+    ServingReport,
+    WindowedBatchScheduler,
+    register_scheduler,
+    serve,
+)
+from repro.serving import scheduler_listings as schedulers
 from repro.storage import (
     InMemoryBackend,
     NetworkBackend,
@@ -105,10 +116,12 @@ __all__ = [
     "BucketDPRAM",
     "BudgetExceededError",
     "BudgetTimeline",
+    "ClusterConfig",
     "ClusterIR",
     "ClusterKVS",
     "ClusterLedger",
     "ClusterReport",
+    "ContinuousBatchScheduler",
     "DPIR",
     "DPIRParams",
     "DPKVS",
@@ -116,6 +129,7 @@ __all__ = [
     "DPRAM",
     "DPRAMParams",
     "Executor",
+    "FIFOScheduler",
     "InMemoryBackend",
     "LAN",
     "LeakageReport",
@@ -139,10 +153,12 @@ __all__ = [
     "PrivateRAM",
     "ReadOnlyDPRAM",
     "RecursivePathORAM",
+    "RequestScheduler",
     "Scheme",
     "SeededRandomSource",
     "SerialExecutor",
     "ServerPool",
+    "ServingConfig",
     "ServingReport",
     "ShardedDPIR",
     "SimulatedParallelExecutor",
@@ -154,6 +170,7 @@ __all__ = [
     "TracingExecutor",
     "Transcript",
     "WAN",
+    "WindowedBatchScheduler",
     "available_schemes",
     "build",
     "cluster",
@@ -162,8 +179,10 @@ __all__ = [
     "diff_traces",
     "evaluate_slo",
     "instrument_scheme",
+    "register_scheduler",
     "register_scheme",
     "resolve_executor",
+    "schedulers",
     "schemes",
     "serve",
     "trace_profile",

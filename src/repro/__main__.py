@@ -207,7 +207,7 @@ def _cmd_serve_checked(args: argparse.Namespace) -> int:
     import json
 
     from repro.api import scheme_spec
-    from repro.serving import serve
+    from repro.serving import ServingConfig, serve
 
     # Validate the scheme spelling up front: unknown names exit 2 with
     # the registry catalogue (ValueError above) and can never surface
@@ -215,26 +215,10 @@ def _cmd_serve_checked(args: argparse.Namespace) -> int:
     scheme_spec(args.scheme)
 
     tracer, registry = _observability(args)
-    report = serve(
-        args.scheme,
-        clients=args.clients,
-        requests_per_client=args.requests,
-        scheduler=args.scheduler,
-        batch_window_ms=args.window_ms,
-        max_batch=args.max_batch,
-        load=args.load,
-        rate_rps=args.rate,
-        think_ms=args.think_ms,
-        workload=args.workload,
-        n=args.n,
-        seed=args.seed,
-        network=args.network,
-        value_size=args.value_size,
-        executor=args.executor,
-        tracer=tracer,
-        metrics_registry=registry,
-        monitor=args.monitor,
+    config = ServingConfig.from_cli_args(
+        args, tracer=tracer, metrics_registry=registry
     )
+    report = serve(args.scheme, config)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -263,7 +247,7 @@ def _cmd_cluster_checked(args: argparse.Namespace) -> int:
     import json
 
     from repro.api import scheme_spec, schemes
-    from repro.cluster import cluster
+    from repro.cluster import ClusterConfig, cluster
     from repro.simulation.reporting import format_table
 
     if not args.list:
@@ -285,30 +269,10 @@ def _cmd_cluster_checked(args: argparse.Namespace) -> int:
         return 0
 
     tracer, registry = _observability(args)
-    report = cluster(
-        args.scheme,
-        shards=args.shards,
-        replicas=args.replicas,
-        n=args.n,
-        requests=args.requests,
-        workload=args.workload,
-        placement=args.placement,
-        epsilon=args.epsilon,
-        pad_size=args.pad_size,
-        alpha=args.alpha,
-        authenticated=not args.no_auth,
-        failure_rate=args.failure_rate,
-        corruption_rate=args.corruption_rate,
-        value_size=args.value_size,
-        seed=args.seed,
-        network=args.network,
-        executor=args.executor,
-        batch=args.batch,
-        tracer=tracer,
-        metrics_registry=registry,
-        fault_coin_mode=args.fault_coins,
-        monitor=args.monitor,
+    config = ClusterConfig.from_cli_args(
+        args, tracer=tracer, metrics_registry=registry
     )
+    report = cluster(args.scheme, config)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -367,7 +331,7 @@ def _cmd_audit_checked(args: argparse.Namespace) -> int:
     from fractions import Fraction
 
     from repro.api import scheme_spec
-    from repro.cluster import cluster
+    from repro.cluster import ClusterConfig, cluster
     from repro.obs import BudgetTimeline
 
     scheme_spec(args.scheme)
@@ -379,20 +343,8 @@ def _cmd_audit_checked(args: argparse.Namespace) -> int:
     # its float image.
     cap = Fraction(str(args.cap)) if args.cap is not None else None
     timeline = BudgetTimeline(cap=cap)
-    report = cluster(
-        args.scheme,
-        shards=args.shards,
-        replicas=args.replicas,
-        n=args.n,
-        requests=args.requests,
-        workload=args.workload,
-        epsilon=args.epsilon,
-        pad_size=args.pad_size,
-        seed=args.seed,
-        executor=args.executor,
-        batch=args.batch,
-        timeline=timeline,
-    )
+    config = ClusterConfig.from_cli_args(args, timeline=timeline)
+    report = cluster(args.scheme, config)
 
     slo_report = None
     if args.slo:
@@ -630,13 +582,27 @@ def main(argv: list[str] | None = None) -> int:
                               help="concurrent tenant sessions (default 8)")
     serve_parser.add_argument("--requests", type=int, default=32,
                               help="requests per client (default 32)")
-    serve_parser.add_argument("--scheduler", default="batch",
-                              choices=("fifo", "batch"),
-                              help="dispatch policy (default batch)")
+    serve_parser.add_argument("--scheduler", default="window",
+                              choices=("fifo", "window", "continuous",
+                                       "batch"),
+                              help="dispatch policy (default window; "
+                                   "'batch' is a legacy alias for window, "
+                                   "'continuous' pipelines dispatch groups "
+                                   "with admission control)")
     serve_parser.add_argument("--window-ms", type=float, default=2.0,
                               help="batching window in ms (default 2)")
     serve_parser.add_argument("--max-batch", type=int, default=16,
                               help="dispatch group size cap (default 16)")
+    serve_parser.add_argument("--max-in-flight", type=int, default=4,
+                              help="concurrent dispatch groups for the "
+                                   "continuous scheduler (default 4)")
+    serve_parser.add_argument("--tenant-credits", type=int, default=None,
+                              help="per-tenant outstanding-request cap for "
+                                   "the continuous scheduler (default: "
+                                   "admission control off)")
+    serve_parser.add_argument("--queue-cap", type=int, default=None,
+                              help="global pending-queue cap for the "
+                                   "continuous scheduler (default: off)")
     serve_parser.add_argument("--load", default="open",
                               choices=("open", "closed"),
                               help="open-loop Poisson or closed-loop think")

@@ -43,6 +43,7 @@ import sys
 from types import ModuleType
 from typing import Any
 
+from repro.cluster.config import ClusterConfig
 from repro.cluster.group import (
     DEFAULT_MAX_ATTEMPTS,
     GroupExhaustedError,
@@ -62,6 +63,7 @@ from repro.cluster.service import cluster
 
 __all__ = [
     "ClusterBudgetReport",
+    "ClusterConfig",
     "ClusterIR",
     "ClusterKVS",
     "ClusterLedger",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.dp_ir_exact import dpir_epsilon
+from repro.cluster.config import ClusterConfig
 from repro.cluster.service import cluster
 
 #: Shard counts for the scaling curve.  The pad splits as ``K/D``, so
@@ -51,8 +52,7 @@ def scaling_curve(
     """
     rows = []
     for shards in shard_counts:
-        report = cluster(
-            base,
+        report = cluster(base, ClusterConfig(
             shards=shards,
             replicas=replicas,
             n=n,
@@ -60,7 +60,7 @@ def scaling_curve(
             alpha=alpha,
             requests=requests,
             seed=seed,
-        )
+        ))
         rows.append({
             "shards": shards,
             "replicas": replicas,
@@ -100,8 +100,7 @@ def failover_curve(
     rows = []
     baseline_ops = None
     for rate in flake_rates:
-        report = cluster(
-            base,
+        report = cluster(base, ClusterConfig(
             shards=shards,
             replicas=replicas,
             n=n,
@@ -110,7 +109,7 @@ def failover_curve(
             requests=requests,
             seed=seed,
             failure_rate=rate,
-        )
+        ))
         if baseline_ops is None:
             baseline_ops = report.ops_per_request
         overhead = (
@@ -153,8 +152,7 @@ def detection_comparison(
     """
     rows = []
     for authenticated in (True, False):
-        report = cluster(
-            "dp_ir",
+        report = cluster("dp_ir", ClusterConfig(
             shards=shards,
             replicas=replicas,
             n=n,
@@ -164,7 +162,7 @@ def detection_comparison(
             seed=seed,
             authenticated=authenticated,
             corruption_rate=(corruption_rate, 0.0),
-        )
+        ))
         rows.append({
             "authenticated": authenticated,
             "completed": report.completed,

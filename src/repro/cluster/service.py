@@ -8,17 +8,26 @@ network model), per-shard load balance, failover totals and the
 cluster-wide privacy budget::
 
     import repro
+    from repro.cluster import ClusterConfig
 
-    report = repro.cluster("dp_ir", shards=4, replicas=2, seed=7)
+    report = repro.cluster("dp_ir", ClusterConfig(shards=4, replicas=2,
+                                                  seed=7))
     print(report.to_text())
     print(report.ops_per_request, report.budget.per_query_epsilon)
+
+The pre-config keyword signature (``repro.cluster("dp_ir", shards=4)``)
+still works: keywords fold into a
+:class:`~repro.cluster.config.ClusterConfig` behind a single
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import warnings
+from typing import Any
 
 from repro.api.registry import resolve_scheme_name, scheme_spec
+from repro.cluster.config import CLUSTER_CONFIG_FIELDS, ClusterConfig
 from repro.cluster.report import (
     ClusterReport,
     ShardReport,
@@ -28,12 +37,10 @@ from repro.cluster.report import (
 from repro.cluster.scheme import ClusterIR, ClusterKVS
 from repro.crypto.rng import SeededRandomSource, SystemRandomSource
 from repro.obs.instrument import instrument_scheme
-from repro.obs.metrics import MetricsRegistry, collect_scheme_metrics
+from repro.obs.metrics import collect_scheme_metrics
 from repro.obs.monitor import SchemeWatch, default_monitors, watch_scheme
-from repro.obs.timeline import BudgetTimeline
-from repro.obs.tracer import Tracer
-from repro.simulation.metrics import DEFAULT_PERCENTILES, LatencySummary
-from repro.storage.blocks import DEFAULT_BLOCK_SIZE, integer_database
+from repro.simulation.metrics import LatencySummary
+from repro.storage.blocks import integer_database
 from repro.storage.faults import scheme_fault_counters
 from repro.workloads import catalogue
 
@@ -42,100 +49,94 @@ def _chunks(items: list, size: int) -> list[list]:
     return [items[start:start + size] for start in range(0, len(items), size)]
 
 
+def _config_from_kwargs(kwargs: dict[str, Any]) -> ClusterConfig:
+    """Fold the deprecated keyword surface into a ClusterConfig.
+
+    Splits recognised config fields from base-scheme builder keywords
+    and emits ONE DeprecationWarning naming what should move.
+    """
+    config_kwargs = {
+        key: kwargs.pop(key) for key in list(kwargs)
+        if key in CLUSTER_CONFIG_FIELDS
+    }
+    named = ", ".join(sorted(config_kwargs)) or "(defaults only)"
+    warnings.warn(
+        f"cluster(scheme, {named}, ...) keywords are deprecated; pass "
+        "repro.cluster(scheme, ClusterConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ClusterConfig(base_kwargs=dict(kwargs), **config_kwargs)
+
+
 def cluster(
     scheme: str = "dp_ir",
-    *,
-    shards: int = 4,
-    replicas: int = 2,
-    n: int = 1024,
-    requests: int = 256,
-    workload: str = "uniform",
-    placement: str = "range",
-    epsilon: float | None = None,
-    pad_size: int | None = None,
-    alpha: float = 0.05,
-    authenticated: bool = True,
-    failure_rate: float | Sequence[float] = 0.0,
-    corruption_rate: float | Sequence[float] = 0.0,
-    block_size: int = DEFAULT_BLOCK_SIZE,
-    value_size: int = 32,
-    seed: int | bytes | str | None = None,
-    network: str = "lan",
-    executor: str | None = None,
-    batch: int = 1,
-    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
-    tracer: Tracer | None = None,
-    metrics_registry: MetricsRegistry | None = None,
-    timeline: BudgetTimeline | None = None,
-    fault_coin_mode: str = "per_slot",
-    monitor: bool = False,
-    **base_kwargs: Any,
+    config: ClusterConfig | None = None,
+    /,
+    **kwargs: Any,
 ) -> ClusterReport:
     """Run a workload against a sharded + replicated cluster.
 
     Args:
         scheme: registry name of the *base* scheme each shard group
             hosts (IR or KVS; hyphenated aliases accepted).
-        shards: number of shard groups ``D``.
-        replicas: replicas per group ``R``.
-        n: logical database size / key capacity.
-        requests: operations to drive through the cluster.
-        workload: trace shape (``uniform`` / ``zipf`` / ``hotspot`` /
-            ``sequential`` for IR; ``ycsb-a/b/c`` / ``insert-lookup``
-            for KVS, with index names aliased).
-        placement: ``"range"`` or ``"hash"`` (IR clusters; KVS always
-            hashes keys).
-        epsilon: cluster-wide privacy target (IR; default ``ln n``).
-        pad_size: explicit global pad size ``K`` (IR alternative).
-        alpha: per-query error probability of the IR base instances.
-        authenticated: authenticated storage encryption (IR) so
-            corruption is detected and fails over.
-        failure_rate: flaky-node rate, scalar or per-replica sequence.
-        corruption_rate: bit-flip rate, scalar or per-replica.
-        block_size: record bytes for IR databases.
-        value_size: KVS value budget.
-        seed: deterministic randomness; ``None`` uses system entropy.
-        network: link model (``lan`` / ``wan`` / ``mobile``) pricing
-            server operations into simulated milliseconds.
-        executor: cross-shard fan-out policy (``serial`` / ``parallel``
-            / ``simulated`` or an Executor instance); answers and
-            privacy budgets are executor-invariant, only wall-clock
-            changes.
-        batch: requests dispatched per round through the batched entry
-            points — a round spanning several shards is what a parallel
-            executor overlaps; ``1`` keeps per-request dispatch.
-        percentiles: quantile fractions for the report's tail set.
-        tracer: optional :class:`~repro.obs.tracer.Tracer` recording
-            ``cluster.*`` spans (queries, shard legs, reshard drains,
-            batched storage rounds).  Tracing never perturbs answers,
-            draws or budgets.
-        metrics_registry: optional
-            :class:`~repro.obs.metrics.MetricsRegistry` the cluster's
-            counter surfaces are collected into after the run.
-        timeline: optional :class:`~repro.obs.timeline.BudgetTimeline`
-            receiving one exact spend event per ledger charge, for
-            ``repro audit --timeline``.
-        fault_coin_mode: ``"per_slot"`` (default, slot-exact fault
-            equivalence) or ``"per_round"`` (one fault coin per batched
-            round, matching real RPC failure granularity).
-        monitor: attach online leakage monitors (streaming membership
-            and shard-routing attackers, one trial per round) scoring
-            the run against the cluster's ε-implied success ceiling;
-            verdicts land in
-            :attr:`~repro.cluster.report.ClusterReport.leakage`.
-            Monitoring observes per-shard transcripts only — answers,
-            draws and budgets are untouched.
-        **base_kwargs: forwarded to the base scheme's builder.
+        config: the run's :class:`~repro.cluster.config.ClusterConfig`.
+            This is the documented calling convention; see the config
+            class for every knob (shards, replicas, fault rates,
+            executor, batching, observability sinks, …).
+        **kwargs: the deprecated pre-config surface.  Recognised config
+            fields (``shards=``, ``replicas=``, ``seed=``, …) fold into
+            a :class:`ClusterConfig` behind a single
+            :class:`DeprecationWarning`; anything else is forwarded to
+            the base scheme's builder exactly as before.  Mixing
+            ``config`` with keywords is an error.
 
     Returns:
         The run's :class:`~repro.cluster.report.ClusterReport`.
     """
+    if config is not None:
+        if kwargs:
+            unknown = ", ".join(sorted(kwargs))
+            raise ValueError(
+                f"pass either a ClusterConfig or keywords, not both "
+                f"(got config= plus {unknown}); base-scheme keywords go "
+                "in ClusterConfig.base_kwargs"
+            )
+    else:
+        config = _config_from_kwargs(kwargs)
+    return _cluster(scheme, config)
+
+
+def _cluster(scheme: str, config: ClusterConfig) -> ClusterReport:
+    """Run one cluster deployment from a resolved config."""
     from repro.api.builders import resolve_network
 
-    if requests < 1:
-        raise ValueError(f"requests must be at least 1, got {requests}")
-    if batch < 1:
-        raise ValueError(f"batch must be at least 1, got {batch}")
+    shards = config.shards
+    replicas = config.replicas
+    n = config.n
+    requests = config.requests
+    workload = config.workload
+    placement = config.placement
+    epsilon = config.epsilon
+    pad_size = config.pad_size
+    alpha = config.alpha
+    authenticated = config.authenticated
+    failure_rate = config.failure_rate
+    corruption_rate = config.corruption_rate
+    block_size = config.block_size
+    value_size = config.value_size
+    seed = config.seed
+    network = config.network
+    executor = config.executor
+    batch = config.batch
+    percentiles = config.percentiles
+    tracer = config.tracer
+    metrics_registry = config.metrics_registry
+    timeline = config.timeline
+    fault_coin_mode = config.fault_coin_mode
+    monitor = config.monitor
+    base_kwargs = dict(config.base_kwargs)
+
     base = resolve_scheme_name(scheme)
     spec = scheme_spec(base)
     if spec.kind == "ram":

@@ -1,0 +1,75 @@
+"""deprecated-serving-kwargs: entry points take configs, not kwargs.
+
+``repro.serve(scheme, ServingConfig(...))`` and ``repro.cluster(scheme,
+ClusterConfig(...))`` are the documented calling conventions; the
+pre-config keyword surface (``serve("dp_ir", clients=8, epsilon=3.0)``)
+only survives as a deprecation shim for *external* callers.  Code inside
+the repository must not lean on the shim: every internal keyword call
+would emit a DeprecationWarning at runtime and silently break when the
+shim is eventually removed.  This rule flags ``serve(...)`` /
+``cluster(...)`` calls carrying explicit keyword arguments anywhere in
+the ``repro`` package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+#: The config-taking entry points the deprecation shim guards.
+_ENTRY_POINTS = ("serve", "cluster")
+
+#: The modules implementing the shim itself (the only place the
+#: deprecated surface may be spelled out).
+_SHIM_MODULES = ("repro.serving.service", "repro.cluster.service")
+
+
+@register_rule
+class DeprecatedServingKwargsRule(Rule):
+    name = "deprecated-serving-kwargs"
+    summary = (
+        "repro.serve()/repro.cluster() keyword calls inside the repo — "
+        "internal code must pass ServingConfig/ClusterConfig"
+    )
+    hint = (
+        "build a ServingConfig/ClusterConfig and call "
+        "serve(scheme, config) / cluster(scheme, config); scheme-builder "
+        "keywords go in the config's build_kwargs/base_kwargs mapping"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+        if module.is_module(*_SHIM_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            else:
+                continue
+            if callee not in _ENTRY_POINTS:
+                continue
+            # ``**kwargs`` forwarding (keyword.arg is None) is the
+            # shim's own pass-through idiom; only explicit keywords are
+            # the deprecated surface.
+            named = sorted(
+                keyword.arg for keyword in node.keywords
+                if keyword.arg is not None
+            )
+            if not named:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"deprecated keyword call {callee}({', '.join(named)}=...);"
+                " internal callers must pass a config object",
+            )

@@ -56,12 +56,15 @@ class TracingExecutor(Executor):
         tasks: Sequence[Callable[[], Any]],
         *,
         ordered: bool = False,
+        on_result: Callable[[TaskResult], None] | None = None,
         name: str | None = None,
         leg_labels: Sequence[Mapping[str, Any]] | None = None,
     ) -> list[TaskResult]:
         tracer = self._tracer
         if not tracer.enabled or not tasks:
-            return self._inner.fan_out(tasks, ordered=ordered)
+            return self._inner.fan_out(
+                tasks, ordered=ordered, on_result=on_result
+            )
         if leg_labels is not None and len(leg_labels) != len(tasks):
             raise ValueError(
                 f"got {len(leg_labels)} leg label sets for "
@@ -82,11 +85,20 @@ class TracingExecutor(Executor):
         wrapped = [
             self._bind(task, span) for task, span in zip(tasks, spans)
         ]
-        results = self._inner.fan_out(wrapped, ordered=ordered)
-        for span, result in zip(spans, results):
+
+        def annotated(result: TaskResult) -> None:
+            # Stamp the leg's span before the caller's in-flight hook
+            # observes it, so completion callbacks see finished spans.
+            span = spans[result.index]
             span.wall_ms = result.elapsed_ms
             if result.error is not None and span.error is None:
                 span.error = type(result.error).__name__
+            if on_result is not None:
+                on_result(result)
+
+        results = self._inner.fan_out(
+            wrapped, ordered=ordered, on_result=annotated
+        )
         return results
 
     def _bind(

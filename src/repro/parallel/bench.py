@@ -27,6 +27,7 @@ from repro.cluster.bench import (
     DEFAULT_PAD,
     DEFAULT_SHARD_COUNTS,
 )
+from repro.cluster.config import ClusterConfig
 from repro.cluster.scheme import ClusterIR
 from repro.cluster.service import cluster
 from repro.crypto.rng import SeededRandomSource
@@ -58,8 +59,7 @@ def speedup_curve(
     for shards in shard_counts:
         reports = {}
         for executor in EXECUTORS:
-            reports[executor] = cluster(
-                base,
+            reports[executor] = cluster(base, ClusterConfig(
                 shards=shards,
                 replicas=replicas,
                 n=n,
@@ -69,7 +69,7 @@ def speedup_curve(
                 seed=seed,
                 executor=executor,
                 batch=batch,
-            )
+            ))
         serial = reports["serial"]
         parallel = reports["parallel"]
         rows.append({

@@ -95,7 +95,11 @@ class Executor(abc.ABC):
 
     @abc.abstractmethod
     def fan_out(
-        self, tasks: Sequence[Task], *, ordered: bool = False
+        self,
+        tasks: Sequence[Task],
+        *,
+        ordered: bool = False,
+        on_result: Callable[[TaskResult], None] | None = None,
     ) -> list[TaskResult]:
         """Run every task, returning results in submission order.
 
@@ -104,6 +108,12 @@ class Executor(abc.ABC):
             ordered: the legs mutate shared state — execute them in
                 deterministic submission order even when concurrent
                 (the stage is still *accounted* as overlapped).
+            on_result: invoked once per leg, in submission order, as
+                results become available — the in-flight completion
+                hook a pipelined caller (the continuous batcher) uses
+                to react before the whole stage returns.  Callbacks run
+                on the caller's thread on every executor, so they need
+                no locking and cannot perturb leg ordering.
         """
 
     def stage_cost(self, leg_costs: Sequence[float]) -> float:
@@ -138,10 +148,20 @@ class SerialExecutor(Executor):
     concurrent = False
 
     def fan_out(
-        self, tasks: Sequence[Task], *, ordered: bool = False
+        self,
+        tasks: Sequence[Task],
+        *,
+        ordered: bool = False,
+        on_result: Callable[[TaskResult], None] | None = None,
     ) -> list[TaskResult]:
         del ordered  # serial execution is always ordered
-        return [_run_task(index, task) for index, task in enumerate(tasks)]
+        results = []
+        for index, task in enumerate(tasks):
+            result = _run_task(index, task)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
 
 
 class SimulatedParallelExecutor(Executor):
@@ -166,10 +186,20 @@ class SimulatedParallelExecutor(Executor):
         self.dispatch_overhead_ms = dispatch_overhead_ms
 
     def fan_out(
-        self, tasks: Sequence[Task], *, ordered: bool = False
+        self,
+        tasks: Sequence[Task],
+        *,
+        ordered: bool = False,
+        on_result: Callable[[TaskResult], None] | None = None,
     ) -> list[TaskResult]:
         del ordered
-        return [_run_task(index, task) for index, task in enumerate(tasks)]
+        results = []
+        for index, task in enumerate(tasks):
+            result = _run_task(index, task)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
 
 
 class ParallelExecutor(Executor):
@@ -215,18 +245,36 @@ class ParallelExecutor(Executor):
         return self._pool
 
     def fan_out(
-        self, tasks: Sequence[Task], *, ordered: bool = False
+        self,
+        tasks: Sequence[Task],
+        *,
+        ordered: bool = False,
+        on_result: Callable[[TaskResult], None] | None = None,
     ) -> list[TaskResult]:
         if ordered or len(tasks) <= 1:
-            return [_run_task(index, task) for index, task in enumerate(tasks)]
+            results = []
+            for index, task in enumerate(tasks):
+                result = _run_task(index, task)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results
         pool = self._ensure_pool()
         futures = [
             pool.submit(_run_task, index, task)
             for index, task in enumerate(tasks)
         ]
         # Gathering in submission order preserves the result contract
-        # regardless of completion order.
-        return [future.result() for future in futures]
+        # regardless of completion order; callbacks fire in the same
+        # order on the caller's thread, so a leg that finished early
+        # still reports after every leg submitted before it.
+        results = []
+        for future in futures:
+            result = future.result()
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

@@ -25,11 +25,17 @@ so serving numbers are directly comparable to ``python -m repro run``.
 Everything is seeded through :class:`~repro.crypto.rng.RandomSource`:
 the same seed replays the same arrivals, batches and report.
 
-Entry points: :func:`serve` (also re-exported as ``repro.serve``), the
-``python -m repro serve`` CLI subcommand, and
-``benchmarks/bench_serving.py``.
+Entry points: :func:`serve` (also re-exported as ``repro.serve``),
+configured through a frozen :class:`ServingConfig`; the
+``python -m repro serve`` CLI subcommand; and
+``benchmarks/bench_serving.py``.  Schedulers are a registry
+(:func:`register_scheduler`, listed by :func:`scheduler_listings` /
+``repro.schedulers()``) mirroring the scheme registry: ``fifo``,
+``window`` (legacy alias ``batch``) and ``continuous`` — the pipelined
+batcher with per-tenant admission control.
 """
 
+from repro.serving.config import ServingConfig
 from repro.serving.load import (
     ArrivalPlan,
     ClosedLoopLoad,
@@ -40,8 +46,17 @@ from repro.serving.report import ServingReport, TenantReport
 from repro.serving.requests import Request
 from repro.serving.schedulers import (
     BatchScheduler,
+    ContinuousBatchScheduler,
     FIFOScheduler,
     RequestScheduler,
+    SchedulerSpec,
+    WindowedBatchScheduler,
+    available_schedulers,
+    build_scheduler,
+    register_scheduler,
+    resolve_scheduler_name,
+    scheduler_listings,
+    scheduler_spec,
 )
 from repro.serving.service import resolve_scheme_name, serve
 from repro.serving.simulator import ClientSession, ServingSimulator
@@ -51,14 +66,23 @@ __all__ = [
     "BatchScheduler",
     "ClientSession",
     "ClosedLoopLoad",
+    "ContinuousBatchScheduler",
     "FIFOScheduler",
     "LoadGenerator",
     "OpenLoopLoad",
     "Request",
     "RequestScheduler",
+    "SchedulerSpec",
+    "ServingConfig",
     "ServingReport",
     "ServingSimulator",
     "TenantReport",
-    "resolve_scheme_name",
+    "WindowedBatchScheduler",
+    "available_schedulers",
+    "build_scheduler",
+    "register_scheduler",
+    "resolve_scheduler_name",
+    "scheduler_listings",
+    "scheduler_spec",
     "serve",
 ]

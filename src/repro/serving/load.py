@@ -6,7 +6,12 @@ Two classic regimes from the queueing literature:
   process at a fixed rate, independent of how fast the server responds.
   This is the regime that exposes queueing collapse: if the offered rate
   exceeds the service rate, the queue (and tail latency) grows without
-  the load backing off.
+  the load backing off.  The load never sheds itself — bounding it is
+  the *scheduler's* job: a scheduler with admission control (the
+  ``continuous`` batcher's tenant credits / queue cap) refuses excess
+  arrivals, and every refusal is counted per tenant in
+  ``ServingReport.fairness`` rather than silently absorbed into queue
+  depth.
 * **Closed loop** (:class:`ClosedLoopLoad`) — each session keeps one
   request outstanding and "thinks" for a while after every response, so
   offered load self-throttles to the server's speed.
@@ -96,7 +101,10 @@ class OpenLoopLoad(LoadGenerator):
     """Poisson arrivals at ``rate_rps`` requests/second per session.
 
     Arrival times are drawn up front and never react to responses —
-    the defining property of an open loop.
+    the defining property of an open loop.  When the offered rate
+    exceeds the service rate the queue grows without bound unless the
+    scheduler sheds load; pair a flood with the ``continuous``
+    scheduler's admission caps to keep depth and p99 bounded.
     """
 
     name = "open"

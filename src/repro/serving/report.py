@@ -14,9 +14,11 @@ class TenantReport:
 
     Attributes:
         tenant: session label.
-        requests: requests the tenant issued.
+        requests: requests the tenant offered (including shed ones).
         completed: requests answered.
         errors: requests that hit the scheme's error event.
+        shed: requests admission control refused — visible drop
+            accounting, not silent queue growth.
         mean_latency_ms: average arrival-to-completion time.
         max_latency_ms: the tenant's worst request.
         server_ops: server operations attributed to the tenant (a
@@ -28,6 +30,7 @@ class TenantReport:
     requests: int = 0
     completed: int = 0
     errors: int = 0
+    shed: int = 0
     mean_latency_ms: float = 0.0
     max_latency_ms: float = 0.0
     server_ops: float = 0.0
@@ -56,6 +59,15 @@ class ServingReport:
     dispatches: int
     server_operations: int
     tenants: list[TenantReport] = field(default_factory=list)
+    #: Requests admission control refused across all tenants.  Non-zero
+    #: only under a scheduler with admission caps (the continuous
+    #: batcher); shed requests count in :attr:`requests` but never in
+    #: :attr:`completed`.
+    shed: int = 0
+    #: Peak dispatch groups simultaneously in flight (1 for the
+    #: lock-step fifo/window schedulers; up to the continuous
+    #: batcher's ``max_in_flight``).
+    max_in_flight: int = 1
     #: Injected/observed fault totals (``failed_operations``,
     #: ``corrupted_reads``, cluster ``failovers`` …); empty for a
     #: fault-free run.
@@ -122,6 +134,31 @@ class ServingReport:
             return 1.0
         return square_of_sum / (len(means) * sum_of_squares)
 
+    @property
+    def fairness(self) -> dict:
+        """Per-tenant isolation view: Jain index plus shed accounting.
+
+        Admission-control drops are reported here per tenant (offered
+        versus shed) so an open-loop flood that gets load-shed is
+        *visible* in the fairness section rather than silently absorbed
+        into queue depth.
+        """
+        return {
+            "index": self.fairness_index,
+            "shed_total": self.shed,
+            "tenants": [
+                {
+                    "tenant": t.tenant,
+                    "offered": t.requests,
+                    "shed": t.shed,
+                    "shed_fraction": (
+                        t.shed / t.requests if t.requests else 0.0
+                    ),
+                }
+                for t in self.tenants
+            ],
+        }
+
     def to_rows(self, data: dict | None = None) -> list[list]:
         """``[metric, value]`` rows for the summary table.
 
@@ -138,6 +175,7 @@ class ServingReport:
             ["clients", data["clients"]],
             ["requests", data["requests"]],
             ["completed", data["completed"]],
+            ["shed (admission)", data["shed"]],
             ["errors (alpha events)", data["errors"]],
             ["duration ms", f"{data['duration_ms']:.2f}"],
             ["throughput req/s", f"{data['throughput_rps']:.1f}"],
@@ -147,6 +185,7 @@ class ServingReport:
             ["queue wait p95 ms", f"{data['queue_latency_ms']['p95']:.2f}"],
             ["queue depth mean", f"{data['mean_queue_depth']:.2f}"],
             ["queue depth max", data["max_queue_depth"]],
+            ["in-flight max", data["max_in_flight"]],
             ["dispatches", data["dispatches"]],
             ["mean batch size", f"{data['mean_batch_size']:.2f}"],
             ["server operations", data["server_operations"]],
@@ -181,12 +220,13 @@ class ServingReport:
         )
         tenant_rows = [
             [t["tenant"], t["requests"], t["completed"], t["errors"],
+             t["shed"],
              f"{t['mean_latency_ms']:.2f}", f"{t['max_latency_ms']:.2f}",
              f"{t['server_ops']:.1f}"]
             for t in data["tenants"]
         ]
         tenants = format_table(
-            ["tenant", "requests", "completed", "errors", "mean ms",
+            ["tenant", "requests", "completed", "errors", "shed", "mean ms",
              "max ms", "server ops"],
             tenant_rows,
             title="Per-tenant isolation",
@@ -208,6 +248,7 @@ class ServingReport:
             "requests": self.requests,
             "completed": self.completed,
             "errors": self.errors,
+            "shed": self.shed,
             "duration_ms": self.duration_ms,
             "throughput_rps": self.throughput_rps,
             "latency_ms": self.latency.to_dict(),
@@ -216,6 +257,7 @@ class ServingReport:
             "queue_wait_p95_ms": self.queue_latency.p95_ms,
             "mean_queue_depth": self.mean_queue_depth,
             "max_queue_depth": self.max_queue_depth,
+            "max_in_flight": self.max_in_flight,
             "dispatches": self.dispatches,
             "mean_batch_size": self.mean_batch_size,
             "server_operations": self.server_operations,
@@ -224,6 +266,7 @@ class ServingReport:
             "overlap_speedup": self.overlap_speedup,
             "ops_per_request": self.ops_per_request,
             "fairness_index": self.fairness_index,
+            "fairness": self.fairness,
             "leakage": [report.to_dict() for report in self.leakage],
             "leakage_tripped": self.leakage_tripped,
             "tenants": [
@@ -232,6 +275,7 @@ class ServingReport:
                     "requests": t.requests,
                     "completed": t.completed,
                     "errors": t.errors,
+                    "shed": t.shed,
                     "mean_latency_ms": t.mean_latency_ms,
                     "max_latency_ms": t.max_latency_ms,
                     "server_ops": t.server_ops,

@@ -22,6 +22,9 @@ class Request:
         dispatched_ms: when the scheduler handed it to the scheme.
         completed_ms: when its dispatch group finished.
         errored: whether the scheme answered with its error event (DP-IR α).
+        shed: whether admission control refused the request (it was
+            never queued or served — the open-loop load's answer to
+            backpressure).
     """
 
     tenant: str
@@ -33,6 +36,7 @@ class Request:
     dispatched_ms: float | None = None
     completed_ms: float | None = None
     errored: bool = False
+    shed: bool = False
 
     @property
     def latency_ms(self) -> float | None:

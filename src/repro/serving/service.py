@@ -6,13 +6,21 @@ spin up N tenant sessions with per-tenant workload traces, pick a load
 generator and scheduler, and run the discrete-event simulation::
 
     import repro
+    from repro.serving import ServingConfig
 
-    report = repro.serve("batch_dp_ir", clients=8, seed=7)
+    report = repro.serve("batch_dp_ir", ServingConfig(clients=8, seed=7))
     print(report.to_text())
     print(report.latency.p99_ms, report.ops_per_request)
+
+The pre-config keyword signature (``repro.serve("dp_ir", clients=8,
+seed=7)``) still works: the keywords fold into a
+:class:`~repro.serving.config.ServingConfig` behind a single
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.api.protocols import PrivateIR, PrivateKVS, Scheme
 from repro.api.registry import resolve_scheme_name, scheme_spec
@@ -22,36 +30,14 @@ from repro.crypto.rng import (
     SystemRandomSource,
 )
 from repro.obs.instrument import instrument_scheme
-from repro.obs.metrics import MetricsRegistry, collect_scheme_metrics
+from repro.obs.metrics import collect_scheme_metrics
 from repro.obs.monitor import default_monitors, watch_scheme
-from repro.obs.tracer import Tracer
+from repro.serving.config import SERVING_CONFIG_FIELDS, ServingConfig
 from repro.serving.load import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
 from repro.serving.report import ServingReport
-from repro.serving.schedulers import (
-    BatchScheduler,
-    FIFOScheduler,
-    RequestScheduler,
-)
+from repro.serving.schedulers import build_scheduler
 from repro.serving.simulator import ClientSession, ServingSimulator
-from repro.storage.network import NetworkModel
 from repro.workloads import catalogue
-
-
-def _resolve_scheduler(
-    scheduler: RequestScheduler | str,
-    batch_window_ms: float,
-    max_batch: int,
-) -> RequestScheduler:
-    if isinstance(scheduler, RequestScheduler):
-        return scheduler
-    if scheduler == "fifo":
-        return FIFOScheduler()
-    if scheduler == "batch":
-        return BatchScheduler(window_ms=batch_window_ms, max_batch=max_batch)
-    raise ValueError(
-        f"unknown scheduler {scheduler!r}; expected 'fifo', 'batch' or a "
-        "RequestScheduler"
-    )
 
 
 def _resolve_load(
@@ -95,100 +81,87 @@ def _tenant_trace(
     )
 
 
+def _config_from_kwargs(kwargs: dict) -> ServingConfig:
+    """Fold the deprecated keyword surface into a ServingConfig.
+
+    Splits recognised config fields from scheme-builder keywords and
+    emits ONE DeprecationWarning naming what should move to the config.
+    """
+    config_kwargs = {
+        key: kwargs.pop(key) for key in list(kwargs)
+        if key in SERVING_CONFIG_FIELDS
+    }
+    # The old spelling: scheduler="batch" meant the windowed batcher.
+    if config_kwargs.get("scheduler") == "batch":
+        config_kwargs["scheduler"] = "window"
+    named = ", ".join(sorted(config_kwargs)) or "(defaults only)"
+    warnings.warn(
+        f"serve(scheme, {named}, ...) keywords are deprecated; pass "
+        "repro.serve(scheme, ServingConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ServingConfig(build_kwargs=dict(kwargs), **config_kwargs)
+
+
 def serve(
     scheme: str | Scheme = "dp_ir",
-    *,
-    clients: int = 8,
-    requests_per_client: int = 32,
-    scheduler: RequestScheduler | str = "batch",
-    batch_window_ms: float = 2.0,
-    max_batch: int = 16,
-    load: LoadGenerator | str = "open",
-    rate_rps: float = 100.0,
-    think_ms: float = 5.0,
-    workload: str = "uniform",
-    n: int = 1024,
-    seed: int | bytes | str | None = None,
-    network: NetworkModel | str = "lan",
-    value_size: int = 32,
-    write_fraction: float = 0.25,
-    executor: str | None = None,
-    tracer: Tracer | None = None,
-    metrics_registry: MetricsRegistry | None = None,
-    monitor: bool = False,
-    **build_kwargs,
+    config: ServingConfig | None = None,
+    /,
+    **kwargs,
 ) -> ServingReport:
-    """Serve ``clients`` concurrent sessions against a scheme.
+    """Serve concurrent tenant sessions against a scheme.
 
     Args:
         scheme: a registry name (hyphenated aliases like ``batch-dpir``
             accepted) or an already-built scheme instance.
-        clients: number of concurrent tenant sessions.
-        requests_per_client: operations each session issues.
-        scheduler: ``"fifo"`` (per-request dispatch), ``"batch"`` (the
-            window/size-capped batcher) or a scheduler instance.
-        batch_window_ms: batching window for the ``"batch"`` scheduler.
-        max_batch: dispatch group size cap for the ``"batch"`` scheduler.
-        load: ``"open"`` (Poisson at ``rate_rps`` per client),
-            ``"closed"`` (think-time loop) or a generator instance.
-        rate_rps: per-client open-loop arrival rate.
-        think_ms: mean closed-loop think time.
-        workload: per-tenant trace shape (``uniform`` / ``zipf`` /
-            ``hotspot`` / ``sequential`` / ``readwrite`` for RAM;
-            ``ycsb-a/b/c`` for KVS, with index names aliased).
-        n: database size / key capacity when building by name.
-        seed: deterministic randomness; ``None`` uses system entropy.
-        network: link model (``lan`` / ``wan`` / ``mobile`` or a
-            :class:`~repro.storage.network.NetworkModel`) pricing
-            server operations into simulated time.
-        value_size: KVS value budget when building by name.
-        write_fraction: write share of the ``readwrite`` workload.
-        executor: cross-shard fan-out policy (``serial`` / ``parallel``
-            / ``simulated``) for cluster schemes — a dispatch spanning
-            several shards then occupies the worker for the slowest
-            shard leg, not the sum.  Rejected with a clear error for
-            schemes that have no fan-out to parallelize.
-        tracer: optional :class:`~repro.obs.tracer.Tracer`; the
-            simulator emits ``serve.round`` spans and the scheme's own
-            seams (shard legs, batched storage rounds) nest beneath
-            them.  Tracing never perturbs answers, draws or budgets.
-        metrics_registry: optional
-            :class:`~repro.obs.metrics.MetricsRegistry`; request-flow
-            counters accumulate during the run and the scheme's counter
-            surfaces are collected into it afterwards.
-        monitor: attach online leakage monitors (streaming membership /
-            shard-routing attackers) that score every serving round
-            against the scheme's ε-implied success ceiling; verdicts
-            land in :attr:`~repro.serving.report.ServingReport.leakage`.
-            Monitoring observes transcripts only — answers, draws and
-            budgets are untouched.
-        **build_kwargs: forwarded to the scheme's builder (``epsilon``,
-            ``server_count``, ``backend``, …).
+        config: the run's :class:`~repro.serving.config.ServingConfig`.
+            This is the documented calling convention; see the config
+            class for every knob (clients, scheduler, admission caps,
+            load shape, network, executor, observability sinks, …).
+        **kwargs: the deprecated pre-config surface.  Recognised config
+            fields (``clients=``, ``scheduler=``, ``seed=``, …) fold
+            into a :class:`ServingConfig` behind a single
+            :class:`DeprecationWarning`; anything else is forwarded to
+            the scheme's builder (``epsilon``, ``server_count``, …)
+            exactly as before.  Mixing ``config`` with keywords is an
+            error.
 
     Returns:
         The run's :class:`~repro.serving.report.ServingReport`.
     """
+    if config is not None:
+        if kwargs:
+            unknown = ", ".join(sorted(kwargs))
+            raise ValueError(
+                f"pass either a ServingConfig or keywords, not both "
+                f"(got config= plus {unknown}); scheme-builder keywords "
+                "go in ServingConfig.build_kwargs"
+            )
+    else:
+        config = _config_from_kwargs(kwargs)
+    return _serve(scheme, config)
+
+
+def _serve(scheme: str | Scheme, config: ServingConfig) -> ServingReport:
+    """Run one serving simulation from a resolved config."""
     # Deferred like the registry defers it: the builders module imports
     # the full scheme catalogue.
     from repro.api.builders import resolve_network
 
-    if clients < 1:
-        raise ValueError(f"clients must be at least 1, got {clients}")
-    if requests_per_client < 1:
-        raise ValueError(
-            f"requests_per_client must be at least 1, got {requests_per_client}"
-        )
-
     root = (
-        SeededRandomSource(seed) if seed is not None else SystemRandomSource()
+        SeededRandomSource(config.seed) if config.seed is not None
+        else SystemRandomSource()
     )
+    n = config.n
+    executor = config.executor
 
     if isinstance(scheme, str):
         name = resolve_scheme_name(scheme)
         spec = scheme_spec(name)
         kind = spec.kind
-        kwargs = dict(build_kwargs)
-        kwargs.setdefault("n", n)
+        build_kwargs = dict(config.build_kwargs)
+        build_kwargs.setdefault("n", n)
         if executor is not None:
             import inspect
 
@@ -203,20 +176,20 @@ def serve(
                     "per-shard legs (cluster_dp_ir, cluster_batch_dp_ir, "
                     "cluster_dp_kvs, multi_server_dp_ir)"
                 )
-            kwargs.setdefault("executor", executor)
+            build_kwargs.setdefault("executor", executor)
         if kind == "kvs":
-            kwargs.setdefault("value_size", value_size)
-        if "backend" in kwargs:
+            build_kwargs.setdefault("value_size", config.value_size)
+        if "backend" in build_kwargs:
             # A network-backed build must price the link serve() reports:
             # the backends' own model is authoritative in the simulator.
-            kwargs.setdefault("network", network)
-        if "seed" not in kwargs and "rng" not in kwargs:
-            kwargs["rng"] = root.spawn("scheme")
-        instance = spec.builder(**kwargs)
+            build_kwargs.setdefault("network", config.network)
+        if "seed" not in build_kwargs and "rng" not in build_kwargs:
+            build_kwargs["rng"] = root.spawn("scheme")
+        instance = spec.builder(**build_kwargs)
         label = name
     else:
-        if build_kwargs:
-            unknown = ", ".join(sorted(build_kwargs))
+        if config.build_kwargs:
+            unknown = ", ".join(sorted(config.build_kwargs))
             raise ValueError(
                 f"builder kwargs ({unknown}) need a scheme name, not an instance"
             )
@@ -234,6 +207,7 @@ def serve(
         label = type(instance).__name__
         n = instance.n  # traces must address the instance's universe
 
+    workload = config.workload
     if workload == "readwrite" and not getattr(instance, "writable", True):
         # Fail before the simulation starts (matching the run CLI's
         # pre-check) instead of dying mid-run on the scheme's own error.
@@ -241,26 +215,32 @@ def serve(
             f"scheme {label!r} is read-only; pick a read workload"
         )
 
-    generator = _resolve_load(load, rate_rps, think_ms)
+    generator = _resolve_load(config.load, config.rate_rps, config.think_ms)
     sessions = []
+    clients = config.clients
     width = len(str(max(clients - 1, 1)))
     for client in range(clients):
         tenant = f"tenant-{client:0{width}d}"
         trace = _tenant_trace(
-            kind, workload, n, requests_per_client,
-            root.spawn(f"trace/{tenant}"), value_size, write_fraction,
+            kind, workload, n, config.requests_per_client,
+            root.spawn(f"trace/{tenant}"), config.value_size,
+            config.write_fraction,
         )
         plan = generator.plan(
             len(trace.operations), root.spawn(f"arrivals/{tenant}")
         )
         sessions.append(ClientSession(tenant, trace.operations, plan))
 
-    model = resolve_network(network)
-    label_network = network if isinstance(network, str) else "custom"
+    model = resolve_network(config.network)
+    label_network = (
+        config.network if isinstance(config.network, str) else "custom"
+    )
+    tracer = config.tracer
+    metrics_registry = config.metrics_registry
     if tracer is not None or metrics_registry is not None:
         instrument_scheme(instance, tracer=tracer, registry=metrics_registry)
     watch = None
-    if monitor:
+    if config.monitor:
         watch = watch_scheme(
             instance,
             default_monitors(instance, rng=root.spawn("monitor")),
@@ -268,7 +248,7 @@ def serve(
     simulator = ServingSimulator(
         instance,
         sessions,
-        _resolve_scheduler(scheduler, batch_window_ms, max_batch),
+        build_scheduler(config.scheduler, config),
         network=model,
         network_label=label_network,
         tracer=tracer,

@@ -1,13 +1,32 @@
 """The deterministic discrete-event serving simulator.
 
-One scheme instance is modelled as a single worker serving dispatches
-sequentially (the schemes are synchronous state machines; concurrency
-lives in the *queueing*, not inside a query).  Events — request
-arrivals, batch-window wake-ups, dispatch completions — advance a
-simulated clock; each dispatch occupies the worker for the time its
-server operations cost under the network model, using exactly the
+One scheme instance is modelled as a worker with one or more *dispatch
+lanes* (the schemes are synchronous state machines; concurrency lives
+in the *queueing and pipelining*, not inside a query).  Events —
+request arrivals, batch-window wake-ups, dispatch completions —
+advance a simulated clock; each dispatch occupies a lane for the time
+its server operations cost under the network model, using exactly the
 accounting of :class:`~repro.storage.backends.NetworkBackend` (one
 roundtrip plus serialization per slot access).
+
+Pipelining across rounds: the scheduler's
+:attr:`~repro.serving.schedulers.RequestScheduler.pipeline_depth` is
+the number of lanes.  The lock-step schedulers (fifo/window) keep the
+historical single-lane behaviour — round N+1 waits for round N — while
+the continuous batcher keeps up to ``max_in_flight`` dispatch windows
+open at once, so new arrivals are admitted into in-flight windows and
+a slow leg no longer stalls the whole pipeline.  Scheme execution
+still happens in dispatch order (the deterministic order every
+executor honours for ``ordered`` stages), only the simulated occupancy
+windows overlap — which is what keeps admission, dispatch and
+completion order bit-stable across serial, parallel and simulated
+executors.
+
+Admission control: before a request enqueues, the scheduler's
+``try_admit`` may refuse it.  Refused requests are *shed* — counted
+per tenant in the report's fairness section, never served — which is
+how an open-loop Poisson flood produces bounded queues and bounded
+tails instead of unbounded queue growth.
 
 Dispatch groups are routed through the batched protocol entry points
 (``query_many`` / ``read_many`` / ``write_many`` / ``get_many``), which
@@ -225,8 +244,13 @@ class ServingSimulator:
             self._errored = registry.counter(
                 "repro_serve_errors_total", "Requests completed with errors"
             )
+            self._shed = registry.counter(
+                "repro_serve_shed_total",
+                "Requests refused by admission control",
+            )
         else:
             self._admitted = self._completed = self._errored = None
+            self._shed = None
 
     def run(self) -> ServingReport:
         """Simulate to completion and return the report."""
@@ -253,7 +277,10 @@ class ServingSimulator:
             session.tenant: [] for session in self._sessions
         }
 
-        busy = False
+        depth = max(1, getattr(scheduler, "pipeline_depth", 1))
+        in_flight = 0
+        peak_in_flight = 0
+        shed_total = 0
         last_ms = 0.0
         depth_area = 0.0
         max_depth = 0
@@ -281,15 +308,35 @@ class ServingSimulator:
                 )
                 requests.append(request)
                 tenant_reports[session.tenant].requests += 1
-                if self._admitted is not None:
-                    self._admitted.inc(tenant=session.tenant)
-                wake_ms = scheduler.enqueue(request, now_ms)
-                max_depth = max(max_depth, scheduler.pending())
-                if wake_ms is not None:
-                    push(wake_ms, _WAKE, None)
+                if not scheduler.try_admit(request, now_ms):
+                    # Shed: admission control refused the request.  It
+                    # never queues; the session's plan still advances so
+                    # a closed loop is not deadlocked by a refusal.
+                    request.shed = True
+                    shed_total += 1
+                    tenant_reports[session.tenant].shed += 1
+                    if self._shed is not None:
+                        self._shed.inc(tenant=session.tenant)
+                    with self._tracer.span(
+                        "serve.shed", tenant=session.tenant
+                    ) as shed_span:
+                        shed_span.set_sim(now_ms, now_ms)
+                    follow = session.plan.after_completion(op_index, now_ms)
+                    if follow is not None:
+                        next_index, at_ms = follow
+                        if next_index < len(session.operations):
+                            push(at_ms, _ARRIVE, (session_index, next_index))
+                else:
+                    if self._admitted is not None:
+                        self._admitted.inc(tenant=session.tenant)
+                    wake_ms = scheduler.enqueue(request, now_ms)
+                    max_depth = max(max_depth, scheduler.pending())
+                    if wake_ms is not None:
+                        push(wake_ms, _WAKE, None)
             elif kind == _COMPLETE:
-                busy = False
+                in_flight -= 1
                 batch: list[Request] = payload
+                scheduler.notify_complete(batch, now_ms)
                 for request in batch:
                     request.completed_ms = now_ms
                     makespan_ms = max(makespan_ms, now_ms)
@@ -313,35 +360,38 @@ class ServingSimulator:
                                  (request.session_index, next_index))
             # _WAKE carries no payload; it only forces a dispatch check.
 
-            if not busy:
+            while in_flight < depth:
                 batch = scheduler.next_batch(now_ms)
-                if batch:
-                    queue_wait = 0.0
-                    for request in batch:
-                        request.dispatched_ms = now_ms
-                        queue_wait += now_ms - request.arrival_ms
-                    with self._tracer.span(
-                        "serve.round", round=dispatches, batch=len(batch)
-                    ) as round_span:
-                        _execute_batch(self._scheme, batch)
-                    ops_delta, service_ms, serial_ms = meter.charge()
-                    # Annotate after the executor legs ran so the span
-                    # carries the dispatch's simulated occupancy window.
-                    round_span.set_sim(now_ms, now_ms + service_ms)
-                    round_span.annotate(
-                        queue_wait_ms=queue_wait / len(batch),
-                        service_ms=service_ms,
-                        serial_ms=serial_ms,
-                    )
-                    dispatches += 1
-                    total_ops += ops_delta
-                    total_wall_ms += service_ms
-                    total_serial_ms += serial_ms
-                    share = ops_delta / len(batch)
-                    for request in batch:
-                        tenant_reports[request.tenant].server_ops += share
-                    push(now_ms + service_ms, _COMPLETE, batch)
-                    busy = True
+                if not batch:
+                    break
+                queue_wait = 0.0
+                for request in batch:
+                    request.dispatched_ms = now_ms
+                    queue_wait += now_ms - request.arrival_ms
+                with self._tracer.span(
+                    "serve.round", round=dispatches, batch=len(batch)
+                ) as round_span:
+                    _execute_batch(self._scheme, batch)
+                ops_delta, service_ms, serial_ms = meter.charge()
+                # Annotate after the executor legs ran so the span
+                # carries the dispatch's simulated occupancy window.
+                round_span.set_sim(now_ms, now_ms + service_ms)
+                round_span.annotate(
+                    queue_wait_ms=queue_wait / len(batch),
+                    service_ms=service_ms,
+                    serial_ms=serial_ms,
+                    inflight=in_flight + 1,
+                )
+                dispatches += 1
+                total_ops += ops_delta
+                total_wall_ms += service_ms
+                total_serial_ms += serial_ms
+                share = ops_delta / len(batch)
+                for request in batch:
+                    tenant_reports[request.tenant].server_ops += share
+                push(now_ms + service_ms, _COMPLETE, batch)
+                in_flight += 1
+                peak_in_flight = max(peak_in_flight, in_flight)
 
         for tenant, latencies in tenant_latencies.items():
             report = tenant_reports[tenant]
@@ -368,6 +418,8 @@ class ServingSimulator:
             ),
             mean_queue_depth=(depth_area / duration_ms) if duration_ms > 0 else 0.0,
             max_queue_depth=max_depth,
+            shed=shed_total,
+            max_in_flight=peak_in_flight if dispatches else 0,
             dispatches=dispatches,
             server_operations=total_ops,
             tenants=[tenant_reports[s.tenant] for s in self._sessions],

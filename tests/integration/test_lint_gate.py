@@ -39,6 +39,7 @@ class TestRepoIsClean:
         assert set(result.rules) == {
             "rng-discipline",
             "backend-bypass",
+            "deprecated-serving-kwargs",
             "nondeterministic-iteration",
             "secret-dependent-branch",
             "float-budget",

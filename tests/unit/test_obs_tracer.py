@@ -5,8 +5,15 @@ import threading
 
 import pytest
 
-from repro.obs import NULL_TRACER, NullTracer, Tracer, canonical_trace
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    TracingExecutor,
+    canonical_trace,
+)
 from repro.obs.tracer import _NULL_SPAN
+from repro.parallel import SerialExecutor
 
 
 class TestSpanIds:
@@ -159,6 +166,33 @@ class TestThreading:
             s.span_id for s in tracer.spans() if s.name == "batch"
         )
         assert batches == ["0.0", "1.0", "2.0", "3.0"]
+
+
+class TestTracingExecutorOnResult:
+    def test_callback_sees_stamped_leg_spans(self):
+        tracer = Tracer("t")
+        observed = []
+
+        def capture(result):
+            # The wrapper stamps the leg's span before forwarding, so
+            # in-flight hooks always observe finished timing.
+            span = tracer.spans()[result.index]
+            observed.append((result.index, span.wall_ms))
+
+        executor = TracingExecutor(SerialExecutor(), tracer)
+        results = executor.fan_out(
+            [lambda value=value: value for value in range(3)],
+            on_result=capture,
+        )
+        assert [index for index, _ in observed] == [0, 1, 2]
+        assert all(wall is not None for _, wall in observed)
+        assert [result.value for result in results] == [0, 1, 2]
+
+    def test_disabled_tracer_still_forwards_callback(self):
+        seen = []
+        executor = TracingExecutor(SerialExecutor(), NullTracer())
+        executor.fan_out([lambda: "x"], on_result=seen.append)
+        assert [result.value for result in seen] == ["x"]
 
 
 class TestNullTracer:

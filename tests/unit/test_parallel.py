@@ -79,6 +79,48 @@ class TestFanOutContract:
         assert order == list(range(8))
 
 
+class TestOnResultCallback:
+    @pytest.mark.parametrize("executor", [
+        SerialExecutor(), ParallelExecutor(), SimulatedParallelExecutor(),
+    ])
+    def test_invoked_per_leg_in_submission_order(self, executor):
+        seen = []
+        results = executor.fan_out(
+            [lambda value=value: value * 3 for value in range(8)],
+            on_result=seen.append,
+        )
+        assert seen == results
+        assert [result.index for result in seen] == list(range(8))
+        assert [result.value for result in seen] == [
+            value * 3 for value in range(8)
+        ]
+        executor.close()
+
+    def test_callback_runs_on_the_callers_thread(self):
+        executor = ParallelExecutor(max_workers=4)
+        caller = threading.get_ident()
+        callback_threads = set()
+        executor.fan_out(
+            [lambda: time.sleep(0.002) for _ in range(4)],
+            on_result=lambda result: callback_threads.add(
+                threading.get_ident()
+            ),
+        )
+        executor.close()
+        assert callback_threads == {caller}
+
+    def test_callback_sees_faulted_legs(self):
+        def boom():
+            raise ServerFault("injected")
+
+        seen = []
+        SerialExecutor().fan_out(
+            [lambda: "a", boom, lambda: "c"], on_result=seen.append
+        )
+        assert [result.ok for result in seen] == [True, False, True]
+        assert isinstance(seen[1].error, ServerFault)
+
+
 class TestStageCost:
     def test_serial_is_the_sum(self):
         assert SerialExecutor().stage_cost([3.0, 5.0, 2.0]) == 10.0

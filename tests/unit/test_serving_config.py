@@ -1,0 +1,246 @@
+"""Tests for the redesigned config/scheduler API surface.
+
+Covers the frozen :class:`ServingConfig` / :class:`ClusterConfig`
+dataclasses, the scheduler registry, and the deprecation shim that
+keeps the legacy eight-kwarg ``serve()`` / ``cluster()`` signatures
+working (with exactly one warning) while the config path is canonical.
+"""
+
+import argparse
+import warnings
+
+import pytest
+
+import repro
+from repro.cluster.config import CLUSTER_CONFIG_FIELDS, ClusterConfig
+from repro.cluster.service import cluster
+from repro.serving import (
+    ContinuousBatchScheduler,
+    FIFOScheduler,
+    ServingConfig,
+    WindowedBatchScheduler,
+    available_schedulers,
+    build_scheduler,
+    resolve_scheduler_name,
+    scheduler_listings,
+    scheduler_spec,
+    serve,
+)
+from repro.serving.config import SERVING_CONFIG_FIELDS
+from repro.serving.requests import Request
+from repro.workloads.trace import Operation
+
+
+class TestServingConfig:
+    def test_defaults_are_the_documented_ones(self):
+        config = ServingConfig()
+        assert config.clients == 8
+        assert config.scheduler == "window"
+        assert config.max_in_flight == 4
+        assert config.tenant_credits is None
+        assert config.build_kwargs == {}
+
+    def test_frozen(self):
+        config = ServingConfig()
+        with pytest.raises(AttributeError):
+            config.clients = 4
+
+    def test_replace_returns_a_modified_copy(self):
+        config = ServingConfig(seed=7)
+        tightened = config.replace(tenant_credits=2)
+        assert tightened.tenant_credits == 2
+        assert tightened.seed == 7
+        assert config.tenant_credits is None
+
+    @pytest.mark.parametrize("bad", [
+        {"clients": 0}, {"requests_per_client": 0},
+    ])
+    def test_validates_counts_at_construction(self, bad):
+        with pytest.raises(ValueError):
+            ServingConfig(**bad)
+
+    def test_from_cli_args_maps_flag_spellings(self):
+        args = argparse.Namespace(
+            clients=3, requests=9, scheduler="continuous", window_ms=1.5,
+            max_batch=8, max_in_flight=2, tenant_credits=4, queue_cap=None,
+            load="open", rate=250.0, think_ms=5.0, workload="uniform",
+            n=64, seed=11, network="lan", value_size=32, executor=None,
+            monitor=False,
+        )
+        config = ServingConfig.from_cli_args(args)
+        assert config.requests_per_client == 9
+        assert config.batch_window_ms == 1.5
+        assert config.rate_rps == 250.0
+        assert config.tenant_credits == 4
+
+    def test_field_set_excludes_build_kwargs(self):
+        assert "build_kwargs" not in SERVING_CONFIG_FIELDS
+        assert "tenant_credits" in SERVING_CONFIG_FIELDS
+
+
+class TestClusterConfig:
+    def test_frozen_with_validated_counts(self):
+        config = ClusterConfig()
+        with pytest.raises(AttributeError):
+            config.shards = 2
+        with pytest.raises(ValueError):
+            ClusterConfig(requests=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(batch=0)
+
+    def test_field_set_excludes_base_kwargs(self):
+        assert "base_kwargs" not in CLUSTER_CONFIG_FIELDS
+        assert "shards" in CLUSTER_CONFIG_FIELDS
+
+
+class TestServeDeprecationShim:
+    def test_legacy_kwargs_warn_once_and_name_the_kwargs(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            serve("dp_ir", clients=2, requests_per_client=3, n=64, seed=1)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "clients" in message and "seed" in message
+        assert "ServingConfig" in message
+
+    def test_legacy_kwargs_and_config_agree_bit_for_bit(self):
+        config = ServingConfig(
+            clients=2, requests_per_client=3, n=64, seed=1
+        )
+        via_config = serve("dp_ir", config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_kwargs = serve(
+                "dp_ir", clients=2, requests_per_client=3, n=64, seed=1
+            )
+        assert via_config.to_dict() == via_kwargs.to_dict()
+
+    def test_config_plus_kwargs_is_an_error(self):
+        with pytest.raises(ValueError, match="not both"):
+            serve("dp_ir", ServingConfig(), clients=2)
+
+    def test_legacy_batch_alias_maps_to_window(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            report = serve(
+                "dp_ir", clients=2, requests_per_client=3, n=64,
+                seed=1, scheduler="batch",
+            )
+        assert report.scheduler == "window"
+
+    def test_unknown_kwarg_lands_in_build_kwargs_and_fails_loudly(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError):
+                serve(
+                    "dp_ir", clients=2, requests_per_client=3, n=64,
+                    seed=1, bogus_knob=1,
+                )
+
+
+class TestClusterDeprecationShim:
+    def test_legacy_kwargs_warn_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cluster("dp_ir", shards=2, n=64, requests=4, seed=1)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "ClusterConfig" in str(deprecations[0].message)
+
+    def test_legacy_kwargs_and_config_agree_bit_for_bit(self):
+        config = ClusterConfig(shards=2, n=64, requests=4, seed=1)
+        via_config = cluster("dp_ir", config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_kwargs = cluster("dp_ir", shards=2, n=64, requests=4, seed=1)
+        assert via_config.to_dict() == via_kwargs.to_dict()
+
+    def test_config_plus_kwargs_is_an_error(self):
+        with pytest.raises(ValueError, match="not both"):
+            cluster("dp_ir", ClusterConfig(), shards=2)
+
+
+class TestSchedulerRegistry:
+    def test_canonical_names_registered(self):
+        assert set(available_schedulers()) >= {
+            "fifo", "window", "continuous",
+        }
+
+    def test_batch_is_an_alias_of_window(self):
+        assert resolve_scheduler_name("batch") == "window"
+        assert scheduler_spec("batch").factory is WindowedBatchScheduler
+
+    def test_unknown_name_lists_the_registered_ones(self):
+        with pytest.raises(ValueError, match="fifo"):
+            scheduler_spec("nope")
+        with pytest.raises(ValueError, match="continuous"):
+            build_scheduler("nope", ServingConfig())
+
+    def test_listings_carry_summaries(self):
+        listings = {spec.name: spec for spec in scheduler_listings()}
+        assert "continuous" in listings
+        assert listings["continuous"].summary
+
+    def test_public_schedulers_helper(self):
+        names = [spec.name for spec in repro.schedulers()]
+        assert "fifo" in names and "continuous" in names
+
+    def test_build_from_config_respects_fields(self):
+        config = ServingConfig(
+            scheduler="continuous", max_batch=8, max_in_flight=2,
+            tenant_credits=3, queue_cap=10,
+        )
+        scheduler = build_scheduler(config.scheduler, config)
+        assert isinstance(scheduler, ContinuousBatchScheduler)
+        assert scheduler.pipeline_depth == 2
+        assert scheduler.max_batch == 8
+
+    def test_instance_passes_through(self):
+        instance = FIFOScheduler()
+        assert build_scheduler(instance, ServingConfig()) is instance
+
+
+def _request(sequence: int, tenant: str = "t0") -> Request:
+    return Request(
+        tenant=tenant, operation=Operation.read(0), arrival_ms=0.0,
+        sequence=sequence, session_index=0, op_index=sequence,
+    )
+
+
+class TestContinuousAdmission:
+    def test_tenant_credits_cap_outstanding_requests(self):
+        scheduler = ContinuousBatchScheduler(tenant_credits=2)
+        first, second, third = (_request(i) for i in range(3))
+        assert scheduler.try_admit(first, 0.0)
+        scheduler.enqueue(first, 0.0)
+        assert scheduler.try_admit(second, 0.0)
+        scheduler.enqueue(second, 0.0)
+        assert not scheduler.try_admit(third, 0.0)
+        # Credits are held until the dispatch group completes, not
+        # merely until dispatch.
+        batch = scheduler.next_batch(0.0)
+        assert not scheduler.try_admit(third, 0.0)
+        scheduler.notify_complete(batch, 1.0)
+        assert scheduler.try_admit(third, 1.0)
+
+    def test_queue_cap_sheds_regardless_of_tenant(self):
+        scheduler = ContinuousBatchScheduler(queue_cap=1)
+        first = _request(0, tenant="a")
+        assert scheduler.try_admit(first, 0.0)
+        scheduler.enqueue(first, 0.0)
+        assert not scheduler.try_admit(_request(1, tenant="b"), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(max_batch=0)
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(max_in_flight=0)
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(tenant_credits=0)
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(queue_cap=0)
