@@ -1,0 +1,83 @@
+"""Bulk-crypto benchmark — encrypt_many vs the per-block loop, as claims.
+
+Two claims under test (see :mod:`repro.storage.bench`):
+
+* **Throughput**: one ``encrypt_many`` / ``decrypt_many`` round over a
+  batch of bucket-node-sized blocks runs >= 3x faster than the frozen
+  per-block reference loop (``encrypt_reference`` — the seed
+  implementation, kept verbatim as the baseline).  The speedup is the
+  median of interleaved paired ratios, so CPU-quota throttling cancels
+  out of the comparison.
+* **Invariance**: a DP-RAM running bulk crypto on the slab backend is
+  observationally identical to the per-block baseline — answers,
+  per-query transcript multisets, operation counters, exact ε and the
+  stored ciphertext bytes all match bit-for-bit.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.simulation.reporting import ExperimentTable
+from repro.storage.bench import crypto_comparison, crypto_invariance
+
+#: The acceptance bar for bulk crypto over the per-block reference.
+BULK_CRYPTO_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return crypto_comparison()
+
+
+@pytest.fixture(scope="module")
+def invariance():
+    return crypto_invariance()
+
+
+def test_crypto_table(comparison, invariance):
+    table = ExperimentTable(
+        "CRYPTO",
+        "bulk encrypt_many/decrypt_many beats the per-block reference "
+        ">= 3x, bit-identically through the DP-RAM",
+        headers=["path", "per-block", "bulk", "speedup"],
+    )
+    table.add_row(
+        f"encrypt+decrypt ({comparison['block_size']}B blocks/s)",
+        f"{comparison['per_block_blocks_per_sec']:,.0f}",
+        f"{comparison['bulk_blocks_per_sec']:,.0f}",
+        f"{comparison['speedup']:.2f}x",
+    )
+    table.add_note(
+        f"batch={comparison['batch']}, {comparison['batches']} batches "
+        "per side, median of interleaved paired ratios (throttle-robust)"
+    )
+    table.add_note(
+        f"invariance witness: n={invariance['n']}, "
+        f"{invariance['queries']} queries, bulk+slab vs per-block "
+        "bit-identical on answers/transcripts/counters/storage"
+    )
+    write_report(table)
+    print("\n" + table.to_text())
+
+
+def test_bulk_crypto_speedup_at_least_3x(comparison):
+    assert comparison["speedup"] >= BULK_CRYPTO_SPEEDUP_FLOOR, (
+        f"bulk crypto is only {comparison['speedup']:.2f}x the "
+        f"per-block reference loop (floor {BULK_CRYPTO_SPEEDUP_FLOOR}x)"
+    )
+    assert (
+        comparison["bulk_blocks_per_sec"]
+        > comparison["per_block_blocks_per_sec"]
+    )
+
+
+def test_bulk_slab_observationally_identical(invariance):
+    assert invariance["identical_answers"]
+    assert invariance["identical_transcripts"]
+    assert invariance["identical_counters"]
+    assert invariance["identical_storage_bytes"]
+    assert (
+        invariance["epsilon"]["per_block"]
+        == invariance["epsilon"]["bulk_slab"]
+    )

@@ -3,7 +3,7 @@
 Three claims under test (see :mod:`repro.storage.bench`):
 
 * **Read path**: one batched ``read_many`` round serves a DP-IR pad set
-  at >= 3x the slot-ops/sec of the per-slot ``read()`` loop, on pad
+  at >= 4x the slot-ops/sec of the per-slot ``read()`` loop, on pad
   sets drawn by the scheme's own sampler.
 * **End-to-end**: a full ``DPIR.query`` is strictly faster batched than
   per-slot at the same seed (sampling and bookkeeping shared).
@@ -19,8 +19,10 @@ from conftest import write_report
 from repro.simulation.reporting import ExperimentTable
 from repro.storage.bench import hotpath_comparison
 
-#: The acceptance bar for the retrieval hot path.
-READ_PATH_SPEEDUP_FLOOR = 3.0
+#: The acceptance bar for the retrieval hot path.  Raised from 3.0
+#: once presence-tracking backends let ``read_many`` skip the
+#: never-written scan on loaded databases.
+READ_PATH_SPEEDUP_FLOOR = 4.0
 
 
 @pytest.fixture(scope="module")
@@ -33,7 +35,7 @@ def test_hotpath_table(results):
     query = results["query"]
     table = ExperimentTable(
         "HOTPATH",
-        "batched read_many serves pad sets >= 3x faster than the "
+        "batched read_many serves pad sets >= 4x faster than the "
         "per-slot loop, observationally identically",
         headers=["path", "per-slot", "batched", "speedup"],
     )
@@ -57,7 +59,7 @@ def test_hotpath_table(results):
     print("\n" + table.to_text())
 
 
-def test_read_path_speedup_at_least_3x(results):
+def test_read_path_speedup_at_least_4x(results):
     read_path = results["read_path"]
     assert read_path["speedup"] >= READ_PATH_SPEEDUP_FLOOR, (
         f"read_many is only {read_path['speedup']:.2f}x the per-slot "

@@ -22,8 +22,10 @@ fails (exit 1) when:
 * the hot path's ``read_many`` speedup over the per-slot loop drops
   below the baseline's recorded floor, its absolute slot-ops/sec falls
   under a conservative sanity floor, the two execution modes stop
-  being observationally identical, or the K / ε / storage invariants
-  drift from the baseline.
+  being observationally identical, the K / ε / storage invariants
+  drift from the baseline, the bulk-crypto speedup falls below the
+  baseline's recorded floor, or the bulk+slab stack stops being
+  bit-identical to the per-block baseline on any witness.
 
 The serving/cluster/parallel simulations are seeded and deterministic,
 so those baseline comparisons are exact reproductions, not noisy
@@ -59,6 +61,11 @@ HOTPATH_MIN_OPS_PER_SEC = 100_000.0
 #: baseline predates the tracing section (see run_benchmarks.py, which
 #: records the authoritative value in the artifact's config).
 DISABLED_TRACER_OVERHEAD_CEILING = 1.02
+
+#: Fallback floor for the bulk-crypto speedup when the committed
+#: baseline predates the crypto section (run_benchmarks.py records the
+#: authoritative value in the artifact's config).
+CRYPTO_SPEEDUP_FLOOR = 3.0
 
 
 class _Gate:
@@ -358,6 +365,43 @@ def check_hotpath(current: dict, baseline: dict, threshold: float,
             f"exceeds the {ceiling} ceiling — the switched-off "
             "observer must cost nothing on the read path",
         )
+    # Bulk crypto must keep beating the frozen per-block reference, and
+    # the bulk+slab stack must stay bit-identical to it on every
+    # observable.  The floor comes from the baseline artifact — same
+    # reviewed-refresh discipline as the read-path speedup floor.
+    crypto = current.get("crypto")
+    gate.check(
+        crypto is not None,
+        "hotpath: artifact is missing the crypto section — "
+        "rerun `python scripts/run_benchmarks.py`",
+    )
+    if crypto is not None:
+        comparison = crypto["comparison"]
+        crypto_floor = baseline["config"].get(
+            "crypto_speedup_floor", CRYPTO_SPEEDUP_FLOOR
+        )
+        gate.check(
+            comparison["speedup"] >= crypto_floor,
+            f"hotpath: bulk-crypto speedup {comparison['speedup']:.2f}x "
+            f"fell below the {crypto_floor}x floor",
+        )
+        base_crypto = baseline.get("crypto")
+        if base_crypto is not None:
+            base_speedup = base_crypto["comparison"]["speedup"]
+            ratio_floor = base_speedup * (1.0 - threshold)
+            gate.check(
+                comparison["speedup"] >= ratio_floor,
+                f"hotpath: bulk-crypto speedup "
+                f"{comparison['speedup']:.2f}x dropped more than "
+                f"{threshold:.0%} below baseline {base_speedup:.2f}x",
+            )
+        for witness in ("identical_answers", "identical_transcripts",
+                        "identical_counters", "identical_storage_bytes"):
+            gate.check(
+                bool(crypto["invariance"][witness]),
+                f"hotpath: bulk+slab and per-block execution are no "
+                f"longer {witness}",
+            )
 
 
 def main(argv: list[str] | None = None) -> int:

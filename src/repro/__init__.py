@@ -101,6 +101,7 @@ from repro.serving import (
 from repro.serving import scheduler_listings as schedulers
 from repro.storage import (
     InMemoryBackend,
+    SlabBackend,
     NetworkBackend,
     ServerPool,
     StorageBackend,
@@ -162,6 +163,7 @@ __all__ = [
     "ServingReport",
     "ShardedDPIR",
     "SimulatedParallelExecutor",
+    "SlabBackend",
     "StorageBackend",
     "StorageServer",
     "StrawmanIR",

@@ -560,8 +560,10 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--write-fraction", type=float, default=0.5,
                             help="write fraction for the readwrite workload")
     run_parser.add_argument("--backend", default=None,
-                            choices=("memory", "network"),
-                            help="slot-storage backend (default memory)")
+                            choices=("memory", "slab", "network"),
+                            help="slot-storage backend (default memory; "
+                                 "slab packs fixed-size blocks into one "
+                                 "contiguous buffer)")
     run_parser.add_argument("--network", default=None,
                             choices=("lan", "wan", "mobile"),
                             help="link model for the network backend")
@@ -622,6 +624,11 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--network", default="lan",
                               choices=("lan", "wan", "mobile"),
                               help="link model pricing simulated time")
+    serve_parser.add_argument("--backend", default=None,
+                              choices=("memory", "slab", "network"),
+                              help="slot-storage backend override "
+                                   "(default: scheme default; slab packs "
+                                   "blocks into one contiguous buffer)")
     serve_parser.add_argument("--value-size", type=int, default=32,
                               help="KVS value size in bytes (default 32)")
     serve_parser.add_argument("--executor", default=None,
@@ -682,6 +689,11 @@ def main(argv: list[str] | None = None) -> int:
     cluster_parser.add_argument("--network", default="lan",
                                 choices=("lan", "wan", "mobile"),
                                 help="link model pricing simulated time")
+    cluster_parser.add_argument("--backend", default=None,
+                                choices=("memory", "slab", "network"),
+                                help="per-replica slot-storage backend "
+                                     "(default memory; slab packs blocks "
+                                     "into one contiguous buffer)")
     cluster_parser.add_argument("--executor", default="serial",
                                 choices=("serial", "parallel", "simulated"),
                                 help="cross-shard fan-out policy "

@@ -57,6 +57,7 @@ from repro.api.registry import (
 from repro.storage.backends import (
     BackendFactory,
     InMemoryBackend,
+    SlabBackend,
     NetworkBackend,
     NetworkBackendFactory,
     StorageBackend,
@@ -65,6 +66,7 @@ from repro.storage.backends import (
 __all__ = [
     "BackendFactory",
     "InMemoryBackend",
+    "SlabBackend",
     "NetworkBackend",
     "NetworkBackendFactory",
     "PrivateIR",

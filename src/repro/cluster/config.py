@@ -52,6 +52,9 @@ class ClusterConfig:
         value_size: KVS value budget.
         seed: deterministic randomness; ``None`` uses system entropy.
         network: link model pricing server operations into simulated ms.
+        backend: per-replica slot-storage backend name (``memory`` /
+            ``slab`` / ``network``); ``None`` keeps the in-memory
+            default.
         executor: cross-shard fan-out policy (``serial`` / ``parallel``
             / ``simulated``).
         batch: requests dispatched per round through the batched entry
@@ -84,6 +87,7 @@ class ClusterConfig:
     value_size: int = 32
     seed: int | bytes | str | None = None
     network: str = "lan"
+    backend: str | None = None
     executor: str | None = None
     batch: int = 1
     percentiles: Sequence[float] = DEFAULT_PERCENTILES
@@ -138,6 +142,7 @@ class ClusterConfig:
             value_size=getattr(args, "value_size", 32),
             seed=args.seed,
             network=getattr(args, "network", "lan"),
+            backend=getattr(args, "backend", None),
             executor=args.executor,
             batch=args.batch,
             tracer=tracer,

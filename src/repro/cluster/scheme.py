@@ -43,7 +43,7 @@ from repro.cluster.router import (
     make_router,
 )
 from repro.core.params import DPIRParams
-from repro.crypto.encryption import encrypt_authenticated, generate_key
+from repro.crypto.encryption import encrypt_authenticated_many, generate_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.obs.executor import TracingExecutor
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -361,10 +361,9 @@ class ClusterIR(PrivateIR):
         if self._key is None:
             return [blocks[index] for index in owned]
         enc_rng = self._rng.spawn(f"enc/{label}")
-        return [
-            encrypt_authenticated(self._key, blocks[index], enc_rng)
-            for index in owned
-        ]
+        return encrypt_authenticated_many(
+            self._key, [blocks[index] for index in owned], enc_rng
+        )
 
     # -- scheme info -------------------------------------------------------
 

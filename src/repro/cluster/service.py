@@ -136,6 +136,10 @@ def _cluster(scheme: str, config: ClusterConfig) -> ClusterReport:
     fault_coin_mode = config.fault_coin_mode
     monitor = config.monitor
     base_kwargs = dict(config.base_kwargs)
+    if config.backend is not None:
+        # ClusterIR/ClusterKVS pass the factory (or its name) through to
+        # every replica's base builder, which resolves strings itself.
+        base_kwargs.setdefault("backend_factory", config.backend)
 
     base = resolve_scheme_name(scheme)
     spec = scheme_spec(base)

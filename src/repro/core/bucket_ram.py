@@ -38,7 +38,14 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.api.protocols import PrivateRAM
-from repro.crypto.encryption import SecretKey, decrypt, encrypt, generate_key
+from repro.crypto.encryption import (
+    SecretKey,
+    decrypt_many,
+    decrypt_reference,
+    encrypt_many,
+    encrypt_reference,
+    generate_key,
+)
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.storage.backends import BackendFactory
 from repro.storage.errors import RetrievalError, StorageError
@@ -71,6 +78,10 @@ class BucketDPRAM(PrivateRAM):
         rng: randomness source (defaults to system entropy).
         key: symmetric key; freshly sampled when omitted.
         backend_factory: optional slot-storage backend for the server.
+        bulk: route node re-encryption rounds through the bulk cipher
+            path (default).  ``False`` keeps the seed per-block reference
+            implementation — slower, bit-identical, and the baseline the
+            benchmark invariance witnesses compare against.
     """
 
     def __init__(
@@ -81,6 +92,7 @@ class BucketDPRAM(PrivateRAM):
         rng: RandomSource | None = None,
         key: SecretKey | None = None,
         backend_factory: BackendFactory | None = None,
+        bulk: bool = True,
     ) -> None:
         if not node_blocks:
             raise ValueError("need at least one node block")
@@ -104,15 +116,14 @@ class BucketDPRAM(PrivateRAM):
         self._p = stash_probability
         self._rng = rng if rng is not None else SystemRandomSource()
         self._key = key if key is not None else generate_key(self._rng)
+        self._bulk = bulk
 
         self._block_size = len(node_blocks[0])
         self._server = StorageServer(
             node_count,
             backend=backend_factory(node_count) if backend_factory else None,
         )
-        self._server.load(
-            [encrypt(self._key, block, self._rng) for block in node_blocks]
-        )
+        self._server.load(self._encrypt_blocks(node_blocks))
 
         self._stashed: set[int] = set()
         self._overlay: dict[int, bytes] = {}
@@ -228,11 +239,20 @@ class BucketDPRAM(PrivateRAM):
             download_bucket = bucket
             contents = {}
             ciphertexts = self._server.read_many(nodes)
-            for node, ciphertext in zip(nodes, ciphertexts):
+            plaintexts = iter(
+                self._decrypt_blocks(
+                    [
+                        ciphertext
+                        for node, ciphertext in zip(nodes, ciphertexts)
+                        if node not in self._overlay
+                    ]
+                )
+            )
+            for node in nodes:
                 if node in self._overlay:
                     contents[node] = self._overlay[node]
                 else:
-                    contents[node] = decrypt(self._key, ciphertext)
+                    contents[node] = next(plaintexts)
         return PendingQuery(
             bucket=bucket, download_bucket=download_bucket, contents=contents
         )
@@ -279,26 +299,44 @@ class BucketDPRAM(PrivateRAM):
             overwrite_bucket = self._rng.randbelow(len(self._buckets))
             overwrite_nodes = self._buckets[overwrite_bucket]
             ciphertexts = self._server.read_many(overwrite_nodes)
-            uploads: list[tuple[int, bytes]] = []
-            for node, ciphertext in zip(overwrite_nodes, ciphertexts):
-                if node in self._overlay:
-                    authoritative = self._overlay[node]
-                else:
-                    authoritative = decrypt(self._key, ciphertext)
-                uploads.append(
-                    (node, encrypt(self._key, authoritative, self._rng))
+            # Decrypts consume no client randomness, so hoisting them
+            # ahead of the whole-bucket bulk re-encrypt preserves the
+            # rng draw order of the per-node formulation exactly.
+            plaintexts = iter(
+                self._decrypt_blocks(
+                    [
+                        ciphertext
+                        for node, ciphertext in zip(overwrite_nodes, ciphertexts)
+                        if node not in self._overlay
+                    ]
                 )
-            self._server.write_many(uploads)
+            )
+            authoritative = [
+                self._overlay[node]
+                if node in self._overlay
+                else next(plaintexts)
+                for node in overwrite_nodes
+            ]
+            self._server.write_many(
+                list(
+                    zip(
+                        overwrite_nodes,
+                        self._encrypt_blocks(authoritative),
+                    )
+                )
+            )
             for node in overwrite_nodes:
                 self._evict_if_unpinned(node)
         else:
             overwrite_bucket = bucket
             self._server.read_many(nodes)  # downloaded and discarded
             self._server.write_many(
-                [
-                    (node, encrypt(self._key, contents[node], self._rng))
-                    for node in nodes
-                ]
+                list(
+                    zip(
+                        nodes,
+                        self._encrypt_blocks([contents[node] for node in nodes]),
+                    )
+                )
             )
             for node in nodes:
                 if node in self._overlay:
@@ -362,6 +400,18 @@ class BucketDPRAM(PrivateRAM):
         snapshot = dict(pending.contents)
         self.finish_query(pending, new_contents)
         return snapshot
+
+    # -- cipher routing ----------------------------------------------------------
+
+    def _encrypt_blocks(self, blocks: Sequence[bytes]) -> list[bytes]:
+        if self._bulk:
+            return encrypt_many(self._key, blocks, self._rng)
+        return [encrypt_reference(self._key, b, self._rng) for b in blocks]
+
+    def _decrypt_blocks(self, ciphertexts: Sequence[bytes]) -> list[bytes]:
+        if self._bulk:
+            return decrypt_many(self._key, ciphertexts)
+        return [decrypt_reference(self._key, c) for c in ciphertexts]
 
     # -- overlay / pin bookkeeping ----------------------------------------------
 

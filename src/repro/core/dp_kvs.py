@@ -25,6 +25,8 @@ fixed-size byte strings (shorter inputs are zero-padded by the codec).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.api.protocols import PrivateKVS
 from repro.core.bucket_ram import BucketDPRAM, PendingQuery
 from repro.core.params import DPKVSParams
@@ -58,7 +60,12 @@ class DPKVS(PrivateKVS):
         rng: randomness source (defaults to system entropy).
         prf: PRF for the two leaf choices; freshly keyed when omitted.
         key: symmetric key for the bucket DP-RAM; fresh when omitted.
+        bulk: route the bucket DP-RAM's node re-encryption through the
+            bulk cipher path (default); ``False`` keeps the per-block
+            reference implementation for baseline comparisons.
     """
+
+    _CHOICE_CACHE_LIMIT = 4096
 
     def __init__(
         self,
@@ -73,6 +80,7 @@ class DPKVS(PrivateKVS):
         prf: PRF | None = None,
         key: SecretKey | None = None,
         backend_factory: BackendFactory | None = None,
+        bulk: bool = True,
     ) -> None:
         self._params = DPKVSParams.for_capacity(
             capacity,
@@ -101,11 +109,16 @@ class DPKVS(PrivateKVS):
             rng=self._rng.spawn("bucket-ram") if hasattr(self._rng, "spawn") else self._rng,
             key=key,
             backend_factory=backend_factory,
+            bulk=bulk,
         )
         super_root_capacity = (
             self._params.phi if enforce_super_root_capacity else None
         )
         self._super_root = ClientStash(capacity=super_root_capacity)
+        # PRF bucket choices are a pure function of the key, so they are
+        # memoized across operations (bounded, FIFO eviction); cache hits
+        # consume no randomness and leave every transcript bit-identical.
+        self._choice_cache: dict[bytes, list[int]] = {}
         self._size = 0
         self._operations = 0
 
@@ -204,6 +217,29 @@ class DPKVS(PrivateKVS):
         self._operations += 1
         return None if value is None else self._values.decode(value)
 
+    def get_many(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Retrieve ``keys`` in order as one round.
+
+        The PRF bucket choices of every key in the batch are derived in a
+        single :meth:`~repro.crypto.prf.PRF.choices_many` pass against the
+        shared keyed state before the per-key queries run; the queries
+        themselves (and every coin they flip) are identical to sequential
+        :meth:`get` calls.
+        """
+        normalized = [self._codec.normalize_key(key) for key in keys]
+        fresh = list(
+            dict.fromkeys(
+                key for key in normalized if key not in self._choice_cache
+            )
+        )
+        if fresh:
+            batched = self._prf.choices_many(
+                fresh, self._layout.bucket_count, self._params.choices
+            )
+            for key, draws in zip(fresh, batched):
+                self._cache_choices(key, draws)
+        return [self.get(key) for key in keys]
+
     def put(self, user_key: bytes, user_value: bytes) -> None:
         """Insert or update ``user_key`` with ``user_value``.
 
@@ -261,7 +297,11 @@ class DPKVS(PrivateKVS):
         unreachable under the next query's pad.
         """
         buckets = self._layout.bucket_count
-        first, second = self._prf.choices(key, buckets, self._params.choices)
+        cached = self._choice_cache.get(key)
+        if cached is None:
+            cached = self._prf.choices(key, buckets, self._params.choices)
+            self._cache_choices(key, cached)
+        first, second = cached
         if first != second:
             return [first, second], 2
         if buckets > 1:
@@ -269,6 +309,12 @@ class DPKVS(PrivateKVS):
         else:
             pad = first
         return [first, pad], 1
+
+    def _cache_choices(self, key: bytes, draws: list[int]) -> None:
+        cache = self._choice_cache
+        if key not in cache and len(cache) >= self._CHOICE_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = draws
 
     def _find_in_pending(
         self, key: bytes, pending: list[PendingQuery]

@@ -31,7 +31,15 @@ from typing import Sequence
 
 from repro.api.protocols import PrivateRAM
 from repro.core.params import DPRAMParams
-from repro.crypto.encryption import SecretKey, decrypt, encrypt, generate_key
+from repro.crypto.encryption import (
+    SecretKey,
+    decrypt,
+    decrypt_reference,
+    encrypt,
+    encrypt_many,
+    encrypt_reference,
+    generate_key,
+)
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.storage.backends import BackendFactory
 from repro.storage.client import ClientStash
@@ -51,6 +59,10 @@ class DPRAM(PrivateRAM):
         rng: randomness source (defaults to system entropy).
         key: symmetric key; a fresh one is sampled when omitted.
         backend_factory: optional slot-storage backend for the server.
+        bulk: route encryption through the bulk/word-wise cipher path
+            (default).  ``False`` keeps the seed per-block reference
+            implementation — slower, bit-identical, and the baseline the
+            benchmark invariance witnesses compare against.
     """
 
     def __init__(
@@ -61,6 +73,7 @@ class DPRAM(PrivateRAM):
         rng: RandomSource | None = None,
         key: SecretKey | None = None,
         backend_factory: BackendFactory | None = None,
+        bulk: bool = True,
     ) -> None:
         if not blocks:
             raise ValueError("the database must contain at least one block")
@@ -73,6 +86,8 @@ class DPRAM(PrivateRAM):
             self._params = DPRAMParams.from_phi(n, phi)
         self._rng = rng if rng is not None else SystemRandomSource()
         self._key = key if key is not None else generate_key(self._rng)
+        self._encrypt = encrypt if bulk else encrypt_reference
+        self._decrypt = decrypt if bulk else decrypt_reference
 
         # Setup (Algorithm 2): encrypted array on the server, independent
         # p-Bernoulli stash on the client.  The stash copy and the server
@@ -81,7 +96,12 @@ class DPRAM(PrivateRAM):
         self._server = StorageServer(
             n, backend=backend_factory(n) if backend_factory else None
         )
-        self._server.load([encrypt(self._key, b, self._rng) for b in blocks])
+        if bulk:
+            self._server.load(encrypt_many(self._key, blocks, self._rng))
+        else:
+            self._server.load(
+                [encrypt_reference(self._key, b, self._rng) for b in blocks]
+            )
         self._stash = ClientStash()
         p = self._params.stash_probability
         for index, block in enumerate(blocks):
@@ -184,22 +204,22 @@ class DPRAM(PrivateRAM):
         if stashed:
             current = self._stash.pop(index)  # cover download discarded
         else:
-            current = decrypt(self._key, downloaded)
+            current = self._decrypt(self._key, downloaded)
         if new_value is not None:
             current = new_value
 
         # Overwrite phase.
         if restash:
             self._stash.put(index, current)
-            refreshed = decrypt(self._key, overwritten)
+            refreshed = self._decrypt(self._key, overwritten)
             self._server.write(
-                overwrite_slot, encrypt(self._key, refreshed, self._rng)
+                overwrite_slot, self._encrypt(self._key, refreshed, self._rng)
             )
         else:
             # The overwrite download was discarded; upload a fresh
             # ciphertext of the current version.
             self._server.write(
-                overwrite_slot, encrypt(self._key, current, self._rng)
+                overwrite_slot, self._encrypt(self._key, current, self._rng)
             )
 
         self._pairs.append((download_slot, overwrite_slot))

@@ -18,8 +18,8 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.crypto.prg import CounterPRG
 from repro.crypto.rng import RandomSource
 
 NONCE_SIZE = 16
@@ -57,17 +57,126 @@ def generate_key(rng: RandomSource) -> SecretKey:
     return SecretKey(rng.bytes(_KEY_SIZE))
 
 
+# The optimized path computes HMAC-SHA256 "by hand": HMAC(k, m) =
+# H(opad_k || H(ipad_k || m)) with the padded-key XOR masks precomputed.
+# Two one-shot ``hashlib.sha256`` calls replace the ``hmac`` module's
+# object construction, copy, update and finalize round trips, which is
+# where the per-block Python overhead lives.  The bytes produced are the
+# textbook HMAC, so they match the frozen reference implementation
+# bit for bit (``tests/property/test_prop_crypto.py`` pins this).
+
+_SHA256_BLOCK = 64
+_IPAD = int.from_bytes(bytes(0x36 for _ in range(_SHA256_BLOCK)), "little")
+_OPAD = int.from_bytes(bytes(0x5C for _ in range(_SHA256_BLOCK)), "little")
+_COUNTERS = [index.to_bytes(8, "big") for index in range(32)]
+
+
+def _counters(count: int) -> list[bytes]:
+    """The first ``count`` big-endian 8-byte PRG counters, precomputed."""
+    while len(_COUNTERS) < count:
+        _COUNTERS.append(len(_COUNTERS).to_bytes(8, "big"))
+    return _COUNTERS[:count]
+
+
+def _hmac_pads(material: bytes) -> tuple[bytes, bytes]:
+    """The ipad/opad-masked key block of HMAC-SHA256 for ``material``."""
+    padded = int.from_bytes(material, "little")  # implicit zero-pad
+    return (
+        (padded ^ _IPAD).to_bytes(_SHA256_BLOCK, "little"),
+        (padded ^ _OPAD).to_bytes(_SHA256_BLOCK, "little"),
+    )
+
+
+def _key_states(key: SecretKey) -> tuple["hashlib._Hash", ...]:
+    """Per-key SHA-256 states ``(stream inner, mac inner, outer)``.
+
+    Keying an HMAC re-derives the inner/outer pads from the key on every
+    call; we pay that once per key — absorbing the padded key block and
+    the ``b"stream:"`` / ``b"mac:"`` domain separators into reusable
+    hash states — and cache the result on the (frozen) key object so
+    every call site, single-block and bulk, shares one keying.  Each use
+    is a ``copy()`` of the cached state, never a mutation.
+    """
+    states = getattr(key, "_states", None)
+    if states is None:
+        ipad, opad = _hmac_pads(key.material)
+        states = (
+            hashlib.sha256(ipad + b"stream:"),
+            hashlib.sha256(ipad + b"mac:"),
+            hashlib.sha256(opad),
+        )
+        object.__setattr__(key, "_states", states)
+    return states
+
+
+_COUNTER_0 = (0).to_bytes(8, "big")
+_COUNTER_1 = (1).to_bytes(8, "big")
+
+
+def _expand(seed: bytes, length: int) -> bytes:
+    """``CounterPRG.expand(seed, length)`` as manual-HMAC one-shots.
+
+    One- and two-chunk streams (records up to 64 bytes — the common
+    DP-RAM block sizes) are unrolled; longer streams (bucket node blobs)
+    absorb the per-seed pads into two hash states once and ``copy()``
+    them per 32-byte chunk, which beats re-hashing the 64-byte pad block
+    every time.
+    """
+    if length == 0:
+        return b""
+    digest = hashlib.sha256
+    padded = int.from_bytes(seed, "little")
+    inner = (padded ^ _IPAD).to_bytes(_SHA256_BLOCK, "little")
+    outer = (padded ^ _OPAD).to_bytes(_SHA256_BLOCK, "little")
+    if length <= 32:
+        return digest(
+            outer + digest(inner + _COUNTER_0).digest()
+        ).digest()[:length]
+    if length <= 64:
+        stream = (
+            digest(outer + digest(inner + _COUNTER_0).digest()).digest()
+            + digest(outer + digest(inner + _COUNTER_1).digest()).digest()
+        )
+        return stream[:length]
+    inner_state = digest(inner)
+    outer_state = digest(outer)
+    chunks = []
+    for counter in _counters((length + 31) >> 5):
+        inner_hash = inner_state.copy()
+        inner_hash.update(counter)
+        outer_hash = outer_state.copy()
+        outer_hash.update(inner_hash.digest())
+        chunks.append(outer_hash.digest())
+    return b"".join(chunks)[:length]
+
+
+def _seed_of(key: SecretKey, nonce: bytes) -> bytes:
+    """``HMAC(key, b"stream:" + nonce)`` from the cached key states."""
+    stream_inner, _, outer = _key_states(key)
+    inner = stream_inner.copy()
+    inner.update(nonce)
+    seed = outer.copy()
+    seed.update(inner.digest())
+    return seed.digest()
+
+
 def _keystream(key: SecretKey, nonce: bytes, length: int) -> bytes:
-    seed = hmac.new(key.material, b"stream:" + nonce, hashlib.sha256).digest()
-    return CounterPRG.expand(seed, length)
+    return _expand(_seed_of(key, nonce), length)
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    """Word-wise XOR of two equal-length byte strings."""
+    length = len(data)
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(stream, "little")
+    ).to_bytes(length, "little")
 
 
 def encrypt(key: SecretKey, plaintext: bytes, rng: RandomSource) -> bytes:
     """Encrypt ``plaintext`` under ``key`` with a fresh nonce from ``rng``."""
     nonce = rng.bytes(NONCE_SIZE)
     stream = _keystream(key, nonce, len(plaintext))
-    body = bytes(p ^ s for p, s in zip(plaintext, stream))
-    return nonce + body
+    return nonce + _xor(plaintext, stream)
 
 
 def decrypt(key: SecretKey, ciphertext: bytes) -> bytes:
@@ -82,7 +191,95 @@ def decrypt(key: SecretKey, ciphertext: bytes) -> bytes:
         )
     nonce, body = ciphertext[:NONCE_SIZE], ciphertext[NONCE_SIZE:]
     stream = _keystream(key, nonce, len(body))
-    return bytes(c ^ s for c, s in zip(body, stream))
+    return _xor(body, stream)
+
+
+# -- bulk variants ------------------------------------------------------------
+#
+# Every DP-RAM / bucket-RAM round encrypts or decrypts a whole batch of
+# blocks back to back under the same key.  The bulk entry points below
+# amortize what the per-block loop pays K times: the nonces for a round
+# are drawn in ONE ``rng.bytes(K * NONCE_SIZE)`` call and split per
+# block, and the keyed HMAC states come from the per-key cache.  For the
+# seeded Mersenne source (and trivially for system entropy) one bulk
+# draw yields exactly the bytes of K sequential ``bytes(NONCE_SIZE)``
+# draws and leaves the generator in the same state, so ciphertexts and
+# every downstream coin are bit-identical to the sequential loop —
+# ``tests/property/test_prop_crypto.py`` holds that equivalence.
+
+
+def encrypt_many(
+    key: SecretKey, plaintexts: Sequence[bytes], rng: RandomSource
+) -> list[bytes]:
+    """Encrypt a batch; bit-identical to a sequential :func:`encrypt` loop."""
+    if not plaintexts:
+        return []
+    count = len(plaintexts)
+    nonces = rng.bytes(count * NONCE_SIZE)
+    stream_inner, _, outer = _key_states(key)
+    expand = _expand
+    streams: list[bytes] = []
+    position = 0
+    for plaintext in plaintexts:
+        inner = stream_inner.copy()
+        inner.update(nonces[position:position + NONCE_SIZE])
+        position += NONCE_SIZE
+        seed = outer.copy()
+        seed.update(inner.digest())
+        streams.append(expand(seed.digest(), len(plaintext)))
+    # One whole-batch XOR: cheaper than a word-wise XOR per block.
+    data = b"".join(plaintexts)
+    mask = b"".join(streams)
+    body = (
+        int.from_bytes(data, "little") ^ int.from_bytes(mask, "little")
+    ).to_bytes(len(data), "little")
+    out: list[bytes] = []
+    position = 0
+    offset = 0
+    for plaintext in plaintexts:
+        end = offset + len(plaintext)
+        out.append(nonces[position:position + NONCE_SIZE] + body[offset:end])
+        position += NONCE_SIZE
+        offset = end
+    return out
+
+
+def decrypt_many(key: SecretKey, ciphertexts: Sequence[bytes]) -> list[bytes]:
+    """Invert :func:`encrypt_many` (order-preserving per-block decrypt).
+
+    Raises:
+        ValueError: if any ciphertext is shorter than the nonce.
+    """
+    stream_inner, _, outer = _key_states(key)
+    expand = _expand
+    bodies: list[bytes] = []
+    streams: list[bytes] = []
+    for ciphertext in ciphertexts:
+        if len(ciphertext) < NONCE_SIZE:
+            raise ValueError(
+                f"ciphertext too short: {len(ciphertext)} < nonce size "
+                f"{NONCE_SIZE}"
+            )
+        body = ciphertext[NONCE_SIZE:]
+        inner = stream_inner.copy()
+        inner.update(ciphertext[:NONCE_SIZE])
+        seed = outer.copy()
+        seed.update(inner.digest())
+        bodies.append(body)
+        streams.append(expand(seed.digest(), len(body)))
+    # One whole-batch XOR: cheaper than a word-wise XOR per block.
+    data = b"".join(bodies)
+    mask = b"".join(streams)
+    plain = (
+        int.from_bytes(data, "little") ^ int.from_bytes(mask, "little")
+    ).to_bytes(len(data), "little")
+    out: list[bytes] = []
+    offset = 0
+    for body in bodies:
+        end = offset + len(body)
+        out.append(plain[offset:end])
+        offset = end
+    return out
 
 
 # -- authenticated variant ---------------------------------------------------
@@ -105,9 +302,12 @@ class IntegrityError(Exception):
 
 
 def _tag(key: SecretKey, ciphertext: bytes) -> bytes:
-    return hmac.new(key.material, b"mac:" + ciphertext, hashlib.sha256).digest()[
-        :TAG_SIZE
-    ]
+    _, mac_inner, outer = _key_states(key)
+    inner = mac_inner.copy()
+    inner.update(ciphertext)
+    tag = outer.copy()
+    tag.update(inner.digest())
+    return tag.digest()[:TAG_SIZE]
 
 
 def encrypt_authenticated(
@@ -133,3 +333,124 @@ def decrypt_authenticated(key: SecretKey, ciphertext: bytes) -> bytes:
     if not hmac.compare_digest(tag, _tag(key, body)):
         raise IntegrityError("ciphertext failed integrity verification")
     return decrypt(key, body)
+
+
+def encrypt_authenticated_many(
+    key: SecretKey, plaintexts: Sequence[bytes], rng: RandomSource
+) -> list[bytes]:
+    """Bulk encrypt-then-MAC; bit-identical to the sequential loop."""
+    ciphertexts = encrypt_many(key, plaintexts, rng)
+    _, mac_inner, outer = _key_states(key)
+    out: list[bytes] = []
+    for ciphertext in ciphertexts:
+        inner = mac_inner.copy()
+        inner.update(ciphertext)
+        tag = outer.copy()
+        tag.update(inner.digest())
+        out.append(ciphertext + tag.digest()[:TAG_SIZE])
+    return out
+
+
+def decrypt_authenticated_many(
+    key: SecretKey, ciphertexts: Sequence[bytes]
+) -> list[bytes]:
+    """Verify every tag, then bulk-decrypt.
+
+    Verification is per block: the first tampered block raises, naming
+    nothing about the others (callers needing per-block recovery fall
+    back to :func:`decrypt_authenticated` one block at a time).
+
+    Raises:
+        IntegrityError: if any ciphertext was modified or is too short.
+    """
+    bodies: list[bytes] = []
+    for ciphertext in ciphertexts:
+        if len(ciphertext) < NONCE_SIZE + TAG_SIZE:
+            raise IntegrityError(
+                f"authenticated ciphertext too short: {len(ciphertext)} bytes"
+            )
+        body, tag = ciphertext[:-TAG_SIZE], ciphertext[-TAG_SIZE:]
+        if not hmac.compare_digest(tag, _tag(key, body)):
+            raise IntegrityError("ciphertext failed integrity verification")
+        bodies.append(body)
+    return decrypt_many(key, bodies)
+
+
+# -- frozen reference implementation ------------------------------------------
+#
+# The original (pre-bulk) code path, kept verbatim: a fresh HMAC keying
+# per block, a stateful counter generator with an HMAC keying per
+# 32-byte keystream segment, and the byte-by-byte generator XOR.  It is
+# the timing baseline the ≥3x bulk-encrypt gate in
+# ``BENCH_hotpath.json`` measures against, the ground truth the
+# property tests compare optimized outputs to, and the ``bulk=False``
+# mode of DP-RAM / BucketDPRAM (the per-block baseline of the
+# invariance witnesses).  Do not optimize these.
+
+
+class _ReferenceCounterPRG:
+    """The seed repository's ``CounterPRG``, preserved verbatim."""
+
+    def __init__(self, seed: bytes) -> None:
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError(
+                f"PRG seed must be bytes, got {type(seed).__name__}"
+            )
+        if len(seed) == 0:
+            raise ValueError("PRG seed must be non-empty")
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def read(self, length: int) -> bytes:
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        while len(self._buffer) < length:
+            block = hmac.new(
+                self._seed, self._counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:length], self._buffer[length:]
+        return out
+
+    @classmethod
+    def expand(cls, seed: bytes, length: int) -> bytes:
+        return cls(seed).read(length)
+
+
+def _reference_keystream(key: SecretKey, nonce: bytes, length: int) -> bytes:
+    seed = hmac.new(key.material, b"stream:" + nonce, hashlib.sha256).digest()
+    return _ReferenceCounterPRG.expand(seed, length)
+
+
+def encrypt_reference(
+    key: SecretKey, plaintext: bytes, rng: RandomSource
+) -> bytes:
+    """The seed implementation of :func:`encrypt` (per-byte XOR)."""
+    nonce = rng.bytes(NONCE_SIZE)
+    stream = _reference_keystream(key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    return nonce + body
+
+
+def decrypt_reference(key: SecretKey, ciphertext: bytes) -> bytes:
+    """The seed implementation of :func:`decrypt` (per-byte XOR)."""
+    if len(ciphertext) < NONCE_SIZE:
+        raise ValueError(
+            f"ciphertext too short: {len(ciphertext)} < nonce size {NONCE_SIZE}"
+        )
+    nonce, body = ciphertext[:NONCE_SIZE], ciphertext[NONCE_SIZE:]
+    stream = _reference_keystream(key, nonce, len(body))
+    return bytes(c ^ s for c, s in zip(body, stream))
+
+
+def encrypt_authenticated_reference(
+    key: SecretKey, plaintext: bytes, rng: RandomSource
+) -> bytes:
+    """The seed implementation of :func:`encrypt_authenticated`."""
+    ciphertext = encrypt_reference(key, plaintext, rng)
+    tag = hmac.new(
+        key.material, b"mac:" + ciphertext, hashlib.sha256
+    ).digest()[:TAG_SIZE]
+    return ciphertext + tag

@@ -100,6 +100,39 @@ class PRF:
             out.append(int.from_bytes(mac.digest(), "big") % modulus)
         return out
 
+    def choices_many(
+        self, messages: list[bytes], modulus: int, count: int
+    ) -> list[list[int]]:
+        """Batched :meth:`choices` over ``messages``.
+
+        One round of ``get_many`` evaluates the bucket choices of every
+        key in the batch; this derives them all against the single keyed
+        state, bit-identical to per-message :meth:`choices` calls in
+        order.
+
+        Raises:
+            TypeError: if any message is not bytes-like.
+            ValueError: if ``count`` is negative or ``modulus`` not positive.
+        """
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for message in messages:
+            _check_message(message)
+        prefixes = [i.to_bytes(4, "big") for i in range(count)]
+        state = self._state
+        out: list[list[int]] = []
+        for message in messages:
+            suffix = b"|" + bytes(message)
+            draws: list[int] = []
+            for prefix in prefixes:
+                mac = state.copy()
+                mac.update(prefix + suffix)
+                draws.append(int.from_bytes(mac.digest(), "big") % modulus)
+            out.append(draws)
+        return out
+
     def subkey(self, label: str) -> "PRF":
         """Derive an independent PRF keyed by ``F(key, label)``."""
         return PRF(self.evaluate(b"subkey:" + label.encode()))

@@ -28,6 +28,10 @@ class CounterPRG:
         if len(seed) == 0:
             raise ValueError("PRG seed must be non-empty")
         self._seed = bytes(seed)
+        # Keyed-but-empty HMAC state: re-deriving the pads from the seed
+        # per counter block dominates short expansions, so pay it once.
+        # ``copy().update(counter)`` yields bit-identical blocks.
+        self._state = hmac.new(self._seed, digestmod=hashlib.sha256)
         self._counter = 0
         self._buffer = b""
 
@@ -36,11 +40,10 @@ class CounterPRG:
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
         while len(self._buffer) < length:
-            block = hmac.new(
-                self._seed, self._counter.to_bytes(8, "big"), hashlib.sha256
-            ).digest()
+            mac = self._state.copy()
+            mac.update(self._counter.to_bytes(8, "big"))
             self._counter += 1
-            self._buffer += block
+            self._buffer += mac.digest()
         out, self._buffer = self._buffer[:length], self._buffer[length:]
         return out
 

@@ -61,6 +61,9 @@ class ServingConfig:
         seed: deterministic randomness; ``None`` uses system entropy.
         network: link model name or
             :class:`~repro.storage.network.NetworkModel`.
+        backend: slot-storage backend name (``memory`` / ``slab`` /
+            ``network``) forwarded to the scheme builder; ``None`` keeps
+            the scheme's default.
         value_size: KVS value budget when building by name.
         write_fraction: write share of the ``readwrite`` workload.
         executor: cross-shard fan-out policy (``serial`` / ``parallel``
@@ -88,6 +91,7 @@ class ServingConfig:
     n: int = 1024
     seed: int | bytes | str | None = None
     network: NetworkModel | str = "lan"
+    backend: str | None = None
     value_size: int = 32
     write_fraction: float = 0.25
     executor: str | None = None
@@ -142,6 +146,7 @@ class ServingConfig:
             n=args.n,
             seed=args.seed,
             network=args.network,
+            backend=getattr(args, "backend", None),
             value_size=args.value_size,
             executor=args.executor,
             tracer=tracer,

@@ -179,6 +179,8 @@ def _serve(scheme: str | Scheme, config: ServingConfig) -> ServingReport:
             build_kwargs.setdefault("executor", executor)
         if kind == "kvs":
             build_kwargs.setdefault("value_size", config.value_size)
+        if config.backend is not None:
+            build_kwargs.setdefault("backend", config.backend)
         if "backend" in build_kwargs:
             # A network-backed build must price the link serve() reports:
             # the backends' own model is authoritative in the simulator.

@@ -27,6 +27,7 @@ This package implements that model directly:
 from repro.storage.backends import (
     BackendFactory,
     InMemoryBackend,
+    SlabBackend,
     NetworkBackend,
     NetworkBackendFactory,
     StorageBackend,
@@ -59,6 +60,7 @@ __all__ = [
     "ClientStash",
     "DEFAULT_BLOCK_SIZE",
     "InMemoryBackend",
+    "SlabBackend",
     "MappingOverflowError",
     "NetworkBackend",
     "NetworkBackendFactory",

@@ -7,10 +7,13 @@ Separating the two is what lets every scheme swap where its blocks live
 (in-memory array, latency-injecting simulated link, and later shards,
 caches or real object stores) without touching any privacy logic.
 
-Two backends ship today:
+Three backends ship today:
 
 * :class:`InMemoryBackend` — a plain Python list; the default, and the
   behaviour of the original seed implementation.
+* :class:`SlabBackend` — fixed-size blocks packed into one contiguous
+  ``bytearray`` with ``memoryview`` slicing, so a batched read is K
+  slice copies instead of K list lookups (``--backend slab``).
 * :class:`NetworkBackend` — wraps any inner backend and charges every
   slot access against a :class:`~repro.storage.network.NetworkModel`,
   accumulating the simulated wall-clock cost so experiments can report
@@ -83,11 +86,22 @@ class StorageBackend(abc.ABC):
         """
         return self.read_slot(index)
 
+    @property
+    def missing_slots(self) -> int | None:
+        """Number of never-written slots, or ``None`` when not tracked.
+
+        Backends that track presence return an exact count so the
+        server's batched read path can skip its ``None`` scan once the
+        database is fully loaded; ``None`` (the default) means "unknown
+        — scan every round".
+        """
+        return None
+
 
 class InMemoryBackend(StorageBackend):
     """The default backend: a plain in-process list of blocks."""
 
-    __slots__ = ("_slots",)
+    __slots__ = ("_slots", "_missing")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -95,11 +109,17 @@ class InMemoryBackend(StorageBackend):
                 f"capacity must be non-negative, got {capacity}"
             )
         self._slots: list[bytes | None] = [None] * capacity
+        self._missing = capacity
 
     @property
     def capacity(self) -> int:
         """Number of slots."""
         return len(self._slots)
+
+    @property
+    def missing_slots(self) -> int:
+        """Exact count of never-written slots."""
+        return self._missing
 
     def read_slot(self, index: int) -> bytes | None:
         """Return the block at ``index``, or ``None`` if never written."""
@@ -107,7 +127,10 @@ class InMemoryBackend(StorageBackend):
 
     def write_slot(self, index: int, block: bytes) -> None:
         """Store ``block`` into slot ``index``."""
-        self._slots[index] = bytes(block)
+        slots = self._slots
+        if slots[index] is None:
+            self._missing -= 1
+        slots[index] = bytes(block)
 
     def read_slots(self, indices: Sequence[int]) -> list[bytes | None]:
         """One pass over the slot list — no per-slot method dispatch."""
@@ -117,8 +140,12 @@ class InMemoryBackend(StorageBackend):
     def write_slots(self, items: Sequence[tuple[int, bytes]]) -> None:
         """One pass storing every ``(index, block)`` pair."""
         slots = self._slots
+        missing = self._missing
         for index, block in items:
+            if missing and slots[index] is None:
+                missing -= 1
             slots[index] = bytes(block)
+        self._missing = missing
 
     def load(self, blocks: Sequence[bytes]) -> None:
         """Replace all slots with ``blocks``."""
@@ -127,6 +154,163 @@ class InMemoryBackend(StorageBackend):
                 f"expected {len(self._slots)} blocks, got {len(blocks)}"
             )
         self._slots = [bytes(block) for block in blocks]
+        self._missing = 0
+
+
+class SlabBackend(StorageBackend):
+    """Fixed-size blocks in one contiguous ``bytearray``.
+
+    Every scheme in this repository moves fixed-size (encrypted) blocks,
+    so slot ``i`` lives at byte offset ``i · block_size`` of a single
+    slab and a batched read is K ``memoryview`` slice copies instead of
+    K list lookups on K scattered ``bytes`` objects.  The block size is
+    fixed by the first write (or :meth:`load`); pass it up front to
+    pre-allocate.
+
+    Two auxiliary structures keep the full :class:`StorageBackend`
+    contract: a per-slot presence bitmap (``None`` for never-written
+    slots — slab bytes alone cannot distinguish "absent" from "zeros"),
+    and a spill dict for blocks whose size differs from the slab's,
+    so variable-size workloads degrade to the list-backend behaviour
+    instead of failing.
+
+    The class itself is a valid :data:`BackendFactory`
+    (``SlabBackend`` ≡ ``lambda capacity: SlabBackend(capacity)``).
+    """
+
+    __slots__ = (
+        "_capacity",
+        "_block_size",
+        "_slab",
+        "_view",
+        "_flags",
+        "_missing",
+        "_overflow",
+    )
+
+    _ABSENT, _SLAB, _SPILLED = 0, 1, 2
+
+    def __init__(self, capacity: int, block_size: int | None = None) -> None:
+        if capacity < 0:
+            raise StorageError(
+                f"capacity must be non-negative, got {capacity}"
+            )
+        if block_size is not None and block_size < 0:
+            raise StorageError(
+                f"block size must be non-negative, got {block_size}"
+            )
+        self._capacity = capacity
+        self._block_size: int | None = None
+        self._slab: bytearray | None = None
+        self._view: memoryview | None = None
+        self._flags = bytearray(capacity)
+        self._missing = capacity
+        self._overflow: dict[int, bytes] = {}
+        if block_size is not None:
+            self._allocate(block_size)
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots."""
+        return self._capacity
+
+    @property
+    def block_size(self) -> int | None:
+        """Slab cell size in bytes; ``None`` until the first write fixes it."""
+        return self._block_size
+
+    @property
+    def spilled_slots(self) -> int:
+        """Slots currently on the variable-size fallback path."""
+        return len(self._overflow)
+
+    @property
+    def missing_slots(self) -> int:
+        """Exact count of never-written slots."""
+        return self._missing
+
+    def _allocate(self, block_size: int) -> None:
+        self._block_size = block_size
+        self._slab = bytearray(block_size * self._capacity)
+        self._view = memoryview(self._slab)
+
+    def read_slot(self, index: int) -> bytes | None:
+        """Return the block at ``index``, or ``None`` if never written."""
+        flag = self._flags[index]
+        if flag == self._ABSENT:
+            return None
+        if flag == self._SPILLED:
+            return self._overflow[index]
+        size = self._block_size
+        start = index * size
+        return bytes(self._view[start : start + size])
+
+    def write_slot(self, index: int, block: bytes) -> None:
+        """Store ``block`` into slot ``index`` (slab or spill path)."""
+        block = bytes(block)
+        if self._block_size is None:
+            self._allocate(len(block))
+        flag = self._flags[index]
+        size = self._block_size
+        if len(block) == size:
+            start = index * size
+            self._view[start : start + size] = block
+            if flag == self._SPILLED:
+                del self._overflow[index]
+            elif flag == self._ABSENT:
+                self._missing -= 1
+            self._flags[index] = self._SLAB
+        else:
+            self._overflow[index] = block
+            if flag == self._ABSENT:
+                self._missing -= 1
+            self._flags[index] = self._SPILLED
+
+    def read_slots(self, indices: Sequence[int]) -> list[bytes | None]:
+        """K contiguous slice copies when no slot is absent or spilled."""
+        if self._missing == 0 and not self._overflow:
+            size = self._block_size
+            view = self._view
+            return [
+                bytes(view[index * size : index * size + size])
+                for index in indices
+            ]
+        return [self.read_slot(index) for index in indices]
+
+    def write_slots(self, items: Sequence[tuple[int, bytes]]) -> None:
+        """Store every ``(index, block)`` pair into the slab."""
+        for index, block in items:
+            self.write_slot(index, block)
+
+    def load(self, blocks: Sequence[bytes]) -> None:
+        """Install the initial database as one contiguous copy."""
+        if len(blocks) != self._capacity:
+            raise StorageError(
+                f"expected {self._capacity} blocks, got {len(blocks)}"
+            )
+        self._overflow = {}
+        self._missing = 0
+        self._flags = bytearray(bytes([self._SLAB]) * self._capacity)
+        if self._capacity == 0:
+            return
+        size = (
+            self._block_size
+            if self._block_size is not None
+            else len(blocks[0])
+        )
+        if self._block_size is None:
+            self._allocate(size)
+        if all(len(block) == size for block in blocks):
+            self._slab[:] = b"".join(blocks)
+            return
+        view = self._view
+        for index, block in enumerate(blocks):
+            block = bytes(block)
+            if len(block) == size:
+                view[index * size : index * size + size] = block
+            else:
+                self._overflow[index] = block
+                self._flags[index] = self._SPILLED
 
 
 class NetworkBackend(StorageBackend):

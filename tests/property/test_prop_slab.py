@@ -1,0 +1,97 @@
+"""SlabBackend conformance: indistinguishable from InMemoryBackend.
+
+The slab packs fixed-size blocks into one contiguous buffer with a
+presence bitmap and a variable-size spill path; none of that machinery
+may be observable through the :class:`~repro.storage.backends
+.StorageBackend` contract.  We drive both backends through randomized
+read/write/load interleavings — including never-written slots, empty
+blocks, mixed block sizes and batched rounds — and require identical
+observations at every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.backends import InMemoryBackend, SlabBackend
+
+CAPACITY = 8
+
+slots = st.integers(min_value=0, max_value=CAPACITY - 1)
+fixed_blocks = st.binary(min_size=16, max_size=16)
+any_blocks = st.one_of(
+    st.binary(min_size=16, max_size=16),   # slab-resident size
+    st.binary(min_size=0, max_size=4),     # spill path
+    st.binary(min_size=17, max_size=40),   # spill path
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("read"), slots),
+        st.tuples(st.just("write"), st.tuples(slots, any_blocks)),
+        st.tuples(
+            st.just("read_slots"),
+            st.lists(slots, max_size=CAPACITY),
+        ),
+        st.tuples(
+            st.just("write_slots"),
+            st.lists(st.tuples(slots, any_blocks), max_size=CAPACITY),
+        ),
+        st.tuples(
+            st.just("load"),
+            st.lists(any_blocks, min_size=CAPACITY, max_size=CAPACITY),
+        ),
+        st.tuples(st.just("peek"), slots),
+    ),
+    max_size=30,
+)
+
+
+class TestSlabConformance:
+    @given(ops=operations)
+    @settings(max_examples=120)
+    def test_interleavings_match_in_memory_backend(self, ops):
+        slab = SlabBackend(CAPACITY)
+        reference = InMemoryBackend(CAPACITY)
+        for kind, argument in ops:
+            if kind == "read":
+                assert slab.read_slot(argument) == reference.read_slot(
+                    argument
+                )
+            elif kind == "write":
+                index, block = argument
+                slab.write_slot(index, block)
+                reference.write_slot(index, block)
+            elif kind == "read_slots":
+                assert slab.read_slots(argument) == reference.read_slots(
+                    argument
+                )
+            elif kind == "write_slots":
+                slab.write_slots(argument)
+                reference.write_slots(argument)
+            elif kind == "load":
+                slab.load(argument)
+                reference.load(argument)
+            else:
+                assert slab.peek_slot(argument) == reference.peek_slot(
+                    argument
+                )
+        # Final sweep: every slot agrees, absent slots included.
+        indices = list(range(CAPACITY))
+        assert slab.read_slots(indices) == reference.read_slots(indices)
+
+    @given(
+        blocks=st.lists(
+            fixed_blocks, min_size=CAPACITY, max_size=CAPACITY
+        ),
+        reads=st.lists(slots, max_size=16),
+    )
+    @settings(max_examples=60)
+    def test_fully_loaded_fast_path_matches(self, blocks, reads):
+        # With every slot present and uniform sizes the slab serves the
+        # contiguous fast path; outputs must still match the list backend.
+        slab = SlabBackend(CAPACITY)
+        reference = InMemoryBackend(CAPACITY)
+        slab.load(blocks)
+        reference.load(blocks)
+        assert slab.spilled_slots == 0
+        assert slab.read_slots(reads) == reference.read_slots(reads)

@@ -6,6 +6,7 @@ from repro.storage.backends import (
     InMemoryBackend,
     NetworkBackend,
     NetworkBackendFactory,
+    SlabBackend,
 )
 from repro.storage.errors import StorageError
 from repro.storage.network import LAN, WAN
@@ -192,3 +193,161 @@ class TestBatchedSlotRounds:
         network = NetworkBackend(1, WAN)
         with pytest.raises(AttributeError):
             network.extra = 1
+        slab = SlabBackend(1)
+        with pytest.raises(AttributeError):
+            slab.extra = 1
+
+
+class TestBatchPricingGuardEdges:
+    """The ``if indices:`` / ``if items:`` guards of the batched rounds.
+
+    Batched pricing must stay exactly "one roundtrip + combined
+    transfer" on every edge — never-written (``None``) blocks, empty
+    blocks, and truly empty batches — so read and write rounds can
+    never drift apart in cost.
+    """
+
+    def test_read_slots_of_unwritten_slots_charges_one_bare_roundtrip(self):
+        backend = NetworkBackend(4, WAN)
+        assert backend.read_slots([0, 1, 2]) == [None, None, None]
+        assert backend.roundtrips == 1
+        # None blocks move zero bytes: the round costs the RTT alone.
+        assert backend.simulated_ms == pytest.approx(WAN.rtt_ms)
+
+    def test_read_slots_mixed_none_counts_present_bytes_only(self):
+        backend = NetworkBackend(4, WAN)
+        backend.write_slot(1, b"x" * 300)
+        backend.write_slot(3, b"y" * 500)
+        before = backend.simulated_ms
+        blocks = backend.read_slots([0, 1, 2, 3])
+        assert blocks == [None, b"x" * 300, None, b"y" * 500]
+        expected = WAN.rtt_ms + WAN.transfer_ms(800)
+        assert backend.simulated_ms - before == pytest.approx(expected)
+
+    def test_write_slots_of_empty_blocks_charges_one_bare_roundtrip(self):
+        backend = NetworkBackend(4, WAN)
+        backend.write_slots([(0, b""), (1, b"")])
+        assert backend.roundtrips == 1
+        assert backend.simulated_ms == pytest.approx(WAN.rtt_ms)
+        assert backend.read_slot(0) == b""  # stored, not dropped
+
+    def test_write_slots_mixed_sizes_charges_combined_transfer(self):
+        backend = NetworkBackend(4, WAN)
+        backend.write_slots([(0, b""), (1, b"x" * 700), (2, b"y" * 300)])
+        assert backend.roundtrips == 1
+        expected = WAN.rtt_ms + WAN.transfer_ms(1000)
+        assert backend.simulated_ms == pytest.approx(expected)
+
+    def test_read_write_round_pricing_is_symmetric(self):
+        # Equal payloads in either direction must price identically.
+        reader = NetworkBackend(4, WAN)
+        writer = NetworkBackend(4, WAN)
+        blocks = [b"a" * 100, b"b" * 200, b"c" * 300, b"d" * 400]
+        reader.load(blocks)
+        reader.read_slots([0, 1, 2, 3])
+        writer.write_slots(list(enumerate(blocks)))
+        assert reader.roundtrips == writer.roundtrips == 1
+        assert reader.simulated_ms == pytest.approx(writer.simulated_ms)
+
+    def test_single_slot_and_batch_of_one_price_identically(self):
+        single = NetworkBackend(2, WAN)
+        batched = NetworkBackend(2, WAN)
+        single.write_slot(0, b"z" * 256)
+        batched.write_slots([(0, b"z" * 256)])
+        assert single.simulated_ms == pytest.approx(batched.simulated_ms)
+        assert single.roundtrips == batched.roundtrips == 1
+        single.read_slot(0)
+        batched.read_slots([0])
+        assert single.simulated_ms == pytest.approx(batched.simulated_ms)
+
+    def test_empty_batches_dispatch_to_inner_without_charging(self):
+        inner = InMemoryBackend(2)
+        backend = NetworkBackend(inner, WAN)
+        assert backend.read_slots([]) == []
+        backend.write_slots([])
+        assert backend.roundtrips == 0
+        assert backend.simulated_ms == 0.0
+
+
+class TestSlabBackend:
+    def test_round_trip(self):
+        backend = SlabBackend(4)
+        assert backend.capacity == 4
+        assert backend.read_slot(2) is None
+        backend.write_slot(2, b"abcdefgh")
+        assert backend.read_slot(2) == b"abcdefgh"
+        assert backend.block_size == 8
+
+    def test_unwritten_slots_stay_none(self):
+        # The presence bitmap distinguishes "never written" from zeros.
+        backend = SlabBackend(3)
+        backend.write_slot(1, b"\x00" * 16)
+        assert backend.read_slot(0) is None
+        assert backend.read_slot(1) == b"\x00" * 16
+        assert backend.read_slots([0, 1, 2]) == [None, b"\x00" * 16, None]
+
+    def test_load_replaces_everything(self):
+        backend = SlabBackend(3)
+        backend.write_slot(0, b"old-data")
+        backend.load([b"aa", b"bb", b"cc"])
+        assert [backend.read_slot(i) for i in range(3)] == [b"aa", b"bb", b"cc"]
+        assert backend.block_size == 8  # fixed by the pre-load write
+
+    def test_load_size_checked(self):
+        with pytest.raises(StorageError):
+            SlabBackend(3).load([b"a"])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            SlabBackend(-1)
+
+    def test_preallocated_block_size(self):
+        backend = SlabBackend(2, block_size=32)
+        assert backend.block_size == 32
+        backend.write_slot(0, b"q" * 32)
+        assert backend.read_slot(0) == b"q" * 32
+
+    def test_variable_size_blocks_spill_and_return(self):
+        backend = SlabBackend(2)
+        backend.write_slot(0, b"x" * 8)      # fixes the slab size
+        backend.write_slot(1, b"toolongforslab")
+        assert backend.spilled_slots == 1
+        assert backend.read_slot(1) == b"toolongforslab"
+        backend.write_slot(1, b"y" * 8)      # back onto the slab
+        assert backend.spilled_slots == 0
+        assert backend.read_slot(1) == b"y" * 8
+
+    def test_mixed_size_load_falls_back_per_slot(self):
+        backend = SlabBackend(3)
+        backend.load([b"aa", b"bbbb", b"cc"])
+        assert [backend.read_slot(i) for i in range(3)] == [
+            b"aa", b"bbbb", b"cc",
+        ]
+        assert backend.spilled_slots == 1
+
+    def test_read_slots_in_order(self):
+        backend = SlabBackend(3)
+        backend.load([b"aa", b"bb", b"cc"])
+        assert backend.read_slots([2, 0, 2]) == [b"cc", b"aa", b"cc"]
+
+    def test_write_slots_batch(self):
+        backend = SlabBackend(4)
+        backend.write_slots([(0, b"a" * 4), (3, b"d" * 4)])
+        assert backend.read_slots([0, 1, 2, 3]) == [
+            b"a" * 4, None, None, b"d" * 4,
+        ]
+
+    def test_returns_bytes_not_views(self):
+        # Callers hold onto returned blocks; later writes must not
+        # mutate them through a shared buffer.
+        backend = SlabBackend(2)
+        backend.load([b"aa", b"bb"])
+        block = backend.read_slot(0)
+        backend.write_slot(0, b"zz")
+        assert block == b"aa"
+        assert isinstance(block, bytes)
+
+    def test_is_a_backend_factory(self):
+        server = StorageServer(4, backend=SlabBackend(4))
+        server.load([b"x" * 8] * 4)
+        assert server.read(1) == b"x" * 8

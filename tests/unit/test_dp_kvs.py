@@ -205,3 +205,66 @@ class TestStashChurnCorrectness:
                 value = f"v{step}".encode()
                 store.put(key, value)
                 reference[key] = value
+
+
+class TestChoiceCacheDeterminism:
+    """The PRF bucket-choice cache must never change a single draw.
+
+    Choices are a pure function of the key, so serving them from the
+    memo (or pre-warming it for a whole ``get_many`` round) has to leave
+    answers, transcripts and the rng stream bit-identical to evaluating
+    the PRF fresh on every operation.
+    """
+
+    @staticmethod
+    def _drive(store, clear_cache):
+        answers = []
+        for step in range(60):
+            key = f"k{step % 17}".encode()
+            if clear_cache:
+                store._choice_cache.clear()
+            if step % 3 == 0:
+                store.put(key, f"v{step}".encode())
+            elif step % 3 == 1:
+                answers.append(store.get(key))
+            else:
+                answers.append(store.delete(key))
+        return answers
+
+    def test_cached_and_uncached_runs_are_bit_identical(self, rng):
+        seed = rng.spawn("choice-cache").bytes(8)
+        cached = DPKVS(64, key_size=8, value_size=8, rng=_seeded(seed))
+        uncached = DPKVS(64, key_size=8, value_size=8, rng=_seeded(seed))
+        a = self._drive(cached, clear_cache=False)
+        b = self._drive(uncached, clear_cache=True)
+        assert a == b
+        assert cached.transcript_pairs == uncached.transcript_pairs
+        assert cached._rng.bytes(8) == uncached._rng.bytes(8)
+
+    def test_get_many_prewarm_matches_sequential_gets(self, rng):
+        seed = rng.spawn("prewarm").bytes(8)
+        batched = DPKVS(64, key_size=8, value_size=8, rng=_seeded(seed))
+        sequential = DPKVS(64, key_size=8, value_size=8, rng=_seeded(seed))
+        for store in (batched, sequential):
+            for i in range(10):
+                store.put(f"k{i}".encode(), f"v{i}".encode())
+        keys = [f"k{i}".encode() for i in (3, 9, 3, 12, 0)]
+        assert batched.get_many(keys) == [
+            sequential.get(key) for key in keys
+        ]
+        assert batched.transcript_pairs == sequential.transcript_pairs
+
+    def test_cache_stays_bounded(self, rng):
+        store = DPKVS(
+            2048, key_size=8, value_size=8, rng=rng.spawn("bound")
+        )
+        store._CHOICE_CACHE_LIMIT = 16
+        for i in range(64):
+            store.get(f"miss{i}".encode())
+        assert len(store._choice_cache) <= 16
+
+
+def _seeded(seed):
+    from repro.crypto.rng import SeededRandomSource
+
+    return SeededRandomSource(seed)

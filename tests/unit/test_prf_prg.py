@@ -123,6 +123,25 @@ class TestBatchedChoices:
             ]
             assert prf.choices(message, 977, 5) == expected
 
+    def test_choices_many_matches_per_message_calls(self):
+        # One keyed-state pass over a whole round's keys must derive
+        # exactly the draws of per-message choices() calls, in order.
+        prf = PRF(b"round batch key")
+        messages = [b"", b"alpha", b"beta", b"alpha", b"k" * 40]
+        assert prf.choices_many(messages, 977, 2) == [
+            prf.choices(message, 977, 2) for message in messages
+        ]
+
+    def test_choices_many_validates_arguments(self):
+        prf = PRF(b"k")
+        with pytest.raises(TypeError):
+            prf.choices_many([b"ok", "text"], 7, 2)
+        with pytest.raises(ValueError):
+            prf.choices_many([b"ok"], 0, 2)
+        with pytest.raises(ValueError):
+            prf.choices_many([b"ok"], 7, -1)
+        assert prf.choices_many([], 7, 2) == []
+
     def test_evaluate_matches_fresh_hmac(self):
         import hashlib
         import hmac as hmac_mod
